@@ -1,0 +1,69 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace chenfd::bench {
+
+bool fast_mode() {
+  const char* v = std::getenv("CHENFD_BENCH_FAST");
+  return v != nullptr && std::string(v) == "1";
+}
+
+void print_header(const std::string& title, const std::string& setup) {
+  std::cout << "\n== " << title << " ==\n";
+  if (!setup.empty()) std::cout << setup << "\n";
+  if (fast_mode()) {
+    std::cout << "(CHENFD_BENCH_FAST=1: reduced sample counts)\n";
+  }
+  std::cout << "\n";
+}
+
+Table::Table(std::vector<std::string> columns, int width)
+    : columns_(std::move(columns)), width_(width) {}
+
+void Table::add_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+void Table::print(std::ostream& os) const {
+  // Per-column widths: wide enough for the header and every cell.
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+      os << std::setw(static_cast<int>(widths[i]) + (i == 0 ? 0 : 3))
+         << cells[i];
+    }
+    os << "\n";
+  };
+  line(columns_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    total += widths[i] + (i == 0 ? 0 : 3);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) line(r);
+  os.flush();
+}
+
+std::string Table::num(double v) {
+  std::ostringstream ss;
+  ss << std::setprecision(4) << v;
+  return ss.str();
+}
+
+std::string Table::sci(double v) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(2) << v;
+  return ss.str();
+}
+
+}  // namespace chenfd::bench

@@ -1,0 +1,40 @@
+// Shared helpers for the reproduction harness binaries.
+
+#pragma once
+
+#include <cstddef>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace chenfd::bench {
+
+/// True when CHENFD_BENCH_FAST=1: binaries shrink their sample counts so a
+/// full `for b in build/bench/*; do $b; done` smoke pass stays quick.
+[[nodiscard]] bool fast_mode();
+
+/// Prints a section header for one reproduced table/figure.
+void print_header(const std::string& title, const std::string& setup);
+
+/// Fixed-width table printer: set columns once, then add rows of cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 14);
+
+  void add_row(const std::vector<std::string>& cells);
+  void print(std::ostream& os = std::cout) const;
+
+  /// Formats a double compactly (%.4g-style).
+  [[nodiscard]] static std::string num(double v);
+  /// Formats a double in scientific notation with 3 significant digits.
+  [[nodiscard]] static std::string sci(double v);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  int width_;
+};
+
+}  // namespace chenfd::bench

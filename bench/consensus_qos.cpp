@@ -1,0 +1,138 @@
+// How failure detector QoS translates into application performance — the
+// paper's motivating scenario ("a failure detector that starts suspecting
+// a process one hour after it crashed ... is useless to an application
+// that needs to solve many instances of consensus per minute", Section 1).
+//
+// Chandra-Toueg consensus over a 5-process group; we sweep the NFD-S
+// freshness shift delta and measure:
+//
+//   - crash-free decision latency (hurt by false suspicions: a premature
+//     NACK burns a round),
+//   - decision latency when round 1's coordinator has just crashed (hurt
+//     by detection time: progress stalls until the detector fires),
+//   - NACKs per instance (the cost of an aggressive detector).
+//
+// The sweet spot the paper's configurator finds analytically — delta large
+// enough for accuracy, small enough for detection — is visible empirically
+// here.
+
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "consensus/ct.hpp"
+#include "dist/exponential.hpp"
+#include "group/group.hpp"
+#include "stats/online_stats.hpp"
+
+namespace {
+
+using namespace chenfd;
+
+struct SweepResult {
+  stats::OnlineStats latency;  // seconds, start -> last correct decision
+  stats::OnlineStats rounds;
+  std::uint64_t nacks = 0;
+  std::size_t failures = 0;  // instances that did not fully decide
+};
+
+SweepResult run_instances(double delta, bool crash_coordinator,
+                          std::size_t instances, std::uint64_t seed0) {
+  SweepResult out;
+  for (std::size_t k = 0; k < instances; ++k) {
+    group::Group::Config gc;
+    gc.size = 5;
+    gc.delay = std::make_unique<dist::Exponential>(0.02);
+    gc.p_loss = 0.01;
+    gc.detector = core::NfdSParams{seconds(1.0), seconds(delta)};
+    gc.seed = seed0 + k;
+    group::Group g(std::move(gc));
+    consensus::Transport tr(g.simulator(), 5,
+                            std::make_unique<dist::Exponential>(0.02), 0.0,
+                            seed0 ^ (k * 1315423911u));
+    std::vector<std::unique_ptr<consensus::CtProcess>> procs;
+    for (group::ProcessId i = 0; i < 5; ++i) {
+      procs.push_back(std::make_unique<consensus::CtProcess>(
+          g.simulator(), tr, g, i, 5,
+          static_cast<std::int64_t>(100 + i)));
+    }
+    g.start();
+    const double start = 20.0;  // detectors in steady state
+    if (crash_coordinator) {
+      g.simulator().at(TimePoint(start + 1e-3), [&] {
+        g.crash_at(0, g.simulator().now());
+        tr.crash(0);
+        procs[0]->crash();
+      });
+    }
+    g.simulator().run_until(TimePoint(start));
+    for (auto& p : procs) p->start();
+    g.simulator().run_until(TimePoint(start + 300.0));
+
+    double last = 0.0;
+    std::uint64_t max_round = 0;
+    bool complete = true;
+    for (group::ProcessId i = 0; i < 5; ++i) {
+      if (g.crashed(i)) continue;
+      if (!procs[i]->decided()) {
+        complete = false;
+        continue;
+      }
+      last = std::max(last, procs[i]->decision_time().seconds() - start);
+      max_round = std::max(max_round, procs[i]->decided_round());
+      out.nacks += procs[i]->nacks_sent();
+    }
+    if (complete) {
+      out.latency.add(last);
+      out.rounds.add(static_cast<double>(max_round));
+    } else {
+      ++out.failures;
+    }
+    g.stop();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t instances = bench::fast_mode() ? 10 : 60;
+
+  bench::print_header(
+      "Consensus latency vs failure detector QoS (5 processes, CT / NFD-S)",
+      "eta = 1, p_L = 0.01, D ~ Exp(0.02); " + std::to_string(instances) +
+          " consensus instances per cell.\nLatency = time from proposal to "
+          "the last correct process's decision.");
+
+  bench::Table table({"delta", "T_D bound", "crash-free latency (s)",
+                      "coord-crash latency (s)", "rounds (crash)",
+                      "false-susp NACKs/inst", "undecided"});
+  std::uint64_t seed = 61000;
+  for (const double delta : {0.1, 0.3, 1.0, 2.0, 4.0, 8.0}) {
+    const auto free_run = run_instances(delta, false, instances, seed);
+    seed += 1000;
+    const auto crash_run = run_instances(delta, true, instances, seed);
+    seed += 1000;
+    table.add_row(
+        {bench::Table::num(delta), bench::Table::num(delta + 1.0),
+         bench::Table::num(free_run.latency.mean()),
+         bench::Table::num(crash_run.latency.mean()),
+         bench::Table::num(crash_run.rounds.mean()),
+         // Crash-free NACKs can only come from false suspicions.
+         bench::Table::num(static_cast<double>(free_run.nacks) /
+                           static_cast<double>(instances)),
+         std::to_string(free_run.failures + crash_run.failures)});
+  }
+  table.print();
+
+  std::cout
+      << "\nReading: crash recovery latency tracks the detection bound "
+         "almost 1:1 — the\napplication waits out T_D before round 2 can "
+         "decide — while crash-free latency\nis delta-independent.  An "
+         "application solving many consensus instances per\nminute "
+         "therefore needs exactly what the Section 4 configurator "
+         "computes: the\nlargest delta (best accuracy) that still meets "
+         "its T_D^U.\n";
+  return 0;
+}

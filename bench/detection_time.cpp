@@ -1,0 +1,117 @@
+// Detection-time study (Theorem 5.1 and Sections 1.2/6.2): distribution of
+// T_D under randomized crash times for each algorithm, with the same
+// detection budget T_D^U = 3.
+//
+//   - NFD-S: T_D <= delta + eta surely, and the bound is tight.
+//   - NFD-U/NFD-E: T_D <= eta + alpha + E(D) (relative bound).
+//   - SFD with cutoff: T_D <= c + TO.
+//   - SFD without cutoff: the worst case grows with the *maximum* delay —
+//     the drawback motivating the paper's design (shown with a fat-tailed
+//     link where the effect is visible at small sample sizes).
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "core/experiments.hpp"
+#include "core/nfd_e.hpp"
+#include "core/nfd_s.hpp"
+#include "core/sfd.hpp"
+#include "dist/exponential.hpp"
+#include "dist/pareto.hpp"
+
+int main() {
+  using namespace chenfd;
+  const std::size_t runs = bench::fast_mode() ? 100 : 1000;
+  const double e_d = 0.02;
+  dist::Exponential delay(e_d);
+  core::NetworkModel model{0.01, delay};
+
+  core::DetectionExperiment exp;
+  exp.runs = runs;
+  exp.warmup = seconds(50.0);
+  exp.settle = seconds(200.0);
+  exp.seed = 8800;
+
+  bench::print_header(
+      "Detection time T_D under randomized crashes (T_D^U = 3, eta = 1)",
+      "p_L = 0.01, D ~ Exp(0.02); crash uniform within a heartbeat period; " +
+          std::to_string(runs) + " runs per algorithm.");
+
+  bench::Table table(
+      {"algorithm", "mean", "p95", "max", "declared bound", "bound held"});
+
+  const auto add = [&](const std::string& name,
+                       const core::DetectorFactory& factory, double bound) {
+    auto samples = core::measure_detection_times(factory, model, exp);
+    table.add_row({name, bench::Table::num(samples.mean()),
+                   bench::Table::num(samples.quantile(0.95)),
+                   bench::Table::num(samples.max()),
+                   bench::Table::num(bound),
+                   samples.max() <= bound + 1e-9 ? "yes" : "NO"});
+  };
+
+  add("NFD-S (delta=2)",
+      [](core::Testbed& tb) -> std::unique_ptr<core::FailureDetector> {
+        return std::make_unique<core::NfdS>(
+            tb.simulator(), core::NfdSParams{Duration(1.0), Duration(2.0)});
+      },
+      3.0);
+  add("NFD-E (alpha=1.98, n=32)",
+      [](core::Testbed& tb) -> std::unique_ptr<core::FailureDetector> {
+        return std::make_unique<core::NfdE>(
+            tb.simulator(), tb.q_clock(),
+            core::NfdEParams{Duration(1.0), Duration(1.98), 32});
+      },
+      3.0 + 0.05 /* EA estimation slack */);
+  add("SFD-L (c=0.16, TO=2.84)",
+      [](core::Testbed& tb) -> std::unique_ptr<core::FailureDetector> {
+        return std::make_unique<core::Sfd>(
+            tb.simulator(), tb.q_clock(),
+            core::SfdParams{Duration(2.84), Duration(0.16)});
+      },
+      3.0);
+  table.print();
+
+  // The closed-form T_D distribution for NFD-S (library extension; the
+  // paper gives only the bound): T_D = max(0, delta + eta(1-phi) - G*eta),
+  // G ~ Geometric(q_0).
+  const core::NfdSAnalysis a(core::NfdSParams{Duration(1.0), Duration(2.0)},
+                             0.01, delay);
+  std::cout << "\nAnalytic T_D distribution for NFD-S (extension): mean = "
+            << a.detection_time_mean().seconds()
+            << " s, Pr(T_D <= 2.5) = " << a.detection_time_cdf(2.5)
+            << ", Pr(T_D <= 3) = " << a.detection_time_cdf(3.0)
+            << ", Pr(already suspecting) = "
+            << a.detection_time_zero_probability() << "\n";
+
+  // The no-cutoff drawback, on a fat-tailed link where it shows quickly.
+  bench::print_header(
+      "Why a bounded T_D needs freshness points (or a cutoff)",
+      "Same experiment on a Pareto(alpha=2.5) link with E(D) = 0.3 and "
+      "plain SFD (TO = 2.84, no cutoff):");
+  dist::Pareto fat = dist::Pareto::with_mean(0.3, 2.5);
+  core::NetworkModel fat_model{0.0, fat};
+  auto plain = core::measure_detection_times(
+      [](core::Testbed& tb) -> std::unique_ptr<core::FailureDetector> {
+        return std::make_unique<core::Sfd>(tb.simulator(), tb.q_clock(),
+                                           core::SfdParams{Duration(2.84)});
+      },
+      fat_model, exp);
+  auto nfds_fat = core::measure_detection_times(
+      [](core::Testbed& tb) -> std::unique_ptr<core::FailureDetector> {
+        return std::make_unique<core::NfdS>(
+            tb.simulator(), core::NfdSParams{Duration(1.0), Duration(2.0)});
+      },
+      fat_model, exp);
+  bench::Table fatt({"algorithm", "mean", "max", "exceeds T_D^U = 3?"});
+  fatt.add_row({"plain SFD", bench::Table::num(plain.mean()),
+                bench::Table::num(plain.max()),
+                plain.max() > 3.0 ? "YES (unbounded tail)" : "no"});
+  fatt.add_row({"NFD-S", bench::Table::num(nfds_fat.mean()),
+                bench::Table::num(nfds_fat.max()),
+                nfds_fat.max() > 3.0 ? "YES" : "no (bounded by design)"});
+  fatt.print();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces two robustness claims about NFD-E:
+//
+//   Section 6.3: "Our simulations show that NFD-E and NFD-U are practically
+//   indistinguishable for values of n as low as 30" — we sweep the
+//   estimation window n and compare E(T_MR) and P_A against NFD-U (whose
+//   QoS equals NFD-S with delta = E(D) + alpha, Section 6.2).
+//
+//   Section 3.1: "clock drift is usually negligible because ... only
+//   messages from a short period of time are used for detection" — we give
+//   q a drifting clock (rates 1 +/- 1e-6 .. 1e-3) and measure how NFD-E's
+//   accuracy degrades.  With n = 32 and eta = 1, the EA window spans ~32 s,
+//   so drift rho shifts the freshness points by ~32*rho — invisible at
+//   1e-6, noticeable at 1e-3.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "core/experiments.hpp"
+#include "core/fast_sim.hpp"
+#include "core/nfd_e.hpp"
+#include "dist/exponential.hpp"
+#include "net/loss_model.hpp"
+#include "qos/replay.hpp"
+
+int main() {
+  using namespace chenfd;
+  const double p_loss = 0.01;
+  const double e_d = 0.02;
+  const double alpha = 1.0 - e_d;  // detection budget T_D^U = 2
+  dist::Exponential delay(e_d);
+
+  const std::size_t mistakes = bench::fast_mode() ? 300 : 3000;
+
+  bench::print_header(
+      "Section 6.3 — NFD-E vs NFD-U as the EA window n grows",
+      "eta = 1, p_L = 0.01, D ~ Exp(0.02), alpha = 0.98 (T_D^U = 2).\n"
+      "NFD-U reference = NFD-S with delta = E(D) + alpha (Section 6.2).");
+
+  // NFD-U reference via the exact equivalence.
+  const core::NfdSParams u_equiv{Duration(1.0), Duration(e_d + alpha)};
+  core::StopCriteria stop;
+  stop.target_s_transitions = mistakes;
+  Rng rng_u(41000);
+  const auto ru = core::fast_nfd_s_accuracy(u_equiv, p_loss, delay, rng_u,
+                                            stop);
+  const core::NfdSAnalysis exact(u_equiv, p_loss, delay);
+
+  bench::Table table({"window n", "E(T_MR)", "vs NFD-U", "P_A",
+                      "mistakes"});
+  table.add_row({"NFD-U (exact EAs)", bench::Table::sci(ru.e_tmr()), "1.00",
+                 bench::Table::num(ru.query_accuracy()),
+                 std::to_string(ru.s_transitions)});
+  std::uint64_t seed = 41001;
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    Rng rng(seed++);
+    const auto re = core::fast_nfd_e_accuracy(
+        core::NfdEParams{Duration(1.0), Duration(alpha), n}, p_loss, delay,
+        rng, stop);
+    table.add_row({std::to_string(n), bench::Table::sci(re.e_tmr()),
+                   bench::Table::num(re.e_tmr() / ru.e_tmr()),
+                   bench::Table::num(re.query_accuracy()),
+                   std::to_string(re.s_transitions)});
+  }
+  table.print();
+  std::cout << "Analytic NFD-U E(T_MR) (Thm 5 with delta = E(D)+alpha): "
+            << bench::Table::sci(exact.e_tmr().seconds())
+            << "\nReading: by n ~ 16-32 the ratio settles near 1 — the "
+               "paper's 'indistinguishable\nfor n as low as 30' claim.\n";
+
+  // ---- Clock drift sensitivity (Section 3.1's negligibility claim) ----
+  bench::print_header(
+      "Section 3.1 — sensitivity of NFD-E to clock drift",
+      "Same settings, n = 32; q's clock runs at rate 1 + rho.  DES "
+      "measurement.");
+  bench::Table drift({"drift rho", "E(T_MR)", "P_A", "mistakes"});
+  const double horizon = bench::fast_mode() ? 30000.0 : 120000.0;
+  for (const double rho : {0.0, 1e-6, 1e-4, 1e-3}) {
+    core::Testbed::Config cfg;
+    cfg.delay = delay.clone();
+    cfg.loss = std::make_unique<net::BernoulliLoss>(p_loss);
+    cfg.eta = seconds(1.0);
+    cfg.seed = 42424;
+    core::Testbed tb(std::move(cfg));
+    clk::DriftingClock q_clock(Duration::zero(), 1.0 + rho);
+    core::NfdE det(tb.simulator(), q_clock,
+                   core::NfdEParams{Duration(1.0), Duration(alpha), 32});
+    std::vector<Transition> log;
+    det.add_listener([&log](const Transition& t) { log.push_back(t); });
+    tb.attach(det);
+    tb.start();
+    tb.simulator().run_until(TimePoint(horizon));
+    const auto rec = qos::replay(log, TimePoint(100.0), TimePoint(horizon));
+    drift.add_row({bench::Table::num(rho),
+                   bench::Table::sci(rec.mistake_recurrence().count() > 0
+                                         ? rec.mistake_recurrence().mean()
+                                         : horizon),
+                   bench::Table::num(rec.query_accuracy()),
+                   std::to_string(rec.s_transitions())});
+    det.stop();
+  }
+  drift.print();
+  std::cout << "Reading: realistic drift (1e-6) is invisible; even 1e-4 "
+               "barely moves the QoS,\nconfirming the paper's negligibility "
+               "argument.  Extreme drift (1e-3) shifts the\nfreshness "
+               "points by ~eta/30 per window and costs accuracy.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Reproduces Fig. 12 of the paper: average mistake recurrence time E(T_MR)
+// as a function of the detection-time bound T_D^U, for
+//
+//   - NFD-S  (delta = T_D^U - eta), simulated,
+//   - NFD-E  (alpha = T_D^U - E(D) - eta, 32-sample EA window), simulated,
+//   - SFD-L  (cutoff c = 0.16 = 8 E(D), TO = T_D^U - c), simulated,
+//   - SFD-S  (cutoff c = 0.08 = 4 E(D), TO = T_D^U - c), simulated,
+//   - NFD-S analytic (Theorem 5),
+//
+// with the paper's settings: eta = 1, p_L = 0.01, D ~ Exp(E(D) = 0.02),
+// >= 500 mistake recurrence intervals per point (heartbeat-capped at the
+// most accurate points, where mistakes take ~10^6 periods to appear).
+//
+// Expected shape (the paper's finding): NFD-S and NFD-E are essentially
+// indistinguishable and match the analytic curve; both dominate the simple
+// algorithm — by an order of magnitude over much of the range — and SFD-S
+// (aggressive cutoff) trails SFD-L.
+
+#include <cstdint>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+#include "core/fast_sim.hpp"
+#include "dist/exponential.hpp"
+
+namespace {
+
+using namespace chenfd;
+using core::StopCriteria;
+
+struct Budget {
+  std::size_t mistakes;
+  std::uint64_t cap_scan;   // NFD-S sliding-window engine
+  std::uint64_t cap_event;  // NFD-E / SFD event-loop engines
+};
+
+Budget budget() {
+  if (bench::fast_mode()) return {100, 2'000'000, 1'000'000};
+  return {500, 250'000'000, 100'000'000};
+}
+
+}  // namespace
+
+int main() {
+  const double eta = 1.0;
+  const double p_loss = 0.01;
+  const double e_d = 0.02;
+  dist::Exponential delay(e_d);
+  const Budget b = budget();
+
+  bench::print_header(
+      "Fig. 12 — E(T_MR) vs detection-time bound T_D^U",
+      "eta = 1, p_L = 0.01, D ~ Exp(0.02); >= " +
+          std::to_string(b.mistakes) +
+          " mistake intervals per point (heartbeat-capped at accurate "
+          "points).\nColumns are in units of eta.  '(n=...)' rows note "
+          "points that hit the cap.");
+
+  bench::Table table({"T_D^U", "NFD-S", "NFD-E", "SFD-L", "SFD-S",
+                      "analytic(Thm5)", "mistakes(S/E/L/S)"});
+
+  std::uint64_t seed = 92000;
+  for (const double t_du :
+       {1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0, 3.25, 3.5}) {
+    StopCriteria scan_stop;
+    scan_stop.target_s_transitions = b.mistakes;
+    scan_stop.max_heartbeats = b.cap_scan;
+    StopCriteria event_stop = scan_stop;
+    event_stop.max_heartbeats = b.cap_event;
+
+    // NFD-S: delta = T_D^U - eta (Theorem 5.1 makes the bound tight).
+    const core::NfdSParams nfd_s{Duration(eta), Duration(t_du - eta)};
+    Rng rng_s(seed++);
+    const auto rs =
+        core::fast_nfd_s_accuracy(nfd_s, p_loss, delay, rng_s, scan_stop);
+
+    // NFD-E: alpha = T_D^U - E(D) - eta (Section 7.1), n = 32.
+    const core::NfdEParams nfd_e{Duration(eta), Duration(t_du - e_d - eta),
+                                 32};
+    Rng rng_e(seed++);
+    const auto re =
+        core::fast_nfd_e_accuracy(nfd_e, p_loss, delay, rng_e, event_stop);
+
+    // SFD-L / SFD-S: cutoff + timeout = T_D^U (Section 7.2).
+    Rng rng_l(seed++);
+    const auto rl = core::fast_sfd_accuracy(
+        core::SfdParams{Duration(t_du - 0.16), Duration(0.16)},
+        Duration(eta), p_loss, delay, rng_l, event_stop);
+    Rng rng_ss(seed++);
+    const auto rss = core::fast_sfd_accuracy(
+        core::SfdParams{Duration(t_du - 0.08), Duration(0.08)},
+        Duration(eta), p_loss, delay, rng_ss, event_stop);
+
+    const core::NfdSAnalysis exact(nfd_s, p_loss, delay);
+
+    table.add_row(
+        {bench::Table::num(t_du), bench::Table::sci(rs.e_tmr()),
+         bench::Table::sci(re.e_tmr()), bench::Table::sci(rl.e_tmr()),
+         bench::Table::sci(rss.e_tmr()),
+         bench::Table::sci(exact.e_tmr().seconds()),
+         std::to_string(rs.s_transitions) + "/" +
+             std::to_string(re.s_transitions) + "/" +
+             std::to_string(rl.s_transitions) + "/" +
+             std::to_string(rss.s_transitions)});
+  }
+  table.print();
+
+  std::cout
+      << "\nReading: NFD-S ~= NFD-E ~= analytic at every point; the simple\n"
+         "algorithm (esp. SFD-S) is up to orders of magnitude less "
+         "accurate\nat the same detection bound and heartbeat rate.\n";
+  return 0;
+}

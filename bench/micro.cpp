@@ -1,0 +1,160 @@
+// Microbenchmarks (google-benchmark): per-heartbeat cost of each detector,
+// the fast simulation engines, the analytic evaluation, and the
+// configurators.  These quantify the cost claims in DESIGN.md (the fast
+// engines process a heartbeat in a few nanoseconds, which is what makes
+// the Fig. 12 points with E(T_MR) ~ 10^6 eta feasible).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "clock/clock.hpp"
+#include "core/analysis.hpp"
+#include "core/config.hpp"
+#include "core/estimators.hpp"
+#include "core/fast_sim.hpp"
+#include "core/nfd_e.hpp"
+#include "core/nfd_s.hpp"
+#include "core/sfd.hpp"
+#include "dist/exponential.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace chenfd;
+
+void BM_FastNfdSPerHeartbeat(benchmark::State& state) {
+  dist::Exponential delay(0.02);
+  Rng rng(1);
+  core::StopCriteria stop;
+  stop.target_s_transitions = 1u << 30;
+  stop.max_heartbeats = 200'000;
+  for (auto _ : state) {
+    auto r = core::fast_nfd_s_accuracy(
+        core::NfdSParams{Duration(1.0), Duration(2.0)}, 0.01, delay, rng,
+        stop);
+    benchmark::DoNotOptimize(r.s_transitions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200'000);
+}
+BENCHMARK(BM_FastNfdSPerHeartbeat);
+
+void BM_FastNfdEPerHeartbeat(benchmark::State& state) {
+  dist::Exponential delay(0.02);
+  Rng rng(2);
+  core::StopCriteria stop;
+  stop.target_s_transitions = 1u << 30;
+  stop.max_heartbeats = 100'000;
+  for (auto _ : state) {
+    auto r = core::fast_nfd_e_accuracy(
+        core::NfdEParams{Duration(1.0), Duration(2.0), 32}, 0.01, delay,
+        rng, stop);
+    benchmark::DoNotOptimize(r.s_transitions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_FastNfdEPerHeartbeat);
+
+void BM_FastSfdPerHeartbeat(benchmark::State& state) {
+  dist::Exponential delay(0.02);
+  Rng rng(3);
+  core::StopCriteria stop;
+  stop.target_s_transitions = 1u << 30;
+  stop.max_heartbeats = 100'000;
+  for (auto _ : state) {
+    auto r = core::fast_sfd_accuracy(
+        core::SfdParams{Duration(1.84), Duration(0.16)}, Duration(1.0),
+        0.01, delay, rng, stop);
+    benchmark::DoNotOptimize(r.s_transitions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_FastSfdPerHeartbeat);
+
+void BM_DesNfdSPerHeartbeat(benchmark::State& state) {
+  // The general discrete-event path, for comparison with the fast engine.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    core::NfdS detector(sim, core::NfdSParams{Duration(1.0), Duration(2.0)});
+    detector.activate();
+    dist::Exponential delay(0.02);
+    Rng rng(4);
+    net::Message m;
+    for (int i = 1; i <= 2000; ++i) {
+      const TimePoint at(static_cast<double>(i) + delay.sample(rng));
+      m.seq = static_cast<net::SeqNo>(i);
+      m.sent_real = TimePoint(static_cast<double>(i));
+      m.sender_timestamp = m.sent_real;
+      sim.run_until(at);
+      detector.on_heartbeat(m, at);
+    }
+    benchmark::DoNotOptimize(detector.output());
+    detector.stop();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_DesNfdSPerHeartbeat);
+
+void BM_NfdSOnHeartbeat(benchmark::State& state) {
+  sim::Simulator sim;
+  core::NfdS detector(sim, core::NfdSParams{Duration(1.0), Duration(2.0)});
+  detector.activate();
+  net::Message m;
+  m.seq = 1;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    m.seq = i;
+    m.sent_real = TimePoint(0.0);
+    detector.on_heartbeat(m, TimePoint(0.5));
+    benchmark::DoNotOptimize(detector.output());
+  }
+}
+BENCHMARK(BM_NfdSOnHeartbeat);
+
+void BM_AnalysisEvaluate(benchmark::State& state) {
+  dist::Exponential delay(0.02);
+  for (auto _ : state) {
+    core::NfdSAnalysis a(core::NfdSParams{Duration(1.0), Duration(2.0)},
+                         0.01, delay);
+    benchmark::DoNotOptimize(a.e_tmr());
+    benchmark::DoNotOptimize(a.e_tm());  // includes the numeric integral
+  }
+}
+BENCHMARK(BM_AnalysisEvaluate);
+
+void BM_ConfigureExact(benchmark::State& state) {
+  dist::Exponential delay(0.02);
+  const qos::Requirements req{seconds(30.0), days(30.0), seconds(60.0)};
+  for (auto _ : state) {
+    auto out = core::configure_exact(req, 0.01, delay);
+    benchmark::DoNotOptimize(out.params->eta);
+  }
+}
+BENCHMARK(BM_ConfigureExact);
+
+void BM_ConfigureNfdU(benchmark::State& state) {
+  const core::RelativeRequirements req{seconds(29.98), days(30.0),
+                                       seconds(60.0)};
+  for (auto _ : state) {
+    auto out = core::configure_nfd_u(req, 0.01, 0.02);
+    benchmark::DoNotOptimize(out.params->eta);
+  }
+}
+BENCHMARK(BM_ConfigureNfdU);
+
+void BM_EstimatorOnHeartbeat(benchmark::State& state) {
+  core::NetworkEstimator est(256);
+  std::uint64_t s = 0;
+  for (auto _ : state) {
+    ++s;
+    est.on_heartbeat(s, TimePoint(static_cast<double>(s)),
+                     TimePoint(static_cast<double>(s) + 0.02));
+    benchmark::DoNotOptimize(est.delay_mean());
+  }
+}
+BENCHMARK(BM_EstimatorOnHeartbeat);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Head-to-head comparison of NFD-S, NFD-E and the common algorithm on the
+// SAME heartbeat deliveries — a miniature of the paper's Section 7 study.
+//
+// All four detectors attach to one testbed, so every loss and delay hits
+// each of them identically (the coupling behind Theorem 6).  All are
+// budgeted the same detection bound T_D^U and heartbeat rate.
+//
+//   $ ./compare_detectors
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/nfd_e.hpp"
+#include "core/nfd_s.hpp"
+#include "core/sfd.hpp"
+#include "core/testbed.hpp"
+#include "dist/exponential.hpp"
+#include "net/loss_model.hpp"
+#include "qos/replay.hpp"
+
+int main() {
+  using namespace chenfd;
+
+  const double t_du = 2.5;  // common detection budget, in heartbeat periods
+  const double horizon = 100000.0;
+
+  core::Testbed::Config cfg;
+  cfg.delay = std::make_unique<dist::Exponential>(0.02);
+  cfg.loss = std::make_unique<net::BernoulliLoss>(0.02);
+  cfg.eta = seconds(1.0);
+  cfg.seed = 20260707;
+  core::Testbed tb(std::move(cfg));
+
+  struct Entry {
+    std::string name;
+    std::unique_ptr<core::FailureDetector> det;
+    std::vector<Transition> log;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"NFD-S (delta=1.5)",
+                     std::make_unique<core::NfdS>(
+                         tb.simulator(),
+                         core::NfdSParams{seconds(1.0), seconds(t_du - 1.0)}),
+                     {}});
+  entries.push_back(
+      {"NFD-E (alpha=1.48, n=32)",
+       std::make_unique<core::NfdE>(
+           tb.simulator(), tb.q_clock(),
+           core::NfdEParams{seconds(1.0), seconds(t_du - 1.02), 32}),
+       {}});
+  entries.push_back(
+      {"SFD-L (c=0.16, TO=2.34)",
+       std::make_unique<core::Sfd>(
+           tb.simulator(), tb.q_clock(),
+           core::SfdParams{seconds(t_du - 0.16), seconds(0.16)}),
+       {}});
+  entries.push_back(
+      {"SFD-S (c=0.08, TO=2.42)",
+       std::make_unique<core::Sfd>(
+           tb.simulator(), tb.q_clock(),
+           core::SfdParams{seconds(t_du - 0.08), seconds(0.08)}),
+       {}});
+
+  for (auto& e : entries) {
+    tb.attach(*e.det);
+    auto* log = &e.log;
+    e.det->add_listener([log](const Transition& t) { log->push_back(t); });
+  }
+  tb.start();
+  tb.simulator().run_until(TimePoint(horizon));
+
+  std::cout << "Same link (p_L = 2%, Exp delays E(D) = 0.02 s), same "
+               "heartbeats,\nsame detection budget T_D^U = "
+            << t_du << " periods; " << horizon << " s failure-free run:\n\n";
+  std::cout << std::left << std::setw(28) << "algorithm" << std::right
+            << std::setw(12) << "mistakes" << std::setw(14) << "E(T_MR) s"
+            << std::setw(12) << "E(T_M) s" << std::setw(12) << "P_A"
+            << "\n"
+            << std::string(78, '-') << "\n";
+  for (auto& e : entries) {
+    const auto rec =
+        qos::replay(e.log, TimePoint(100.0), TimePoint(horizon));
+    std::cout << std::left << std::setw(28) << e.name << std::right
+              << std::setw(12) << rec.s_transitions() << std::setw(14)
+              << std::setprecision(5) << rec.mistake_recurrence().mean()
+              << std::setw(12) << rec.mistake_duration().mean()
+              << std::setw(12) << std::setprecision(6)
+              << rec.query_accuracy() << "\n";
+  }
+
+  std::cout << "\nNFD-S makes the fewest mistakes and has the best P_A — "
+               "at identical\nnetwork cost and detection guarantee "
+               "(Theorem 6 in action).\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Group membership over the full failure detector mesh, with consensus on
+// the new configuration — the application stack the paper's introduction
+// motivates (group membership [5][9], cluster management [24], consensus
+// [12]).
+//
+// Five replicas monitor each other (NFD-S on every ordered pair).  When a
+// replica crashes, every survivor's view converges within the Theorem 5.1
+// detection bound, and the survivors then run Chandra-Toueg consensus —
+// driven by those same detectors — to agree on the next primary.
+//
+//   $ ./membership
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "consensus/ct.hpp"
+#include "dist/exponential.hpp"
+#include "group/group.hpp"
+
+namespace {
+
+using namespace chenfd;
+
+std::string show_view(const std::vector<group::ProcessId>& view) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    os << (i > 0 ? "," : "") << "r" << view[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kReplicas = 5;
+  const core::NfdSParams fd_params{seconds(1.0), seconds(1.5)};
+
+  group::Group::Config cfg;
+  cfg.size = kReplicas;
+  cfg.delay = std::make_unique<dist::Exponential>(0.02);
+  cfg.p_loss = 0.01;
+  cfg.detector = fd_params;
+  cfg.seed = 31337;
+  group::Group g(std::move(cfg));
+  g.start();
+
+  std::cout << "5 replicas, pairwise NFD-S (eta = 1 s, delta = 1.5 s => "
+               "T_D <= 2.5 s per pair)\n\n";
+
+  g.simulator().run_until(TimePoint(10.0));
+  std::cout << "t = 10 s   views: ";
+  for (group::ProcessId r = 0; r < kReplicas; ++r) {
+    std::cout << "r" << r << "=" << show_view(g.view(r)) << " ";
+  }
+  std::cout << "\n           all correct members mutually trusted: "
+            << (g.all_correct_trusted() ? "yes" : "no") << "\n";
+
+  // Replica 1 — the current primary, say — crashes.
+  const TimePoint crash(12.3);
+  g.crash_at(1, crash);
+  std::cout << "\nt = 12.3 s  replica 1 (primary) crashes\n";
+
+  // Poll until every survivor has removed it from its view.
+  double converged_at = 0.0;
+  for (double t = 12.4; t < 20.0; t += 0.05) {
+    g.simulator().run_until(TimePoint(t));
+    if (g.all_crashes_detected()) {
+      converged_at = t;
+      break;
+    }
+  }
+  std::cout << "t = " << converged_at
+            << " s  every survivor suspects replica 1 (bound: crash + "
+            << fd_params.detection_time_bound().seconds()
+            << " s = " << crash.seconds() +
+                   fd_params.detection_time_bound().seconds()
+            << " s)\n           views now: ";
+  for (group::ProcessId r = 0; r < kReplicas; ++r) {
+    if (g.crashed(r)) continue;
+    std::cout << "r" << r << "=" << show_view(g.view(r)) << " ";
+  }
+  std::cout << "\n";
+
+  // The survivors agree on the next primary via consensus, using the very
+  // same detectors as their suspicion oracle.  Each proposes the smallest
+  // member of its own view.
+  consensus::Transport transport(g.simulator(), kReplicas,
+                                 std::make_unique<dist::Exponential>(0.02),
+                                 0.0, 4242);
+  transport.crash(1);
+  std::vector<std::unique_ptr<consensus::CtProcess>> procs;
+  for (group::ProcessId r = 0; r < kReplicas; ++r) {
+    const auto view = g.view(r);
+    const auto proposal = static_cast<std::int64_t>(view.front());
+    procs.push_back(std::make_unique<consensus::CtProcess>(
+        g.simulator(), transport, g, r, kReplicas, proposal));
+  }
+  const TimePoint vote_start = g.simulator().now();
+  for (group::ProcessId r = 0; r < kReplicas; ++r) {
+    if (!g.crashed(r)) procs[r]->start();
+  }
+  g.simulator().run_until(vote_start + seconds(60.0));
+
+  std::cout << "\nConsensus on the new primary:\n";
+  for (group::ProcessId r = 0; r < kReplicas; ++r) {
+    if (g.crashed(r)) {
+      std::cout << "  r" << r << ": (crashed)\n";
+      continue;
+    }
+    if (procs[r]->decided()) {
+      std::cout << "  r" << r << ": new primary = r" << procs[r]->decision()
+                << "  (decided in round " << procs[r]->decided_round()
+                << ", " << (procs[r]->decision_time() - vote_start).seconds()
+                << " s after the vote began)\n";
+    } else {
+      std::cout << "  r" << r << ": undecided\n";
+    }
+  }
+  g.stop();
+  return 0;
+}

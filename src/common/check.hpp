@@ -1,0 +1,27 @@
+// Precondition checking for chenfd.
+//
+// Following the Core Guidelines (I.5/I.6), public interfaces state their
+// preconditions and check them.  Violations are programming errors, so they
+// throw std::logic_error (std::invalid_argument for bad arguments); expected
+// runtime outcomes (e.g. "QoS cannot be achieved") are represented as values,
+// never as exceptions.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace chenfd {
+
+/// Throws std::invalid_argument with `message` if `condition` is false.
+inline void expects(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Throws std::logic_error with `message` if `condition` is false.  Use for
+/// internal invariants rather than argument validation.
+inline void ensures(bool condition, const std::string& message) {
+  if (!condition) throw std::logic_error(message);
+}
+
+}  // namespace chenfd

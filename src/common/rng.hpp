@@ -1,0 +1,94 @@
+// Deterministic, fast pseudo-random number generation for simulations.
+//
+// All stochastic components in chenfd take an explicit seed so that every
+// experiment is reproducible.  We use xoshiro256++ (Blackman & Vigna), a
+// high-quality, very fast generator well suited to Monte-Carlo simulation,
+// seeded through SplitMix64 as its authors recommend.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace chenfd {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro's 256-bit state.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ pseudo-random generator.  Satisfies the essential parts of
+/// std::uniform_random_bit_generator so it can be used with <random>
+/// distributions as well as with the hand-rolled samplers in chenfd::dist.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xC0FFEE123456789AULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — useful for -log(u) style samplers where
+  /// u == 0 would produce infinity.
+  double uniform01_open_zero() { return 1.0 - uniform01(); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Derive an independent child generator (for giving each component of a
+  /// simulation its own stream).
+  [[nodiscard]] Rng split() {
+    return Rng((*this)() ^ 0x9E3779B97F4A7C15ULL);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace chenfd

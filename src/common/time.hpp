@@ -1,0 +1,145 @@
+// Strong time types for the chenfd library.
+//
+// The paper ("On the Quality of Service of Failure Detectors", Chen, Toueg,
+// Aguilera) works in continuous real time.  We model time as double-precision
+// seconds, wrapped in two distinct strong types so that points on the time
+// axis (TimePoint) and lengths of intervals (Duration) cannot be mixed up:
+//
+//   TimePoint - TimePoint -> Duration
+//   TimePoint + Duration  -> TimePoint
+//   Duration  + Duration  -> Duration
+//
+// All of the paper's symbols map directly: sending times sigma_i and
+// freshness points tau_i are TimePoints; eta, delta, alpha, T_D, T_MR, T_M
+// are Durations.
+
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace chenfd {
+
+/// A length of (simulated) time, in seconds.  May be infinite (e.g. the
+/// detection time of a detector that never converges is T_D = infinity).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(double seconds) : seconds_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return seconds_; }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return std::isinf(seconds_);
+  }
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0.0); }
+  [[nodiscard]] static constexpr Duration infinity() {
+    return Duration(std::numeric_limits<double>::infinity());
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration& operator+=(Duration other) {
+    seconds_ += other.seconds_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    seconds_ -= other.seconds_;
+    return *this;
+  }
+  constexpr Duration& operator*=(double k) {
+    seconds_ *= k;
+    return *this;
+  }
+  constexpr Duration& operator/=(double k) {
+    seconds_ /= k;
+    return *this;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.seconds_ + b.seconds_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.seconds_ - b.seconds_);
+  }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration(a.seconds_ * k);
+  }
+  friend constexpr Duration operator*(double k, Duration a) {
+    return Duration(k * a.seconds_);
+  }
+  friend constexpr Duration operator/(Duration a, double k) {
+    return Duration(a.seconds_ / k);
+  }
+  /// Ratio of two durations (e.g. delta / eta when computing k = ceil(d/e)).
+  friend constexpr double operator/(Duration a, Duration b) {
+    return a.seconds_ / b.seconds_;
+  }
+  friend constexpr Duration operator-(Duration a) {
+    return Duration(-a.seconds_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.seconds_ << "s";
+  }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+/// A point on the (simulated) real-time axis, in seconds since time 0.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(double seconds) : seconds_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return seconds_; }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return std::isinf(seconds_);
+  }
+
+  [[nodiscard]] static constexpr TimePoint zero() { return TimePoint(0.0); }
+  [[nodiscard]] static constexpr TimePoint infinity() {
+    return TimePoint(std::numeric_limits<double>::infinity());
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint& operator+=(Duration d) {
+    seconds_ += d.seconds();
+    return *this;
+  }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint(t.seconds_ + d.seconds());
+  }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) {
+    return t + d;
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint(t.seconds_ - d.seconds());
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration(a.seconds_ - b.seconds_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, TimePoint t) {
+    return os << "t=" << t.seconds_;
+  }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+/// Convenience literal-style helpers.
+[[nodiscard]] constexpr Duration seconds(double s) { return Duration(s); }
+[[nodiscard]] constexpr Duration milliseconds(double ms) {
+  return Duration(ms / 1000.0);
+}
+[[nodiscard]] constexpr Duration minutes(double m) { return Duration(m * 60.0); }
+[[nodiscard]] constexpr Duration hours(double h) { return Duration(h * 3600.0); }
+[[nodiscard]] constexpr Duration days(double d) { return Duration(d * 86400.0); }
+
+}  // namespace chenfd

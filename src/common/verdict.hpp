@@ -1,0 +1,39 @@
+// The output alphabet of a failure detector (Section 2.1 of the paper).
+//
+// The failure detector at q outputs either S ("I suspect that p has
+// crashed") or T ("I trust that p is up").  An S-transition is a change
+// from Trust to Suspect; a T-transition is a change from Suspect to Trust.
+
+#pragma once
+
+#include <ostream>
+
+#include "common/time.hpp"
+
+namespace chenfd {
+
+enum class Verdict {
+  kSuspect,  ///< S: q suspects that p has crashed.
+  kTrust,    ///< T: q trusts that p is up.
+};
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) {
+  return v == Verdict::kSuspect ? "S" : "T";
+}
+
+inline std::ostream& operator<<(std::ostream& os, Verdict v) {
+  return os << to_string(v);
+}
+
+/// A change of the failure detector output at a given instant.  By the
+/// paper's convention the output is right-continuous: at the transition time
+/// itself the output already has the new value `to`.
+struct Transition {
+  TimePoint at;
+  Verdict to;
+
+  friend constexpr bool operator==(const Transition&,
+                                   const Transition&) = default;
+};
+
+}  // namespace chenfd

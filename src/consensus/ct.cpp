@@ -1,0 +1,211 @@
+#include "consensus/ct.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace chenfd::consensus {
+
+CtProcess::CtProcess(sim::Simulator& simulator, Transport& transport,
+                     const group::SuspicionOracle& oracle, ProcessId id,
+                     std::size_t n, std::int64_t proposal, Options options)
+    : sim_(simulator),
+      transport_(transport),
+      oracle_(oracle),
+      id_(id),
+      n_(n),
+      options_(options),
+      estimate_(proposal) {
+  expects(n >= 2, "CtProcess: need at least two processes");
+  expects(id < n, "CtProcess: id out of range");
+  expects(options_.suspicion_poll > Duration::zero(),
+          "CtProcess: suspicion poll period must be positive");
+}
+
+CtProcess::CtProcess(sim::Simulator& simulator, Transport& transport,
+                     const group::SuspicionOracle& oracle, ProcessId id,
+                     std::size_t n, std::int64_t proposal)
+    : CtProcess(simulator, transport, oracle, id, n, proposal, Options{}) {}
+
+std::int64_t CtProcess::decision() const {
+  expects(decision_.has_value(), "CtProcess::decision: not decided yet");
+  return *decision_;
+}
+
+TimePoint CtProcess::decision_time() const {
+  expects(decision_.has_value(), "CtProcess::decision_time: not decided");
+  return decision_time_;
+}
+
+std::uint64_t CtProcess::decided_round() const {
+  expects(decision_.has_value(), "CtProcess::decided_round: not decided");
+  return decided_round_;
+}
+
+void CtProcess::start() {
+  transport_.register_handler(
+      id_, [this](const Message& m, TimePoint at) { on_message(m, at); });
+  poll_timer_ = sim_.after(options_.suspicion_poll,
+                           [this] { poll_suspicion(); });
+  begin_round(1);
+}
+
+void CtProcess::crash() {
+  halted_ = true;
+  if (poll_timer_ != 0) sim_.cancel(poll_timer_);
+}
+
+void CtProcess::begin_round(std::uint64_t round) {
+  if (halted_ || decision_) return;
+  if (options_.max_rounds != 0 && round > options_.max_rounds) {
+    halted_ = true;  // safety valve (liveness experiments with lossy links)
+    return;
+  }
+  round_ = round;
+  awaiting_select_ = true;
+
+  // Phase 1: send the current estimate to this round's coordinator.
+  Message est;
+  est.type = Message::Type::kEstimate;
+  est.from = id_;
+  est.round = round;
+  est.value = estimate_;
+  est.value_ts = estimate_ts_;
+  transport_.send(coordinator_of(round), est);
+
+  // A SELECT for this round may have arrived while we were in an earlier
+  // round (coordinators can run ahead).
+  const auto it = pending_selects_.find(round);
+  if (it != pending_selects_.end()) {
+    const Message buffered = it->second;
+    pending_selects_.erase(it);
+    on_select(buffered);
+  }
+}
+
+void CtProcess::on_message(const Message& m, TimePoint at) {
+  if (halted_) return;
+  switch (m.type) {
+    case Message::Type::kEstimate:
+      coordinator_on_estimate(m);
+      break;
+    case Message::Type::kSelect:
+      if (m.round == round_ && awaiting_select_) {
+        on_select(m);
+      } else if (m.round > round_) {
+        pending_selects_.emplace(m.round, m);
+      }
+      break;
+    case Message::Type::kAck:
+    case Message::Type::kNack:
+      coordinator_on_reply(m);
+      break;
+    case Message::Type::kDecide:
+      if (!decision_) decide(m.value, m.round);
+      break;
+  }
+  (void)at;
+}
+
+void CtProcess::on_select(const Message& m) {
+  // Phase 3, happy path: adopt the coordinator's value and ACK.
+  awaiting_select_ = false;
+  estimate_ = m.value;
+  estimate_ts_ = round_;
+  Message ack;
+  ack.type = Message::Type::kAck;
+  ack.from = id_;
+  ack.round = round_;
+  transport_.send(coordinator_of(round_), ack);
+  begin_round(round_ + 1);
+}
+
+void CtProcess::coordinator_on_estimate(const Message& m) {
+  expects(coordinator_of(m.round) == id_,
+          "CtProcess: received an ESTIMATE addressed to another coordinator");
+  auto& cr = coordinator_rounds_[m.round];
+  if (cr.select_sent) return;
+  cr.estimates.push_back(m);
+  if (cr.estimates.size() < majority()) return;
+
+  // Phase 2: adopt the estimate with the largest timestamp (ties broken by
+  // arrival order) and broadcast the selection.
+  const auto best = std::max_element(
+      cr.estimates.begin(), cr.estimates.end(),
+      [](const Message& a, const Message& b) {
+        return a.value_ts < b.value_ts;
+      });
+  cr.select_sent = true;
+  Message sel;
+  sel.type = Message::Type::kSelect;
+  sel.from = id_;
+  sel.round = m.round;
+  sel.value = best->value;
+  transport_.broadcast(sel);
+}
+
+void CtProcess::coordinator_on_reply(const Message& m) {
+  expects(coordinator_of(m.round) == id_,
+          "CtProcess: received a reply addressed to another coordinator");
+  auto& cr = coordinator_rounds_[m.round];
+  if (cr.done) return;
+  if (m.type == Message::Type::kAck) {
+    ++cr.acks;
+  } else {
+    ++cr.nacks;
+  }
+  if (cr.acks + cr.nacks < majority()) return;
+  cr.done = true;
+  if (cr.nacks == 0) {
+    // Phase 4: a majority adopted (locked) this round's value — decide.
+    const auto best =
+        std::max_element(cr.estimates.begin(), cr.estimates.end(),
+                         [](const Message& a, const Message& b) {
+                           return a.value_ts < b.value_ts;
+                         });
+    Message dec;
+    dec.type = Message::Type::kDecide;
+    dec.from = id_;
+    dec.round = m.round;
+    dec.value = best->value;
+    transport_.broadcast(dec);
+  }
+  // Any NACK among the first majority of replies aborts the round; the
+  // participants have already moved on.
+}
+
+void CtProcess::poll_suspicion() {
+  if (halted_ || decision_) return;
+  poll_timer_ = sim_.after(options_.suspicion_poll,
+                           [this] { poll_suspicion(); });
+  if (!awaiting_select_) return;
+  const ProcessId c = coordinator_of(round_);
+  if (c == id_ || !oracle_.suspects(id_, c)) return;
+
+  // Phase 3, suspicion path: NACK the coordinator and move on.
+  awaiting_select_ = false;
+  ++nacks_sent_;
+  Message nack;
+  nack.type = Message::Type::kNack;
+  nack.from = id_;
+  nack.round = round_;
+  transport_.send(c, nack);
+  begin_round(round_ + 1);
+}
+
+void CtProcess::decide(std::int64_t value, std::uint64_t round) {
+  decision_ = value;
+  decision_time_ = sim_.now();
+  decided_round_ = round;
+  awaiting_select_ = false;
+  if (poll_timer_ != 0) sim_.cancel(poll_timer_);
+  // Reliable broadcast emulation: forward the decision once.
+  Message dec;
+  dec.type = Message::Type::kDecide;
+  dec.from = id_;
+  dec.round = round;
+  dec.value = value;
+  transport_.broadcast(dec);
+}
+
+}  // namespace chenfd::consensus

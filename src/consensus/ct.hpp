@@ -1,0 +1,132 @@
+// Chandra-Toueg rotating-coordinator consensus over an unreliable failure
+// detector — the canonical application the paper's introduction motivates
+// ("failure detectors can be used to solve ... consensus"), and the reason
+// failure detector QoS matters: every false suspicion of a coordinator
+// burns a round, and every crash stalls the protocol for one detection
+// time.
+//
+// The algorithm (Chandra & Toueg, JACM 1996), round r, coordinator
+// c_r = (r-1) mod n:
+//
+//   phase 1  every process sends (ESTIMATE, r, estimate, ts) to c_r;
+//   phase 2  c_r gathers ceil((n+1)/2) estimates, adopts the one with the
+//            largest ts, broadcasts (SELECT, r, v);
+//   phase 3  each process waits until it receives c_r's SELECT — in which
+//            case it adopts v (ts := r) and ACKs — or until its failure
+//            detector suspects c_r — in which case it NACKs; either way it
+//            immediately proceeds to round r+1;
+//   phase 4  c_r gathers ceil((n+1)/2) replies; if all are ACKs it
+//            reliable-broadcasts (DECIDE, v).
+//
+// Suspicion is read from a group::SuspicionOracle (the Group mesh of NFD-S
+// detectors); phase 3 polls it at a configurable period, emulating an
+// application that queries the detector (the paper's query accuracy
+// probability P_A is exactly the probability such a query is not a false
+// suspicion).
+//
+// Guarantees exercised by the tests: validity and (uniform) agreement hold
+// under any detector behaviour and any message loss; termination holds when
+// channels are reliable and the detector eventually stops suspecting some
+// correct coordinator (our NFD-S in steady state suspects rarely).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "consensus/transport.hpp"
+#include "group/group.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::consensus {
+
+class CtProcess {
+ public:
+  struct Options {
+    /// Phase-3 polling period of the suspicion oracle.
+    Duration suspicion_poll = seconds(0.05);
+    /// Safety valve for runaway executions (0 = unlimited).
+    std::uint64_t max_rounds = 0;
+  };
+
+  CtProcess(sim::Simulator& simulator, Transport& transport,
+            const group::SuspicionOracle& oracle, ProcessId id,
+            std::size_t n, std::int64_t proposal, Options options);
+  CtProcess(sim::Simulator& simulator, Transport& transport,
+            const group::SuspicionOracle& oracle, ProcessId id,
+            std::size_t n, std::int64_t proposal);
+
+  /// Registers the transport handler and begins round 1.
+  void start();
+
+  /// Halts the process (its transport endpoint should be crashed too).
+  void crash();
+
+  [[nodiscard]] bool decided() const { return decision_.has_value(); }
+  [[nodiscard]] std::int64_t decision() const;
+  [[nodiscard]] TimePoint decision_time() const;
+  [[nodiscard]] std::uint64_t decided_round() const;
+  [[nodiscard]] std::uint64_t current_round() const { return round_; }
+  [[nodiscard]] std::uint64_t nacks_sent() const { return nacks_sent_; }
+  [[nodiscard]] ProcessId id() const { return id_; }
+
+  [[nodiscard]] std::size_t majority() const { return n_ / 2 + 1; }
+
+ private:
+  struct CoordinatorRound {
+    std::vector<Message> estimates;
+    std::size_t acks = 0;
+    std::size_t nacks = 0;
+    bool select_sent = false;
+    bool done = false;  // decided or aborted
+  };
+
+  [[nodiscard]] ProcessId coordinator_of(std::uint64_t round) const {
+    return static_cast<ProcessId>((round - 1) % n_);
+  }
+
+  void begin_round(std::uint64_t round);
+  void on_message(const Message& m, TimePoint at);
+  void on_select(const Message& m);
+  void coordinator_on_estimate(const Message& m);
+  void coordinator_on_reply(const Message& m);
+  void poll_suspicion();
+  void decide(std::int64_t value, std::uint64_t round);
+
+  sim::Simulator& sim_;
+  Transport& transport_;
+  const group::SuspicionOracle& oracle_;
+  ProcessId id_;
+  std::size_t n_;
+  Options options_;
+
+  std::int64_t estimate_;
+  std::uint64_t estimate_ts_ = 0;
+  std::uint64_t round_ = 0;
+  bool awaiting_select_ = false;
+  bool halted_ = false;
+  std::optional<std::int64_t> decision_;
+  TimePoint decision_time_{};
+  std::uint64_t decided_round_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+
+  std::map<std::uint64_t, CoordinatorRound> coordinator_rounds_;
+  std::map<std::uint64_t, Message> pending_selects_;
+  sim::EventId poll_timer_ = 0;
+};
+
+/// Convenience driver: runs one consensus instance over an existing Group
+/// (its simulator, its suspicion oracle) and a fresh transport.
+struct InstanceResult {
+  bool all_correct_decided = false;
+  std::int64_t decision = 0;
+  bool agreement = true;          ///< all deciders agree
+  bool validity = true;           ///< decision was someone's proposal
+  double latency_seconds = 0.0;   ///< start -> last correct decision
+  std::uint64_t max_round = 0;    ///< largest round any process reached
+  std::uint64_t nacks = 0;        ///< total false-suspicion NACKs
+};
+
+}  // namespace chenfd::consensus

@@ -1,0 +1,70 @@
+#include "consensus/transport.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chenfd::consensus {
+
+const char* to_string(Message::Type t) {
+  switch (t) {
+    case Message::Type::kEstimate:
+      return "ESTIMATE";
+    case Message::Type::kSelect:
+      return "SELECT";
+    case Message::Type::kAck:
+      return "ACK";
+    case Message::Type::kNack:
+      return "NACK";
+    case Message::Type::kDecide:
+      return "DECIDE";
+  }
+  return "?";
+}
+
+Transport::Transport(sim::Simulator& simulator, std::size_t n,
+                     std::unique_ptr<dist::DelayDistribution> delay,
+                     double p_loss, std::uint64_t seed)
+    : sim_(simulator),
+      n_(n),
+      delay_(std::move(delay)),
+      p_loss_(p_loss),
+      rng_(seed),
+      handlers_(n),
+      crashed_(n, false) {
+  expects(n >= 2, "Transport: need at least two processes");
+  expects(delay_ != nullptr, "Transport: delay distribution required");
+  expects(p_loss >= 0.0 && p_loss < 1.0,
+          "Transport: p_loss must be in [0, 1)");
+}
+
+void Transport::register_handler(ProcessId id, Handler handler) {
+  expects(id < n_, "Transport::register_handler: id out of range");
+  handlers_[id] = std::move(handler);
+}
+
+void Transport::send(ProcessId to, const Message& m) {
+  expects(to < n_ && m.from < n_, "Transport::send: id out of range");
+  if (crashed_[m.from]) return;
+  ++sent_;
+  if (p_loss_ > 0.0 && rng_.bernoulli(p_loss_)) {
+    ++dropped_;
+    return;
+  }
+  const Duration d(delay_->sample(rng_));
+  sim_.after(d, [this, to, m] {
+    if (crashed_[to]) return;  // crashed receivers process nothing
+    if (handlers_[to]) handlers_[to](m, sim_.now());
+  });
+}
+
+void Transport::broadcast(const Message& m) {
+  for (ProcessId to = 0; to < n_; ++to) send(to, m);
+}
+
+void Transport::crash(ProcessId id) {
+  expects(id < n_, "Transport::crash: id out of range");
+  crashed_[id] = true;
+}
+
+}  // namespace chenfd::consensus

@@ -1,0 +1,87 @@
+// Point-to-point message transport for the consensus substrate.
+//
+// Chandra-Toueg consensus assumes quasi-reliable channels (every message
+// between correct processes is eventually delivered), which real systems
+// get from TCP.  This transport therefore defaults to lossless delivery
+// with random per-message delays drawn from a DelayDistribution, but can be
+// configured lossy to demonstrate (in tests) that message loss endangers
+// only liveness, never agreement.
+//
+// Crashed processes stop sending; messages already in flight are still
+// delivered (consistent with the crash model of Section 3.1).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "dist/distribution.hpp"
+#include "group/group.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::consensus {
+
+using group::ProcessId;
+
+/// A consensus protocol message (Chandra-Toueg rotating coordinator).
+struct Message {
+  enum class Type : std::uint8_t {
+    kEstimate,  ///< phase 1: participant -> coordinator
+    kSelect,    ///< phase 2: coordinator -> all
+    kAck,       ///< phase 3: participant -> coordinator (got the select)
+    kNack,      ///< phase 3: participant -> coordinator (suspected you)
+    kDecide,    ///< phase 4: reliable-broadcast of the decision
+  };
+
+  Type type = Type::kEstimate;
+  ProcessId from = 0;
+  std::uint64_t round = 0;
+  std::int64_t value = 0;
+  std::uint64_t value_ts = 0;  ///< round in which `value` was last adopted
+};
+
+[[nodiscard]] const char* to_string(Message::Type t);
+
+class Transport {
+ public:
+  using Handler = std::function<void(const Message&, TimePoint)>;
+
+  /// n processes; per-message delays drawn from `delay`; messages dropped
+  /// with probability p_loss (0 for the quasi-reliable default).
+  Transport(sim::Simulator& simulator, std::size_t n,
+            std::unique_ptr<dist::DelayDistribution> delay, double p_loss,
+            std::uint64_t seed);
+
+  /// Registers the delivery callback of process `id`.
+  void register_handler(ProcessId id, Handler handler);
+
+  /// Sends `m` from m.from to `to`.  Self-sends are delivered after the
+  /// same random delay (simplification; harmless for the protocol).
+  void send(ProcessId to, const Message& m);
+
+  /// Sends `m` to every process, including m.from.
+  void broadcast(const Message& m);
+
+  /// After this, `id` sends nothing (its handler also stops firing).
+  void crash(ProcessId id);
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::size_t n_;
+  std::unique_ptr<dist::DelayDistribution> delay_;
+  double p_loss_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> crashed_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace chenfd::consensus

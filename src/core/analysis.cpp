@@ -1,0 +1,188 @@
+#include "core/analysis.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace chenfd::core {
+namespace {
+
+/// ceil(a/b) for positive durations, robust to a/b being a hair above an
+/// integer due to floating point (e.g. delta = 2.5, eta = 1 must give 3,
+/// but delta = 2, eta = 1 must give 2 even if 2/1 evaluates to 2.0000000001).
+int ceil_ratio(Duration a, Duration b) {
+  const double r = a / b;
+  const double eps = 1e-9 * (r > 1.0 ? r : 1.0);
+  return static_cast<int>(std::ceil(r - eps));
+}
+
+/// Composite Simpson's rule on [lo, hi] with n (even) subintervals.
+template <typename F>
+double simpson(F&& f, double lo, double hi, int n) {
+  if (hi <= lo) return 0.0;
+  const double h = (hi - lo) / n;
+  double acc = f(lo) + f(hi);
+  for (int i = 1; i < n; ++i) {
+    acc += f(lo + h * i) * ((i % 2 != 0) ? 4.0 : 2.0);
+  }
+  return acc * h / 3.0;
+}
+
+}  // namespace
+
+NfdSAnalysis::NfdSAnalysis(NfdSParams params, double p_loss,
+                           const dist::DelayDistribution& delay)
+    : params_(params),
+      p_loss_(p_loss),
+      delay_(delay),
+      k_(ceil_ratio(params.delta, params.eta)) {
+  params_.validate();
+  expects(p_loss >= 0.0 && p_loss < 1.0,
+          "NfdSAnalysis: p_loss must be in [0, 1)");
+}
+
+NfdSAnalysis NfdSAnalysis::for_nfd_u(NfdUParams params, double p_loss,
+                                     const dist::DelayDistribution& delay) {
+  params.validate();
+  const Duration delta = Duration(delay.mean()) + params.alpha;
+  return NfdSAnalysis(NfdSParams{params.eta, delta}, p_loss, delay);
+}
+
+double NfdSAnalysis::p_j(int j, double x) const {
+  expects(j >= 0, "NfdSAnalysis::p_j: j must be >= 0");
+  expects(x >= 0.0, "NfdSAnalysis::p_j: x must be >= 0");
+  const double arg =
+      params_.delta.seconds() + x - static_cast<double>(j) *
+                                        params_.eta.seconds();
+  return p_loss_ + (1.0 - p_loss_) * delay_.tail(arg);
+}
+
+double NfdSAnalysis::q0() const {
+  // Prop 3.3 uses the *strict* inequality Pr(D < delta + eta); the
+  // distinction matters for distributions with atoms (e.g. Constant).
+  return (1.0 - p_loss_) *
+         delay_.cdf_strict(params_.delta.seconds() + params_.eta.seconds());
+}
+
+double NfdSAnalysis::u(double x) const {
+  double prod = 1.0;
+  for (int j = 0; j <= k_; ++j) {
+    prod *= p_j(j, x);
+    if (prod == 0.0) break;
+  }
+  return prod;
+}
+
+Duration NfdSAnalysis::e_tmr() const {
+  const double ps = p_s();
+  if (ps <= 0.0) return Duration::infinity();
+  return Duration(params_.eta.seconds() / ps);
+}
+
+Duration NfdSAnalysis::e_tm() const {
+  const double ps = p_s();
+  if (ps <= 0.0) {
+    // Degenerate cases (Section 3.3): p_0 = 0 means q eventually trusts
+    // forever (no mistakes, E(T_M) = 0); q_0 = 0 means q suspects forever.
+    return p0() == 0.0 ? Duration::zero() : Duration::infinity();
+  }
+  return Duration(integral_u() / ps);
+}
+
+double NfdSAnalysis::query_accuracy() const {
+  if (q0() == 0.0 && p0() > 0.0) return 0.0;  // suspects forever
+  return 1.0 - integral_u() / params_.eta.seconds();
+}
+
+qos::Figures NfdSAnalysis::figures() const {
+  qos::Figures f;
+  f.detection_time_bound = detection_time_bound();
+  f.mistake_recurrence_mean = e_tmr();
+  f.mistake_duration_mean = e_tm();
+  return f;
+}
+
+double NfdSAnalysis::detection_time_cdf(double x) const {
+  expects(x >= 0.0, "detection_time_cdf: x must be >= 0");
+  const double eta = params_.eta.seconds();
+  const double delta = params_.delta.seconds();
+  const double q0v = q0();
+  if (q0v <= 0.0) {
+    // Degenerate: q suspects forever, so it is already suspecting at any
+    // crash time: T_D = 0 surely.
+    return 1.0;
+  }
+  // Pr(T_D <= x) = sum_g (1-q0)^g q0 * Pr(A <= x + g eta) with
+  // A = delta + eta (1 - phi) uniform on (delta, delta + eta].
+  const auto a_cdf = [&](double y) {
+    if (y <= delta) return 0.0;
+    if (y >= delta + eta) return 1.0;
+    return (y - delta) / eta;
+  };
+  double acc = 0.0;
+  double weight = q0v;  // (1-q0)^g * q0
+  for (int g = 0; g < 100000; ++g) {
+    const double p = a_cdf(x + static_cast<double>(g) * eta);
+    if (p >= 1.0) {
+      // Every remaining term has Pr(A <= .) = 1; the remaining geometric
+      // mass is sum_{k>=g} (1-q0)^k q0 = (1-q0)^g = weight / q0.
+      acc += weight / q0v;
+      break;
+    }
+    acc += weight * p;
+    weight *= (1.0 - q0v);
+    if (weight < 1e-18) break;
+  }
+  return acc > 1.0 ? 1.0 : acc;
+}
+
+Duration NfdSAnalysis::detection_time_mean() const {
+  const double eta = params_.eta.seconds();
+  const double delta = params_.delta.seconds();
+  const double q0v = q0();
+  if (q0v <= 0.0) return Duration::zero();
+  // E(T_D) = sum_g (1-q0)^g q0 * E[max(0, A - g eta)],
+  // A uniform on (delta, delta + eta].
+  const auto partial_mean = [&](double shift) {
+    // E[max(0, A - shift)] for A ~ U(delta, delta + eta].
+    const double lo = delta - shift;
+    const double hi = delta + eta - shift;
+    if (hi <= 0.0) return 0.0;
+    if (lo >= 0.0) return (lo + hi) / 2.0;
+    // Mixed: positive only on (0, hi], which A hits with prob hi/eta.
+    return hi * hi / (2.0 * eta);
+  };
+  double acc = 0.0;
+  double weight = q0v;
+  for (int g = 0; g < 100000; ++g) {
+    const double m = partial_mean(static_cast<double>(g) * eta);
+    if (m == 0.0) break;  // all later terms are 0 too
+    acc += weight * m;
+    weight *= (1.0 - q0v);
+    if (weight < 1e-18) break;
+  }
+  return Duration(acc);
+}
+
+double NfdSAnalysis::integral_u() const {
+  if (cached_integral_ >= 0.0) return cached_integral_;
+  const double eta = params_.eta.seconds();
+  const double delta = params_.delta.seconds();
+  // The j = k factor's argument delta + x - k*eta crosses 0 at
+  // x* = k*eta - delta, a structural kink of u; integrate each side
+  // separately for accuracy.
+  const double kink = static_cast<double>(k_) * eta - delta;
+  const auto f = [this](double x) { return u(x); };
+  constexpr int kIntervals = 1 << 14;
+  double acc = 0.0;
+  if (kink > 0.0 && kink < eta) {
+    acc = simpson(f, 0.0, kink, kIntervals) +
+          simpson(f, kink, eta, kIntervals);
+  } else {
+    acc = simpson(f, 0.0, eta, 2 * kIntervals);
+  }
+  cached_integral_ = acc;
+  return acc;
+}
+
+}  // namespace chenfd::core

@@ -1,0 +1,126 @@
+// Exact QoS analysis of NFD-S — Proposition 3 and Theorem 5 of the paper.
+//
+// Given the network behaviour (loss probability p_L, delay distribution D)
+// and the algorithm parameters (eta, delta), this module evaluates:
+//
+//   k      = ceil(delta / eta)                                   (Prop 3.1)
+//   p_j(x) = p_L + (1 - p_L) Pr(D > delta + x - j*eta)           (Prop 3.2)
+//   q_0    = (1 - p_L) Pr(D < delta + eta)                       (Prop 3.3)
+//   u(x)   = prod_{j=0}^{k} p_j(x)                               (Prop 3.4)
+//   p_s    = q_0 * u(0)                                          (Prop 3.5)
+//
+//   T_D      <= delta + eta                  (tight)             (Thm 5.1)
+//   E(T_MR)   = eta / p_s                                        (Thm 5.2)
+//   E(T_M)    = Int_0^eta u(x) dx / p_s                          (Thm 5.3)
+//   P_A       = 1 - (1/eta) Int_0^eta u(x) dx                    (Lemma 15)
+//
+// The integral is evaluated numerically (composite Simpson split at the
+// single structural kink x = k*eta - delta where the j = k factor's argument
+// crosses zero).
+//
+// NFD-U's analysis is the same with delta := E(D) + alpha (Section 6.2), so
+// a convenience constructor is provided.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "core/params.hpp"
+#include "dist/distribution.hpp"
+#include "qos/metrics.hpp"
+
+namespace chenfd::core {
+
+class NfdSAnalysis {
+ public:
+  /// p_loss in [0, 1); `delay` must outlive this object.
+  NfdSAnalysis(NfdSParams params, double p_loss,
+               const dist::DelayDistribution& delay);
+
+  /// Equivalent analysis for NFD-U with parameters (eta, alpha): identical
+  /// to NFD-S with delta = E(D) + alpha (Section 6.2).
+  [[nodiscard]] static NfdSAnalysis for_nfd_u(
+      NfdUParams params, double p_loss,
+      const dist::DelayDistribution& delay);
+
+  /// Prop 3.1: number of heartbeats sent before tau_i that can be fresh
+  /// in [tau_i, tau_{i+1}).
+  [[nodiscard]] int k() const { return k_; }
+
+  /// Prop 3.2: probability that m_{i+j} has not been received by tau_i + x.
+  [[nodiscard]] double p_j(int j, double x) const;
+
+  /// p_0 = p_0(0): probability m_i is not received by tau_i.
+  [[nodiscard]] double p0() const { return p_j(0, 0.0); }
+
+  /// Prop 3.3: probability m_{i-1} is received before tau_i.
+  [[nodiscard]] double q0() const;
+
+  /// Prop 3.4: probability q suspects p at tau_i + x, x in [0, eta).
+  [[nodiscard]] double u(double x) const;
+
+  /// Prop 3.5: probability of an S-transition at a freshness point.
+  [[nodiscard]] double p_s() const { return q0() * u(0.0); }
+
+  /// Thm 5.1: tight upper bound on the detection time.
+  [[nodiscard]] Duration detection_time_bound() const {
+    return params_.detection_time_bound();
+  }
+
+  // ---- Detection-time distribution (extension beyond the paper) --------
+  //
+  // The paper bounds T_D (Theorem 5.1); under the same model the full
+  // distribution has a closed form.  Let the crash occur a fraction
+  // phi ~ U[0,1) into a sending period, and call a heartbeat m_j
+  // "effective" if it is not lost and arrives before its own last
+  // freshness point (delay < delta + eta, probability q_0).  The final
+  // S-transition happens at tau_{R+1} for the last effective heartbeat
+  // m_R, so with G ~ Geometric(q_0) trailing ineffective heartbeats:
+  //
+  //     T_D = max(0,  delta + eta (1 - phi) - G eta).
+  //
+  // (T_D = 0 when q was already suspecting at the crash, matching the
+  // paper's convention.)  Validated against crash experiments on the DES
+  // in tests/test_detection_time.cpp.
+
+  /// Pr(T_D <= x) for a crash at a uniformly random phase.
+  [[nodiscard]] double detection_time_cdf(double x) const;
+
+  /// E(T_D) for a crash at a uniformly random phase.
+  [[nodiscard]] Duration detection_time_mean() const;
+
+  /// Pr(T_D = 0): the probability the detector was already suspecting
+  /// when the crash happened.
+  [[nodiscard]] double detection_time_zero_probability() const {
+    return detection_time_cdf(0.0);
+  }
+
+  /// Thm 5.2: average mistake recurrence time (infinite if p_0 = 0 or
+  /// q_0 = 0 — the degenerate always-trust / always-suspect cases).
+  [[nodiscard]] Duration e_tmr() const;
+
+  /// Thm 5.3: average mistake duration (0 if p_0 = 0, infinite if q_0 = 0).
+  [[nodiscard]] Duration e_tm() const;
+
+  /// P_A = 1 - (1/eta) Int_0^eta u(x) dx   (Lemma 15).
+  [[nodiscard]] double query_accuracy() const;
+
+  /// All three headline figures in one struct (for paper-vs-measured
+  /// tables and requirement checks).
+  [[nodiscard]] qos::Figures figures() const;
+
+  [[nodiscard]] const NfdSParams& params() const { return params_; }
+  [[nodiscard]] double p_loss() const { return p_loss_; }
+
+ private:
+  [[nodiscard]] double integral_u() const;  // Int_0^eta u(x) dx, cached
+
+  NfdSParams params_;
+  double p_loss_;
+  const dist::DelayDistribution& delay_;
+  int k_;
+  mutable double cached_integral_ = -1.0;
+};
+
+}  // namespace chenfd::core

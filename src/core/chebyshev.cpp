@@ -1,0 +1,64 @@
+#include "core/chebyshev.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace chenfd::core {
+namespace {
+
+/// Shared body of Theorems 9 and 11 with d = delta - E(D) (Thm 9) or
+/// d = alpha (Thm 11).
+AccuracyBounds bounds_from_slack(Duration eta_d, double d, double p_loss,
+                                 double variance) {
+  const double eta = eta_d.seconds();
+  expects(eta > 0.0, "chebyshev bounds: eta must be positive");
+  expects(d > 0.0, "chebyshev bounds: slack (delta - E(D) or alpha) must be "
+                   "positive");
+  expects(p_loss >= 0.0 && p_loss < 1.0,
+          "chebyshev bounds: p_loss must be in [0, 1)");
+  expects(variance >= 0.0, "chebyshev bounds: variance must be >= 0");
+
+  const int k0 = static_cast<int>(std::ceil(d / eta - 1e-9)) - 1;
+  double beta = 1.0;
+  for (int j = 0; j <= k0; ++j) {
+    const double s = d - static_cast<double>(j) * eta;
+    beta *= (variance + p_loss * s * s) / (variance + s * s);
+  }
+  const double de = d + eta;
+  const double gamma = (1.0 - p_loss) * de * de / (variance + de * de);
+
+  AccuracyBounds out;
+  out.mistake_recurrence_lower =
+      beta > 0.0 ? Duration(eta / beta) : Duration::infinity();
+  out.mistake_duration_upper =
+      gamma > 0.0 ? Duration(eta / gamma) : Duration::infinity();
+  return out;
+}
+
+}  // namespace
+
+double one_sided_tail_bound(double t, double mean, double variance) {
+  expects(variance >= 0.0, "one_sided_tail_bound: variance must be >= 0");
+  if (t <= mean) return 1.0;
+  const double s = t - mean;
+  return variance / (variance + s * s);
+}
+
+AccuracyBounds nfd_s_bounds(NfdSParams params, double p_loss,
+                            double delay_mean, double delay_variance) {
+  params.validate();
+  expects(params.delta.seconds() > delay_mean,
+          "nfd_s_bounds (Theorem 9): requires delta > E(D)");
+  return bounds_from_slack(params.eta, params.delta.seconds() - delay_mean,
+                           p_loss, delay_variance);
+}
+
+AccuracyBounds nfd_u_bounds(NfdUParams params, double p_loss,
+                            double delay_variance) {
+  params.validate();
+  return bounds_from_slack(params.eta, params.alpha.seconds(), p_loss,
+                           delay_variance);
+}
+
+}  // namespace chenfd::core

@@ -1,0 +1,48 @@
+// Distribution-free QoS bounds — Section 5 of the paper.
+//
+// When only p_L, E(D) and V(D) are known, the one-sided Chebyshev
+// inequality (Eq. 5.1)
+//
+//     Pr(D > t) <= V(D) / (V(D) + (t - E(D))^2),   t > E(D)
+//
+// turns the exact Theorem 5 formulas into guaranteed bounds:
+//
+//   Theorem 9 (NFD-S, delta > E(D)):
+//     E(T_MR) >= eta / beta,   E(T_M) <= eta / gamma,
+//     beta  = prod_{j=0}^{k0} [V + p_L (d - j eta)^2] / [V + (d - j eta)^2],
+//     d = delta - E(D),   k0 = ceil(d / eta) - 1,
+//     gamma = (1 - p_L)(d + eta)^2 / (V + (d + eta)^2).
+//
+//   Theorem 11 (NFD-U, alpha > 0): identical with d = alpha — note that
+//     E(D) drops out entirely, which is what makes the Section 6
+//     configuration possible without synchronized clocks.
+
+#pragma once
+
+#include "common/time.hpp"
+#include "core/params.hpp"
+#include "qos/metrics.hpp"
+
+namespace chenfd::core {
+
+/// Eq. (5.1).  Returns 1 for t <= E(D) (the inequality gives no information
+/// there, and 1 is the trivially valid bound).
+[[nodiscard]] double one_sided_tail_bound(double t, double mean,
+                                          double variance);
+
+/// Guaranteed accuracy bounds derived from p_L, E(D), V(D) only.
+struct AccuracyBounds {
+  Duration mistake_recurrence_lower;  ///< E(T_MR) >= this
+  Duration mistake_duration_upper;    ///< E(T_M)  <= this
+};
+
+/// Theorem 9.  Requires params.delta > E(D).
+[[nodiscard]] AccuracyBounds nfd_s_bounds(NfdSParams params, double p_loss,
+                                          double delay_mean,
+                                          double delay_variance);
+
+/// Theorem 11.  Requires params.alpha > 0; E(D) is not needed.
+[[nodiscard]] AccuracyBounds nfd_u_bounds(NfdUParams params, double p_loss,
+                                          double delay_variance);
+
+}  // namespace chenfd::core

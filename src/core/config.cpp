@@ -1,0 +1,256 @@
+#include "core/config.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "common/check.hpp"
+
+namespace chenfd::core {
+namespace {
+
+// All procedures must output delta > 0 (NFD-S) or alpha > 0 (NFD-U), so the
+// search for eta stays strictly below T_D^U (resp. T_D^U - E(D), T_D^u) by
+// this relative margin.
+constexpr double kStrictMargin = 1.0 - 1e-9;
+
+// The procedures maximize eta subject to f(eta) >= T_MR^L and
+// eta <= eta_max, both of which the QoS verification re-derives through a
+// slightly different arithmetic path (Theorem 5's u(0)/q_0 vs Eq. 4.5's
+// product).  Landing exactly on a boundary would leave the outcome to
+// floating-point round-off, so both the target and eta_max get a one-ppb
+// safety margin — far below any physical significance.
+constexpr double kTargetMargin = 1.0 + 1e-6;
+
+// Shave applied to delta = T_D^U - eta (and alpha = T_D^u - eta) so the
+// reconstructed sum eta + delta stays at or below the requirement despite
+// floating-point rounding; 1e-12 relative dwarfs the ULP of the sum while
+// staying far inside the 1e-6 target margin above.
+constexpr double kSumShave = 1.0 - 1e-12;
+
+/// "Find the largest eta <= eta_max such that f(eta) >= target" (Step 2 of
+/// every configuration procedure).  f is not monotone — it is roughly
+/// piecewise increasing in eta with steep upward jumps as eta decreases
+/// past T/j boundaries (where the ceil() in the product picks up another
+/// factor) — but it grows exponentially as eta -> 0 (Appendix D), so the
+/// passing set is non-empty and reaches down to 0.  We scan a fine grid
+/// downward from eta_max for the first passing point, extend the scan
+/// geometrically if the grid never passes, then tighten the bracket
+/// [passing, failing] by bisection that maintains "lo passes".  The value
+/// returned always satisfies f(eta) >= target; it is within grid+bisection
+/// tolerance of the largest such eta.
+std::optional<double> find_largest_eta(
+    const std::function<double(double)>& f, double eta_max, double target) {
+  expects(eta_max > 0.0, "find_largest_eta: eta_max must be positive");
+  if (f(eta_max) >= target) return eta_max;
+
+  constexpr int kGridPoints = 20000;
+  double lo = 0.0;   // a passing eta (to be found)
+  double hi = eta_max;  // a failing eta
+  bool found = false;
+  for (int i = 1; i <= kGridPoints; ++i) {
+    const double eta = eta_max *
+                       (1.0 - static_cast<double>(i) / (kGridPoints + 1));
+    if (f(eta) >= target) {
+      lo = eta;
+      found = true;
+      break;
+    }
+    hi = eta;
+  }
+  if (!found) {
+    // Continue geometrically below the grid (very demanding requirements).
+    double eta = eta_max / (kGridPoints + 1);
+    for (int m = 0; m < 2000; ++m) {
+      if (f(eta) >= target) {
+        lo = eta;
+        found = true;
+        break;
+      }
+      hi = eta;
+      eta /= 2.0;
+      if (eta <= 0.0) break;
+    }
+  }
+  if (!found) return std::nullopt;
+
+  for (int it = 0; it < 200 && (hi - lo) > 1e-12 * eta_max; ++it) {
+    const double mid = (lo + hi) / 2.0;
+    if (f(mid) >= target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+ConfigOutcome<NfdSParams> configure_exact(const qos::Requirements& req,
+                                          double p_loss,
+                                          const dist::DelayDistribution& delay) {
+  expects(req.valid(), "configure_exact: invalid QoS requirements");
+  expects(p_loss >= 0.0 && p_loss <= 1.0,
+          "configure_exact: p_loss must be in [0, 1]");
+
+  const double t_du = req.detection_time_upper.seconds();
+  const double t_mu = req.mistake_duration_upper.seconds();
+  const double t_mrl = req.mistake_recurrence_lower.seconds();
+
+  // Step 1: q0' = (1 - p_L) Pr(D < T_D^U); eta_max = q0' * T_M^U.
+  const double q0p = (1.0 - p_loss) * delay.cdf_strict(t_du);
+  if (q0p * t_mu <= 0.0) {
+    return {std::nullopt,
+            "QoS cannot be achieved: no message is ever received within "
+            "T_D^U of being sent (q0' = 0), so any detector meeting the "
+            "detection bound suspects forever (Theorem 7 case 2)"};
+  }
+  // delta = T_D^U - eta must stay positive, so cap eta strictly below T_D^U.
+  const double eta_max =
+      std::min(q0p * t_mu * (2.0 - kTargetMargin), t_du * kStrictMargin);
+
+  // Step 2: f(eta) = eta / (q0' * prod_{j=1}^{ceil(T/eta)-1} p_j) with
+  // p_j = p_L + (1 - p_L) Pr(D > T_D^U - j*eta)   (Eq. 4.5).
+  const auto f = [&](double eta) {
+    const int terms = static_cast<int>(std::ceil(t_du / eta - 1e-9)) - 1;
+    double denom = q0p;
+    for (int j = 1; j <= terms; ++j) {
+      denom *= p_loss + (1.0 - p_loss) *
+                            delay.tail(t_du - static_cast<double>(j) * eta);
+      if (denom == 0.0) break;
+    }
+    return denom > 0.0 ? eta / denom
+                       : std::numeric_limits<double>::infinity();
+  };
+
+  const auto eta = find_largest_eta(f, eta_max, t_mrl * kTargetMargin);
+  if (!eta) {
+    return {std::nullopt,
+            "numerical search failed to find eta (requirements exceed "
+            "double-precision range)"};
+  }
+  // Step 3.  delta is shaved by the same one-ppb margin so that the
+  // reconstructed bound eta + delta stays at or below T_D^U despite
+  // floating-point rounding of the sum.
+  return {NfdSParams{Duration(*eta), Duration((t_du - *eta) * kSumShave)},
+          {}};
+}
+
+Duration max_eta_bound(const qos::Requirements& req, double p_loss,
+                       const dist::DelayDistribution& delay) {
+  expects(req.valid(), "max_eta_bound: invalid QoS requirements");
+  const double t_du = req.detection_time_upper.seconds();
+  const double q0p = (1.0 - p_loss) * delay.cdf_strict(t_du);
+  const double eta_max = q0p * req.mistake_duration_upper.seconds();
+  const double denom = p_loss + (1.0 - p_loss) * delay.tail(t_du);
+  if (denom <= 0.0) return Duration::infinity();
+  return Duration(eta_max / denom);
+}
+
+ConfigOutcome<NfdSParams> configure_from_moments(const qos::Requirements& req,
+                                                 double p_loss,
+                                                 double delay_mean,
+                                                 double delay_variance) {
+  expects(req.valid(), "configure_from_moments: invalid QoS requirements");
+  expects(p_loss >= 0.0 && p_loss <= 1.0,
+          "configure_from_moments: p_loss must be in [0, 1]");
+  expects(delay_mean >= 0.0,
+          "configure_from_moments: delay mean must be >= 0");
+  expects(delay_variance >= 0.0,
+          "configure_from_moments: delay variance must be >= 0");
+  expects(req.detection_time_upper.seconds() > delay_mean,
+          "configure_from_moments (Theorem 10): requires T_D^U > E(D)");
+
+  const double t = req.detection_time_upper.seconds() - delay_mean;
+  const double t_mu = req.mistake_duration_upper.seconds();
+  const double t_mrl = req.mistake_recurrence_lower.seconds();
+  const double v = delay_variance;
+
+  // Step 1: gamma' and eta_max.
+  const double gamma_p = (1.0 - p_loss) * t * t / (v + t * t);
+  const double eta_max_raw = std::min(gamma_p * t_mu, t);
+  if (eta_max_raw <= 0.0) {
+    return {std::nullopt,
+            "QoS cannot be achieved: gamma' * T_M^U = 0 (Theorem 10 case 2)"};
+  }
+  // delta = T_D^U - eta must stay strictly above E(D) (Theorem 9 needs
+  // delta > E(D)), so cap eta strictly below T_D^U - E(D).
+  const double eta_max =
+      std::min(eta_max_raw * (2.0 - kTargetMargin), t * kStrictMargin);
+
+  // Step 2: f(eta) = eta * prod_{j} [V + (t - j eta)^2]/[V + pL (t - j eta)^2]
+  // (Eq. 5.2).
+  const auto f = [&](double eta) {
+    const int terms = static_cast<int>(std::ceil(t / eta - 1e-9)) - 1;
+    double prod = eta;
+    for (int j = 1; j <= terms; ++j) {
+      const double s = t - static_cast<double>(j) * eta;
+      prod *= (v + s * s) / (v + p_loss * s * s);
+      if (std::isinf(prod)) break;
+    }
+    return prod;
+  };
+
+  const auto eta = find_largest_eta(f, eta_max, t_mrl * kTargetMargin);
+  if (!eta) {
+    return {std::nullopt,
+            "numerical search failed to find eta (requirements exceed "
+            "double-precision range)"};
+  }
+  return {NfdSParams{Duration(*eta),
+                     Duration((req.detection_time_upper.seconds() - *eta) *
+                              kSumShave)},
+          {}};
+}
+
+ConfigOutcome<NfdUParams> configure_nfd_u(const RelativeRequirements& req,
+                                          double p_loss,
+                                          double delay_variance) {
+  expects(req.valid(), "configure_nfd_u: invalid QoS requirements");
+  expects(p_loss >= 0.0 && p_loss <= 1.0,
+          "configure_nfd_u: p_loss must be in [0, 1]");
+  expects(delay_variance >= 0.0,
+          "configure_nfd_u: delay variance must be >= 0");
+
+  const double t = req.detection_time_upper_rel.seconds();
+  const double t_mu = req.mistake_duration_upper.seconds();
+  const double t_mrl = req.mistake_recurrence_lower.seconds();
+  const double v = delay_variance;
+
+  // Step 1 (Section 6.2): gamma' = (1-pL)(T_D^u)^2 / (V + (T_D^u)^2).
+  const double gamma_p = (1.0 - p_loss) * t * t / (v + t * t);
+  const double eta_max_raw = std::min(gamma_p * t_mu, t);
+  if (eta_max_raw <= 0.0) {
+    return {std::nullopt,
+            "QoS cannot be achieved: gamma' * T_M^U = 0 (Theorem 12 case 2)"};
+  }
+  // alpha = T_D^u - eta must stay positive.
+  const double eta_max =
+      std::min(eta_max_raw * (2.0 - kTargetMargin), t * kStrictMargin);
+
+  // Step 2 (Eq. 6.2).
+  const auto f = [&](double eta) {
+    const int terms = static_cast<int>(std::ceil(t / eta - 1e-9)) - 1;
+    double prod = eta;
+    for (int j = 1; j <= terms; ++j) {
+      const double s = t - static_cast<double>(j) * eta;
+      prod *= (v + s * s) / (v + p_loss * s * s);
+      if (std::isinf(prod)) break;
+    }
+    return prod;
+  };
+
+  const auto eta = find_largest_eta(f, eta_max, t_mrl * kTargetMargin);
+  if (!eta) {
+    return {std::nullopt,
+            "numerical search failed to find eta (requirements exceed "
+            "double-precision range)"};
+  }
+  return {NfdUParams{Duration(*eta),
+                     Duration(
+                         (req.detection_time_upper_rel.seconds() - *eta) *
+                         kSumShave)},
+          {}};
+}
+
+}  // namespace chenfd::core

@@ -1,0 +1,81 @@
+// Configuration procedures: computing failure detector parameters that meet
+// a set of QoS requirements (Sections 4, 5 and 6 of the paper).
+//
+// Three procedures, in decreasing order of knowledge about the system:
+//
+//   configure_exact        (Section 4, Theorem 7)  — knows p_L and the full
+//     delay distribution Pr(D <= x); synchronized clocks; outputs NFD-S
+//     parameters (eta, delta).
+//   configure_from_moments (Section 5, Theorem 10) — knows only p_L, E(D),
+//     V(D); synchronized clocks; outputs NFD-S parameters.
+//   configure_nfd_u        (Section 6, Theorem 12) — knows only p_L, V(D);
+//     unsynchronized drift-free clocks; detection bound is *relative*
+//     (T_D <= T_D^u + E(D)); outputs NFD-U/NFD-E parameters (eta, alpha).
+//
+// Each procedure either returns parameters that provably satisfy the
+// requirements, or reports that *no* failure detector can achieve them
+// (Theorems 7/10/12 part 2).  All of them maximize the heartbeat interval
+// eta (to minimize network cost) subject to the requirements, up to the
+// numerical search tolerance.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/time.hpp"
+#include "core/params.hpp"
+#include "dist/distribution.hpp"
+#include "qos/metrics.hpp"
+
+namespace chenfd::core {
+
+/// Result of a configuration procedure: either parameters, or a reason why
+/// the QoS is unachievable.  "Unachievable" is an expected outcome, not an
+/// error, hence a value rather than an exception.
+template <typename Params>
+struct ConfigOutcome {
+  std::optional<Params> params;
+  std::string reason;  ///< set when !params
+
+  [[nodiscard]] bool achievable() const { return params.has_value(); }
+};
+
+/// Section 4: known probabilistic behaviour.  Requires req.valid().
+[[nodiscard]] ConfigOutcome<NfdSParams> configure_exact(
+    const qos::Requirements& req, double p_loss,
+    const dist::DelayDistribution& delay);
+
+/// Proposition 8: a distribution-independent upper bound on the largest eta
+/// any NFD-S configuration could use while meeting `req` — used to judge
+/// how close configure_exact's eta is to optimal.
+[[nodiscard]] Duration max_eta_bound(const qos::Requirements& req,
+                                     double p_loss,
+                                     const dist::DelayDistribution& delay);
+
+/// Section 5: unknown distribution, known p_L, E(D), V(D).  Requires
+/// req.detection_time_upper > E(D) (Theorem 10's hypothesis).
+[[nodiscard]] ConfigOutcome<NfdSParams> configure_from_moments(
+    const qos::Requirements& req, double p_loss, double delay_mean,
+    double delay_variance);
+
+/// QoS requirements for unsynchronized clocks (Section 6, Eq. 6.1): the
+/// detection bound is relative to the unknown E(D):
+///   T_D <= detection_time_upper_rel + E(D).
+struct RelativeRequirements {
+  Duration detection_time_upper_rel;   ///< T_D^u
+  Duration mistake_recurrence_lower;   ///< T_MR^L
+  Duration mistake_duration_upper;     ///< T_M^U
+
+  [[nodiscard]] bool valid() const {
+    return detection_time_upper_rel > Duration::zero() &&
+           mistake_recurrence_lower > Duration::zero() &&
+           mistake_duration_upper > Duration::zero();
+  }
+};
+
+/// Section 6: unsynchronized drift-free clocks, known p_L and V(D) only.
+[[nodiscard]] ConfigOutcome<NfdUParams> configure_nfd_u(
+    const RelativeRequirements& req, double p_loss, double delay_variance);
+
+}  // namespace chenfd::core

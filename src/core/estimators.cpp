@@ -1,0 +1,78 @@
+#include "core/estimators.hpp"
+
+#include <algorithm>
+
+namespace chenfd::core {
+
+NetworkEstimator::NetworkEstimator(std::size_t window) : window_(window) {
+  expects(window >= 2, "NetworkEstimator: window must be >= 2");
+}
+
+void NetworkEstimator::on_heartbeat(net::SeqNo seq,
+                                    TimePoint sender_timestamp,
+                                    TimePoint recv_local) {
+  const double delay = (recv_local - sender_timestamp).seconds();
+  // Admit in sequence order; duplicates and messages older than the newest
+  // in the window are dropped (they would distort the loss count, and a
+  // sliding window keyed by the newest seq keeps the "slots" denominator
+  // well defined).
+  if (!obs_.empty() && seq <= obs_.back().seq) return;
+  obs_.push_back(Obs{seq, delay});
+  sum_ += delay;
+  sum_sq_ += delay * delay;
+  if (seq > highest_seq_) highest_seq_ = seq;
+  while (obs_.size() > window_) {
+    sum_ -= obs_.front().delay;
+    sum_sq_ -= obs_.front().delay * obs_.front().delay;
+    obs_.pop_front();
+  }
+}
+
+double NetworkEstimator::loss_probability() const {
+  if (obs_.size() < 2) return 0.0;
+  const double received = static_cast<double>(obs_.size());
+  const double slots =
+      static_cast<double>(obs_.back().seq - obs_.front().seq + 1);
+  return std::max(0.0, 1.0 - received / slots);
+}
+
+double NetworkEstimator::delay_mean() const {
+  if (obs_.empty()) return 0.0;
+  return sum_ / static_cast<double>(obs_.size());
+}
+
+double NetworkEstimator::delay_variance() const {
+  if (obs_.size() < 2) return 0.0;
+  const double n = static_cast<double>(obs_.size());
+  const double mean = sum_ / n;
+  // Population variance; guard tiny negative values from cancellation.
+  return std::max(0.0, sum_sq_ / n - mean * mean);
+}
+
+TwoComponentEstimator::TwoComponentEstimator(std::size_t short_window,
+                                             std::size_t long_window)
+    : short_(short_window), long_(long_window) {
+  expects(short_window < long_window,
+          "TwoComponentEstimator: short window must be shorter than long");
+}
+
+void TwoComponentEstimator::on_heartbeat(net::SeqNo seq,
+                                         TimePoint sender_timestamp,
+                                         TimePoint recv_local) {
+  short_.on_heartbeat(seq, sender_timestamp, recv_local);
+  long_.on_heartbeat(seq, sender_timestamp, recv_local);
+}
+
+double TwoComponentEstimator::loss_probability() const {
+  return std::max(short_.loss_probability(), long_.loss_probability());
+}
+
+double TwoComponentEstimator::delay_mean() const {
+  return std::max(short_.delay_mean(), long_.delay_mean());
+}
+
+double TwoComponentEstimator::delay_variance() const {
+  return std::max(short_.delay_variance(), long_.delay_variance());
+}
+
+}  // namespace chenfd::core

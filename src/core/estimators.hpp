@@ -1,0 +1,89 @@
+// Estimating the probabilistic behaviour of the network from the heartbeat
+// stream itself (Sections 5.2, 6.2.2 and 8.1.2 of the paper).
+//
+// - p_L: count "missing" heartbeats via sequence-number gaps and divide by
+//   the number of slots observed.
+// - E(D), V(D): sample mean / variance of (arrival time - sender
+//   timestamp).  With synchronized clocks this difference is the true
+//   delay; with unsynchronized drift-free clocks it is the delay plus a
+//   *constant* skew, so its variance still estimates V(D) exactly
+//   (Section 6.2.2) while the mean estimates E(D) + skew.
+// - Two-component estimation (Section 8.1.2): a short-window component that
+//   reacts quickly to bursts combined with a long-window component that is
+//   insensitive to momentary fluctuations, merged by taking the most
+//   conservative (largest) value of each quantity.
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+#include "net/message.hpp"
+
+namespace chenfd::core {
+
+/// Sliding-window estimator of p_L, E(D) and V(D) over the most recent
+/// `window` received heartbeats.
+class NetworkEstimator {
+ public:
+  explicit NetworkEstimator(std::size_t window);
+
+  /// Records the receipt of heartbeat `seq`, stamped `sender_timestamp` by
+  /// p's clock and received at `recv_local` on q's clock.
+  void on_heartbeat(net::SeqNo seq, TimePoint sender_timestamp,
+                    TimePoint recv_local);
+
+  /// Number of received heartbeats currently in the window.
+  [[nodiscard]] std::size_t samples() const { return obs_.size(); }
+  [[nodiscard]] net::SeqNo highest_seq() const { return highest_seq_; }
+
+  /// Estimated loss probability: 1 - received / slots, where slots is the
+  /// sequence-number span covered by the window.  NaN-free: returns 0 until
+  /// two heartbeats have been seen.
+  [[nodiscard]] double loss_probability() const;
+
+  /// Mean of (arrival - sender timestamp) over the window.  Equals E(D)
+  /// under synchronized clocks, E(D) + skew otherwise.
+  [[nodiscard]] double delay_mean() const;
+
+  /// Variance of (arrival - sender timestamp) over the window — a valid
+  /// estimate of V(D) regardless of clock skew.
+  [[nodiscard]] double delay_variance() const;
+
+ private:
+  struct Obs {
+    net::SeqNo seq;
+    double delay;  // arrival - sender timestamp, seconds
+  };
+
+  std::size_t window_;
+  std::deque<Obs> obs_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  net::SeqNo highest_seq_ = 0;
+};
+
+/// Section 8.1.2: short-term + long-term components combined by taking the
+/// most conservative estimate of each quantity.
+class TwoComponentEstimator {
+ public:
+  TwoComponentEstimator(std::size_t short_window, std::size_t long_window);
+
+  void on_heartbeat(net::SeqNo seq, TimePoint sender_timestamp,
+                    TimePoint recv_local);
+
+  [[nodiscard]] double loss_probability() const;
+  [[nodiscard]] double delay_mean() const;
+  [[nodiscard]] double delay_variance() const;
+
+  [[nodiscard]] const NetworkEstimator& short_term() const { return short_; }
+  [[nodiscard]] const NetworkEstimator& long_term() const { return long_; }
+
+ private:
+  NetworkEstimator short_;
+  NetworkEstimator long_;
+};
+
+}  // namespace chenfd::core

@@ -1,0 +1,89 @@
+#include "core/experiments.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "net/loss_model.hpp"
+#include "qos/replay.hpp"
+
+namespace chenfd::core {
+namespace {
+
+Testbed::Config make_config(const NetworkModel& model, Duration eta,
+                            Duration p_off, Duration q_off, double dup,
+                            std::uint64_t seed) {
+  Testbed::Config cfg;
+  cfg.delay = model.delay.clone();
+  cfg.loss = std::make_unique<net::BernoulliLoss>(model.p_loss);
+  cfg.eta = eta;
+  cfg.p_clock_offset = p_off;
+  cfg.q_clock_offset = q_off;
+  cfg.duplication_probability = dup;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+qos::Recorder run_accuracy(const DetectorFactory& factory,
+                           const NetworkModel& model,
+                           const AccuracyExperiment& exp) {
+  Testbed tb(make_config(model, exp.eta, exp.p_clock_offset,
+                         exp.q_clock_offset, exp.duplication_probability,
+                         exp.seed));
+  auto detector = factory(tb);
+  tb.attach(*detector);
+
+  std::vector<Transition> transitions;
+  detector->add_listener(
+      [&transitions](const Transition& t) { transitions.push_back(t); });
+
+  tb.start();
+  const TimePoint start = TimePoint::zero() + exp.warmup;
+  const TimePoint end = start + exp.duration;
+  tb.simulator().run_until(end);
+  return qos::replay(transitions, start, end);
+}
+
+stats::SampleSet measure_detection_times(const DetectorFactory& factory,
+                                         const NetworkModel& model,
+                                         const DetectionExperiment& exp) {
+  stats::SampleSet samples(exp.runs);
+  Rng crash_rng(exp.seed ^ 0xD5A7EC7104A11DEDULL);
+  for (std::size_t r = 0; r < exp.runs; ++r) {
+    Testbed tb(make_config(model, exp.eta, Duration::zero(), Duration::zero(),
+                           0.0, exp.seed + 1 + r));
+    auto detector = factory(tb);
+    tb.attach(*detector);
+
+    std::vector<Transition> transitions;
+    detector->add_listener(
+        [&transitions](const Transition& t) { transitions.push_back(t); });
+
+    // Crash at a uniformly random point within one heartbeat period after
+    // warm-up (the bound of Theorem 5.1 is tight as the crash time
+    // approaches a sending time, so the position within the period is the
+    // quantity to randomize).
+    const TimePoint t_crash =
+        TimePoint::zero() + exp.warmup + exp.eta * crash_rng.uniform01();
+    tb.crash_p_at(t_crash);
+    tb.start();
+    tb.simulator().run_until(t_crash + exp.settle);
+
+    // T_D: time from the crash to the final S-transition; 0 if that final
+    // S-transition precedes the crash (or if q never trusted at all);
+    // +infinity if the run ends trusting.
+    double t_d;
+    if (transitions.empty()) {
+      t_d = 0.0;  // q suspected from the start and forever
+    } else if (transitions.back().to == Verdict::kTrust) {
+      t_d = std::numeric_limits<double>::infinity();
+    } else {
+      t_d = std::max(0.0, (transitions.back().at - t_crash).seconds());
+    }
+    samples.add(t_d);
+  }
+  return samples;
+}
+
+}  // namespace chenfd::core

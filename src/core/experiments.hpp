@@ -1,0 +1,70 @@
+// Discrete-event experiment drivers: accuracy measurement over a window and
+// crash/detection-time experiments, built on the Testbed.
+//
+// These complement the fast Monte-Carlo engines in fast_sim.hpp: the DES
+// drivers run any FailureDetector unmodified (including the adaptive
+// service), support unsynchronized clocks and bursty loss, and are the
+// reference implementation the fast engines are validated against.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "core/testbed.hpp"
+#include "dist/distribution.hpp"
+#include "qos/recorder.hpp"
+#include "stats/sample_set.hpp"
+
+namespace chenfd::core {
+
+/// Builds the detector under test inside a fresh Testbed.  Called once per
+/// run; the detector is attached and activated by the driver.
+using DetectorFactory =
+    std::function<std::unique_ptr<FailureDetector>(Testbed&)>;
+
+/// The paper's probabilistic network (Section 3.1): i.i.d. Bernoulli loss
+/// plus an arbitrary delay distribution.
+struct NetworkModel {
+  double p_loss = 0.01;
+  const dist::DelayDistribution& delay;
+};
+
+struct AccuracyExperiment {
+  Duration eta = seconds(1.0);
+  Duration warmup = seconds(100.0);    ///< discarded before measuring
+  Duration duration = seconds(10000.0);
+  Duration p_clock_offset = Duration::zero();
+  Duration q_clock_offset = Duration::zero();
+  double duplication_probability = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Runs a failure-free run and measures the Section 2 accuracy metrics over
+/// [warmup, warmup + duration].
+[[nodiscard]] qos::Recorder run_accuracy(const DetectorFactory& factory,
+                                         const NetworkModel& model,
+                                         const AccuracyExperiment& exp);
+
+struct DetectionExperiment {
+  Duration eta = seconds(1.0);
+  std::size_t runs = 1000;
+  Duration warmup = seconds(50.0);  ///< crash happens in [warmup, warmup+eta)
+  /// How long past the crash to keep simulating before declaring the last
+  /// S-transition final.  Must exceed the detector's detection bound plus
+  /// the longest plausible in-flight delay.
+  Duration settle = seconds(100.0);
+  std::uint64_t seed = 42;
+};
+
+/// Repeatedly crashes p at a uniformly random point of a heartbeat period
+/// and measures the detection time T_D (Section 2.2): the time from the
+/// crash to the final S-transition.  Runs that end trusting (no detection
+/// within `settle`) contribute +infinity samples.
+[[nodiscard]] stats::SampleSet measure_detection_times(
+    const DetectorFactory& factory, const NetworkModel& model,
+    const DetectionExperiment& exp);
+
+}  // namespace chenfd::core

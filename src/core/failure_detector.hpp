@@ -1,0 +1,61 @@
+// The failure detector abstraction (Section 2.1 of the paper).
+//
+// A failure detector at q monitors p and outputs Suspect or Trust at every
+// instant.  Concrete detectors (NFD-S, NFD-U, NFD-E, SFD) are event-driven
+// components living inside a sim::Simulator: they react to heartbeat
+// deliveries and to timers they schedule themselves.  Observers (the QoS
+// recorder, applications) subscribe to output transitions; per the paper's
+// convention the output is right-continuous, i.e. at the transition instant
+// the output already has its new value.
+
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/verdict.hpp"
+#include "net/message.hpp"
+
+namespace chenfd::core {
+
+class FailureDetector {
+ public:
+  using TransitionListener = std::function<void(const Transition&)>;
+
+  virtual ~FailureDetector() = default;
+
+  /// Current output.  Detectors start suspecting (as in Fig. 6 line 2).
+  [[nodiscard]] Verdict output() const { return output_; }
+
+  /// Called once, at simulation time 0, before any heartbeat flows —
+  /// detectors that drive themselves off a fixed schedule (NFD-S and its
+  /// freshness points) arm their first timer here.  Default: nothing.
+  virtual void activate() {}
+
+  /// Delivery hook: heartbeat `m` received at real time `real_now`.
+  /// Implementations read their own local clock to timestamp the arrival.
+  virtual void on_heartbeat(const net::Message& m, TimePoint real_now) = 0;
+
+  /// Subscribes to output transitions.  Multiple listeners are supported;
+  /// they are invoked in subscription order.
+  void add_listener(TransitionListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+ protected:
+  /// Sets the output at time `at`, notifying listeners iff it changed.
+  void set_output(TimePoint at, Verdict v) {
+    if (v == output_) return;
+    output_ = v;
+    const Transition t{at, v};
+    for (const auto& l : listeners_) l(t);
+  }
+
+ private:
+  Verdict output_ = Verdict::kSuspect;
+  std::vector<TransitionListener> listeners_;
+};
+
+}  // namespace chenfd::core

@@ -1,0 +1,367 @@
+#include "core/fast_sim.hpp"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace chenfd::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Shared transition bookkeeping: turns an alternating S/T transition
+/// stream (plus a measurement window) into an AccuracyResult.  Callers
+/// invoke on_suspect / on_trust only on genuine transitions.
+class Tally {
+ public:
+  explicit Tally(const StopCriteria& stop) : stop_(stop) {}
+
+  void begin(double t) {
+    begun_ = true;
+    window_start_ = t;
+    last_change_ = t;
+  }
+  [[nodiscard]] bool begun() const { return begun_; }
+
+  /// Records an S-transition at t.  Returns true when the run's mistake
+  /// target is reached (the caller should end the window exactly here).
+  bool on_suspect(double t) {
+    if (!begun_) return false;
+    trust_seconds_ += t - last_change_;  // the interval just ended was Trust
+    last_change_ = t;
+    if (last_s_) res_.mistake_recurrence.add(t - *last_s_);
+    if (last_t_) res_.good_period.add(t - *last_t_);
+    last_s_ = t;
+    ++res_.s_transitions;
+    return res_.s_transitions >= stop_.target_s_transitions;
+  }
+
+  void on_trust(double t) {
+    if (!begun_) return;
+    last_change_ = t;  // the interval just ended was Suspect: no trust time
+    if (last_s_) res_.mistake_duration.add(t - *last_s_);
+    last_t_ = t;
+  }
+
+  AccuracyResult finish(double t_end, bool trusting_now,
+                        std::uint64_t heartbeats) {
+    if (begun_) {
+      if (trusting_now) trust_seconds_ += t_end - last_change_;
+      res_.observed_seconds = t_end - window_start_;
+    }
+    res_.trust_seconds = trust_seconds_;
+    res_.heartbeats = heartbeats;
+    return std::move(res_);
+  }
+
+ private:
+  StopCriteria stop_;
+  AccuracyResult res_;
+  bool begun_ = false;
+  double window_start_ = 0.0;
+  double last_change_ = 0.0;
+  double trust_seconds_ = 0.0;
+  std::optional<double> last_s_;
+  std::optional<double> last_t_;
+};
+
+/// Receipt-time generator: r_i = i*eta + D_i, or +infinity if m_i is lost.
+class ReceiptSampler {
+ public:
+  ReceiptSampler(double eta, double p_loss,
+                 const dist::DelayDistribution& delay, Rng& rng)
+      : eta_(eta), p_loss_(p_loss), delay_(delay), rng_(rng) {}
+
+  [[nodiscard]] double receipt(std::uint64_t seq) {
+    if (rng_.bernoulli(p_loss_)) return kInf;
+    return eta_ * static_cast<double>(seq) + delay_.sample(rng_);
+  }
+
+  /// Delay only (for event-loop engines that need send & receipt times).
+  [[nodiscard]] double delay_or_inf() {
+    if (rng_.bernoulli(p_loss_)) return kInf;
+    return delay_.sample(rng_);
+  }
+
+ private:
+  double eta_;
+  double p_loss_;
+  const dist::DelayDistribution& delay_;
+  Rng& rng_;
+};
+
+int ceil_ratio(double a, double b) {
+  const double r = a / b;
+  const double eps = 1e-9 * (r > 1.0 ? r : 1.0);
+  return static_cast<int>(std::ceil(r - eps));
+}
+
+/// The NFD-S sliding-window scan, generic over the per-message delay
+/// source so the i.i.d. fast path stays direct-call while the correlated
+/// ablation goes through std::function.
+template <typename DelayFn>
+AccuracyResult nfd_s_scan(NfdSParams params, double p_loss,
+                          DelayFn&& next_delay, Rng& rng,
+                          const StopCriteria& stop) {
+  params.validate();
+  expects(p_loss >= 0.0 && p_loss < 1.0,
+          "fast_nfd_s_accuracy: p_loss must be in [0, 1)");
+  const double eta = params.eta.seconds();
+  const double dlt = params.delta.seconds();
+  const int k = ceil_ratio(dlt, eta);
+  ensures(k >= 1, "fast_nfd_s_accuracy: k must be >= 1 since delta > 0");
+
+  // Receipt time of m_seq, or +inf if lost.  The delay is sampled for lost
+  // messages too, so a stateful (correlated) sampler advances uniformly.
+  const auto receipt = [&](std::uint64_t seq) {
+    const double d = next_delay(rng);
+    if (p_loss > 0.0 && rng.bernoulli(p_loss)) return kInf;
+    return eta * static_cast<double>(seq) + d;
+  };
+
+  Tally tally(stop);
+
+  // Ring of the receipt times of m_i .. m_{i+k} (Proposition 13: only these
+  // can affect the output in [tau_i, tau_{i+1})).
+  const std::size_t ring_size = static_cast<std::size_t>(k) + 1;
+  std::vector<double> ring(ring_size);
+  for (std::uint64_t j = 1; j <= ring_size; ++j) {
+    ring[(j - 1) % ring_size] = receipt(j);
+  }
+
+  bool trusting = false;  // output entering tau_1 (warmup absorbs any error)
+  std::uint64_t i = 1;
+  double end_time = 0.0;
+  for (;; ++i) {
+    const double tau = static_cast<double>(i) * eta + dlt;
+    const double tau_next = tau + eta;
+    if (!tally.begun() && i >= stop.warmup_intervals) tally.begin(tau);
+
+    double first_fresh = kInf;
+    for (double r : ring) {
+      if (r < first_fresh) first_fresh = r;
+    }
+
+    if (trusting && first_fresh > tau) {
+      // Freshness check fails at tau_i: S-transition (Proposition 13.1).
+      trusting = false;
+      if (tally.on_suspect(tau)) {
+        end_time = tau;
+        break;
+      }
+    } else if (!trusting && first_fresh <= tau) {
+      // Only possible before steady state (a fresh message arrived during a
+      // pre-window suspicion); silently resynchronize.
+      trusting = true;
+    }
+    if (!trusting && first_fresh < tau_next) {
+      // T-transition when the first fresh message arrives mid-interval.
+      trusting = true;
+      tally.on_trust(first_fresh);
+    }
+
+    if (i >= stop.max_heartbeats) {
+      end_time = tau_next;
+      break;
+    }
+    // Slide the window: drop r_i, generate r_{i+k+1} (slot indices for
+    // seq j are (j-1) mod (k+1), and (i+k) mod (k+1) == (i-1) mod (k+1)).
+    ring[(i - 1) % ring_size] = receipt(i + ring_size);
+  }
+  return tally.finish(end_time, trusting, i);
+}
+
+/// Min-heap of in-flight (receipt time, seq) pairs for the event-loop
+/// engines.
+using InFlight =
+    std::priority_queue<std::pair<double, std::uint64_t>,
+                        std::vector<std::pair<double, std::uint64_t>>,
+                        std::greater<>>;
+
+}  // namespace
+
+AccuracyResult fast_nfd_s_accuracy(NfdSParams params, double p_loss,
+                                   const dist::DelayDistribution& delay,
+                                   Rng& rng, const StopCriteria& stop) {
+  return nfd_s_scan(
+      params, p_loss, [&delay](Rng& r) { return delay.sample(r); }, rng,
+      stop);
+}
+
+AccuracyResult fast_nfd_s_accuracy_sampled(
+    NfdSParams params, double p_loss,
+    const std::function<double(Rng&)>& delay_sampler, Rng& rng,
+    const StopCriteria& stop) {
+  expects(static_cast<bool>(delay_sampler),
+          "fast_nfd_s_accuracy_sampled: sampler required");
+  return nfd_s_scan(params, p_loss, delay_sampler, rng, stop);
+}
+
+AccuracyResult fast_nfd_e_accuracy(NfdEParams params, double p_loss,
+                                   const dist::DelayDistribution& delay,
+                                   Rng& rng, const StopCriteria& stop) {
+  params.validate();
+  expects(p_loss >= 0.0 && p_loss < 1.0,
+          "fast_nfd_e_accuracy: p_loss must be in [0, 1)");
+  const double eta = params.eta.seconds();
+  const double alpha = params.alpha.seconds();
+  ReceiptSampler sampler(eta, p_loss, delay, rng);
+  Tally tally(stop);
+
+  // Eq. (6.3) estimation window: normalized receipt times A' - eta*s.
+  std::deque<std::pair<double, std::uint64_t>> window;  // (normalized, seq)
+  double normalized_sum = 0.0;
+  const auto estimate_ea = [&](std::uint64_t seq) {
+    return normalized_sum / static_cast<double>(window.size()) +
+           eta * static_cast<double>(seq);
+  };
+
+  InFlight inflight;
+  std::uint64_t sent = 0;
+  std::uint64_t ell = 0;
+  double deadline = kInf;  // pending freshness deadline tau_{ell+1}
+  bool trusting = false;
+  const double warmup_end =
+      static_cast<double>(stop.warmup_intervals) * eta + alpha + eta;
+
+  double end_time = 0.0;
+  for (;;) {
+    const double t_send = static_cast<double>(sent + 1) * eta;
+    const double t_recv = inflight.empty() ? kInf : inflight.top().first;
+    const double t_next = std::min({t_send, t_recv, deadline});
+
+    if (!tally.begun() && t_next >= warmup_end) tally.begin(warmup_end);
+
+    if (t_recv <= t_send && t_recv <= deadline) {
+      // Receipt first (messages received "by" a deadline count, and receipt
+      // order is what the algorithm reacts to).
+      const auto [t, seq] = inflight.top();
+      inflight.pop();
+      if (window.empty() || seq > window.back().second) {
+        const double normalized = t - eta * static_cast<double>(seq);
+        window.emplace_back(normalized, seq);
+        normalized_sum += normalized;
+        if (window.size() > params.window) {
+          normalized_sum -= window.front().first;
+          window.pop_front();
+        }
+      }
+      if (seq > ell) {
+        ell = seq;
+        const double tau_next = estimate_ea(ell + 1) + alpha;
+        if (t < tau_next) {
+          deadline = tau_next;
+          if (!trusting) {
+            trusting = true;
+            tally.on_trust(t);
+          }
+        } else {
+          // Even the newest message is stale (possible only when the EA
+          // estimate shifted); suspect, no deadline pending.
+          deadline = kInf;
+          if (trusting) {
+            trusting = false;
+            if (tally.on_suspect(t)) {
+              end_time = t;
+              break;
+            }
+          }
+        }
+      }
+    } else if (deadline <= t_send) {
+      // Freshness deadline: no received message is still fresh.
+      const double t = deadline;
+      deadline = kInf;
+      if (trusting) {
+        trusting = false;
+        if (tally.on_suspect(t)) {
+          end_time = t;
+          break;
+        }
+      }
+    } else {
+      // Send m_{sent+1}.
+      ++sent;
+      if (sent > stop.max_heartbeats) {
+        end_time = t_send;
+        break;
+      }
+      const double d = sampler.delay_or_inf();
+      if (!std::isinf(d)) inflight.emplace(t_send + d, sent);
+    }
+  }
+  return tally.finish(end_time, trusting, sent);
+}
+
+AccuracyResult fast_sfd_accuracy(SfdParams params, Duration eta_d,
+                                 double p_loss,
+                                 const dist::DelayDistribution& delay,
+                                 Rng& rng, const StopCriteria& stop) {
+  params.validate();
+  expects(eta_d > Duration::zero(), "fast_sfd_accuracy: eta must be positive");
+  expects(p_loss >= 0.0 && p_loss < 1.0,
+          "fast_sfd_accuracy: p_loss must be in [0, 1)");
+  const double eta = eta_d.seconds();
+  const double to = params.timeout.seconds();
+  const double cutoff = params.cutoff.seconds();
+  ReceiptSampler sampler(eta, p_loss, delay, rng);
+  Tally tally(stop);
+
+  InFlight inflight;
+  std::uint64_t sent = 0;
+  std::uint64_t ell = 0;
+  double deadline = kInf;
+  bool trusting = false;
+  const double warmup_end = static_cast<double>(stop.warmup_intervals) * eta;
+
+  double end_time = 0.0;
+  for (;;) {
+    const double t_send = static_cast<double>(sent + 1) * eta;
+    const double t_recv = inflight.empty() ? kInf : inflight.top().first;
+    const double t_next = std::min({t_send, t_recv, deadline});
+
+    if (!tally.begun() && t_next >= warmup_end) tally.begin(warmup_end);
+
+    if (t_recv <= t_send && t_recv <= deadline) {
+      const auto [t, seq] = inflight.top();
+      inflight.pop();
+      if (seq > ell) {  // only *newer* heartbeats restart the timer
+        ell = seq;
+        deadline = t + to;
+        if (!trusting) {
+          trusting = true;
+          tally.on_trust(t);
+        }
+      }
+    } else if (deadline <= t_send) {
+      const double t = deadline;
+      deadline = kInf;
+      if (trusting) {
+        trusting = false;
+        if (tally.on_suspect(t)) {
+          end_time = t;
+          break;
+        }
+      }
+    } else {
+      ++sent;
+      if (sent > stop.max_heartbeats) {
+        end_time = t_send;
+        break;
+      }
+      const double d = sampler.delay_or_inf();
+      // The cutoff discards heartbeats delayed more than c (Section 7.2);
+      // discarding at generation is equivalent and cheaper.
+      if (d <= cutoff) inflight.emplace(t_send + d, sent);
+    }
+  }
+  return tally.finish(end_time, trusting, sent);
+}
+
+}  // namespace chenfd::core

@@ -1,0 +1,95 @@
+// Optimized Monte-Carlo accuracy simulation — the engine behind the Fig. 12
+// reproduction.
+//
+// The paper's Fig. 12 plots E(T_MR) over T_D^U in [1, 3.5] with eta = 1,
+// p_L = 0.01 and exponential delays.  At T_D^U = 3.5 the expected mistake
+// recurrence time of NFD-S is ~10^6 heartbeat periods, so observing even a
+// few hundred mistakes takes ~10^8-10^9 heartbeats — far beyond what a
+// general discrete-event simulator handles comfortably.  This module
+// provides specialized per-algorithm simulation loops that process one
+// heartbeat in a few nanoseconds:
+//
+//   - NFD-S: a sliding-window scan over freshness intervals.  By
+//     Proposition 13, the output in [tau_i, tau_{i+1}) depends only on the
+//     receipt times of m_i .. m_{i+k}; the scan keeps exactly those k+1
+//     receipt times in a ring buffer.
+//   - NFD-E and SFD: a lean three-source event loop (sends, receipts via a
+//     small in-flight heap, one freshness/timeout deadline).
+//
+// Every engine is cross-validated against the discrete-event Testbed (and,
+// for NFD-S, against the Theorem 5 closed forms) in tests/.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "core/params.hpp"
+#include "dist/distribution.hpp"
+#include "stats/sample_set.hpp"
+
+namespace chenfd::core {
+
+/// When to stop an accuracy run.  The run ends at the S-transition that
+/// completes `target_s_transitions` (so the T_MR window is unbiased), or at
+/// `max_heartbeats` if mistakes are too rare to reach the target.
+struct StopCriteria {
+  std::size_t target_s_transitions = 500;   ///< as in the paper's Section 7
+  std::uint64_t max_heartbeats = 200'000'000;
+  std::uint64_t warmup_intervals = 64;      ///< discarded before measuring
+};
+
+/// Steady-state accuracy measurement of one run (failure-free, Section 2.2
+/// semantics).  All durations in seconds.
+struct AccuracyResult {
+  std::uint64_t heartbeats = 0;      ///< heartbeats sent during measurement
+  double observed_seconds = 0.0;     ///< measurement window length
+  double trust_seconds = 0.0;        ///< time spent trusting
+  std::size_t s_transitions = 0;     ///< mistakes observed
+  stats::SampleSet mistake_recurrence{1u << 16};  ///< T_MR samples
+  stats::SampleSet mistake_duration{1u << 16};    ///< T_M samples
+  stats::SampleSet good_period{1u << 16};         ///< T_G samples
+
+  [[nodiscard]] double e_tmr() const { return mistake_recurrence.mean(); }
+  [[nodiscard]] double e_tm() const { return mistake_duration.mean(); }
+  [[nodiscard]] double query_accuracy() const {
+    return observed_seconds > 0.0 ? trust_seconds / observed_seconds : 0.0;
+  }
+  [[nodiscard]] double mistake_rate() const {
+    return observed_seconds > 0.0
+               ? static_cast<double>(s_transitions) / observed_seconds
+               : 0.0;
+  }
+};
+
+/// NFD-S accuracy via the sliding-window scan.  Clocks synchronized.
+[[nodiscard]] AccuracyResult fast_nfd_s_accuracy(
+    NfdSParams params, double p_loss, const dist::DelayDistribution& delay,
+    Rng& rng, const StopCriteria& stop = {});
+
+/// Variant of the NFD-S engine taking an arbitrary (possibly stateful)
+/// per-message delay sampler — used by the correlated-delay ablation
+/// (net::CorrelatedDelaySampler) that probes the paper's message
+/// independence assumption (Section 3.3 / footnote 10).
+[[nodiscard]] AccuracyResult fast_nfd_s_accuracy_sampled(
+    NfdSParams params, double p_loss,
+    const std::function<double(Rng&)>& delay_sampler, Rng& rng,
+    const StopCriteria& stop = {});
+
+/// NFD-E accuracy via the event loop (estimated expected arrival times,
+/// Eq. 6.3).  Clock skew does not affect NFD-E's behaviour (Section 6), so
+/// the loop runs in real time without loss of generality.
+[[nodiscard]] AccuracyResult fast_nfd_e_accuracy(
+    NfdEParams params, double p_loss, const dist::DelayDistribution& delay,
+    Rng& rng, const StopCriteria& stop = {});
+
+/// SFD accuracy via the event loop.  `eta` is the heartbeat period (a
+/// property of the sender, not of SFD itself).
+[[nodiscard]] AccuracyResult fast_sfd_accuracy(
+    SfdParams params, Duration eta, double p_loss,
+    const dist::DelayDistribution& delay, Rng& rng,
+    const StopCriteria& stop = {});
+
+}  // namespace chenfd::core

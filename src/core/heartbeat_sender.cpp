@@ -1,0 +1,56 @@
+#include "core/heartbeat_sender.hpp"
+
+#include "common/check.hpp"
+
+namespace chenfd::core {
+
+HeartbeatSender::HeartbeatSender(sim::Simulator& simulator, net::Link& link,
+                                 const clk::Clock& clock, Duration eta)
+    : sim_(simulator), link_(link), clock_(clock), eta_(eta) {
+  expects(eta > Duration::zero(), "HeartbeatSender: eta must be positive");
+}
+
+void HeartbeatSender::start() {
+  expects(!started_, "HeartbeatSender::start: already started");
+  started_ = true;
+  // sigma_i = (local time at start) + i*eta on p's local clock.  Since
+  // clocks are drift-free, that is start() + i*eta in real time — no clock
+  // conversion needed to schedule; the local clock is only read to
+  // timestamp outgoing heartbeats.
+  pending_send_ = sim_.after(eta_, [this] { send_next(); });
+}
+
+void HeartbeatSender::crash_at(TimePoint at) {
+  expects(at >= sim_.now(), "HeartbeatSender::crash_at: time is in the past");
+  if (crash_time_ && *crash_time_ <= at) return;
+  crash_time_ = at;
+  sim_.at(at, [this, at] {
+    if (!crashed_ && crash_time_ && *crash_time_ == at) crashed_ = true;
+  });
+}
+
+void HeartbeatSender::set_eta(Duration new_eta) {
+  expects(new_eta > Duration::zero(),
+          "HeartbeatSender::set_eta: eta must be positive");
+  eta_ = new_eta;
+  if (!started_ || crashed_) return;
+  if (pending_send_ != 0) sim_.cancel(pending_send_);
+  TimePoint next = last_send_ + eta_;
+  if (next < sim_.now()) next = sim_.now();
+  pending_send_ = sim_.at(next, [this] { send_next(); });
+}
+
+void HeartbeatSender::send_next() {
+  pending_send_ = 0;
+  if (crashed_ || (crash_time_ && *crash_time_ <= sim_.now())) return;
+  const TimePoint now = sim_.now();
+  last_send_ = now;
+  net::Message m;
+  m.seq = next_seq_++;
+  m.sent_real = now;
+  m.sender_timestamp = clock_.local(now);
+  link_.send(m);
+  pending_send_ = sim_.after(eta_, [this] { send_next(); });
+}
+
+}  // namespace chenfd::core

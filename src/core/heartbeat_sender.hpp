@@ -1,0 +1,63 @@
+// The monitored process p (Fig. 6 / Fig. 9, process p side).
+//
+// p sends heartbeat m_i at local time sigma_i = i * eta, for i = 1, 2, ...
+// A sender can crash at a scheduled time, after which it sends nothing;
+// messages already in flight are unaffected (the link's behaviour is
+// independent of the crash, as the model in Section 3.1 requires).
+
+#pragma once
+
+#include <optional>
+
+#include "clock/clock.hpp"
+#include "common/time.hpp"
+#include "net/link.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::core {
+
+class HeartbeatSender {
+ public:
+  /// The sender reads `clock` for its local timestamps and sends heartbeats
+  /// every `eta` of local time, starting at local time eta.
+  HeartbeatSender(sim::Simulator& simulator, net::Link& link,
+                  const clk::Clock& clock, Duration eta);
+
+  /// Begins the heartbeat schedule.  Call exactly once.
+  void start();
+
+  /// Crashes p at real time `at` (>= now).  Heartbeats scheduled after `at`
+  /// are not sent.  Idempotent in the sense that only the earliest scheduled
+  /// crash matters.
+  void crash_at(TimePoint at);
+
+  /// Changes the intersending interval: the next heartbeat is rescheduled
+  /// to (last send time + new_eta), or sent immediately if that is already
+  /// past.  Used by the adaptive service (Section 8.1.1) when it
+  /// renegotiates the heartbeat rate; sequence numbers keep increasing.
+  void set_eta(Duration new_eta);
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] std::optional<TimePoint> crash_time() const {
+    return crash_time_;
+  }
+  [[nodiscard]] net::SeqNo next_seq() const { return next_seq_; }
+  [[nodiscard]] Duration eta() const { return eta_; }
+
+ private:
+  void send_next();
+
+  sim::Simulator& sim_;
+  net::Link& link_;
+  const clk::Clock& clock_;
+  Duration eta_;
+  net::SeqNo next_seq_ = 1;
+  bool started_ = false;
+  bool crashed_ = false;
+  std::optional<TimePoint> crash_time_;
+  sim::EventId pending_send_ = 0;
+  TimePoint last_send_{};
+};
+
+}  // namespace chenfd::core

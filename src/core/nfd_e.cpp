@@ -1,0 +1,61 @@
+#include "core/nfd_e.hpp"
+
+#include "common/check.hpp"
+
+namespace chenfd::core {
+
+NfdE::NfdE(sim::Simulator& simulator, const clk::Clock& q_clock,
+           NfdEParams params)
+    : NfdU(simulator, q_clock, NfdUParams{params.eta, params.alpha},
+           EaProvider{}),
+      capacity_(params.window),
+      eta_(params.eta) {
+  params.validate();
+}
+
+void NfdE::rebase(NfdUParams new_params, net::SeqNo epoch_seq) {
+  set_params(new_params);
+  eta_ = new_params.eta;
+  epoch_seq_ = epoch_seq;
+  window_.clear();
+  normalized_sum_ = 0.0;
+}
+
+void NfdE::on_heartbeat(const net::Message& m, TimePoint real_now) {
+  // Messages from before the current epoch were sent under a different
+  // schedule; their arrival times do not fit the Eq. (6.3) normalization
+  // and their freshness cannot be judged, so they are dropped entirely.
+  if (m.seq < epoch_seq_) return;
+  // Admit into the estimation window before the freshness logic runs, so
+  // the Eq. (6.3) estimate for tau_{ell+1} includes this arrival (the paper
+  // recomputes the estimate "every time q executes line 10").  Only
+  // messages advancing the largest-seen sequence number are admitted; this
+  // both filters duplicates (footnote 8) and keeps the window the "n most
+  // recent heartbeats".  Pre-epoch messages no longer fit the normalization
+  // and are excluded.
+  if (window_.empty() || m.seq > window_.back().seq) {
+    const TimePoint local_now = q_clock().local(real_now);
+    const double normalized =
+        local_now.seconds() -
+        eta_.seconds() * static_cast<double>(m.seq - epoch_seq_);
+    window_.push_back(Observation{normalized, m.seq});
+    normalized_sum_ += normalized;
+    if (window_.size() > capacity_) {
+      normalized_sum_ -= window_.front().normalized;
+      window_.pop_front();
+    }
+  }
+  NfdU::on_heartbeat(m, real_now);
+}
+
+TimePoint NfdE::expected_arrival(net::SeqNo seq) {
+  ensures(!window_.empty(),
+          "NfdE::expected_arrival: called before any heartbeat was received");
+  expects(seq >= epoch_seq_,
+          "NfdE::expected_arrival: sequence number predates the epoch");
+  const double base = normalized_sum_ / static_cast<double>(window_.size());
+  return TimePoint(base +
+                   eta_.seconds() * static_cast<double>(seq - epoch_seq_));
+}
+
+}  // namespace chenfd::core

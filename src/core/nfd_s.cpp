@@ -1,0 +1,51 @@
+#include "core/nfd_s.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace chenfd::core {
+
+NfdS::NfdS(sim::Simulator& simulator, NfdSParams params)
+    : sim_(simulator), params_(params) {
+  params_.validate();
+}
+
+void NfdS::activate() {
+  expects(!started_, "NfdS::activate: already started");
+  expects(sim_.now() == TimePoint::zero(),
+          "NfdS::activate: must start at time 0 so tau_i = i*eta + delta");
+  started_ = true;
+  const TimePoint tau_1 = TimePoint::zero() + params_.eta + params_.delta;
+  pending_check_ = sim_.at(tau_1, [this] { on_freshness_point(1); });
+}
+
+void NfdS::stop() {
+  stopped_ = true;
+  if (pending_check_ != 0) sim_.cancel(pending_check_);
+}
+
+std::uint64_t NfdS::freshness_index(TimePoint t) const {
+  const double offset = (t - (TimePoint::zero() + params_.delta)).seconds();
+  if (offset < params_.eta.seconds()) return 0;  // before tau_1
+  return static_cast<std::uint64_t>(std::floor(offset / params_.eta.seconds()));
+}
+
+void NfdS::on_freshness_point(std::uint64_t i) {
+  if (stopped_) return;
+  // Fig. 6 line 4: at tau_i, suspect p unless some m_j with j >= i arrived.
+  if (max_seq_ < i) set_output(sim_.now(), Verdict::kSuspect);
+  const TimePoint tau_next =
+      TimePoint::zero() + params_.eta * static_cast<double>(i + 1) +
+      params_.delta;
+  pending_check_ = sim_.at(tau_next, [this, i] { on_freshness_point(i + 1); });
+}
+
+void NfdS::on_heartbeat(const net::Message& m, TimePoint real_now) {
+  if (m.seq > max_seq_) max_seq_ = m.seq;
+  // Fig. 6 line 6: trust iff the newest message is still fresh now.
+  const std::uint64_t i = freshness_index(real_now);
+  if (max_seq_ >= i) set_output(real_now, Verdict::kTrust);
+}
+
+}  // namespace chenfd::core

@@ -1,0 +1,60 @@
+// NFD-S — the paper's new failure detector for synchronized clocks (Fig. 6).
+//
+// p sends heartbeat m_i at time sigma_i = i*eta.  q derives the fixed
+// freshness points tau_i = sigma_i + delta and, during [tau_i, tau_{i+1}),
+// trusts p iff it has received some heartbeat m_j with j >= i ("a message
+// that is still fresh", Lemma 2).
+//
+// The two properties that distinguish NFD-S from the common algorithm:
+//   - the probability of a premature timeout on m_i does not depend on the
+//     heartbeats preceding m_i (freshness points are fixed, not anchored to
+//     receipt times), and
+//   - detection time is bounded by delta + eta regardless of the maximum
+//     message delay (Theorem 5.1).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "core/failure_detector.hpp"
+#include "core/params.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::core {
+
+class NfdS final : public FailureDetector {
+ public:
+  /// The detector assumes q's clock is synchronized with p's, so it works
+  /// directly in simulated real time.
+  NfdS(sim::Simulator& simulator, NfdSParams params);
+
+  /// Begins scheduling freshness-point checks (tau_1 = eta + delta).
+  /// Called exactly once, at time 0, before any heartbeat arrives
+  /// (Testbed::start does this for attached detectors).
+  void activate() override;
+
+  /// Stops the self-perpetuating freshness-point timer (for tear-down).
+  void stop();
+
+  void on_heartbeat(const net::Message& m, TimePoint real_now) override;
+
+  [[nodiscard]] const NfdSParams& params() const { return params_; }
+  /// Largest heartbeat sequence number received so far (the paper's "ell").
+  [[nodiscard]] net::SeqNo max_seq() const { return max_seq_; }
+
+ private:
+  void on_freshness_point(std::uint64_t i);
+  /// Freshness index i such that now is in [tau_i, tau_{i+1}); 0 before
+  /// tau_1 (with tau_0 defined as 0, per Section 3.3).
+  [[nodiscard]] std::uint64_t freshness_index(TimePoint t) const;
+
+  sim::Simulator& sim_;
+  NfdSParams params_;
+  net::SeqNo max_seq_ = 0;
+  sim::EventId pending_check_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace chenfd::core

@@ -1,0 +1,62 @@
+#include "core/nfd_u.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chenfd::core {
+
+NfdU::NfdU(sim::Simulator& simulator, const clk::Clock& q_clock,
+           NfdUParams params, EaProvider ea_provider)
+    : sim_(simulator),
+      q_clock_(q_clock),
+      params_(params),
+      ea_provider_(std::move(ea_provider)) {
+  params_.validate();
+}
+
+void NfdU::stop() {
+  stopped_ = true;
+  if (timer_ != 0) sim_.cancel(timer_);
+}
+
+TimePoint NfdU::expected_arrival(net::SeqNo seq) {
+  expects(static_cast<bool>(ea_provider_),
+          "NfdU: no EA provider configured (use NfdE for estimated EAs)");
+  return ea_provider_(seq);
+}
+
+void NfdU::on_heartbeat(const net::Message& m, TimePoint real_now) {
+  if (stopped_) return;
+  if (m.seq <= ell_) return;  // stale or duplicate (footnote 8: first copy wins)
+  ell_ = m.seq;
+
+  // Fig. 9 line 10: the next freshness point, on q's local clock.
+  const TimePoint tau_next = expected_arrival(ell_ + 1) + params_.alpha;
+  if (timer_ != 0) sim_.cancel(timer_);
+  timer_ = 0;
+
+  const TimePoint local_now = q_clock_.local(real_now);
+  if (local_now < tau_next) {
+    // m_ell is still fresh: trust until the local clock reaches tau_next.
+    set_output(real_now, Verdict::kTrust);
+    timer_ = sim_.at(q_clock_.real(tau_next), [this] {
+      on_freshness_deadline();
+    });
+  } else {
+    // Even the newest message is already stale, so no received message is
+    // fresh: suspect.  (With exact EAs the tau_i are increasing in ell and
+    // the previous deadline has already fired, making this a no-op; with
+    // NFD-E's shifting estimates it is a genuine correction.)
+    set_output(real_now, Verdict::kSuspect);
+  }
+}
+
+void NfdU::on_freshness_deadline() {
+  if (stopped_) return;
+  timer_ = 0;
+  // Fig. 9 line 6: none of the received messages is still fresh.
+  set_output(sim_.now(), Verdict::kSuspect);
+}
+
+}  // namespace chenfd::core

@@ -1,0 +1,71 @@
+// NFD-U — the paper's failure detector for unsynchronized, drift-free
+// clocks with *known* expected arrival times (Fig. 9).
+//
+// Identical to NFD-S except that q sets the freshness points by shifting
+// the expected arrival times of the heartbeats instead of their sending
+// times: tau_i = EA_i + alpha, where EA_i = sigma_i + E(D) expressed in q's
+// local clock.  Since q can compute the EA_i without knowing p's clock
+// offset, no clock synchronization is needed.
+//
+// q keeps the largest received sequence number ell; when the local clock
+// reaches tau_{ell+1} no received message is fresh any more, so q suspects.
+// When a newer message m_j arrives, q advances ell, recomputes tau_{ell+1},
+// and trusts iff the current time has not yet passed it.
+
+#pragma once
+
+#include <functional>
+
+#include "clock/clock.hpp"
+#include "common/time.hpp"
+#include "core/failure_detector.hpp"
+#include "core/params.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::core {
+
+class NfdU : public FailureDetector {
+ public:
+  /// Returns the expected arrival time of heartbeat `seq` on q's local
+  /// clock.  NFD-U assumes these are known; the simulation harness supplies
+  /// the true values.  (NFD-E overrides expected_arrival() instead.)
+  using EaProvider = std::function<TimePoint(net::SeqNo)>;
+
+  NfdU(sim::Simulator& simulator, const clk::Clock& q_clock,
+       NfdUParams params, EaProvider ea_provider);
+
+  void on_heartbeat(const net::Message& m, TimePoint real_now) override;
+
+  /// Cancels the pending freshness timer (for tear-down).
+  void stop();
+
+  [[nodiscard]] const NfdUParams& params() const { return params_; }
+  [[nodiscard]] net::SeqNo max_seq() const { return ell_; }
+
+  /// Replaces (eta, alpha), effective from the next heartbeat (the pending
+  /// freshness deadline is left as computed).  Used by the adaptive service
+  /// (Section 8.1.1) when it reconfigures the detector.
+  void set_params(NfdUParams params) {
+    params.validate();
+    params_ = params;
+  }
+
+ protected:
+  /// NFD-E substitutes the Eq. (6.3) estimate here.
+  [[nodiscard]] virtual TimePoint expected_arrival(net::SeqNo seq);
+
+  [[nodiscard]] const clk::Clock& q_clock() const { return q_clock_; }
+
+ private:
+  void on_freshness_deadline();
+
+  sim::Simulator& sim_;
+  const clk::Clock& q_clock_;
+  NfdUParams params_;
+  EaProvider ea_provider_;
+  net::SeqNo ell_ = 0;  // largest sequence number received (0 = none)
+  sim::EventId timer_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace chenfd::core

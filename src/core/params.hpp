@@ -1,0 +1,93 @@
+// Parameter sets for the failure detector algorithms in the paper.
+
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace chenfd::core {
+
+/// Parameters of NFD-S (Fig. 6): heartbeats every eta, freshness points
+/// tau_i = sigma_i + delta.  Detection time is bounded by delta + eta
+/// (Theorem 5.1).
+struct NfdSParams {
+  Duration eta;    ///< heartbeat intersending interval (> 0)
+  Duration delta;  ///< freshness-point shift relative to sending time (> 0)
+
+  void validate() const {
+    expects(eta > Duration::zero(), "NfdSParams: eta must be positive");
+    expects(delta > Duration::zero(), "NfdSParams: delta must be positive");
+  }
+
+  [[nodiscard]] Duration detection_time_bound() const { return delta + eta; }
+
+  friend std::ostream& operator<<(std::ostream& os, const NfdSParams& p) {
+    return os << "{eta=" << p.eta << ", delta=" << p.delta << "}";
+  }
+};
+
+/// Parameters of NFD-U (Fig. 9): freshness points tau_i = EA_i + alpha,
+/// where EA_i is the expected arrival time of heartbeat m_i.  Detection time
+/// is bounded by eta + alpha + E(D) (Section 6.2, relative bound).
+struct NfdUParams {
+  Duration eta;    ///< heartbeat intersending interval (> 0)
+  Duration alpha;  ///< slack added to the expected arrival time (> 0)
+
+  void validate() const {
+    expects(eta > Duration::zero(), "NfdUParams: eta must be positive");
+    expects(alpha > Duration::zero(), "NfdUParams: alpha must be positive");
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const NfdUParams& p) {
+    return os << "{eta=" << p.eta << ", alpha=" << p.alpha << "}";
+  }
+};
+
+/// Parameters of NFD-E (Section 6.3): NFD-U with the expected arrival times
+/// replaced by the Eq. (6.3) estimate over the `window` most recent
+/// heartbeats.  The paper reports NFD-E is indistinguishable from NFD-U for
+/// windows as small as 30 (their simulations use 32).
+struct NfdEParams {
+  Duration eta;
+  Duration alpha;
+  std::size_t window = 32;
+
+  void validate() const {
+    expects(eta > Duration::zero(), "NfdEParams: eta must be positive");
+    expects(alpha > Duration::zero(), "NfdEParams: alpha must be positive");
+    expects(window >= 1, "NfdEParams: window must be >= 1");
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const NfdEParams& p) {
+    return os << "{eta=" << p.eta << ", alpha=" << p.alpha
+              << ", n=" << p.window << "}";
+  }
+};
+
+/// Parameters of the simple ("common") algorithm of Section 1.2.1, extended
+/// with the Section 7.2 cutoff: on receipt of a heartbeat that is newer than
+/// every heartbeat seen so far and delayed by at most `cutoff`, trust p and
+/// arm a timer for `timeout`; when the timer expires, suspect p.  With the
+/// cutoff, detection time is bounded by cutoff + timeout.
+struct SfdParams {
+  Duration timeout;                          ///< TO
+  Duration cutoff = Duration::infinity();    ///< c (infinity = plain SFD)
+
+  void validate() const {
+    expects(timeout > Duration::zero(), "SfdParams: timeout must be positive");
+    expects(cutoff > Duration::zero(), "SfdParams: cutoff must be positive");
+  }
+
+  [[nodiscard]] Duration detection_time_bound() const {
+    return cutoff + timeout;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const SfdParams& p) {
+    return os << "{TO=" << p.timeout << ", cutoff=" << p.cutoff << "}";
+  }
+};
+
+}  // namespace chenfd::core

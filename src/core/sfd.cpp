@@ -1,0 +1,40 @@
+#include "core/sfd.hpp"
+
+namespace chenfd::core {
+
+Sfd::Sfd(sim::Simulator& simulator, const clk::Clock& q_clock,
+         SfdParams params)
+    : sim_(simulator), q_clock_(q_clock), params_(params) {
+  params_.validate();
+}
+
+void Sfd::stop() {
+  stopped_ = true;
+  if (timer_ != 0) sim_.cancel(timer_);
+}
+
+void Sfd::on_heartbeat(const net::Message& m, TimePoint real_now) {
+  if (stopped_) return;
+  // Cutoff check: discard heartbeats older than c.  The measured delay is
+  // (local receipt time - sender timestamp), exact under synchronized
+  // clocks.
+  const Duration measured_delay =
+      q_clock_.local(real_now) - m.sender_timestamp;
+  if (measured_delay > params_.cutoff) {
+    ++discarded_;
+    return;
+  }
+  if (m.seq <= ell_) return;  // only *newer* heartbeats restart the timer
+  ell_ = m.seq;
+  set_output(real_now, Verdict::kTrust);
+  if (timer_ != 0) sim_.cancel(timer_);
+  timer_ = sim_.after(params_.timeout, [this] { on_timeout(); });
+}
+
+void Sfd::on_timeout() {
+  if (stopped_) return;
+  timer_ = 0;
+  set_output(sim_.now(), Verdict::kSuspect);
+}
+
+}  // namespace chenfd::core

@@ -1,0 +1,55 @@
+// SFD — the "simple" failure detection algorithm commonly used in practice
+// (Section 1.2.1), extended with the cutoff of Section 7.2.
+//
+// When q receives a heartbeat newer than every heartbeat received so far,
+// it trusts p and (re)starts a timer with a fixed timeout TO; if the timer
+// expires first, q suspects p.  Because the timer is anchored to receipt
+// times, a fast heartbeat m_{i-1} makes a premature timeout on m_i more
+// likely — the inter-heartbeat dependency the paper criticizes — and the
+// worst-case detection time is the *maximum* message delay plus TO.
+//
+// The cutoff c bounds the detection time at c + TO by discarding heartbeats
+// delayed more than c.  Measuring a heartbeat's delay requires synchronized
+// clocks (or a fail-aware datagram service, footnote 13); this
+// implementation compares q's local receipt time against the sender
+// timestamp, which is exact when both clocks are synchronized.
+// SFD-L (c = 8 E(D)) and SFD-S (c = 4 E(D)) of the Fig. 12 study are just
+// two parameterizations of this class.
+
+#pragma once
+
+#include "clock/clock.hpp"
+#include "common/time.hpp"
+#include "core/failure_detector.hpp"
+#include "core/params.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::core {
+
+class Sfd final : public FailureDetector {
+ public:
+  Sfd(sim::Simulator& simulator, const clk::Clock& q_clock, SfdParams params);
+
+  void on_heartbeat(const net::Message& m, TimePoint real_now) override;
+
+  /// Cancels the pending timeout (for tear-down).
+  void stop();
+
+  [[nodiscard]] const SfdParams& params() const { return params_; }
+  [[nodiscard]] net::SeqNo max_seq() const { return ell_; }
+  /// Heartbeats discarded because their measured delay exceeded the cutoff.
+  [[nodiscard]] std::uint64_t discarded() const { return discarded_; }
+
+ private:
+  void on_timeout();
+
+  sim::Simulator& sim_;
+  const clk::Clock& q_clock_;
+  SfdParams params_;
+  net::SeqNo ell_ = 0;
+  sim::EventId timer_ = 0;
+  std::uint64_t discarded_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace chenfd::core

@@ -1,0 +1,32 @@
+#include "core/testbed.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chenfd::core {
+
+Testbed::Testbed(Config config)
+    : p_clock_(config.p_clock_offset),
+      q_clock_(config.q_clock_offset),
+      link_(std::make_unique<net::Link>(sim_, std::move(config.delay),
+                                        std::move(config.loss),
+                                        Rng(config.seed))),
+      sender_(sim_, *link_, p_clock_, config.eta) {
+  link_->set_duplication_probability(config.duplication_probability);
+  link_->set_receiver([this](const net::Message& m, TimePoint at) {
+    for (FailureDetector* d : detectors_) d->on_heartbeat(m, at);
+  });
+}
+
+void Testbed::attach(FailureDetector& detector) {
+  detectors_.push_back(&detector);
+}
+
+void Testbed::start() {
+  expects(!detectors_.empty(), "Testbed::start: attach a detector first");
+  for (FailureDetector* d : detectors_) d->activate();
+  sender_.start();
+}
+
+}  // namespace chenfd::core

@@ -1,0 +1,77 @@
+// A two-process testbed: process p (heartbeat sender), a probabilistic
+// link, and one or more failure detectors at process q — the system of
+// Section 1.2 of the paper, assembled and ready to run.
+//
+// Several detectors may be attached at once; they all observe the *same*
+// heartbeat deliveries, which is exactly the coupling used in the proof of
+// the optimality theorem (Theorem 6 compares algorithms "in which the
+// heartbeat delays and losses are exactly as in r*").  The comparison
+// benches exploit this to evaluate NFD-S and SFD on identical runs.
+//
+// Typical use:
+//
+//   Testbed tb(Testbed::Config{...});
+//   core::NfdS nfd(tb.simulator(), params);
+//   tb.attach(nfd);
+//   qos::Recorder rec = ...; nfd.add_listener(...);
+//   nfd.start(); tb.start();
+//   tb.simulator().run_until(TimePoint(100000.0));
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "clock/clock.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "core/failure_detector.hpp"
+#include "core/heartbeat_sender.hpp"
+#include "dist/distribution.hpp"
+#include "net/link.hpp"
+#include "net/loss_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::core {
+
+class Testbed {
+ public:
+  struct Config {
+    std::unique_ptr<dist::DelayDistribution> delay;  ///< required
+    std::unique_ptr<net::LossModel> loss;            ///< required
+    Duration eta = seconds(1.0);                     ///< heartbeat period
+    Duration p_clock_offset = Duration::zero();      ///< p's skew
+    Duration q_clock_offset = Duration::zero();      ///< q's skew
+    double duplication_probability = 0.0;
+    std::uint64_t seed = 42;
+  };
+
+  explicit Testbed(Config config);
+
+  /// Registers a detector to receive every heartbeat delivery.  Detectors
+  /// must outlive the testbed's run.
+  void attach(FailureDetector& detector);
+
+  /// Starts the heartbeat schedule.  Call after attaching detectors.
+  void start();
+
+  /// Crashes p at the given simulated time.
+  void crash_p_at(TimePoint at) { sender_.crash_at(at); }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Link& link() { return *link_; }
+  [[nodiscard]] HeartbeatSender& sender() { return sender_; }
+  [[nodiscard]] const clk::Clock& p_clock() const { return p_clock_; }
+  [[nodiscard]] const clk::Clock& q_clock() const { return q_clock_; }
+  [[nodiscard]] Duration eta() const { return sender_.eta(); }
+
+ private:
+  sim::Simulator sim_;
+  clk::OffsetClock p_clock_;
+  clk::OffsetClock q_clock_;
+  std::unique_ptr<net::Link> link_;
+  HeartbeatSender sender_;
+  std::vector<FailureDetector*> detectors_;
+};
+
+}  // namespace chenfd::core

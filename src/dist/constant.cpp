@@ -1,0 +1,28 @@
+#include "dist/constant.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace chenfd::dist {
+
+Constant::Constant(double value) : value_(value) {
+  expects(value > 0.0, "Constant: delay must be positive");
+}
+
+double Constant::sample(Rng& rng) const {
+  (void)rng;
+  return value_;
+}
+
+std::string Constant::name() const {
+  std::ostringstream os;
+  os << "Const(" << value_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<DelayDistribution> Constant::clone() const {
+  return std::make_unique<Constant>(value_);
+}
+
+}  // namespace chenfd::dist

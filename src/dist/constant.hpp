@@ -1,0 +1,32 @@
+// Degenerate (constant) message delay.  Useful in unit tests because every
+// quantity of Proposition 3 / Theorem 5 has an exact closed form, and
+// because its atom at `value` exercises the Pr(D < x) vs Pr(D <= x)
+// distinction that the paper's q_0 = (1-p_L) Pr(D < delta + eta) relies on.
+
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace chenfd::dist {
+
+class Constant final : public DelayDistribution {
+ public:
+  explicit Constant(double value);
+
+  [[nodiscard]] double cdf(double x) const override {
+    return x >= value_ ? 1.0 : 0.0;
+  }
+  [[nodiscard]] double cdf_strict(double x) const override {
+    return x > value_ ? 1.0 : 0.0;
+  }
+  [[nodiscard]] double mean() const override { return value_; }
+  [[nodiscard]] double variance() const override { return 0.0; }
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+ private:
+  double value_;
+};
+
+}  // namespace chenfd::dist

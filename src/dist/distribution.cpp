@@ -1,0 +1,21 @@
+#include "dist/distribution.hpp"
+
+#include "common/check.hpp"
+
+namespace chenfd::dist {
+
+double DelayDistribution::quantile(double u) const {
+  expects(u > 0.0 && u < 1.0,
+          "DelayDistribution::quantile: u must be in (0, 1)");
+  // Bracket [lo, hi] with cdf(lo) < u <= cdf(hi).
+  double hi = mean() > 0.0 ? mean() : 1.0;
+  for (int i = 0; i < 2000 && cdf(hi) < u; ++i) hi *= 2.0;
+  double lo = 0.0;
+  for (int i = 0; i < 200 && (hi - lo) > 1e-15 * hi; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    (cdf(mid) < u ? lo : hi) = mid;
+  }
+  return hi;
+}
+
+}  // namespace chenfd::dist

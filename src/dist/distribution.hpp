@@ -1,0 +1,66 @@
+// Message-delay distributions (Section 3.1 of the paper).
+//
+// The probabilistic network model characterizes a link by a message loss
+// probability p_L and a message delay D, a random variable on (0, inf) with
+// finite mean E(D) and variance V(D).  The paper deliberately does NOT fix a
+// particular distribution; its analysis (Proposition 3, Theorem 5) only uses
+// Pr(D > x), and the distribution-free configurator (Section 5) only uses
+// E(D) and V(D).  This interface captures exactly that contract.
+//
+// Every distribution supports:
+//   cdf(x)        Pr(D <= x)
+//   cdf_strict(x) Pr(D <  x)   (differs from cdf only at atoms, e.g. the
+//                               Constant distribution used in tests)
+//   tail(x)       Pr(D >  x)
+//   mean(), variance()
+//   sample(rng)   one random draw
+//
+// Implementations are immutable after construction and therefore safe to
+// share by const reference across simulation components.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace chenfd::dist {
+
+class DelayDistribution {
+ public:
+  virtual ~DelayDistribution() = default;
+
+  /// Pr(D <= x).  Must be 0 for x < 0.
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+
+  /// Pr(D < x).  Equal to cdf(x) for continuous distributions; overridden by
+  /// distributions with atoms.
+  [[nodiscard]] virtual double cdf_strict(double x) const { return cdf(x); }
+
+  /// Pr(D > x) = 1 - cdf(x).
+  [[nodiscard]] double tail(double x) const { return 1.0 - cdf(x); }
+
+  /// E(D).  Finite by the model assumption.
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// V(D).  Finite by the model assumption.
+  [[nodiscard]] virtual double variance() const = 0;
+
+  /// One random delay draw, in seconds, > 0.
+  [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+
+  /// Human-readable name for tables and logs, e.g. "Exp(mean=0.02)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy (distributions are immutable, so this is cheap and safe).
+  [[nodiscard]] virtual std::unique_ptr<DelayDistribution> clone() const = 0;
+
+  /// Generalized inverse CDF: the smallest x with cdf(x) >= u, u in (0, 1).
+  /// Default implementation brackets geometrically and bisects on cdf();
+  /// override where a closed form exists.  Used by the Gaussian-copula
+  /// correlated-delay link (net::CorrelatedDelays).
+  [[nodiscard]] virtual double quantile(double u) const;
+};
+
+}  // namespace chenfd::dist

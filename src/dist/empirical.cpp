@@ -1,0 +1,55 @@
+#include "dist/empirical.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace chenfd::dist {
+
+Empirical::Empirical(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  expects(!sorted_.empty(), "Empirical: need at least one sample");
+  for (double s : sorted_) {
+    expects(s > 0.0, "Empirical: delays must be positive");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  const double n = static_cast<double>(sorted_.size());
+  double acc = 0.0;
+  for (double s : sorted_) acc += s;
+  mean_ = acc / n;
+  double m2 = 0.0;
+  for (double s : sorted_) m2 += (s - mean_) * (s - mean_);
+  variance_ = m2 / n;
+}
+
+double Empirical::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Empirical::cdf_strict(double x) const {
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Empirical::sample(Rng& rng) const {
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform01() * static_cast<double>(sorted_.size()));
+  return sorted_[idx < sorted_.size() ? idx : sorted_.size() - 1];
+}
+
+std::string Empirical::name() const {
+  std::ostringstream os;
+  os << "Empirical(n=" << sorted_.size() << ",mean=" << mean_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<DelayDistribution> Empirical::clone() const {
+  return std::make_unique<Empirical>(
+      std::span<const double>(sorted_.data(), sorted_.size()));
+}
+
+}  // namespace chenfd::dist

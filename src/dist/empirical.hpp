@@ -1,0 +1,38 @@
+// Empirical delay distribution built from observed samples (e.g. measured
+// heartbeat delays).  Serves two roles: (1) as a stand-in for a production
+// trace — the closest synthetic equivalent per the reproduction plan — and
+// (2) as the bridge from the estimator (Section 5.2) back into the exact
+// Section 4 configurator when the real distribution is unknown.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace chenfd::dist {
+
+class Empirical final : public DelayDistribution {
+ public:
+  /// Builds from at least one observed delay; copies and sorts the samples.
+  explicit Empirical(std::span<const double> samples);
+
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double cdf_strict(double x) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double variance() const override { return variance_; }
+  /// Draws a uniformly random retained sample (bootstrap resampling).
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+}  // namespace chenfd::dist

@@ -1,0 +1,52 @@
+#include "dist/erlang.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace chenfd::dist {
+
+Erlang::Erlang(int stages, double rate) : stages_(stages), rate_(rate) {
+  expects(stages >= 1, "Erlang: stages must be >= 1");
+  expects(rate > 0.0, "Erlang: rate must be positive");
+}
+
+Erlang Erlang::with_mean(int stages, double mean) {
+  expects(mean > 0.0, "Erlang::with_mean: mean must be positive");
+  expects(stages >= 1, "Erlang::with_mean: stages must be >= 1");
+  return Erlang(stages, static_cast<double>(stages) / mean);
+}
+
+double Erlang::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  // 1 - exp(-rate x) * sum_{n=0}^{k-1} (rate x)^n / n!
+  const double rx = rate_ * x;
+  double term = 1.0;  // (rx)^0 / 0!
+  double sum = term;
+  for (int n = 1; n < stages_; ++n) {
+    term *= rx / static_cast<double>(n);
+    sum += term;
+  }
+  return 1.0 - std::exp(-rx) * sum;
+}
+
+double Erlang::sample(Rng& rng) const {
+  double acc = 0.0;
+  for (int i = 0; i < stages_; ++i) {
+    acc += -std::log(rng.uniform01_open_zero());
+  }
+  return acc / rate_;
+}
+
+std::string Erlang::name() const {
+  std::ostringstream os;
+  os << "Erlang(k=" << stages_ << ",rate=" << rate_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<DelayDistribution> Erlang::clone() const {
+  return std::make_unique<Erlang>(stages_, rate_);
+}
+
+}  // namespace chenfd::dist

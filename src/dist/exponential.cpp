@@ -1,0 +1,38 @@
+#include "dist/exponential.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace chenfd::dist {
+
+Exponential::Exponential(double mean) : mean_(mean) {
+  expects(mean > 0.0, "Exponential: mean must be positive");
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-x / mean_);
+}
+
+double Exponential::quantile(double u) const {
+  expects(u > 0.0 && u < 1.0, "Exponential::quantile: u must be in (0, 1)");
+  return -mean_ * std::log(1.0 - u);
+}
+
+double Exponential::sample(Rng& rng) const {
+  return -mean_ * std::log(rng.uniform01_open_zero());
+}
+
+std::string Exponential::name() const {
+  std::ostringstream os;
+  os << "Exp(mean=" << mean_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<DelayDistribution> Exponential::clone() const {
+  return std::make_unique<Exponential>(mean_);
+}
+
+}  // namespace chenfd::dist

@@ -1,0 +1,27 @@
+// Exponential message delay — the distribution used in the paper's
+// simulation study (Section 7): Pr(D <= x) = 1 - exp(-x / E(D)).
+
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace chenfd::dist {
+
+class Exponential final : public DelayDistribution {
+ public:
+  /// Constructs an exponential delay with the given mean (> 0).
+  explicit Exponential(double mean);
+
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double variance() const override { return mean_ * mean_; }
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+ private:
+  double mean_;
+};
+
+}  // namespace chenfd::dist

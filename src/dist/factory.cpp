@@ -1,0 +1,31 @@
+#include "dist/factory.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "dist/erlang.hpp"
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/pareto.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+
+namespace chenfd::dist {
+
+std::vector<std::unique_ptr<DelayDistribution>> standard_family_with_mean(
+    double mean) {
+  expects(mean > 0.0, "standard_family_with_mean: mean must be positive");
+  std::vector<std::unique_ptr<DelayDistribution>> out;
+  out.push_back(std::make_unique<Exponential>(mean));
+  out.push_back(std::make_unique<Uniform>(0.0, 2.0 * mean));
+  out.push_back(std::make_unique<Erlang>(Erlang::with_mean(4, mean)));
+  out.push_back(std::make_unique<LogNormal>(
+      LogNormal::with_moments(mean, 4.0 * mean * mean)));
+  out.push_back(std::make_unique<Pareto>(Pareto::with_mean(mean, 2.5)));
+  const double k = 0.7;
+  out.push_back(
+      std::make_unique<Weibull>(k, mean / std::tgamma(1.0 + 1.0 / k)));
+  return out;
+}
+
+}  // namespace chenfd::dist

@@ -1,0 +1,20 @@
+// Convenience constructors for families of delay distributions with matched
+// means, used by the bound-tightness benches and parameterized tests to
+// sweep distribution shape while holding E(D) fixed.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace chenfd::dist {
+
+/// Returns one representative of each supported family with the given mean:
+/// Exponential, Uniform[0, 2m], Erlang-4, LogNormal (V = 4 m^2),
+/// Pareto (alpha = 2.5), Weibull (k = 0.7).
+[[nodiscard]] std::vector<std::unique_ptr<DelayDistribution>>
+standard_family_with_mean(double mean);
+
+}  // namespace chenfd::dist

@@ -1,0 +1,56 @@
+#include "dist/lognormal.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace chenfd::dist {
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  expects(sigma > 0.0, "LogNormal: sigma must be positive");
+}
+
+LogNormal LogNormal::with_moments(double mean, double variance) {
+  expects(mean > 0.0, "LogNormal::with_moments: mean must be positive");
+  expects(variance > 0.0, "LogNormal::with_moments: variance must be positive");
+  // mean = exp(mu + sigma^2/2); variance = (exp(sigma^2)-1) exp(2mu+sigma^2).
+  const double s2 = std::log(1.0 + variance / (mean * mean));
+  const double mu = std::log(mean) - s2 / 2.0;
+  return LogNormal(mu, std::sqrt(s2));
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + sigma_ * sigma_ / 2.0); }
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+double LogNormal::sample(Rng& rng) const {
+  // Box-Muller transform; the spare variate is discarded for simplicity.
+  const double u1 = rng.uniform01_open_zero();
+  const double u2 = rng.uniform01();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return std::exp(mu_ + sigma_ * z);
+}
+
+std::string LogNormal::name() const {
+  std::ostringstream os;
+  os << "LogNormal(mu=" << mu_ << ",sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<DelayDistribution> LogNormal::clone() const {
+  return std::make_unique<LogNormal>(mu_, sigma_);
+}
+
+}  // namespace chenfd::dist

@@ -1,0 +1,35 @@
+// Log-normal message delay — a heavy-ish tailed distribution frequently
+// used to model wide-area network latency.  Parameterized directly by the
+// (mu, sigma) of the underlying normal; use LogNormal::with_moments to build
+// one from a target mean and variance.
+
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace chenfd::dist {
+
+class LogNormal final : public DelayDistribution {
+ public:
+  /// log D ~ Normal(mu, sigma^2), sigma > 0.
+  LogNormal(double mu, double sigma);
+
+  /// Builds the unique log-normal with the given mean and variance (> 0).
+  [[nodiscard]] static LogNormal with_moments(double mean, double variance);
+
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+  [[nodiscard]] double mu() const { return mu_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace chenfd::dist

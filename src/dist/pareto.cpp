@@ -1,0 +1,53 @@
+#include "dist/pareto.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace chenfd::dist {
+
+Pareto::Pareto(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  expects(xm > 0.0, "Pareto: xm must be positive");
+  expects(alpha > 2.0, "Pareto: alpha must exceed 2 for finite variance");
+}
+
+Pareto Pareto::with_mean(double mean, double alpha) {
+  expects(mean > 0.0, "Pareto::with_mean: mean must be positive");
+  expects(alpha > 2.0, "Pareto::with_mean: alpha must exceed 2");
+  // mean = alpha * xm / (alpha - 1)  =>  xm = mean (alpha-1)/alpha.
+  return Pareto(mean * (alpha - 1.0) / alpha, alpha);
+}
+
+double Pareto::cdf(double x) const {
+  if (x <= xm_) return 0.0;
+  return 1.0 - std::pow(xm_ / x, alpha_);
+}
+
+double Pareto::mean() const { return alpha_ * xm_ / (alpha_ - 1.0); }
+
+double Pareto::variance() const {
+  const double a = alpha_;
+  return xm_ * xm_ * a / ((a - 1.0) * (a - 1.0) * (a - 2.0));
+}
+
+double Pareto::quantile(double u) const {
+  expects(u > 0.0 && u < 1.0, "Pareto::quantile: u must be in (0, 1)");
+  return xm_ * std::pow(1.0 - u, -1.0 / alpha_);
+}
+
+double Pareto::sample(Rng& rng) const {
+  return xm_ * std::pow(rng.uniform01_open_zero(), -1.0 / alpha_);
+}
+
+std::string Pareto::name() const {
+  std::ostringstream os;
+  os << "Pareto(xm=" << xm_ << ",alpha=" << alpha_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<DelayDistribution> Pareto::clone() const {
+  return std::make_unique<Pareto>(xm_, alpha_);
+}
+
+}  // namespace chenfd::dist

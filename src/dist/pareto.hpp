@@ -1,0 +1,35 @@
+// Pareto message delay — a genuinely heavy-tailed distribution.  The paper's
+// model only requires finite E(D) and V(D), so we require alpha > 2.  Pareto
+// delays are the stress test for the "maximum message delay is orders of
+// magnitude larger than the average" observation in Section 1.2.1 that
+// motivates NFD-S over the common algorithm.
+
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace chenfd::dist {
+
+class Pareto final : public DelayDistribution {
+ public:
+  /// Pr(D > x) = (xm / x)^alpha for x >= xm.  Requires xm > 0, alpha > 2
+  /// (finite variance, per the network model of Section 3.1).
+  Pareto(double xm, double alpha);
+
+  /// Builds the Pareto with the given mean and tail index alpha (> 2).
+  [[nodiscard]] static Pareto with_mean(double mean, double alpha);
+
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+}  // namespace chenfd::dist

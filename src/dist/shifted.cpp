@@ -1,0 +1,38 @@
+#include "dist/shifted.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chenfd::dist {
+
+Shifted::Shifted(double offset, std::unique_ptr<DelayDistribution> inner)
+    : offset_(offset), inner_(std::move(inner)) {
+  expects(offset >= 0.0, "Shifted: offset must be non-negative");
+  expects(inner_ != nullptr, "Shifted: inner distribution must not be null");
+}
+
+double Shifted::cdf(double x) const { return inner_->cdf(x - offset_); }
+
+double Shifted::cdf_strict(double x) const {
+  return inner_->cdf_strict(x - offset_);
+}
+
+double Shifted::mean() const { return offset_ + inner_->mean(); }
+
+double Shifted::variance() const { return inner_->variance(); }
+
+double Shifted::sample(Rng& rng) const { return offset_ + inner_->sample(rng); }
+
+std::string Shifted::name() const {
+  std::ostringstream os;
+  os << "Shifted(+" << offset_ << "," << inner_->name() << ")";
+  return os.str();
+}
+
+std::unique_ptr<DelayDistribution> Shifted::clone() const {
+  return std::make_unique<Shifted>(offset_, inner_->clone());
+}
+
+}  // namespace chenfd::dist

@@ -1,0 +1,31 @@
+// A delay distribution shifted right by a constant: D = offset + D_inner.
+// Models the deterministic propagation + processing floor that real links
+// have below their stochastic queueing delay.
+
+#pragma once
+
+#include <memory>
+
+#include "dist/distribution.hpp"
+
+namespace chenfd::dist {
+
+class Shifted final : public DelayDistribution {
+ public:
+  /// offset >= 0, inner non-null.
+  Shifted(double offset, std::unique_ptr<DelayDistribution> inner);
+
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double cdf_strict(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+ private:
+  double offset_;
+  std::unique_ptr<DelayDistribution> inner_;
+};
+
+}  // namespace chenfd::dist

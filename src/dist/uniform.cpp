@@ -1,0 +1,37 @@
+#include "dist/uniform.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace chenfd::dist {
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  expects(lo >= 0.0, "Uniform: lo must be non-negative");
+  expects(hi > lo, "Uniform: hi must exceed lo");
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+double Uniform::quantile(double u) const {
+  expects(u > 0.0 && u < 1.0, "Uniform::quantile: u must be in (0, 1)");
+  return lo_ + u * (hi_ - lo_);
+}
+
+std::string Uniform::name() const {
+  std::ostringstream os;
+  os << "Uniform[" << lo_ << "," << hi_ << "]";
+  return os.str();
+}
+
+std::unique_ptr<DelayDistribution> Uniform::clone() const {
+  return std::make_unique<Uniform>(lo_, hi_);
+}
+
+}  // namespace chenfd::dist

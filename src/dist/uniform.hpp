@@ -1,0 +1,32 @@
+// Uniform message delay on [lo, hi] — a light-tailed distribution used to
+// probe the configurators and the Chebyshev bounds away from the
+// exponential case.
+
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace chenfd::dist {
+
+class Uniform final : public DelayDistribution {
+ public:
+  /// Uniform delay on [lo, hi], 0 <= lo < hi.
+  Uniform(double lo, double hi);
+
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override { return (lo_ + hi_) / 2.0; }
+  [[nodiscard]] double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace chenfd::dist

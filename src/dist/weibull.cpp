@@ -1,0 +1,48 @@
+#include "dist/weibull.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace chenfd::dist {
+
+Weibull::Weibull(double shape_k, double scale_lambda)
+    : k_(shape_k), lambda_(scale_lambda) {
+  expects(shape_k > 0.0, "Weibull: shape must be positive");
+  expects(scale_lambda > 0.0, "Weibull: scale must be positive");
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / lambda_, k_));
+}
+
+double Weibull::mean() const { return lambda_ * std::tgamma(1.0 + 1.0 / k_); }
+
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / k_);
+  const double g2 = std::tgamma(1.0 + 2.0 / k_);
+  return lambda_ * lambda_ * (g2 - g1 * g1);
+}
+
+double Weibull::quantile(double u) const {
+  expects(u > 0.0 && u < 1.0, "Weibull::quantile: u must be in (0, 1)");
+  return lambda_ * std::pow(-std::log(1.0 - u), 1.0 / k_);
+}
+
+double Weibull::sample(Rng& rng) const {
+  return lambda_ * std::pow(-std::log(rng.uniform01_open_zero()), 1.0 / k_);
+}
+
+std::string Weibull::name() const {
+  std::ostringstream os;
+  os << "Weibull(k=" << k_ << ",lambda=" << lambda_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<DelayDistribution> Weibull::clone() const {
+  return std::make_unique<Weibull>(k_, lambda_);
+}
+
+}  // namespace chenfd::dist

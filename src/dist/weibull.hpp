@@ -1,0 +1,29 @@
+// Weibull message delay.  Interpolates between heavy-ish (k < 1) and
+// light (k > 1) tails with a single shape knob, which makes it useful for
+// sweeping the tightness of the Theorem 9 / 11 Chebyshev bounds.
+
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace chenfd::dist {
+
+class Weibull final : public DelayDistribution {
+ public:
+  /// Pr(D <= x) = 1 - exp(-(x/lambda)^k), k > 0, lambda > 0.
+  Weibull(double shape_k, double scale_lambda);
+
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double quantile(double u) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
+
+ private:
+  double k_;
+  double lambda_;
+};
+
+}  // namespace chenfd::dist

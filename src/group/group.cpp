@@ -1,0 +1,127 @@
+#include "group/group.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chenfd::group {
+
+Group::Group(Config config)
+    : n_(config.size), params_(config.detector) {
+  expects(n_ >= 2, "Group: need at least two processes");
+  expects(config.delay != nullptr, "Group: delay distribution required");
+  expects(config.p_loss >= 0.0 && config.p_loss < 1.0,
+          "Group: p_loss must be in [0, 1)");
+  params_.validate();
+
+  Rng seeder(config.seed);
+  pairs_.resize(n_ * n_);
+  crash_times_.resize(n_);
+  for (ProcessId from = 0; from < n_; ++from) {
+    for (ProcessId to = 0; to < n_; ++to) {
+      if (from == to) continue;
+      Pair& pair = pairs_[index(from, to)];
+      pair.link = std::make_unique<net::Link>(
+          sim_, config.delay->clone(),
+          std::make_unique<net::BernoulliLoss>(config.p_loss),
+          seeder.split());
+      pair.sender = std::make_unique<core::HeartbeatSender>(
+          sim_, *pair.link, clock_, params_.eta);
+      pair.detector = std::make_unique<core::NfdS>(sim_, params_);
+      auto* detector = pair.detector.get();
+      pair.link->set_receiver(
+          [detector](const net::Message& m, TimePoint at) {
+            detector->on_heartbeat(m, at);
+          });
+    }
+  }
+}
+
+std::size_t Group::index(ProcessId from, ProcessId to) const {
+  expects(from < n_ && to < n_, "Group: process id out of range");
+  expects(from != to, "Group: no self-monitoring pair exists");
+  return from * n_ + to;
+}
+
+void Group::start() {
+  expects(!started_, "Group::start: already started");
+  started_ = true;
+  for (ProcessId from = 0; from < n_; ++from) {
+    for (ProcessId to = 0; to < n_; ++to) {
+      if (from == to) continue;
+      Pair& pair = pairs_[index(from, to)];
+      pair.detector->activate();
+      pair.sender->start();
+    }
+  }
+}
+
+void Group::crash_at(ProcessId id, TimePoint at) {
+  expects(id < n_, "Group::crash_at: process id out of range");
+  if (crash_times_[id] && *crash_times_[id] <= at) return;
+  crash_times_[id] = at;
+  for (ProcessId to = 0; to < n_; ++to) {
+    if (to == id) continue;
+    pairs_[index(id, to)].sender->crash_at(at);
+  }
+}
+
+bool Group::crashed(ProcessId id) const {
+  expects(id < n_, "Group::crashed: process id out of range");
+  return crash_times_[id] && *crash_times_[id] <= sim_.now();
+}
+
+const core::NfdS& Group::detector(ProcessId observer,
+                                  ProcessId target) const {
+  return *pairs_[index(target, observer)].detector;
+}
+
+core::NfdS& Group::detector(ProcessId observer, ProcessId target) {
+  return *pairs_[index(target, observer)].detector;
+}
+
+bool Group::suspects(ProcessId observer, ProcessId target) const {
+  expects(observer < n_ && target < n_,
+          "Group::suspects: process id out of range");
+  if (observer == target) return false;
+  return detector(observer, target).output() == Verdict::kSuspect;
+}
+
+std::vector<ProcessId> Group::view(ProcessId observer) const {
+  std::vector<ProcessId> members;
+  for (ProcessId target = 0; target < n_; ++target) {
+    if (!suspects(observer, target)) members.push_back(target);
+  }
+  return members;
+}
+
+bool Group::all_correct_trusted() const {
+  for (ProcessId o = 0; o < n_; ++o) {
+    if (crashed(o)) continue;
+    for (ProcessId t = 0; t < n_; ++t) {
+      if (t == o || crashed(t)) continue;
+      if (suspects(o, t)) return false;
+    }
+  }
+  return true;
+}
+
+bool Group::all_crashes_detected() const {
+  for (ProcessId o = 0; o < n_; ++o) {
+    if (crashed(o)) continue;
+    for (ProcessId t = 0; t < n_; ++t) {
+      if (t == o || !crashed(t)) continue;
+      if (!suspects(o, t)) return false;
+    }
+  }
+  return true;
+}
+
+void Group::stop() {
+  for (auto& pair : pairs_) {
+    if (pair.detector) pair.detector->stop();
+  }
+}
+
+}  // namespace chenfd::group

@@ -1,0 +1,120 @@
+// Group monitoring: the paper's two-process system composed into a full
+// mesh — the substrate for the cluster-management and group-membership
+// applications that motivate the paper (Section 1).
+//
+// N processes run in one simulator.  Every ordered pair (i -> j), i != j,
+// gets its own heartbeat sender at i, probabilistic link, and NFD-S
+// detector at j, all sharing j's clock.  Each process derives a membership
+// view (the set of processes it currently trusts, plus itself); crashed
+// processes stop sending on all their outgoing links at the crash instant.
+//
+// The group exposes:
+//   - per-pair detectors and transitions (for QoS measurement),
+//   - per-process views,
+//   - a SuspicionOracle interface consumed by protocols built on top
+//     (e.g. the consensus substrate).
+//
+// Group-level QoS follows from the pairwise Theorem 5 figures: every pair
+// is an independent copy of the two-process system, so e.g. the time for
+// ALL correct members to suspect a crashed one is the max of independent
+// T_D samples — still bounded by delta + eta (Theorem 5.1).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "clock/clock.hpp"
+#include "common/time.hpp"
+#include "core/heartbeat_sender.hpp"
+#include "core/nfd_s.hpp"
+#include "core/params.hpp"
+#include "dist/distribution.hpp"
+#include "net/link.hpp"
+#include "net/loss_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::group {
+
+using ProcessId = std::size_t;
+
+/// Answers "does observer currently suspect target?".  Implemented by
+/// Group; consumed by protocols (consensus, membership) layered on top.
+class SuspicionOracle {
+ public:
+  virtual ~SuspicionOracle() = default;
+  [[nodiscard]] virtual bool suspects(ProcessId observer,
+                                      ProcessId target) const = 0;
+};
+
+class Group final : public SuspicionOracle {
+ public:
+  struct Config {
+    std::size_t size = 3;                            ///< number of processes
+    std::unique_ptr<dist::DelayDistribution> delay;  ///< per-link (cloned)
+    double p_loss = 0.01;
+    core::NfdSParams detector{seconds(1.0), seconds(1.0)};
+    std::uint64_t seed = 42;
+  };
+
+  explicit Group(Config config);
+
+  /// Starts all senders and detectors.  Call once, at time 0.
+  void start();
+
+  /// Crashes process `id` at simulated time `at`: all its outgoing
+  /// heartbeat streams stop.  Its detectors keep running (a crashed
+  /// process's opinions are simply no longer read).
+  void crash_at(ProcessId id, TimePoint at);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Whether `id` has crashed by now.
+  [[nodiscard]] bool crashed(ProcessId id) const;
+
+  /// The detector at `observer` watching `target` (observer != target).
+  [[nodiscard]] const core::NfdS& detector(ProcessId observer,
+                                           ProcessId target) const;
+  [[nodiscard]] core::NfdS& detector(ProcessId observer, ProcessId target);
+
+  /// SuspicionOracle: observer's current verdict on target.  A process
+  /// never suspects itself.
+  [[nodiscard]] bool suspects(ProcessId observer,
+                              ProcessId target) const override;
+
+  /// Membership view of `observer`: itself plus every process it trusts.
+  [[nodiscard]] std::vector<ProcessId> view(ProcessId observer) const;
+
+  /// True iff every non-crashed process trusts every other non-crashed
+  /// process (no false suspicion anywhere among correct members).
+  [[nodiscard]] bool all_correct_trusted() const;
+
+  /// True iff every non-crashed process suspects every crashed one.
+  [[nodiscard]] bool all_crashes_detected() const;
+
+  /// Tears down all timers (for clean shutdown before destruction).
+  void stop();
+
+ private:
+  struct Pair {
+    std::unique_ptr<net::Link> link;
+    std::unique_ptr<core::HeartbeatSender> sender;
+    std::unique_ptr<core::NfdS> detector;
+  };
+
+  [[nodiscard]] std::size_t index(ProcessId from, ProcessId to) const;
+
+  std::size_t n_;
+  core::NfdSParams params_;
+  sim::Simulator sim_;
+  clk::SynchronizedClock clock_;  // NFD-S assumes synchronized clocks
+  std::vector<Pair> pairs_;  // indexed by from * n + to (diagonal unused)
+  std::vector<std::optional<TimePoint>> crash_times_;
+  bool started_ = false;
+};
+
+}  // namespace chenfd::group

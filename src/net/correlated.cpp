@@ -1,0 +1,49 @@
+#include "net/correlated.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chenfd::net {
+namespace {
+
+/// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+/// One standard normal draw (Box-Muller, spare discarded).
+double normal(Rng& rng) {
+  const double u1 = rng.uniform01_open_zero();
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace
+
+CorrelatedDelaySampler::CorrelatedDelaySampler(
+    std::unique_ptr<dist::DelayDistribution> marginal, double rho)
+    : marginal_(std::move(marginal)), rho_(rho) {
+  expects(marginal_ != nullptr,
+          "CorrelatedDelaySampler: marginal distribution required");
+  expects(rho >= 0.0 && rho < 1.0,
+          "CorrelatedDelaySampler: rho must be in [0, 1)");
+}
+
+double CorrelatedDelaySampler::sample(Rng& rng) {
+  if (!primed_) {
+    z_ = normal(rng);  // stationary start: z_0 ~ N(0,1)
+    primed_ = true;
+  } else {
+    z_ = rho_ * z_ + std::sqrt(1.0 - rho_ * rho_) * normal(rng);
+  }
+  // Map through the copula; clamp u away from {0,1} for quantile().
+  double u = phi(z_);
+  constexpr double kEps = 1e-12;
+  if (u < kEps) u = kEps;
+  if (u > 1.0 - kEps) u = 1.0 - kEps;
+  return marginal_->quantile(u);
+}
+
+}  // namespace chenfd::net

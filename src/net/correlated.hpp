@@ -1,0 +1,50 @@
+// Correlated heartbeat delays — probing the message-independence
+// assumption.
+//
+// The paper's QoS analysis assumes "the behaviors of any two heartbeat
+// messages are independent" and notes (footnote 10) that in practice this
+// only holds when consecutive heartbeats are sent far enough apart.  This
+// sampler generates delays whose *marginal* distribution is exactly a
+// given DelayDistribution, but which are serially correlated through a
+// Gaussian copula:
+//
+//   z_i = rho * z_{i-1} + sqrt(1 - rho^2) * N(0,1)     (latent AR(1))
+//   d_i = Q(Phi(z_i))                                  (Q = quantile of D)
+//
+// rho = 0 recovers i.i.d. delays; rho -> 1 models a congested path where
+// a slow heartbeat predicts a slow successor.  Because the marginals are
+// unchanged, any deviation of the measured QoS from the Theorem 5 values
+// isolates the effect of the independence assumption — quantified in
+// bench/correlation.cpp.
+
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dist/distribution.hpp"
+
+namespace chenfd::net {
+
+class CorrelatedDelaySampler {
+ public:
+  /// rho in [0, 1): lag-1 correlation of the latent Gaussian chain.
+  CorrelatedDelaySampler(std::unique_ptr<dist::DelayDistribution> marginal,
+                         double rho);
+
+  /// Next delay in the correlated sequence.
+  [[nodiscard]] double sample(Rng& rng);
+
+  [[nodiscard]] const dist::DelayDistribution& marginal() const {
+    return *marginal_;
+  }
+  [[nodiscard]] double rho() const { return rho_; }
+
+ private:
+  std::unique_ptr<dist::DelayDistribution> marginal_;
+  double rho_;
+  double z_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace chenfd::net

@@ -1,0 +1,61 @@
+#include "net/link.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chenfd::net {
+
+Link::Link(sim::Simulator& simulator,
+           std::unique_ptr<dist::DelayDistribution> delay,
+           std::unique_ptr<LossModel> loss, Rng rng)
+    : sim_(simulator),
+      delay_(std::move(delay)),
+      loss_(std::move(loss)),
+      rng_(rng) {
+  expects(delay_ != nullptr, "Link: delay distribution must not be null");
+  expects(loss_ != nullptr, "Link: loss model must not be null");
+}
+
+void Link::set_receiver(Receiver receiver) {
+  receiver_ = std::move(receiver);
+}
+
+void Link::send(const Message& m) {
+  expects(static_cast<bool>(receiver_), "Link::send: no receiver registered");
+  ++sent_;
+  if (loss_->drop_next(rng_)) {
+    ++dropped_;
+    return;
+  }
+  deliver_after(m, Duration(delay_->sample(rng_)));
+  if (duplication_probability_ > 0.0 &&
+      rng_.bernoulli(duplication_probability_)) {
+    deliver_after(m, Duration(delay_->sample(rng_)));
+  }
+}
+
+void Link::deliver_after(const Message& m, Duration delay) {
+  sim_.after(delay, [this, m] {
+    ++delivered_;
+    receiver_(m, sim_.now());
+  });
+}
+
+void Link::set_delay(std::unique_ptr<dist::DelayDistribution> delay) {
+  expects(delay != nullptr, "Link::set_delay: null distribution");
+  delay_ = std::move(delay);
+}
+
+void Link::set_loss(std::unique_ptr<LossModel> loss) {
+  expects(loss != nullptr, "Link::set_loss: null loss model");
+  loss_ = std::move(loss);
+}
+
+void Link::set_duplication_probability(double p) {
+  expects(p >= 0.0 && p < 1.0,
+          "Link::set_duplication_probability: p must be in [0,1)");
+  duplication_probability_ = p;
+}
+
+}  // namespace chenfd::net

@@ -1,0 +1,75 @@
+// The probabilistic communication link of Section 3.1.
+//
+// An end-to-end, unidirectional link from p to q that may drop or delay
+// messages but never creates or (by default) duplicates them.  Each send
+// independently consults the loss model; surviving messages are delivered
+// after a delay drawn from the delay distribution.  Delays are sampled
+// independently per message (the "message independence" property assumed by
+// the QoS analysis), so deliveries can be reordered — receivers must cope,
+// as the paper's algorithms do via sequence numbers.
+//
+// An optional duplication probability exercises footnote 8 of the paper
+// (duplicates are harmless because receivers act on the first copy).  The
+// link can be re-pointed at a different delay distribution or loss model at
+// run time, which is how benches model regime changes (Section 8.1.1).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "dist/distribution.hpp"
+#include "net/loss_model.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::net {
+
+class Link {
+ public:
+  /// Called on delivery with the message and the real receipt time.
+  using Receiver = std::function<void(const Message&, TimePoint)>;
+
+  Link(sim::Simulator& simulator,
+       std::unique_ptr<dist::DelayDistribution> delay,
+       std::unique_ptr<LossModel> loss, Rng rng);
+
+  /// Registers the delivery callback.  Must be set before the first send.
+  void set_receiver(Receiver receiver);
+
+  /// Sends `m` at the current simulated time.  May drop it, deliver it once
+  /// after a random delay, or (with `duplication probability`) twice.
+  void send(const Message& m);
+
+  /// Swaps the delay distribution (takes effect for subsequent sends).
+  void set_delay(std::unique_ptr<dist::DelayDistribution> delay);
+  /// Swaps the loss model (takes effect for subsequent sends).
+  void set_loss(std::unique_ptr<LossModel> loss);
+  /// Sets the probability that a delivered message is delivered twice
+  /// (second copy with an independent delay).  Default 0.
+  void set_duplication_probability(double p);
+
+  [[nodiscard]] const dist::DelayDistribution& delay() const { return *delay_; }
+  [[nodiscard]] const LossModel& loss() const { return *loss_; }
+
+  [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
+  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+
+ private:
+  void deliver_after(const Message& m, Duration delay);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<dist::DelayDistribution> delay_;
+  std::unique_ptr<LossModel> loss_;
+  Rng rng_;
+  Receiver receiver_;
+  double duplication_probability_ = 0.0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace chenfd::net

@@ -1,0 +1,57 @@
+#include "net/loss_model.hpp"
+
+#include <sstream>
+
+namespace chenfd::net {
+
+std::string BernoulliLoss::name() const {
+  std::ostringstream os;
+  os << "Bernoulli(pL=" << p_ << ")";
+  return os.str();
+}
+
+GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad,
+                                       double p_bad_to_good, double loss_good,
+                                       double loss_bad)
+    : p_gb_(p_good_to_bad),
+      p_bg_(p_bad_to_good),
+      loss_good_(loss_good),
+      loss_bad_(loss_bad) {
+  expects(p_good_to_bad >= 0.0 && p_good_to_bad <= 1.0,
+          "GilbertElliottLoss: p_good_to_bad must be in [0,1]");
+  expects(p_bad_to_good > 0.0 && p_bad_to_good <= 1.0,
+          "GilbertElliottLoss: p_bad_to_good must be in (0,1]");
+  expects(loss_good >= 0.0 && loss_good < 1.0,
+          "GilbertElliottLoss: loss_good must be in [0,1)");
+  expects(loss_bad >= 0.0 && loss_bad <= 1.0,
+          "GilbertElliottLoss: loss_bad must be in [0,1]");
+}
+
+bool GilbertElliottLoss::drop_next(Rng& rng) {
+  if (bad_) {
+    if (rng.bernoulli(p_bg_)) bad_ = false;
+  } else {
+    if (rng.bernoulli(p_gb_)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? loss_bad_ : loss_good_);
+}
+
+double GilbertElliottLoss::steady_state_loss() const {
+  // Stationary distribution of the two-state chain.
+  const double pi_bad = p_gb_ / (p_gb_ + p_bg_);
+  return pi_bad * loss_bad_ + (1.0 - pi_bad) * loss_good_;
+}
+
+std::string GilbertElliottLoss::name() const {
+  std::ostringstream os;
+  os << "GilbertElliott(gb=" << p_gb_ << ",bg=" << p_bg_
+     << ",lossG=" << loss_good_ << ",lossB=" << loss_bad_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<LossModel> GilbertElliottLoss::clone() const {
+  return std::make_unique<GilbertElliottLoss>(p_gb_, p_bg_, loss_good_,
+                                              loss_bad_);
+}
+
+}  // namespace chenfd::net

@@ -1,0 +1,81 @@
+// Message loss models.
+//
+// The paper's base model (Section 3.1) drops each message independently with
+// probability p_L (Bernoulli).  Section 8.1.2 discusses bursty traffic, for
+// which we provide a Gilbert-Elliott two-state Markov loss model: the link
+// alternates between a Good state (low loss) and a Bad state (high loss),
+// producing correlated loss bursts with tunable burst length.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace chenfd::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  /// Decides whether the next message is dropped.  Stateful models advance
+  /// their state on every call (one call per message sent).
+  [[nodiscard]] virtual bool drop_next(Rng& rng) = 0;
+
+  /// Long-run marginal loss probability of the model.
+  [[nodiscard]] virtual double steady_state_loss() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<LossModel> clone() const = 0;
+};
+
+/// Independent losses with fixed probability p_L — the paper's base model.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p_loss) : p_(p_loss) {
+    expects(p_loss >= 0.0 && p_loss < 1.0,
+            "BernoulliLoss: p must be in [0, 1)");
+  }
+
+  [[nodiscard]] bool drop_next(Rng& rng) override { return rng.bernoulli(p_); }
+  [[nodiscard]] double steady_state_loss() const override { return p_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LossModel> clone() const override {
+    return std::make_unique<BernoulliLoss>(p_);
+  }
+
+ private:
+  double p_;
+};
+
+/// Gilbert-Elliott bursty loss.  Per message, the chain first (possibly)
+/// switches state, then drops with the loss probability of the current
+/// state.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  /// p_good_to_bad / p_bad_to_good: per-message transition probabilities.
+  /// loss_good / loss_bad: per-state drop probabilities.
+  GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good,
+                     double loss_good, double loss_bad);
+
+  [[nodiscard]] bool drop_next(Rng& rng) override;
+  [[nodiscard]] double steady_state_loss() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LossModel> clone() const override;
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+  /// Mean number of consecutive messages spent in the Bad state.
+  [[nodiscard]] double mean_burst_length() const { return 1.0 / p_bg_; }
+
+ private:
+  double p_gb_;
+  double p_bg_;
+  double loss_good_;
+  double loss_bad_;
+  bool bad_ = false;
+};
+
+}  // namespace chenfd::net

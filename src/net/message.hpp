@@ -1,0 +1,25 @@
+// Heartbeat messages (Section 3.2 of the paper).
+//
+// Every heartbeat m_i carries its sequence number i and a sender-local
+// timestamp.  With synchronized clocks the timestamp equals the real sending
+// time sigma_i; with skewed clocks it is sigma_i plus the (unknown) skew —
+// which is all the Section 5.2 / 6.2.2 estimators need, since the variance
+// of (arrival - timestamp) is invariant to a constant skew.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace chenfd::net {
+
+using SeqNo = std::uint64_t;
+
+struct Message {
+  SeqNo seq = 0;                ///< heartbeat sequence number i >= 1
+  TimePoint sent_real;          ///< real (simulated) sending time sigma_i
+  TimePoint sender_timestamp;   ///< sending time per the sender's local clock
+};
+
+}  // namespace chenfd::net

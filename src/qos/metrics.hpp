@@ -1,0 +1,79 @@
+// QoS metric framework for failure detectors — Section 2 of the paper.
+//
+// Primary metrics (Section 2.2):
+//   T_D   detection time              (speed; runs where p crashes)
+//   T_MR  mistake recurrence time     (accuracy; failure-free runs)
+//   T_M   mistake duration            (accuracy; failure-free runs)
+//
+// Derived metrics (Section 2.3):
+//   lambda_M  average mistake rate
+//   P_A       query accuracy probability
+//   T_G       good period duration
+//   T_FG      forward good period duration
+//
+// This header defines the value types used to express QoS requirements and
+// measured/analytic QoS figures throughout the library.
+
+#pragma once
+
+#include <optional>
+#include <ostream>
+
+#include "common/time.hpp"
+
+namespace chenfd::qos {
+
+/// A set of failure detector QoS requirements, Section 4 Eq. (4.1):
+///
+///   T_D <= T_D^U,   E(T_MR) >= T_MR^L,   E(T_M) <= T_M^U.
+///
+/// All three bounds must be positive.
+struct Requirements {
+  Duration detection_time_upper;          ///< T_D^U
+  Duration mistake_recurrence_lower;      ///< T_MR^L
+  Duration mistake_duration_upper;        ///< T_M^U
+
+  [[nodiscard]] bool valid() const {
+    return detection_time_upper > Duration::zero() &&
+           mistake_recurrence_lower > Duration::zero() &&
+           mistake_duration_upper > Duration::zero();
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Requirements& r) {
+    return os << "{T_D^U=" << r.detection_time_upper
+              << ", T_MR^L=" << r.mistake_recurrence_lower
+              << ", T_M^U=" << r.mistake_duration_upper << "}";
+  }
+};
+
+/// Expected-value QoS figures of a failure detector in steady state.  Both
+/// the analytic formulas (Theorem 5 / 9 / 11) and measurement (QoSRecorder)
+/// produce values of this shape, which makes "paper vs measured" tables
+/// trivial to assemble.
+struct Figures {
+  Duration detection_time_bound = Duration::infinity();  ///< bound on T_D
+  Duration mistake_recurrence_mean = Duration::zero();   ///< E(T_MR)
+  Duration mistake_duration_mean = Duration::zero();     ///< E(T_M)
+
+  /// E(T_G) = E(T_MR) - E(T_M)  (Theorem 1 part 1, in expectation).
+  [[nodiscard]] Duration good_period_mean() const {
+    return mistake_recurrence_mean - mistake_duration_mean;
+  }
+  /// lambda_M = 1 / E(T_MR)  (Theorem 1 part 2).  Per second.
+  [[nodiscard]] double mistake_rate() const {
+    return 1.0 / mistake_recurrence_mean.seconds();
+  }
+  /// P_A = E(T_G) / E(T_MR)  (Theorem 1 part 2).
+  [[nodiscard]] double query_accuracy() const {
+    return good_period_mean().seconds() / mistake_recurrence_mean.seconds();
+  }
+
+  /// True if these figures satisfy the given requirements (Eq. 4.1).
+  [[nodiscard]] bool satisfies(const Requirements& req) const {
+    return detection_time_bound <= req.detection_time_upper &&
+           mistake_recurrence_mean >= req.mistake_recurrence_lower &&
+           mistake_duration_mean <= req.mistake_duration_upper;
+  }
+};
+
+}  // namespace chenfd::qos

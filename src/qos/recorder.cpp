@@ -1,0 +1,79 @@
+#include "qos/recorder.hpp"
+
+namespace chenfd::qos {
+
+Recorder::Recorder(TimePoint start, Verdict initial,
+                   std::size_t sample_capacity)
+    : start_(start),
+      current_(initial),
+      last_change_(start),
+      t_mr_(sample_capacity),
+      t_m_(sample_capacity),
+      t_g_(sample_capacity) {}
+
+void Recorder::on_transition(TimePoint at, Verdict to) {
+  expects(!finished_, "Recorder::on_transition: recorder already finished");
+  expects(at >= last_change_,
+          "Recorder::on_transition: transition times must be non-decreasing");
+  if (to == current_) return;  // not a transition
+
+  if (to == Verdict::kSuspect) {
+    // S-transition: ends a trust interval.
+    ++s_transitions_;
+    if (last_s_transition_) {
+      t_mr_.add((at - *last_s_transition_).seconds());
+    }
+    if (last_t_transition_) {
+      const double g = (at - *last_t_transition_).seconds();
+      t_g_.add(g);
+      sum_g_ += g;
+      sum_g_squared_ += g * g;
+    }
+    trust_seconds_ += (at - last_change_).seconds();
+    last_s_transition_ = at;
+  } else {
+    // T-transition: ends a suspicion interval.
+    ++t_transitions_;
+    if (last_s_transition_) {
+      t_m_.add((at - *last_s_transition_).seconds());
+    }
+    last_t_transition_ = at;
+  }
+  current_ = to;
+  last_change_ = at;
+}
+
+void Recorder::finish(TimePoint end) {
+  expects(!finished_, "Recorder::finish: already finished");
+  expects(end >= last_change_,
+          "Recorder::finish: end must not precede the last transition");
+  if (current_ == Verdict::kTrust) {
+    trust_seconds_ += (end - last_change_).seconds();
+  }
+  end_ = end;
+  finished_ = true;
+}
+
+Duration Recorder::elapsed() const {
+  expects(finished_, "Recorder::elapsed: call finish() first");
+  return end_ - start_;
+}
+
+double Recorder::query_accuracy() const {
+  const double total = elapsed().seconds();
+  expects(total > 0.0, "Recorder::query_accuracy: empty observation window");
+  return trust_seconds_ / total;
+}
+
+double Recorder::mistake_rate() const {
+  const double total = elapsed().seconds();
+  expects(total > 0.0, "Recorder::mistake_rate: empty observation window");
+  return static_cast<double>(s_transitions_) / total;
+}
+
+double Recorder::forward_good_period_mean_direct() const {
+  if (sum_g_ == 0.0) return 0.0;
+  return sum_g_squared_ / (2.0 * sum_g_);
+}
+
+}  // namespace chenfd::qos

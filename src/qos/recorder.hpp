@@ -1,0 +1,98 @@
+// Measures the QoS accuracy metrics of a failure detector from its output
+// signal (Section 2 of the paper).
+//
+// The recorder consumes the sequence of output transitions of a failure
+// detector over an observation window [start, end] in a failure-free run and
+// produces:
+//
+//   - T_MR samples  (S-transition to next S-transition)
+//   - T_M  samples  (S-transition to next T-transition)
+//   - T_G  samples  (T-transition to next S-transition)
+//   - P_A           (fraction of time the output is Trust)
+//   - lambda_M      (S-transitions per unit time)
+//   - E(T_FG)       (time-average of the remaining good period, measured by
+//                    direct integration over the signal rather than via
+//                    Theorem 1 — so the two can be cross-checked)
+//
+// Intervals that are cut off by the window boundaries are discarded, so all
+// samples are complete intervals.  Callers measuring steady-state behaviour
+// should start the window after the detector has warmed up (for NFD-S this
+// is tau_1; see Section 3.2).
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+#include "common/verdict.hpp"
+#include "stats/sample_set.hpp"
+
+namespace chenfd::qos {
+
+class Recorder {
+ public:
+  /// Begins observing at `start`, when the detector output is `initial`.
+  Recorder(TimePoint start, Verdict initial,
+           std::size_t sample_capacity = 1u << 20);
+
+  /// Feed the next output transition.  Transitions at the same verdict are
+  /// ignored; times must be non-decreasing and >= start.
+  void on_transition(TimePoint at, Verdict to);
+  void on_transition(const Transition& t) { on_transition(t.at, t.to); }
+
+  /// Closes the observation window.  Must be called exactly once, with
+  /// end >= the last transition time, before reading time-average metrics.
+  void finish(TimePoint end);
+
+  [[nodiscard]] const stats::SampleSet& mistake_recurrence() const {
+    return t_mr_;
+  }
+  [[nodiscard]] const stats::SampleSet& mistake_duration() const {
+    return t_m_;
+  }
+  [[nodiscard]] const stats::SampleSet& good_period() const { return t_g_; }
+
+  [[nodiscard]] std::size_t s_transitions() const { return s_transitions_; }
+  [[nodiscard]] std::size_t t_transitions() const { return t_transitions_; }
+
+  /// Length of the observation window.  Valid after finish().
+  [[nodiscard]] Duration elapsed() const;
+  /// P_A: fraction of the window during which the output was Trust.
+  [[nodiscard]] double query_accuracy() const;
+  /// lambda_M: S-transitions per second of window.
+  [[nodiscard]] double mistake_rate() const;
+
+  /// E(T_FG) measured directly: a query at a uniformly random trusting time
+  /// sees remaining good period with mean  sum(g_i^2/2) / sum(g_i)  taken
+  /// over complete good periods.  (Compare with
+  /// qos::forward_good_period_mean applied to the T_G sample moments.)
+  [[nodiscard]] double forward_good_period_mean_direct() const;
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] Verdict current() const { return current_; }
+
+ private:
+  TimePoint start_;
+  TimePoint end_{};
+  Verdict current_;
+  TimePoint last_change_;
+  bool finished_ = false;
+
+  std::optional<TimePoint> last_s_transition_;
+  std::optional<TimePoint> last_t_transition_;
+
+  stats::SampleSet t_mr_;
+  stats::SampleSet t_m_;
+  stats::SampleSet t_g_;
+
+  std::size_t s_transitions_ = 0;
+  std::size_t t_transitions_ = 0;
+
+  double trust_seconds_ = 0.0;
+  double sum_g_ = 0.0;          // sum of complete good periods
+  double sum_g_squared_ = 0.0;  // sum of their squares
+};
+
+}  // namespace chenfd::qos

@@ -1,0 +1,69 @@
+// Theorem 1 of the paper: how the six accuracy metrics are related for an
+// ergodic failure detector.
+//
+//   1) T_G = T_MR - T_M
+//   2) lambda_M = 1/E(T_MR),  P_A = E(T_G)/E(T_MR)
+//   3a) Pr(T_FG <= x) = Int_0^x Pr(T_G > y) dy / E(T_G)
+//   3b) E(T_FG^k) = E(T_G^{k+1}) / [(k+1) E(T_G)]
+//   3c) E(T_FG) = [1 + V(T_G)/E(T_G)^2] * E(T_G) / 2
+//
+// 3c is the "waiting time paradox": the forward good period is in general
+// longer than half a good period, because a random query is more likely to
+// land inside a long good period than a short one.
+
+#pragma once
+
+#include "common/check.hpp"
+#include "stats/sample_set.hpp"
+
+namespace chenfd::qos {
+
+/// lambda_M = 1 / E(T_MR).   Requires 0 < E(T_MR) < infinity.
+[[nodiscard]] inline double mistake_rate(double e_tmr) {
+  expects(e_tmr > 0.0, "mistake_rate: E(T_MR) must be positive");
+  return 1.0 / e_tmr;
+}
+
+/// P_A = E(T_G) / E(T_MR).
+[[nodiscard]] inline double query_accuracy(double e_tg, double e_tmr) {
+  expects(e_tmr > 0.0, "query_accuracy: E(T_MR) must be positive");
+  expects(e_tg >= 0.0, "query_accuracy: E(T_G) must be non-negative");
+  return e_tg / e_tmr;
+}
+
+/// Theorem 1 part 3c: E(T_FG) from the mean and variance of T_G.
+[[nodiscard]] inline double forward_good_period_mean(double e_tg,
+                                                     double v_tg) {
+  if (e_tg == 0.0) return 0.0;  // Theorem 1 part 3: E(T_G)=0 => T_FG == 0.
+  expects(e_tg > 0.0, "forward_good_period_mean: E(T_G) must be >= 0");
+  expects(v_tg >= 0.0, "forward_good_period_mean: V(T_G) must be >= 0");
+  return (1.0 + v_tg / (e_tg * e_tg)) * e_tg / 2.0;
+}
+
+/// Theorem 1 part 3b: E(T_FG^k) = E(T_G^{k+1}) / [(k+1) E(T_G)], evaluated
+/// on an empirical sample of good-period durations.
+[[nodiscard]] inline double forward_good_period_moment(
+    const stats::SampleSet& good_periods, int k) {
+  expects(k >= 1, "forward_good_period_moment: k must be >= 1");
+  const double e_tg = good_periods.mean();
+  if (good_periods.count() == 0 || e_tg == 0.0) return 0.0;
+  return good_periods.moment(k + 1) /
+         (static_cast<double>(k + 1) * e_tg);
+}
+
+/// Theorem 1 part 3a: Pr(T_FG <= x) = Int_0^x Pr(T_G > y) dy / E(T_G),
+/// evaluated against the empirical distribution of T_G.  For an empirical
+/// sample {g_i}, Int_0^x Pr(T_G > y) dy = mean_i min(g_i, x).
+[[nodiscard]] inline double forward_good_period_cdf(
+    const stats::SampleSet& good_periods, double x) {
+  expects(x >= 0.0, "forward_good_period_cdf: x must be >= 0");
+  const double e_tg = good_periods.mean();
+  if (good_periods.count() == 0) return 0.0;
+  if (e_tg == 0.0) return 1.0;  // T_FG is identically 0.
+  double acc = 0.0;
+  for (double g : good_periods.samples()) acc += (g < x) ? g : x;
+  acc /= static_cast<double>(good_periods.samples().size());
+  return acc / e_tg;
+}
+
+}  // namespace chenfd::qos

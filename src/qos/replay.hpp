@@ -1,0 +1,36 @@
+// Builds a Recorder from a recorded transition history — used to measure a
+// detector over a sub-window (discarding warm-up) and to evaluate scripted
+// output signals such as the FD_1 / FD_2 illustrations of Figs. 2 and 3.
+
+#pragma once
+
+#include <span>
+
+#include "common/time.hpp"
+#include "common/verdict.hpp"
+#include "qos/recorder.hpp"
+
+namespace chenfd::qos {
+
+/// Replays `transitions` (sorted by time) through a Recorder observing
+/// [start, end].  The verdict at `start` is inferred from the last
+/// transition at or before `start` (detectors start suspecting, so the
+/// default before any transition is Suspect).
+[[nodiscard]] inline Recorder replay(std::span<const Transition> transitions,
+                                     TimePoint start, TimePoint end,
+                                     std::size_t sample_capacity = 1u << 20) {
+  Verdict initial = Verdict::kSuspect;
+  std::size_t i = 0;
+  while (i < transitions.size() && transitions[i].at <= start) {
+    initial = transitions[i].to;
+    ++i;
+  }
+  Recorder rec(start, initial, sample_capacity);
+  for (; i < transitions.size() && transitions[i].at <= end; ++i) {
+    rec.on_transition(transitions[i]);
+  }
+  rec.finish(end);
+  return rec;
+}
+
+}  // namespace chenfd::qos

@@ -1,0 +1,130 @@
+#include "service/adaptive.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "core/chebyshev.hpp"
+
+namespace chenfd::service {
+
+AdaptiveMonitor::AdaptiveMonitor(sim::Simulator& simulator,
+                                 const clk::Clock& q_clock,
+                                 core::HeartbeatSender& sender,
+                                 Options options)
+    : sim_(simulator),
+      q_clock_(q_clock),
+      sender_(sender),
+      options_(options),
+      detector_(simulator, q_clock, options.initial),
+      estimator_(options.short_window, options.long_window) {
+  expects(options_.requirements.valid(),
+          "AdaptiveMonitor: invalid QoS requirements");
+  expects(options_.reconfig_interval > Duration::zero(),
+          "AdaptiveMonitor: reconfiguration interval must be positive");
+  // Relay the inner detector's output as our own.
+  detector_.add_listener(
+      [this](const Transition& t) { set_output(t.at, t.to); });
+}
+
+void AdaptiveMonitor::activate() {
+  detector_.activate();
+  timer_ = sim_.after(options_.reconfig_interval, [this] { reconfigure(); });
+}
+
+void AdaptiveMonitor::stop() {
+  stopped_ = true;
+  if (timer_ != 0) sim_.cancel(timer_);
+  detector_.stop();
+}
+
+void AdaptiveMonitor::on_heartbeat(const net::Message& m, TimePoint real_now) {
+  estimator_.on_heartbeat(m.seq, m.sender_timestamp,
+                          q_clock_.local(real_now));
+  detector_.on_heartbeat(m, real_now);
+}
+
+void AdaptiveMonitor::update_requirements(
+    const core::RelativeRequirements& req) {
+  expects(req.valid(), "AdaptiveMonitor::update_requirements: invalid");
+  options_.requirements = req;
+}
+
+void AdaptiveMonitor::reconfigure() {
+  if (stopped_) return;
+  timer_ = sim_.after(options_.reconfig_interval, [this] { reconfigure(); });
+
+  // Need enough observations for a meaningful variance estimate.
+  if (estimator_.long_term().samples() < 8) return;
+
+  const double raw_loss = options_.use_two_component
+                              ? estimator_.loss_probability()
+                              : estimator_.long_term().loss_probability();
+  const double raw_variance = options_.use_two_component
+                                  ? estimator_.delay_variance()
+                                  : estimator_.long_term().delay_variance();
+  // Smooth across rounds so single-window noise does not flap the rate.
+  const double a = options_.estimate_smoothing;
+  smoothed_loss_ =
+      smoothed_loss_ < 0.0 ? raw_loss : a * raw_loss + (1 - a) * smoothed_loss_;
+  smoothed_variance_ = smoothed_variance_ < 0.0
+                           ? raw_variance
+                           : a * raw_variance + (1 - a) * smoothed_variance_;
+  const double p_loss = smoothed_loss_;
+  const double variance = smoothed_variance_;
+  if (p_loss >= 1.0) {
+    qos_at_risk_ = true;
+    return;
+  }
+
+  // Configure the candidate target with headroom on the recurrence bound,
+  // so the running parameters sit comfortably inside the requirement
+  // rather than exactly on its edge.
+  core::RelativeRequirements padded = options_.requirements;
+  padded.mistake_recurrence_lower =
+      padded.mistake_recurrence_lower * options_.recurrence_safety_factor;
+  auto outcome = core::configure_nfd_u(padded, p_loss, variance);
+  if (!outcome.achievable()) {
+    // Fall back to the unpadded requirement before declaring risk.
+    outcome = core::configure_nfd_u(options_.requirements, p_loss, variance);
+  }
+  if (!outcome.achievable()) {
+    qos_at_risk_ = true;
+    return;
+  }
+  qos_at_risk_ = false;
+
+  const core::NfdUParams target = *outcome.params;
+  const double eta_now = detector_.params().eta.seconds();
+
+  // Prefer keeping the current sending rate (no epoch reset): re-derive
+  // alpha from the detection budget at the CURRENT eta and re-check the
+  // Theorem 11 bounds against the current estimates.  A full rebase (rate
+  // renegotiation with p) happens only when the kept parameters are no
+  // longer provably sufficient, or when the achievable eta is enough
+  // larger that the bandwidth saving justifies the reset.
+  const Duration kept_alpha =
+      options_.requirements.detection_time_upper_rel - detector_.params().eta;
+  bool keep_ok = false;
+  if (kept_alpha > Duration::zero()) {
+    const core::NfdUParams kept{detector_.params().eta, kept_alpha};
+    const auto b = core::nfd_u_bounds(kept, p_loss, variance);
+    keep_ok = b.mistake_recurrence_lower >=
+                  options_.requirements.mistake_recurrence_lower &&
+              b.mistake_duration_upper <=
+                  options_.requirements.mistake_duration_upper;
+    if (keep_ok &&
+        target.eta.seconds() <= eta_now * (1.0 + options_.eta_hysteresis)) {
+      detector_.set_params(kept);
+      return;
+    }
+  }
+
+  // Renegotiate the heartbeat rate: the p-side agent switches to the new
+  // eta, and the q-side detector rebases its estimation epoch at the first
+  // sequence number sent under the new rate.
+  sender_.set_eta(target.eta);
+  detector_.rebase(target, sender_.next_seq());
+  ++reconfigs_;
+}
+
+}  // namespace chenfd::service

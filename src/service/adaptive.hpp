@@ -1,0 +1,108 @@
+// The adaptive failure detection service (Section 8.1).
+//
+// Periodically re-executes the Fig. 11 configuration pipeline:
+//
+//   estimator  --(p_L, V(D), EAs)-->  configurator  --(eta, alpha)-->  NFD-E
+//
+// The estimator watches the live heartbeat stream (optionally with the
+// two-component short/long-window scheme of Section 8.1.2 for bursty
+// networks).  At each reconfiguration interval the service re-runs the
+// Section 6 configuration procedure against the *current* estimates; when
+// the result differs enough from the running parameters it renegotiates the
+// heartbeat rate with the sender (set_eta) and rebases the detector's
+// estimation epoch.  The control channel between the service's q-side and
+// p-side agents is modeled as instantaneous — a deliberate substitution
+// (see DESIGN.md): the paper's service architecture [15] co-locates agents
+// with both processes, and control traffic is orders of magnitude rarer
+// than heartbeats.
+//
+// If the current estimates make the registered QoS unachievable (Theorem 12
+// case 2), the service keeps its previous parameters and raises the
+// qos_at_risk flag for applications to inspect.
+
+#pragma once
+
+#include <cstddef>
+
+#include "clock/clock.hpp"
+#include "core/config.hpp"
+#include "core/estimators.hpp"
+#include "core/heartbeat_sender.hpp"
+#include "core/nfd_e.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::service {
+
+class AdaptiveMonitor final : public core::FailureDetector {
+ public:
+  struct Options {
+    core::RelativeRequirements requirements;  ///< QoS target (Section 6 form)
+    core::NfdEParams initial;                 ///< parameters before estimates exist
+    Duration reconfig_interval = seconds(60.0);
+    std::size_t short_window = 16;   ///< two-component short term
+    std::size_t long_window = 256;   ///< two-component long term
+    bool use_two_component = true;   ///< false: long window only
+    /// Re-parameterize only when eta changes by more than this relative
+    /// amount (avoids needless epoch resets from estimation noise).
+    double eta_hysteresis = 0.25;
+    /// Exponential smoothing factor applied to the (p_L, V(D)) estimates
+    /// across reconfiguration rounds (1 = use raw estimates).  Smoothing
+    /// keeps single-window noise from flapping the heartbeat rate.
+    double estimate_smoothing = 0.3;
+    /// When computing a new target, the mistake-recurrence requirement is
+    /// inflated by this factor.  The Section 6 procedure otherwise lands
+    /// exactly on the requirement edge, where any estimate noise would
+    /// flip feasibility and flap the rate; headroom buys stability at a
+    /// small bandwidth cost.
+    double recurrence_safety_factor = 2.0;
+  };
+
+  AdaptiveMonitor(sim::Simulator& simulator, const clk::Clock& q_clock,
+                  core::HeartbeatSender& sender, Options options);
+
+  void activate() override;
+  void on_heartbeat(const net::Message& m, TimePoint real_now) override;
+  void stop();
+
+  /// Replaces the QoS target (e.g. when the application registry changes);
+  /// takes effect at the next reconfiguration.
+  void update_requirements(const core::RelativeRequirements& req);
+
+  [[nodiscard]] core::NfdUParams current_params() const {
+    return detector_.params();
+  }
+  /// True if the last reconfiguration attempt found the target
+  /// unachievable under current network estimates.
+  [[nodiscard]] bool qos_at_risk() const { return qos_at_risk_; }
+  [[nodiscard]] std::size_t reconfigurations() const { return reconfigs_; }
+  /// Current detection-time bound *relative to E(D)* (Section 6.2):
+  /// T_D <= this + E(D).  With unsynchronized clocks the absolute E(D) is
+  /// unknowable from one-way messages — the arrival-minus-timestamp mean
+  /// absorbs the clock skew — so only the relative bound is reportable.
+  [[nodiscard]] Duration relative_detection_bound() const {
+    return detector_.params().eta + detector_.params().alpha;
+  }
+
+  [[nodiscard]] const core::TwoComponentEstimator& estimator() const {
+    return estimator_;
+  }
+
+ private:
+  void reconfigure();
+
+  sim::Simulator& sim_;
+  const clk::Clock& q_clock_;
+  core::HeartbeatSender& sender_;
+  Options options_;
+  core::NfdE detector_;
+  core::TwoComponentEstimator estimator_;
+  bool qos_at_risk_ = false;
+  std::size_t reconfigs_ = 0;
+  sim::EventId timer_ = 0;
+  bool stopped_ = false;
+  // EWMA state for the configuration inputs (negative = not primed yet).
+  double smoothed_loss_ = -1.0;
+  double smoothed_variance_ = -1.0;
+};
+
+}  // namespace chenfd::service

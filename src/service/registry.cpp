@@ -1,0 +1,59 @@
+#include "service/registry.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace chenfd::service {
+
+AppId RequirementRegistry::add(const qos::Requirements& req) {
+  expects(req.valid(), "RequirementRegistry::add: invalid requirements");
+  const AppId id = next_id_++;
+  apps_.emplace(id, req);
+  return id;
+}
+
+bool RequirementRegistry::remove(AppId id) { return apps_.erase(id) > 0; }
+
+std::optional<qos::Requirements> RequirementRegistry::merged() const {
+  if (apps_.empty()) return std::nullopt;
+  qos::Requirements out = apps_.begin()->second;
+  for (const auto& [id, req] : apps_) {
+    out.detection_time_upper =
+        std::min(out.detection_time_upper, req.detection_time_upper);
+    out.mistake_recurrence_lower =
+        std::max(out.mistake_recurrence_lower, req.mistake_recurrence_lower);
+    out.mistake_duration_upper =
+        std::min(out.mistake_duration_upper, req.mistake_duration_upper);
+  }
+  return out;
+}
+
+AppId RelativeRequirementRegistry::add(const core::RelativeRequirements& req) {
+  expects(req.valid(),
+          "RelativeRequirementRegistry::add: invalid requirements");
+  const AppId id = next_id_++;
+  apps_.emplace(id, req);
+  return id;
+}
+
+bool RelativeRequirementRegistry::remove(AppId id) {
+  return apps_.erase(id) > 0;
+}
+
+std::optional<core::RelativeRequirements> RelativeRequirementRegistry::merged()
+    const {
+  if (apps_.empty()) return std::nullopt;
+  core::RelativeRequirements out = apps_.begin()->second;
+  for (const auto& [id, req] : apps_) {
+    out.detection_time_upper_rel = std::min(out.detection_time_upper_rel,
+                                            req.detection_time_upper_rel);
+    out.mistake_recurrence_lower =
+        std::max(out.mistake_recurrence_lower, req.mistake_recurrence_lower);
+    out.mistake_duration_upper =
+        std::min(out.mistake_duration_upper, req.mistake_duration_upper);
+  }
+  return out;
+}
+
+}  // namespace chenfd::service

@@ -1,0 +1,59 @@
+// Multi-application QoS demand registry (Section 8.1.1).
+//
+// The failure detection service of the paper "is intended to be shared
+// among many different concurrent applications, each with a different set
+// of QoS requirements", adapting "to changes in the current set of QoS
+// demands (as new applications are started and old ones terminate)".
+//
+// Merging rule: the service must satisfy every registered application, so
+// the merged requirement takes the tightest bound of each component —
+// the minimum detection-time bound, the maximum mistake-recurrence lower
+// bound, and the minimum mistake-duration upper bound.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/config.hpp"
+#include "qos/metrics.hpp"
+
+namespace chenfd::service {
+
+using AppId = std::uint64_t;
+
+/// Registry for absolute requirements (synchronized clocks, Section 4/5).
+class RequirementRegistry {
+ public:
+  /// Registers an application's demands; returns its handle.
+  AppId add(const qos::Requirements& req);
+
+  /// Deregisters an application; returns false if the handle is unknown.
+  bool remove(AppId id);
+
+  [[nodiscard]] std::size_t size() const { return apps_.size(); }
+
+  /// The merged (tightest) requirement, or nullopt when no application is
+  /// registered.
+  [[nodiscard]] std::optional<qos::Requirements> merged() const;
+
+ private:
+  std::map<AppId, qos::Requirements> apps_;
+  AppId next_id_ = 1;
+};
+
+/// Registry for relative requirements (unsynchronized clocks, Section 6).
+class RelativeRequirementRegistry {
+ public:
+  AppId add(const core::RelativeRequirements& req);
+  bool remove(AppId id);
+  [[nodiscard]] std::size_t size() const { return apps_.size(); }
+  [[nodiscard]] std::optional<core::RelativeRequirements> merged() const;
+
+ private:
+  std::map<AppId, core::RelativeRequirements> apps_;
+  AppId next_id_ = 1;
+};
+
+}  // namespace chenfd::service

@@ -1,0 +1,88 @@
+// A cancellable, deterministically ordered event queue for discrete-event
+// simulation.
+//
+// Events scheduled for the same time fire in scheduling order (FIFO), which
+// makes simulations reproducible bit-for-bit across runs.  Cancellation is
+// lazy: cancelled events stay in the heap and are skipped on pop, which
+// keeps both schedule() and cancel() cheap.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace chenfd::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` to run at time `at`.  Returns a handle for cancel().
+  EventId schedule(TimePoint at, EventFn fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{at, id, std::move(fn)});
+    live_.insert(id);
+    return id;
+  }
+
+  /// Cancels a pending event.  Returns false if the event already ran, was
+  /// already cancelled, or never existed.
+  bool cancel(EventId id) { return live_.erase(id) > 0; }
+
+  /// Time of the earliest pending (non-cancelled) event.
+  [[nodiscard]] std::optional<TimePoint> next_time() {
+    skip_dead();
+    if (heap_.empty()) return std::nullopt;
+    return heap_.top().at;
+  }
+
+  /// Pops and returns the earliest pending event, if any.
+  std::optional<std::pair<TimePoint, EventFn>> pop() {
+    skip_dead();
+    if (heap_.empty()) return std::nullopt;
+    // Entry::fn is moved out; the const_cast is confined to this one spot
+    // because std::priority_queue only exposes const access to top().
+    auto& top = const_cast<Entry&>(heap_.top());
+    std::pair<TimePoint, EventFn> out{top.at, std::move(top.fn)};
+    live_.erase(top.id);
+    heap_.pop();
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  void skip_dead() {
+    while (!heap_.empty() && live_.count(heap_.top().id) == 0) {
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> live_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace chenfd::sim

@@ -1,0 +1,65 @@
+// A fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+// Used by benches to print delay and interval distributions.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace chenfd::stats {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    expects(hi > lo, "Histogram: hi must exceed lo");
+    expects(bins > 0, "Histogram: need at least one bin");
+  }
+
+  void add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+    } else if (x >= hi_) {
+      ++overflow_;
+    } else {
+      const double frac = (x - lo_) / (hi_ - lo_);
+      auto idx = static_cast<std::size_t>(frac *
+                                          static_cast<double>(counts_.size()));
+      if (idx >= counts_.size()) idx = counts_.size() - 1;
+      ++counts_[idx];
+    }
+  }
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    expects(bin < counts_.size(), "Histogram::count: bin out of range");
+    return counts_[bin];
+  }
+  [[nodiscard]] double bin_lo(std::size_t bin) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Fraction of all observations falling in `bin`.
+  [[nodiscard]] double fraction(std::size_t bin) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(bin)) / static_cast<double>(total_);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace chenfd::stats

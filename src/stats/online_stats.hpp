@@ -1,0 +1,74 @@
+// Numerically stable online summary statistics (Welford's algorithm).
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace chenfd::stats {
+
+/// Accumulates count, mean, variance, min and max of a stream of doubles
+/// in O(1) memory using Welford's online algorithm.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const OnlineStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? mean_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  /// Population variance (divides by n).
+  [[nodiscard]] double variance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_)
+                      : std::numeric_limits<double>::quiet_NaN();
+  }
+  /// Unbiased sample variance (divides by n-1).
+  [[nodiscard]] double sample_variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1)
+                      : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double min() const {
+    return count_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return count_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace chenfd::stats

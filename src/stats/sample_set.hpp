@@ -1,0 +1,89 @@
+// A bounded sample reservoir with exact moments and empirical distribution
+// queries.  Used by the QoS recorder to retain T_G / T_MR / T_M samples so
+// that higher moments (needed by Theorem 1 part 3 of the paper, the forward
+// good period formulas) and quantiles can be computed after a run.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "stats/online_stats.hpp"
+
+namespace chenfd::stats {
+
+/// Stores up to `capacity` samples verbatim (no reservoir subsampling by
+/// default; callers that feed more than `capacity` samples simply stop
+/// retaining raw values but keep exact online statistics).
+class SampleSet {
+ public:
+  explicit SampleSet(std::size_t capacity = 1u << 20) : capacity_(capacity) {}
+
+  void add(double x) {
+    online_.add(x);
+    if (samples_.size() < capacity_) samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return online_.count(); }
+  [[nodiscard]] double mean() const { return online_.mean(); }
+  [[nodiscard]] double variance() const { return online_.variance(); }
+  [[nodiscard]] double min() const { return online_.min(); }
+  [[nodiscard]] double max() const { return online_.max(); }
+  [[nodiscard]] const OnlineStats& online() const { return online_; }
+
+  /// True if every sample fed to add() is still retained.
+  [[nodiscard]] bool complete() const {
+    return samples_.size() == online_.count();
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  /// k-th raw moment E(X^k) over the retained samples.
+  [[nodiscard]] double moment(int k) const {
+    expects(k >= 1, "SampleSet::moment: k must be >= 1");
+    if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+    double acc = 0.0;
+    for (double x : samples_) acc += std::pow(x, k);
+    return acc / static_cast<double>(samples_.size());
+  }
+
+  /// Empirical Pr(X > x) over the retained samples.
+  [[nodiscard]] double tail_probability(double x) const {
+    if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+    const auto above = std::count_if(samples_.begin(), samples_.end(),
+                                     [x](double s) { return s > x; });
+    return static_cast<double>(above) / static_cast<double>(samples_.size());
+  }
+
+  /// Empirical q-quantile (q in [0,1]) over the retained samples.
+  [[nodiscard]] double quantile(double q) {
+    expects(q >= 0.0 && q <= 1.0, "SampleSet::quantile: q must be in [0,1]");
+    if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+    sort_if_needed();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+ private:
+  void sort_if_needed() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::size_t capacity_;
+  std::vector<double> samples_;
+  OnlineStats online_;
+  bool sorted_ = false;
+};
+
+}  // namespace chenfd::stats

@@ -1,0 +1,189 @@
+// Tests for the adaptive failure detection service (Section 8.1).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/testbed.hpp"
+#include "dist/exponential.hpp"
+#include "net/loss_model.hpp"
+#include "qos/replay.hpp"
+#include "service/adaptive.hpp"
+
+namespace chenfd::service {
+namespace {
+
+using core::RelativeRequirements;
+
+struct Rig {
+  core::Testbed tb;
+  AdaptiveMonitor monitor;
+  std::vector<Transition> log;
+
+  Rig(double p_loss, double delay_mean, AdaptiveMonitor::Options opts,
+      std::uint64_t seed)
+      : tb(make_config(p_loss, delay_mean, seed)),
+        monitor(tb.simulator(), tb.q_clock(), tb.sender(), opts) {
+    monitor.add_listener([this](const Transition& t) { log.push_back(t); });
+    tb.attach(monitor);
+    tb.start();
+  }
+
+  static core::Testbed::Config make_config(double p_loss, double delay_mean,
+                                           std::uint64_t seed) {
+    core::Testbed::Config cfg;
+    cfg.delay = std::make_unique<dist::Exponential>(delay_mean);
+    cfg.loss = std::make_unique<net::BernoulliLoss>(p_loss);
+    cfg.eta = seconds(1.0);
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+AdaptiveMonitor::Options default_options() {
+  AdaptiveMonitor::Options o;
+  o.requirements =
+      RelativeRequirements{seconds(8.0), seconds(2000.0), seconds(4.0)};
+  o.initial = core::NfdEParams{Duration(1.0), Duration(1.0), 32};
+  o.reconfig_interval = seconds(50.0);
+  return o;
+}
+
+TEST(AdaptiveMonitor, ReconfiguresTowardOptimalEta) {
+  Rig rig(0.01, 0.02, default_options(), 5001);
+  rig.tb.simulator().run_until(TimePoint(2000.0));
+
+  // Reference: what the Section 6 configurator would choose with the TRUE
+  // network parameters.
+  const auto ref = core::configure_nfd_u(
+      RelativeRequirements{seconds(8.0), seconds(2000.0), seconds(4.0)},
+      0.01, 0.02 * 0.02);
+  ASSERT_TRUE(ref.achievable());
+  EXPECT_GE(rig.monitor.reconfigurations(), 1u);
+  EXPECT_NEAR(rig.monitor.current_params().eta.seconds(),
+              ref.params->eta.seconds(),
+              0.25 * ref.params->eta.seconds());
+  EXPECT_FALSE(rig.monitor.qos_at_risk());
+}
+
+TEST(AdaptiveMonitor, SlowsHeartbeatRateToSaveBandwidth) {
+  // The initial eta = 1 is more aggressive than the QoS needs; the service
+  // should renegotiate a larger (cheaper) eta.
+  Rig rig(0.01, 0.02, default_options(), 5002);
+  rig.tb.simulator().run_until(TimePoint(2000.0));
+  EXPECT_GT(rig.monitor.current_params().eta.seconds(), 2.0);
+  EXPECT_GT(rig.tb.sender().eta().seconds(), 2.0);
+  // Sender and detector stay in sync on eta.
+  EXPECT_DOUBLE_EQ(rig.tb.sender().eta().seconds(),
+                   rig.monitor.current_params().eta.seconds());
+}
+
+TEST(AdaptiveMonitor, DetectionBoundTracksParameters) {
+  Rig rig(0.01, 0.02, default_options(), 5003);
+  rig.tb.simulator().run_until(TimePoint(2000.0));
+  const auto p = rig.monitor.current_params();
+  const double bound = rig.monitor.relative_detection_bound().seconds();
+  EXPECT_DOUBLE_EQ(bound, p.eta.seconds() + p.alpha.seconds());
+  // And it respects the relative requirement T_D^u.
+  EXPECT_LE(bound, 8.0 + 1e-9);
+}
+
+TEST(AdaptiveMonitor, KeepsTrustingAcrossReconfigurations) {
+  // Epoch resets must not flap the output: in a loss-free run the detector
+  // should trust essentially the whole time after warm-up.
+  auto opts = default_options();
+  Rig rig(0.0, 0.02, opts, 5004);
+  rig.tb.simulator().run_until(TimePoint(3000.0));
+  const auto rec =
+      qos::replay(rig.log, TimePoint(100.0), TimePoint(3000.0));
+  EXPECT_GT(rec.query_accuracy(), 0.98);
+}
+
+TEST(AdaptiveMonitor, AdaptsToNetworkDegradation) {
+  auto opts = default_options();
+  // Looser accuracy target so the degraded network stays feasible.
+  opts.requirements =
+      RelativeRequirements{seconds(10.0), seconds(500.0), seconds(5.0)};
+  Rig rig(0.01, 0.02, opts, 5005);
+  rig.tb.simulator().run_until(TimePoint(1500.0));
+  const double variance_before = rig.monitor.estimator().delay_variance();
+
+  // Regime change: delays grow 10x in mean (100x in variance), loss 5x.
+  rig.tb.link().set_delay(std::make_unique<dist::Exponential>(0.2));
+  rig.tb.link().set_loss(std::make_unique<net::BernoulliLoss>(0.05));
+  rig.tb.simulator().run_until(TimePoint(4000.0));
+
+  EXPECT_GT(rig.monitor.estimator().delay_variance(),
+            10.0 * variance_before);
+  EXPECT_FALSE(rig.monitor.qos_at_risk());
+  // Still functional after the change: mostly trusting.
+  const auto rec =
+      qos::replay(rig.log, TimePoint(2500.0), TimePoint(4000.0));
+  EXPECT_GT(rec.query_accuracy(), 0.9);
+}
+
+TEST(AdaptiveMonitor, UpdateRequirementsRetargets) {
+  Rig rig(0.01, 0.02, default_options(), 5006);
+  rig.tb.simulator().run_until(TimePoint(1500.0));
+  const double eta_before = rig.monitor.current_params().eta.seconds();
+  // A far stricter mistake-recurrence target must shrink eta.
+  rig.monitor.update_requirements(
+      RelativeRequirements{seconds(8.0), days(30.0), seconds(4.0)});
+  rig.tb.simulator().run_until(TimePoint(3000.0));
+  EXPECT_LT(rig.monitor.current_params().eta.seconds(), eta_before);
+}
+
+TEST(AdaptiveMonitor, HysteresisAvoidsNeedlessEpochResets) {
+  auto opts = default_options();
+  opts.eta_hysteresis = 1000.0;  // effectively: never rebase
+  Rig rig(0.01, 0.02, opts, 5007);
+  rig.tb.simulator().run_until(TimePoint(2000.0));
+  EXPECT_EQ(rig.monitor.reconfigurations(), 0u);
+  // eta untouched; only alpha may track the target.
+  EXPECT_DOUBLE_EQ(rig.monitor.current_params().eta.seconds(), 1.0);
+}
+
+TEST(AdaptiveMonitor, RejectsInvalidOptions) {
+  core::Testbed tb(Rig::make_config(0.01, 0.02, 5008));
+  auto opts = default_options();
+  opts.requirements = RelativeRequirements{seconds(0.0), seconds(1.0),
+                                           seconds(1.0)};
+  EXPECT_THROW(AdaptiveMonitor(tb.simulator(), tb.q_clock(), tb.sender(),
+                               opts),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveMonitor, DetectsCrashAfterRebases) {
+  // The crash path must survive epoch resets: after the service has
+  // renegotiated the rate at least once, a real crash is still detected
+  // within the relative bound (+ E(D), + one estimation slack).
+  Rig rig(0.01, 0.02, default_options(), 5010);
+  rig.tb.simulator().run_until(TimePoint(1500.0));
+  ASSERT_GE(rig.monitor.reconfigurations(), 1u);
+  const TimePoint crash(1501.25);
+  rig.tb.crash_p_at(crash);
+  rig.tb.simulator().run_until(TimePoint(1600.0));
+  EXPECT_EQ(rig.monitor.output(), Verdict::kSuspect);
+  ASSERT_FALSE(rig.log.empty());
+  EXPECT_EQ(rig.log.back().to, Verdict::kSuspect);
+  const double t_d = (rig.log.back().at - crash).seconds();
+  EXPECT_GT(t_d, 0.0);
+  EXPECT_LE(t_d,
+            rig.monitor.relative_detection_bound().seconds() + 0.02 + 0.5);
+}
+
+TEST(AdaptiveMonitor, StopQuiescesService) {
+  Rig rig(0.01, 0.02, default_options(), 5009);
+  rig.tb.simulator().run_until(TimePoint(500.0));
+  rig.monitor.stop();
+  const std::size_t reconfigs = rig.monitor.reconfigurations();
+  const std::size_t transitions = rig.log.size();
+  rig.tb.simulator().run_until(TimePoint(2000.0));
+  EXPECT_EQ(rig.monitor.reconfigurations(), reconfigs);
+  EXPECT_EQ(rig.log.size(), transitions);
+}
+
+}  // namespace
+}  // namespace chenfd::service

@@ -1,0 +1,227 @@
+// Tests for the Proposition 3 / Theorem 5 analysis, validated against hand
+// closed forms on a constant-delay link and structural properties on
+// continuous distributions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "dist/constant.hpp"
+#include "dist/exponential.hpp"
+#include "dist/uniform.hpp"
+
+namespace chenfd::core {
+namespace {
+
+TEST(NfdSAnalysis, KIsCeilingOfDeltaOverEta) {
+  dist::Exponential d(0.02);
+  EXPECT_EQ(NfdSAnalysis(NfdSParams{Duration(1.0), Duration(0.5)}, 0.0, d).k(),
+            1);
+  EXPECT_EQ(NfdSAnalysis(NfdSParams{Duration(1.0), Duration(1.0)}, 0.0, d).k(),
+            1);
+  EXPECT_EQ(NfdSAnalysis(NfdSParams{Duration(1.0), Duration(1.5)}, 0.0, d).k(),
+            2);
+  EXPECT_EQ(NfdSAnalysis(NfdSParams{Duration(1.0), Duration(2.0)}, 0.0, d).k(),
+            2);
+  EXPECT_EQ(NfdSAnalysis(NfdSParams{Duration(1.0), Duration(2.5)}, 0.0, d).k(),
+            3);
+  // Robustness to floating-point noise around an integer ratio.
+  EXPECT_EQ(NfdSAnalysis(NfdSParams{Duration(0.1), Duration(0.3)}, 0.0, d).k(),
+            3);
+}
+
+TEST(NfdSAnalysis, ConstantDelayClosedForms) {
+  // eta = 1, delta = 0.5, D = 0.2 exactly, p_L = 0.1  (hand-computed).
+  dist::Constant d(0.2);
+  NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(0.5)}, 0.1, d);
+  EXPECT_EQ(a.k(), 1);
+  // p_0(x) = 0.1 + 0.9 * [0.2 > 0.5 + x] = 0.1 for all x >= 0.
+  EXPECT_DOUBLE_EQ(a.p_j(0, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(a.p_j(0, 0.4), 0.1);
+  // p_1(x) = 0.1 + 0.9 * [0.2 > x - 0.5]: 1 below x = 0.7, 0.1 above.
+  EXPECT_DOUBLE_EQ(a.p_j(1, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.p_j(1, 0.69), 1.0);
+  EXPECT_DOUBLE_EQ(a.p_j(1, 0.71), 0.1);
+  EXPECT_DOUBLE_EQ(a.p0(), 0.1);
+  // q_0 = 0.9 * Pr(D < 1.5) = 0.9.
+  EXPECT_DOUBLE_EQ(a.q0(), 0.9);
+  // u(0) = 0.1 * 1 = 0.1; p_s = 0.09; E(T_MR) = eta / p_s.
+  EXPECT_DOUBLE_EQ(a.u(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(a.p_s(), 0.09);
+  EXPECT_NEAR(a.e_tmr().seconds(), 1.0 / 0.09, 1e-12);
+  // Int u = 0.7 * 0.1 + 0.3 * 0.01 = 0.073 (numerical: step discontinuity).
+  EXPECT_NEAR(a.e_tm().seconds(), 0.073 / 0.09, 2e-4);
+  EXPECT_NEAR(a.query_accuracy(), 1.0 - 0.073, 2e-5);
+  EXPECT_EQ(a.detection_time_bound(), Duration(1.5));
+}
+
+TEST(NfdSAnalysis, Proposition14UZeroDominates) {
+  dist::Exponential d(0.02);
+  NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(2.0)}, 0.01, d);
+  const double u0 = a.u(0.0);
+  for (double x = 0.0; x < 1.0; x += 0.01) {
+    EXPECT_LE(a.u(x), u0 + 1e-15);
+  }
+  EXPECT_GE(u0, std::pow(a.p0(), a.k()));  // u(0) >= p_0^k
+}
+
+TEST(NfdSAnalysis, DegenerateAlwaysTrust) {
+  // p_L = 0 and D < delta surely: every m_i arrives before tau_i, q trusts
+  // forever after tau_1.
+  dist::Constant d(0.2);
+  NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(0.5)}, 0.0, d);
+  EXPECT_DOUBLE_EQ(a.p0(), 0.0);
+  EXPECT_TRUE(a.e_tmr().is_infinite());
+  EXPECT_EQ(a.e_tm(), Duration::zero());
+  EXPECT_DOUBLE_EQ(a.query_accuracy(), 1.0);
+}
+
+TEST(NfdSAnalysis, DegenerateAlwaysSuspect) {
+  // D >= delta + eta surely: no message is ever fresh; q suspects forever.
+  dist::Constant d(2.0);
+  NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(0.5)}, 0.0, d);
+  EXPECT_DOUBLE_EQ(a.q0(), 0.0);
+  EXPECT_TRUE(a.e_tmr().is_infinite());
+  EXPECT_TRUE(a.e_tm().is_infinite());
+  EXPECT_DOUBLE_EQ(a.query_accuracy(), 0.0);
+}
+
+TEST(NfdSAnalysis, LargerDeltaImprovesAccuracy) {
+  // E(T_MR) grows (a lot) with delta at fixed eta; P_A approaches 1.
+  dist::Exponential d(0.02);
+  double prev_tmr = 0.0;
+  double prev_pa = 0.0;
+  for (double delta : {0.5, 1.0, 1.5, 2.0, 2.5}) {
+    NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(delta)}, 0.01, d);
+    EXPECT_GT(a.e_tmr().seconds(), prev_tmr);
+    EXPECT_GT(a.query_accuracy(), prev_pa);
+    prev_tmr = a.e_tmr().seconds();
+    prev_pa = a.query_accuracy();
+  }
+  EXPECT_GT(prev_pa, 0.999);
+}
+
+TEST(NfdSAnalysis, TheoremOneIdentityPa) {
+  // P_A computed directly (Lemma 15) equals 1 - E(T_M)/E(T_MR) (Thm 1.2).
+  dist::Exponential d(0.02);
+  for (double delta : {0.5, 1.0, 2.5}) {
+    NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(delta)}, 0.01, d);
+    const double via_ratio =
+        1.0 - a.e_tm().seconds() / a.e_tmr().seconds();
+    EXPECT_NEAR(a.query_accuracy(), via_ratio, 1e-9) << "delta=" << delta;
+  }
+}
+
+TEST(NfdSAnalysis, MistakeDurationBoundedByEtaOverQ0) {
+  // Proposition 21: E(T_M) <= eta / q_0.
+  dist::Exponential d(0.02);
+  for (double delta : {0.5, 1.0, 1.5, 2.5}) {
+    for (double pl : {0.0, 0.01, 0.2}) {
+      NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(delta)}, pl, d);
+      if (a.p_s() > 0.0) {
+        EXPECT_LE(a.e_tm().seconds(), 1.0 / a.q0() + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(NfdSAnalysis, PaperFig12AnalyticShape) {
+  // The analytic curve of Fig. 12: eta = 1, p_L = 0.01, Exp(0.02).
+  // E(T_MR) must grow roughly a factor ~100 per unit of T_D^U (each extra
+  // freshness factor contributes ~p_L + tail = ~0.01).
+  dist::Exponential d(0.02);
+  const double t2 = NfdSAnalysis(NfdSParams{Duration(1.0), Duration(1.0)},
+                                 0.01, d)
+                        .e_tmr()
+                        .seconds();
+  const double t3 = NfdSAnalysis(NfdSParams{Duration(1.0), Duration(2.0)},
+                                 0.01, d)
+                        .e_tmr()
+                        .seconds();
+  EXPECT_GT(t3 / t2, 50.0);
+  EXPECT_LT(t3 / t2, 200.0);
+}
+
+TEST(NfdSAnalysis, ForNfdUMatchesShiftedNfdS) {
+  dist::Exponential d(0.02);
+  const auto via_u = NfdSAnalysis::for_nfd_u(
+      NfdUParams{Duration(1.0), Duration(1.5)}, 0.01, d);
+  NfdSAnalysis direct(NfdSParams{Duration(1.0), Duration(1.52)}, 0.01, d);
+  EXPECT_NEAR(via_u.e_tmr().seconds(), direct.e_tmr().seconds(), 1e-9);
+  EXPECT_NEAR(via_u.e_tm().seconds(), direct.e_tm().seconds(), 1e-9);
+}
+
+TEST(NfdSAnalysis, FiguresBundle) {
+  dist::Exponential d(0.02);
+  NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(1.0)}, 0.01, d);
+  const auto f = a.figures();
+  EXPECT_EQ(f.detection_time_bound, Duration(2.0));
+  EXPECT_DOUBLE_EQ(f.mistake_recurrence_mean.seconds(), a.e_tmr().seconds());
+  EXPECT_DOUBLE_EQ(f.mistake_duration_mean.seconds(), a.e_tm().seconds());
+  EXPECT_NEAR(f.query_accuracy(), a.query_accuracy(), 1e-9);
+}
+
+TEST(NfdSAnalysis, RejectsInvalidInput) {
+  dist::Exponential d(0.02);
+  EXPECT_THROW(
+      NfdSAnalysis(NfdSParams{Duration(1.0), Duration(1.0)}, 1.0, d),
+      std::invalid_argument);
+  NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(1.0)}, 0.0, d);
+  EXPECT_THROW((void)a.p_j(-1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)a.p_j(0, -0.5), std::invalid_argument);
+}
+
+TEST(NfdSAnalysis, DetectionTimeDistributionDeterministicCase) {
+  // No losses, constant tiny delay: every heartbeat is effective (G = 0),
+  // so T_D = delta + eta(1 - phi) is uniform on (delta, delta + eta].
+  dist::Constant d(0.001);
+  NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(1.0)}, 0.0, d);
+  EXPECT_NEAR(a.detection_time_mean().seconds(), 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(a.detection_time_cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(a.detection_time_cdf(1.0), 0.0);
+  EXPECT_NEAR(a.detection_time_cdf(1.2), 0.2, 1e-12);
+  EXPECT_NEAR(a.detection_time_cdf(1.9), 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(a.detection_time_cdf(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.detection_time_cdf(5.0), 1.0);
+}
+
+TEST(NfdSAnalysis, DetectionTimeDistributionWithLosses) {
+  // With loss probability p, G ~ Geometric(q0 ~= 1 - p) shifts mass to
+  // earlier detection (possibly before the crash: T_D = 0).
+  dist::Constant d(0.001);
+  NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(1.0)}, 0.4, d);
+  // q0 = 0.6: Pr(G >= 2) = 0.16 puts nonzero mass at T_D = 0.
+  EXPECT_GT(a.detection_time_zero_probability(), 0.05);
+  EXPECT_LT(a.detection_time_mean().seconds(),
+            1.5);  // strictly earlier than the loss-free case
+  // CDF is monotone and reaches 1 at the Theorem 5.1 bound.
+  double prev = -1.0;
+  for (double x = 0.0; x <= 2.0; x += 0.05) {
+    const double c = a.detection_time_cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(a.detection_time_cdf(2.0), 1.0);
+}
+
+TEST(NfdSAnalysis, DetectionTimeDegenerateAlwaysSuspect) {
+  dist::Constant d(5.0);  // every message stale: q suspects forever
+  NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(1.0)}, 0.0, d);
+  EXPECT_DOUBLE_EQ(a.detection_time_zero_probability(), 1.0);
+  EXPECT_EQ(a.detection_time_mean(), Duration::zero());
+}
+
+TEST(NfdSAnalysis, UniformDelayIntegralExact) {
+  // Uniform delay on [0, 0.4], eta = 1, delta = 0.5, p_L = 0: k = 1,
+  // p_0(x) = Pr(D > 0.5 + x) = 0 for x >= 0;  u(x) = 0: q never suspects
+  // once steady (every message arrives by 1.4... wait, losses are 0 and
+  // max delay 0.4 < delta, so m_i always arrives before tau_i).
+  dist::Uniform d(0.0, 0.4);
+  NfdSAnalysis a(NfdSParams{Duration(1.0), Duration(0.5)}, 0.0, d);
+  EXPECT_DOUBLE_EQ(a.p0(), 0.0);
+  EXPECT_DOUBLE_EQ(a.query_accuracy(), 1.0);
+}
+
+}  // namespace
+}  // namespace chenfd::core

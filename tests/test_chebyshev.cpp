@@ -1,0 +1,125 @@
+// Tests for the one-sided Chebyshev inequality and the Theorem 9 / 11
+// distribution-free QoS bounds, including that the bounds really do bound
+// the exact Theorem 5 values for several distribution families.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "core/chebyshev.hpp"
+#include "dist/factory.hpp"
+
+namespace chenfd::core {
+namespace {
+
+TEST(OneSidedBound, MatchesFormula) {
+  // V / (V + (t - E)^2) with V = 0.02, E = 0.02, t = 30:
+  const double v = 0.02;
+  const double e = 0.02;
+  const double t = 30.0;
+  EXPECT_NEAR(one_sided_tail_bound(t, e, v),
+              v / (v + (t - e) * (t - e)), 1e-15);
+}
+
+TEST(OneSidedBound, TrivialBelowMean) {
+  EXPECT_DOUBLE_EQ(one_sided_tail_bound(0.01, 0.02, 0.02), 1.0);
+  EXPECT_DOUBLE_EQ(one_sided_tail_bound(0.02, 0.02, 0.02), 1.0);
+}
+
+TEST(OneSidedBound, DominatesTrueTailForAllFamilies) {
+  // Eq. (5.1) must upper-bound Pr(D > t) for every distribution with the
+  // stated mean/variance.
+  for (const auto& d : dist::standard_family_with_mean(0.02)) {
+    for (double t = 0.021; t < 0.4; t += 0.004) {
+      EXPECT_LE(d->tail(t),
+                one_sided_tail_bound(t, d->mean(), d->variance()) + 1e-12)
+          << d->name() << " at t=" << t;
+    }
+  }
+}
+
+TEST(OneSidedBound, RejectsNegativeVariance) {
+  EXPECT_THROW((void)one_sided_tail_bound(1.0, 0.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Theorem9, BoundsExactAnalysisForAllFamilies) {
+  // For every family with the same E(D) and the family's own V(D), the
+  // Theorem 9 bounds must bracket the exact Theorem 5 values.
+  const NfdSParams params{Duration(1.0), Duration(2.0)};
+  for (const auto& d : dist::standard_family_with_mean(0.02)) {
+    const auto bounds =
+        nfd_s_bounds(params, 0.01, d->mean(), d->variance());
+    NfdSAnalysis exact(params, 0.01, *d);
+    EXPECT_LE(bounds.mistake_recurrence_lower.seconds(),
+              exact.e_tmr().seconds() * (1.0 + 1e-9))
+        << d->name();
+    EXPECT_GE(bounds.mistake_duration_upper.seconds(),
+              exact.e_tm().seconds() * (1.0 - 1e-9))
+        << d->name();
+  }
+}
+
+TEST(Theorem9, RequiresDeltaAboveMean) {
+  EXPECT_THROW(
+      (void)nfd_s_bounds(NfdSParams{Duration(1.0), Duration(0.01)}, 0.0,
+                         0.02, 4e-4),
+      std::invalid_argument);
+}
+
+TEST(Theorem9, TighterWithSmallerVariance) {
+  const NfdSParams params{Duration(1.0), Duration(2.0)};
+  const auto loose = nfd_s_bounds(params, 0.01, 0.02, 0.02);
+  const auto tight = nfd_s_bounds(params, 0.01, 0.02, 4e-4);
+  EXPECT_GT(tight.mistake_recurrence_lower.seconds(),
+            loose.mistake_recurrence_lower.seconds());
+  EXPECT_LT(tight.mistake_duration_upper.seconds(),
+            loose.mistake_duration_upper.seconds());
+}
+
+TEST(Theorem11, EquivalentToTheorem9WithAlphaSlack) {
+  // Theorem 11 is Theorem 9 with d = alpha (E(D) eliminated).
+  const auto via_9 = nfd_s_bounds(NfdSParams{Duration(1.0), Duration(2.02)},
+                                  0.01, 0.02, 4e-4);
+  const auto via_11 =
+      nfd_u_bounds(NfdUParams{Duration(1.0), Duration(2.0)}, 0.01, 4e-4);
+  EXPECT_NEAR(via_9.mistake_recurrence_lower.seconds(),
+              via_11.mistake_recurrence_lower.seconds(), 1e-9);
+  EXPECT_NEAR(via_9.mistake_duration_upper.seconds(),
+              via_11.mistake_duration_upper.seconds(), 1e-9);
+}
+
+TEST(Theorem11, DoesNotNeedDelayMean) {
+  // Identical output whatever the true E(D) is — the whole point of the
+  // Section 6 configuration.
+  const auto b = nfd_u_bounds(NfdUParams{Duration(1.0), Duration(1.5)}, 0.01,
+                              4e-4);
+  EXPECT_GT(b.mistake_recurrence_lower.seconds(), 1.0);
+  EXPECT_GT(b.mistake_duration_upper.seconds(), 0.0);
+}
+
+TEST(Theorem11, BoundsExactNfdUAnalysis) {
+  const NfdUParams params{Duration(1.0), Duration(2.0)};
+  for (const auto& d : dist::standard_family_with_mean(0.02)) {
+    const auto bounds = nfd_u_bounds(params, 0.01, d->variance());
+    const auto exact = NfdSAnalysis::for_nfd_u(params, 0.01, *d);
+    EXPECT_LE(bounds.mistake_recurrence_lower.seconds(),
+              exact.e_tmr().seconds() * (1.0 + 1e-9))
+        << d->name();
+    EXPECT_GE(bounds.mistake_duration_upper.seconds(),
+              exact.e_tm().seconds() * (1.0 - 1e-9))
+        << d->name();
+  }
+}
+
+TEST(Theorem9, ZeroVarianceDegeneratesGracefully) {
+  // V = 0 (constant delay known exactly): beta = p_L^{k0+1}.
+  const auto b = nfd_s_bounds(NfdSParams{Duration(1.0), Duration(2.0)}, 0.1,
+                              0.5, 0.0);
+  // d = 1.5, k0 = ceil(1.5) - 1 = 1: beta = 0.1^2 = 0.01.
+  EXPECT_NEAR(b.mistake_recurrence_lower.seconds(), 1.0 / 0.01, 1e-9);
+}
+
+}  // namespace
+}  // namespace chenfd::core

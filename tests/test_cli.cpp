@@ -1,0 +1,136 @@
+// Tests for the chenfd_calc CLI parsing and command logic.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli.hpp"
+
+namespace chenfd::cli {
+namespace {
+
+TEST(CliParse, CommandAndOptions) {
+  const auto args = parse({"configure-exact", "--td", "30", "--mean", "0.02"});
+  EXPECT_EQ(args.command, "configure-exact");
+  EXPECT_TRUE(args.has("td"));
+  EXPECT_DOUBLE_EQ(args.require("td"), 30.0);
+  EXPECT_DOUBLE_EQ(*args.number("mean"), 0.02);
+  EXPECT_FALSE(args.number("tmr").has_value());
+}
+
+TEST(CliParse, Errors) {
+  EXPECT_THROW((void)parse({}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"cmd", "stray"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"cmd", "--td"}), std::invalid_argument);
+  const auto bad = parse({"cmd", "--td", "3x"});
+  EXPECT_THROW((void)bad.require("td"), std::invalid_argument);
+  const auto missing = parse({"cmd"});
+  EXPECT_THROW((void)missing.require("td"), std::invalid_argument);
+}
+
+TEST(CliDistribution, Families) {
+  EXPECT_NEAR(
+      make_distribution(parse({"c", "--mean", "0.02"}))->mean(), 0.02, 1e-12);
+  EXPECT_NEAR(make_distribution(
+                  parse({"c", "--dist", "uniform", "--lo", "0", "--hi", "4"}))
+                  ->mean(),
+              2.0, 1e-12);
+  EXPECT_NEAR(make_distribution(
+                  parse({"c", "--dist", "lognormal", "--mean", "0.1",
+                         "--var", "0.01"}))
+                  ->variance(),
+              0.01, 1e-12);
+  EXPECT_NEAR(make_distribution(parse({"c", "--dist", "pareto", "--mean",
+                                       "0.1", "--alpha", "2.5"}))
+                  ->mean(),
+              0.1, 1e-12);
+  EXPECT_NEAR(make_distribution(parse({"c", "--dist", "erlang", "--mean",
+                                       "0.1", "--stages", "4"}))
+                  ->mean(),
+              0.1, 1e-12);
+  EXPECT_NEAR(make_distribution(parse({"c", "--dist", "weibull", "--mean",
+                                       "0.1", "--shape", "0.7"}))
+                  ->mean(),
+              0.1, 1e-9);
+  EXPECT_NEAR(make_distribution(
+                  parse({"c", "--dist", "constant", "--value", "0.5"}))
+                  ->mean(),
+              0.5, 1e-12);
+  EXPECT_THROW(
+      (void)make_distribution(parse({"c", "--dist", "cauchy"})),
+      std::invalid_argument);
+}
+
+TEST(CliRun, ConfigureExactPaperExample) {
+  std::ostringstream os;
+  const int rc = run_main({"configure-exact", "--td", "30", "--tmr",
+                           "2592000", "--tm", "60", "--ploss", "0.01",
+                           "--mean", "0.02"},
+                          os);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(os.str().find("eta"), std::string::npos);
+  EXPECT_NE(os.str().find("9.97"), std::string::npos);  // the paper's value
+}
+
+TEST(CliRun, ConfigureMomentsPaperExample) {
+  std::ostringstream os;
+  const int rc = run_main({"configure-moments", "--td", "30", "--tmr",
+                           "2592000", "--tm", "60", "--ploss", "0.01",
+                           "--mean", "0.02", "--var", "0.02"},
+                          os);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(os.str().find("9.70"), std::string::npos);  // 9.709... printed
+}
+
+TEST(CliRun, ConfigureNfdU) {
+  std::ostringstream os;
+  const int rc = run_main({"configure-nfdu", "--td", "29.98", "--tmr",
+                           "2592000", "--tm", "60", "--ploss", "0.01",
+                           "--var", "0.02"},
+                          os);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(os.str().find("alpha"), std::string::npos);
+}
+
+TEST(CliRun, Analyze) {
+  std::ostringstream os;
+  const int rc = run_main({"analyze", "--eta", "1", "--delta", "1",
+                           "--ploss", "0.01", "--mean", "0.02"},
+                          os);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(os.str().find("E(T_MR)"), std::string::npos);
+  EXPECT_NE(os.str().find("P_A"), std::string::npos);
+}
+
+TEST(CliRun, UnachievableReturnsOne) {
+  std::ostringstream os;
+  const int rc = run_main({"configure-exact", "--td", "30", "--tmr", "100",
+                           "--tm", "60", "--ploss", "0", "--dist",
+                           "constant", "--value", "50"},
+                          os);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(os.str().find("cannot be achieved"), std::string::npos);
+}
+
+TEST(CliRun, SimulateMatchesAnalytic) {
+  std::ostringstream os;
+  const int rc = run_main({"simulate", "--eta", "1", "--delta", "1",
+                           "--ploss", "0.01", "--mean", "0.02",
+                           "--mistakes", "500", "--seed", "7"},
+                          os);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(os.str().find("measured"), std::string::npos);
+  EXPECT_NE(os.str().find("500 mistakes"), std::string::npos);
+}
+
+TEST(CliRun, UsageErrors) {
+  std::ostringstream os;
+  EXPECT_EQ(run_main({}, os), 2);
+  EXPECT_EQ(run_main({"no-such-command"}, os), 2);
+  EXPECT_EQ(run_main({"analyze", "--eta", "abc"}, os), 2);
+  EXPECT_EQ(run_main({"help"}, os), 0);
+  EXPECT_NE(os.str().find("chenfd_calc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chenfd::cli

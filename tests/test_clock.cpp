@@ -1,0 +1,80 @@
+// Unit tests for the clock models.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "clock/clock.hpp"
+
+namespace chenfd::clk {
+namespace {
+
+using chenfd::Duration;
+using chenfd::TimePoint;
+
+TEST(SynchronizedClock, Identity) {
+  SynchronizedClock c;
+  EXPECT_EQ(c.local(TimePoint(5.0)), TimePoint(5.0));
+  EXPECT_EQ(c.real(TimePoint(5.0)), TimePoint(5.0));
+}
+
+TEST(OffsetClock, AppliesSkew) {
+  OffsetClock c(Duration(3.0));
+  EXPECT_EQ(c.local(TimePoint(5.0)), TimePoint(8.0));
+  EXPECT_EQ(c.real(TimePoint(8.0)), TimePoint(5.0));
+  EXPECT_EQ(c.offset(), Duration(3.0));
+}
+
+TEST(OffsetClock, NegativeSkew) {
+  OffsetClock c(Duration(-2.0));
+  EXPECT_EQ(c.local(TimePoint(5.0)), TimePoint(3.0));
+}
+
+TEST(OffsetClock, RoundTrip) {
+  OffsetClock c(Duration(123.456));
+  for (double t : {0.0, 1.0, 99.5}) {
+    EXPECT_DOUBLE_EQ(c.real(c.local(TimePoint(t))).seconds(), t);
+  }
+}
+
+TEST(OffsetClock, IntervalsAreDriftFree) {
+  // Section 6: skewed but drift-free clocks measure intervals exactly.
+  OffsetClock c(Duration(42.0));
+  const Duration real_interval = TimePoint(10.0) - TimePoint(3.0);
+  const Duration local_interval =
+      c.local(TimePoint(10.0)) - c.local(TimePoint(3.0));
+  EXPECT_EQ(local_interval, real_interval);
+}
+
+TEST(DriftingClock, AppliesRate) {
+  DriftingClock c(Duration(1.0), 2.0);
+  EXPECT_EQ(c.local(TimePoint(3.0)), TimePoint(7.0));
+  EXPECT_DOUBLE_EQ(c.real(TimePoint(7.0)).seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(c.rate(), 2.0);
+}
+
+TEST(DriftingClock, TinyDriftBarelyDistortsIntervals) {
+  // The paper's "order of 10^-6" drift over a 30s detection horizon is
+  // 30 microseconds — negligible versus typical delays.
+  DriftingClock c(Duration::zero(), 1.0 + 1e-6);
+  const double local_interval =
+      (c.local(TimePoint(30.0)) - c.local(TimePoint(0.0))).seconds();
+  EXPECT_NEAR(local_interval, 30.0, 1e-4);
+  EXPECT_NE(local_interval, 30.0);
+}
+
+TEST(DriftingClock, RejectsNonPositiveRate) {
+  EXPECT_THROW(DriftingClock(Duration::zero(), 0.0), std::invalid_argument);
+  EXPECT_THROW(DriftingClock(Duration::zero(), -1.0), std::invalid_argument);
+}
+
+TEST(Clocks, PolymorphicUse) {
+  OffsetClock off(Duration(5.0));
+  SynchronizedClock sync;
+  const Clock* clocks[] = {&off, &sync};
+  EXPECT_EQ(clocks[0]->local(TimePoint(1.0)), TimePoint(6.0));
+  EXPECT_EQ(clocks[1]->local(TimePoint(1.0)), TimePoint(1.0));
+}
+
+}  // namespace
+}  // namespace chenfd::clk

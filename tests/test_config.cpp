@@ -1,0 +1,202 @@
+// Tests for the Section 4 / 5 / 6 configuration procedures, pinned to the
+// paper's worked examples:
+//
+//   Section 4 (known exponential D):  eta = 9.97 s, delta = 20.03 s
+//   Section 5 (only moments known):   eta = 9.71 s, delta = 20.29 s
+//
+// with requirements T_D^U = 30 s, T_MR^L = 30 days, T_M^U = 60 s, and
+// p_L = 0.01, E(D) = 0.02 s (V(D) = 0.02 for Section 5).
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/chebyshev.hpp"
+#include "core/config.hpp"
+#include "dist/constant.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+
+namespace chenfd::core {
+namespace {
+
+qos::Requirements paper_requirements() {
+  return qos::Requirements{seconds(30.0), days(30.0), seconds(60.0)};
+}
+
+TEST(ConfigureExact, ReproducesSection4Example) {
+  dist::Exponential d(0.02);
+  const auto out = configure_exact(paper_requirements(), 0.01, d);
+  ASSERT_TRUE(out.achievable());
+  EXPECT_NEAR(out.params->eta.seconds(), 9.97, 0.02);
+  EXPECT_NEAR(out.params->delta.seconds(), 20.03, 0.02);
+  EXPECT_NEAR(out.params->eta.seconds() + out.params->delta.seconds(), 30.0,
+              1e-9);
+}
+
+TEST(ConfigureExact, OutputSatisfiesRequirements) {
+  // Theorem 7 part 1: the output parameters meet the QoS per the exact
+  // Theorem 5 analysis.
+  dist::Exponential d(0.02);
+  const auto req = paper_requirements();
+  const auto out = configure_exact(req, 0.01, d);
+  ASSERT_TRUE(out.achievable());
+  NfdSAnalysis a(*out.params, 0.01, d);
+  EXPECT_TRUE(a.figures().satisfies(req));
+}
+
+TEST(ConfigureExact, SatisfiesAcrossFamilies) {
+  for (const auto& d : dist::standard_family_with_mean(0.02)) {
+    const auto req = paper_requirements();
+    const auto out = configure_exact(req, 0.01, *d);
+    ASSERT_TRUE(out.achievable()) << d->name();
+    NfdSAnalysis a(*out.params, 0.01, *d);
+    EXPECT_TRUE(a.figures().satisfies(req)) << d->name();
+  }
+}
+
+TEST(ConfigureExact, UnachievableWhenNothingArrivesInTime) {
+  // Every message takes 50 s > T_D^U = 30 s: q0' = 0 (Theorem 7 part 2).
+  dist::Constant d(50.0);
+  const auto out = configure_exact(paper_requirements(), 0.0, d);
+  EXPECT_FALSE(out.achievable());
+  EXPECT_FALSE(out.reason.empty());
+}
+
+TEST(ConfigureExact, UnachievableWhenAllMessagesLost) {
+  dist::Exponential d(0.02);
+  const auto out = configure_exact(paper_requirements(), 1.0, d);
+  EXPECT_FALSE(out.achievable());
+}
+
+TEST(ConfigureExact, TighterRecurrenceShrinksEta) {
+  dist::Exponential d(0.02);
+  auto req = paper_requirements();
+  const auto base = configure_exact(req, 0.01, d);
+  req.mistake_recurrence_lower = days(365.0);
+  const auto strict = configure_exact(req, 0.01, d);
+  ASSERT_TRUE(base.achievable());
+  ASSERT_TRUE(strict.achievable());
+  EXPECT_LT(strict.params->eta.seconds(), base.params->eta.seconds());
+}
+
+TEST(ConfigureExact, EasyRequirementsUseEtaMax) {
+  // With a very lax T_MR^L, Step 2 accepts eta_max = q0' * T_M^U directly.
+  dist::Exponential d(0.02);
+  qos::Requirements req{seconds(30.0), seconds(10.0), seconds(10.0)};
+  const auto out = configure_exact(req, 0.0, d);
+  ASSERT_TRUE(out.achievable());
+  const double q0p = 1.0 * d.cdf(30.0);
+  // eta_max carries the configurator's 1e-6 relative safety margin.
+  EXPECT_NEAR(out.params->eta.seconds(), q0p * 10.0, 2e-5);
+}
+
+TEST(ConfigureExact, Proposition8BoundDominatesChosenEta) {
+  dist::Exponential d(0.02);
+  const auto req = paper_requirements();
+  const auto out = configure_exact(req, 0.01, d);
+  ASSERT_TRUE(out.achievable());
+  EXPECT_LE(out.params->eta, max_eta_bound(req, 0.01, d));
+}
+
+TEST(ConfigureFromMoments, ReproducesSection5Example) {
+  const auto out =
+      configure_from_moments(paper_requirements(), 0.01, 0.02, 0.02);
+  ASSERT_TRUE(out.achievable());
+  EXPECT_NEAR(out.params->eta.seconds(), 9.71, 0.02);
+  EXPECT_NEAR(out.params->delta.seconds(), 20.29, 0.02);
+}
+
+TEST(ConfigureFromMoments, MoreConservativeThanExact) {
+  // Not knowing the distribution costs bandwidth: eta shrinks from 9.97
+  // to 9.71 in the paper's example.
+  dist::Exponential d(0.02);
+  const auto exact = configure_exact(paper_requirements(), 0.01, d);
+  const auto moments = configure_from_moments(paper_requirements(), 0.01,
+                                              d.mean(), 0.02);
+  ASSERT_TRUE(exact.achievable());
+  ASSERT_TRUE(moments.achievable());
+  EXPECT_LT(moments.params->eta.seconds(), exact.params->eta.seconds());
+}
+
+TEST(ConfigureFromMoments, OutputSatisfiesTheorem9Bounds) {
+  // Theorem 10 part 1, verified through the Theorem 9 bounds themselves.
+  const auto req = paper_requirements();
+  const auto out = configure_from_moments(req, 0.01, 0.02, 0.02);
+  ASSERT_TRUE(out.achievable());
+  const auto bounds = nfd_s_bounds(*out.params, 0.01, 0.02, 0.02);
+  EXPECT_GE(bounds.mistake_recurrence_lower, req.mistake_recurrence_lower);
+  EXPECT_LE(bounds.mistake_duration_upper, req.mistake_duration_upper);
+  EXPECT_LE((out.params->eta + out.params->delta).seconds(),
+            req.detection_time_upper.seconds() * (1.0 + 1e-12));
+}
+
+TEST(ConfigureFromMoments, OutputSatisfiesExactAnalysisForAllFamilies) {
+  // Stronger check: for every distribution with these moments, the chosen
+  // parameters satisfy the requirements per the exact analysis.
+  const auto req = paper_requirements();
+  for (const auto& d : dist::standard_family_with_mean(0.02)) {
+    const auto out =
+        configure_from_moments(req, 0.01, d->mean(), d->variance());
+    ASSERT_TRUE(out.achievable()) << d->name();
+    NfdSAnalysis a(*out.params, 0.01, *d);
+    EXPECT_TRUE(a.figures().satisfies(req)) << d->name();
+  }
+}
+
+TEST(ConfigureFromMoments, RequiresDetectionAboveMeanDelay) {
+  EXPECT_THROW((void)configure_from_moments(
+                   qos::Requirements{seconds(0.01), days(1.0), seconds(60.0)},
+                   0.01, 0.02, 0.02),
+               std::invalid_argument);
+}
+
+TEST(ConfigureNfdU, MatchesSection5WithShiftedBound) {
+  // Section 6's procedure with T_D^u = T_D^U - E(D) is numerically the
+  // Section 5 procedure, so the paper's example transfers: eta = 9.71,
+  // alpha = 29.98 - 9.71 = 20.27.
+  RelativeRequirements req{seconds(29.98), days(30.0), seconds(60.0)};
+  const auto out = configure_nfd_u(req, 0.01, 0.02);
+  ASSERT_TRUE(out.achievable());
+  EXPECT_NEAR(out.params->eta.seconds(), 9.71, 0.02);
+  EXPECT_NEAR(out.params->alpha.seconds(), 20.27, 0.02);
+}
+
+TEST(ConfigureNfdU, OutputSatisfiesTheorem11Bounds) {
+  RelativeRequirements req{seconds(29.98), days(30.0), seconds(60.0)};
+  const auto out = configure_nfd_u(req, 0.01, 0.02);
+  ASSERT_TRUE(out.achievable());
+  const auto bounds = nfd_u_bounds(*out.params, 0.01, 0.02);
+  EXPECT_GE(bounds.mistake_recurrence_lower.seconds(),
+            req.mistake_recurrence_lower.seconds());
+  EXPECT_LE(bounds.mistake_duration_upper.seconds(),
+            req.mistake_duration_upper.seconds());
+  EXPECT_LE((out.params->eta + out.params->alpha).seconds(),
+            req.detection_time_upper_rel.seconds() * (1.0 + 1e-12));
+}
+
+TEST(ConfigureNfdU, HandlesVeryDemandingRecurrence) {
+  // A 100-year MTBM forces a much smaller eta but must still succeed.
+  RelativeRequirements req{seconds(29.98), days(36500.0), seconds(60.0)};
+  const auto out = configure_nfd_u(req, 0.01, 0.02);
+  ASSERT_TRUE(out.achievable());
+  const auto bounds = nfd_u_bounds(*out.params, 0.01, 0.02);
+  EXPECT_GE(bounds.mistake_recurrence_lower.seconds(),
+            req.mistake_recurrence_lower.seconds());
+}
+
+TEST(ConfigureNfdU, InvalidRequirementsThrow) {
+  EXPECT_THROW((void)configure_nfd_u(
+                   RelativeRequirements{seconds(0.0), days(1.0), seconds(1.0)},
+                   0.01, 0.02),
+               std::invalid_argument);
+}
+
+TEST(ConfigOutcome, ReasonOnlyWhenUnachievable) {
+  dist::Exponential d(0.02);
+  const auto good = configure_exact(paper_requirements(), 0.01, d);
+  EXPECT_TRUE(good.achievable());
+  EXPECT_TRUE(good.reason.empty());
+}
+
+}  // namespace
+}  // namespace chenfd::core

@@ -1,0 +1,137 @@
+// Property sweep for the configurators: across randomized requirements,
+// network parameters, and distribution families, whatever parameters a
+// procedure outputs must satisfy the requirements under the exact
+// Theorem 5 analysis (Theorems 7 and 10 part 1), and "unachievable" may
+// only be reported in the provably impossible cases.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/analysis.hpp"
+#include "core/chebyshev.hpp"
+#include "core/config.hpp"
+#include "dist/constant.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+
+namespace chenfd::core {
+namespace {
+
+struct Scenario {
+  std::string label;
+  std::uint64_t seed;
+};
+
+class ConfiguratorProperties : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ConfiguratorProperties, ExactOutputAlwaysSatisfies) {
+  Rng rng(GetParam().seed);
+  const auto family = dist::standard_family_with_mean(0.02);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto& d = family[trial % family.size()];
+    const double p_loss = rng.uniform(0.0, 0.3);
+    const qos::Requirements req{
+        seconds(rng.uniform(0.5, 100.0)),       // T_D^U
+        seconds(rng.uniform(10.0, 1e7)),        // T_MR^L
+        seconds(rng.uniform(0.5, 600.0))};      // T_M^U
+    const auto out = configure_exact(req, p_loss, *d);
+    ASSERT_TRUE(out.achievable())
+        << d->name() << " " << req << " pL=" << p_loss;
+    out.params->validate();
+    NfdSAnalysis a(*out.params, p_loss, *d);
+    EXPECT_TRUE(a.figures().satisfies(req))
+        << d->name() << " " << req << " pL=" << p_loss << " -> "
+        << *out.params;
+  }
+}
+
+TEST_P(ConfiguratorProperties, MomentsOutputAlwaysSatisfies) {
+  Rng rng(GetParam().seed ^ 0xBEEF);
+  const auto family = dist::standard_family_with_mean(0.02);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto& d = family[trial % family.size()];
+    const double p_loss = rng.uniform(0.0, 0.3);
+    const qos::Requirements req{
+        seconds(rng.uniform(1.0, 100.0)), seconds(rng.uniform(10.0, 1e7)),
+        seconds(rng.uniform(0.5, 600.0))};
+    const auto out =
+        configure_from_moments(req, p_loss, d->mean(), d->variance());
+    ASSERT_TRUE(out.achievable()) << d->name() << " " << req;
+    NfdSAnalysis a(*out.params, p_loss, *d);
+    EXPECT_TRUE(a.figures().satisfies(req))
+        << d->name() << " " << req << " pL=" << p_loss << " -> "
+        << *out.params;
+  }
+}
+
+TEST_P(ConfiguratorProperties, NfdUOutputAlwaysSatisfiesBounds) {
+  Rng rng(GetParam().seed ^ 0xF00D);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double p_loss = rng.uniform(0.0, 0.3);
+    const double variance = rng.uniform(1e-6, 1.0);
+    const RelativeRequirements req{
+        seconds(rng.uniform(1.0, 100.0)), seconds(rng.uniform(10.0, 1e7)),
+        seconds(rng.uniform(0.5, 600.0))};
+    const auto out = configure_nfd_u(req, p_loss, variance);
+    ASSERT_TRUE(out.achievable());
+    out.params->validate();
+    // eta + (T - eta) can exceed T by one ULP; allow that much slack.
+    EXPECT_LE((out.params->eta + out.params->alpha).seconds(),
+              req.detection_time_upper_rel.seconds() * (1.0 + 1e-12));
+    const auto b = nfd_u_bounds(*out.params, p_loss, variance);
+    EXPECT_GE(b.mistake_recurrence_lower.seconds(),
+              req.mistake_recurrence_lower.seconds() * (1.0 - 1e-9));
+    EXPECT_LE(b.mistake_duration_upper.seconds(),
+              req.mistake_duration_upper.seconds() * (1.0 + 1e-9));
+  }
+}
+
+TEST_P(ConfiguratorProperties, ExactMaximizesEtaUpToProposition8) {
+  Rng rng(GetParam().seed ^ 0xCAFE);
+  const auto family = dist::standard_family_with_mean(0.02);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto& d = family[trial % family.size()];
+    const double p_loss = rng.uniform(0.0, 0.2);
+    const qos::Requirements req{seconds(rng.uniform(2.0, 60.0)),
+                                seconds(rng.uniform(100.0, 1e6)),
+                                seconds(rng.uniform(1.0, 120.0))};
+    const auto out = configure_exact(req, p_loss, *d);
+    ASSERT_TRUE(out.achievable());
+    EXPECT_LE(out.params->eta.seconds(),
+              max_eta_bound(req, p_loss, *d).seconds() * (1.0 + 1e-9))
+        << d->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ConfiguratorProperties,
+    ::testing::Values(Scenario{"s1", 101}, Scenario{"s2", 202},
+                      Scenario{"s3", 303}, Scenario{"s4", 404}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(ConfiguratorEdges, VeryTightDetectionStillWorksWhenFeasible) {
+  // T_D^U barely above typical delays: still configurable, just costly.
+  dist::Exponential d(0.02);
+  const qos::Requirements req{seconds(0.2), seconds(3600.0), seconds(1.0)};
+  const auto out = configure_exact(req, 0.01, d);
+  ASSERT_TRUE(out.achievable());
+  NfdSAnalysis a(*out.params, 0.01, d);
+  EXPECT_TRUE(a.figures().satisfies(req));
+  EXPECT_LT(out.params->eta.seconds(), 0.2);
+}
+
+TEST(ConfiguratorEdges, ZeroLossMakesEverythingCheap) {
+  dist::Constant d(0.001);
+  const qos::Requirements req{seconds(1.0), days(365000.0), seconds(1.0)};
+  const auto out = configure_exact(req, 0.0, d);
+  ASSERT_TRUE(out.achievable());
+  // With no loss and delays below delta, the detector never errs:
+  NfdSAnalysis a(*out.params, 0.0, d);
+  EXPECT_TRUE(a.e_tmr().is_infinite());
+}
+
+}  // namespace
+}  // namespace chenfd::core

@@ -1,0 +1,276 @@
+// Tests for the Chandra-Toueg consensus substrate: validity, agreement and
+// termination under crashes, false suspicions, and (for safety only)
+// message loss.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/ct.hpp"
+#include "dist/exponential.hpp"
+#include "group/group.hpp"
+
+namespace chenfd::consensus {
+namespace {
+
+struct Cluster {
+  group::Group grp;
+  Transport transport;
+  std::vector<std::unique_ptr<CtProcess>> procs;
+  std::vector<std::int64_t> proposals;
+
+  Cluster(std::size_t n, std::vector<std::int64_t> props,
+          std::uint64_t seed, double msg_loss = 0.0,
+          core::NfdSParams fd = core::NfdSParams{seconds(1.0), seconds(1.0)},
+          CtProcess::Options opts = {})
+      : grp(make_group(n, seed, fd)),
+        transport(grp.simulator(), n,
+                  std::make_unique<dist::Exponential>(0.02), msg_loss,
+                  seed ^ 0xABCDEF),
+        proposals(std::move(props)) {
+    for (group::ProcessId i = 0; i < n; ++i) {
+      procs.push_back(std::make_unique<CtProcess>(
+          grp.simulator(), transport, grp, i, n, proposals[i], opts));
+    }
+  }
+
+  static group::Group::Config make_group(std::size_t n, std::uint64_t seed,
+                                         core::NfdSParams fd) {
+    group::Group::Config cfg;
+    cfg.size = n;
+    cfg.delay = std::make_unique<dist::Exponential>(0.02);
+    cfg.p_loss = 0.01;
+    cfg.detector = fd;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  /// Lets the failure detectors reach steady state, then starts consensus.
+  /// The optional crash may be scheduled before or after the warm-up.
+  void run(double warmup = 10.0, double horizon = 500.0,
+           std::optional<std::pair<group::ProcessId, double>> crash =
+               std::nullopt) {
+    grp.start();
+    if (crash) {
+      const auto [victim, when] = *crash;
+      grp.simulator().at(TimePoint(when), [this, victim = victim] {
+        grp.crash_at(victim, grp.simulator().now());
+        transport.crash(victim);
+        procs[victim]->crash();
+      });
+    }
+    grp.simulator().run_until(TimePoint(warmup));
+    for (auto& p : procs) p->start();
+    grp.simulator().run_until(TimePoint(horizon));
+  }
+
+  [[nodiscard]] std::set<std::int64_t> decisions() const {
+    std::set<std::int64_t> out;
+    for (const auto& p : procs) {
+      if (p->decided()) out.insert(p->decision());
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool all_correct_decided() const {
+    for (group::ProcessId i = 0; i < procs.size(); ++i) {
+      if (grp.crashed(i)) continue;
+      if (!procs[i]->decided()) return false;
+    }
+    return true;
+  }
+
+  ~Cluster() { grp.stop(); }
+};
+
+TEST(Consensus, FailureFreeDecidesQuicklyInRoundOne) {
+  Cluster c(3, {10, 20, 30}, 501);
+  c.run();
+  EXPECT_TRUE(c.all_correct_decided());
+  ASSERT_EQ(c.decisions().size(), 1u);
+  // With steady detectors and no crash, round 1 decides; the value is one
+  // of the timestamp-0 estimates the coordinator gathered (CT leaves the
+  // tie-break free).
+  const auto d = *c.decisions().begin();
+  EXPECT_TRUE(d == 10 || d == 20 || d == 30);
+  for (const auto& p : c.procs) {
+    EXPECT_EQ(p->decided_round(), 1u);
+  }
+}
+
+TEST(Consensus, ValidityDecisionIsSomeProposal) {
+  for (std::uint64_t seed : {601u, 602u, 603u, 604u}) {
+    Cluster c(5, {1, 2, 3, 4, 5}, seed);
+    c.run();
+    ASSERT_TRUE(c.all_correct_decided()) << "seed " << seed;
+    for (const auto d : c.decisions()) {
+      EXPECT_GE(d, 1);
+      EXPECT_LE(d, 5);
+    }
+  }
+}
+
+TEST(Consensus, AgreementAcrossManySeeds) {
+  for (std::uint64_t seed = 700; seed < 720; ++seed) {
+    Cluster c(5, {11, 22, 33, 44, 55}, seed);
+    c.run();
+    EXPECT_LE(c.decisions().size(), 1u) << "seed " << seed;
+    EXPECT_TRUE(c.all_correct_decided()) << "seed " << seed;
+  }
+}
+
+TEST(Consensus, SurvivesCoordinatorCrashBeforeStart) {
+  // Process 0 (round-1 coordinator) is crashed before consensus begins;
+  // the failure detectors are already steady, so everyone nacks round 1
+  // and round 2's coordinator decides.
+  Cluster c(5, {10, 20, 30, 40, 50}, 801);
+  c.run(10.0, 500.0, std::make_pair(group::ProcessId{0}, 5.0));
+  EXPECT_TRUE(c.all_correct_decided());
+  ASSERT_EQ(c.decisions().size(), 1u);
+  EXPECT_NE(*c.decisions().begin(), 10);  // dead coordinator's value skipped
+  for (group::ProcessId i = 1; i < 5; ++i) {
+    EXPECT_GE(c.procs[i]->decided_round(), 2u);
+  }
+}
+
+TEST(Consensus, SurvivesCoordinatorCrashMidProtocol) {
+  // The coordinator dies shortly after consensus starts; detection takes
+  // up to delta + eta = 2 s, after which round 2 decides.
+  Cluster c(5, {10, 20, 30, 40, 50}, 802);
+  c.run(10.0, 500.0, std::make_pair(group::ProcessId{0}, 10.01));
+  EXPECT_TRUE(c.all_correct_decided());
+  EXPECT_LE(c.decisions().size(), 1u);
+}
+
+TEST(Consensus, SurvivesMinorityCrashes) {
+  // n = 5 tolerates 2 crashes.
+  Cluster c(5, {10, 20, 30, 40, 50}, 803);
+  c.grp.start();
+  c.grp.simulator().run_until(TimePoint(10.0));
+  for (auto& p : c.procs) p->start();
+  c.grp.simulator().at(TimePoint(10.005), [&c] {
+    for (group::ProcessId v : {0u, 1u}) {
+      c.grp.crash_at(v, c.grp.simulator().now());
+      c.transport.crash(v);
+      c.procs[v]->crash();
+    }
+  });
+  c.grp.simulator().run_until(TimePoint(500.0));
+  EXPECT_TRUE(c.all_correct_decided());
+  EXPECT_LE(c.decisions().size(), 1u);
+}
+
+TEST(Consensus, AggressiveDetectorCausesNacksButNeverDisagreement) {
+  // delta = 0.05 with E(D) = 0.02 exponential delays: the detector makes
+  // mistakes constantly, so rounds fail with NACKs — but agreement and
+  // validity must survive arbitrary unreliability (that is the whole point
+  // of the Chandra-Toueg design).
+  std::uint64_t total_nacks = 0;
+  for (std::uint64_t seed = 900; seed < 910; ++seed) {
+    Cluster c(5, {10, 20, 30, 40, 50}, seed, 0.0,
+              core::NfdSParams{seconds(1.0), seconds(0.05)});
+    c.run(10.0, 2000.0);
+    EXPECT_LE(c.decisions().size(), 1u) << "seed " << seed;
+    if (!c.decisions().empty()) {
+      const auto d = *c.decisions().begin();
+      EXPECT_TRUE(d == 10 || d == 20 || d == 30 || d == 40 || d == 50);
+    }
+    for (const auto& p : c.procs) total_nacks += p->nacks_sent();
+  }
+  EXPECT_GT(total_nacks, 0u);  // the aggressive detector did interfere
+}
+
+TEST(Consensus, MessageLossBreaksLivenessNotSafety) {
+  // 30% message loss on the consensus transport: decisions may never
+  // happen (CT needs quasi-reliable channels), but any decisions made must
+  // agree and be valid.
+  CtProcess::Options opts;
+  opts.max_rounds = 200;  // keep lossy executions finite
+  for (std::uint64_t seed = 1000; seed < 1010; ++seed) {
+    Cluster c(5, {10, 20, 30, 40, 50}, seed, 0.3,
+              core::NfdSParams{seconds(1.0), seconds(1.0)}, opts);
+    c.run(10.0, 1000.0);
+    EXPECT_LE(c.decisions().size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(Consensus, DecisionLatencyReflectsDetectionTime) {
+  // Crash-free latency is a few message delays; with a crashed round-1
+  // coordinator the latency is dominated by the detection time (up to
+  // delta + eta) — the paper's core argument for QoS-aware detectors.
+  Cluster fast(5, {1, 2, 3, 4, 5}, 1101);
+  fast.run(10.0, 500.0);
+  ASSERT_TRUE(fast.all_correct_decided());
+  double fast_latency = 0.0;
+  for (const auto& p : fast.procs) {
+    fast_latency =
+        std::max(fast_latency, p->decision_time().seconds() - 10.0);
+  }
+
+  Cluster crashed(5, {1, 2, 3, 4, 5}, 1102);
+  crashed.run(10.0, 500.0, std::make_pair(group::ProcessId{0}, 10.001));
+  ASSERT_TRUE(crashed.all_correct_decided());
+  double crash_latency = 0.0;
+  for (group::ProcessId i = 1; i < 5; ++i) {
+    crash_latency = std::max(
+        crash_latency, crashed.procs[i]->decision_time().seconds() - 10.0);
+  }
+  EXPECT_LT(fast_latency, 1.0);
+  EXPECT_GT(crash_latency, 1.0);  // waited out the detection
+  EXPECT_LT(crash_latency, 2.0 + 1.0 + 1.0);  // ~ T_D bound + protocol time
+}
+
+TEST(Consensus, RejectsBadConstruction) {
+  group::Group::Config gc;
+  gc.size = 3;
+  gc.delay = std::make_unique<dist::Exponential>(0.02);
+  group::Group g(std::move(gc));
+  Transport t(g.simulator(), 3, std::make_unique<dist::Exponential>(0.02),
+              0.0, 1);
+  EXPECT_THROW(CtProcess(g.simulator(), t, g, 7, 3, 0),
+               std::invalid_argument);
+  CtProcess::Options bad;
+  bad.suspicion_poll = Duration::zero();
+  EXPECT_THROW(CtProcess(g.simulator(), t, g, 0, 3, 0, bad),
+               std::invalid_argument);
+}
+
+TEST(Transport, DropsAtConfiguredRate) {
+  sim::Simulator sim;
+  Transport t(sim, 2, std::make_unique<dist::Exponential>(0.02), 0.25, 3);
+  int received = 0;
+  t.register_handler(1, [&](const Message&, TimePoint) { ++received; });
+  Message m;
+  m.from = 0;
+  for (int i = 0; i < 20000; ++i) t.send(1, m);
+  sim.run();
+  EXPECT_NEAR(received / 20000.0, 0.75, 0.02);
+  EXPECT_EQ(t.messages_sent(), 20000u);
+}
+
+TEST(Transport, CrashedProcessNeitherSendsNorReceives) {
+  sim::Simulator sim;
+  Transport t(sim, 2, std::make_unique<dist::Exponential>(0.02), 0.0, 4);
+  int received = 0;
+  t.register_handler(1, [&](const Message&, TimePoint) { ++received; });
+  Message m;
+  m.from = 0;
+  t.send(1, m);
+  t.crash(0);
+  t.send(1, m);  // ignored: sender crashed
+  sim.run();
+  EXPECT_EQ(received, 1);
+  t.crash(1);
+  t.register_handler(0, [](const Message&, TimePoint) {});
+  Message back;
+  back.from = 0;  // 0 is crashed; nothing flows
+  t.send(1, back);
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+}  // namespace
+}  // namespace chenfd::consensus

@@ -1,0 +1,148 @@
+// Cross-validation: the discrete-event testbed, the fast Monte-Carlo
+// engines, and the Theorem 5 closed forms must all agree on the same
+// network model.  This is the load-bearing test for the Fig. 12 harness.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "clock/clock.hpp"
+#include "core/analysis.hpp"
+#include "core/experiments.hpp"
+#include "core/fast_sim.hpp"
+#include "core/nfd_e.hpp"
+#include "core/nfd_s.hpp"
+#include "core/sfd.hpp"
+#include "dist/exponential.hpp"
+
+namespace chenfd::core {
+namespace {
+
+constexpr double kPLoss = 0.02;  // slightly lossier than Fig. 12 so that
+                                 // mistakes are frequent enough for a test
+
+TEST(CrossValidation, NfdSDesVsAnalytic) {
+  dist::Exponential delay(0.02);
+  const NfdSParams params{Duration(1.0), Duration(1.0)};
+  NfdSAnalysis exact(params, kPLoss, delay);
+
+  NetworkModel model{kPLoss, delay};
+  AccuracyExperiment exp;
+  exp.duration = seconds(300000.0);
+  exp.seed = 1001;
+  const auto rec = run_accuracy(
+      [&params](Testbed& tb) {
+        return std::make_unique<NfdS>(tb.simulator(), params);
+      },
+      model, exp);
+
+  ASSERT_GT(rec.s_transitions(), 1000u);
+  EXPECT_NEAR(rec.mistake_recurrence().mean(), exact.e_tmr().seconds(),
+              0.1 * exact.e_tmr().seconds());
+  EXPECT_NEAR(rec.mistake_duration().mean(), exact.e_tm().seconds(),
+              0.1 * exact.e_tm().seconds());
+  EXPECT_NEAR(rec.query_accuracy(), exact.query_accuracy(), 0.005);
+}
+
+TEST(CrossValidation, NfdSDesVsFastEngine) {
+  dist::Exponential delay(0.02);
+  const NfdSParams params{Duration(1.0), Duration(1.5)};
+
+  NetworkModel model{kPLoss, delay};
+  AccuracyExperiment exp;
+  exp.duration = seconds(400000.0);
+  exp.seed = 1002;
+  const auto rec = run_accuracy(
+      [&params](Testbed& tb) {
+        return std::make_unique<NfdS>(tb.simulator(), params);
+      },
+      model, exp);
+
+  Rng rng(1003);
+  StopCriteria stop;
+  stop.target_s_transitions = 20000;
+  const auto fast = fast_nfd_s_accuracy(params, kPLoss, delay, rng, stop);
+
+  ASSERT_GT(rec.s_transitions(), 100u);
+  EXPECT_NEAR(rec.mistake_recurrence().mean(), fast.e_tmr(),
+              0.15 * fast.e_tmr());
+  EXPECT_NEAR(rec.query_accuracy(), fast.query_accuracy(), 0.005);
+}
+
+TEST(CrossValidation, NfdEDesVsFastEngine) {
+  dist::Exponential delay(0.02);
+  const NfdEParams params{Duration(1.0), Duration(0.98), 32};
+
+  NetworkModel model{kPLoss, delay};
+  AccuracyExperiment exp;
+  exp.duration = seconds(300000.0);
+  exp.seed = 1004;
+  // NFD-E with a skewed q clock: the DES exercises the clock machinery the
+  // fast engine omits (skew cannot change NFD-E's behaviour).
+  exp.q_clock_offset = seconds(987.0);
+  const auto rec = run_accuracy(
+      [&params](Testbed& tb) -> std::unique_ptr<FailureDetector> {
+        return std::make_unique<NfdE>(tb.simulator(), tb.q_clock(), params);
+      },
+      model, exp);
+
+  Rng rng(1005);
+  StopCriteria stop;
+  stop.target_s_transitions = 20000;
+  const auto fast = fast_nfd_e_accuracy(params, kPLoss, delay, rng, stop);
+
+  ASSERT_GT(rec.s_transitions(), 500u);
+  EXPECT_NEAR(rec.mistake_recurrence().mean(), fast.e_tmr(),
+              0.15 * fast.e_tmr());
+  EXPECT_NEAR(rec.query_accuracy(), fast.query_accuracy(), 0.005);
+}
+
+TEST(CrossValidation, SfdDesVsFastEngine) {
+  dist::Exponential delay(0.02);
+  const SfdParams params{Duration(1.84), Duration(0.16)};  // SFD-L at T=2
+
+  NetworkModel model{kPLoss, delay};
+  AccuracyExperiment exp;
+  exp.duration = seconds(200000.0);
+  exp.seed = 1006;
+  const auto rec = run_accuracy(
+      [&params](Testbed& tb) -> std::unique_ptr<FailureDetector> {
+        return std::make_unique<Sfd>(tb.simulator(), tb.q_clock(), params);
+      },
+      model, exp);
+
+  Rng rng(1007);
+  StopCriteria stop;
+  stop.target_s_transitions = 20000;
+  const auto fast =
+      fast_sfd_accuracy(params, Duration(1.0), kPLoss, delay, rng, stop);
+
+  ASSERT_GT(rec.s_transitions(), 500u);
+  EXPECT_NEAR(rec.mistake_recurrence().mean(), fast.e_tmr(),
+              0.15 * fast.e_tmr());
+  EXPECT_NEAR(rec.query_accuracy(), fast.query_accuracy(), 0.005);
+}
+
+TEST(CrossValidation, DuplicationDoesNotChangeNfdSQoS) {
+  // Footnote 8: acting on the first copy makes duplication harmless.
+  dist::Exponential delay(0.02);
+  const NfdSParams params{Duration(1.0), Duration(1.0)};
+  NfdSAnalysis exact(params, kPLoss, delay);
+
+  NetworkModel model{kPLoss, delay};
+  AccuracyExperiment exp;
+  exp.duration = seconds(200000.0);
+  exp.seed = 1008;
+  exp.duplication_probability = 0.3;
+  const auto rec = run_accuracy(
+      [&params](Testbed& tb) {
+        return std::make_unique<NfdS>(tb.simulator(), params);
+      },
+      model, exp);
+
+  EXPECT_NEAR(rec.mistake_recurrence().mean(), exact.e_tmr().seconds(),
+              0.12 * exact.e_tmr().seconds());
+}
+
+}  // namespace
+}  // namespace chenfd::core

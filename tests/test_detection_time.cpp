@@ -1,0 +1,169 @@
+// Detection-time experiments (Theorem 5.1 and Section 6.2): T_D bounds
+// hold on every run, are tight, and the SFD cutoff bound c + TO holds.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "clock/clock.hpp"
+#include "core/analysis.hpp"
+#include "core/experiments.hpp"
+#include "core/nfd_e.hpp"
+#include "core/nfd_s.hpp"
+#include "core/nfd_u.hpp"
+#include "core/sfd.hpp"
+#include "dist/exponential.hpp"
+
+namespace chenfd::core {
+namespace {
+
+constexpr double kEd = 0.02;
+
+DetectionExperiment experiment(std::size_t runs, std::uint64_t seed) {
+  DetectionExperiment exp;
+  exp.runs = runs;
+  exp.seed = seed;
+  exp.warmup = seconds(20.0);
+  exp.settle = seconds(50.0);
+  return exp;
+}
+
+TEST(DetectionTime, NfdSBoundHoldsAndIsTight) {
+  dist::Exponential delay(kEd);
+  const NfdSParams params{Duration(1.0), Duration(2.0)};
+  const auto samples = measure_detection_times(
+      [&params](Testbed& tb) {
+        return std::make_unique<NfdS>(tb.simulator(), params);
+      },
+      NetworkModel{0.01, delay}, experiment(800, 2001));
+  ASSERT_EQ(samples.count(), 800u);
+  const double bound = params.detection_time_bound().seconds();
+  EXPECT_LE(samples.max(), bound + 1e-9);
+  // Tightness: with the crash uniform over a period, some run must land
+  // within 10% of the bound.
+  EXPECT_GT(samples.max(), bound - 0.15);
+  // Typical detection time ~ delta + eta/2 (crash uniform in the period).
+  EXPECT_NEAR(samples.mean(), params.delta.seconds() + 0.5, 0.1);
+}
+
+TEST(DetectionTime, NfdSNeverInfinite) {
+  dist::Exponential delay(kEd);
+  const NfdSParams params{Duration(1.0), Duration(1.0)};
+  const auto samples = measure_detection_times(
+      [&params](Testbed& tb) {
+        return std::make_unique<NfdS>(tb.simulator(), params);
+      },
+      NetworkModel{0.05, delay}, experiment(300, 2002));
+  EXPECT_FALSE(std::isinf(samples.max()));
+}
+
+TEST(DetectionTime, NfdSLossesOnlyShortenDetection) {
+  // Losses can make q suspect earlier (already suspecting at the crash),
+  // so higher loss -> smaller mean detection time.
+  dist::Exponential delay(kEd);
+  const NfdSParams params{Duration(1.0), Duration(2.0)};
+  const auto make = [&params](Testbed& tb) {
+    return std::make_unique<NfdS>(tb.simulator(), params);
+  };
+  const auto low = measure_detection_times(make, NetworkModel{0.0, delay},
+                                           experiment(400, 2003));
+  const auto high = measure_detection_times(make, NetworkModel{0.4, delay},
+                                            experiment(400, 2003));
+  EXPECT_LE(high.mean(), low.mean() + 1e-9);
+}
+
+TEST(DetectionTime, NfdURelativeBound) {
+  // T_D <= eta + alpha + E(D) for NFD-U with exact EAs (Section 6.2).
+  dist::Exponential delay(kEd);
+  const NfdUParams params{Duration(1.0), Duration(1.5)};
+  const auto samples = measure_detection_times(
+      [&params](Testbed& tb) -> std::unique_ptr<FailureDetector> {
+        return std::make_unique<NfdU>(
+            tb.simulator(), tb.q_clock(), params, [](net::SeqNo seq) {
+              return TimePoint(static_cast<double>(seq) + kEd);
+            });
+      },
+      NetworkModel{0.01, delay}, experiment(500, 2004));
+  const double bound = 1.0 + 1.5 + kEd;
+  EXPECT_LE(samples.max(), bound + 1e-9);
+  EXPECT_GT(samples.max(), bound - 0.2);
+}
+
+TEST(DetectionTime, NfdEApproximatelyHonorsRelativeBound) {
+  // NFD-E estimates the EAs, so the bound holds up to estimation noise —
+  // with 32-sample windows the overshoot is well under one period.
+  dist::Exponential delay(kEd);
+  const NfdEParams params{Duration(1.0), Duration(1.5), 32};
+  const auto samples = measure_detection_times(
+      [&params](Testbed& tb) -> std::unique_ptr<FailureDetector> {
+        return std::make_unique<NfdE>(tb.simulator(), tb.q_clock(), params);
+      },
+      NetworkModel{0.01, delay}, experiment(500, 2005));
+  const double bound = 1.0 + 1.5 + kEd;
+  EXPECT_LE(samples.max(), bound + 0.1);
+  EXPECT_NEAR(samples.mean(), params.alpha.seconds() + kEd + 0.5, 0.15);
+}
+
+TEST(DetectionTime, SfdCutoffBound) {
+  dist::Exponential delay(kEd);
+  const SfdParams params{Duration(2.0), Duration(0.16)};  // c = 8 E(D)
+  const auto samples = measure_detection_times(
+      [&params](Testbed& tb) -> std::unique_ptr<FailureDetector> {
+        return std::make_unique<Sfd>(tb.simulator(), tb.q_clock(), params);
+      },
+      NetworkModel{0.01, delay}, experiment(500, 2006));
+  EXPECT_LE(samples.max(), params.detection_time_bound().seconds() + 1e-9);
+}
+
+TEST(DetectionTime, SfdWithoutCutoffCanExceedNfdSBound) {
+  // The paper's second drawback: without a cutoff, SFD's worst-case
+  // detection time is TO plus the *maximum* delay.  With a fat delay tail
+  // the max over many runs must exceed TO + eta, which a freshness-based
+  // detector with the same budget never does.
+  dist::Exponential fat(0.6);  // heavy mean delay to make the effect cheap
+  const SfdParams params{Duration(2.0)};
+  const auto samples = measure_detection_times(
+      [&params](Testbed& tb) -> std::unique_ptr<FailureDetector> {
+        return std::make_unique<Sfd>(tb.simulator(), tb.q_clock(), params);
+      },
+      NetworkModel{0.0, fat}, experiment(400, 2007));
+  EXPECT_GT(samples.max(), 2.0 + 1.0);
+}
+
+TEST(DetectionTime, AnalyticDistributionMatchesDes) {
+  // The closed-form T_D distribution (analysis.hpp extension) against the
+  // discrete-event crash experiment, at a loss rate high enough that the
+  // geometric term matters.
+  dist::Exponential delay(kEd);
+  const NfdSParams params{Duration(1.0), Duration(2.0)};
+  const double p_loss = 0.2;
+  const auto samples = measure_detection_times(
+      [&params](Testbed& tb) {
+        return std::make_unique<NfdS>(tb.simulator(), params);
+      },
+      NetworkModel{p_loss, delay}, experiment(1500, 2009));
+
+  NfdSAnalysis a(params, p_loss, delay);
+  EXPECT_NEAR(samples.mean(), a.detection_time_mean().seconds(),
+              0.05 * a.detection_time_mean().seconds());
+  // Compare the CDF at a few probes (empirical tail vs analytic CDF).
+  for (double x : {1.0, 1.5, 2.0, 2.5, 2.9}) {
+    const double empirical = 1.0 - samples.tail_probability(x);
+    EXPECT_NEAR(empirical, a.detection_time_cdf(x), 0.05) << "x=" << x;
+  }
+}
+
+TEST(DetectionTime, ZeroWhenAlreadySuspecting) {
+  // With all messages lost, q suspects from the start: T_D = 0.
+  dist::Exponential delay(kEd);
+  const NfdSParams params{Duration(1.0), Duration(1.0)};
+  const auto samples = measure_detection_times(
+      [&params](Testbed& tb) {
+        return std::make_unique<NfdS>(tb.simulator(), params);
+      },
+      NetworkModel{0.999999999, delay}, experiment(50, 2008));
+  EXPECT_DOUBLE_EQ(samples.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace chenfd::core

@@ -1,0 +1,258 @@
+// Tests for the delay distribution library: exact closed forms per family,
+// plus parameterized property tests (sampling consistency, CDF sanity)
+// applied to every family.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/constant.hpp"
+#include "dist/empirical.hpp"
+#include "dist/erlang.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/pareto.hpp"
+#include "dist/shifted.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+#include "stats/online_stats.hpp"
+
+namespace chenfd::dist {
+namespace {
+
+TEST(Exponential, ClosedForms) {
+  Exponential d(0.02);  // the paper's E(D)
+  EXPECT_DOUBLE_EQ(d.mean(), 0.02);
+  EXPECT_DOUBLE_EQ(d.variance(), 4e-4);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_NEAR(d.cdf(0.02), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(d.tail(0.1), std::exp(-5.0), 1e-12);
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+}
+
+TEST(Uniform, ClosedForms) {
+  Uniform d(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 4.0 / 12.0);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(3.5), 1.0);
+  EXPECT_THROW(Uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Constant, AtomSemantics) {
+  Constant d(0.5);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+  // Pr(D <= 0.5) = 1 but Pr(D < 0.5) = 0 — the q_0 distinction.
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf_strict(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf_strict(0.500001), 1.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(d.sample(rng), 0.5);
+}
+
+TEST(LogNormal, MomentMatching) {
+  const auto d = LogNormal::with_moments(0.02, 4e-4);
+  EXPECT_NEAR(d.mean(), 0.02, 1e-12);
+  EXPECT_NEAR(d.variance(), 4e-4, 1e-12);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  // Median of a lognormal is exp(mu).
+  EXPECT_NEAR(d.cdf(std::exp(d.mu())), 0.5, 1e-12);
+}
+
+TEST(Pareto, ClosedForms) {
+  Pareto d(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.0);
+  EXPECT_NEAR(d.tail(2.0), 0.125, 1e-12);
+  EXPECT_THROW(Pareto(1.0, 2.0), std::invalid_argument);  // infinite variance
+}
+
+TEST(Pareto, WithMean) {
+  const auto d = Pareto::with_mean(0.02, 2.5);
+  EXPECT_NEAR(d.mean(), 0.02, 1e-12);
+}
+
+TEST(Weibull, ExponentialSpecialCase) {
+  // k = 1 reduces to Exponential(lambda).
+  Weibull w(1.0, 0.02);
+  Exponential e(0.02);
+  EXPECT_NEAR(w.mean(), e.mean(), 1e-12);
+  EXPECT_NEAR(w.variance(), e.variance(), 1e-12);
+  for (double x : {0.0, 0.01, 0.05, 0.2}) {
+    EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12);
+  }
+}
+
+TEST(Erlang, OneStageIsExponential) {
+  Erlang er(1, 50.0);
+  Exponential e(0.02);
+  EXPECT_NEAR(er.mean(), e.mean(), 1e-12);
+  for (double x : {0.01, 0.02, 0.1}) EXPECT_NEAR(er.cdf(x), e.cdf(x), 1e-12);
+}
+
+TEST(Erlang, WithMean) {
+  const auto d = Erlang::with_mean(4, 0.02);
+  EXPECT_NEAR(d.mean(), 0.02, 1e-12);
+  EXPECT_NEAR(d.variance(), 0.02 * 0.02 / 4.0, 1e-12);
+}
+
+TEST(Shifted, AddsOffset) {
+  Shifted d(0.01, std::make_unique<Exponential>(0.02));
+  EXPECT_NEAR(d.mean(), 0.03, 1e-12);
+  EXPECT_NEAR(d.variance(), 4e-4, 1e-12);
+  EXPECT_DOUBLE_EQ(d.cdf(0.01), 0.0);
+  EXPECT_GT(d.cdf(0.02), 0.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(d.sample(rng), 0.01);
+}
+
+TEST(Empirical, MatchesSamples) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 3.0};
+  Empirical d(xs);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf_strict(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(3.0), 1.0);
+}
+
+TEST(Empirical, RejectsBadInput) {
+  EXPECT_THROW(Empirical(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Empirical(std::vector<double>{1.0, -2.0}),
+               std::invalid_argument);
+}
+
+// ---------------- Parameterized property tests over all families ---------
+
+struct Family {
+  std::string label;
+  std::unique_ptr<DelayDistribution> (*make)();
+};
+
+std::unique_ptr<DelayDistribution> make_exp() {
+  return std::make_unique<Exponential>(0.02);
+}
+std::unique_ptr<DelayDistribution> make_uniform() {
+  return std::make_unique<Uniform>(0.0, 0.04);
+}
+std::unique_ptr<DelayDistribution> make_lognormal() {
+  return std::make_unique<LogNormal>(LogNormal::with_moments(0.02, 1e-3));
+}
+std::unique_ptr<DelayDistribution> make_pareto() {
+  return std::make_unique<Pareto>(Pareto::with_mean(0.02, 2.5));
+}
+std::unique_ptr<DelayDistribution> make_weibull() {
+  return std::make_unique<Weibull>(0.7, 0.02);
+}
+std::unique_ptr<DelayDistribution> make_erlang() {
+  return std::make_unique<Erlang>(Erlang::with_mean(4, 0.02));
+}
+std::unique_ptr<DelayDistribution> make_shifted() {
+  return std::make_unique<Shifted>(0.005, std::make_unique<Exponential>(0.015));
+}
+
+class DistributionProperties : public ::testing::TestWithParam<Family> {};
+
+TEST_P(DistributionProperties, CdfIsMonotoneIn01) {
+  const auto d = GetParam().make();
+  double prev = -1.0;
+  for (double x = -0.01; x < 0.5; x += 0.003) {
+    const double c = d->cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(d->cdf(-1.0), 0.0);
+}
+
+TEST_P(DistributionProperties, TailComplementsCdf) {
+  const auto d = GetParam().make();
+  for (double x : {0.0, 0.01, 0.02, 0.1, 1.0}) {
+    EXPECT_NEAR(d->cdf(x) + d->tail(x), 1.0, 1e-12);
+  }
+}
+
+TEST_P(DistributionProperties, SamplesArePositive) {
+  const auto d = GetParam().make();
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(d->sample(rng), 0.0);
+}
+
+TEST_P(DistributionProperties, SampleMomentsMatchDeclared) {
+  const auto d = GetParam().make();
+  Rng rng(18);
+  stats::OnlineStats s;
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) s.add(d->sample(rng));
+  // Loose tolerances: heavy-tailed families (Pareto alpha=2.5) converge
+  // slowly in the variance.
+  EXPECT_NEAR(s.mean(), d->mean(), 0.06 * d->mean() + 1e-6);
+  EXPECT_NEAR(s.variance(), d->variance(), 0.5 * d->variance() + 1e-6);
+}
+
+TEST_P(DistributionProperties, SampleCdfMatchesDeclaredCdf) {
+  const auto d = GetParam().make();
+  Rng rng(19);
+  constexpr int kN = 100000;
+  std::vector<double> xs(kN);
+  for (auto& x : xs) x = d->sample(rng);
+  for (double q : {0.25, 0.5, 0.9}) {
+    // Empirical Pr(D <= x) at x chosen as a declared quantile ~ q.
+    double lo = 0.0;
+    double hi = 10.0;
+    for (int it = 0; it < 200; ++it) {
+      const double mid = (lo + hi) / 2.0;
+      (d->cdf(mid) < q ? lo : hi) = mid;
+    }
+    const double x_q = (lo + hi) / 2.0;
+    const auto below = std::count_if(xs.begin(), xs.end(),
+                                     [x_q](double v) { return v <= x_q; });
+    EXPECT_NEAR(static_cast<double>(below) / kN, d->cdf(x_q), 0.01)
+        << GetParam().label << " at q=" << q;
+  }
+}
+
+TEST_P(DistributionProperties, CloneIsEquivalent) {
+  const auto d = GetParam().make();
+  const auto c = d->clone();
+  EXPECT_EQ(c->name(), d->name());
+  EXPECT_DOUBLE_EQ(c->mean(), d->mean());
+  EXPECT_DOUBLE_EQ(c->variance(), d->variance());
+  for (double x : {0.001, 0.01, 0.1}) EXPECT_DOUBLE_EQ(c->cdf(x), d->cdf(x));
+}
+
+TEST_P(DistributionProperties, NameIsNonEmpty) {
+  EXPECT_FALSE(GetParam().make()->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, DistributionProperties,
+    ::testing::Values(Family{"exp", make_exp}, Family{"uniform", make_uniform},
+                      Family{"lognormal", make_lognormal},
+                      Family{"pareto", make_pareto},
+                      Family{"weibull", make_weibull},
+                      Family{"erlang", make_erlang},
+                      Family{"shifted", make_shifted}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(Factory, StandardFamilyHasMatchedMeans) {
+  const auto family = standard_family_with_mean(0.02);
+  EXPECT_EQ(family.size(), 6u);
+  for (const auto& d : family) {
+    EXPECT_NEAR(d->mean(), 0.02, 1e-9) << d->name();
+    EXPECT_GT(d->variance(), 0.0) << d->name();
+  }
+}
+
+}  // namespace
+}  // namespace chenfd::dist

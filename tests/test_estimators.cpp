@@ -1,0 +1,158 @@
+// Tests for the network estimators (Sections 5.2, 6.2.2, 8.1.2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/estimators.hpp"
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+
+namespace chenfd::core {
+namespace {
+
+void feed(NetworkEstimator& est, net::SeqNo seq, double sent, double recv) {
+  est.on_heartbeat(seq, TimePoint(sent), TimePoint(recv));
+}
+
+TEST(NetworkEstimator, RequiresWindowOfTwo) {
+  EXPECT_THROW(NetworkEstimator(1), std::invalid_argument);
+}
+
+TEST(NetworkEstimator, EmptyDefaults) {
+  NetworkEstimator est(16);
+  EXPECT_EQ(est.samples(), 0u);
+  EXPECT_DOUBLE_EQ(est.loss_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(est.delay_mean(), 0.0);
+  EXPECT_DOUBLE_EQ(est.delay_variance(), 0.0);
+}
+
+TEST(NetworkEstimator, DelayMeanAndVariance) {
+  NetworkEstimator est(16);
+  feed(est, 1, 1.0, 1.1);  // delay 0.1
+  feed(est, 2, 2.0, 2.3);  // delay 0.3
+  EXPECT_EQ(est.samples(), 2u);
+  EXPECT_NEAR(est.delay_mean(), 0.2, 1e-12);
+  EXPECT_NEAR(est.delay_variance(), 0.01, 1e-12);
+}
+
+TEST(NetworkEstimator, LossFromSequenceGaps) {
+  NetworkEstimator est(16);
+  // Receive 1, 2, 4, 5: the window spans 5 slots, 4 received -> loss 1/5.
+  for (net::SeqNo s : {1u, 2u, 4u, 5u}) {
+    feed(est, s, static_cast<double>(s), static_cast<double>(s) + 0.1);
+  }
+  EXPECT_NEAR(est.loss_probability(), 1.0 / 5.0, 1e-12);
+}
+
+TEST(NetworkEstimator, NoLossWhenContiguous) {
+  NetworkEstimator est(16);
+  for (net::SeqNo s = 1; s <= 10; ++s) {
+    feed(est, s, static_cast<double>(s), static_cast<double>(s) + 0.1);
+  }
+  EXPECT_DOUBLE_EQ(est.loss_probability(), 0.0);
+}
+
+TEST(NetworkEstimator, WindowSlides) {
+  NetworkEstimator est(4);
+  for (net::SeqNo s = 1; s <= 10; ++s) {
+    // Delays grow linearly; only the last 4 should matter.
+    feed(est, s, static_cast<double>(s),
+         static_cast<double>(s) + 0.1 * static_cast<double>(s));
+  }
+  EXPECT_EQ(est.samples(), 4u);
+  // Last four delays: 0.7, 0.8, 0.9, 1.0.
+  EXPECT_NEAR(est.delay_mean(), 0.85, 1e-12);
+}
+
+TEST(NetworkEstimator, SkewShiftsMeanButNotVariance) {
+  // Section 6.2.2: with unsynchronized clocks, A - S = delay + skew;
+  // the variance is skew-invariant.
+  NetworkEstimator synced(16);
+  NetworkEstimator skewed(16);
+  Rng rng(5);
+  dist::Exponential d(0.02);
+  const double skew = 1234.5;
+  double t = 0.0;
+  for (net::SeqNo s = 1; s <= 16; ++s) {
+    t += 1.0;
+    const double delay = d.sample(rng);
+    feed(synced, s, t, t + delay);
+    skewed.on_heartbeat(s, TimePoint(t), TimePoint(t + delay + skew));
+  }
+  EXPECT_NEAR(skewed.delay_mean() - synced.delay_mean(), skew, 1e-9);
+  EXPECT_NEAR(skewed.delay_variance(), synced.delay_variance(), 1e-9);
+}
+
+TEST(NetworkEstimator, IgnoresDuplicatesAndReordered) {
+  NetworkEstimator est(16);
+  feed(est, 2, 2.0, 2.1);
+  feed(est, 2, 2.0, 2.2);  // duplicate
+  feed(est, 1, 1.0, 2.3);  // out of order
+  EXPECT_EQ(est.samples(), 1u);
+}
+
+TEST(NetworkEstimator, ConvergesToTrueParameters) {
+  // Feed a long synthetic heartbeat stream and check p_L, E(D), V(D).
+  NetworkEstimator est(2000);
+  Rng rng(77);
+  dist::LogNormal d = dist::LogNormal::with_moments(0.05, 0.001);
+  const double p_loss = 0.05;
+  for (net::SeqNo s = 1; s <= 4000; ++s) {
+    if (rng.bernoulli(p_loss)) continue;  // lost
+    const double sent = static_cast<double>(s);
+    feed(est, s, sent, sent + d.sample(rng));
+  }
+  EXPECT_NEAR(est.loss_probability(), p_loss, 0.02);
+  EXPECT_NEAR(est.delay_mean(), 0.05, 0.005);
+  EXPECT_NEAR(est.delay_variance(), 0.001, 0.0004);
+}
+
+TEST(TwoComponentEstimator, RequiresShortBelowLong) {
+  EXPECT_THROW(TwoComponentEstimator(16, 16), std::invalid_argument);
+  EXPECT_THROW(TwoComponentEstimator(32, 16), std::invalid_argument);
+}
+
+TEST(TwoComponentEstimator, TakesConservativeMaximum) {
+  TwoComponentEstimator est(4, 64);
+  // 60 fast heartbeats, then 4 slow ones: the short window sees only the
+  // slow regime, the long window mostly the fast one.
+  for (net::SeqNo s = 1; s <= 60; ++s) {
+    est.on_heartbeat(s, TimePoint(static_cast<double>(s)),
+                     TimePoint(static_cast<double>(s) + 0.01));
+  }
+  for (net::SeqNo s = 61; s <= 64; ++s) {
+    est.on_heartbeat(s, TimePoint(static_cast<double>(s)),
+                     TimePoint(static_cast<double>(s) + 0.5));
+  }
+  EXPECT_NEAR(est.short_term().delay_mean(), 0.5, 1e-9);
+  EXPECT_LT(est.long_term().delay_mean(), 0.1);
+  // Combined estimate = the conservative (larger) one.
+  EXPECT_DOUBLE_EQ(est.delay_mean(), est.short_term().delay_mean());
+  EXPECT_DOUBLE_EQ(est.delay_variance(),
+                   std::max(est.short_term().delay_variance(),
+                            est.long_term().delay_variance()));
+}
+
+TEST(TwoComponentEstimator, ReactsToLossBurstQuickly) {
+  TwoComponentEstimator est(8, 128);
+  net::SeqNo s = 1;
+  for (; s <= 100; ++s) {
+    est.on_heartbeat(s, TimePoint(static_cast<double>(s)),
+                     TimePoint(static_cast<double>(s) + 0.01));
+  }
+  // Burst: every other heartbeat of the next 40 is lost.
+  for (; s <= 140; s += 2) {
+    est.on_heartbeat(s, TimePoint(static_cast<double>(s)),
+                     TimePoint(static_cast<double>(s) + 0.01));
+  }
+  EXPECT_GT(est.short_term().loss_probability(), 0.3);
+  EXPECT_LT(est.long_term().loss_probability(), 0.25);
+  EXPECT_DOUBLE_EQ(est.loss_probability(),
+                   est.short_term().loss_probability());
+}
+
+}  // namespace
+}  // namespace chenfd::core

@@ -1,0 +1,101 @@
+// Unit tests for the cancellable event queue.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace chenfd::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint(3.0), [&] { order.push_back(3); });
+  q.schedule(TimePoint(1.0), [&] { order.push_back(1); });
+  q.schedule(TimePoint(2.0), [&] { order.push_back(2); });
+  while (auto ev = q.pop()) ev->second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint(1.0), [&] { order.push_back(10); });
+  q.schedule(TimePoint(1.0), [&] { order.push_back(20); });
+  q.schedule(TimePoint(1.0), [&] { order.push_back(30); });
+  while (auto ev = q.pop()) ev->second();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(TimePoint(1.0), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(TimePoint(1.0), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterRunFails) {
+  EventQueue q;
+  const EventId id = q.schedule(TimePoint(1.0), [] {});
+  auto ev = q.pop();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(TimePoint(1.0), [] {});
+  q.schedule(TimePoint(2.0), [] {});
+  EXPECT_EQ(q.next_time(), TimePoint(1.0));
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), TimePoint(2.0));
+}
+
+TEST(EventQueue, PendingCountsLiveOnly) {
+  EventQueue q;
+  const EventId a = q.schedule(TimePoint(1.0), [] {});
+  q.schedule(TimePoint(2.0), [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  (void)q.pop();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyInterleavedOperations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(TimePoint(static_cast<double>(100 - i)), [] {}));
+  }
+  for (int i = 0; i < 100; i += 2) q.cancel(ids[i]);
+  int count = 0;
+  TimePoint prev = TimePoint::zero();
+  while (auto ev = q.pop()) {
+    EXPECT_GE(ev->first, prev);
+    prev = ev->first;
+    ++count;
+  }
+  EXPECT_EQ(count, 50);
+}
+
+}  // namespace
+}  // namespace chenfd::sim

@@ -1,0 +1,207 @@
+// Tests for the fast Monte-Carlo engines: NFD-S against the Theorem 5
+// closed forms, NFD-E parity with NFD-S, and SFD sanity.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/fast_sim.hpp"
+#include "dist/constant.hpp"
+#include "dist/exponential.hpp"
+#include "dist/pareto.hpp"
+
+namespace chenfd::core {
+namespace {
+
+StopCriteria quick_stop(std::size_t mistakes = 2000,
+                        std::uint64_t max_hb = 10'000'000) {
+  StopCriteria s;
+  s.target_s_transitions = mistakes;
+  s.max_heartbeats = max_hb;
+  return s;
+}
+
+TEST(FastNfdS, MatchesTheorem5OnExponential) {
+  // eta = 1, delta = 1, p_L = 0.01, Exp(0.02): mistakes are frequent
+  // enough to collect 20k samples quickly.
+  const NfdSParams params{Duration(1.0), Duration(1.0)};
+  dist::Exponential d(0.02);
+  NfdSAnalysis exact(params, 0.01, d);
+  Rng rng(100);
+  const auto r = fast_nfd_s_accuracy(params, 0.01, d, rng, quick_stop(20000));
+  ASSERT_EQ(r.s_transitions, 20000u);
+  EXPECT_NEAR(r.e_tmr(), exact.e_tmr().seconds(),
+              0.05 * exact.e_tmr().seconds());
+  EXPECT_NEAR(r.e_tm(), exact.e_tm().seconds(),
+              0.05 * exact.e_tm().seconds());
+  EXPECT_NEAR(r.query_accuracy(), exact.query_accuracy(), 0.002);
+  EXPECT_NEAR(r.mistake_rate(), 1.0 / exact.e_tmr().seconds(),
+              0.05 / exact.e_tmr().seconds());
+}
+
+TEST(FastNfdS, MatchesTheorem5AtLargerDelta) {
+  const NfdSParams params{Duration(1.0), Duration(1.5)};
+  dist::Exponential d(0.02);
+  NfdSAnalysis exact(params, 0.05, d);  // higher loss -> more mistakes
+  Rng rng(101);
+  const auto r = fast_nfd_s_accuracy(params, 0.05, d, rng, quick_stop(8000));
+  EXPECT_NEAR(r.e_tmr(), exact.e_tmr().seconds(),
+              0.07 * exact.e_tmr().seconds());
+  EXPECT_NEAR(r.e_tm(), exact.e_tm().seconds(),
+              0.07 * exact.e_tm().seconds());
+}
+
+TEST(FastNfdS, MatchesTheorem5OnPareto) {
+  // Heavy tails: exercises the analysis away from the exponential case.
+  const NfdSParams params{Duration(1.0), Duration(1.0)};
+  const auto d = dist::Pareto::with_mean(0.05, 2.5);
+  NfdSAnalysis exact(params, 0.02, d);
+  Rng rng(102);
+  const auto r = fast_nfd_s_accuracy(params, 0.02, d, rng, quick_stop(8000));
+  EXPECT_NEAR(r.e_tmr(), exact.e_tmr().seconds(),
+              0.07 * exact.e_tmr().seconds());
+}
+
+TEST(FastNfdS, TheoremOneIdentitiesHoldEmpirically) {
+  const NfdSParams params{Duration(1.0), Duration(1.0)};
+  dist::Exponential d(0.02);
+  Rng rng(103);
+  const auto r = fast_nfd_s_accuracy(params, 0.02, d, rng, quick_stop(10000));
+  // P_A ~= 1 - E(T_M)/E(T_MR) and E(T_G) = E(T_MR) - E(T_M).
+  EXPECT_NEAR(r.query_accuracy(), 1.0 - r.e_tm() / r.e_tmr(), 0.01);
+  EXPECT_NEAR(r.good_period.mean(), r.e_tmr() - r.e_tm(),
+              0.05 * r.e_tmr());
+}
+
+TEST(FastNfdS, DeterministicForSameSeed) {
+  const NfdSParams params{Duration(1.0), Duration(1.0)};
+  dist::Exponential d(0.02);
+  Rng a(7);
+  Rng b(7);
+  const auto ra = fast_nfd_s_accuracy(params, 0.01, d, a, quick_stop(500));
+  const auto rb = fast_nfd_s_accuracy(params, 0.01, d, b, quick_stop(500));
+  EXPECT_EQ(ra.s_transitions, rb.s_transitions);
+  EXPECT_DOUBLE_EQ(ra.e_tmr(), rb.e_tmr());
+  EXPECT_DOUBLE_EQ(ra.trust_seconds, rb.trust_seconds);
+}
+
+TEST(FastNfdS, HonorsHeartbeatCap) {
+  const NfdSParams params{Duration(1.0), Duration(2.5)};
+  dist::Exponential d(0.02);
+  Rng rng(9);
+  StopCriteria stop;
+  stop.target_s_transitions = 1u << 30;  // unreachable
+  stop.max_heartbeats = 50'000;
+  const auto r = fast_nfd_s_accuracy(params, 0.01, d, rng, stop);
+  EXPECT_LE(r.heartbeats, 50'001u);
+  EXPECT_GT(r.observed_seconds, 0.0);
+}
+
+TEST(FastNfdS, MistakeDurationBoundedByEta) {
+  // Section 7: E(T_M) of all algorithms was bounded by roughly eta.
+  const NfdSParams params{Duration(1.0), Duration(1.0)};
+  dist::Exponential d(0.02);
+  Rng rng(10);
+  const auto r = fast_nfd_s_accuracy(params, 0.01, d, rng, quick_stop(3000));
+  EXPECT_LE(r.e_tm(), 1.0);
+}
+
+TEST(FastNfdE, CloseToNfdSWithLargeWindow) {
+  // The paper: NFD-E with n >= 30 is practically indistinguishable from
+  // NFD-U, whose QoS equals NFD-S with delta = E(D) + alpha.
+  const double e_d = 0.02;
+  const NfdSParams s_params{Duration(1.0), Duration(1.0)};
+  const NfdEParams e_params{Duration(1.0), Duration(1.0 - e_d), 32};
+  dist::Exponential d(e_d);
+  Rng rng_s(11);
+  Rng rng_e(12);
+  const auto rs =
+      fast_nfd_s_accuracy(s_params, 0.01, d, rng_s, quick_stop(8000));
+  const auto re =
+      fast_nfd_e_accuracy(e_params, 0.01, d, rng_e, quick_stop(8000));
+  EXPECT_NEAR(re.e_tmr(), rs.e_tmr(), 0.15 * rs.e_tmr());
+  EXPECT_NEAR(re.query_accuracy(), rs.query_accuracy(), 0.005);
+}
+
+TEST(FastNfdE, DeterministicForSameSeed) {
+  const NfdEParams params{Duration(1.0), Duration(1.0), 32};
+  dist::Exponential d(0.02);
+  Rng a(13);
+  Rng b(13);
+  const auto ra = fast_nfd_e_accuracy(params, 0.02, d, a, quick_stop(300));
+  const auto rb = fast_nfd_e_accuracy(params, 0.02, d, b, quick_stop(300));
+  EXPECT_DOUBLE_EQ(ra.e_tmr(), rb.e_tmr());
+}
+
+TEST(FastSfd, TimesOutAtExpectedRate) {
+  // SFD with TO = 1 and no losses, constant delay: no mistakes at all.
+  const SfdParams params{Duration(1.5), Duration::infinity()};
+  dist::Constant d(0.2);
+  Rng rng(14);
+  StopCriteria stop;
+  stop.target_s_transitions = 100;
+  stop.max_heartbeats = 200'000;
+  const auto r = fast_sfd_accuracy(params, Duration(1.0), 0.0, d, rng, stop);
+  EXPECT_EQ(r.s_transitions, 0u);
+  EXPECT_NEAR(r.query_accuracy(), 1.0, 1e-9);
+}
+
+TEST(FastSfd, LossesCauseMistakes) {
+  // Every lost heartbeat forces a timeout gap > TO: with p_L = 0.1 and
+  // TO = 1.2 (eta = 1), mistakes happen at roughly the loss rate.
+  const SfdParams params{Duration(1.2), Duration::infinity()};
+  dist::Constant d(0.01);
+  Rng rng(15);
+  const auto r =
+      fast_sfd_accuracy(params, Duration(1.0), 0.1, d, rng, quick_stop(5000));
+  ASSERT_GT(r.s_transitions, 0u);
+  // One mistake per maximal run of consecutive losses: S-transitions occur
+  // at rate p_L(1 - p_L) per period, so E(T_MR) ~ eta / (p_L(1-p_L)) = 11.1.
+  EXPECT_NEAR(r.e_tmr(), 1.0 / (0.1 * 0.9), 0.8);
+  // Mistake lasts until the next delivered heartbeat.
+  EXPECT_LT(r.e_tm(), 1.2);
+}
+
+TEST(FastSfd, AggressiveCutoffActsAsExtraLoss) {
+  // Section 7.2's trade-off: at the same TO, a cutoff at c = E(D) discards
+  // ~1/e of all heartbeats (Exp delays), which behaves like a ~37% loss
+  // rate and wrecks E(T_MR); a cutoff at 8 E(D) discards almost nothing.
+  dist::Exponential d(0.02);
+  const Duration eta(1.0);
+  Rng a(16);
+  Rng b(17);
+  const auto moderate =
+      fast_sfd_accuracy(SfdParams{Duration(1.5), Duration(0.16)}, eta, 0.01,
+                        d, a, quick_stop(2000, 20'000'000));
+  const auto aggressive =
+      fast_sfd_accuracy(SfdParams{Duration(1.5), Duration(0.02)}, eta, 0.01,
+                        d, b, quick_stop(2000, 20'000'000));
+  EXPECT_LT(20.0 * aggressive.e_tmr(), moderate.e_tmr());
+}
+
+TEST(FastSfd, DeterministicForSameSeed) {
+  dist::Exponential d(0.02);
+  Rng a(18);
+  Rng b(18);
+  const auto ra = fast_sfd_accuracy(SfdParams{Duration(1.1)}, Duration(1.0),
+                                    0.05, d, a, quick_stop(500));
+  const auto rb = fast_sfd_accuracy(SfdParams{Duration(1.1)}, Duration(1.0),
+                                    0.05, d, b, quick_stop(500));
+  EXPECT_DOUBLE_EQ(ra.e_tmr(), rb.e_tmr());
+}
+
+TEST(FastSim, RejectsInvalidArguments) {
+  dist::Exponential d(0.02);
+  Rng rng(19);
+  EXPECT_THROW((void)fast_nfd_s_accuracy(
+                   NfdSParams{Duration(1.0), Duration(1.0)}, 1.0, d, rng, {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)fast_sfd_accuracy(SfdParams{Duration(1.0)}, Duration(0.0), 0.01,
+                              d, rng, {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd::core

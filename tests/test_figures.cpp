@@ -1,0 +1,142 @@
+// Unit tests for the qos::Figures / qos::Requirements value types and the
+// Testbed facade.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/nfd_s.hpp"
+#include "core/testbed.hpp"
+#include "dist/constant.hpp"
+#include "dist/exponential.hpp"
+#include "net/loss_model.hpp"
+#include "qos/metrics.hpp"
+
+namespace chenfd {
+namespace {
+
+TEST(Requirements, Validity) {
+  EXPECT_TRUE((qos::Requirements{seconds(1.0), seconds(1.0), seconds(1.0)}
+                   .valid()));
+  EXPECT_FALSE((qos::Requirements{seconds(0.0), seconds(1.0), seconds(1.0)}
+                    .valid()));
+  EXPECT_FALSE((qos::Requirements{seconds(1.0), seconds(-1.0), seconds(1.0)}
+                    .valid()));
+  EXPECT_FALSE((qos::Requirements{seconds(1.0), seconds(1.0), seconds(0.0)}
+                    .valid()));
+}
+
+TEST(Requirements, StreamFormat) {
+  std::ostringstream os;
+  os << qos::Requirements{seconds(30.0), seconds(100.0), seconds(60.0)};
+  EXPECT_EQ(os.str(), "{T_D^U=30s, T_MR^L=100s, T_M^U=60s}");
+}
+
+TEST(Figures, DerivedMetrics) {
+  qos::Figures f;
+  f.detection_time_bound = seconds(2.0);
+  f.mistake_recurrence_mean = seconds(16.0);
+  f.mistake_duration_mean = seconds(4.0);
+  EXPECT_EQ(f.good_period_mean(), seconds(12.0));
+  EXPECT_DOUBLE_EQ(f.mistake_rate(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(f.query_accuracy(), 0.75);
+}
+
+TEST(Figures, SatisfiesIsComponentwise) {
+  qos::Figures f;
+  f.detection_time_bound = seconds(2.0);
+  f.mistake_recurrence_mean = seconds(100.0);
+  f.mistake_duration_mean = seconds(1.0);
+  EXPECT_TRUE(
+      f.satisfies(qos::Requirements{seconds(2.0), seconds(100.0),
+                                    seconds(1.0)}));  // boundaries inclusive
+  EXPECT_FALSE(f.satisfies(
+      qos::Requirements{seconds(1.9), seconds(100.0), seconds(1.0)}));
+  EXPECT_FALSE(f.satisfies(
+      qos::Requirements{seconds(2.0), seconds(101.0), seconds(1.0)}));
+  EXPECT_FALSE(f.satisfies(
+      qos::Requirements{seconds(2.0), seconds(100.0), seconds(0.9)}));
+}
+
+TEST(Figures, InfiniteRecurrenceSatisfiesEverything) {
+  qos::Figures f;
+  f.detection_time_bound = seconds(1.0);
+  f.mistake_recurrence_mean = Duration::infinity();
+  f.mistake_duration_mean = Duration::zero();
+  EXPECT_TRUE(f.satisfies(
+      qos::Requirements{seconds(10.0), days(1e6), seconds(0.001)}));
+}
+
+TEST(Testbed, RequiresDetectorBeforeStart) {
+  core::Testbed::Config cfg;
+  cfg.delay = std::make_unique<dist::Constant>(0.01);
+  cfg.loss = std::make_unique<net::BernoulliLoss>(0.0);
+  core::Testbed tb(std::move(cfg));
+  EXPECT_THROW(tb.start(), std::invalid_argument);
+}
+
+TEST(Testbed, BroadcastsToAllAttachedDetectors) {
+  core::Testbed::Config cfg;
+  cfg.delay = std::make_unique<dist::Constant>(0.01);
+  cfg.loss = std::make_unique<net::BernoulliLoss>(0.0);
+  cfg.eta = seconds(1.0);
+  core::Testbed tb(std::move(cfg));
+  core::NfdS a(tb.simulator(), core::NfdSParams{seconds(1.0), seconds(1.0)});
+  core::NfdS b(tb.simulator(), core::NfdSParams{seconds(1.0), seconds(2.0)});
+  tb.attach(a);
+  tb.attach(b);
+  tb.start();
+  tb.simulator().run_until(TimePoint(10.0));
+  EXPECT_EQ(a.max_seq(), b.max_seq());
+  EXPECT_EQ(a.max_seq(), 9u);  // m_9 sent at 9, delivered 9.01
+  a.stop();
+  b.stop();
+}
+
+TEST(Testbed, SeedsMakeRunsReproducible) {
+  const auto run = [](std::uint64_t seed) {
+    core::Testbed::Config cfg;
+    cfg.delay = std::make_unique<dist::Exponential>(0.05);
+    cfg.loss = std::make_unique<net::BernoulliLoss>(0.1);
+    cfg.eta = seconds(1.0);
+    cfg.seed = seed;
+    core::Testbed tb(std::move(cfg));
+    core::NfdS d(tb.simulator(),
+                 core::NfdSParams{seconds(1.0), seconds(1.0)});
+    tb.attach(d);
+    std::vector<Transition> log;
+    d.add_listener([&log](const Transition& t) { log.push_back(t); });
+    tb.start();
+    tb.simulator().run_until(TimePoint(500.0));
+    d.stop();
+    return log;
+  };
+  const auto l1 = run(99);
+  const auto l2 = run(99);
+  const auto l3 = run(100);
+  ASSERT_EQ(l1.size(), l2.size());
+  for (std::size_t i = 0; i < l1.size(); ++i) EXPECT_EQ(l1[i], l2[i]);
+  EXPECT_NE(l1.size(), l3.size());  // different seed, different run
+}
+
+TEST(Testbed, LinkStatisticsExposed) {
+  core::Testbed::Config cfg;
+  cfg.delay = std::make_unique<dist::Constant>(0.01);
+  cfg.loss = std::make_unique<net::BernoulliLoss>(0.5);
+  cfg.eta = seconds(1.0);
+  cfg.seed = 3;
+  core::Testbed tb(std::move(cfg));
+  core::NfdS d(tb.simulator(), core::NfdSParams{seconds(1.0), seconds(1.0)});
+  tb.attach(d);
+  tb.start();
+  tb.simulator().run_until(TimePoint(1000.0));
+  d.stop();
+  EXPECT_EQ(tb.link().sent_count(), 1000u);
+  EXPECT_NEAR(static_cast<double>(tb.link().dropped_count()) /
+                  static_cast<double>(tb.link().sent_count()),
+              0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace chenfd

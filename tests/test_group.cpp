@@ -1,0 +1,187 @@
+// Tests for the group-monitoring mesh.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "dist/exponential.hpp"
+#include "group/group.hpp"
+#include "qos/replay.hpp"
+
+namespace chenfd::group {
+namespace {
+
+Group::Config make_config(std::size_t n, double p_loss = 0.0,
+                          std::uint64_t seed = 1) {
+  Group::Config cfg;
+  cfg.size = n;
+  cfg.delay = std::make_unique<dist::Exponential>(0.02);
+  cfg.p_loss = p_loss;
+  cfg.detector = core::NfdSParams{seconds(1.0), seconds(1.0)};
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Group, RejectsBadConfig) {
+  EXPECT_THROW(Group(make_config(1)), std::invalid_argument);
+  Group::Config cfg = make_config(3);
+  cfg.delay = nullptr;
+  EXPECT_THROW(Group(std::move(cfg)), std::invalid_argument);
+}
+
+TEST(Group, AllCorrectEventuallyTrusted) {
+  Group g(make_config(4));
+  g.start();
+  g.simulator().run_until(TimePoint(10.0));
+  EXPECT_TRUE(g.all_correct_trusted());
+  for (ProcessId o = 0; o < 4; ++o) {
+    EXPECT_EQ(g.view(o).size(), 4u);
+  }
+  g.stop();
+}
+
+TEST(Group, InitiallyEveryoneSuspected) {
+  Group g(make_config(3));
+  g.start();
+  // Before tau_1 = eta + delta = 2, detectors that saw no heartbeat
+  // suspect (they start suspecting).
+  EXPECT_TRUE(g.suspects(0, 1));
+  EXPECT_EQ(g.view(0).size(), 1u);  // just itself
+  g.stop();
+}
+
+TEST(Group, SelfIsNeverSuspected) {
+  Group g(make_config(3));
+  g.start();
+  EXPECT_FALSE(g.suspects(0, 0));
+  EXPECT_THROW((void)g.detector(1, 1), std::invalid_argument);
+  g.stop();
+}
+
+TEST(Group, CrashDetectedByAllWithinBound) {
+  Group g(make_config(5));
+  g.start();
+  g.simulator().run_until(TimePoint(20.0));
+  ASSERT_TRUE(g.all_correct_trusted());
+  const TimePoint crash(23.4);
+  g.crash_at(2, crash);
+  // Theorem 5.1 per pair: every observer suspects 2 by crash + delta + eta.
+  g.simulator().run_until(crash + seconds(2.0) + seconds(1e-3));
+  EXPECT_TRUE(g.all_crashes_detected());
+  for (ProcessId o = 0; o < 5; ++o) {
+    if (o == 2) continue;
+    const auto v = g.view(o);
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_TRUE(std::find(v.begin(), v.end(), 2u) == v.end());
+  }
+  g.stop();
+}
+
+TEST(Group, CrashedProcessStillRunsItsDetectors) {
+  // The paper's model: a crash stops p's sending; q-side state of the
+  // crashed process is unobservable, but our simulation keeps it defined.
+  Group g(make_config(3));
+  g.start();
+  g.simulator().run_until(TimePoint(10.0));
+  g.crash_at(0, TimePoint(10.5));
+  g.simulator().run_until(TimePoint(20.0));
+  EXPECT_TRUE(g.crashed(0));
+  EXPECT_FALSE(g.crashed(1));
+  // 1 and 2 still trust each other.
+  EXPECT_FALSE(g.suspects(1, 2));
+  EXPECT_TRUE(g.suspects(1, 0));
+  g.stop();
+}
+
+TEST(Group, MultipleCrashes) {
+  Group g(make_config(6));
+  g.start();
+  g.simulator().run_until(TimePoint(15.0));
+  g.crash_at(1, TimePoint(16.0));
+  g.crash_at(4, TimePoint(17.5));
+  g.simulator().run_until(TimePoint(25.0));
+  EXPECT_TRUE(g.all_crashes_detected());
+  EXPECT_TRUE(g.all_correct_trusted());
+  for (ProcessId o : {0u, 2u, 3u, 5u}) {
+    EXPECT_EQ(g.view(o).size(), 4u);
+  }
+  g.stop();
+}
+
+TEST(Group, LossyLinksCauseOccasionalFalseSuspicions) {
+  // With 20% loss and delta = 1, some pair somewhere will blip over a long
+  // window — and recover.
+  Group g(make_config(4, 0.2, 99));
+  g.start();
+  bool saw_false_suspicion = false;
+  for (int t = 10; t <= 2000; ++t) {
+    g.simulator().run_until(TimePoint(static_cast<double>(t)));
+    if (!g.all_correct_trusted()) saw_false_suspicion = true;
+  }
+  EXPECT_TRUE(saw_false_suspicion);
+  // Mistakes are transient: run loss-free-ish settling and re-check...
+  // (detectors recover by construction; verify the group is mostly sane).
+  g.simulator().run_until(TimePoint(2002.0));
+  for (ProcessId o = 0; o < 4; ++o) {
+    EXPECT_GE(g.view(o).size(), 1u);
+  }
+  g.stop();
+}
+
+TEST(Group, DetectorAccessorsAreConsistent) {
+  Group g(make_config(3));
+  g.start();
+  g.simulator().run_until(TimePoint(10.0));
+  // detector(o, t) is the detector AT o watching t; its verdict must match
+  // suspects(o, t).
+  for (ProcessId o = 0; o < 3; ++o) {
+    for (ProcessId t = 0; t < 3; ++t) {
+      if (o == t) continue;
+      EXPECT_EQ(g.suspects(o, t),
+                g.detector(o, t).output() == Verdict::kSuspect);
+    }
+  }
+  g.stop();
+}
+
+TEST(Group, PairwiseQoSMatchesTwoProcessAnalysis) {
+  // Every ordered pair of the mesh is an independent copy of the paper's
+  // two-process system, so a pair detector's measured E(T_MR) must match
+  // Theorem 5.  (Validates the mesh wiring end-to-end.)
+  auto cfg = make_config(3, 0.05, 7);
+  const auto params = cfg.detector;
+  dist::Exponential delay(0.02);
+  core::NfdSAnalysis exact(params, 0.05, delay);
+
+  Group g(std::move(cfg));
+  std::vector<Transition> log;
+  g.detector(1, 0).add_listener(
+      [&log](const Transition& t) { log.push_back(t); });
+  g.start();
+  const double horizon = 100000.0;
+  g.simulator().run_until(TimePoint(horizon));
+  g.stop();
+
+  qos::Recorder rec =
+      qos::replay(log, TimePoint(100.0), TimePoint(horizon));
+  ASSERT_GT(rec.s_transitions(), 500u);
+  EXPECT_NEAR(rec.mistake_recurrence().mean(), exact.e_tmr().seconds(),
+              0.1 * exact.e_tmr().seconds());
+  EXPECT_NEAR(rec.query_accuracy(), exact.query_accuracy(), 0.005);
+}
+
+TEST(Group, CrashIdempotenceKeepsEarliest) {
+  Group g(make_config(3));
+  g.start();
+  g.simulator().run_until(TimePoint(5.0));
+  g.crash_at(1, TimePoint(8.0));
+  g.crash_at(1, TimePoint(50.0));  // later: ignored
+  g.simulator().run_until(TimePoint(12.0));
+  EXPECT_TRUE(g.crashed(1));
+  g.stop();
+}
+
+}  // namespace
+}  // namespace chenfd::group

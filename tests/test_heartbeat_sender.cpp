@@ -1,0 +1,139 @@
+// Unit tests for the heartbeat sender (process p).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "clock/clock.hpp"
+#include "core/heartbeat_sender.hpp"
+#include "dist/constant.hpp"
+#include "net/link.hpp"
+#include "net/loss_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::core {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  clk::OffsetClock clock{Duration::zero()};
+  net::Link link{sim, std::make_unique<dist::Constant>(0.001),
+                 std::make_unique<net::BernoulliLoss>(0.0), Rng(1)};
+  std::vector<net::Message> delivered;
+
+  explicit Fixture(Duration offset = Duration::zero()) : clock(offset) {
+    link.set_receiver([this](const net::Message& m, TimePoint) {
+      delivered.push_back(m);
+    });
+  }
+};
+
+TEST(HeartbeatSender, SendsEveryEta) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  sender.start();
+  f.sim.run_until(TimePoint(5.5));
+  ASSERT_EQ(f.delivered.size(), 5u);
+  for (std::size_t i = 0; i < f.delivered.size(); ++i) {
+    EXPECT_EQ(f.delivered[i].seq, i + 1);
+    EXPECT_DOUBLE_EQ(f.delivered[i].sent_real.seconds(),
+                     static_cast<double>(i + 1));
+  }
+}
+
+TEST(HeartbeatSender, TimestampsWithLocalClock) {
+  Fixture f(Duration(100.0));  // p's clock is 100s ahead
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  sender.start();
+  f.sim.run_until(TimePoint(2.5));
+  // The schedule runs in real time (drift-free clocks make the two
+  // equivalent), but timestamps carry p's local reading.
+  ASSERT_EQ(f.delivered.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.delivered[0].sent_real.seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(f.delivered[0].sender_timestamp.seconds(), 101.0);
+  EXPECT_DOUBLE_EQ(f.delivered[1].sender_timestamp.seconds(), 102.0);
+}
+
+TEST(HeartbeatSender, CrashStopsSending) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  sender.crash_at(TimePoint(3.5));
+  sender.start();
+  f.sim.run_until(TimePoint(10.0));
+  EXPECT_EQ(f.delivered.size(), 3u);  // m_1..m_3; m_4 at t=4 is after crash
+  EXPECT_TRUE(sender.crashed());
+  ASSERT_TRUE(sender.crash_time().has_value());
+  EXPECT_EQ(*sender.crash_time(), TimePoint(3.5));
+}
+
+TEST(HeartbeatSender, CrashExactlyAtSendTimeSuppressesIt) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  sender.crash_at(TimePoint(2.0));
+  sender.start();
+  f.sim.run_until(TimePoint(10.0));
+  EXPECT_EQ(f.delivered.size(), 1u);
+}
+
+TEST(HeartbeatSender, EarliestCrashWins) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  sender.crash_at(TimePoint(2.5));
+  sender.crash_at(TimePoint(8.0));  // later: ignored
+  sender.start();
+  f.sim.run_until(TimePoint(10.0));
+  EXPECT_EQ(f.delivered.size(), 2u);
+}
+
+TEST(HeartbeatSender, SetEtaReschedules) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  sender.start();
+  f.sim.run_until(TimePoint(3.0));  // m_1..m_3 sent at 1, 2, 3
+  sender.set_eta(seconds(2.0));
+  // m_4 at 5, m_5 at 7, m_6 at 9 (+1ms link delay before delivery).
+  f.sim.run_until(TimePoint(9.5));
+  ASSERT_EQ(f.delivered.size(), 6u);
+  EXPECT_DOUBLE_EQ(f.delivered[3].sent_real.seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(f.delivered[4].sent_real.seconds(), 7.0);
+  EXPECT_DOUBLE_EQ(f.delivered[5].sent_real.seconds(), 9.0);
+  // Sequence numbers keep increasing across the rate change.
+  EXPECT_EQ(f.delivered[5].seq, 6u);
+}
+
+TEST(HeartbeatSender, SetEtaToShorterSendsSooner) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(10.0));
+  sender.start();
+  f.sim.run_until(TimePoint(10.5));  // m_1 at 10
+  ASSERT_EQ(f.delivered.size(), 1u);
+  sender.set_eta(seconds(1.0));
+  f.sim.run_until(TimePoint(13.5));  // m_2 at 11, m_3 at 12, m_4 at 13
+  EXPECT_EQ(f.delivered.size(), 4u);
+  EXPECT_DOUBLE_EQ(f.delivered[1].sent_real.seconds(), 11.0);
+}
+
+TEST(HeartbeatSender, RejectsMisuse) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  EXPECT_THROW(HeartbeatSender(f.sim, f.link, f.clock, seconds(0.0)),
+               std::invalid_argument);
+  sender.start();
+  EXPECT_THROW(sender.start(), std::invalid_argument);
+  EXPECT_THROW(sender.set_eta(seconds(-1.0)), std::invalid_argument);
+  f.sim.run_until(TimePoint(5.0));
+  EXPECT_THROW(sender.crash_at(TimePoint(4.0)), std::invalid_argument);
+}
+
+TEST(HeartbeatSender, NextSeqTracksSends) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  EXPECT_EQ(sender.next_seq(), 1u);
+  sender.start();
+  f.sim.run_until(TimePoint(3.0));
+  EXPECT_EQ(sender.next_seq(), 4u);
+}
+
+}  // namespace
+}  // namespace chenfd::core

@@ -1,0 +1,71 @@
+// Unit tests for the fixed-width histogram.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/histogram.hpp"
+
+namespace chenfd::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValues) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, Fractions) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.0);
+}
+
+TEST(Histogram, BoundaryValueGoesToUpperBin) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.5);  // exactly on the internal edge -> bin 1
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, CountOutOfRangeThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd::stats

@@ -1,0 +1,159 @@
+// Unit tests for the probabilistic link.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/constant.hpp"
+#include "dist/exponential.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::net {
+namespace {
+
+using chenfd::Duration;
+using chenfd::TimePoint;
+
+Message make_message(SeqNo seq, TimePoint sent) {
+  Message m;
+  m.seq = seq;
+  m.sent_real = sent;
+  m.sender_timestamp = sent;
+  return m;
+}
+
+TEST(Link, DeliversAfterSampledDelay) {
+  sim::Simulator sim;
+  Link link(sim, std::make_unique<dist::Constant>(0.5),
+            std::make_unique<BernoulliLoss>(0.0), Rng(1));
+  std::vector<std::pair<SeqNo, double>> received;
+  link.set_receiver([&](const Message& m, TimePoint at) {
+    received.emplace_back(m.seq, at.seconds());
+  });
+  sim.at(TimePoint(1.0), [&] { link.send(make_message(1, sim.now())); });
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, 1u);
+  EXPECT_DOUBLE_EQ(received[0].second, 1.5);
+  EXPECT_EQ(link.sent_count(), 1u);
+  EXPECT_EQ(link.delivered_count(), 1u);
+  EXPECT_EQ(link.dropped_count(), 0u);
+}
+
+TEST(Link, SendWithoutReceiverThrows) {
+  sim::Simulator sim;
+  Link link(sim, std::make_unique<dist::Constant>(0.5),
+            std::make_unique<BernoulliLoss>(0.0), Rng(1));
+  EXPECT_THROW(link.send(make_message(1, TimePoint::zero())),
+               std::invalid_argument);
+}
+
+TEST(Link, DropsAtConfiguredRate) {
+  sim::Simulator sim;
+  Link link(sim, std::make_unique<dist::Constant>(0.01),
+            std::make_unique<BernoulliLoss>(0.25), Rng(7));
+  int received = 0;
+  link.set_receiver([&](const Message&, TimePoint) { ++received; });
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    link.send(make_message(static_cast<SeqNo>(i + 1), sim.now()));
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(received) / kN, 0.75, 0.01);
+  EXPECT_EQ(link.sent_count(), static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(link.dropped_count() + link.delivered_count(),
+            static_cast<std::uint64_t>(kN));
+}
+
+TEST(Link, ExponentialDelaysCanReorder) {
+  sim::Simulator sim;
+  Link link(sim, std::make_unique<dist::Exponential>(1.0),
+            std::make_unique<BernoulliLoss>(0.0), Rng(11));
+  std::vector<SeqNo> order;
+  link.set_receiver([&](const Message& m, TimePoint) {
+    order.push_back(m.seq);
+  });
+  // Send 200 messages 0.01s apart; with mean delay 1.0 reordering is
+  // essentially certain.
+  for (int i = 0; i < 200; ++i) {
+    sim.at(TimePoint(0.01 * i), [&link, i, &sim] {
+      link.send(make_message(static_cast<SeqNo>(i + 1), sim.now()));
+    });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 200u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Link, DuplicationDeliversTwice) {
+  sim::Simulator sim;
+  Link link(sim, std::make_unique<dist::Constant>(0.1),
+            std::make_unique<BernoulliLoss>(0.0), Rng(13));
+  link.set_duplication_probability(0.5);
+  int received = 0;
+  link.set_receiver([&](const Message&, TimePoint) { ++received; });
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    link.send(make_message(static_cast<SeqNo>(i + 1), sim.now()));
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(received) / kN, 1.5, 0.02);
+}
+
+TEST(Link, SwappingDelayAffectsSubsequentSends) {
+  sim::Simulator sim;
+  Link link(sim, std::make_unique<dist::Constant>(1.0),
+            std::make_unique<BernoulliLoss>(0.0), Rng(17));
+  std::vector<double> arrival;
+  link.set_receiver([&](const Message&, TimePoint at) {
+    arrival.push_back(at.seconds());
+  });
+  link.send(make_message(1, sim.now()));
+  link.set_delay(std::make_unique<dist::Constant>(2.0));
+  link.send(make_message(2, sim.now()));
+  sim.run();
+  ASSERT_EQ(arrival.size(), 2u);
+  EXPECT_DOUBLE_EQ(arrival[0], 1.0);
+  EXPECT_DOUBLE_EQ(arrival[1], 2.0);
+}
+
+TEST(Link, SwappingLossModel) {
+  sim::Simulator sim;
+  Link link(sim, std::make_unique<dist::Constant>(0.1),
+            std::make_unique<BernoulliLoss>(0.0), Rng(19));
+  int received = 0;
+  link.set_receiver([&](const Message&, TimePoint) { ++received; });
+  link.send(make_message(1, sim.now()));
+  // Losing everything from now on (p just under 1 to satisfy validation).
+  link.set_loss(std::make_unique<BernoulliLoss>(0.999999999));
+  for (int i = 0; i < 100; ++i) {
+    link.send(make_message(static_cast<SeqNo>(i + 2), sim.now()));
+  }
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Link, RejectsInvalidConfiguration) {
+  sim::Simulator sim;
+  EXPECT_THROW(Link(sim, nullptr, std::make_unique<BernoulliLoss>(0.0),
+                    Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(Link(sim, std::make_unique<dist::Constant>(0.1), nullptr,
+                    Rng(1)),
+               std::invalid_argument);
+  Link link(sim, std::make_unique<dist::Constant>(0.1),
+            std::make_unique<BernoulliLoss>(0.0), Rng(1));
+  EXPECT_THROW(link.set_duplication_probability(1.0), std::invalid_argument);
+  EXPECT_THROW(link.set_delay(nullptr), std::invalid_argument);
+  EXPECT_THROW(link.set_loss(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd::net

@@ -1,0 +1,107 @@
+// Unit tests for the loss models.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "net/loss_model.hpp"
+
+namespace chenfd::net {
+namespace {
+
+TEST(BernoulliLoss, MatchesProbability) {
+  BernoulliLoss loss(0.01);
+  Rng rng(1);
+  int drops = 0;
+  constexpr int kN = 300000;
+  for (int i = 0; i < kN; ++i) {
+    if (loss.drop_next(rng)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / kN, 0.01, 0.002);
+  EXPECT_DOUBLE_EQ(loss.steady_state_loss(), 0.01);
+}
+
+TEST(BernoulliLoss, ZeroNeverDrops) {
+  BernoulliLoss loss(0.0);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(loss.drop_next(rng));
+}
+
+TEST(BernoulliLoss, RejectsInvalidProbability) {
+  EXPECT_THROW(BernoulliLoss(-0.1), std::invalid_argument);
+  EXPECT_THROW(BernoulliLoss(1.0), std::invalid_argument);
+}
+
+TEST(BernoulliLoss, CloneBehavesIdentically) {
+  BernoulliLoss loss(0.3);
+  auto clone = loss.clone();
+  EXPECT_DOUBLE_EQ(clone->steady_state_loss(), 0.3);
+  EXPECT_EQ(clone->name(), loss.name());
+}
+
+TEST(GilbertElliottLoss, SteadyStateLoss) {
+  // pi_bad = gb / (gb + bg) = 0.1 / 0.5 = 0.2.
+  GilbertElliottLoss loss(0.1, 0.4, 0.01, 0.5);
+  EXPECT_NEAR(loss.steady_state_loss(), 0.2 * 0.5 + 0.8 * 0.01, 1e-12);
+}
+
+TEST(GilbertElliottLoss, EmpiricalLossMatchesSteadyState) {
+  GilbertElliottLoss loss(0.05, 0.25, 0.005, 0.6);
+  Rng rng(3);
+  int drops = 0;
+  constexpr int kN = 500000;
+  for (int i = 0; i < kN; ++i) {
+    if (loss.drop_next(rng)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / kN, loss.steady_state_loss(), 0.01);
+}
+
+TEST(GilbertElliottLoss, ProducesBursts) {
+  // In the bad state, losses are far more likely than the marginal rate —
+  // consecutive drops should be much more common than under Bernoulli with
+  // the same marginal loss.
+  GilbertElliottLoss ge(0.02, 0.2, 0.0, 0.9);
+  BernoulliLoss bern(ge.steady_state_loss());
+  Rng rng_a(4);
+  Rng rng_b(4);
+  auto count_consecutive = [](LossModel& m, Rng& rng) {
+    int consecutive = 0;
+    bool prev = false;
+    for (int i = 0; i < 200000; ++i) {
+      const bool d = m.drop_next(rng);
+      if (d && prev) ++consecutive;
+      prev = d;
+    }
+    return consecutive;
+  };
+  const int ge_runs = count_consecutive(ge, rng_a);
+  const int bern_runs = count_consecutive(bern, rng_b);
+  EXPECT_GT(ge_runs, 5 * bern_runs);
+}
+
+TEST(GilbertElliottLoss, MeanBurstLength) {
+  GilbertElliottLoss loss(0.1, 0.25, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(loss.mean_burst_length(), 4.0);
+}
+
+TEST(GilbertElliottLoss, RejectsInvalidParameters) {
+  EXPECT_THROW(GilbertElliottLoss(-0.1, 0.5, 0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(GilbertElliottLoss(0.1, 0.0, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(GilbertElliottLoss(0.1, 0.5, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(GilbertElliottLoss, CloneStartsFresh) {
+  GilbertElliottLoss loss(1.0, 1.0, 0.0, 1.0);  // alternates states
+  Rng rng(5);
+  (void)loss.drop_next(rng);  // now in bad state
+  EXPECT_TRUE(loss.in_bad_state());
+  auto clone = loss.clone();
+  auto* ge = dynamic_cast<GilbertElliottLoss*>(clone.get());
+  ASSERT_NE(ge, nullptr);
+  EXPECT_FALSE(ge->in_bad_state());
+}
+
+}  // namespace
+}  // namespace chenfd::net

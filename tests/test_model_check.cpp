@@ -1,0 +1,147 @@
+// Randomized model-checking of foundational components against brute-force
+// reference implementations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qos/recorder.hpp"
+#include "sim/event_queue.hpp"
+
+namespace chenfd {
+namespace {
+
+TEST(EventQueueModel, RandomOpsMatchReferenceMultimap) {
+  // Reference model: ordered multimap of (time, id) with explicit FIFO
+  // tie-breaking by insertion id.
+  Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    sim::EventQueue queue;
+    std::multimap<std::pair<double, std::uint64_t>, std::uint64_t> model;
+    std::vector<sim::EventId> live_ids;
+    std::vector<std::uint64_t> popped_queue;
+    std::vector<std::uint64_t> popped_model;
+    std::uint64_t tag = 0;
+
+    for (int op = 0; op < 500; ++op) {
+      const double dice = rng.uniform01();
+      if (dice < 0.5) {
+        // Schedule.
+        const double t = rng.uniform(0.0, 100.0);
+        const std::uint64_t my_tag = tag++;
+        const auto id = queue.schedule(TimePoint(t), [&popped_queue,
+                                                      my_tag] {
+          popped_queue.push_back(my_tag);
+        });
+        model.emplace(std::make_pair(t, id), my_tag);
+        live_ids.push_back(id);
+      } else if (dice < 0.7 && !live_ids.empty()) {
+        // Cancel a random live event.
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform01() * static_cast<double>(live_ids.size()));
+        const auto id = live_ids[std::min(idx, live_ids.size() - 1)];
+        const bool q_ok = queue.cancel(id);
+        bool m_ok = false;
+        for (auto it = model.begin(); it != model.end(); ++it) {
+          if (it->first.second == id) {
+            model.erase(it);
+            m_ok = true;
+            break;
+          }
+        }
+        EXPECT_EQ(q_ok, m_ok);
+      } else {
+        // Pop.
+        auto ev = queue.pop();
+        if (ev) {
+          ev->second();
+          ASSERT_FALSE(model.empty());
+          popped_model.push_back(model.begin()->second);
+          model.erase(model.begin());
+        } else {
+          EXPECT_TRUE(model.empty());
+        }
+      }
+      EXPECT_EQ(queue.pending(), model.size());
+    }
+    // Drain both.
+    while (auto ev = queue.pop()) ev->second();
+    while (!model.empty()) {
+      popped_model.push_back(model.begin()->second);
+      model.erase(model.begin());
+    }
+    EXPECT_EQ(popped_queue, popped_model) << "round " << round;
+  }
+}
+
+TEST(RecorderModel, RandomSignalsMatchBruteForce) {
+  // Generate random alternating signals; compare the online Recorder with
+  // a brute-force recomputation from the raw transition list.
+  Rng rng(515);
+  for (int round = 0; round < 50; ++round) {
+    const double horizon = 100.0 + rng.uniform(0.0, 200.0);
+    Verdict v = rng.bernoulli(0.5) ? Verdict::kTrust : Verdict::kSuspect;
+    qos::Recorder rec(TimePoint(0.0), v);
+    struct Tr {
+      double at;
+      Verdict to;
+    };
+    std::vector<Tr> raw;
+    double t = 0.0;
+    while (true) {
+      t += rng.uniform(0.01, 5.0);
+      if (t >= horizon) break;
+      v = (v == Verdict::kTrust) ? Verdict::kSuspect : Verdict::kTrust;
+      raw.push_back({t, v});
+      rec.on_transition(TimePoint(t), v);
+    }
+    rec.finish(TimePoint(horizon));
+
+    // Brute force.
+    double trust_time = 0.0;
+    std::size_t s_count = 0;
+    std::vector<double> tmr;
+    std::vector<double> tm;
+    std::vector<double> tg;
+    double last = 0.0;
+    Verdict cur = raw.empty() ? v
+                 : (raw.front().to == Verdict::kTrust ? Verdict::kSuspect
+                                                      : Verdict::kTrust);
+    // (cur reconstructed: state before the first transition)
+    double last_s = -1.0;
+    double last_t = -1.0;
+    for (const auto& tr : raw) {
+      if (cur == Verdict::kTrust) trust_time += tr.at - last;
+      if (tr.to == Verdict::kSuspect) {
+        ++s_count;
+        if (last_s >= 0.0) tmr.push_back(tr.at - last_s);
+        if (last_t >= 0.0) tg.push_back(tr.at - last_t);
+        last_s = tr.at;
+      } else {
+        if (last_s >= 0.0) tm.push_back(tr.at - last_s);
+        last_t = tr.at;
+      }
+      cur = tr.to;
+      last = tr.at;
+    }
+    if (cur == Verdict::kTrust) trust_time += horizon - last;
+
+    EXPECT_EQ(rec.s_transitions(), s_count);
+    EXPECT_NEAR(rec.query_accuracy(), trust_time / horizon, 1e-12);
+    ASSERT_EQ(rec.mistake_recurrence().count(), tmr.size());
+    ASSERT_EQ(rec.mistake_duration().count(), tm.size());
+    ASSERT_EQ(rec.good_period().count(), tg.size());
+    for (std::size_t i = 0; i < tmr.size(); ++i) {
+      EXPECT_NEAR(rec.mistake_recurrence().samples()[i], tmr[i], 1e-12);
+    }
+    for (std::size_t i = 0; i < tm.size(); ++i) {
+      EXPECT_NEAR(rec.mistake_duration().samples()[i], tm[i], 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chenfd

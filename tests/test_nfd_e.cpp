@@ -1,0 +1,167 @@
+// Behavioural tests of NFD-E (Section 6.3): NFD-U with the Eq. (6.3)
+// expected-arrival-time estimate.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clock/clock.hpp"
+#include "core/nfd_e.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::core {
+namespace {
+
+constexpr double kEta = 1.0;
+
+net::Message hb(net::SeqNo seq) {
+  net::Message m;
+  m.seq = seq;
+  m.sent_real = TimePoint(kEta * static_cast<double>(seq));
+  m.sender_timestamp = m.sent_real;
+  return m;
+}
+
+struct Script {
+  sim::Simulator sim;
+  clk::OffsetClock q_clock;
+  NfdE detector;
+  std::vector<Transition> log;
+
+  explicit Script(NfdEParams params, double q_skew = 0.0)
+      : q_clock(Duration(q_skew)), detector(sim, q_clock, params) {
+    detector.add_listener([this](const Transition& t) { log.push_back(t); });
+    detector.activate();
+  }
+
+  void deliver(net::SeqNo seq, double real_at) {
+    sim.at(TimePoint(real_at), [this, seq, real_at] {
+      detector.on_heartbeat(hb(seq), TimePoint(real_at));
+    });
+  }
+
+  void run_to(double t) { sim.run_until(TimePoint(t)); }
+};
+
+TEST(NfdE, ConstantDelaysGiveExactEstimate) {
+  // With every delay exactly 0.2, the Eq. 6.3 estimate of EA_{l+1} is
+  // exact: after m_i at i + 0.2, the deadline is (i+1) + 0.2 + alpha.
+  Script s(NfdEParams{Duration(kEta), Duration(0.5), 8});
+  for (net::SeqNo i = 1; i <= 3; ++i) {
+    s.deliver(i, static_cast<double>(i) + 0.2);
+  }
+  s.run_to(10.0);
+  // T at 1.2; no m_4 -> suspect at EA_4 + alpha = 4.2 + 0.5 = 4.7.
+  ASSERT_EQ(s.log.size(), 2u);
+  EXPECT_EQ(s.log[0], (Transition{TimePoint(1.2), Verdict::kTrust}));
+  EXPECT_EQ(s.log[1].to, Verdict::kSuspect);
+  EXPECT_NEAR(s.log[1].at.seconds(), 4.7, 1e-9);
+}
+
+TEST(NfdE, EstimateAveragesJitter) {
+  // Delays 0.1 and 0.3 alternating: normalized times average to +0.2.
+  Script s(NfdEParams{Duration(kEta), Duration(0.5), 8});
+  s.deliver(1, 1.1);
+  s.deliver(2, 2.3);
+  s.deliver(3, 3.1);
+  s.deliver(4, 4.3);
+  s.run_to(20.0);
+  // After m_4 the window holds normalized {0.1, 0.3, 0.1, 0.3}: estimate
+  // EA_5 = 5.2, deadline 5.7.
+  ASSERT_GE(s.log.size(), 2u);
+  EXPECT_EQ(s.log.back().to, Verdict::kSuspect);
+  EXPECT_NEAR(s.log.back().at.seconds(), 5.7, 1e-9);
+}
+
+TEST(NfdE, WindowEvictsOldObservations) {
+  // Window of 2: only the last two arrivals shape the estimate.
+  Script s(NfdEParams{Duration(kEta), Duration(0.5), 2});
+  s.deliver(1, 1.9);  // early outlier delay 0.9
+  s.deliver(2, 2.1);
+  s.deliver(3, 3.1);
+  s.run_to(20.0);
+  // After m_3, window = {m_2: 0.1, m_3: 0.1}: EA_4 = 4.1, deadline 4.6.
+  EXPECT_EQ(s.log.back().to, Verdict::kSuspect);
+  EXPECT_NEAR(s.log.back().at.seconds(), 4.6, 1e-9);
+  EXPECT_EQ(s.detector.window_size(), 2u);
+  EXPECT_EQ(s.detector.window_capacity(), 2u);
+}
+
+TEST(NfdE, SkewInvariance) {
+  // Identical delivery schedule under two different q skews must produce
+  // identical real-time transitions (Section 6: NFD-E needs no
+  // synchronization).
+  auto run_with_skew = [](double skew) {
+    Script s(NfdEParams{Duration(kEta), Duration(0.5), 8}, skew);
+    s.deliver(1, 1.15);
+    s.deliver(2, 2.25);
+    s.deliver(4, 4.05);  // m_3 lost
+    s.run_to(12.0);
+    return s.log;
+  };
+  const auto a = run_with_skew(0.0);
+  const auto b = run_with_skew(1234.5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].to, b[i].to);
+    EXPECT_NEAR(a[i].at.seconds(), b[i].at.seconds(), 1e-9);
+  }
+}
+
+TEST(NfdE, DuplicatesDoNotEnterWindow) {
+  Script s(NfdEParams{Duration(kEta), Duration(0.5), 8});
+  s.deliver(1, 1.2);
+  s.deliver(1, 1.4);
+  s.run_to(1.5);
+  EXPECT_EQ(s.detector.window_size(), 1u);
+}
+
+TEST(NfdE, OutOfOrderOldMessagesExcludedFromWindow) {
+  Script s(NfdEParams{Duration(kEta), Duration(0.5), 8});
+  s.deliver(2, 2.1);
+  s.deliver(1, 2.3);  // late m_1 would distort the estimate; excluded
+  s.run_to(2.5);
+  EXPECT_EQ(s.detector.window_size(), 1u);
+}
+
+TEST(NfdE, RebaseStartsNewEpoch) {
+  Script s(NfdEParams{Duration(kEta), Duration(0.5), 8});
+  s.deliver(1, 1.2);
+  s.deliver(2, 2.2);
+  s.run_to(2.5);
+  // New epoch: from m_3 on, heartbeats are sent every 2s starting at
+  // sigma_3 = 4 (real).  Rebase clears the window.
+  s.sim.at(TimePoint(2.6), [&s] {
+    s.detector.rebase(NfdUParams{Duration(2.0), Duration(0.5)}, 3);
+  });
+  s.run_to(2.7);
+  EXPECT_EQ(s.detector.window_size(), 0u);
+  EXPECT_EQ(s.detector.epoch_seq(), 3u);
+  // m_3 at 4.2, m_4 at 6.2 (delay 0.2 under the new schedule).
+  s.deliver(3, 4.2);
+  s.deliver(4, 6.2);
+  s.run_to(20.0);
+  // After m_4: EA_5 = 8.2, deadline 8.7.
+  EXPECT_EQ(s.log.back().to, Verdict::kSuspect);
+  EXPECT_NEAR(s.log.back().at.seconds(), 8.7, 1e-9);
+}
+
+TEST(NfdE, PreEpochMessagesIgnoredByWindow) {
+  Script s(NfdEParams{Duration(kEta), Duration(0.5), 8});
+  s.sim.at(TimePoint(0.5), [&s] {
+    s.detector.rebase(NfdUParams{Duration(kEta), Duration(0.5)}, 3);
+  });
+  s.deliver(1, 1.2);  // pre-epoch: not admitted to the window
+  s.run_to(1.5);
+  EXPECT_EQ(s.detector.window_size(), 0u);
+}
+
+TEST(NfdE, RejectsInvalidParams) {
+  sim::Simulator sim;
+  clk::SynchronizedClock clock;
+  EXPECT_THROW(NfdE(sim, clock, NfdEParams{Duration(1.0), Duration(0.5), 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd::core

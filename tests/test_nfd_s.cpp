@@ -1,0 +1,217 @@
+// Behavioural tests of NFD-S against the scenarios of Fig. 5 and the
+// freshness-point semantics of Lemma 2.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/nfd_s.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::core {
+namespace {
+
+net::Message hb(net::SeqNo seq, double sigma) {
+  net::Message m;
+  m.seq = seq;
+  m.sent_real = TimePoint(sigma);
+  m.sender_timestamp = TimePoint(sigma);
+  return m;
+}
+
+struct Script {
+  sim::Simulator sim;
+  NfdS detector;
+  std::vector<Transition> log;
+
+  explicit Script(NfdSParams params) : detector(sim, params) {
+    detector.add_listener([this](const Transition& t) { log.push_back(t); });
+    detector.activate();
+  }
+
+  /// Delivers heartbeat `seq` (sent at sigma = seq * eta) at time `at`.
+  void deliver(net::SeqNo seq, double at, double eta = 1.0) {
+    sim.at(TimePoint(at), [this, seq, at, eta] {
+      detector.on_heartbeat(hb(seq, eta * static_cast<double>(seq)),
+                            TimePoint(at));
+    });
+  }
+
+  void run_to(double t) { sim.run_until(TimePoint(t)); }
+};
+
+// eta = 1, delta = 0.5: tau_i = i + 0.5.
+constexpr NfdSParams kParams{Duration(1.0), Duration(0.5)};
+
+TEST(NfdS, InitiallySuspects) {
+  Script s(kParams);
+  EXPECT_EQ(s.detector.output(), Verdict::kSuspect);
+}
+
+TEST(NfdS, Fig5aFreshMessageBeforeTau) {
+  // m_1 arrives before tau_1: q trusts through [tau_1, tau_2).
+  Script s(kParams);
+  s.deliver(1, 1.2);
+  s.run_to(2.4);  // just before tau_2
+  ASSERT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.log[0].to, Verdict::kTrust);
+  EXPECT_EQ(s.log[0].at, TimePoint(1.2));
+  EXPECT_EQ(s.detector.output(), Verdict::kTrust);
+}
+
+TEST(NfdS, Fig5bLateMessageMidInterval) {
+  // Nothing fresh at tau_1, so q keeps suspecting (the output started at S,
+  // so no transition fires at tau_1); m_1 — still fresh for interval 1 —
+  // arrives at 1.8 and q starts trusting mid-interval.
+  Script s(kParams);
+  s.deliver(1, 1.8);
+  s.run_to(1.7);
+  EXPECT_EQ(s.detector.output(), Verdict::kSuspect);
+  EXPECT_TRUE(s.log.empty());
+  s.run_to(2.4);
+  ASSERT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.log[0], (Transition{TimePoint(1.8), Verdict::kTrust}));
+}
+
+TEST(NfdS, Fig5cNoFreshMessage) {
+  // m_1 never arrives; m_2 arrives late in interval 2.
+  Script s(kParams);
+  s.deliver(2, 3.1);  // tau_2 = 2.5, tau_3 = 3.5
+  s.run_to(3.4);
+  // Initially S; stays S through interval 1 (no transition: output was
+  // already S); trusts at 3.1 since m_2 is fresh for interval 2.
+  ASSERT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.log[0], (Transition{TimePoint(3.1), Verdict::kTrust}));
+}
+
+TEST(NfdS, StaleMessageDoesNotRefresh) {
+  // m_1 received in interval 2 (j = 1 < i = 2) must NOT cause trust.
+  Script s(kParams);
+  s.deliver(1, 2.7);
+  s.run_to(3.4);
+  EXPECT_TRUE(s.log.empty());
+  EXPECT_EQ(s.detector.output(), Verdict::kSuspect);
+}
+
+TEST(NfdS, HigherSeqCoversEarlierIntervals) {
+  // Lemma 2: any m_j with j >= i refreshes interval i.  m_3 arriving early
+  // (clairvoyantly fast link) in interval 1 keeps q trusting through
+  // intervals 1..3.
+  Script s(kParams);
+  s.deliver(3, 1.4);
+  s.run_to(4.4);  // through tau_4 = 4.5? no: up to 4.4, inside [tau_3,tau_4)
+  ASSERT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.log[0].to, Verdict::kTrust);
+  s.run_to(4.6);  // past tau_4: m_3 now stale
+  ASSERT_EQ(s.log.size(), 2u);
+  EXPECT_EQ(s.log[1], (Transition{TimePoint(4.5), Verdict::kSuspect}));
+}
+
+TEST(NfdS, SuspectsAtEachFreshnessPointWithoutMessages) {
+  Script s(kParams);
+  s.run_to(10.0);
+  // Output just stays S: no transitions ever fire.
+  EXPECT_TRUE(s.log.empty());
+  EXPECT_EQ(s.detector.output(), Verdict::kSuspect);
+}
+
+TEST(NfdS, AlternatingLossPattern) {
+  // m_1, m_3, m_5 arrive with delay 0.2; m_2, m_4 lost.
+  Script s(kParams);
+  for (net::SeqNo i : {1u, 3u, 5u}) {
+    s.deliver(i, static_cast<double>(i) + 0.2);
+  }
+  s.run_to(6.4);
+  // Timeline: T at 1.2; S at tau_2 = 2.5; T at 3.2; S at tau_4 = 4.5;
+  // T at 5.2; (tau_6 = 6.5 beyond horizon).
+  ASSERT_EQ(s.log.size(), 5u);
+  EXPECT_EQ(s.log[0], (Transition{TimePoint(1.2), Verdict::kTrust}));
+  EXPECT_EQ(s.log[1], (Transition{TimePoint(2.5), Verdict::kSuspect}));
+  EXPECT_EQ(s.log[2], (Transition{TimePoint(3.2), Verdict::kTrust}));
+  EXPECT_EQ(s.log[3], (Transition{TimePoint(4.5), Verdict::kSuspect}));
+  EXPECT_EQ(s.log[4], (Transition{TimePoint(5.2), Verdict::kTrust}));
+}
+
+TEST(NfdS, DuplicateDeliveriesAreHarmless) {
+  Script s(kParams);
+  s.deliver(1, 1.2);
+  s.deliver(1, 1.3);  // duplicate (footnote 8)
+  s.run_to(2.4);
+  ASSERT_EQ(s.log.size(), 1u);
+}
+
+TEST(NfdS, OutOfOrderDeliveries) {
+  // m_2 overtakes m_1.
+  Script s(kParams);
+  s.deliver(2, 2.1);
+  s.deliver(1, 2.3);  // old, ignored
+  s.run_to(3.4);
+  ASSERT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.log[0], (Transition{TimePoint(2.1), Verdict::kTrust}));
+  EXPECT_EQ(s.detector.max_seq(), 2u);
+}
+
+TEST(NfdS, DeliveryBeforeTau1TrustsImmediately) {
+  // In [tau_0 = 0, tau_1) every message is fresh (i = 0, any j >= 1 > 0).
+  Script s(kParams);
+  s.deliver(1, 1.1);
+  s.run_to(1.2);
+  ASSERT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.log[0].at, TimePoint(1.1));
+}
+
+TEST(NfdS, DetectionBoundHolds) {
+  // All heartbeats after m_2 cease (crash); q must suspect permanently by
+  // sigma_2 + delta + eta = 2 + 1.5 = 3.5 = tau_3.
+  Script s(kParams);
+  s.deliver(1, 1.1);
+  s.deliver(2, 2.1);
+  s.run_to(20.0);
+  ASSERT_FALSE(s.log.empty());
+  const Transition& last = s.log.back();
+  EXPECT_EQ(last.to, Verdict::kSuspect);
+  EXPECT_LE(last.at, TimePoint(3.5));
+}
+
+TEST(NfdS, LargerDeltaToleratesLargerDelays) {
+  // delta = 2.5 -> k = 3: a message delayed by 2 periods is still caught.
+  Script s(NfdSParams{Duration(1.0), Duration(2.5)});
+  // m_1 delayed until 3.4 (tau_1 = 3.5): arrives just in time.
+  s.deliver(1, 3.4);
+  s.run_to(4.4);
+  ASSERT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.log[0].to, Verdict::kTrust);
+  // Without further messages, suspect at tau_2 = 4.5.
+  s.run_to(5.0);
+  ASSERT_EQ(s.log.size(), 2u);
+  EXPECT_EQ(s.log[1], (Transition{TimePoint(4.5), Verdict::kSuspect}));
+}
+
+TEST(NfdS, RejectsInvalidParams) {
+  sim::Simulator sim;
+  EXPECT_THROW(NfdS(sim, NfdSParams{Duration(0.0), Duration(1.0)}),
+               std::invalid_argument);
+  EXPECT_THROW(NfdS(sim, NfdSParams{Duration(1.0), Duration(0.0)}),
+               std::invalid_argument);
+}
+
+TEST(NfdS, ActivateTwiceThrows) {
+  sim::Simulator sim;
+  NfdS d(sim, kParams);
+  d.activate();
+  EXPECT_THROW(d.activate(), std::invalid_argument);
+}
+
+TEST(NfdS, StopCancelsFreshnessChecks) {
+  Script s(kParams);
+  s.deliver(1, 1.2);
+  s.run_to(2.0);
+  s.detector.stop();
+  s.run_to(10.0);
+  // No S-transition at tau_2: the detector was stopped.
+  ASSERT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.log[0].to, Verdict::kTrust);
+}
+
+}  // namespace
+}  // namespace chenfd::core

@@ -1,0 +1,177 @@
+// Behavioural tests of NFD-U (Fig. 9): freshness points from expected
+// arrival times, no synchronized clocks.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clock/clock.hpp"
+#include "core/nfd_u.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::core {
+namespace {
+
+constexpr double kEta = 1.0;
+constexpr double kMeanDelay = 0.1;
+constexpr double kQSkew = 5.0;  // q's clock runs 5s ahead of real time
+
+net::Message hb(net::SeqNo seq) {
+  net::Message m;
+  m.seq = seq;
+  m.sent_real = TimePoint(kEta * static_cast<double>(seq));
+  // p's local clock == real time in these tests.
+  m.sender_timestamp = m.sent_real;
+  return m;
+}
+
+struct Script {
+  sim::Simulator sim;
+  clk::OffsetClock q_clock{Duration(kQSkew)};
+  NfdU detector;
+  std::vector<Transition> log;
+
+  explicit Script(Duration alpha)
+      : detector(sim, q_clock, NfdUParams{Duration(kEta), alpha},
+                 // True expected arrival time of m_seq on q's local clock:
+                 // EA_seq = sigma_seq + E(D) + skew.
+                 [](net::SeqNo seq) {
+                   return TimePoint(kEta * static_cast<double>(seq) +
+                                    kMeanDelay + kQSkew);
+                 }) {
+    detector.add_listener([this](const Transition& t) { log.push_back(t); });
+    detector.activate();
+  }
+
+  void deliver(net::SeqNo seq, double real_at) {
+    sim.at(TimePoint(real_at), [this, seq, real_at] {
+      detector.on_heartbeat(hb(seq), TimePoint(real_at));
+    });
+  }
+
+  void run_to(double t) { sim.run_until(TimePoint(t)); }
+};
+
+TEST(NfdU, InitiallySuspects) {
+  Script s(Duration(0.5));
+  EXPECT_EQ(s.detector.output(), Verdict::kSuspect);
+}
+
+TEST(NfdU, TrustsOnFreshMessageUntilDeadline) {
+  // alpha = 0.5: tau_{i} = EA_i + 0.5 (local) = i + 0.6 + skew; in REAL
+  // time the deadline for m_2 is at 2.6.
+  Script s(Duration(0.5));
+  s.deliver(1, 1.1);
+  s.run_to(2.0);
+  ASSERT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.log[0], (Transition{TimePoint(1.1), Verdict::kTrust}));
+  // No m_2: the freshness deadline tau_2 (real 2.6) fires.
+  s.run_to(3.0);
+  ASSERT_EQ(s.log.size(), 2u);
+  EXPECT_EQ(s.log[1].to, Verdict::kSuspect);
+  EXPECT_NEAR(s.log[1].at.seconds(), 2.6, 1e-9);
+}
+
+TEST(NfdU, SteadyStreamNeverSuspects) {
+  Script s(Duration(0.5));
+  for (net::SeqNo i = 1; i <= 10; ++i) {
+    s.deliver(i, static_cast<double>(i) + 0.1);
+  }
+  s.run_to(10.5);
+  ASSERT_EQ(s.log.size(), 1u);  // single T-transition at 1.1
+  EXPECT_EQ(s.detector.output(), Verdict::kTrust);
+}
+
+TEST(NfdU, RecoversAfterLoss) {
+  Script s(Duration(0.5));
+  s.deliver(1, 1.1);
+  // m_2 lost; m_3 arrives at 3.1.
+  s.deliver(3, 3.1);
+  s.run_to(4.0);
+  // T at 1.1, S at 2.6 (deadline for m_2), T at 3.1.
+  ASSERT_EQ(s.log.size(), 3u);
+  EXPECT_EQ(s.log[1].to, Verdict::kSuspect);
+  EXPECT_EQ(s.log[2], (Transition{TimePoint(3.1), Verdict::kTrust}));
+}
+
+TEST(NfdU, StaleNewestMessageDoesNotTrust) {
+  // m_1 arrives after its successor's freshness point has passed:
+  // tau_2 (real) = 2.6; m_1 at 2.9 with no other messages -> q should
+  // remain suspecting.
+  Script s(Duration(0.5));
+  s.deliver(1, 2.9);
+  s.run_to(3.5);
+  EXPECT_TRUE(s.log.empty());
+  EXPECT_EQ(s.detector.output(), Verdict::kSuspect);
+}
+
+TEST(NfdU, DuplicatesIgnored) {
+  Script s(Duration(0.5));
+  s.deliver(1, 1.1);
+  s.deliver(1, 1.2);
+  s.run_to(2.0);
+  EXPECT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.detector.max_seq(), 1u);
+}
+
+TEST(NfdU, OutOfOrderOldMessageIgnored) {
+  Script s(Duration(0.5));
+  s.deliver(2, 2.05);
+  s.deliver(1, 2.2);  // late m_1: must not shrink the deadline
+  s.run_to(3.0);
+  ASSERT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.log[0], (Transition{TimePoint(2.05), Verdict::kTrust}));
+  // Deadline is tau_3 = 3.6 real: the suspect at 3.6 is outside run_to(3).
+  s.run_to(3.7);
+  ASSERT_EQ(s.log.size(), 2u);
+  EXPECT_NEAR(s.log[1].at.seconds(), 3.6, 1e-9);
+}
+
+TEST(NfdU, DetectionBoundRelative) {
+  // After the last heartbeat m_2, q suspects permanently by
+  // EA_3 + alpha = sigma_3 + E(D) + alpha (real): 3 + 0.1 + 0.5 = 3.6,
+  // i.e. within eta + alpha + E(D) of the crash (Section 6.2).
+  Script s(Duration(0.5));
+  s.deliver(1, 1.1);
+  s.deliver(2, 2.1);
+  s.run_to(20.0);
+  ASSERT_FALSE(s.log.empty());
+  EXPECT_EQ(s.log.back().to, Verdict::kSuspect);
+  EXPECT_NEAR(s.log.back().at.seconds(), 3.6, 1e-9);
+}
+
+TEST(NfdU, SetParamsAdjustsFutureDeadlines) {
+  Script s(Duration(0.5));
+  s.deliver(1, 1.1);
+  s.run_to(1.5);
+  s.detector.set_params(NfdUParams{Duration(kEta), Duration(2.0)});
+  s.deliver(2, 2.1);
+  s.run_to(5.2);
+  // Deadline for m_3 with the new alpha: 3 + 0.1 + 2.0 = 5.1 real.
+  ASSERT_EQ(s.log.size(), 2u);
+  EXPECT_NEAR(s.log[1].at.seconds(), 5.1, 1e-9);
+  EXPECT_EQ(s.log[1].to, Verdict::kSuspect);
+}
+
+TEST(NfdU, StopCancelsDeadline) {
+  Script s(Duration(0.5));
+  s.deliver(1, 1.1);
+  s.run_to(1.5);
+  s.detector.stop();
+  s.run_to(10.0);
+  EXPECT_EQ(s.log.size(), 1u);  // no suspect after stop
+}
+
+TEST(NfdU, RejectsInvalidParams) {
+  sim::Simulator sim;
+  clk::SynchronizedClock clock;
+  EXPECT_THROW(NfdU(sim, clock, NfdUParams{Duration(0.0), Duration(1.0)},
+                    [](net::SeqNo) { return TimePoint::zero(); }),
+               std::invalid_argument);
+  EXPECT_THROW(NfdU(sim, clock, NfdUParams{Duration(1.0), Duration(0.0)},
+                    [](net::SeqNo) { return TimePoint::zero(); }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd::core

@@ -1,0 +1,113 @@
+// Unit tests for Welford online statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/online_stats.hpp"
+
+namespace chenfd::stats {
+namespace {
+
+TEST(OnlineStats, EmptyIsNaN) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.variance()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.sample_variance()));
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SampleVarianceUsesNMinusOne) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+}
+
+TEST(OnlineStats, MatchesTwoPassComputation) {
+  Rng rng(31);
+  std::vector<double> xs;
+  OnlineStats s;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-5.0, 17.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-10);
+  EXPECT_NEAR(s.variance(), var, 1e-8);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng rng(32);
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(OnlineStats, NumericallyStableForLargeOffsets) {
+  // Welford should not catastrophically cancel with a large common offset.
+  OnlineStats s;
+  const double offset = 1e9;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(offset + x);
+  EXPECT_NEAR(s.mean(), offset + 2.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-3);
+}
+
+}  // namespace
+}  // namespace chenfd::stats

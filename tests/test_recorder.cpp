@@ -1,0 +1,176 @@
+// Unit tests for the QoS recorder, including the paper's Fig. 2 / Fig. 3
+// illustrations (accuracy metrics are not redundant).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "qos/recorder.hpp"
+
+namespace chenfd::qos {
+namespace {
+
+using chenfd::TimePoint;
+using chenfd::Verdict;
+
+TEST(Recorder, SimpleAlternation) {
+  Recorder rec(TimePoint(0.0), Verdict::kTrust);
+  rec.on_transition(TimePoint(10.0), Verdict::kSuspect);
+  rec.on_transition(TimePoint(12.0), Verdict::kTrust);
+  rec.on_transition(TimePoint(20.0), Verdict::kSuspect);
+  rec.on_transition(TimePoint(21.0), Verdict::kTrust);
+  rec.finish(TimePoint(30.0));
+
+  EXPECT_EQ(rec.s_transitions(), 2u);
+  EXPECT_EQ(rec.t_transitions(), 2u);
+  ASSERT_EQ(rec.mistake_recurrence().count(), 1u);
+  EXPECT_DOUBLE_EQ(rec.mistake_recurrence().mean(), 10.0);
+  ASSERT_EQ(rec.mistake_duration().count(), 2u);
+  EXPECT_DOUBLE_EQ(rec.mistake_duration().mean(), 1.5);
+  ASSERT_EQ(rec.good_period().count(), 1u);
+  EXPECT_DOUBLE_EQ(rec.good_period().mean(), 8.0);
+  // Trust time: [0,10) + [12,20) + [21,30) = 10 + 8 + 9 = 27 of 30.
+  EXPECT_DOUBLE_EQ(rec.query_accuracy(), 27.0 / 30.0);
+  EXPECT_DOUBLE_EQ(rec.mistake_rate(), 2.0 / 30.0);
+}
+
+TEST(Recorder, SampleIdentityTgEqualsTmrMinusTm) {
+  // Theorem 1 part 1 holds per consecutive sample triple.
+  Recorder rec(TimePoint(0.0), Verdict::kSuspect);
+  rec.on_transition(TimePoint(1.0), Verdict::kTrust);
+  rec.on_transition(TimePoint(5.0), Verdict::kSuspect);
+  rec.on_transition(TimePoint(7.0), Verdict::kTrust);
+  rec.on_transition(TimePoint(15.0), Verdict::kSuspect);
+  rec.finish(TimePoint(16.0));
+  ASSERT_EQ(rec.mistake_recurrence().count(), 1u);
+  ASSERT_EQ(rec.good_period().count(), 2u);
+  // The opening suspicion began before the window, so the first complete
+  // mistake duration is the S@5 -> T@7 one.
+  ASSERT_EQ(rec.mistake_duration().count(), 1u);
+  // T_MR = 10 (5 -> 15), T_M = 2 (5 -> 7), T_G = 8 (7 -> 15).
+  EXPECT_DOUBLE_EQ(rec.mistake_recurrence().samples()[0], 10.0);
+  EXPECT_DOUBLE_EQ(rec.mistake_duration().samples()[0], 2.0);
+  EXPECT_DOUBLE_EQ(rec.good_period().samples()[1], 8.0);
+  EXPECT_DOUBLE_EQ(
+      rec.mistake_recurrence().samples()[0],
+      rec.mistake_duration().samples()[0] + rec.good_period().samples()[1]);
+}
+
+TEST(Recorder, IgnoresNoOpTransitions) {
+  Recorder rec(TimePoint(0.0), Verdict::kTrust);
+  rec.on_transition(TimePoint(1.0), Verdict::kTrust);  // no-op
+  rec.on_transition(TimePoint(2.0), Verdict::kSuspect);
+  rec.on_transition(TimePoint(2.5), Verdict::kSuspect);  // no-op
+  rec.finish(TimePoint(4.0));
+  EXPECT_EQ(rec.s_transitions(), 1u);
+  EXPECT_DOUBLE_EQ(rec.query_accuracy(), 0.5);
+}
+
+TEST(Recorder, RejectsTimeTravel) {
+  Recorder rec(TimePoint(10.0), Verdict::kTrust);
+  rec.on_transition(TimePoint(20.0), Verdict::kSuspect);
+  EXPECT_THROW(rec.on_transition(TimePoint(19.0), Verdict::kTrust),
+               std::invalid_argument);
+  EXPECT_THROW(rec.finish(TimePoint(19.0)), std::invalid_argument);
+}
+
+TEST(Recorder, RejectsUseAfterFinish) {
+  Recorder rec(TimePoint(0.0), Verdict::kTrust);
+  rec.finish(TimePoint(1.0));
+  EXPECT_THROW(rec.on_transition(TimePoint(2.0), Verdict::kSuspect),
+               std::invalid_argument);
+  EXPECT_THROW(rec.finish(TimePoint(2.0)), std::invalid_argument);
+}
+
+TEST(Recorder, MetricsRequireFinish) {
+  Recorder rec(TimePoint(0.0), Verdict::kTrust);
+  EXPECT_THROW((void)rec.query_accuracy(), std::logic_error);
+  EXPECT_THROW((void)rec.elapsed(), std::logic_error);
+}
+
+TEST(Recorder, IncompleteBoundaryIntervalsAreDiscarded) {
+  // The first S-transition cannot produce a T_MR sample, and the trailing
+  // open mistake cannot produce a T_M sample.
+  Recorder rec(TimePoint(0.0), Verdict::kTrust);
+  rec.on_transition(TimePoint(5.0), Verdict::kSuspect);
+  rec.finish(TimePoint(10.0));
+  EXPECT_EQ(rec.mistake_recurrence().count(), 0u);
+  EXPECT_EQ(rec.mistake_duration().count(), 0u);
+  EXPECT_EQ(rec.good_period().count(), 0u);
+  EXPECT_EQ(rec.s_transitions(), 1u);
+}
+
+// ----- Fig. 2: same query accuracy probability, different mistake rates ---
+
+TEST(Recorder, Fig2SamePaDifferentMistakeRate) {
+  // FD_1: one 4-long mistake every 16 time units.
+  Recorder fd1(TimePoint(0.0), Verdict::kTrust);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const double base = 16.0 * cycle;
+    fd1.on_transition(TimePoint(base + 12.0), Verdict::kSuspect);
+    fd1.on_transition(TimePoint(base + 16.0), Verdict::kTrust);
+  }
+  fd1.finish(TimePoint(1600.0));
+
+  // FD_2: four 1-long mistakes every 16 time units.
+  Recorder fd2(TimePoint(0.0), Verdict::kTrust);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const double base = 16.0 * cycle;
+    for (int j = 0; j < 4; ++j) {
+      fd2.on_transition(TimePoint(base + 4.0 * j + 3.0), Verdict::kSuspect);
+      fd2.on_transition(TimePoint(base + 4.0 * j + 4.0), Verdict::kTrust);
+    }
+  }
+  fd2.finish(TimePoint(1600.0));
+
+  EXPECT_DOUBLE_EQ(fd1.query_accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(fd2.query_accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(fd2.mistake_rate(), 4.0 * fd1.mistake_rate());
+}
+
+// ----- Fig. 3: same mistake rate, different query accuracy probabilities --
+
+TEST(Recorder, Fig3SameRateDifferentPa) {
+  // Both make one mistake every 16 units; FD_1's lasts 4, FD_2's lasts 8.
+  Recorder fd1(TimePoint(0.0), Verdict::kTrust);
+  Recorder fd2(TimePoint(0.0), Verdict::kTrust);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const double base = 16.0 * cycle;
+    fd1.on_transition(TimePoint(base + 12.0), Verdict::kSuspect);
+    fd1.on_transition(TimePoint(base + 16.0), Verdict::kTrust);
+    fd2.on_transition(TimePoint(base + 8.0), Verdict::kSuspect);
+    fd2.on_transition(TimePoint(base + 16.0), Verdict::kTrust);
+  }
+  fd1.finish(TimePoint(1600.0));
+  fd2.finish(TimePoint(1600.0));
+
+  EXPECT_DOUBLE_EQ(fd1.mistake_rate(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(fd2.mistake_rate(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(fd1.query_accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(fd2.query_accuracy(), 0.50);
+}
+
+TEST(Recorder, ForwardGoodPeriodDirectIntegration) {
+  // Good periods of 2 and 6: E(T_FG) = (2^2 + 6^2) / (2 * (2 + 6)) = 2.5,
+  // larger than E(T_G)/2 = 2 — the waiting-time paradox.
+  Recorder rec(TimePoint(0.0), Verdict::kSuspect);
+  rec.on_transition(TimePoint(1.0), Verdict::kTrust);
+  rec.on_transition(TimePoint(3.0), Verdict::kSuspect);   // T_G = 2
+  rec.on_transition(TimePoint(4.0), Verdict::kTrust);
+  rec.on_transition(TimePoint(10.0), Verdict::kSuspect);  // T_G = 6
+  rec.finish(TimePoint(11.0));
+  EXPECT_DOUBLE_EQ(rec.forward_good_period_mean_direct(), 2.5);
+  EXPECT_GT(rec.forward_good_period_mean_direct(),
+            rec.good_period().mean() / 2.0);
+}
+
+TEST(Recorder, TransitionAtWindowStartCounts) {
+  Recorder rec(TimePoint(5.0), Verdict::kTrust);
+  rec.on_transition(TimePoint(5.0), Verdict::kSuspect);
+  rec.finish(TimePoint(10.0));
+  EXPECT_EQ(rec.s_transitions(), 1u);
+  EXPECT_DOUBLE_EQ(rec.query_accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace chenfd::qos

@@ -1,0 +1,117 @@
+// Tests for the multi-application QoS requirement registries.
+
+#include <gtest/gtest.h>
+
+#include "service/registry.hpp"
+
+namespace chenfd::service {
+namespace {
+
+qos::Requirements req(double td, double tmr, double tm) {
+  return qos::Requirements{seconds(td), seconds(tmr), seconds(tm)};
+}
+
+TEST(RequirementRegistry, EmptyHasNoMerge) {
+  RequirementRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_FALSE(reg.merged().has_value());
+}
+
+TEST(RequirementRegistry, SingleAppPassesThrough) {
+  RequirementRegistry reg;
+  reg.add(req(30.0, 1000.0, 60.0));
+  const auto m = reg.merged();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->detection_time_upper, seconds(30.0));
+  EXPECT_EQ(m->mistake_recurrence_lower, seconds(1000.0));
+  EXPECT_EQ(m->mistake_duration_upper, seconds(60.0));
+}
+
+TEST(RequirementRegistry, MergesTightestBounds) {
+  RequirementRegistry reg;
+  reg.add(req(30.0, 1000.0, 60.0));   // slow detection, lax recurrence
+  reg.add(req(10.0, 5000.0, 120.0));  // fast detection, strict recurrence
+  const auto m = reg.merged();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->detection_time_upper, seconds(10.0));       // min
+  EXPECT_EQ(m->mistake_recurrence_lower, seconds(5000.0));  // max
+  EXPECT_EQ(m->mistake_duration_upper, seconds(60.0));      // min
+}
+
+TEST(RequirementRegistry, RemoveRelaxesMerge) {
+  RequirementRegistry reg;
+  const AppId strict = reg.add(req(10.0, 5000.0, 30.0));
+  reg.add(req(30.0, 1000.0, 60.0));
+  ASSERT_TRUE(reg.remove(strict));
+  const auto m = reg.merged();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->detection_time_upper, seconds(30.0));
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(RequirementRegistry, RemoveUnknownFails) {
+  RequirementRegistry reg;
+  EXPECT_FALSE(reg.remove(42));
+}
+
+TEST(RequirementRegistry, HandlesManyApps) {
+  RequirementRegistry reg;
+  for (int i = 1; i <= 50; ++i) {
+    reg.add(req(10.0 + i, 100.0 * i, 5.0 + i));
+  }
+  const auto m = reg.merged();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->detection_time_upper, seconds(11.0));
+  EXPECT_EQ(m->mistake_recurrence_lower, seconds(5000.0));
+  EXPECT_EQ(m->mistake_duration_upper, seconds(6.0));
+}
+
+TEST(RequirementRegistry, RejectsInvalid) {
+  RequirementRegistry reg;
+  EXPECT_THROW(reg.add(req(0.0, 1.0, 1.0)), std::invalid_argument);
+}
+
+TEST(RelativeRequirementRegistry, MergesTightestBounds) {
+  RelativeRequirementRegistry reg;
+  reg.add(core::RelativeRequirements{seconds(30.0), seconds(1000.0),
+                                     seconds(60.0)});
+  reg.add(core::RelativeRequirements{seconds(12.0), seconds(9000.0),
+                                     seconds(45.0)});
+  const auto m = reg.merged();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->detection_time_upper_rel, seconds(12.0));
+  EXPECT_EQ(m->mistake_recurrence_lower, seconds(9000.0));
+  EXPECT_EQ(m->mistake_duration_upper, seconds(45.0));
+}
+
+TEST(RelativeRequirementRegistry, AddRemoveLifecycle) {
+  RelativeRequirementRegistry reg;
+  const AppId a = reg.add(
+      core::RelativeRequirements{seconds(5.0), seconds(100.0), seconds(2.0)});
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.remove(a));
+  EXPECT_FALSE(reg.remove(a));
+  EXPECT_FALSE(reg.merged().has_value());
+}
+
+TEST(Registries, MergedRequirementSatisfiesEveryApp) {
+  // Property: any detector meeting the merged requirement meets each
+  // app's individual requirement.
+  RequirementRegistry reg;
+  std::vector<qos::Requirements> apps = {req(30.0, 1000.0, 60.0),
+                                         req(20.0, 3000.0, 10.0),
+                                         req(25.0, 500.0, 90.0)};
+  for (const auto& a : apps) reg.add(a);
+  const auto m = reg.merged();
+  ASSERT_TRUE(m.has_value());
+  qos::Figures f;
+  f.detection_time_bound = m->detection_time_upper;
+  f.mistake_recurrence_mean = m->mistake_recurrence_lower;
+  f.mistake_duration_mean = m->mistake_duration_upper;
+  for (const auto& a : apps) {
+    EXPECT_TRUE(f.satisfies(a));
+  }
+}
+
+}  // namespace
+}  // namespace chenfd::service

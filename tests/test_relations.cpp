@@ -1,0 +1,100 @@
+// Unit tests for the Theorem 1 metric relations.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "qos/relations.hpp"
+#include "stats/sample_set.hpp"
+
+namespace chenfd::qos {
+namespace {
+
+TEST(Relations, MistakeRate) {
+  EXPECT_DOUBLE_EQ(mistake_rate(16.0), 1.0 / 16.0);
+  EXPECT_THROW((void)mistake_rate(0.0), std::invalid_argument);
+}
+
+TEST(Relations, QueryAccuracy) {
+  EXPECT_DOUBLE_EQ(query_accuracy(12.0, 16.0), 0.75);
+  EXPECT_DOUBLE_EQ(query_accuracy(0.0, 16.0), 0.0);
+  EXPECT_THROW((void)query_accuracy(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Relations, ForwardGoodPeriodMeanDeterministicTg) {
+  // V(T_G) = 0: E(T_FG) = E(T_G) / 2 exactly (no paradox).
+  EXPECT_DOUBLE_EQ(forward_good_period_mean(8.0, 0.0), 4.0);
+}
+
+TEST(Relations, ForwardGoodPeriodMeanParadox) {
+  // Exponential T_G with mean m has V = m^2, so E(T_FG) = m, not m/2:
+  // the full waiting-time paradox.
+  EXPECT_DOUBLE_EQ(forward_good_period_mean(8.0, 64.0), 8.0);
+  // Any variance makes E(T_FG) exceed E(T_G)/2.
+  EXPECT_GT(forward_good_period_mean(8.0, 1.0), 4.0);
+}
+
+TEST(Relations, ForwardGoodPeriodMeanZeroTg) {
+  EXPECT_DOUBLE_EQ(forward_good_period_mean(0.0, 0.0), 0.0);
+}
+
+TEST(Relations, MomentFormulaMatchesClosedFormOnTwoPointSample) {
+  stats::SampleSet tg;
+  tg.add(2.0);
+  tg.add(6.0);
+  // 3b with k = 1: E(T_FG) = E(T_G^2) / (2 E(T_G)) = (4+36)/2 / (2*4) = 2.5.
+  EXPECT_DOUBLE_EQ(forward_good_period_moment(tg, 1), 2.5);
+  // 3c agrees: mean 4, variance 4 -> (1 + 4/16) * 4/2 = 2.5.
+  EXPECT_DOUBLE_EQ(forward_good_period_mean(tg.mean(), tg.variance()), 2.5);
+}
+
+TEST(Relations, MomentFormulaHigherK) {
+  stats::SampleSet tg;
+  tg.add(1.0);
+  tg.add(3.0);
+  // E(T_FG^2) = E(T_G^3) / (3 E(T_G)) = ((1+27)/2) / (3*2) = 14/6.
+  EXPECT_DOUBLE_EQ(forward_good_period_moment(tg, 2), 14.0 / 6.0);
+  EXPECT_THROW((void)forward_good_period_moment(tg, 0), std::invalid_argument);
+}
+
+TEST(Relations, CdfFormulaOnDeterministicTg) {
+  // T_G identically 4: T_FG is uniform on [0, 4], so the CDF is x/4.
+  stats::SampleSet tg;
+  tg.add(4.0);
+  tg.add(4.0);
+  EXPECT_DOUBLE_EQ(forward_good_period_cdf(tg, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(forward_good_period_cdf(tg, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(forward_good_period_cdf(tg, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(forward_good_period_cdf(tg, 10.0), 1.0);
+}
+
+TEST(Relations, CdfIsMonotoneAndNormalized) {
+  Rng rng(77);
+  stats::SampleSet tg;
+  for (int i = 0; i < 1000; ++i) tg.add(0.1 + rng.uniform(0.0, 10.0));
+  double prev = 0.0;
+  for (double x = 0.0; x <= 12.0; x += 0.25) {
+    const double c = forward_good_period_cdf(tg, x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(forward_good_period_cdf(tg, 20.0), 1.0, 1e-12);
+}
+
+TEST(Relations, CdfConsistentWithMoment) {
+  // E(T_FG) = Int_0^inf (1 - F(x)) dx; check numerically against 3b.
+  Rng rng(78);
+  stats::SampleSet tg;
+  for (int i = 0; i < 2000; ++i) tg.add(0.5 + rng.uniform(0.0, 4.0));
+  double integral = 0.0;
+  const double dx = 0.001;
+  for (double x = 0.0; x < 6.0; x += dx) {
+    integral += (1.0 - forward_good_period_cdf(tg, x)) * dx;
+  }
+  EXPECT_NEAR(integral, forward_good_period_moment(tg, 1), 1e-2);
+}
+
+}  // namespace
+}  // namespace chenfd::qos

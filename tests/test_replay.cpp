@@ -1,0 +1,77 @@
+// Unit tests for qos::replay (windowed measurement over a transition log).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qos/replay.hpp"
+
+namespace chenfd::qos {
+namespace {
+
+using chenfd::TimePoint;
+using chenfd::Transition;
+using chenfd::Verdict;
+
+std::vector<Transition> square_wave() {
+  // Trust at odd seconds, suspect at even seconds, for t in [1, 20].
+  std::vector<Transition> ts;
+  for (int t = 1; t <= 20; ++t) {
+    ts.push_back(Transition{TimePoint(static_cast<double>(t)),
+                            t % 2 == 1 ? Verdict::kTrust : Verdict::kSuspect});
+  }
+  return ts;
+}
+
+TEST(Replay, FullWindow) {
+  const auto ts = square_wave();
+  Recorder rec = replay(ts, TimePoint(0.0), TimePoint(21.0));
+  EXPECT_EQ(rec.s_transitions(), 10u);
+  EXPECT_EQ(rec.t_transitions(), 10u);
+}
+
+TEST(Replay, InfersInitialVerdictFromPrefix) {
+  const auto ts = square_wave();
+  // Window starts at t = 5.5: the last prefix transition is T at t = 5.
+  Recorder rec = replay(ts, TimePoint(5.5), TimePoint(20.5));
+  EXPECT_EQ(rec.current(), Verdict::kSuspect);  // ends suspecting (t=20 is S)
+  // S-transitions in (5.5, 20.5]: at 6, 8, ..., 20 -> 8 of them.
+  EXPECT_EQ(rec.s_transitions(), 8u);
+}
+
+TEST(Replay, DefaultInitialIsSuspect) {
+  const std::vector<Transition> ts = {
+      Transition{TimePoint(3.0), Verdict::kTrust}};
+  Recorder rec = replay(ts, TimePoint(0.0), TimePoint(10.0));
+  // Suspect on [0,3), trust on [3,10]: P_A = 0.7.
+  EXPECT_DOUBLE_EQ(rec.query_accuracy(), 0.7);
+}
+
+TEST(Replay, TransitionExactlyAtStartBecomesInitialState) {
+  const std::vector<Transition> ts = {
+      Transition{TimePoint(5.0), Verdict::kTrust},
+      Transition{TimePoint(7.0), Verdict::kSuspect}};
+  Recorder rec = replay(ts, TimePoint(5.0), TimePoint(10.0));
+  // The t=5 transition is absorbed into the initial verdict.
+  EXPECT_EQ(rec.t_transitions(), 0u);
+  EXPECT_EQ(rec.s_transitions(), 1u);
+  EXPECT_DOUBLE_EQ(rec.query_accuracy(), 2.0 / 5.0);
+}
+
+TEST(Replay, TransitionsAfterEndAreIgnored) {
+  const std::vector<Transition> ts = {
+      Transition{TimePoint(1.0), Verdict::kTrust},
+      Transition{TimePoint(50.0), Verdict::kSuspect}};
+  Recorder rec = replay(ts, TimePoint(0.0), TimePoint(10.0));
+  EXPECT_EQ(rec.s_transitions(), 0u);
+  EXPECT_DOUBLE_EQ(rec.query_accuracy(), 0.9);
+}
+
+TEST(Replay, EmptyLog) {
+  Recorder rec = replay({}, TimePoint(0.0), TimePoint(10.0));
+  EXPECT_EQ(rec.s_transitions(), 0u);
+  EXPECT_DOUBLE_EQ(rec.query_accuracy(), 0.0);  // suspect throughout
+}
+
+}  // namespace
+}  // namespace chenfd::qos

@@ -1,0 +1,109 @@
+// Unit tests for the xoshiro256++ generator and its helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace chenfd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01OpenZeroNeverZero) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01_open_zero();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(4242);
+  double acc = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) acc += rng.uniform01();
+  EXPECT_NEAR(acc / kN, 0.5, 0.005);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(6);
+  constexpr int kN = 200000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.01)) ++hits;  // the paper's p_L
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.01, 0.002);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.split();
+  // The child stream should not reproduce the parent stream.
+  Rng parent2(11);
+  (void)parent2();  // advance past the split draw
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child() == parent2()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(SplitMix64, KnownSequenceIsDistinct) {
+  SplitMix64 sm(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(sm.next());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace chenfd

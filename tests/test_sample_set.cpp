@@ -1,0 +1,87 @@
+// Unit tests for the SampleSet reservoir.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/sample_set.hpp"
+
+namespace chenfd::stats {
+namespace {
+
+TEST(SampleSet, EmptyBehaviour) {
+  SampleSet s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.moment(1)));
+  EXPECT_TRUE(std::isnan(s.tail_probability(0.0)));
+  EXPECT_TRUE(std::isnan(s.quantile(0.5)));
+}
+
+TEST(SampleSet, BasicStatistics) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_TRUE(s.complete());
+}
+
+TEST(SampleSet, Moments) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.moment(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.moment(2), (1.0 + 4.0 + 9.0) / 3.0);
+  EXPECT_DOUBLE_EQ(s.moment(3), (1.0 + 8.0 + 27.0) / 3.0);
+  EXPECT_THROW((void)s.moment(0), std::invalid_argument);
+}
+
+TEST(SampleSet, TailProbability) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.tail_probability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.tail_probability(2.0), 0.5);   // strictly greater
+  EXPECT_DOUBLE_EQ(s.tail_probability(4.0), 0.0);
+}
+
+TEST(SampleSet, Quantiles) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 20.0);
+  EXPECT_THROW((void)s.quantile(1.5), std::invalid_argument);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+}
+
+TEST(SampleSet, CapacityLimitsRetentionButNotStats) {
+  SampleSet s(10);
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_EQ(s.samples().size(), 10u);
+  EXPECT_FALSE(s.complete());
+  // Online statistics still cover all 100 values.
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(SampleSet, QuantileAfterAddResorts) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.5);  // must re-sort after mutation
+}
+
+}  // namespace
+}  // namespace chenfd::stats

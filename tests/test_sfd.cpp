@@ -1,0 +1,160 @@
+// Behavioural tests of SFD, the "simple" algorithm of Section 1.2.1 with
+// the Section 7.2 cutoff, including the two drawbacks the paper identifies.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clock/clock.hpp"
+#include "core/sfd.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::core {
+namespace {
+
+net::Message hb(net::SeqNo seq, double sigma) {
+  net::Message m;
+  m.seq = seq;
+  m.sent_real = TimePoint(sigma);
+  m.sender_timestamp = TimePoint(sigma);
+  return m;
+}
+
+struct Script {
+  sim::Simulator sim;
+  clk::SynchronizedClock q_clock;
+  Sfd detector;
+  std::vector<Transition> log;
+
+  explicit Script(SfdParams params) : detector(sim, q_clock, params) {
+    detector.add_listener([this](const Transition& t) { log.push_back(t); });
+    detector.activate();
+  }
+
+  void deliver(net::SeqNo seq, double sigma, double at) {
+    sim.at(TimePoint(at), [this, seq, sigma, at] {
+      detector.on_heartbeat(hb(seq, sigma), TimePoint(at));
+    });
+  }
+
+  void run_to(double t) { sim.run_until(TimePoint(t)); }
+};
+
+TEST(Sfd, InitiallySuspects) {
+  Script s(SfdParams{Duration(2.0)});
+  EXPECT_EQ(s.detector.output(), Verdict::kSuspect);
+}
+
+TEST(Sfd, TrustsOnHeartbeatThenTimesOut) {
+  Script s(SfdParams{Duration(2.0)});
+  s.deliver(1, 1.0, 1.1);
+  s.run_to(10.0);
+  ASSERT_EQ(s.log.size(), 2u);
+  EXPECT_EQ(s.log[0], (Transition{TimePoint(1.1), Verdict::kTrust}));
+  EXPECT_EQ(s.log[1], (Transition{TimePoint(3.1), Verdict::kSuspect}));
+}
+
+TEST(Sfd, SteadyStreamKeepsTrusting) {
+  Script s(SfdParams{Duration(2.0)});
+  for (int i = 1; i <= 10; ++i) {
+    s.deliver(static_cast<net::SeqNo>(i), static_cast<double>(i),
+              static_cast<double>(i) + 0.1);
+  }
+  s.run_to(10.5);
+  ASSERT_EQ(s.log.size(), 1u);
+  EXPECT_EQ(s.detector.output(), Verdict::kTrust);
+}
+
+TEST(Sfd, OnlyNewerHeartbeatsRestartTimer) {
+  Script s(SfdParams{Duration(2.0)});
+  s.deliver(2, 2.0, 2.1);
+  s.deliver(1, 1.0, 3.9);  // old heartbeat: must NOT extend the timer
+  s.run_to(10.0);
+  ASSERT_EQ(s.log.size(), 2u);
+  EXPECT_EQ(s.log[1], (Transition{TimePoint(4.1), Verdict::kSuspect}));
+}
+
+TEST(Sfd, ReceiptAnchoredTimerDependsOnPreviousHeartbeat) {
+  // The first drawback (Section 1.2.1): whether m_2's timer expires
+  // prematurely depends on m_1's delay.  Same m_2 delay (0.9), same
+  // TO = 1.0; only m_1's delay differs.
+  auto premature_with_m1_delay = [](double d1) {
+    Script s(SfdParams{Duration(1.0)});
+    s.deliver(1, 1.0, 1.0 + d1);
+    s.deliver(2, 2.0, 2.9);
+    s.run_to(2.95);
+    // Was there an S-transition strictly before m_2 arrived?
+    for (const auto& t : s.log) {
+      if (t.to == Verdict::kSuspect && t.at < TimePoint(2.9)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(premature_with_m1_delay(0.1));   // fast m_1 -> timer at 2.1
+  EXPECT_FALSE(premature_with_m1_delay(0.95));  // slow m_1 -> timer at 2.95
+}
+
+TEST(Sfd, CutoffDiscardsSlowHeartbeats) {
+  Script s(SfdParams{Duration(2.0), Duration(0.5)});
+  s.deliver(1, 1.0, 1.6);  // delay 0.6 > cutoff 0.5: discarded
+  s.run_to(5.0);
+  EXPECT_TRUE(s.log.empty());
+  EXPECT_EQ(s.detector.output(), Verdict::kSuspect);
+  EXPECT_EQ(s.detector.discarded(), 1u);
+}
+
+TEST(Sfd, CutoffBoundsDetectionTime) {
+  // With cutoff c, any accepted heartbeat was sent within c of its receipt,
+  // so after a crash at t the last accepted receipt is < t + c and
+  // suspicion is final by t + c + TO.
+  const double c = 0.5;
+  const double to = 2.0;
+  Script s(SfdParams{Duration(to), Duration(c)});
+  s.deliver(1, 1.0, 1.2);
+  s.deliver(2, 2.0, 2.4);  // delay 0.4 <= c: accepted
+  // p crashed right after sending m_2 at sigma = 2.0.
+  s.run_to(20.0);
+  ASSERT_EQ(s.log.back().to, Verdict::kSuspect);
+  EXPECT_LE(s.log.back().at.seconds(), 2.0 + c + to + 1e-9);
+}
+
+TEST(Sfd, WithoutCutoffDetectionDependsOnMaxDelay) {
+  // The second drawback: with no cutoff, a very slow heartbeat keeps the
+  // detector trusting long after the crash.
+  Script s(SfdParams{Duration(2.0)});  // cutoff = infinity
+  s.deliver(1, 1.0, 1.1);
+  s.deliver(2, 2.0, 30.0);  // 28s delay, accepted without cutoff
+  s.run_to(100.0);
+  // q re-trusts at 30.0 and only suspects at 32.0 — way past crash + TO.
+  ASSERT_EQ(s.log.size(), 4u);
+  EXPECT_EQ(s.log[3], (Transition{TimePoint(32.0), Verdict::kSuspect}));
+}
+
+TEST(Sfd, DuplicateHeartbeatsIgnored) {
+  Script s(SfdParams{Duration(2.0)});
+  s.deliver(1, 1.0, 1.1);
+  s.deliver(1, 1.0, 2.5);  // duplicate: timer must NOT restart
+  s.run_to(10.0);
+  ASSERT_EQ(s.log.size(), 2u);
+  EXPECT_EQ(s.log[1].at, TimePoint(3.1));
+}
+
+TEST(Sfd, StopCancelsTimer) {
+  Script s(SfdParams{Duration(2.0)});
+  s.deliver(1, 1.0, 1.1);
+  s.run_to(2.0);
+  s.detector.stop();
+  s.run_to(10.0);
+  EXPECT_EQ(s.log.size(), 1u);
+}
+
+TEST(Sfd, RejectsInvalidParams) {
+  sim::Simulator sim;
+  clk::SynchronizedClock clock;
+  EXPECT_THROW(Sfd(sim, clock, SfdParams{Duration(0.0)}),
+               std::invalid_argument);
+  EXPECT_THROW(Sfd(sim, clock, SfdParams{Duration(1.0), Duration(-1.0)}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd::core

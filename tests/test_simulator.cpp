@@ -1,0 +1,126 @@
+// Unit tests for the discrete-event simulator.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace chenfd::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), TimePoint::zero());
+}
+
+TEST(Simulator, AdvancesClockToEventTime) {
+  Simulator s;
+  TimePoint seen{};
+  s.at(TimePoint(5.0), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, TimePoint(5.0));
+  EXPECT_EQ(s.now(), TimePoint(5.0));
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator s;
+  s.at(TimePoint(2.0), [&] {
+    s.after(Duration(3.0), [&] { EXPECT_EQ(s.now(), TimePoint(5.0)); });
+  });
+  s.run();
+  EXPECT_EQ(s.now(), TimePoint(5.0));
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator s;
+  s.at(TimePoint(5.0), [] {});
+  s.run();
+  EXPECT_THROW(s.at(TimePoint(4.0), [] {}), std::invalid_argument);
+  EXPECT_THROW(s.after(Duration(-1.0), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    s.at(TimePoint(t), [&fired, t] { fired.push_back(t); });
+  }
+  s.run_until(TimePoint(2.5));
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(s.now(), TimePoint(2.5));
+  s.run_until(TimePoint(10.0));
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(s.now(), TimePoint(10.0));
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvent) {
+  Simulator s;
+  bool ran = false;
+  s.at(TimePoint(2.0), [&] { ran = true; });
+  s.run_until(TimePoint(2.0));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilRejectsGoingBackwards) {
+  Simulator s;
+  s.run_until(TimePoint(5.0));
+  EXPECT_THROW(s.run_until(TimePoint(4.0)), std::invalid_argument);
+}
+
+TEST(Simulator, CancelStopsEvent) {
+  Simulator s;
+  bool ran = false;
+  const EventId id = s.at(TimePoint(1.0), [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  // A self-perpetuating chain, as used by NFD-S freshness points.
+  Simulator s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 10) s.after(Duration(1.0), tick);
+  };
+  s.at(TimePoint(1.0), tick);
+  s.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(s.now(), TimePoint(10.0));
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator s;
+  int count = 0;
+  s.at(TimePoint(1.0), [&] { ++count; });
+  s.at(TimePoint(2.0), [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, PendingEvents) {
+  Simulator s;
+  s.at(TimePoint(1.0), [] {});
+  s.at(TimePoint(2.0), [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.run();
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, DeterministicTieBreaking) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(TimePoint(1.0), [&] { order.push_back(1); });
+  s.at(TimePoint(1.0), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace chenfd::sim

@@ -1,0 +1,178 @@
+// Structural invariants of the algorithms, checked on randomized DES runs:
+//
+//   - Lemma 2 / Prop. 13.1 for NFD-S: S-transitions occur only at
+//     freshness points tau_i = i*eta + delta; T-transitions only at
+//     heartbeat receipt times.
+//   - Output alternates S/T strictly (finitely many transitions per
+//     bounded interval, Section 2.1).
+//   - NFD-S freshness semantics: at any moment, output == Trust iff a
+//     received message is still fresh (checked against an independent
+//     reference computation from the raw delivery log).
+//   - SFD: suspicion exactly TO after the newest accepted receipt.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/nfd_s.hpp"
+#include "core/sfd.hpp"
+#include "core/testbed.hpp"
+#include "dist/exponential.hpp"
+#include "net/loss_model.hpp"
+
+namespace chenfd::core {
+namespace {
+
+struct Trace {
+  std::vector<Transition> transitions;
+  std::vector<std::pair<net::SeqNo, double>> deliveries;  // (seq, time)
+};
+
+Trace run_nfd_s(NfdSParams params, double p_loss, std::uint64_t seed,
+                double horizon) {
+  Testbed::Config cfg;
+  cfg.delay = std::make_unique<dist::Exponential>(0.02);
+  cfg.loss = std::make_unique<net::BernoulliLoss>(p_loss);
+  cfg.eta = params.eta;
+  cfg.seed = seed;
+  Testbed tb(std::move(cfg));
+  NfdS det(tb.simulator(), params);
+  Trace trace;
+  tb.link().set_receiver([&](const net::Message& m, TimePoint at) {
+    trace.deliveries.emplace_back(m.seq, at.seconds());
+    det.on_heartbeat(m, at);
+  });
+  tb.attach(det);  // receiver overridden above; attach only for start()
+  det.add_listener([&trace](const Transition& t) {
+    trace.transitions.push_back(t);
+  });
+  tb.start();
+  tb.simulator().run_until(TimePoint(horizon));
+  det.stop();
+  return trace;
+}
+
+class NfdSStructure : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NfdSStructure, TransitionsAlternate) {
+  const auto trace =
+      run_nfd_s(NfdSParams{Duration(1.0), Duration(1.0)}, 0.05, GetParam(),
+                5000.0);
+  ASSERT_FALSE(trace.transitions.empty());
+  for (std::size_t i = 1; i < trace.transitions.size(); ++i) {
+    EXPECT_NE(trace.transitions[i].to, trace.transitions[i - 1].to)
+        << "at index " << i;
+    EXPECT_GE(trace.transitions[i].at, trace.transitions[i - 1].at);
+  }
+}
+
+TEST_P(NfdSStructure, STransitionsOnlyAtFreshnessPoints) {
+  const NfdSParams params{Duration(1.0), Duration(1.0)};
+  const auto trace = run_nfd_s(params, 0.05, GetParam(), 5000.0);
+  for (const auto& t : trace.transitions) {
+    if (t.to != Verdict::kSuspect) continue;
+    // t.at must be i*eta + delta for integer i >= 2 (Prop. 13.1).
+    const double i =
+        (t.at.seconds() - params.delta.seconds()) / params.eta.seconds();
+    EXPECT_NEAR(i, std::round(i), 1e-9) << "S-transition at " << t.at;
+    EXPECT_GE(std::round(i), 2.0);
+  }
+}
+
+TEST_P(NfdSStructure, TTransitionsOnlyAtReceiptTimes) {
+  const auto trace =
+      run_nfd_s(NfdSParams{Duration(1.0), Duration(1.0)}, 0.05, GetParam(),
+                5000.0);
+  for (const auto& t : trace.transitions) {
+    if (t.to != Verdict::kTrust) continue;
+    const bool at_receipt = std::any_of(
+        trace.deliveries.begin(), trace.deliveries.end(),
+        [&](const auto& d) {
+          return std::abs(d.second - t.at.seconds()) < 1e-12;
+        });
+    EXPECT_TRUE(at_receipt) << "T-transition at " << t.at;
+  }
+}
+
+TEST_P(NfdSStructure, OutputMatchesFreshnessReference) {
+  // Independent reference: q trusts at time t in [tau_i, tau_{i+1}) iff
+  // some delivery (seq j >= i) happened at or before t (Lemma 2).
+  const NfdSParams params{Duration(1.0), Duration(1.0)};
+  const auto trace = run_nfd_s(params, 0.05, GetParam(), 2000.0);
+
+  const auto reference_trusts = [&](double t) {
+    const double eta = params.eta.seconds();
+    const double delta = params.delta.seconds();
+    const double idx = std::floor((t - delta) / eta);
+    const std::uint64_t i =
+        idx < 1.0 ? 0 : static_cast<std::uint64_t>(idx);
+    for (const auto& [seq, at] : trace.deliveries) {
+      if (at <= t && seq >= i) return true;
+    }
+    return false;
+  };
+  const auto output_at = [&](double t) {
+    Verdict v = Verdict::kSuspect;
+    for (const auto& tr : trace.transitions) {
+      if (tr.at.seconds() > t) break;
+      v = tr.to;
+    }
+    return v == Verdict::kTrust;
+  };
+
+  Rng rng(GetParam() ^ 0x5555);
+  for (int k = 0; k < 2000; ++k) {
+    const double t = rng.uniform(10.0, 1990.0);
+    EXPECT_EQ(output_at(t), reference_trusts(t)) << "at t = " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NfdSStructure,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(SfdStructure, SuspicionExactlyTimeoutAfterNewestAcceptedReceipt) {
+  Testbed::Config cfg;
+  cfg.delay = std::make_unique<dist::Exponential>(0.02);
+  cfg.loss = std::make_unique<net::BernoulliLoss>(0.1);
+  cfg.eta = seconds(1.0);
+  cfg.seed = 77;
+  Testbed tb(std::move(cfg));
+  const SfdParams params{Duration(1.3), Duration(0.16)};
+  Sfd det(tb.simulator(), tb.q_clock(), params);
+
+  std::vector<double> effective_receipts;
+  net::SeqNo max_seq = 0;
+  tb.link().set_receiver([&](const net::Message& m, TimePoint at) {
+    const double delay = (at - m.sender_timestamp).seconds();
+    if (delay <= params.cutoff.seconds() && m.seq > max_seq) {
+      max_seq = m.seq;
+      effective_receipts.push_back(at.seconds());
+    }
+    det.on_heartbeat(m, at);
+  });
+  tb.attach(det);
+  std::vector<Transition> transitions;
+  det.add_listener([&](const Transition& t) { transitions.push_back(t); });
+  tb.start();
+  tb.simulator().run_until(TimePoint(3000.0));
+  det.stop();
+
+  std::size_t s_count = 0;
+  for (const auto& t : transitions) {
+    if (t.to != Verdict::kSuspect) continue;
+    ++s_count;
+    // Must equal some effective receipt + TO.
+    const bool matches = std::any_of(
+        effective_receipts.begin(), effective_receipts.end(), [&](double r) {
+          return std::abs(r + params.timeout.seconds() - t.at.seconds()) <
+                 1e-9;
+        });
+    EXPECT_TRUE(matches) << "S-transition at " << t.at;
+  }
+  EXPECT_GT(s_count, 10u);  // the lossy link produced mistakes to check
+}
+
+}  // namespace
+}  // namespace chenfd::core

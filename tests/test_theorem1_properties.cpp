@@ -1,0 +1,160 @@
+// Property tests of Theorem 1 on real detector output: the metric
+// relations must hold for measured (not just analytic) data, across
+// detector types and parameter settings.  This is the empirical
+// counterpart of tests/test_relations.cpp.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clock/clock.hpp"
+#include "core/experiments.hpp"
+#include "core/nfd_e.hpp"
+#include "core/nfd_s.hpp"
+#include "core/sfd.hpp"
+#include "dist/exponential.hpp"
+#include "qos/relations.hpp"
+
+namespace chenfd::core {
+namespace {
+
+struct Case {
+  std::string label;
+  double p_loss;
+  double delta;   // NFD-S freshness shift (or SFD timeout for kind=sfd)
+  std::string kind;
+};
+
+class Theorem1Properties : public ::testing::TestWithParam<Case> {
+ protected:
+  qos::Recorder run() const {
+    const Case& c = GetParam();
+    dist::Exponential delay(0.02);
+    NetworkModel model{c.p_loss, delay};
+    AccuracyExperiment exp;
+    exp.duration = seconds(200000.0);
+    exp.seed = 4001 + std::hash<std::string>{}(c.label) % 1000;
+    DetectorFactory factory;
+    if (c.kind == "nfd_s") {
+      factory = [&c](Testbed& tb) -> std::unique_ptr<FailureDetector> {
+        return std::make_unique<NfdS>(
+            tb.simulator(), NfdSParams{Duration(1.0), Duration(c.delta)});
+      };
+    } else if (c.kind == "nfd_e") {
+      factory = [&c](Testbed& tb) -> std::unique_ptr<FailureDetector> {
+        return std::make_unique<NfdE>(
+            tb.simulator(), tb.q_clock(),
+            NfdEParams{Duration(1.0), Duration(c.delta), 32});
+      };
+    } else {
+      factory = [&c](Testbed& tb) -> std::unique_ptr<FailureDetector> {
+        return std::make_unique<Sfd>(tb.simulator(), tb.q_clock(),
+                                     SfdParams{Duration(c.delta)});
+      };
+    }
+    return run_accuracy(factory, model, exp);
+  }
+};
+
+TEST_P(Theorem1Properties, MistakeRateIsInverseRecurrence) {
+  const auto rec = run();
+  ASSERT_GT(rec.s_transitions(), 200u) << "need mistakes to measure";
+  // lambda_M = 1/E(T_MR) (Thm 1.2), up to boundary effects of the window.
+  EXPECT_NEAR(rec.mistake_rate() * rec.mistake_recurrence().mean(), 1.0,
+              0.05);
+}
+
+TEST_P(Theorem1Properties, QueryAccuracyFromPrimaries) {
+  const auto rec = run();
+  ASSERT_GT(rec.s_transitions(), 200u);
+  // P_A = E(T_G)/E(T_MR) = 1 - E(T_M)/E(T_MR).
+  const double via_tg =
+      rec.good_period().mean() / rec.mistake_recurrence().mean();
+  EXPECT_NEAR(rec.query_accuracy(), via_tg, 0.02);
+  const double via_tm =
+      1.0 - rec.mistake_duration().mean() / rec.mistake_recurrence().mean();
+  EXPECT_NEAR(rec.query_accuracy(), via_tm, 0.02);
+}
+
+TEST_P(Theorem1Properties, GoodPeriodIsRecurrenceMinusDuration) {
+  const auto rec = run();
+  ASSERT_GT(rec.s_transitions(), 200u);
+  EXPECT_NEAR(
+      rec.good_period().mean(),
+      rec.mistake_recurrence().mean() - rec.mistake_duration().mean(),
+      0.05 * rec.mistake_recurrence().mean());
+}
+
+TEST_P(Theorem1Properties, ForwardGoodPeriodFormulae) {
+  const auto rec = run();
+  const auto& tg = rec.good_period();
+  ASSERT_GT(tg.count(), 200u);
+  // 3c (via mean/variance), 3b with k=1 (via moments), and the direct
+  // time-integral measurement must all agree.
+  const double via_3c =
+      qos::forward_good_period_mean(tg.mean(), tg.variance());
+  const double via_3b = qos::forward_good_period_moment(tg, 1);
+  const double direct = rec.forward_good_period_mean_direct();
+  EXPECT_NEAR(via_3c, via_3b, 1e-6 * via_3c);
+  EXPECT_NEAR(direct, via_3c, 0.05 * via_3c);
+  // Waiting-time paradox: E(T_FG) >= E(T_G)/2 whenever T_G varies.
+  EXPECT_GE(via_3c, tg.mean() / 2.0 - 1e-9);
+}
+
+TEST_P(Theorem1Properties, ForwardGoodPeriodCdfMatchesSampling) {
+  // Independent check of 3a: sample random trusting instants from the
+  // actual signal and compare the empirical distribution of the remaining
+  // good period with the formula evaluated on the T_G samples.
+  const auto rec = run();
+  const auto& tg = rec.good_period();
+  ASSERT_GT(tg.count(), 200u);
+  // Length-biased sampling of good periods, uniform position within each.
+  Rng rng(99);
+  const auto& samples = tg.samples();
+  double total = 0.0;
+  for (double g : samples) total += g;
+  std::vector<double> remaining;
+  for (int i = 0; i < 20000; ++i) {
+    double u = rng.uniform01() * total;
+    for (double g : samples) {
+      if (u < g) {
+        remaining.push_back(g - u);  // u uniform within this period
+        break;
+      }
+      u -= g;
+    }
+  }
+  ASSERT_GT(remaining.size(), 19000u);
+  for (double q : {0.25, 0.5, 0.75}) {
+    const double x = [&] {
+      // x with formula-CDF ~= q, via bisection.
+      double lo = 0.0;
+      double hi = tg.max();
+      for (int it = 0; it < 100; ++it) {
+        const double mid = (lo + hi) / 2.0;
+        (qos::forward_good_period_cdf(tg, mid) < q ? lo : hi) = mid;
+      }
+      return (lo + hi) / 2.0;
+    }();
+    const auto below = std::count_if(remaining.begin(), remaining.end(),
+                                     [x](double r) { return r <= x; });
+    EXPECT_NEAR(static_cast<double>(below) /
+                    static_cast<double>(remaining.size()),
+                q, 0.02)
+        << "quantile " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DetectorsAndSettings, Theorem1Properties,
+    ::testing::Values(Case{"nfds_light_loss", 0.02, 1.0, "nfd_s"},
+                      Case{"nfds_heavy_loss", 0.10, 1.0, "nfd_s"},
+                      Case{"nfds_large_delta", 0.05, 1.8, "nfd_s"},
+                      Case{"nfde", 0.05, 1.0, "nfd_e"},
+                      Case{"sfd", 0.05, 1.2, "sfd"}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace chenfd::core

@@ -1,0 +1,101 @@
+// Unit tests for the strong time types.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/time.hpp"
+
+namespace chenfd {
+namespace {
+
+TEST(Duration, DefaultIsZero) {
+  EXPECT_EQ(Duration().seconds(), 0.0);
+  EXPECT_EQ(Duration::zero().seconds(), 0.0);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a(2.0);
+  const Duration b(0.5);
+  EXPECT_DOUBLE_EQ((a + b).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).seconds(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * a).seconds(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_DOUBLE_EQ((-a).seconds(), -2.0);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d(1.0);
+  d += Duration(2.0);
+  EXPECT_DOUBLE_EQ(d.seconds(), 3.0);
+  d -= Duration(0.5);
+  EXPECT_DOUBLE_EQ(d.seconds(), 2.5);
+  d *= 2.0;
+  EXPECT_DOUBLE_EQ(d.seconds(), 5.0);
+  d /= 5.0;
+  EXPECT_DOUBLE_EQ(d.seconds(), 1.0);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration(1.0), Duration(2.0));
+  EXPECT_LE(Duration(2.0), Duration(2.0));
+  EXPECT_GT(Duration(3.0), Duration(2.0));
+  EXPECT_EQ(Duration(2.0), Duration(2.0));
+  EXPECT_NE(Duration(2.0), Duration(2.1));
+}
+
+TEST(Duration, Infinity) {
+  EXPECT_TRUE(Duration::infinity().is_infinite());
+  EXPECT_FALSE(Duration(1e300).is_infinite());
+  EXPECT_GT(Duration::infinity(), Duration(1e300));
+}
+
+TEST(Duration, Helpers) {
+  EXPECT_DOUBLE_EQ(seconds(2.0).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(milliseconds(1500.0).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(minutes(2.0).seconds(), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1.0).seconds(), 3600.0);
+  EXPECT_DOUBLE_EQ(days(30.0).seconds(), 2'592'000.0);  // the paper's T_MR^L
+}
+
+TEST(Duration, StreamOutput) {
+  std::ostringstream os;
+  os << Duration(1.5);
+  EXPECT_EQ(os.str(), "1.5s");
+}
+
+TEST(TimePoint, Arithmetic) {
+  const TimePoint t(10.0);
+  EXPECT_DOUBLE_EQ((t + Duration(5.0)).seconds(), 15.0);
+  EXPECT_DOUBLE_EQ((Duration(5.0) + t).seconds(), 15.0);
+  EXPECT_DOUBLE_EQ((t - Duration(4.0)).seconds(), 6.0);
+  EXPECT_DOUBLE_EQ((TimePoint(10.0) - TimePoint(4.0)).seconds(), 6.0);
+}
+
+TEST(TimePoint, CompoundAssignment) {
+  TimePoint t(1.0);
+  t += Duration(2.0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 3.0);
+}
+
+TEST(TimePoint, Comparisons) {
+  EXPECT_LT(TimePoint(1.0), TimePoint(2.0));
+  EXPECT_EQ(TimePoint::zero(), TimePoint(0.0));
+  EXPECT_TRUE(TimePoint::infinity().is_infinite());
+}
+
+TEST(TimePoint, SigmaTauRelation) {
+  // tau_i = sigma_i + delta, the core identity of NFD-S.
+  const Duration eta(1.0);
+  const Duration delta(2.5);
+  for (int i = 1; i <= 10; ++i) {
+    const TimePoint sigma = TimePoint::zero() + eta * static_cast<double>(i);
+    const TimePoint tau = sigma + delta;
+    EXPECT_DOUBLE_EQ((tau - sigma).seconds(), delta.seconds());
+  }
+}
+
+}  // namespace
+}  // namespace chenfd

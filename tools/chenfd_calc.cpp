@@ -1,0 +1,13 @@
+// chenfd_calc: command-line QoS calculator for the Chen/Toueg/Aguilera
+// failure detectors.  See `chenfd_calc help`.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return chenfd::cli::run_main(args, std::cout);
+}

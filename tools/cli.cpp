@@ -1,0 +1,269 @@
+#include "cli.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/analysis.hpp"
+#include "core/fast_sim.hpp"
+#include "core/chebyshev.hpp"
+#include "core/config.hpp"
+#include "dist/constant.hpp"
+#include "dist/erlang.hpp"
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/pareto.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+
+namespace chenfd::cli {
+namespace {
+
+qos::Requirements requirements_from(const Args& args) {
+  return qos::Requirements{seconds(args.require("td")),
+                           seconds(args.require("tmr")),
+                           seconds(args.require("tm"))};
+}
+
+void print_params(std::ostream& os, const char* eta_name, double eta,
+                  const char* shift_name, double shift) {
+  os << "  " << eta_name << "   = " << eta << " s   (heartbeat every "
+     << eta << " s, " << 60.0 / eta << "/min)\n"
+     << "  " << shift_name << " = " << shift << " s\n";
+}
+
+}  // namespace
+
+std::optional<double> Args::number(const std::string& key) const {
+  const auto it = options.find(key);
+  if (it == options.end()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size() || !std::isfinite(v)) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + ": not a number: '" +
+                                it->second + "'");
+  }
+}
+
+double Args::require(const std::string& key) const {
+  const auto v = number(key);
+  if (!v) throw std::invalid_argument("missing required option --" + key);
+  return *v;
+}
+
+Args parse(const std::vector<std::string>& argv) {
+  Args out;
+  if (argv.empty()) throw std::invalid_argument("missing command");
+  out.command = argv[0];
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected token '" + tok + "'");
+    }
+    if (i + 1 >= argv.size()) {
+      throw std::invalid_argument("option " + tok + " needs a value");
+    }
+    out.options[tok.substr(2)] = argv[++i];
+  }
+  return out;
+}
+
+std::unique_ptr<dist::DelayDistribution> make_distribution(const Args& args) {
+  const std::string kind =
+      args.has("dist") ? args.options.at("dist") : std::string("exp");
+  if (kind == "exp") {
+    return std::make_unique<dist::Exponential>(args.require("mean"));
+  }
+  if (kind == "uniform") {
+    return std::make_unique<dist::Uniform>(args.require("lo"),
+                                           args.require("hi"));
+  }
+  if (kind == "constant") {
+    return std::make_unique<dist::Constant>(args.require("value"));
+  }
+  if (kind == "lognormal") {
+    return std::make_unique<dist::LogNormal>(dist::LogNormal::with_moments(
+        args.require("mean"), args.require("var")));
+  }
+  if (kind == "pareto") {
+    return std::make_unique<dist::Pareto>(
+        dist::Pareto::with_mean(args.require("mean"), args.require("alpha")));
+  }
+  if (kind == "erlang") {
+    return std::make_unique<dist::Erlang>(dist::Erlang::with_mean(
+        static_cast<int>(args.require("stages")), args.require("mean")));
+  }
+  if (kind == "weibull") {
+    const double k = args.require("shape");
+    return std::make_unique<dist::Weibull>(
+        k, args.require("mean") / std::tgamma(1.0 + 1.0 / k));
+  }
+  throw std::invalid_argument("unknown --dist '" + kind + "'");
+}
+
+void print_usage(std::ostream& os) {
+  os << "chenfd_calc — failure detector QoS calculator "
+        "(Chen/Toueg/Aguilera)\n\n"
+        "commands:\n"
+        "  configure-exact    --td T --tmr T --tm T --ploss P --mean M "
+        "[--dist ...]\n"
+        "      Section 4: compute (eta, delta) for NFD-S from the full "
+        "delay distribution.\n"
+        "  configure-moments  --td T --tmr T --tm T --ploss P --mean M "
+        "--var V\n"
+        "      Section 5: distribution-free configuration from (p_L, E(D), "
+        "V(D)).\n"
+        "  configure-nfdu     --td T --tmr T --tm T --ploss P --var V\n"
+        "      Section 6: NFD-U/NFD-E (unsynchronized clocks); --td is "
+        "relative to E(D).\n"
+        "  analyze            --eta E --delta D --ploss P --mean M "
+        "[--dist ...]\n"
+        "      Theorem 5: exact QoS of NFD-S with the given parameters.\n"
+        "  simulate           --eta E --delta D --ploss P --mean M "
+        "[--mistakes N] [--seed S]\n"
+        "      Monte-Carlo NFD-S run, measured vs analytic.\n\n"
+        "distributions (--dist, default exp):\n"
+        "  exp --mean M | uniform --lo A --hi B | constant --value C\n"
+        "  lognormal --mean M --var V | pareto --mean M --alpha A\n"
+        "  erlang --mean M --stages K | weibull --mean M --shape K\n\n"
+        "all times in seconds.  example (the paper's Section 4 case):\n"
+        "  chenfd_calc configure-exact --td 30 --tmr 2592000 --tm 60 "
+        "--ploss 0.01 --mean 0.02\n";
+}
+
+int run(const Args& args, std::ostream& os) {
+  if (args.command == "configure-exact") {
+    const auto delay = make_distribution(args);
+    const auto req = requirements_from(args);
+    const auto out = core::configure_exact(req, args.require("ploss"), *delay);
+    if (!out.achievable()) {
+      os << "QoS cannot be achieved: " << out.reason << "\n";
+      return 1;
+    }
+    os << "NFD-S parameters meeting " << req << " on " << delay->name()
+       << ":\n";
+    print_params(os, "eta  ", out.params->eta.seconds(), "delta",
+                 out.params->delta.seconds());
+    const core::NfdSAnalysis a(*out.params, args.require("ploss"), *delay);
+    os << "predicted QoS (Theorem 5): T_D <= "
+       << a.detection_time_bound().seconds() << " s, E(T_MR) = "
+       << a.e_tmr().seconds() << " s, E(T_M) = " << a.e_tm().seconds()
+       << " s, P_A = " << a.query_accuracy() << "\n";
+    return 0;
+  }
+  if (args.command == "configure-moments") {
+    const auto req = requirements_from(args);
+    const auto out =
+        core::configure_from_moments(req, args.require("ploss"),
+                                     args.require("mean"),
+                                     args.require("var"));
+    if (!out.achievable()) {
+      os << "QoS cannot be achieved: " << out.reason << "\n";
+      return 1;
+    }
+    os << "NFD-S parameters meeting " << req
+       << " for ANY delay distribution with this mean/variance:\n";
+    print_params(os, "eta  ", out.params->eta.seconds(), "delta",
+                 out.params->delta.seconds());
+    const auto b = core::nfd_s_bounds(*out.params, args.require("ploss"),
+                                      args.require("mean"),
+                                      args.require("var"));
+    os << "guaranteed bounds (Theorem 9): E(T_MR) >= "
+       << b.mistake_recurrence_lower.seconds() << " s, E(T_M) <= "
+       << b.mistake_duration_upper.seconds() << " s\n";
+    return 0;
+  }
+  if (args.command == "configure-nfdu") {
+    const core::RelativeRequirements req{seconds(args.require("td")),
+                                         seconds(args.require("tmr")),
+                                         seconds(args.require("tm"))};
+    const auto out = core::configure_nfd_u(req, args.require("ploss"),
+                                           args.require("var"));
+    if (!out.achievable()) {
+      os << "QoS cannot be achieved: " << out.reason << "\n";
+      return 1;
+    }
+    os << "NFD-U/NFD-E parameters (detection bound relative to E(D)):\n";
+    print_params(os, "eta  ", out.params->eta.seconds(), "alpha",
+                 out.params->alpha.seconds());
+    const auto b = core::nfd_u_bounds(*out.params, args.require("ploss"),
+                                      args.require("var"));
+    os << "guaranteed bounds (Theorem 11): E(T_MR) >= "
+       << b.mistake_recurrence_lower.seconds() << " s, E(T_M) <= "
+       << b.mistake_duration_upper.seconds() << " s; T_D <= "
+       << (out.params->eta + out.params->alpha).seconds() << " + E(D) s\n";
+    return 0;
+  }
+  if (args.command == "analyze") {
+    const auto delay = make_distribution(args);
+    const core::NfdSParams params{seconds(args.require("eta")),
+                                  seconds(args.require("delta"))};
+    const core::NfdSAnalysis a(params, args.require("ploss"), *delay);
+    os << "NFD-S " << params << " on " << delay->name() << ", p_L = "
+       << args.require("ploss") << ":\n"
+       << "  T_D      <= " << a.detection_time_bound().seconds()
+       << " s (tight)\n"
+       << "  E(T_MR)   = " << a.e_tmr().seconds() << " s\n"
+       << "  E(T_M)    = " << a.e_tm().seconds() << " s\n"
+       << "  P_A       = " << a.query_accuracy() << "\n"
+       << "  lambda_M  = " << 1.0 / a.e_tmr().seconds() << " /s\n";
+    return 0;
+  }
+  if (args.command == "simulate") {
+    const auto delay = make_distribution(args);
+    const core::NfdSParams params{seconds(args.require("eta")),
+                                  seconds(args.require("delta"))};
+    const double p_loss = args.require("ploss");
+    core::StopCriteria stop;
+    if (const auto m = args.number("mistakes")) {
+      stop.target_s_transitions = static_cast<std::size_t>(*m);
+    }
+    if (const auto cap = args.number("max-heartbeats")) {
+      stop.max_heartbeats = static_cast<std::uint64_t>(*cap);
+    }
+    Rng rng(args.number("seed") ? static_cast<std::uint64_t>(
+                                      args.require("seed"))
+                                : 42u);
+    const auto r =
+        core::fast_nfd_s_accuracy(params, p_loss, *delay, rng, stop);
+    const core::NfdSAnalysis a(params, p_loss, *delay);
+    os << "Monte-Carlo NFD-S " << params << " on " << delay->name()
+       << ", p_L = " << p_loss << " (" << r.s_transitions
+       << " mistakes over " << r.heartbeats << " heartbeats):\n"
+       << "                 measured      analytic (Thm 5)\n"
+       << "  E(T_MR) (s)    " << r.e_tmr() << "      " << a.e_tmr().seconds()
+       << "\n"
+       << "  E(T_M)  (s)    " << r.e_tm() << "      " << a.e_tm().seconds()
+       << "\n"
+       << "  P_A            " << r.query_accuracy() << "      "
+       << a.query_accuracy() << "\n";
+    return 0;
+  }
+  if (args.command == "help" || args.command == "--help") {
+    print_usage(os);
+    return 0;
+  }
+  os << "unknown command '" << args.command << "'\n\n";
+  print_usage(os);
+  return 2;
+}
+
+int run_main(const std::vector<std::string>& argv, std::ostream& os) {
+  try {
+    if (argv.empty()) {
+      print_usage(os);
+      return 2;
+    }
+    return run(parse(argv), os);
+  } catch (const std::invalid_argument& e) {
+    os << "error: " << e.what() << "\n\n";
+    print_usage(os);
+    return 2;
+  }
+}
+
+}  // namespace chenfd::cli

@@ -1,0 +1,52 @@
+// Argument parsing and command logic for the chenfd_calc CLI, separated
+// from main() so the tests can drive it directly.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace chenfd::cli {
+
+/// Parsed "--key value" options plus the leading subcommand.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options.count(key) > 0;
+  }
+  /// Returns the value of --key parsed as double, or nullopt when absent.
+  /// Throws std::invalid_argument on malformed numbers.
+  [[nodiscard]] std::optional<double> number(const std::string& key) const;
+  /// Like number() but requires presence.
+  [[nodiscard]] double require(const std::string& key) const;
+};
+
+/// Parses argv-style input: `calc <command> [--key value]...`.
+/// Throws std::invalid_argument on stray tokens or missing values.
+[[nodiscard]] Args parse(const std::vector<std::string>& argv);
+
+/// Builds a delay distribution from --dist/--mean/--var/--alpha/--lo/--hi/
+/// --stages/--value options.  Supported --dist values: exp (default),
+/// uniform, constant, lognormal, pareto, erlang, weibull.
+[[nodiscard]] std::unique_ptr<dist::DelayDistribution> make_distribution(
+    const Args& args);
+
+/// Executes the subcommand, writing human-readable output to `os`.
+/// Returns the process exit code (0 ok, 1 QoS unachievable, 2 usage error).
+int run(const Args& args, std::ostream& os);
+
+/// Convenience: parse + run, mapping parse errors to usage output.
+int run_main(const std::vector<std::string>& argv, std::ostream& os);
+
+/// The usage text.
+void print_usage(std::ostream& os);
+
+}  // namespace chenfd::cli
