@@ -19,6 +19,7 @@
 #include "dist/exponential.hpp"
 #include "net/loss_model.hpp"
 #include "qos/replay.hpp"
+#include "runner/parallel_sweep.hpp"
 #include "service/adaptive.hpp"
 #include "service/registry.hpp"
 
@@ -92,49 +93,70 @@ int main() {
                "P_A high through the regime change.\n";
 
   // ---- 8.1.2: bursty loss and the two-component estimator --------------
+  // Replicated over independent loss realizations on the parallel runner
+  // (one RNG substream per replication; merged in replication order, so the
+  // table is identical for any thread count).
+  const std::size_t burst_reps = bench::fast_mode() ? 4 : 8;
   bench::print_header(
       "Section 8.1.2 — two-component estimation under bursty loss",
       "Gilbert-Elliott loss (mean burst 5 messages, bad-state loss 0.8); "
-      "estimated p_L right after a long burst:");
+      "estimated p_L right after a long burst,\naveraged over " +
+          std::to_string(burst_reps) + " independent 20000-heartbeat runs:");
   {
-    core::TwoComponentEstimator two(8, 256);
-    core::NetworkEstimator long_only(256);
-    net::GilbertElliottLoss ge(0.02, 0.2, 0.002, 0.8);
-    Rng rng(8602);
+    struct BurstStats {
+      double two = 0.0;
+      double long_only = 0.0;
+      int bursts = 0;
+    };
+    const auto reps = runner::parallel_map<BurstStats>(
+        burst_reps, 8602, runner::RunnerOptions{},
+        [](std::size_t, Rng& rng) {
+          core::TwoComponentEstimator two(8, 256);
+          core::NetworkEstimator long_only(256);
+          net::GilbertElliottLoss ge(0.02, 0.2, 0.002, 0.8);
+          BurstStats out;
+          bool in_burst = false;
+          int burst_len = 0;
+          for (net::SeqNo s = 1; s <= 20000; ++s) {
+            const bool lost = ge.drop_next(rng);
+            if (!lost) {
+              two.on_heartbeat(s, TimePoint(static_cast<double>(s)),
+                               TimePoint(static_cast<double>(s) + 0.02));
+              long_only.on_heartbeat(s, TimePoint(static_cast<double>(s)),
+                                     TimePoint(static_cast<double>(s) + 0.02));
+            }
+            if (lost) {
+              ++burst_len;
+              in_burst = true;
+            } else if (in_burst) {
+              if (burst_len >= 3) {
+                out.two += two.loss_probability();
+                out.long_only += long_only.loss_probability();
+                ++out.bursts;
+              }
+              in_burst = false;
+              burst_len = 0;
+            }
+          }
+          return out;
+        });
     double after_burst_two = 0.0;
     double after_burst_long = 0.0;
     int bursts_sampled = 0;
-    bool in_burst = false;
-    int burst_len = 0;
-    for (net::SeqNo s = 1; s <= 20000; ++s) {
-      const bool lost = ge.drop_next(rng);
-      if (!lost) {
-        two.on_heartbeat(s, TimePoint(static_cast<double>(s)),
-                         TimePoint(static_cast<double>(s) + 0.02));
-        long_only.on_heartbeat(s, TimePoint(static_cast<double>(s)),
-                               TimePoint(static_cast<double>(s) + 0.02));
-      }
-      if (lost) {
-        ++burst_len;
-        in_burst = true;
-      } else if (in_burst) {
-        if (burst_len >= 3) {
-          after_burst_two += two.loss_probability();
-          after_burst_long += long_only.loss_probability();
-          ++bursts_sampled;
-        }
-        in_burst = false;
-        burst_len = 0;
-      }
+    for (const auto& r : reps) {
+      after_burst_two += r.two;
+      after_burst_long += r.long_only;
+      bursts_sampled += r.bursts;
     }
+    const net::GilbertElliottLoss ge_ref(0.02, 0.2, 0.002, 0.8);
     bench::Table burst({"estimator", "mean p_L estimate right after bursts",
                         "true marginal p_L"});
     burst.add_row({"two-component (conservative)",
                    bench::Table::num(after_burst_two / bursts_sampled),
-                   bench::Table::num(ge.steady_state_loss())});
+                   bench::Table::num(ge_ref.steady_state_loss())});
     burst.add_row({"long-window only",
                    bench::Table::num(after_burst_long / bursts_sampled),
-                   bench::Table::num(ge.steady_state_loss())});
+                   bench::Table::num(ge_ref.steady_state_loss())});
     burst.print();
     std::cout << "Reading: the short component makes the combined estimate "
                  "jump after a burst\n(conservative configuration), while "

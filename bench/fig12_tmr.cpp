@@ -11,18 +11,25 @@
 // >= 500 mistake recurrence intervals per point (heartbeat-capped at the
 // most accurate points, where mistakes take ~10^6 periods to appear).
 //
+// The 4 algorithms x 10 sweep points = 40 independent simulations run on
+// the deterministic parallel runner (CHENFD_JOBS to override the thread
+// count); the table is bit-identical for any job count.
+//
 // Expected shape (the paper's finding): NFD-S and NFD-E are essentially
 // indistinguishable and match the analytic curve; both dominate the simple
 // algorithm — by an order of magnitude over much of the range — and SFD-S
 // (aggressive cutoff) trails SFD-L.
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/analysis.hpp"
 #include "core/fast_sim.hpp"
 #include "dist/exponential.hpp"
+#include "runner/parallel_sweep.hpp"
 
 namespace {
 
@@ -38,6 +45,11 @@ struct Budget {
 Budget budget() {
   if (bench::fast_mode()) return {100, 2'000'000, 1'000'000};
   return {500, 250'000'000, 100'000'000};
+}
+
+unsigned jobs_from_env() {
+  const char* env = std::getenv("CHENFD_JOBS");
+  return env ? static_cast<unsigned>(std::atoi(env)) : 0;
 }
 
 }  // namespace
@@ -57,43 +69,49 @@ int main() {
           "points).\nColumns are in units of eta.  '(n=...)' rows note "
           "points that hit the cap.");
 
+  StopCriteria scan_stop;
+  scan_stop.target_s_transitions = b.mistakes;
+  scan_stop.max_heartbeats = b.cap_scan;
+  StopCriteria event_stop = scan_stop;
+  event_stop.max_heartbeats = b.cap_event;
+
+  const std::vector<double> t_du_sweep{1.25, 1.5, 1.75, 2.0,  2.25,
+                                       2.5,  2.75, 3.0, 3.25, 3.5};
+
+  // Task grid: 4 algorithm series per sweep point, flattened in row-major
+  // (point, series) order so the runner's substream indices are stable.
+  std::vector<runner::AccuracyTask> tasks;
+  for (const double t_du : t_du_sweep) {
+    // NFD-S: delta = T_D^U - eta (Theorem 5.1 makes the bound tight).
+    tasks.push_back(runner::nfd_s_task(
+        core::NfdSParams{Duration(eta), Duration(t_du - eta)}, p_loss, delay,
+        scan_stop));
+    // NFD-E: alpha = T_D^U - E(D) - eta (Section 7.1), n = 32.
+    tasks.push_back(runner::nfd_e_task(
+        core::NfdEParams{Duration(eta), Duration(t_du - e_d - eta), 32},
+        p_loss, delay, event_stop));
+    // SFD-L / SFD-S: cutoff + timeout = T_D^U (Section 7.2).
+    tasks.push_back(runner::sfd_task(
+        core::SfdParams{Duration(t_du - 0.16), Duration(0.16)}, Duration(eta),
+        p_loss, delay, event_stop));
+    tasks.push_back(runner::sfd_task(
+        core::SfdParams{Duration(t_du - 0.08), Duration(0.08)}, Duration(eta),
+        p_loss, delay, event_stop));
+  }
+
+  const runner::ParallelSweep sweep(runner::RunnerOptions{jobs_from_env()});
+  const auto results = sweep.run(tasks, 1, 92000);
+
   bench::Table table({"T_D^U", "NFD-S", "NFD-E", "SFD-L", "SFD-S",
                       "analytic(Thm5)", "mistakes(S/E/L/S)"});
-
-  std::uint64_t seed = 92000;
-  for (const double t_du :
-       {1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0, 3.25, 3.5}) {
-    StopCriteria scan_stop;
-    scan_stop.target_s_transitions = b.mistakes;
-    scan_stop.max_heartbeats = b.cap_scan;
-    StopCriteria event_stop = scan_stop;
-    event_stop.max_heartbeats = b.cap_event;
-
-    // NFD-S: delta = T_D^U - eta (Theorem 5.1 makes the bound tight).
-    const core::NfdSParams nfd_s{Duration(eta), Duration(t_du - eta)};
-    Rng rng_s(seed++);
-    const auto rs =
-        core::fast_nfd_s_accuracy(nfd_s, p_loss, delay, rng_s, scan_stop);
-
-    // NFD-E: alpha = T_D^U - E(D) - eta (Section 7.1), n = 32.
-    const core::NfdEParams nfd_e{Duration(eta), Duration(t_du - e_d - eta),
-                                 32};
-    Rng rng_e(seed++);
-    const auto re =
-        core::fast_nfd_e_accuracy(nfd_e, p_loss, delay, rng_e, event_stop);
-
-    // SFD-L / SFD-S: cutoff + timeout = T_D^U (Section 7.2).
-    Rng rng_l(seed++);
-    const auto rl = core::fast_sfd_accuracy(
-        core::SfdParams{Duration(t_du - 0.16), Duration(0.16)},
-        Duration(eta), p_loss, delay, rng_l, event_stop);
-    Rng rng_ss(seed++);
-    const auto rss = core::fast_sfd_accuracy(
-        core::SfdParams{Duration(t_du - 0.08), Duration(0.08)},
-        Duration(eta), p_loss, delay, rng_ss, event_stop);
-
-    const core::NfdSAnalysis exact(nfd_s, p_loss, delay);
-
+  for (std::size_t p = 0; p < t_du_sweep.size(); ++p) {
+    const double t_du = t_du_sweep[p];
+    const auto& rs = results[4 * p];
+    const auto& re = results[4 * p + 1];
+    const auto& rl = results[4 * p + 2];
+    const auto& rss = results[4 * p + 3];
+    const core::NfdSAnalysis exact(
+        core::NfdSParams{Duration(eta), Duration(t_du - eta)}, p_loss, delay);
     table.add_row(
         {bench::Table::num(t_du), bench::Table::sci(rs.e_tmr()),
          bench::Table::sci(re.e_tmr()), bench::Table::sci(rl.e_tmr()),

@@ -1,0 +1,145 @@
+// Scaling study for the deterministic parallel Monte-Carlo runner.
+//
+// Runs the Fig. 12 NFD-S sweep (10 detection-bound points x several
+// replications) through runner::ParallelSweep at 1/2/4/8 worker threads,
+// checks that the merged results are bit-identical across thread counts,
+// and reports wall-clock time, throughput, and speedup per thread count.
+// The numbers are appended to BENCH_parallel.json so the perf trajectory
+// is tracked across PRs.
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/fast_sim.hpp"
+#include "dist/exponential.hpp"
+#include "runner/parallel_sweep.hpp"
+
+namespace {
+
+using namespace chenfd;
+
+struct Budget {
+  std::size_t mistakes;
+  std::uint64_t cap;
+  std::size_t replications;
+};
+
+Budget budget() {
+  if (bench::fast_mode()) return {50, 500'000, 2};
+  return {200, 5'000'000, 4};
+}
+
+struct Measurement {
+  unsigned jobs;
+  double seconds;
+  std::uint64_t heartbeats;
+  std::vector<double> e_tmr;  // per sweep point, for the identity check
+};
+
+}  // namespace
+
+int main() {
+  const double eta = 1.0;
+  const double p_loss = 0.01;
+  dist::Exponential delay(0.02);
+  const Budget b = budget();
+
+  core::StopCriteria stop;
+  stop.target_s_transitions = b.mistakes;
+  stop.max_heartbeats = b.cap;
+
+  const std::vector<double> t_du_sweep{1.25, 1.5, 1.75, 2.0,  2.25,
+                                       2.5,  2.75, 3.0, 3.25, 3.5};
+  std::vector<runner::AccuracyTask> points;
+  for (const double t_du : t_du_sweep) {
+    points.push_back(runner::nfd_s_task(
+        core::NfdSParams{Duration(eta), Duration(t_du - eta)}, p_loss, delay,
+        stop));
+  }
+
+  bench::print_header(
+      "Parallel runner scaling — Fig. 12 NFD-S sweep",
+      std::to_string(points.size()) + " sweep points x " +
+          std::to_string(b.replications) +
+          " replications; identical root seed at every thread count.\n"
+          "Hardware threads available: " +
+          std::to_string(std::thread::hardware_concurrency()));
+
+  const std::uint64_t root_seed = 92000;
+  std::vector<Measurement> runs;
+  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    const runner::ParallelSweep sweep(runner::RunnerOptions{jobs});
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = sweep.run(points, b.replications, root_seed);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Measurement m;
+    m.jobs = jobs;
+    m.seconds = std::chrono::duration<double>(t1 - t0).count();
+    m.heartbeats = 0;
+    for (const auto& r : results) {
+      m.heartbeats += r.heartbeats;
+      m.e_tmr.push_back(r.e_tmr());
+    }
+    runs.push_back(std::move(m));
+  }
+
+  bool identical = true;
+  for (const auto& m : runs) {
+    // Bit-identity, not approximate agreement: the runner's determinism
+    // guarantee is exact.  Compare bit patterns so a capped point with no
+    // T_MR samples (e_tmr = NaN) still counts as equal to itself.
+    if (m.e_tmr.size() != runs.front().e_tmr.size()) identical = false;
+    for (std::size_t p = 0; identical && p < m.e_tmr.size(); ++p) {
+      identical = std::bit_cast<std::uint64_t>(m.e_tmr[p]) ==
+                  std::bit_cast<std::uint64_t>(runs.front().e_tmr[p]);
+    }
+    if (m.heartbeats != runs.front().heartbeats) identical = false;
+  }
+
+  bench::Table table(
+      {"jobs", "seconds", "heartbeats/sec", "speedup", "efficiency"});
+  for (const auto& m : runs) {
+    const double speedup = runs.front().seconds / m.seconds;
+    table.add_row({std::to_string(m.jobs), bench::Table::num(m.seconds),
+                   bench::Table::sci(static_cast<double>(m.heartbeats) /
+                                     m.seconds),
+                   bench::Table::num(speedup),
+                   bench::Table::num(speedup / m.jobs)});
+  }
+  table.print();
+  std::cout << "\nMerged results bit-identical across thread counts: "
+            << (identical ? "YES" : "NO — DETERMINISM BUG") << "\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"parallel_scaling\",\n"
+       << "  \"workload\": {\"points\": " << points.size()
+       << ", \"replications\": " << b.replications
+       << ", \"target_mistakes\": " << b.mistakes
+       << ", \"heartbeat_cap\": " << b.cap << "},\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"deterministic_across_jobs\": " << (identical ? "true" : "false")
+       << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& m = runs[i];
+    json << "    {\"jobs\": " << m.jobs << ", \"seconds\": " << m.seconds
+         << ", \"items_per_sec\": "
+         << static_cast<double>(m.heartbeats) / m.seconds
+         << ", \"speedup\": " << runs.front().seconds / m.seconds << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::ofstream("BENCH_parallel.json") << json.str();
+  std::cout << "Wrote BENCH_parallel.json\n";
+  return identical ? 0 : 1;
+}

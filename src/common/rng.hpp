@@ -83,6 +83,30 @@ class Rng {
     return Rng((*this)() ^ 0x9E3779B97F4A7C15ULL);
   }
 
+  /// Advances the state by 2^128 draws (the canonical xoshiro256++ jump
+  /// polynomial).  Repeated jumps from one root state yield up to 2^128
+  /// non-overlapping substreams of 2^128 draws each — the basis for the
+  /// deterministic per-task streams of runner::ParallelSweep.
+  void jump() {
+    static constexpr std::array<std::uint64_t, 4> kJump{
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (const std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (1ULL << bit)) {
+          for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+  friend bool operator==(const Rng& a, const Rng& b) {
+    return a.state_ == b.state_;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

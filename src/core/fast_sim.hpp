@@ -52,6 +52,21 @@ struct AccuracyResult {
   stats::SampleSet mistake_duration{1u << 16};    ///< T_M samples
   stats::SampleSet good_period{1u << 16};         ///< T_G samples
 
+  /// Folds another run's measurements into this one (totals add, sample
+  /// sets merge).  Used by runner::ParallelSweep to reduce per-replication
+  /// results; the reduction is performed in a fixed (task-index) order so
+  /// the merged result is bit-identical regardless of which thread finished
+  /// first.
+  void merge(const AccuracyResult& other) {
+    heartbeats += other.heartbeats;
+    observed_seconds += other.observed_seconds;
+    trust_seconds += other.trust_seconds;
+    s_transitions += other.s_transitions;
+    mistake_recurrence.merge(other.mistake_recurrence);
+    mistake_duration.merge(other.mistake_duration);
+    good_period.merge(other.good_period);
+  }
+
   [[nodiscard]] double e_tmr() const { return mistake_recurrence.mean(); }
   [[nodiscard]] double e_tm() const { return mistake_duration.mean(); }
   [[nodiscard]] double query_accuracy() const {

@@ -1,0 +1,123 @@
+#include "runner/parallel_sweep.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace chenfd::runner {
+
+std::vector<Rng> make_substreams(std::uint64_t root_seed, std::size_t n) {
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  Rng base(root_seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    streams.push_back(base);
+    base.jump();
+  }
+  return streams;
+}
+
+std::vector<core::AccuracyResult> ParallelSweep::run(
+    const std::vector<AccuracyTask>& points, std::size_t replications,
+    std::uint64_t root_seed) const {
+  if (points.empty() || replications == 0) return {};
+  const std::size_t n_tasks = points.size() * replications;
+  std::vector<Rng> streams = make_substreams(root_seed, n_tasks);
+  std::vector<core::AccuracyResult> per_task(n_tasks);
+  run_indexed(n_tasks, opts_.jobs, [&](std::size_t i) {
+    per_task[i] = points[i / replications](streams[i]);
+  });
+  // Ordered reduction: replication r of point p sits at p*replications + r,
+  // merged in ascending r — independent of completion order.
+  std::vector<core::AccuracyResult> merged(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    merged[p] = std::move(per_task[p * replications]);
+    for (std::size_t r = 1; r < replications; ++r) {
+      merged[p].merge(per_task[p * replications + r]);
+    }
+  }
+  return merged;
+}
+
+core::AccuracyResult ParallelSweep::run_one(const AccuracyTask& task,
+                                            std::size_t replications,
+                                            std::uint64_t root_seed) const {
+  auto merged = run({task}, replications, root_seed);
+  return merged.empty() ? core::AccuracyResult{} : std::move(merged.front());
+}
+
+AccuracyTask nfd_s_task(core::NfdSParams params, double p_loss,
+                        const dist::DelayDistribution& delay,
+                        core::StopCriteria stop) {
+  std::shared_ptr<const dist::DelayDistribution> d = delay.clone();
+  return [params, p_loss, d, stop](Rng& rng) {
+    return core::fast_nfd_s_accuracy(params, p_loss, *d, rng, stop);
+  };
+}
+
+AccuracyTask nfd_e_task(core::NfdEParams params, double p_loss,
+                        const dist::DelayDistribution& delay,
+                        core::StopCriteria stop) {
+  std::shared_ptr<const dist::DelayDistribution> d = delay.clone();
+  return [params, p_loss, d, stop](Rng& rng) {
+    return core::fast_nfd_e_accuracy(params, p_loss, *d, rng, stop);
+  };
+}
+
+AccuracyTask sfd_task(core::SfdParams params, Duration eta, double p_loss,
+                      const dist::DelayDistribution& delay,
+                      core::StopCriteria stop) {
+  std::shared_ptr<const dist::DelayDistribution> d = delay.clone();
+  return [params, eta, p_loss, d, stop](Rng& rng) {
+    return core::fast_sfd_accuracy(params, eta, p_loss, *d, rng, stop);
+  };
+}
+
+core::AccuracyResult to_accuracy_result(const qos::Recorder& recorder) {
+  core::AccuracyResult out;
+  out.observed_seconds = recorder.elapsed().seconds();
+  out.trust_seconds = recorder.query_accuracy() * out.observed_seconds;
+  out.s_transitions = recorder.s_transitions();
+  out.mistake_recurrence.merge(recorder.mistake_recurrence());
+  out.mistake_duration.merge(recorder.mistake_duration());
+  out.good_period.merge(recorder.good_period());
+  return out;
+}
+
+AccuracyTask des_accuracy_task(core::DetectorFactory factory, double p_loss,
+                               const dist::DelayDistribution& delay,
+                               core::AccuracyExperiment exp) {
+  std::shared_ptr<const dist::DelayDistribution> d = delay.clone();
+  return [factory = std::move(factory), p_loss, d, exp](Rng& rng) {
+    core::AccuracyExperiment task_exp = exp;
+    task_exp.seed = rng();
+    const core::NetworkModel model{p_loss, *d};
+    return to_accuracy_result(core::run_accuracy(factory, model, task_exp));
+  };
+}
+
+stats::SampleSet parallel_detection_times(const core::DetectorFactory& factory,
+                                          const core::NetworkModel& model,
+                                          core::DetectionExperiment exp,
+                                          const RunnerOptions& opts) {
+  stats::SampleSet merged(exp.runs);
+  if (exp.runs == 0) return merged;
+  const std::size_t n_chunks =
+      (exp.runs + kDetectionChunk - 1) / kDetectionChunk;
+  std::shared_ptr<const dist::DelayDistribution> d = model.delay.clone();
+  const double p_loss = model.p_loss;
+  std::vector<stats::SampleSet> chunks = parallel_map<stats::SampleSet>(
+      n_chunks, exp.seed, opts,
+      [&factory, &exp, d, p_loss, n_chunks](std::size_t c, Rng& rng) {
+        core::DetectionExperiment chunk_exp = exp;
+        chunk_exp.runs = (c + 1 < n_chunks || exp.runs % kDetectionChunk == 0)
+                             ? kDetectionChunk
+                             : exp.runs % kDetectionChunk;
+        chunk_exp.seed = rng();
+        const core::NetworkModel chunk_model{p_loss, *d};
+        return core::measure_detection_times(factory, chunk_model, chunk_exp);
+      });
+  for (const auto& chunk : chunks) merged.merge(chunk);
+  return merged;
+}
+
+}  // namespace chenfd::runner

@@ -1,0 +1,132 @@
+// Deterministic parallel Monte-Carlo runner for sweeps and replications.
+//
+// A sweep is a grid of (sweep-point × replication) simulation tasks.  The
+// runner fans the grid across a work-stealing thread pool
+// (runner::run_indexed) and merges per-task statistics into one result per
+// sweep point.  Two rules make the output bit-identical for any thread
+// count, including --jobs 1:
+//
+//   1. Per-task RNG substreams.  Task i draws from substream i of the root
+//      seed: Rng(root_seed) advanced by i xoshiro256++ jumps (2^128 draws
+//      apart, so streams never overlap).  Substream 0 is Rng(root_seed)
+//      itself, which keeps single-task runs identical to the pre-runner
+//      serial code paths.
+//   2. Ordered reduction.  Per-task results land in index-addressed slots
+//      and are merged in ascending task index after the pool drains, so
+//      floating-point accumulation order never depends on which thread
+//      finished first.
+//
+// The runner drives both the fast heartbeat-level engines
+// (core::fast_nfd_s_accuracy and friends, wrapped by the *_task factories
+// below) and the discrete-event reference drivers (core::run_accuracy /
+// core::measure_detection_times via a core::DetectorFactory).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/experiments.hpp"
+#include "core/fast_sim.hpp"
+#include "qos/recorder.hpp"
+#include "runner/thread_pool.hpp"
+#include "stats/sample_set.hpp"
+
+namespace chenfd::runner {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  unsigned jobs = 0;
+};
+
+/// Builds the n non-overlapping substreams of `root_seed` used for tasks
+/// 0..n-1 (one jump apart each; see file comment).  Exposed for tests.
+[[nodiscard]] std::vector<Rng> make_substreams(std::uint64_t root_seed,
+                                               std::size_t n);
+
+/// One cell of the task grid: runs a single simulation drawing all its
+/// randomness from the supplied task-private generator.
+using AccuracyTask = std::function<core::AccuracyResult(Rng&)>;
+
+class ParallelSweep {
+ public:
+  explicit ParallelSweep(RunnerOptions opts = {}) : opts_(opts) {}
+
+  /// Runs `replications` independent replications of every sweep point and
+  /// returns one merged AccuracyResult per point (replications merged in
+  /// ascending replication index).  Task (p, r) uses substream
+  /// p * replications + r of `root_seed`.
+  [[nodiscard]] std::vector<core::AccuracyResult> run(
+      const std::vector<AccuracyTask>& points, std::size_t replications,
+      std::uint64_t root_seed) const;
+
+  /// Single-point convenience: replications of one task, merged.
+  [[nodiscard]] core::AccuracyResult run_one(const AccuracyTask& task,
+                                             std::size_t replications,
+                                             std::uint64_t root_seed) const;
+
+ private:
+  RunnerOptions opts_;
+};
+
+/// Generic deterministic parallel map: result[i] = fn(i, substream_i) for
+/// i in [0, n).  Same substream/ordering rules as ParallelSweep.
+template <typename R>
+[[nodiscard]] std::vector<R> parallel_map(
+    std::size_t n, std::uint64_t root_seed, const RunnerOptions& opts,
+    const std::function<R(std::size_t, Rng&)>& fn) {
+  std::vector<Rng> streams = make_substreams(root_seed, n);
+  std::vector<R> results(n);
+  run_indexed(n, opts.jobs,
+              [&](std::size_t i) { results[i] = fn(i, streams[i]); });
+  return results;
+}
+
+// ---- task factories for the fast heartbeat-level engines ----------------
+// Each factory clones the delay distribution (distributions are immutable,
+// so clones are cheap) and returns a self-contained task safe to run on any
+// worker thread after the caller's arguments have gone out of scope.
+
+[[nodiscard]] AccuracyTask nfd_s_task(core::NfdSParams params, double p_loss,
+                                      const dist::DelayDistribution& delay,
+                                      core::StopCriteria stop = {});
+
+[[nodiscard]] AccuracyTask nfd_e_task(core::NfdEParams params, double p_loss,
+                                      const dist::DelayDistribution& delay,
+                                      core::StopCriteria stop = {});
+
+[[nodiscard]] AccuracyTask sfd_task(core::SfdParams params, Duration eta,
+                                    double p_loss,
+                                    const dist::DelayDistribution& delay,
+                                    core::StopCriteria stop = {});
+
+// ---- discrete-event reference drivers -----------------------------------
+// The DetectorFactory is invoked concurrently from worker threads (once per
+// replication/chunk, each against its own Testbed); factories must not
+// mutate shared state.
+
+/// Converts a finished qos::Recorder into an AccuracyResult so DES runs can
+/// be merged alongside fast-engine runs.  The DES path does not count
+/// heartbeats, so `heartbeats` stays 0.
+[[nodiscard]] core::AccuracyResult to_accuracy_result(
+    const qos::Recorder& recorder);
+
+/// Task running one core::run_accuracy window.  The experiment's seed field
+/// is overwritten per replication with a draw from the task substream.
+[[nodiscard]] AccuracyTask des_accuracy_task(core::DetectorFactory factory,
+                                             double p_loss,
+                                             const dist::DelayDistribution& delay,
+                                             core::AccuracyExperiment exp);
+
+/// Parallel core::measure_detection_times: splits exp.runs into fixed-size
+/// chunks of `kDetectionChunk` runs (the decomposition is independent of the
+/// thread count, preserving determinism), runs the chunks on the pool, and
+/// merges the T_D samples in chunk order.
+inline constexpr std::size_t kDetectionChunk = 32;
+[[nodiscard]] stats::SampleSet parallel_detection_times(
+    const core::DetectorFactory& factory, const core::NetworkModel& model,
+    core::DetectionExperiment exp, const RunnerOptions& opts = {});
+
+}  // namespace chenfd::runner

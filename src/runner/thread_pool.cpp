@@ -1,0 +1,102 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chenfd::runner {
+namespace {
+
+/// One worker's task deque.  The owner pops from the front; thieves take
+/// from the back, so the owner keeps the cache-warm low indices it was
+/// dealt and thieves walk off with the work furthest from it.
+struct WorkerQueue {
+  std::mutex mutex;
+  std::deque<std::size_t> tasks;
+};
+
+class WorkStealingPool {
+ public:
+  WorkStealingPool(std::size_t n_tasks, unsigned workers)
+      : queues_(workers) {
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      queues_[i % workers].tasks.push_back(i);
+    }
+  }
+
+  void run(const std::function<void(std::size_t)>& body) {
+    std::vector<std::thread> threads;
+    threads.reserve(queues_.size());
+    for (std::size_t w = 0; w < queues_.size(); ++w) {
+      threads.emplace_back([this, w, &body] { worker_loop(w, body); });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  void worker_loop(std::size_t self,
+                   const std::function<void(std::size_t)>& body) {
+    while (true) {
+      std::size_t task;
+      if (!pop_own(self, task) && !steal(self, task)) return;
+      try {
+        body(task);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+  }
+
+  bool pop_own(std::size_t self, std::size_t& task) {
+    auto& q = queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) return false;
+    task = q.tasks.front();
+    q.tasks.pop_front();
+    return true;
+  }
+
+  bool steal(std::size_t self, std::size_t& task) {
+    const std::size_t n = queues_.size();
+    for (std::size_t step = 1; step < n; ++step) {
+      auto& victim = queues_[(self + step) % n];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (victim.tasks.empty()) continue;
+      task = victim.tasks.back();
+      victim.tasks.pop_back();
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<WorkerQueue> queues_;
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace
+
+unsigned resolve_jobs(unsigned jobs) {
+  if (jobs != 0) return jobs;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void run_indexed(std::size_t n_tasks, unsigned jobs,
+                 const std::function<void(std::size_t)>& body) {
+  if (n_tasks == 0) return;
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      resolve_jobs(jobs), n_tasks));
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n_tasks; ++i) body(i);
+    return;
+  }
+  WorkStealingPool pool(n_tasks, workers);
+  pool.run(body);
+}
+
+}  // namespace chenfd::runner

@@ -1,0 +1,36 @@
+// A small work-stealing thread pool for independent, index-addressed tasks.
+//
+// Monte-Carlo sweeps decompose into a grid of independent simulations whose
+// runtimes vary by orders of magnitude (an accurate NFD-S point needs ~10^8
+// heartbeats to observe 500 mistakes; a loose one needs ~10^5).  Static
+// partitioning would leave most workers idle behind the slowest shard, so
+// the pool deals task indices round-robin into per-worker deques and lets
+// idle workers steal from the back of busy ones.
+//
+// Determinism contract: the pool only decides *where and when* a task runs,
+// never what it computes — tasks receive their index, derive all randomness
+// from it (see runner::make_substreams), and write results into
+// caller-owned, index-addressed slots.  Scheduling is therefore invisible
+// in the output.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace chenfd::runner {
+
+/// Resolves a --jobs style value: 0 means "one worker per hardware thread",
+/// anything else is used as-is (minimum 1).
+[[nodiscard]] unsigned resolve_jobs(unsigned jobs);
+
+/// Runs body(0), body(1), ..., body(n_tasks - 1), each exactly once, across
+/// `jobs` worker threads (resolved via resolve_jobs).  Blocks until every
+/// task has finished.  With jobs == 1 the tasks run inline on the calling
+/// thread in index order, with no threads spawned.  If any task throws, the
+/// first exception (in worker-observation order) is rethrown after all
+/// workers have drained.
+void run_indexed(std::size_t n_tasks, unsigned jobs,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace chenfd::runner

@@ -4,14 +4,18 @@
 // Events scheduled for the same time fire in scheduling order (FIFO), which
 // makes simulations reproducible bit-for-bit across runs.  Cancellation is
 // lazy: cancelled events stay in the heap and are skipped on pop, which
-// keeps both schedule() and cancel() cheap.
+// keeps both schedule() and cancel() cheap.  To stop cancel-heavy workloads
+// (adaptive detectors rescheduling deadlines on every heartbeat) from
+// accumulating garbage without bound, cancel() compacts the heap whenever
+// dead entries outnumber live ones, so the heap never holds more than
+// max(2 * pending() + 1, kCompactionFloor) entries.
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -28,32 +32,36 @@ class EventQueue {
   /// Schedules `fn` to run at time `at`.  Returns a handle for cancel().
   EventId schedule(TimePoint at, EventFn fn) {
     const EventId id = next_id_++;
-    heap_.push(Entry{at, id, std::move(fn)});
+    heap_.push_back(Entry{at, id, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
     live_.insert(id);
     return id;
   }
 
   /// Cancels a pending event.  Returns false if the event already ran, was
   /// already cancelled, or never existed.
-  bool cancel(EventId id) { return live_.erase(id) > 0; }
+  bool cancel(EventId id) {
+    if (live_.erase(id) == 0) return false;
+    maybe_compact();
+    return true;
+  }
 
   /// Time of the earliest pending (non-cancelled) event.
   [[nodiscard]] std::optional<TimePoint> next_time() {
     skip_dead();
     if (heap_.empty()) return std::nullopt;
-    return heap_.top().at;
+    return heap_.front().at;
   }
 
   /// Pops and returns the earliest pending event, if any.
   std::optional<std::pair<TimePoint, EventFn>> pop() {
     skip_dead();
     if (heap_.empty()) return std::nullopt;
-    // Entry::fn is moved out; the const_cast is confined to this one spot
-    // because std::priority_queue only exposes const access to top().
-    auto& top = const_cast<Entry&>(heap_.top());
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry& top = heap_.back();
     std::pair<TimePoint, EventFn> out{top.at, std::move(top.fn)};
     live_.erase(top.id);
-    heap_.pop();
+    heap_.pop_back();
     return out;
   }
 
@@ -61,7 +69,16 @@ class EventQueue {
 
   [[nodiscard]] std::size_t pending() const { return live_.size(); }
 
+  /// Number of heap slots currently held, including lazily cancelled
+  /// entries awaiting compaction.  Exposed so tests can assert the
+  /// bounded-garbage guarantee.
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+
  private:
+  /// Below this size the heap is left alone: sweeping a handful of entries
+  /// saves nothing and would make tiny queues churn.
+  static constexpr std::size_t kCompactionFloor = 64;
+
   struct Entry {
     TimePoint at;
     EventId id;
@@ -75,12 +92,23 @@ class EventQueue {
   };
 
   void skip_dead() {
-    while (!heap_.empty() && live_.count(heap_.top().id) == 0) {
-      heap_.pop();
+    while (!heap_.empty() && live_.count(heap_.front().id) == 0) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
     }
   }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  void maybe_compact() {
+    if (heap_.size() < kCompactionFloor ||
+        heap_.size() - live_.size() <= live_.size()) {
+      return;
+    }
+    std::erase_if(heap_,
+                  [this](const Entry& e) { return live_.count(e.id) == 0; });
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  std::vector<Entry> heap_;
   std::unordered_set<EventId> live_;
   EventId next_id_ = 1;
 };

@@ -36,6 +36,23 @@ class SampleSet {
   [[nodiscard]] double max() const { return online_.max(); }
   [[nodiscard]] const OnlineStats& online() const { return online_; }
 
+  /// Merges another sample set into this one.  Exact online moments (count,
+  /// mean, variance, min, max) combine losslessly; retained raw samples are
+  /// appended in `other`'s insertion order until this set's capacity is
+  /// reached, so quantile/moment/tail queries stay exact as long as both
+  /// inputs were complete() and the union fits, and degrade to a
+  /// prefix-subsample otherwise.  Merging is associative over the online
+  /// moments, and reducing a fixed sequence of sets in a fixed order yields
+  /// bit-identical results — the property the parallel runner relies on.
+  void merge(const SampleSet& other) {
+    online_.merge(other.online_);
+    for (double x : other.samples_) {
+      if (samples_.size() >= capacity_) break;
+      samples_.push_back(x);
+    }
+    sorted_ = false;
+  }
+
   /// True if every sample fed to add() is still retained.
   [[nodiscard]] bool complete() const {
     return samples_.size() == online_.count();

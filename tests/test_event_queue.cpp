@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -78,6 +79,60 @@ TEST(EventQueue, PendingCountsLiveOnly) {
   (void)q.pop();
   EXPECT_EQ(q.pending(), 0u);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelHeavyWorkloadKeepsHeapBounded) {
+  // Regression: an adaptive detector reschedules its deadline on every
+  // heartbeat (schedule + cancel), which used to accumulate one dead heap
+  // entry per heartbeat for the whole run.  The queue must compact, keeping
+  // the heap within a constant factor of the live event count.
+  EventQueue q;
+  constexpr std::size_t kLive = 4;
+  std::vector<EventId> deadlines;
+  for (std::size_t i = 0; i < kLive; ++i) {
+    deadlines.push_back(
+        q.schedule(TimePoint(1e9 + static_cast<double>(i)), [] {}));
+  }
+  std::size_t peak_heap = 0;
+  for (int hb = 0; hb < 100'000; ++hb) {
+    // Reschedule every deadline, as an adaptive detector does per heartbeat.
+    for (auto& id : deadlines) {
+      EXPECT_TRUE(q.cancel(id));
+      id = q.schedule(TimePoint(1e9 + static_cast<double>(hb)), [] {});
+    }
+    peak_heap = std::max(peak_heap, q.heap_size());
+  }
+  EXPECT_EQ(q.pending(), kLive);
+  // Bound: dead entries never exceed max(live, compaction floor).
+  EXPECT_LE(peak_heap, 2 * std::max<std::size_t>(kLive, 64) + kLive);
+  while (auto ev = q.pop()) ev->second();  // still pops cleanly
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CompactionPreservesOrderAndLiveEvents) {
+  EventQueue q;
+  std::vector<EventId> dead;
+  std::vector<int> order;
+  for (int i = 0; i < 300; ++i) {
+    if (i % 3 == 0) {
+      q.schedule(TimePoint(static_cast<double>(1000 - i)),
+                 [&order, i] { order.push_back(i); });
+    } else {
+      dead.push_back(q.schedule(TimePoint(static_cast<double>(i)), [] {}));
+    }
+  }
+  for (const EventId id : dead) EXPECT_TRUE(q.cancel(id));
+  EXPECT_LE(q.heap_size(), 2 * q.pending() + 1);
+  int count = 0;
+  TimePoint prev = TimePoint::zero();
+  while (auto ev = q.pop()) {
+    EXPECT_GE(ev->first, prev);
+    prev = ev->first;
+    ev->second();
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(order.size(), 100u);
 }
 
 TEST(EventQueue, ManyInterleavedOperations) {

@@ -100,6 +100,28 @@ TEST(OnlineStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 1.5);
 }
 
+TEST(OnlineStats, MergeManyChunksMatchesSingleStream) {
+  // The parallel runner reduces one accumulator per task in index order;
+  // chunked merging must agree with the single-stream result to tight
+  // tolerance whatever the chunk count.
+  Rng rng(77);
+  OnlineStats all;
+  std::vector<OnlineStats> chunks(7);
+  for (int i = 0; i < 7000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    all.add(x);
+    chunks[static_cast<std::size_t>(i) % chunks.size()].add(x);
+  }
+  OnlineStats merged;
+  for (const auto& c : chunks) merged.merge(c);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-10);
+  EXPECT_NEAR(merged.sum(), all.sum(), 1e-8);
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+}
+
 TEST(OnlineStats, NumericallyStableForLargeOffsets) {
   // Welford should not catastrophically cancel with a large common offset.
   OnlineStats s;

@@ -1,0 +1,177 @@
+// Tests for the deterministic parallel Monte-Carlo runner: bit-identical
+// results across thread counts, substream independence, and edge cases.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/fast_sim.hpp"
+#include "core/nfd_s.hpp"
+#include "dist/exponential.hpp"
+#include "runner/parallel_sweep.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace chenfd::runner {
+namespace {
+
+core::StopCriteria small_stop() {
+  core::StopCriteria stop;
+  stop.target_s_transitions = 40;
+  stop.max_heartbeats = 300'000;
+  return stop;
+}
+
+std::vector<AccuracyTask> small_sweep() {
+  dist::Exponential delay(0.02);
+  std::vector<AccuracyTask> points;
+  for (const double t_du : {1.25, 1.75, 2.25}) {
+    points.push_back(nfd_s_task(
+        core::NfdSParams{Duration(1.0), Duration(t_du - 1.0)}, 0.01, delay,
+        small_stop()));
+  }
+  return points;
+}
+
+void expect_bit_identical(const core::AccuracyResult& a,
+                          const core::AccuracyResult& b) {
+  EXPECT_EQ(a.heartbeats, b.heartbeats);
+  EXPECT_EQ(a.s_transitions, b.s_transitions);
+  // Exact double equality on purpose: the determinism guarantee is
+  // bit-level, not approximate.
+  EXPECT_EQ(a.observed_seconds, b.observed_seconds);
+  EXPECT_EQ(a.trust_seconds, b.trust_seconds);
+  EXPECT_EQ(a.e_tmr(), b.e_tmr());
+  EXPECT_EQ(a.e_tm(), b.e_tm());
+  EXPECT_EQ(a.mistake_recurrence.samples(), b.mistake_recurrence.samples());
+  EXPECT_EQ(a.mistake_duration.samples(), b.mistake_duration.samples());
+  EXPECT_EQ(a.good_period.samples(), b.good_period.samples());
+}
+
+TEST(ParallelSweep, BitIdenticalAcrossThreadCounts) {
+  const auto points = small_sweep();
+  const auto serial =
+      ParallelSweep(RunnerOptions{1}).run(points, 3, 777);
+  for (const unsigned jobs : {2u, 8u}) {
+    const auto parallel =
+        ParallelSweep(RunnerOptions{jobs}).run(points, 3, 777);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t p = 0; p < serial.size(); ++p) {
+      expect_bit_identical(serial[p], parallel[p]);
+    }
+  }
+}
+
+TEST(ParallelSweep, SubstreamZeroMatchesSerialRng) {
+  // Substream 0 is Rng(root_seed) itself, so a 1-task run through the
+  // runner reproduces the pre-runner serial code path exactly.
+  dist::Exponential delay(0.02);
+  const core::NfdSParams params{Duration(1.0), Duration(0.5)};
+  Rng rng(4242);
+  const auto direct =
+      core::fast_nfd_s_accuracy(params, 0.01, delay, rng, small_stop());
+  const auto via_runner =
+      ParallelSweep(RunnerOptions{4})
+          .run_one(nfd_s_task(params, 0.01, delay, small_stop()), 1, 4242);
+  expect_bit_identical(direct, via_runner);
+}
+
+TEST(ParallelSweep, MergedReplicationsAccumulate) {
+  const auto points = small_sweep();
+  const auto merged = ParallelSweep(RunnerOptions{2}).run(points, 4, 1);
+  for (const auto& r : merged) {
+    // 4 replications of up to 40 mistakes each, merged.
+    EXPECT_GT(r.s_transitions, 40u);
+    EXPECT_LE(r.s_transitions, 160u);
+    EXPECT_EQ(r.mistake_recurrence.count(),
+              r.mistake_recurrence.samples().size());
+  }
+}
+
+TEST(ParallelSweep, EmptyGridAndZeroReplications) {
+  const ParallelSweep sweep(RunnerOptions{4});
+  EXPECT_TRUE(sweep.run({}, 5, 1).empty());
+  EXPECT_TRUE(sweep.run(small_sweep(), 0, 1).empty());
+}
+
+TEST(ParallelSweep, SingleTaskGrid) {
+  dist::Exponential delay(0.02);
+  const auto task =
+      nfd_s_task(core::NfdSParams{Duration(1.0), Duration(0.25)}, 0.01, delay,
+                 small_stop());
+  const auto results = ParallelSweep(RunnerOptions{8}).run({task}, 1, 9);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].s_transitions, 0u);
+}
+
+TEST(Substreams, IndexZeroIsRootAndStreamsDiffer) {
+  auto streams = make_substreams(123, 4);
+  ASSERT_EQ(streams.size(), 4u);
+  Rng root(123);
+  EXPECT_TRUE(streams[0] == root);
+  // Jumped streams are 2^128 draws apart: their next outputs must all
+  // differ, and no stream may equal another's state.
+  std::set<std::uint64_t> first_draws;
+  for (auto& s : streams) first_draws.insert(s());
+  EXPECT_EQ(first_draws.size(), 4u);
+}
+
+TEST(Substreams, JumpCommutesWithDrawingIndependence) {
+  // The substream construction must not depend on how many draws were taken
+  // from earlier streams (tasks run concurrently) — streams are derived
+  // before any task runs, from jumps alone.
+  auto a = make_substreams(55, 3);
+  auto b = make_substreams(55, 3);
+  for (int i = 0; i < 100; ++i) (void)a[0]();
+  EXPECT_EQ(a[2](), b[2]());
+}
+
+TEST(RunIndexed, RunsEveryTaskExactlyOnce) {
+  for (const unsigned jobs : {1u, 3u, 8u}) {
+    std::vector<std::atomic<int>> hits(257);
+    run_indexed(hits.size(), jobs,
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(RunIndexed, ZeroTasksIsANoop) {
+  run_indexed(0, 8, [](std::size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(RunIndexed, PropagatesTaskExceptions) {
+  EXPECT_THROW(
+      run_indexed(16, 4,
+                  [](std::size_t i) {
+                    if (i == 7) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelDetection, DeterministicAcrossThreadCounts) {
+  dist::Exponential delay(0.02);
+  const core::NetworkModel model{0.01, delay};
+  core::DetectionExperiment exp;
+  exp.runs = 70;  // 3 chunks: 32 + 32 + 6
+  exp.warmup = seconds(5.0);
+  exp.settle = seconds(20.0);
+  exp.seed = 31337;
+  const core::DetectorFactory factory = [](core::Testbed& tb) {
+    return std::make_unique<core::NfdS>(
+        tb.simulator(), core::NfdSParams{Duration(1.0), Duration(1.0)});
+  };
+  const auto serial =
+      parallel_detection_times(factory, model, exp, RunnerOptions{1});
+  const auto parallel =
+      parallel_detection_times(factory, model, exp, RunnerOptions{8});
+  EXPECT_EQ(serial.count(), 70u);
+  EXPECT_EQ(serial.samples(), parallel.samples());
+}
+
+}  // namespace
+}  // namespace chenfd::runner

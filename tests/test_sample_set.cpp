@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/rng.hpp"
 #include "stats/sample_set.hpp"
 
 namespace chenfd::stats {
@@ -72,6 +73,73 @@ TEST(SampleSet, CapacityLimitsRetentionButNotStats) {
   // Online statistics still cover all 100 values.
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
   EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(SampleSet, MergeMatchesCombinedStream) {
+  Rng rng(9001);
+  SampleSet all;
+  SampleSet shards[3];
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    all.add(x);
+    shards[i % 3].add(x);
+  }
+  SampleSet merged = shards[0];
+  merged.merge(shards[1]);
+  merged.merge(shards[2]);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_TRUE(merged.complete());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+  // With complete retention on both sides, quantiles over the merged set
+  // are those of the combined stream (sorting removes order differences).
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_NEAR(merged.quantile(q), all.quantile(q), 1e-12) << "q=" << q;
+  }
+  EXPECT_NEAR(merged.moment(2), all.moment(2), 1e-9);
+  EXPECT_NEAR(merged.tail_probability(5.0), all.tail_probability(5.0), 1e-12);
+}
+
+TEST(SampleSet, MergeRespectsCapacity) {
+  SampleSet a(10);
+  SampleSet b(10);
+  for (int i = 0; i < 8; ++i) a.add(1.0);
+  for (int i = 0; i < 8; ++i) b.add(2.0);
+  a.merge(b);
+  // Raw retention truncates at capacity (quantiles become approximate)...
+  EXPECT_EQ(a.samples().size(), 10u);
+  EXPECT_FALSE(a.complete());
+  // ...but the online moments still cover every sample exactly.
+  EXPECT_EQ(a.count(), 16u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+}
+
+TEST(SampleSet, MergeWithEmptyIsIdentity) {
+  SampleSet a;
+  for (double x : {3.0, 1.0, 2.0}) a.add(x);
+  SampleSet empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 2.0);
+
+  SampleSet b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(b.quantile(1.0), 3.0);
+}
+
+TEST(SampleSet, MergeResortsForQuantiles) {
+  SampleSet a;
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 5.0);  // forces a sort
+  SampleSet b;
+  b.add(1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 1.0);  // must re-sort after merge
 }
 
 TEST(SampleSet, QuantileAfterAddResorts) {

@@ -14,6 +14,7 @@
 #include "dist/pareto.hpp"
 #include "dist/uniform.hpp"
 #include "dist/weibull.hpp"
+#include "runner/parallel_sweep.hpp"
 
 namespace chenfd::cli {
 namespace {
@@ -125,7 +126,13 @@ void print_usage(std::ostream& os) {
         "      Theorem 5: exact QoS of NFD-S with the given parameters.\n"
         "  simulate           --eta E --delta D --ploss P --mean M "
         "[--mistakes N] [--seed S]\n"
-        "      Monte-Carlo NFD-S run, measured vs analytic.\n\n"
+        "                     [--reps R] [--jobs N]\n"
+        "      Monte-Carlo NFD-S run, measured vs analytic.  --reps splits "
+        "the run into R\n"
+        "      replications merged on the parallel runner; --jobs caps the "
+        "worker threads\n"
+        "      (default: one per hardware thread).  Results depend on "
+        "--reps, never --jobs.\n\n"
         "distributions (--dist, default exp):\n"
         "  exp --mean M | uniform --lo A --hi B | constant --value C\n"
         "  lognormal --mean M --var V | pareto --mean M --alpha A\n"
@@ -225,15 +232,31 @@ int run(const Args& args, std::ostream& os) {
     if (const auto cap = args.number("max-heartbeats")) {
       stop.max_heartbeats = static_cast<std::uint64_t>(*cap);
     }
-    Rng rng(args.number("seed") ? static_cast<std::uint64_t>(
-                                      args.require("seed"))
-                                : 42u);
-    const auto r =
-        core::fast_nfd_s_accuracy(params, p_loss, *delay, rng, stop);
+    const std::uint64_t seed =
+        args.number("seed") ? static_cast<std::uint64_t>(args.require("seed"))
+                            : 42u;
+    // --reps splits the run into that many replications merged on the
+    // parallel runner; --jobs caps the worker threads (default: one per
+    // hardware thread).  Results depend on --reps but never on --jobs.
+    const auto reps = static_cast<std::size_t>(
+        args.number("reps") ? args.require("reps") : 1.0);
+    if (reps == 0) throw std::invalid_argument("--reps must be >= 1");
+    runner::RunnerOptions ropts;
+    if (const auto jobs = args.number("jobs")) {
+      ropts.jobs = static_cast<unsigned>(*jobs);
+    }
+    core::StopCriteria rep_stop = stop;
+    rep_stop.target_s_transitions =
+        (stop.target_s_transitions + reps - 1) / reps;
+    rep_stop.max_heartbeats = stop.max_heartbeats / reps;
+    const runner::ParallelSweep sweep(ropts);
+    const auto r = sweep.run_one(
+        runner::nfd_s_task(params, p_loss, *delay, rep_stop), reps, seed);
     const core::NfdSAnalysis a(params, p_loss, *delay);
     os << "Monte-Carlo NFD-S " << params << " on " << delay->name()
        << ", p_L = " << p_loss << " (" << r.s_transitions
-       << " mistakes over " << r.heartbeats << " heartbeats):\n"
+       << " mistakes over " << r.heartbeats << " heartbeats, " << reps
+       << " replication" << (reps == 1 ? "" : "s") << "):\n"
        << "                 measured      analytic (Thm 5)\n"
        << "  E(T_MR) (s)    " << r.e_tmr() << "      " << a.e_tmr().seconds()
        << "\n"
