@@ -1,15 +1,45 @@
-// Precondition checking for chenfd.
+// Contract checking for chenfd.
 //
 // Following the Core Guidelines (I.5/I.6), public interfaces state their
 // preconditions and check them.  Violations are programming errors, so they
 // throw std::logic_error (std::invalid_argument for bad arguments); expected
 // runtime outcomes (e.g. "QoS cannot be achieved") are represented as values,
 // never as exceptions.
+//
+// Two forms are provided:
+//
+//   - The `expects(cond, msg)` / `ensures(cond, msg)` functions: always
+//     compiled in, for checks cheap enough to keep in every build (argument
+//     validation at API boundaries).
+//
+//   - The CHENFD_EXPECTS / CHENFD_ENSURES / CHENFD_AUDIT macros: gated by
+//     the compile-time audit level CHENFD_AUDIT_LEVEL.
+//
+//       level 0  every macro expands to ((void)0); the condition expression
+//                is not compiled at all, so disabled contracts are zero-cost
+//                (tests/contracts_compiled_out.cpp proves this at link time)
+//       level 1  (default) EXPECTS and ENSURES are active
+//       level 2  additionally enables AUDIT — checks that are O(domain) or
+//                sit on hot per-heartbeat paths, meant for sanitizer /
+//                deep-verification builds (the asan-ubsan preset uses it)
+//
+// Exception contract, relied on by tests/test_contracts.cpp:
+//
+//   CHENFD_EXPECTS / expects  ->  std::invalid_argument
+//   CHENFD_ENSURES / ensures  ->  std::logic_error
+//   CHENFD_AUDIT              ->  std::logic_error
+//
+// Macro failures append the source location to the message so a violated
+// invariant deep in a 10^9-heartbeat Monte-Carlo run is attributable.
 
 #pragma once
 
 #include <stdexcept>
 #include <string>
+
+#ifndef CHENFD_AUDIT_LEVEL
+#define CHENFD_AUDIT_LEVEL 1
+#endif
 
 namespace chenfd {
 
@@ -24,4 +54,50 @@ inline void ensures(bool condition, const std::string& message) {
   if (!condition) throw std::logic_error(message);
 }
 
+namespace detail {
+
+/// Cold, non-inlined failure paths keep the fast path of a contract check
+/// down to one predicted-untaken branch.
+[[noreturn]] inline void expects_fail(const char* message, const char* file,
+                                      long line) {
+  throw std::invalid_argument(std::string(message) + " (" + file + ":" +
+                              std::to_string(line) + ")");
+}
+
+[[noreturn]] inline void ensures_fail(const char* message, const char* file,
+                                      long line) {
+  throw std::logic_error(std::string(message) + " (" + file + ":" +
+                         std::to_string(line) + ")");
+}
+
+}  // namespace detail
 }  // namespace chenfd
+
+#if CHENFD_AUDIT_LEVEL >= 1
+/// Precondition (argument validation).  Active at audit level >= 1.
+#define CHENFD_EXPECTS(condition, message)                                 \
+  do {                                                                     \
+    if (!(condition))                                                      \
+      ::chenfd::detail::expects_fail((message), __FILE__, __LINE__);       \
+  } while (false)
+/// Postcondition / internal invariant.  Active at audit level >= 1.
+#define CHENFD_ENSURES(condition, message)                                 \
+  do {                                                                     \
+    if (!(condition))                                                      \
+      ::chenfd::detail::ensures_fail((message), __FILE__, __LINE__);       \
+  } while (false)
+#else
+#define CHENFD_EXPECTS(condition, message) ((void)0)
+#define CHENFD_ENSURES(condition, message) ((void)0)
+#endif
+
+#if CHENFD_AUDIT_LEVEL >= 2
+/// Expensive invariant (hot paths, O(domain) scans).  Active at level 2.
+#define CHENFD_AUDIT(condition, message)                                   \
+  do {                                                                     \
+    if (!(condition))                                                      \
+      ::chenfd::detail::ensures_fail((message), __FILE__, __LINE__);       \
+  } while (false)
+#else
+#define CHENFD_AUDIT(condition, message) ((void)0)
+#endif

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "core/params.hpp"
@@ -58,6 +59,20 @@ struct AccuracyResult {
   /// the merged result is bit-identical regardless of which thread finished
   /// first.
   void merge(const AccuracyResult& other) {
+    // Merge preconditions: each operand must describe a physically possible
+    // run (time trusting cannot exceed time observed) and its interval
+    // counts must agree with its sample sets, or the ordered reduction
+    // would silently launder a corrupted replication into the estimate.
+    // Trust time is an incremental sum while the window is one subtraction,
+    // so the comparison allows relative rounding slack.
+    CHENFD_EXPECTS(other.trust_seconds <=
+                       other.observed_seconds +
+                           1e-9 * (1.0 + other.observed_seconds),
+                   "AccuracyResult::merge: trust time exceeds window");
+    CHENFD_EXPECTS(other.trust_seconds >= 0.0 && other.observed_seconds >= 0.0,
+                   "AccuracyResult::merge: negative interval totals");
+    CHENFD_EXPECTS(other.mistake_recurrence.count() <= other.s_transitions,
+                   "AccuracyResult::merge: more T_MR samples than mistakes");
     heartbeats += other.heartbeats;
     observed_seconds += other.observed_seconds;
     trust_seconds += other.trust_seconds;

@@ -1,5 +1,7 @@
 #include "core/nfd_e.hpp"
 
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace chenfd::core {
@@ -44,15 +46,28 @@ void NfdE::on_heartbeat(const net::Message& m, TimePoint real_now) {
       normalized_sum_ -= window_.front().normalized;
       window_.pop_front();
     }
+    CHENFD_ENSURES(window_.size() <= capacity_,
+                   "NfdE: estimation window exceeded its capacity");
+    // The running sum is maintained incrementally (add on admit, subtract
+    // on evict); recompute it from scratch to catch drift or a missed
+    // eviction.  O(window) per heartbeat, hence level-2 only.
+    CHENFD_AUDIT(([this] {
+                   double fresh = 0.0;
+                   for (const Observation& o : window_) fresh += o.normalized;
+                   return std::abs(fresh - normalized_sum_) <=
+                          1e-9 * (1.0 + std::abs(fresh));
+                 }()),
+                 "NfdE: incremental Eq. 6.3 sum drifted from the window");
   }
   NfdU::on_heartbeat(m, real_now);
 }
 
 TimePoint NfdE::expected_arrival(net::SeqNo seq) {
-  ensures(!window_.empty(),
-          "NfdE::expected_arrival: called before any heartbeat was received");
-  expects(seq >= epoch_seq_,
-          "NfdE::expected_arrival: sequence number predates the epoch");
+  CHENFD_ENSURES(
+      !window_.empty(),
+      "NfdE::expected_arrival: called before any heartbeat was received");
+  CHENFD_EXPECTS(seq >= epoch_seq_,
+                 "NfdE::expected_arrival: sequence number predates the epoch");
   const double base = normalized_sum_ / static_cast<double>(window_.size());
   return TimePoint(base +
                    eta_.seconds() * static_cast<double>(seq - epoch_seq_));

@@ -1,5 +1,6 @@
 #include "core/nfd_s.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -12,9 +13,9 @@ NfdS::NfdS(sim::Simulator& simulator, NfdSParams params)
 }
 
 void NfdS::activate() {
-  expects(!started_, "NfdS::activate: already started");
-  expects(sim_.now() == TimePoint::zero(),
-          "NfdS::activate: must start at time 0 so tau_i = i*eta + delta");
+  CHENFD_EXPECTS(!started_, "NfdS::activate: already started");
+  CHENFD_EXPECTS(sim_.now() == TimePoint::zero(),
+                 "NfdS::activate: must start at time 0 so tau_i = i*eta + delta");
   started_ = true;
   const TimePoint tau_1 = TimePoint::zero() + params_.eta + params_.delta;
   pending_check_ = sim_.at(tau_1, [this] { on_freshness_point(1); });
@@ -26,9 +27,21 @@ void NfdS::stop() {
 }
 
 std::uint64_t NfdS::freshness_index(TimePoint t) const {
+  const double eta = params_.eta.seconds();
   const double offset = (t - (TimePoint::zero() + params_.delta)).seconds();
-  if (offset < params_.eta.seconds()) return 0;  // before tau_1
-  return static_cast<std::uint64_t>(std::floor(offset / params_.eta.seconds()));
+  const double ratio = offset / eta;
+  // Snap to the nearest integer when within floating-point slack: tau_i is
+  // computed as i*eta + delta, and when delta >> eta the subtraction above
+  // can land one ULP below i*eta, so a plain floor() would misclassify the
+  // instant tau_i itself as still inside [tau_{i-1}, tau_i).  The level-2
+  // contract audit in on_freshness_point caught exactly this.
+  const double nearest = std::round(ratio);
+  const double idx =
+      std::abs(ratio - nearest) <= 1e-9 * std::max(1.0, std::abs(ratio))
+          ? nearest
+          : std::floor(ratio);
+  if (idx < 1.0) return 0;  // before tau_1
+  return static_cast<std::uint64_t>(idx);
 }
 
 void NfdS::on_freshness_point(std::uint64_t i) {
@@ -38,6 +51,14 @@ void NfdS::on_freshness_point(std::uint64_t i) {
   const TimePoint tau_next =
       TimePoint::zero() + params_.eta * static_cast<double>(i + 1) +
       params_.delta;
+  // Section 3: freshness points form the strictly increasing sequence
+  // tau_{i+1} = tau_i + eta.  We fire at tau_i == now, so monotonicity is
+  // exactly "the next point lies in the future" — if floating-point drift
+  // in i*eta ever broke this, the detector would silently stall or spin.
+  CHENFD_ENSURES(tau_next > sim_.now(),
+                 "NfdS: freshness points must be strictly increasing");
+  CHENFD_AUDIT(freshness_index(sim_.now()) == i,
+               "NfdS: freshness index disagrees with the firing schedule");
   pending_check_ = sim_.at(tau_next, [this, i] { on_freshness_point(i + 1); });
 }
 

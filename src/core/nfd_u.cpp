@@ -21,8 +21,8 @@ void NfdU::stop() {
 }
 
 TimePoint NfdU::expected_arrival(net::SeqNo seq) {
-  expects(static_cast<bool>(ea_provider_),
-          "NfdU: no EA provider configured (use NfdE for estimated EAs)");
+  CHENFD_EXPECTS(static_cast<bool>(ea_provider_),
+                 "NfdU: no EA provider configured (use NfdE for estimated EAs)");
   return ea_provider_(seq);
 }
 
@@ -33,6 +33,12 @@ void NfdU::on_heartbeat(const net::Message& m, TimePoint real_now) {
 
   // Fig. 9 line 10: the next freshness point, on q's local clock.
   const TimePoint tau_next = expected_arrival(ell_ + 1) + params_.alpha;
+  // Theorems 11-12: freshness points derive from expected arrival times
+  // shifted by alpha, and EAs are spaced eta apart (exactly for NFD-U,
+  // by the Eq. 6.3 normalization for NFD-E) — so tau over consecutive
+  // sequence numbers must be non-decreasing within one estimation state.
+  CHENFD_AUDIT(expected_arrival(ell_ + 1) >= expected_arrival(ell_),
+               "NfdU: expected arrival times must be non-decreasing in seq");
   if (timer_ != 0) sim_.cancel(timer_);
   timer_ = 0;
 

@@ -18,8 +18,9 @@ struct NfdSParams {
   Duration delta;  ///< freshness-point shift relative to sending time (> 0)
 
   void validate() const {
-    expects(eta > Duration::zero(), "NfdSParams: eta must be positive");
-    expects(delta > Duration::zero(), "NfdSParams: delta must be positive");
+    CHENFD_EXPECTS(eta > Duration::zero(), "NfdSParams: eta must be positive");
+    CHENFD_EXPECTS(delta > Duration::zero(),
+                   "NfdSParams: delta must be positive");
   }
 
   [[nodiscard]] Duration detection_time_bound() const { return delta + eta; }
@@ -37,8 +38,9 @@ struct NfdUParams {
   Duration alpha;  ///< slack added to the expected arrival time (> 0)
 
   void validate() const {
-    expects(eta > Duration::zero(), "NfdUParams: eta must be positive");
-    expects(alpha > Duration::zero(), "NfdUParams: alpha must be positive");
+    CHENFD_EXPECTS(eta > Duration::zero(), "NfdUParams: eta must be positive");
+    CHENFD_EXPECTS(alpha > Duration::zero(),
+                   "NfdUParams: alpha must be positive");
   }
 
   friend std::ostream& operator<<(std::ostream& os, const NfdUParams& p) {
@@ -56,9 +58,10 @@ struct NfdEParams {
   std::size_t window = 32;
 
   void validate() const {
-    expects(eta > Duration::zero(), "NfdEParams: eta must be positive");
-    expects(alpha > Duration::zero(), "NfdEParams: alpha must be positive");
-    expects(window >= 1, "NfdEParams: window must be >= 1");
+    CHENFD_EXPECTS(eta > Duration::zero(), "NfdEParams: eta must be positive");
+    CHENFD_EXPECTS(alpha > Duration::zero(),
+                   "NfdEParams: alpha must be positive");
+    CHENFD_EXPECTS(window >= 1, "NfdEParams: window must be >= 1");
   }
 
   friend std::ostream& operator<<(std::ostream& os, const NfdEParams& p) {
@@ -77,8 +80,10 @@ struct SfdParams {
   Duration cutoff = Duration::infinity();    ///< c (infinity = plain SFD)
 
   void validate() const {
-    expects(timeout > Duration::zero(), "SfdParams: timeout must be positive");
-    expects(cutoff > Duration::zero(), "SfdParams: cutoff must be positive");
+    CHENFD_EXPECTS(timeout > Duration::zero(),
+                   "SfdParams: timeout must be positive");
+    CHENFD_EXPECTS(cutoff > Duration::zero(),
+                   "SfdParams: cutoff must be positive");
   }
 
   [[nodiscard]] Duration detection_time_bound() const {

@@ -1,5 +1,6 @@
 #include "dist/constant.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -7,7 +8,8 @@
 namespace chenfd::dist {
 
 Constant::Constant(double value) : value_(value) {
-  expects(value > 0.0, "Constant: delay must be positive");
+  CHENFD_EXPECTS(std::isfinite(value) && value > 0.0,
+                 "Constant: delay must be positive and finite");
 }
 
 double Constant::sample(Rng& rng) const {

@@ -5,8 +5,8 @@
 namespace chenfd::dist {
 
 double DelayDistribution::quantile(double u) const {
-  expects(u > 0.0 && u < 1.0,
-          "DelayDistribution::quantile: u must be in (0, 1)");
+  CHENFD_EXPECTS(u > 0.0 && u < 1.0,
+                   "DelayDistribution::quantile: u must be in (0, 1)");
   // Bracket [lo, hi] with cdf(lo) < u <= cdf(hi).
   double hi = mean() > 0.0 ? mean() : 1.0;
   for (int i = 0; i < 2000 && cdf(hi) < u; ++i) hi *= 2.0;

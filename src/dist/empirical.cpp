@@ -1,6 +1,7 @@
 #include "dist/empirical.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -9,9 +10,10 @@ namespace chenfd::dist {
 
 Empirical::Empirical(std::span<const double> samples)
     : sorted_(samples.begin(), samples.end()) {
-  expects(!sorted_.empty(), "Empirical: need at least one sample");
+  CHENFD_EXPECTS(!sorted_.empty(), "Empirical: need at least one sample");
   for (double s : sorted_) {
-    expects(s > 0.0, "Empirical: delays must be positive");
+    CHENFD_EXPECTS(std::isfinite(s) && s > 0.0,
+                   "Empirical: delays must be positive and finite");
   }
   std::sort(sorted_.begin(), sorted_.end());
   const double n = static_cast<double>(sorted_.size());

@@ -8,13 +8,14 @@
 namespace chenfd::dist {
 
 Erlang::Erlang(int stages, double rate) : stages_(stages), rate_(rate) {
-  expects(stages >= 1, "Erlang: stages must be >= 1");
-  expects(rate > 0.0, "Erlang: rate must be positive");
+  CHENFD_EXPECTS(stages >= 1, "Erlang: stages must be >= 1");
+  CHENFD_EXPECTS(std::isfinite(rate) && rate > 0.0,
+                 "Erlang: rate must be positive and finite");
 }
 
 Erlang Erlang::with_mean(int stages, double mean) {
-  expects(mean > 0.0, "Erlang::with_mean: mean must be positive");
-  expects(stages >= 1, "Erlang::with_mean: stages must be >= 1");
+  CHENFD_EXPECTS(mean > 0.0, "Erlang::with_mean: mean must be positive");
+  CHENFD_EXPECTS(stages >= 1, "Erlang::with_mean: stages must be >= 1");
   return Erlang(stages, static_cast<double>(stages) / mean);
 }
 

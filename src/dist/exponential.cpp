@@ -8,7 +8,8 @@
 namespace chenfd::dist {
 
 Exponential::Exponential(double mean) : mean_(mean) {
-  expects(mean > 0.0, "Exponential: mean must be positive");
+  CHENFD_EXPECTS(std::isfinite(mean) && mean > 0.0,
+                 "Exponential: mean must be positive and finite");
 }
 
 double Exponential::cdf(double x) const {
@@ -17,7 +18,7 @@ double Exponential::cdf(double x) const {
 }
 
 double Exponential::quantile(double u) const {
-  expects(u > 0.0 && u < 1.0, "Exponential::quantile: u must be in (0, 1)");
+  CHENFD_EXPECTS(u > 0.0 && u < 1.0, "Exponential::quantile: u must be in (0, 1)");
   return -mean_ * std::log(1.0 - u);
 }
 

@@ -14,7 +14,7 @@ namespace chenfd::dist {
 
 std::vector<std::unique_ptr<DelayDistribution>> standard_family_with_mean(
     double mean) {
-  expects(mean > 0.0, "standard_family_with_mean: mean must be positive");
+  CHENFD_EXPECTS(mean > 0.0, "standard_family_with_mean: mean must be positive");
   std::vector<std::unique_ptr<DelayDistribution>> out;
   out.push_back(std::make_unique<Exponential>(mean));
   out.push_back(std::make_unique<Uniform>(0.0, 2.0 * mean));

@@ -9,12 +9,14 @@
 namespace chenfd::dist {
 
 LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
-  expects(sigma > 0.0, "LogNormal: sigma must be positive");
+  CHENFD_EXPECTS(std::isfinite(mu), "LogNormal: mu must be finite");
+  CHENFD_EXPECTS(std::isfinite(sigma) && sigma > 0.0,
+                 "LogNormal: sigma must be positive and finite");
 }
 
 LogNormal LogNormal::with_moments(double mean, double variance) {
-  expects(mean > 0.0, "LogNormal::with_moments: mean must be positive");
-  expects(variance > 0.0, "LogNormal::with_moments: variance must be positive");
+  CHENFD_EXPECTS(mean > 0.0, "LogNormal::with_moments: mean must be positive");
+  CHENFD_EXPECTS(variance > 0.0, "LogNormal::with_moments: variance must be positive");
   // mean = exp(mu + sigma^2/2); variance = (exp(sigma^2)-1) exp(2mu+sigma^2).
   const double s2 = std::log(1.0 + variance / (mean * mean));
   const double mu = std::log(mean) - s2 / 2.0;

@@ -8,13 +8,15 @@
 namespace chenfd::dist {
 
 Pareto::Pareto(double xm, double alpha) : xm_(xm), alpha_(alpha) {
-  expects(xm > 0.0, "Pareto: xm must be positive");
-  expects(alpha > 2.0, "Pareto: alpha must exceed 2 for finite variance");
+  CHENFD_EXPECTS(std::isfinite(xm) && xm > 0.0,
+                 "Pareto: xm must be positive and finite");
+  CHENFD_EXPECTS(std::isfinite(alpha) && alpha > 2.0,
+                 "Pareto: alpha must exceed 2 for finite variance");
 }
 
 Pareto Pareto::with_mean(double mean, double alpha) {
-  expects(mean > 0.0, "Pareto::with_mean: mean must be positive");
-  expects(alpha > 2.0, "Pareto::with_mean: alpha must exceed 2");
+  CHENFD_EXPECTS(mean > 0.0, "Pareto::with_mean: mean must be positive");
+  CHENFD_EXPECTS(alpha > 2.0, "Pareto::with_mean: alpha must exceed 2");
   // mean = alpha * xm / (alpha - 1)  =>  xm = mean (alpha-1)/alpha.
   return Pareto(mean * (alpha - 1.0) / alpha, alpha);
 }
@@ -32,7 +34,7 @@ double Pareto::variance() const {
 }
 
 double Pareto::quantile(double u) const {
-  expects(u > 0.0 && u < 1.0, "Pareto::quantile: u must be in (0, 1)");
+  CHENFD_EXPECTS(u > 0.0 && u < 1.0, "Pareto::quantile: u must be in (0, 1)");
   return xm_ * std::pow(1.0 - u, -1.0 / alpha_);
 }
 

@@ -1,5 +1,6 @@
 #include "dist/shifted.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <utility>
 
@@ -9,8 +10,9 @@ namespace chenfd::dist {
 
 Shifted::Shifted(double offset, std::unique_ptr<DelayDistribution> inner)
     : offset_(offset), inner_(std::move(inner)) {
-  expects(offset >= 0.0, "Shifted: offset must be non-negative");
-  expects(inner_ != nullptr, "Shifted: inner distribution must not be null");
+  CHENFD_EXPECTS(std::isfinite(offset) && offset >= 0.0,
+                 "Shifted: offset must be non-negative and finite");
+  CHENFD_EXPECTS(inner_ != nullptr, "Shifted: inner distribution must not be null");
 }
 
 double Shifted::cdf(double x) const { return inner_->cdf(x - offset_); }

@@ -1,5 +1,6 @@
 #include "dist/uniform.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -7,8 +8,10 @@
 namespace chenfd::dist {
 
 Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
-  expects(lo >= 0.0, "Uniform: lo must be non-negative");
-  expects(hi > lo, "Uniform: hi must exceed lo");
+  CHENFD_EXPECTS(std::isfinite(lo) && lo >= 0.0,
+                 "Uniform: lo must be non-negative and finite");
+  CHENFD_EXPECTS(std::isfinite(hi) && hi > lo,
+                 "Uniform: hi must exceed lo and be finite");
 }
 
 double Uniform::cdf(double x) const {
@@ -20,7 +23,7 @@ double Uniform::cdf(double x) const {
 double Uniform::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
 
 double Uniform::quantile(double u) const {
-  expects(u > 0.0 && u < 1.0, "Uniform::quantile: u must be in (0, 1)");
+  CHENFD_EXPECTS(u > 0.0 && u < 1.0, "Uniform::quantile: u must be in (0, 1)");
   return lo_ + u * (hi_ - lo_);
 }
 

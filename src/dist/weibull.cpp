@@ -9,8 +9,10 @@ namespace chenfd::dist {
 
 Weibull::Weibull(double shape_k, double scale_lambda)
     : k_(shape_k), lambda_(scale_lambda) {
-  expects(shape_k > 0.0, "Weibull: shape must be positive");
-  expects(scale_lambda > 0.0, "Weibull: scale must be positive");
+  CHENFD_EXPECTS(std::isfinite(shape_k) && shape_k > 0.0,
+                 "Weibull: shape must be positive and finite");
+  CHENFD_EXPECTS(std::isfinite(scale_lambda) && scale_lambda > 0.0,
+                 "Weibull: scale must be positive and finite");
 }
 
 double Weibull::cdf(double x) const {
@@ -27,7 +29,7 @@ double Weibull::variance() const {
 }
 
 double Weibull::quantile(double u) const {
-  expects(u > 0.0 && u < 1.0, "Weibull::quantile: u must be in (0, 1)");
+  CHENFD_EXPECTS(u > 0.0 && u < 1.0, "Weibull::quantile: u must be in (0, 1)");
   return lambda_ * std::pow(-std::log(1.0 - u), 1.0 / k_);
 }
 

@@ -1,0 +1,125 @@
+// Theorem 1 invariant auditor: checks that the measured accuracy metrics of
+// a recorded failure-detector signal satisfy the paper's renewal identities.
+//
+// For an ergodic detector (Theorem 1):
+//
+//   part 1   T_G = T_MR - T_M                  (per cycle, so in expectation)
+//   part 2   lambda_M = 1 / E(T_MR)
+//            P_A = E(T_G) / E(T_MR) = 1 - E(T_M) / E(T_MR)
+//   part 3c  E(T_FG) = (1 + V(T_G)/E(T_G)^2) * E(T_G) / 2
+//
+// The recorder measures every quantity on both sides of each identity
+// independently (lambda_M by counting S-transitions, E(T_MR) by averaging
+// recurrence intervals; P_A by integrating the signal, the T_* means from
+// interval samples), so comparing them end to end catches corruption
+// anywhere in the pipeline: a recorder bug, a broken merge, a mangled
+// trace.  On a finite window the identities hold up to boundary effects of
+// order 1/n, hence the relative tolerance.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "qos/recorder.hpp"
+#include "qos/relations.hpp"
+
+namespace chenfd::qos {
+
+/// One audited identity: `lhs` and `rhs` are the two independent
+/// measurements, `rel_error` their relative disagreement.
+struct IdentityCheck {
+  std::string name;
+  double lhs = 0.0;
+  double rhs = 0.0;
+  double rel_error = 0.0;
+  bool ok = false;
+};
+
+struct AuditReport {
+  std::vector<IdentityCheck> checks;
+  std::size_t cycles = 0;  ///< complete T_MR intervals the audit rests on
+
+  [[nodiscard]] bool ok() const {
+    return std::all_of(checks.begin(), checks.end(),
+                       [](const IdentityCheck& c) { return c.ok; });
+  }
+};
+
+namespace detail {
+
+inline IdentityCheck check_identity(std::string name, double lhs, double rhs,
+                                    double tolerance) {
+  IdentityCheck c;
+  c.name = std::move(name);
+  c.lhs = lhs;
+  c.rhs = rhs;
+  const double scale = std::max({std::abs(lhs), std::abs(rhs), 1e-300});
+  c.rel_error = std::abs(lhs - rhs) / scale;
+  c.ok = std::isfinite(lhs) && std::isfinite(rhs) &&
+         c.rel_error <= tolerance;
+  return c;
+}
+
+}  // namespace detail
+
+/// Audits the Theorem 1 renewal identities over a finished recorder.
+/// `tolerance` is the admissible relative disagreement (finite-window
+/// boundary effects scale like 1/cycles, so pick tolerance >> 1/cycles).
+/// Throws std::invalid_argument if the recorder is unfinished or observed
+/// too few complete mistake cycles to compare anything.
+[[nodiscard]] inline AuditReport audit_theorem1(const Recorder& rec,
+                                                double tolerance = 0.05) {
+  expects(rec.finished(), "audit_theorem1: recorder must be finished");
+  expects(tolerance > 0.0, "audit_theorem1: tolerance must be positive");
+  AuditReport report;
+  report.cycles = rec.mistake_recurrence().count();
+  expects(report.cycles >= 2 && rec.mistake_duration().count() >= 2,
+          "audit_theorem1: too few complete mistake cycles to audit "
+          "(need at least 2 T_MR and 2 T_M intervals)");
+
+  const double e_tmr = rec.mistake_recurrence().mean();
+  const double e_tm = rec.mistake_duration().mean();
+  const double e_tg = rec.good_period().mean();
+
+  // Sample sanity: interval durations are by construction non-negative and
+  // a mistake cannot outlast its recurrence period on average.
+  report.checks.push_back(detail::check_identity(
+      "min sample >= 0",
+      std::min({rec.mistake_recurrence().min(), rec.mistake_duration().min(),
+                rec.good_period().min(), 0.0}),
+      0.0, tolerance));
+
+  // Theorem 1 part 2: lambda_M = 1/E(T_MR).  lambda_M counts S-transitions
+  // over the window; E(T_MR) averages the recurrence intervals.
+  report.checks.push_back(detail::check_identity(
+      "lambda_M = 1/E(T_MR)", rec.mistake_rate(), 1.0 / e_tmr, tolerance));
+
+  // Theorem 1 part 2: P_A = 1 - E(T_M)/E(T_MR).  P_A integrates the signal.
+  report.checks.push_back(detail::check_identity(
+      "P_A = 1 - E(T_M)/E(T_MR)", rec.query_accuracy(), 1.0 - e_tm / e_tmr,
+      tolerance));
+
+  // Theorem 1 part 2, other form: P_A = E(T_G)/E(T_MR).
+  report.checks.push_back(detail::check_identity(
+      "P_A = E(T_G)/E(T_MR)", rec.query_accuracy(),
+      query_accuracy(e_tg, e_tmr), tolerance));
+
+  // Theorem 1 part 1 in expectation: E(T_G) = E(T_MR) - E(T_M).
+  report.checks.push_back(detail::check_identity(
+      "E(T_G) = E(T_MR) - E(T_M)", e_tg, e_tmr - e_tm, tolerance));
+
+  // Theorem 1 part 3c: the waiting-time-paradox formula for E(T_FG),
+  // against the directly integrated forward good period.
+  report.checks.push_back(detail::check_identity(
+      "E(T_FG) = (1 + V/E^2) E/2", rec.forward_good_period_mean_direct(),
+      forward_good_period_mean(e_tg, rec.good_period().variance()),
+      tolerance));
+
+  return report;
+}
+
+}  // namespace chenfd::qos

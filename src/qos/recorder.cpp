@@ -1,5 +1,7 @@
 #include "qos/recorder.hpp"
 
+#include "common/check.hpp"
+
 namespace chenfd::qos {
 
 Recorder::Recorder(TimePoint start, Verdict initial,
@@ -12,9 +14,11 @@ Recorder::Recorder(TimePoint start, Verdict initial,
       t_g_(sample_capacity) {}
 
 void Recorder::on_transition(TimePoint at, Verdict to) {
-  expects(!finished_, "Recorder::on_transition: recorder already finished");
-  expects(at >= last_change_,
-          "Recorder::on_transition: transition times must be non-decreasing");
+  CHENFD_EXPECTS(!finished_,
+                 "Recorder::on_transition: recorder already finished");
+  CHENFD_EXPECTS(
+      at >= last_change_,
+      "Recorder::on_transition: transition times must be non-decreasing");
   if (to == current_) return;  // not a transition
 
   if (to == Verdict::kSuspect) {
@@ -44,9 +48,9 @@ void Recorder::on_transition(TimePoint at, Verdict to) {
 }
 
 void Recorder::finish(TimePoint end) {
-  expects(!finished_, "Recorder::finish: already finished");
-  expects(end >= last_change_,
-          "Recorder::finish: end must not precede the last transition");
+  CHENFD_EXPECTS(!finished_, "Recorder::finish: already finished");
+  CHENFD_EXPECTS(end >= last_change_,
+                 "Recorder::finish: end must not precede the last transition");
   if (current_ == Verdict::kTrust) {
     trust_seconds_ += (end - last_change_).seconds();
   }
@@ -55,19 +59,21 @@ void Recorder::finish(TimePoint end) {
 }
 
 Duration Recorder::elapsed() const {
-  expects(finished_, "Recorder::elapsed: call finish() first");
+  CHENFD_EXPECTS(finished_, "Recorder::elapsed: call finish() first");
   return end_ - start_;
 }
 
 double Recorder::query_accuracy() const {
   const double total = elapsed().seconds();
-  expects(total > 0.0, "Recorder::query_accuracy: empty observation window");
+  CHENFD_EXPECTS(total > 0.0,
+                 "Recorder::query_accuracy: empty observation window");
   return trust_seconds_ / total;
 }
 
 double Recorder::mistake_rate() const {
   const double total = elapsed().seconds();
-  expects(total > 0.0, "Recorder::mistake_rate: empty observation window");
+  CHENFD_EXPECTS(total > 0.0,
+                 "Recorder::mistake_rate: empty observation window");
   return static_cast<double>(s_transitions_) / total;
 }
 

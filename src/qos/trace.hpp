@@ -1,0 +1,107 @@
+// Plain-text transition traces: a recorded failure-detector output signal
+// that can be written by one run and replayed (qos::replay) by another —
+// the interchange format between the simulation harness and the
+// `audit_qos` invariant auditor.
+//
+// Format (one record per line, '#' starts a comment):
+//
+//   window <start-seconds> <end-seconds>
+//   <time-seconds> S
+//   <time-seconds> T
+//   ...
+//
+// Exactly one `window` line is required and must precede the transitions;
+// transition times must be non-decreasing and at or before `end`.
+// Transitions before `start` are warm-up history: qos::replay uses them to
+// infer the verdict at `start` without sampling any pre-window interval.
+
+#pragma once
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+#include "common/verdict.hpp"
+
+namespace chenfd::qos {
+
+struct TraceFile {
+  TimePoint start;
+  TimePoint end;
+  std::vector<Transition> transitions;
+};
+
+/// Serializes a trace in the format above.  Times are printed with
+/// max_digits10 significant digits so that read_trace(write_trace(t))
+/// reproduces every TimePoint bit-for-bit.
+inline void write_trace(std::ostream& os, const TraceFile& trace) {
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "# chenfd transition trace\n";
+  os << "window " << trace.start.seconds() << " " << trace.end.seconds()
+     << "\n";
+  for (const Transition& t : trace.transitions) {
+    os << t.at.seconds() << " " << to_string(t.to) << "\n";
+  }
+  os.precision(old_precision);
+}
+
+/// Parses a trace.  Throws std::invalid_argument on malformed input —
+/// unknown verdict letters, missing window line, out-of-window or
+/// time-reversed transitions — so a corrupted trace fails loudly instead
+/// of yielding plausible-looking QoS numbers.
+inline TraceFile read_trace(std::istream& is) {
+  TraceFile out;
+  bool have_window = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank or comment-only line
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (first == "window") {
+      expects(!have_window, "trace: duplicate window line" + where);
+      double s = 0.0;
+      double e = 0.0;
+      expects(static_cast<bool>(ls >> s >> e),
+              "trace: malformed window line" + where);
+      expects(e >= s, "trace: window end precedes start" + where);
+      out.start = TimePoint(s);
+      out.end = TimePoint(e);
+      have_window = true;
+      continue;
+    }
+    expects(have_window, "trace: transition before window line" + where);
+    double at = 0.0;
+    std::string verdict;
+    try {
+      at = std::stod(first);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("trace: malformed time '" + first + "'" +
+                                  where);
+    }
+    expects(static_cast<bool>(ls >> verdict),
+            "trace: missing verdict" + where);
+    expects(verdict == "S" || verdict == "T",
+            "trace: verdict must be S or T, got '" + verdict + "'" + where);
+    const Verdict to = verdict == "S" ? Verdict::kSuspect : Verdict::kTrust;
+    expects(out.transitions.empty() || out.transitions.back().at.seconds() <= at,
+            "trace: transition times must be non-decreasing" + where);
+    expects(at <= out.end.seconds(),
+            "trace: transition after the window end" + where);
+    out.transitions.push_back(Transition{TimePoint(at), to});
+  }
+  expects(have_window, "trace: missing window line");
+  return out;
+}
+
+}  // namespace chenfd::qos

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/time.hpp"
 
 namespace chenfd::sim {
@@ -53,7 +54,11 @@ class EventQueue {
     return heap_.front().at;
   }
 
-  /// Pops and returns the earliest pending event, if any.
+  /// Pops and returns the earliest pending event, if any.  Note the queue
+  /// itself is merely a priority queue: popped times can go backwards when
+  /// an earlier event is scheduled after a later one was popped.  The
+  /// time-monotone *dispatch* invariant belongs to the Simulator, which
+  /// rejects scheduling into the past (see Simulator::step).
   std::optional<std::pair<TimePoint, EventFn>> pop() {
     skip_dead();
     if (heap_.empty()) return std::nullopt;
@@ -106,6 +111,8 @@ class EventQueue {
     std::erase_if(heap_,
                   [this](const Entry& e) { return live_.count(e.id) == 0; });
     std::make_heap(heap_.begin(), heap_.end(), Later{});
+    CHENFD_AUDIT(heap_.size() == live_.size(),
+                 "EventQueue::maybe_compact: compaction lost a live event");
   }
 
   std::vector<Entry> heap_;

@@ -31,14 +31,14 @@ class Simulator {
 
   /// Schedules `fn` at absolute simulated time `at` (must be >= now()).
   EventId at(TimePoint when, EventFn fn) {
-    expects(when >= now_, "Simulator::at: cannot schedule in the past");
+    CHENFD_EXPECTS(when >= now_, "Simulator::at: cannot schedule in the past");
     return queue_.schedule(when, std::move(fn));
   }
 
   /// Schedules `fn` after `delay` (must be >= 0).
   EventId after(Duration delay, EventFn fn) {
-    expects(delay >= Duration::zero(),
-            "Simulator::after: delay must be non-negative");
+    CHENFD_EXPECTS(delay >= Duration::zero(),
+                   "Simulator::after: delay must be non-negative");
     return queue_.schedule(now_ + delay, std::move(fn));
   }
 
@@ -48,7 +48,8 @@ class Simulator {
   /// Runs all events with time <= `until`, then advances the clock to
   /// `until` even if no event lies exactly there.
   void run_until(TimePoint until) {
-    expects(until >= now_, "Simulator::run_until: time must not go backwards");
+    CHENFD_EXPECTS(until >= now_,
+                   "Simulator::run_until: time must not go backwards");
     while (auto t = queue_.next_time()) {
       if (*t > until) break;
       step();
@@ -66,6 +67,8 @@ class Simulator {
   bool step() {
     auto ev = queue_.pop();
     if (!ev) return false;
+    CHENFD_ENSURES(ev->first >= now_,
+                   "Simulator::step: virtual clock would run backwards");
     now_ = ev->first;
     ev->second();
     return true;

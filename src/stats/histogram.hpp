@@ -14,8 +14,8 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins)
       : lo_(lo), hi_(hi), counts_(bins, 0) {
-    expects(hi > lo, "Histogram: hi must exceed lo");
-    expects(bins > 0, "Histogram: need at least one bin");
+    CHENFD_EXPECTS(hi > lo, "Histogram: hi must exceed lo");
+    CHENFD_EXPECTS(bins > 0, "Histogram: need at least one bin");
   }
 
   void add(double x) {
@@ -35,7 +35,8 @@ class Histogram {
 
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bin) const {
-    expects(bin < counts_.size(), "Histogram::count: bin out of range");
+    CHENFD_EXPECTS(bin < counts_.size(),
+                   "Histogram::count: bin out of range");
     return counts_[bin];
   }
   [[nodiscard]] double bin_lo(std::size_t bin) const {

@@ -45,6 +45,13 @@ class SampleSet {
   /// moments, and reducing a fixed sequence of sets in a fixed order yields
   /// bit-identical results — the property the parallel runner relies on.
   void merge(const SampleSet& other) {
+    // Associativity of the reduction (what the parallel runner relies on)
+    // requires each operand to be internally consistent: the retained raw
+    // samples must be a prefix of what the online moments have seen.
+    CHENFD_EXPECTS(other.samples_.size() <= other.online_.count(),
+                   "SampleSet::merge: operand retains samples it never saw");
+    CHENFD_EXPECTS(samples_.size() <= capacity_,
+                   "SampleSet::merge: reservoir overflowed its capacity");
     online_.merge(other.online_);
     for (double x : other.samples_) {
       if (samples_.size() >= capacity_) break;
@@ -62,7 +69,7 @@ class SampleSet {
 
   /// k-th raw moment E(X^k) over the retained samples.
   [[nodiscard]] double moment(int k) const {
-    expects(k >= 1, "SampleSet::moment: k must be >= 1");
+    CHENFD_EXPECTS(k >= 1, "SampleSet::moment: k must be >= 1");
     if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
     double acc = 0.0;
     for (double x : samples_) acc += std::pow(x, k);
@@ -79,7 +86,8 @@ class SampleSet {
 
   /// Empirical q-quantile (q in [0,1]) over the retained samples.
   [[nodiscard]] double quantile(double q) {
-    expects(q >= 0.0 && q <= 1.0, "SampleSet::quantile: q must be in [0,1]");
+    CHENFD_EXPECTS(q >= 0.0 && q <= 1.0,
+                   "SampleSet::quantile: q must be in [0,1]");
     if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
     sort_if_needed();
     const double pos = q * static_cast<double>(samples_.size() - 1);

@@ -1,0 +1,28 @@
+// Link- and run-time proof that contract macros are zero-cost at audit
+// level 0 (the acceptance criterion "contract checks compile to nothing").
+//
+// This translation unit is built with CHENFD_AUDIT_LEVEL=0.  Every macro's
+// condition calls a function that is declared but defined nowhere, so if
+// any macro still compiled its condition, the build of this test would
+// fail at link time with an undefined reference.  At run time the counter
+// double-checks that no condition expression was evaluated.
+
+#include "common/check.hpp"
+
+#if CHENFD_AUDIT_LEVEL != 0
+#error "contracts_compiled_out.cpp must be compiled with CHENFD_AUDIT_LEVEL=0"
+#endif
+
+// Deliberately declared and never defined — see file comment.
+bool chenfd_contracts_must_not_be_evaluated(int& counter);
+
+int main() {
+  int evaluations = 0;
+  CHENFD_EXPECTS(chenfd_contracts_must_not_be_evaluated(evaluations),
+                 "precondition must compile out at level 0");
+  CHENFD_ENSURES(chenfd_contracts_must_not_be_evaluated(evaluations),
+                 "postcondition must compile out at level 0");
+  CHENFD_AUDIT(chenfd_contracts_must_not_be_evaluated(evaluations),
+               "audit must compile out at level 0");
+  return evaluations == 0 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// The contracts layer (src/common/check.hpp): exception types, messages,
+// evaluation semantics, and audit-level gating.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace chenfd {
+namespace {
+
+TEST(Contracts, ExpectsFunctionThrowsInvalidArgument) {
+  EXPECT_NO_THROW(expects(true, "fine"));
+  EXPECT_THROW(expects(false, "bad arg"), std::invalid_argument);
+}
+
+TEST(Contracts, EnsuresFunctionThrowsLogicError) {
+  EXPECT_NO_THROW(ensures(true, "fine"));
+  EXPECT_THROW(ensures(false, "broken"), std::logic_error);
+}
+
+TEST(Contracts, ExpectsMacroThrowsInvalidArgumentWithLocation) {
+  try {
+    CHENFD_EXPECTS(false, "macro precondition violated");
+    FAIL() << "CHENFD_EXPECTS(false, ...) did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("macro precondition violated"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos)
+        << "message should carry the source location: " << what;
+  }
+}
+
+TEST(Contracts, EnsuresMacroThrowsLogicError) {
+  EXPECT_NO_THROW(CHENFD_ENSURES(true, "fine"));
+  EXPECT_THROW(CHENFD_ENSURES(false, "invariant broken"), std::logic_error);
+}
+
+TEST(Contracts, ExpectsIsInvalidArgumentNotJustLogicError) {
+  // std::invalid_argument derives from std::logic_error; the distinction
+  // matters for callers that map argument errors to usage messages.
+  bool caught_invalid = false;
+  try {
+    CHENFD_EXPECTS(false, "x");
+  } catch (const std::invalid_argument&) {
+    caught_invalid = true;
+  }
+  EXPECT_TRUE(caught_invalid);
+}
+
+TEST(Contracts, ActiveMacroEvaluatesConditionExactlyOnce) {
+  int evaluations = 0;
+  CHENFD_EXPECTS(++evaluations > 0, "side-effecting condition");
+  EXPECT_EQ(evaluations, 1);
+  CHENFD_ENSURES(++evaluations > 0, "side-effecting condition");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Contracts, AuditMacroFollowsAuditLevel) {
+  // CHENFD_AUDIT is active only at level >= 2 (the asan-ubsan preset);
+  // the default build compiles it out entirely.
+  int evaluations = 0;
+#if CHENFD_AUDIT_LEVEL >= 2
+  EXPECT_THROW(CHENFD_AUDIT(false, "deep invariant"), std::logic_error);
+  CHENFD_AUDIT(++evaluations > 0, "evaluated at level 2");
+  EXPECT_EQ(evaluations, 1);
+#else
+  EXPECT_NO_THROW(CHENFD_AUDIT(false, "inactive below level 2"));
+  CHENFD_AUDIT(++evaluations > 0, "not evaluated below level 2");
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(Contracts, MacrosAreSingleStatements) {
+  // Must compose with unbraced if/else (the do-while(false) idiom).
+  if (true)
+    CHENFD_EXPECTS(true, "then-branch");
+  else
+    CHENFD_ENSURES(true, "else-branch");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace chenfd

@@ -5,11 +5,17 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
+#include "clock/clock.hpp"
 #include "common/rng.hpp"
+#include "core/nfd_e.hpp"
+#include "core/nfd_s.hpp"
+#include "core/nfd_u.hpp"
 #include "qos/recorder.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
 
 namespace chenfd {
 namespace {
@@ -141,6 +147,54 @@ TEST(RecorderModel, RandomSignalsMatchBruteForce) {
       EXPECT_NEAR(rec.mistake_duration().samples()[i], tm[i], 1e-12);
     }
   }
+}
+
+// Injected invariant breaches: each detector's contract layer must reject
+// a deliberately ill-formed use with the documented exception type instead
+// of silently producing a corrupt schedule.
+
+TEST(InvariantBreach, NfdSRejectsDoubleActivation) {
+  sim::Simulator sim;
+  core::NfdS detector(sim, core::NfdSParams{seconds(1.0), seconds(0.5)});
+  detector.activate();
+  EXPECT_THROW(detector.activate(), std::invalid_argument);
+}
+
+TEST(InvariantBreach, NfdSRejectsLateActivation) {
+  // Fig. 6 assumes the detector arms tau_1 at time 0; activating after the
+  // virtual clock has advanced would silently skip freshness points.
+  sim::Simulator sim;
+  core::NfdS detector(sim, core::NfdSParams{seconds(1.0), seconds(0.5)});
+  sim.at(TimePoint(3.0), [] {});
+  sim.run_until(TimePoint(5.0));
+  EXPECT_THROW(detector.activate(), std::invalid_argument);
+}
+
+TEST(InvariantBreach, NfdURejectsHeartbeatWithoutEaProvider) {
+  // NFD-U's freshness points exist only relative to known expected arrival
+  // times; a detector wired without a provider must fail on first use.
+  sim::Simulator sim;
+  const clk::OffsetClock q_clock{Duration::zero()};
+  core::NfdU detector(sim, q_clock,
+                      core::NfdUParams{seconds(1.0), seconds(0.5)},
+                      core::NfdU::EaProvider{});
+  net::Message m;
+  m.seq = 1;
+  m.sent_real = TimePoint(0.0);
+  m.sender_timestamp = m.sent_real;
+  EXPECT_THROW(detector.on_heartbeat(m, TimePoint(0.1)),
+               std::invalid_argument);
+}
+
+TEST(InvariantBreach, NfdERejectsEmptyEstimationWindow) {
+  // Eq. (6.3) averages over the n most recent arrivals; n = 0 would divide
+  // by zero inside the estimator.
+  sim::Simulator sim;
+  const clk::OffsetClock q_clock{Duration::zero()};
+  EXPECT_THROW(
+      core::NfdE(sim, q_clock,
+                 core::NfdEParams{seconds(1.0), seconds(0.5), 0}),
+      std::invalid_argument);
 }
 
 }  // namespace

@@ -187,6 +187,26 @@ TEST(NfdS, LargerDeltaToleratesLargerDelays) {
   EXPECT_EQ(s.log[1], (Transition{TimePoint(4.5), Verdict::kSuspect}));
 }
 
+TEST(NfdS, StaleMessageAtExactFreshnessPointDoesNotRefresh) {
+  // Regression: with delta >> eta, tau_i = i*eta + delta loses low bits, so
+  // (tau_i - delta)/eta can land one ULP below i and a plain floor() puts
+  // the instant tau_i itself in [tau_{i-1}, tau_i).  A heartbeat m_{i-1}
+  // delivered exactly at tau_i was then judged fresh and flipped the output
+  // to Trust even though interval i requires j >= i.  eta=0.05, delta=1.8
+  // makes tau_4 = 2.0 the smallest such instant ((2.0-1.8)/0.05 ~ 3.9999...).
+  Script s(NfdSParams{Duration(0.05), Duration(1.8)});
+  s.deliver(1, 1.86, 0.05);  // fresh in [tau_1, tau_2): Trust at 1.86
+  s.deliver(3, 2.0, 0.05);   // stale at tau_4 = 2.0: index is 4, j = 3 < 4
+  s.run_to(2.01);
+  // Trust at 1.86, Suspect at tau_2 = 1.90, and nothing else — in
+  // particular no spurious Trust at 2.0.
+  ASSERT_EQ(s.log.size(), 2u);
+  EXPECT_EQ(s.log[0], (Transition{TimePoint(1.86), Verdict::kTrust}));
+  EXPECT_EQ(s.log[1].to, Verdict::kSuspect);
+  EXPECT_NEAR(s.log[1].at.seconds(), 1.90, 1e-9);
+  EXPECT_EQ(s.detector.output(), Verdict::kSuspect);
+}
+
 TEST(NfdS, RejectsInvalidParams) {
   sim::Simulator sim;
   EXPECT_THROW(NfdS(sim, NfdSParams{Duration(0.0), Duration(1.0)}),

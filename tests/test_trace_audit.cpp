@@ -1,0 +1,194 @@
+// Transition-trace I/O (qos/trace.hpp), the Theorem 1 renewal-identity
+// auditor (qos/audit.hpp), and the audit_qos CLI round trip.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit_cli.hpp"
+#include "core/nfd_s.hpp"
+#include "core/testbed.hpp"
+#include "dist/exponential.hpp"
+#include "net/loss_model.hpp"
+#include "qos/audit.hpp"
+#include "qos/replay.hpp"
+#include "qos/trace.hpp"
+
+namespace chenfd {
+namespace {
+
+// A mistake-rich NFD-S run: Pr(premature timeout) per freshness point is
+// p_L + (1-p_L) Pr(D > delta) ~= 0.5, so a 4000 s window yields ~10^3
+// complete mistake cycles — enough for the 1/n boundary effects to sit far
+// below the audit tolerance.
+qos::TraceFile simulated_trace(double horizon = 4000.0,
+                               std::uint64_t seed = 7) {
+  const core::NfdSParams params{seconds(1.0), seconds(0.5)};
+  core::Testbed::Config tc;
+  tc.delay = std::make_unique<dist::Exponential>(0.5);
+  tc.loss = std::make_unique<net::BernoulliLoss>(0.2);
+  tc.eta = params.eta;
+  tc.seed = seed;
+  core::Testbed tb(std::move(tc));
+  core::NfdS detector(tb.simulator(), params);
+  tb.attach(detector);
+  qos::TraceFile trace;
+  trace.start = TimePoint::zero() + params.eta + params.delta;  // tau_1
+  trace.end = TimePoint(horizon);
+  detector.add_listener([&trace](const Transition& t) {
+    trace.transitions.push_back(t);
+  });
+  tb.start();
+  tb.simulator().run_until(trace.end);
+  detector.stop();
+  return trace;
+}
+
+TEST(Trace, RoundTripPreservesWindowAndTransitions) {
+  const qos::TraceFile trace = simulated_trace(200.0);
+  ASSERT_FALSE(trace.transitions.empty());
+  std::stringstream ss;
+  qos::write_trace(ss, trace);
+  const qos::TraceFile back = qos::read_trace(ss);
+  EXPECT_EQ(back.start, trace.start);
+  EXPECT_EQ(back.end, trace.end);
+  ASSERT_EQ(back.transitions.size(), trace.transitions.size());
+  for (std::size_t i = 0; i < trace.transitions.size(); ++i) {
+    EXPECT_EQ(back.transitions[i], trace.transitions[i]) << "index " << i;
+  }
+}
+
+TEST(Trace, MalformedInputsFailLoudly) {
+  const auto rejects = [](const std::string& text) {
+    std::istringstream is(text);
+    EXPECT_THROW(qos::read_trace(is), std::invalid_argument) << text;
+  };
+  rejects("");                                 // missing window line
+  rejects("1.5 S\nwindow 0 10\n");             // transition before window
+  rejects("window 10 0\n");                    // end precedes start
+  rejects("window 0 10\nwindow 0 10\n");       // duplicate window
+  rejects("window 0 10\n1.0 X\n");             // unknown verdict
+  rejects("window 0 10\n1.0\n");               // missing verdict
+  rejects("window 0 10\nfoo S\n");             // malformed time
+  rejects("window 0 10\n5.0 S\n4.0 T\n");      // time reversal
+  rejects("window 0 10\n11.0 S\n");            // after the window end
+}
+
+TEST(Trace, WarmUpTransitionsBeforeStartSetTheInitialVerdict) {
+  // `record` captures the detector's whole history but opens the audit
+  // window at tau_1; pre-start transitions must parse (the first heartbeat
+  // often lands before tau_1) and replay must use them to infer the
+  // verdict at the window start rather than defaulting to Suspect.
+  std::istringstream is("window 10 20\n1.0 T\n12.0 S\n15.0 T\n");
+  const qos::TraceFile t = qos::read_trace(is);
+  ASSERT_EQ(t.transitions.size(), 3u);
+  const qos::Recorder rec = qos::replay(t.transitions, t.start, t.end);
+  // Trust on [10,12) and [15,20) out of 10 observed seconds.
+  EXPECT_NEAR(rec.query_accuracy(), 0.7, 1e-12);
+}
+
+TEST(Trace, CommentsAndBlankLinesAreIgnored) {
+  std::istringstream is(
+      "# a trace\n\nwindow 0 10  # inline comment\n1.0 S\n2.0 T\n");
+  const qos::TraceFile t = qos::read_trace(is);
+  EXPECT_EQ(t.start, TimePoint(0.0));
+  EXPECT_EQ(t.end, TimePoint(10.0));
+  ASSERT_EQ(t.transitions.size(), 2u);
+  EXPECT_EQ(t.transitions[0].to, Verdict::kSuspect);
+  EXPECT_EQ(t.transitions[1].to, Verdict::kTrust);
+}
+
+TEST(Audit, Theorem1IdentitiesHoldOnSimulatedNfdSTrace) {
+  const qos::TraceFile trace = simulated_trace();
+  const qos::Recorder rec =
+      qos::replay(trace.transitions, trace.start, trace.end);
+  const qos::AuditReport report = qos::audit_theorem1(rec, 0.1);
+  EXPECT_GE(report.cycles, 200u);
+  for (const auto& c : report.checks) {
+    EXPECT_TRUE(c.ok) << c.name << ": lhs=" << c.lhs << " rhs=" << c.rhs
+                      << " rel.err=" << c.rel_error;
+  }
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Audit, ForwardGoodPeriodIdentityIsExactOnCompleteSamples) {
+  // Part 3c compares the directly integrated E(T_FG) with the formula on
+  // the T_G sample moments; over the same complete sample set the two are
+  // algebraically identical, so the disagreement is pure rounding.
+  const qos::TraceFile trace = simulated_trace(1000.0);
+  const qos::Recorder rec =
+      qos::replay(trace.transitions, trace.start, trace.end);
+  const qos::AuditReport report = qos::audit_theorem1(rec, 1e-9);
+  for (const auto& c : report.checks) {
+    if (c.name.rfind("E(T_FG)", 0) == 0) {
+      EXPECT_TRUE(c.ok) << c.rel_error;
+    }
+  }
+}
+
+TEST(Audit, TamperedWindowBreaksRenewalIdentities) {
+  // Inflating the recorded window end is the kind of silent corruption the
+  // auditor exists for: lambda_M (mistakes per second) collapses while the
+  // T_MR samples are untouched, so lambda_M = 1/E(T_MR) fails loudly.
+  qos::TraceFile trace = simulated_trace();
+  trace.end = TimePoint(trace.end.seconds() * 10.0);
+  const qos::Recorder rec =
+      qos::replay(trace.transitions, trace.start, trace.end);
+  const qos::AuditReport report = qos::audit_theorem1(rec, 0.1);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Audit, TooFewCyclesIsRejected) {
+  const std::vector<Transition> two = {
+      Transition{TimePoint(1.0), Verdict::kTrust},
+      Transition{TimePoint(2.0), Verdict::kSuspect},
+  };
+  const qos::Recorder rec = qos::replay(two, TimePoint(0.0), TimePoint(3.0));
+  EXPECT_THROW(qos::audit_theorem1(rec), std::invalid_argument);
+}
+
+TEST(AuditCli, RecordCheckRoundTripPasses) {
+  std::stringstream trace;
+  const int rec_rc = cli::run_audit(
+      {"record", "--eta", "1", "--delta", "0.5", "--ploss", "0.2", "--mean",
+       "0.5", "--seconds", "4000", "--seed", "11"},
+      trace, trace);
+  ASSERT_EQ(rec_rc, 0);
+  std::ostringstream out;
+  const int check_rc =
+      cli::run_audit({"check", "--tol", "0.1"}, trace, out);
+  EXPECT_EQ(check_rc, 0) << out.str();
+  EXPECT_NE(out.str().find("AUDIT PASSED"), std::string::npos) << out.str();
+}
+
+TEST(AuditCli, CorruptedTraceFailsTheCheck) {
+  std::stringstream trace;
+  ASSERT_EQ(cli::run_audit({"record", "--eta", "1", "--delta", "0.5",
+                            "--ploss", "0.2", "--mean", "0.5", "--seconds",
+                            "4000", "--seed", "11"},
+                           trace, trace),
+            0);
+  // Tamper with the window line: stretch the recorded end tenfold.
+  std::string text = trace.str();
+  const auto pos = text.find("window ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = text.find('\n', pos);
+  text.replace(pos, eol - pos, "window 1.5 40000");
+  std::istringstream corrupted(text);
+  std::ostringstream out;
+  EXPECT_EQ(cli::run_audit({"check", "--tol", "0.1"}, corrupted, out), 1);
+  EXPECT_NE(out.str().find("AUDIT FAILED"), std::string::npos) << out.str();
+}
+
+TEST(AuditCli, MalformedTraceExitsWithUsageError) {
+  std::istringstream garbage("window 0 10\nnot-a-time S\n");
+  std::ostringstream out;
+  EXPECT_EQ(cli::run_audit({"check"}, garbage, out), 2);
+  EXPECT_NE(out.str().find("error:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chenfd

@@ -1,0 +1,31 @@
+// Command logic for the audit_qos tool, separated from main() so the tests
+// can drive it directly (same pattern as cli.hpp / chenfd_calc).
+//
+// audit_qos replays a recorded failure-detector transition trace
+// (qos::read_trace -> qos::replay) and verifies the Theorem 1 renewal
+// identities (qos::audit_theorem1) against the recorder's output.  It can
+// also record such a trace from a simulated NFD-S run, so the round trip
+// record -> check is self-contained.
+
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace chenfd::cli {
+
+/// Executes `audit_qos <command> [--key value]...` where command is:
+///   record  --eta E --delta D --ploss P --mean M --seconds T [--seed S]
+///           writes a transition trace of a simulated NFD-S run to `os`
+///   check   [--tol T] [--start S] [--end E]
+///           reads a trace from `trace_in`, replays it, audits Theorem 1
+/// Returns 0 on success, 1 if the audit found a violated identity, 2 on
+/// usage errors or a malformed trace.
+int run_audit(const std::vector<std::string>& argv, std::istream& trace_in,
+              std::ostream& os);
+
+void print_audit_usage(std::ostream& os);
+
+}  // namespace chenfd::cli

@@ -1,0 +1,30 @@
+// audit_qos: replay a recorded failure-detector transition trace and verify
+// the Theorem 1 renewal identities against the recorder's measurements.
+// See `audit_qos help`.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "audit_cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  // `check --trace FILE` reads the trace from FILE; everything else (and
+  // `check` without --trace) reads from stdin.
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == "--trace") {
+      std::ifstream file(args[i + 1]);
+      if (!file) {
+        std::cerr << "error: cannot open trace file '" << args[i + 1]
+                  << "'\n";
+        return 2;
+      }
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return chenfd::cli::run_audit(args, file, std::cout);
+    }
+  }
+  return chenfd::cli::run_audit(args, std::cin, std::cout);
+}
