@@ -59,6 +59,63 @@ class OffsetClock final : public Clock {
   Duration offset_;
 };
 
+/// Piecewise-linear clock for fault injection: its local reading may jump
+/// (a step discontinuity, as after an NTP correction) or change drift rate
+/// mid-run.  Between adjustments the mapping is affine,
+///
+///   local(real) = base_local + rate * (real - base_real),
+///
+/// and each adjustment rebases (base_real, base_local) at the adjustment
+/// instant.  Conversions are only meaningful for the *current* segment:
+/// components that cache a converted time across an adjustment observe the
+/// discontinuity — which is exactly what the chaos scenarios probe.  With
+/// rate > 0 the segment mapping is strictly monotone, so at any instant
+/// local_now < L implies real(L) > now and timers scheduled through the
+/// clock never land in the past.
+class AdjustableClock final : public Clock {
+ public:
+  explicit AdjustableClock(Duration offset = Duration::zero(),
+                           double rate = 1.0)
+      : base_local_(offset.seconds()), rate_(rate) {
+    expects(rate > 0.0, "AdjustableClock: rate must be positive");
+  }
+
+  [[nodiscard]] TimePoint local(TimePoint real) const override {
+    return TimePoint(base_local_.seconds() +
+                     rate_ * (real - base_real_).seconds());
+  }
+  [[nodiscard]] TimePoint real(TimePoint local_time) const override {
+    return base_real_ +
+           Duration((local_time - base_local_).seconds() / rate_);
+  }
+
+  /// Steps the local reading by `step` (either sign) at real time `at_real`.
+  void jump(TimePoint at_real, Duration step) {
+    rebase(at_real);
+    base_local_ = base_local_ + step;
+  }
+
+  /// Changes the drift rate from real time `at_real` on; the local reading
+  /// itself is continuous across a rate change.
+  void set_rate(TimePoint at_real, double rate) {
+    expects(rate > 0.0, "AdjustableClock::set_rate: rate must be positive");
+    rebase(at_real);
+    rate_ = rate;
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  void rebase(TimePoint at_real) {
+    base_local_ = local(at_real);
+    base_real_ = at_real;
+  }
+
+  TimePoint base_real_ = TimePoint::zero();
+  TimePoint base_local_;
+  double rate_;
+};
+
 /// Clock that drifts at a constant rate: local = offset + rate * real.
 /// rate = 1 + 1e-6 models the "order of 10^-6" drift the paper cites.
 class DriftingClock final : public Clock {

@@ -28,6 +28,12 @@ void NetworkEstimator::on_heartbeat(net::SeqNo seq,
   }
 }
 
+void NetworkEstimator::reset() {
+  obs_.clear();
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
 double NetworkEstimator::loss_probability() const {
   if (obs_.size() < 2) return 0.0;
   const double received = static_cast<double>(obs_.size());
@@ -61,6 +67,11 @@ void TwoComponentEstimator::on_heartbeat(net::SeqNo seq,
                                          TimePoint recv_local) {
   short_.on_heartbeat(seq, sender_timestamp, recv_local);
   long_.on_heartbeat(seq, sender_timestamp, recv_local);
+}
+
+void TwoComponentEstimator::reset() {
+  short_.reset();
+  long_.reset();
 }
 
 double TwoComponentEstimator::loss_probability() const {

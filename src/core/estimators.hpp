@@ -35,6 +35,11 @@ class NetworkEstimator {
   void on_heartbeat(net::SeqNo seq, TimePoint sender_timestamp,
                     TimePoint recv_local);
 
+  /// Forgets every observation (fault-injection epoch reset: after a
+  /// detected network disruption the pre-disruption window no longer
+  /// describes the link).  The next heartbeat starts a fresh window.
+  void reset();
+
   /// Number of received heartbeats currently in the window.
   [[nodiscard]] std::size_t samples() const { return obs_.size(); }
   [[nodiscard]] net::SeqNo highest_seq() const { return highest_seq_; }
@@ -73,6 +78,9 @@ class TwoComponentEstimator {
 
   void on_heartbeat(net::SeqNo seq, TimePoint sender_timestamp,
                     TimePoint recv_local);
+
+  /// Resets both components (see NetworkEstimator::reset).
+  void reset();
 
   [[nodiscard]] double loss_probability() const;
   [[nodiscard]] double delay_mean() const;

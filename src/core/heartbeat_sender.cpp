@@ -22,11 +22,70 @@ void HeartbeatSender::start() {
 
 void HeartbeatSender::crash_at(TimePoint at) {
   expects(at >= sim_.now(), "HeartbeatSender::crash_at: time is in the past");
-  if (crash_time_ && *crash_time_ <= at) return;
-  crash_time_ = at;
-  sim_.at(at, [this, at] {
-    if (!crashed_ && crash_time_ && *crash_time_ == at) crashed_ = true;
-  });
+  if (!fault_schedule_.empty() && fault_schedule_.back().crash) {
+    // Back-to-back crashes: the earliest wins; a later one is a no-op.
+    if (at >= fault_schedule_.back().at) return;
+    fault_schedule_.back().at = at;
+  } else {
+    expects(fault_schedule_.empty() || at >= fault_schedule_.back().at,
+            "HeartbeatSender::crash_at: crash precedes the scheduled "
+            "recovery (crash/recover must alternate in time order)");
+    fault_schedule_.push_back(FaultAt{at, true});
+  }
+  if (fault_schedule_.size() == 1) arm_next_fault();
+}
+
+void HeartbeatSender::recover_at(TimePoint at) {
+  expects(at >= sim_.now(),
+          "HeartbeatSender::recover_at: time is in the past");
+  expects(fault_schedule_.empty() ? crashed_ : fault_schedule_.back().crash,
+          "HeartbeatSender::recover_at: no crash scheduled before the "
+          "recovery");
+  expects(fault_schedule_.empty() || at >= fault_schedule_.back().at,
+          "HeartbeatSender::recover_at: recovery precedes the scheduled "
+          "crash");
+  fault_schedule_.push_back(FaultAt{at, false});
+  if (fault_schedule_.size() == 1) arm_next_fault();
+}
+
+void HeartbeatSender::arm_next_fault() {
+  if (pending_fault_ != 0) {
+    sim_.cancel(pending_fault_);
+    pending_fault_ = 0;
+  }
+  if (fault_schedule_.empty()) return;
+  pending_fault_ =
+      sim_.at(fault_schedule_.front().at, [this] { apply_fault(); });
+}
+
+void HeartbeatSender::apply_fault() {
+  pending_fault_ = 0;
+  const FaultAt fault = fault_schedule_.front();
+  fault_schedule_.pop_front();
+  if (fault.crash) {
+    if (!crashed_) {
+      crashed_ = true;
+      crash_time_ = fault.at;
+      if (pending_send_ != 0) {
+        sim_.cancel(pending_send_);
+        pending_send_ = 0;
+      }
+    }
+  } else if (crashed_) {
+    crashed_ = false;
+    ++recoveries_;
+    // Re-announce immediately (the recovered process's first schedule slot
+    // is "now"), then resume every eta; send_next re-arms the timer.
+    if (started_) send_next();
+  }
+  arm_next_fault();
+}
+
+bool HeartbeatSender::crash_due_now() const {
+  // Robustness against a send and a crash landing on the same instant with
+  // the send event enqueued first: the crash still suppresses the send.
+  return !fault_schedule_.empty() && fault_schedule_.front().crash &&
+         fault_schedule_.front().at <= sim_.now();
 }
 
 void HeartbeatSender::set_eta(Duration new_eta) {
@@ -42,7 +101,7 @@ void HeartbeatSender::set_eta(Duration new_eta) {
 
 void HeartbeatSender::send_next() {
   pending_send_ = 0;
-  if (crashed_ || (crash_time_ && *crash_time_ <= sim_.now())) return;
+  if (crashed_ || crash_due_now()) return;
   const TimePoint now = sim_.now();
   last_send_ = now;
   net::Message m;

@@ -4,9 +4,20 @@
 // A sender can crash at a scheduled time, after which it sends nothing;
 // messages already in flight are unaffected (the link's behaviour is
 // independent of the crash, as the model in Section 3.1 requires).
+//
+// Beyond the paper's crash-stop model, a crashed sender can *recover*
+// (crash-recovery model; see DESIGN.md section 8): at the recovery time it
+// immediately re-announces itself with the next heartbeat and resumes the
+// every-eta schedule on its recovered local clock, sigma'_j = t_rec + j*eta.
+// Sequence numbers continue from where the crash interrupted them, so
+// detectors and estimators can tell a recovery (time gap, contiguous seq)
+// from a partition (time gap matched by a seq gap).  Faults may be chained
+// into crash -> recover -> crash -> ... cycles; scheduling calls must be
+// made in that alternation and in non-decreasing time order.
 
 #pragma once
 
+#include <deque>
 #include <optional>
 
 #include "clock/clock.hpp"
@@ -28,9 +39,17 @@ class HeartbeatSender {
   void start();
 
   /// Crashes p at real time `at` (>= now).  Heartbeats scheduled after `at`
-  /// are not sent.  Idempotent in the sense that only the earliest scheduled
-  /// crash matters.
+  /// are not sent.  Among crashes scheduled back to back (with no recovery
+  /// in between) only the earliest matters; a crash scheduled before an
+  /// already-scheduled recovery is a contract violation.
   void crash_at(TimePoint at);
+
+  /// Recovers p at real time `at` (>= now).  Requires a crash scheduled (or
+  /// already effective) at or before `at` with no other recovery pending —
+  /// the crash/recover schedule must alternate.  On recovery p sends the
+  /// next heartbeat immediately and then resumes the every-eta schedule;
+  /// sequence numbers continue across the outage.
+  void recover_at(TimePoint at);
 
   /// Changes the intersending interval: the next heartbeat is rescheduled
   /// to (last send time + new_eta), or sent immediately if that is already
@@ -39,14 +58,26 @@ class HeartbeatSender {
   void set_eta(Duration new_eta);
 
   [[nodiscard]] bool crashed() const { return crashed_; }
+  /// Time of the most recent effective crash; survives a recovery until the
+  /// next crash fires.  Empty until a scheduled crash takes effect.
   [[nodiscard]] std::optional<TimePoint> crash_time() const {
     return crash_time_;
   }
+  /// Number of recoveries that have taken effect.
+  [[nodiscard]] std::size_t recoveries() const { return recoveries_; }
   [[nodiscard]] net::SeqNo next_seq() const { return next_seq_; }
   [[nodiscard]] Duration eta() const { return eta_; }
 
  private:
+  struct FaultAt {
+    TimePoint at;
+    bool crash;  // false = recovery
+  };
+
   void send_next();
+  void arm_next_fault();
+  void apply_fault();
+  [[nodiscard]] bool crash_due_now() const;
 
   sim::Simulator& sim_;
   net::Link& link_;
@@ -56,6 +87,11 @@ class HeartbeatSender {
   bool started_ = false;
   bool crashed_ = false;
   std::optional<TimePoint> crash_time_;
+  std::size_t recoveries_ = 0;
+  // Pending crash/recover transitions, alternating and time-ordered; the
+  // front is armed as a simulator event.
+  std::deque<FaultAt> fault_schedule_;
+  sim::EventId pending_fault_ = 0;
   sim::EventId pending_send_ = 0;
   TimePoint last_send_{};
 };

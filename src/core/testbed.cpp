@@ -20,11 +20,14 @@ Testbed::Testbed(Config config)
 }
 
 void Testbed::attach(FailureDetector& detector) {
+  expects(!started_, "Testbed::attach: testbed already started");
   detectors_.push_back(&detector);
 }
 
 void Testbed::start() {
+  expects(!started_, "Testbed::start: already started");
   expects(!detectors_.empty(), "Testbed::start: attach a detector first");
+  started_ = true;
   for (FailureDetector* d : detectors_) d->activate();
   sender_.start();
 }

@@ -49,29 +49,39 @@ class Testbed {
   explicit Testbed(Config config);
 
   /// Registers a detector to receive every heartbeat delivery.  Detectors
-  /// must outlive the testbed's run.
+  /// must outlive the testbed's run.  Must precede start().
   void attach(FailureDetector& detector);
 
-  /// Starts the heartbeat schedule.  Call after attaching detectors.
+  /// Starts the heartbeat schedule.  Call exactly once, after attaching
+  /// detectors.
   void start();
 
   /// Crashes p at the given simulated time.
   void crash_p_at(TimePoint at) { sender_.crash_at(at); }
+  /// Recovers p (crash-recovery model): requires a crash scheduled at or
+  /// before `at`; see HeartbeatSender::recover_at.
+  void recover_p_at(TimePoint at) { sender_.recover_at(at); }
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::Link& link() { return *link_; }
   [[nodiscard]] HeartbeatSender& sender() { return sender_; }
   [[nodiscard]] const clk::Clock& p_clock() const { return p_clock_; }
   [[nodiscard]] const clk::Clock& q_clock() const { return q_clock_; }
+  /// Mutable clock handles for fault injection (clock jumps, drift
+  /// changes); the const accessors above remain the detector-facing view.
+  [[nodiscard]] clk::AdjustableClock& p_clock_adjust() { return p_clock_; }
+  [[nodiscard]] clk::AdjustableClock& q_clock_adjust() { return q_clock_; }
   [[nodiscard]] Duration eta() const { return sender_.eta(); }
+  [[nodiscard]] bool started() const { return started_; }
 
  private:
   sim::Simulator sim_;
-  clk::OffsetClock p_clock_;
-  clk::OffsetClock q_clock_;
+  clk::AdjustableClock p_clock_;
+  clk::AdjustableClock q_clock_;
   std::unique_ptr<net::Link> link_;
   HeartbeatSender sender_;
   std::vector<FailureDetector*> detectors_;
+  bool started_ = false;
 };
 
 }  // namespace chenfd::core

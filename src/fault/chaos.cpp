@@ -1,0 +1,441 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/nfd_e.hpp"
+#include "core/testbed.hpp"
+#include "dist/exponential.hpp"
+#include "net/loss_model.hpp"
+#include "qos/audit.hpp"
+#include "qos/replay.hpp"
+#include "service/adaptive.hpp"
+
+namespace chenfd::fault {
+
+double ChaosSchedule::intensity_per_hour() const {
+  const double faults =
+      static_cast<double>(partitions + crash_cycles + duplication_bursts);
+  return faults / (horizon.seconds() / 3600.0);
+}
+
+FaultPlan ChaosSchedule::sample(Rng& rng) const {
+  FaultPlan plan;
+  const std::size_t total = partitions + crash_cycles + duplication_bursts;
+  if (total == 0) return plan;
+  // Faults are placed in disjoint equal slots of the middle 80% of the
+  // horizon: starts in the first quarter of the slot, lengths capped at
+  // half the slot, so faults never overlap or touch the window edges and
+  // crash/recover alternation holds by construction.
+  const double h = horizon.seconds();
+  const double width = 0.8 * h / static_cast<double>(total);
+  std::size_t slot = 0;
+  const auto place = [&](double min_len, double max_len) {
+    const double slot_begin = 0.1 * h + static_cast<double>(slot) * width;
+    ++slot;
+    const double start = slot_begin + rng.uniform(0.0, 0.25 * width);
+    const double len = std::min(rng.uniform(min_len, max_len), 0.5 * width);
+    return Window{TimePoint(start), TimePoint(start + len)};
+  };
+  for (std::size_t i = 0; i < partitions; ++i) {
+    const Window w = place(partition_min.seconds(), partition_max.seconds());
+    plan.partition(w.begin, w.end);
+  }
+  for (std::size_t i = 0; i < crash_cycles; ++i) {
+    const Window w = place(downtime_min.seconds(), downtime_max.seconds());
+    plan.crash_p(w.begin).recover_p(w.end);
+  }
+  for (std::size_t i = 0; i < duplication_bursts; ++i) {
+    const Window w = place(burst_length.seconds(), burst_length.seconds());
+    plan.duplication_burst(w.begin, w.end, burst_duplication);
+  }
+  return plan;
+}
+
+Verdict verdict_at(const std::vector<Transition>& transitions, TimePoint t) {
+  Verdict v = Verdict::kSuspect;  // detectors start suspecting
+  for (const Transition& tr : transitions) {
+    if (tr.at > t) break;
+    v = tr.to;
+  }
+  return v;
+}
+
+namespace {
+
+/// True iff the detector trusts again within (after, after + slack].
+bool retrusts_within(const std::vector<Transition>& trace, TimePoint after,
+                     Duration slack) {
+  for (const Transition& tr : trace) {
+    if (tr.at <= after) continue;
+    if (tr.at > after + slack) break;
+    if (tr.to == Verdict::kTrust) return true;
+  }
+  return false;
+}
+
+std::string time_str(TimePoint t) {
+  std::ostringstream os;
+  os << t.seconds() << "s";
+  return os.str();
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, Rng& rng) {
+  expects(!spec.name.empty(), "run_scenario: scenario must be named");
+  expects(spec.horizon > Duration::zero(),
+          "run_scenario: horizon must be positive");
+
+  ScenarioResult result;
+  result.name = spec.name;
+  result.family = spec.family;
+  result.fault_intensity = spec.fault_intensity;
+  result.adaptive = spec.adaptive;
+  result.horizon = TimePoint::zero() + spec.horizon;
+
+  // The testbed's own stochastic components (delays, losses) draw from a
+  // seed derived from the scenario substream, keeping the whole scenario a
+  // pure function of (spec, substream).
+  const std::uint64_t testbed_seed = rng();
+  core::Testbed::Config config;
+  config.delay = std::make_unique<dist::Exponential>(spec.delay_mean_s);
+  config.loss = std::make_unique<net::BernoulliLoss>(spec.base_loss);
+  config.eta = spec.eta;
+  config.seed = testbed_seed;
+  core::Testbed testbed(std::move(config));
+
+  FaultPlan plan = spec.chaos.sample(rng);
+  if (spec.scripted) spec.scripted(plan);
+
+  std::unique_ptr<core::NfdE> fixed;
+  std::unique_ptr<service::AdaptiveMonitor> monitor;
+  core::FailureDetector* detector = nullptr;
+  if (spec.adaptive) {
+    service::AdaptiveMonitor::Options options;
+    options.requirements = core::RelativeRequirements{
+        spec.eta + spec.alpha, spec.t_mr_lower, spec.t_m_upper};
+    options.initial = core::NfdEParams{spec.eta, spec.alpha, spec.window};
+    options.reconfig_interval = spec.reconfig_interval;
+    monitor = std::make_unique<service::AdaptiveMonitor>(
+        testbed.simulator(), testbed.q_clock(), testbed.sender(), options);
+    detector = monitor.get();
+  } else {
+    fixed = std::make_unique<core::NfdE>(
+        testbed.simulator(), testbed.q_clock(),
+        core::NfdEParams{spec.eta, spec.alpha, spec.window});
+    detector = fixed.get();
+  }
+  detector->add_listener(
+      [&result](const Transition& t) { result.trace.push_back(t); });
+  testbed.attach(*detector);
+  plan.arm(testbed);
+
+  // Ground truth the oracles check against, clipped to the horizon.
+  std::vector<Window> outages;
+  for (const Window& w : plan.outage_windows()) {
+    if (w.begin >= result.horizon) continue;
+    outages.push_back(Window{w.begin, std::min(w.end, result.horizon)});
+  }
+  result.outages = outages.size();
+
+  // Graceful-degradation probes: shortly after each outage ends the risk
+  // flag must still be latched (revalidation needs a fresh estimation
+  // window, which takes several heartbeats to prime).
+  if (monitor) {
+    for (const Window& w : outages) {
+      const TimePoint probe =
+          std::min(w.end + spec.eta * 2.0, result.horizon);
+      testbed.simulator().at(probe, [&result, m = monitor.get()] {
+        if (m->qos_at_risk()) result.risk_during_fault = true;
+      });
+    }
+  }
+
+  testbed.start();
+  testbed.simulator().run_until(result.horizon);
+
+  if (monitor) {
+    result.epoch_resets = monitor->epoch_resets();
+    result.reconfigurations = monitor->reconfigurations();
+    result.risk_clear_at_end = !monitor->qos_at_risk();
+  }
+
+  // ---- metrics ----------------------------------------------------------
+  const qos::Recorder recorder =
+      qos::replay(result.trace, TimePoint::zero(), result.horizon);
+  result.availability = recorder.query_accuracy();
+  result.mistake_rate = recorder.mistake_rate();
+  result.mean_mistake_s = recorder.mistake_duration().count() > 0
+                              ? recorder.mistake_duration().mean()
+                              : 0.0;
+  result.s_transitions = recorder.s_transitions();
+  result.transitions = result.trace.size();
+
+  // ---- oracles ----------------------------------------------------------
+  auto violate = [&result](const std::string& what) {
+    result.violations.push_back(what);
+  };
+
+  for (const Window& w : outages) {
+    // Suspicion: an outage longer than the detection bound plus slack must
+    // be noticed both by suspect_slack into the outage and at its end (no
+    // heartbeat can have gotten through in between).
+    if (w.length() > spec.suspect_slack) {
+      for (const TimePoint check : {w.begin + spec.suspect_slack, w.end}) {
+        if (verdict_at(result.trace, check) != Verdict::kSuspect) {
+          violate("not suspecting at " + time_str(check) + " during outage [" +
+                  time_str(w.begin) + ", " + time_str(w.end) + "]");
+        }
+      }
+    }
+    // Re-trust: after the heal/recovery the detector must trust again
+    // within the scenario bound (window refill included).
+    if (w.end + spec.retrust_slack <= result.horizon &&
+        !retrusts_within(result.trace, w.end, spec.retrust_slack)) {
+      violate("no re-trust within " +
+              std::to_string(spec.retrust_slack.seconds()) +
+              "s after outage ending at " + time_str(w.end));
+    }
+  }
+
+  if (spec.adaptive && !outages.empty()) {
+    if (!result.risk_during_fault) {
+      violate("qos_at_risk never raised around an outage");
+    }
+    if (!result.risk_clear_at_end) {
+      violate("qos_at_risk still latched at the horizon");
+    }
+    if (result.epoch_resets == 0) {
+      violate("no discontinuity epoch reset despite an outage");
+    }
+  }
+  if (spec.adaptive) {
+    const auto& est = monitor->estimator();
+    if (!std::isfinite(est.loss_probability()) ||
+        !std::isfinite(est.delay_variance()) ||
+        !std::isfinite(est.delay_mean())) {
+      violate("adaptive estimates are not finite at the horizon");
+    }
+  }
+
+  if (spec.audit) {
+    try {
+      const qos::AuditReport report =
+          qos::audit_theorem1(recorder, spec.audit_tolerance);
+      result.audit_cycles = report.cycles;
+      for (const qos::IdentityCheck& check : report.checks) {
+        if (!check.ok) {
+          std::ostringstream os;
+          os << "audit: " << check.name << " off by rel " << check.rel_error;
+          violate(os.str());
+        }
+      }
+    } catch (const std::invalid_argument& e) {
+      violate(std::string("audit: ") + e.what());
+    }
+  }
+
+  result.ok = result.violations.empty();
+  return result;
+}
+
+std::vector<ScenarioResult> run_suite(const std::vector<ScenarioSpec>& specs,
+                                      std::uint64_t root_seed,
+                                      const runner::RunnerOptions& opts) {
+  return runner::parallel_map<ScenarioResult>(
+      specs.size(), root_seed, opts,
+      [&specs](std::size_t i, Rng& rng) {
+        return run_scenario(specs[i], rng);
+      });
+}
+
+namespace {
+
+ScenarioSpec base_spec(std::string name, std::string family,
+                       double intensity) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.family = std::move(family);
+  spec.fault_intensity = intensity;
+  return spec;
+}
+
+void add_smoke(std::vector<ScenarioSpec>& out) {
+  {
+    // Two random partitions over a short horizon; high base loss keeps the
+    // Theorem 1 audit supplied with mistake cycles.
+    ScenarioSpec s = base_spec("smoke-partition", "smoke", 2.0);
+    s.base_loss = 0.2;
+    s.alpha = seconds(0.3);
+    s.horizon = seconds(1200.0);
+    s.chaos.horizon = s.horizon;
+    s.chaos.partitions = 2;
+    s.chaos.partition_min = seconds(30.0);
+    s.chaos.partition_max = seconds(60.0);
+    s.retrust_slack = seconds(30.0);
+    out.push_back(std::move(s));
+  }
+  {
+    // A scripted crash -> recover -> crash -> recover cycle: sequence
+    // numbers continue across each outage, and NFD-E must re-trust after
+    // its estimation window refills.
+    ScenarioSpec s = base_spec("smoke-crash-recover", "smoke", 2.0);
+    s.base_loss = 0.2;
+    s.alpha = seconds(0.3);
+    s.horizon = seconds(1200.0);
+    s.scripted = [](FaultPlan& plan) {
+      plan.crash_p(TimePoint(400.0))
+          .recover_p(TimePoint(480.0))
+          .crash_p(TimePoint(700.0))
+          .recover_p(TimePoint(760.0));
+    };
+    s.retrust_slack = seconds(60.0);
+    out.push_back(std::move(s));
+  }
+}
+
+void add_full(std::vector<ScenarioSpec>& out) {
+  // flaky-link: escalating loss with a bursty (Gilbert-Elliott) middle
+  // third — the degradation curve's x-axis is the marginal loss level.
+  for (const double loss : {0.05, 0.15, 0.30}) {
+    std::ostringstream name;
+    name << "flaky-link-" << loss;
+    ScenarioSpec s = base_spec(name.str(), "flaky-link", loss);
+    s.base_loss = loss;
+    s.alpha = seconds(0.3);
+    s.horizon = seconds(3000.0);
+    s.scripted = [loss](FaultPlan& plan) {
+      plan.swap_loss(TimePoint(1000.0),
+                     std::make_unique<net::GilbertElliottLoss>(
+                         0.05, 0.25, loss / 2.0, std::min(0.95, 3.0 * loss)));
+      plan.swap_loss(TimePoint(2000.0),
+                     std::make_unique<net::BernoulliLoss>(loss));
+    };
+    out.push_back(std::move(s));
+  }
+  {
+    // flap-storm: heartbeat storms (every delivery duplicated) on top of
+    // moderate loss; duplicates must be absorbed by the first-copy rule.
+    ScenarioSpec s = base_spec("flap-storm", "flap-storm", 4.8);
+    s.base_loss = 0.15;
+    s.alpha = seconds(0.3);
+    s.horizon = seconds(3000.0);
+    s.chaos.horizon = s.horizon;
+    s.chaos.duplication_bursts = 4;
+    s.chaos.burst_length = seconds(60.0);
+    s.chaos.burst_duplication = 1.0;
+    out.push_back(std::move(s));
+  }
+  // partition-heal: escalating numbers of random partitions.
+  for (const std::size_t partitions : {std::size_t{2}, std::size_t{5},
+                                       std::size_t{9}}) {
+    std::ostringstream name;
+    name << "partition-heal-" << partitions;
+    ScenarioSpec s = base_spec(
+        name.str(), "partition-heal",
+        static_cast<double>(partitions) / (4000.0 / 3600.0));
+    s.base_loss = 0.2;
+    s.alpha = seconds(0.3);
+    s.horizon = seconds(4000.0);
+    s.chaos.horizon = s.horizon;
+    s.chaos.partitions = partitions;
+    s.chaos.partition_min = seconds(40.0);
+    s.chaos.partition_max = seconds(100.0);
+    s.retrust_slack = seconds(30.0);
+    out.push_back(std::move(s));
+  }
+  {
+    // slow-regime: the delay regime degrades 5x for the middle third, the
+    // q clock drifts slightly and takes a 2s forward step.  No outage
+    // windows — the oracle here is trace consistency under regime shifts.
+    ScenarioSpec s = base_spec("slow-regime", "slow-regime", 4.8);
+    s.base_loss = 0.1;
+    s.alpha = seconds(0.8);
+    s.horizon = seconds(3000.0);
+    s.scripted = [](FaultPlan& plan) {
+      plan.clock_rate_q(TimePoint(500.0), 1.0001);
+      plan.swap_delay(TimePoint(1000.0),
+                      std::make_unique<dist::Exponential>(0.1));
+      plan.swap_delay(TimePoint(2000.0),
+                      std::make_unique<dist::Exponential>(0.02));
+      plan.clock_jump_q(TimePoint(2500.0), seconds(2.0));
+    };
+    out.push_back(std::move(s));
+  }
+  {
+    // crash-recover-cycle: two scripted downtime windows (crash -> recover
+    // -> crash -> recover); re-trust must happen after each recovery even
+    // though the estimation window was poisoned by the downtime shift.
+    ScenarioSpec s = base_spec("crash-recover-cycle", "crash-recover", 1.8);
+    s.base_loss = 0.2;
+    s.alpha = seconds(0.3);
+    s.horizon = seconds(4000.0);
+    s.scripted = [](FaultPlan& plan) {
+      plan.crash_p(TimePoint(1200.0))
+          .recover_p(TimePoint(1360.0))
+          .crash_p(TimePoint(2400.0))
+          .recover_p(TimePoint(2560.0));
+    };
+    s.retrust_slack = seconds(60.0);
+    out.push_back(std::move(s));
+  }
+  {
+    // Adaptive service under a long partition: qos_at_risk must latch
+    // while the partition is live and clear after reconvergence.
+    ScenarioSpec s = base_spec("partition-heal-adaptive", "adaptive", 0.6);
+    s.adaptive = true;
+    s.base_loss = 0.05;
+    s.horizon = seconds(6000.0);
+    s.scripted = [](FaultPlan& plan) {
+      plan.partition(TimePoint(1500.0), TimePoint(1900.0));
+    };
+    s.suspect_slack = seconds(15.0);
+    s.retrust_slack = seconds(60.0);
+    // Mistakes are deliberately rare for a configured service, so the
+    // cycle-hungry Theorem 1 audit does not apply.
+    s.audit = false;
+    out.push_back(std::move(s));
+  }
+  {
+    // Adaptive service across a crash-recovery of p: the discontinuity
+    // epoch reset must restore fast re-trust despite the downtime shift
+    // in the Eq. 6.3 normalization.
+    ScenarioSpec s = base_spec("crash-recover-adaptive", "adaptive", 0.6);
+    s.adaptive = true;
+    s.base_loss = 0.05;
+    s.horizon = seconds(6000.0);
+    s.scripted = [](FaultPlan& plan) {
+      plan.crash_p(TimePoint(2000.0)).recover_p(TimePoint(2300.0));
+    };
+    s.suspect_slack = seconds(15.0);
+    s.retrust_slack = seconds(60.0);
+    s.audit = false;
+    out.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> suite_names() { return {"smoke", "full"}; }
+
+std::vector<ScenarioSpec> suite(const std::string& name) {
+  std::vector<ScenarioSpec> out;
+  if (name == "smoke") {
+    add_smoke(out);
+  } else if (name == "full") {
+    add_smoke(out);
+    add_full(out);
+  } else {
+    throw std::invalid_argument("unknown chaos suite '" + name +
+                                "' (known: smoke, full)");
+  }
+  return out;
+}
+
+}  // namespace chenfd::fault

@@ -1,0 +1,156 @@
+// Chaos suites: named fault-injection scenarios with per-scenario oracles
+// (DESIGN.md section 8).
+//
+// Each scenario runs the full discrete-event testbed — heartbeat sender,
+// probabilistic link, failure detector — under a FaultPlan combining a
+// scripted part (fixed fault times, so the oracles know exactly what was
+// injected) with a randomized part sampled by ChaosSchedule from the
+// scenario's RNG substream.  The oracles then check the recorded output
+// signal against the plan:
+//
+//   - suspicion: during every outage (partition or p-downtime) longer than
+//     the detection bound plus slack, the detector must be suspecting
+//     before the outage ends;
+//   - re-trust: after every heal/recovery the detector must trust again
+//     within a scenario-specific bound;
+//   - trace consistency: the Theorem 1 renewal identities, measured on
+//     both sides independently (qos::audit_theorem1), must hold on the
+//     recorded signal — they are identities of *any* ergodic output
+//     signal, so they remain valid oracles under faults;
+//   - graceful degradation (adaptive scenarios): qos_at_risk must be
+//     raised while the disruption is live and cleared once the hardened
+//     service reconverges, with finite estimates throughout.
+//
+// Determinism: scenario i of a suite draws from substream i of the root
+// seed (runner::parallel_map), so a suite produces bit-identical results
+// for any --jobs count.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/verdict.hpp"
+#include "fault/fault_plan.hpp"
+#include "runner/parallel_sweep.hpp"
+
+namespace chenfd::fault {
+
+/// Samples randomized fault plans: the requested faults are placed in
+/// disjoint equal slots of the middle 80% of the horizon (so faults never
+/// overlap and crash/recover alternation holds by construction), with the
+/// exact position and length of each fault drawn from the supplied RNG.
+struct ChaosSchedule {
+  Duration horizon = seconds(4000.0);
+  std::size_t partitions = 0;
+  Duration partition_min = seconds(30.0);
+  Duration partition_max = seconds(120.0);
+  std::size_t crash_cycles = 0;  ///< crash -> recover pairs
+  Duration downtime_min = seconds(30.0);
+  Duration downtime_max = seconds(120.0);
+  std::size_t duplication_bursts = 0;  ///< heartbeat storms
+  Duration burst_length = seconds(30.0);
+  double burst_duplication = 1.0;
+
+  /// Number of faults the schedule injects per hour of horizon.
+  [[nodiscard]] double intensity_per_hour() const;
+
+  [[nodiscard]] FaultPlan sample(Rng& rng) const;
+};
+
+/// One named chaos scenario: baseline network + fault script + oracles.
+struct ScenarioSpec {
+  std::string name;
+  std::string family;       ///< degradation-curve grouping key
+  double fault_intensity = 0.0;  ///< x-axis of the degradation curve
+
+  // Baseline network and detector.
+  double delay_mean_s = 0.02;
+  double base_loss = 0.05;
+  Duration eta = seconds(1.0);
+  Duration alpha = seconds(0.5);
+  std::size_t window = 32;
+  Duration horizon = seconds(4000.0);
+
+  /// False: fixed-parameter NFD-E is the system under test.  True: the
+  /// hardened service::AdaptiveMonitor is, and the graceful-degradation
+  /// probes below apply.
+  bool adaptive = false;
+  Duration reconfig_interval = seconds(40.0);
+  Duration t_mr_lower = seconds(300.0);
+  Duration t_m_upper = seconds(60.0);
+
+  ChaosSchedule chaos;  ///< randomized faults (sampled per substream)
+  /// Scripted faults with fixed times, appended to the sampled plan.
+  std::function<void(FaultPlan&)> scripted;
+
+  // Oracle configuration.
+  /// Suspect-during-outage: only outages longer than this are checked (it
+  /// must exceed the worst-case detection bound).
+  Duration suspect_slack = seconds(10.0);
+  /// Re-trust within this after a heal/recovery.
+  Duration retrust_slack = seconds(60.0);
+  /// Run the Theorem 1 trace audit (needs >= 2 mistake cycles).
+  bool audit = true;
+  double audit_tolerance = 0.15;
+};
+
+/// Everything measured about one scenario run.  Fields are either exact
+/// (counts, booleans) or doubles derived deterministically from the
+/// substream, so results are bit-comparable across --jobs counts.
+struct ScenarioResult {
+  std::string name;
+  std::string family;
+  double fault_intensity = 0.0;
+  bool ok = false;
+  std::vector<std::string> violations;
+
+  // Degradation metrics over the whole horizon.
+  double availability = 0.0;      ///< P_A
+  double mistake_rate = 0.0;      ///< lambda_M (1/s)
+  double mean_mistake_s = 0.0;    ///< E(T_M), 0 if no complete mistakes
+  std::size_t s_transitions = 0;
+  std::size_t transitions = 0;
+  std::size_t outages = 0;
+  std::size_t audit_cycles = 0;
+
+  // Adaptive-only observability.
+  bool adaptive = false;
+  std::size_t epoch_resets = 0;
+  std::size_t reconfigurations = 0;
+  bool risk_during_fault = false;
+  bool risk_clear_at_end = false;
+
+  /// The recorded output signal (window [0, horizon]) for trace dumps and
+  /// external audits (tools/audit_qos).
+  std::vector<Transition> trace;
+  TimePoint horizon;
+};
+
+/// The named suites.  "smoke" is a two-scenario subset sized for CI;
+/// "full" covers every family (flaky-link, flap-storm, partition-heal,
+/// slow-regime, crash-recover-cycle, plus the adaptive variants).
+[[nodiscard]] std::vector<ScenarioSpec> suite(const std::string& name);
+[[nodiscard]] std::vector<std::string> suite_names();
+
+/// Runs one scenario against substream `rng`; evaluates its oracles.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec, Rng& rng);
+
+/// Runs every scenario of `specs` on the deterministic parallel runner:
+/// scenario i uses substream i of `root_seed`, results come back in
+/// scenario order, bit-identical for any jobs count.
+[[nodiscard]] std::vector<ScenarioResult> run_suite(
+    const std::vector<ScenarioSpec>& specs, std::uint64_t root_seed,
+    const runner::RunnerOptions& opts = {});
+
+/// The detector's verdict at time `t` given its transition history
+/// (detectors start suspecting).  Exposed for the oracle tests.
+[[nodiscard]] Verdict verdict_at(const std::vector<Transition>& transitions,
+                                 TimePoint t);
+
+}  // namespace chenfd::fault

@@ -1,0 +1,196 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chenfd::fault {
+
+FaultPlan& FaultPlan::push(Event event) {
+  expects(!armed_, "FaultPlan: cannot add events to an armed plan");
+  expects(event.at >= TimePoint::zero(),
+          "FaultPlan: event time must be non-negative");
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_p(TimePoint at) {
+  return push(Event{Kind::kCrash, at});
+}
+
+FaultPlan& FaultPlan::recover_p(TimePoint at) {
+  return push(Event{Kind::kRecover, at});
+}
+
+FaultPlan& FaultPlan::partition(TimePoint from, TimePoint until) {
+  expects(until > from, "FaultPlan::partition: window must be non-empty");
+  push(Event{Kind::kPartitionOn, from});
+  return push(Event{Kind::kPartitionOff, until});
+}
+
+FaultPlan& FaultPlan::swap_delay(
+    TimePoint at, std::unique_ptr<dist::DelayDistribution> delay) {
+  expects(delay != nullptr, "FaultPlan::swap_delay: null distribution");
+  Event e{Kind::kSwapDelay, at};
+  e.delay = std::move(delay);
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::swap_loss(TimePoint at,
+                                std::unique_ptr<net::LossModel> loss) {
+  expects(loss != nullptr, "FaultPlan::swap_loss: null loss model");
+  Event e{Kind::kSwapLoss, at};
+  e.loss = std::move(loss);
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::clock_jump_p(TimePoint at, Duration step) {
+  Event e{Kind::kClockJumpP, at};
+  e.step = step;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::clock_jump_q(TimePoint at, Duration step) {
+  Event e{Kind::kClockJumpQ, at};
+  e.step = step;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::clock_rate_p(TimePoint at, double rate) {
+  expects(rate > 0.0, "FaultPlan::clock_rate_p: rate must be positive");
+  Event e{Kind::kClockRateP, at};
+  e.value = rate;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::clock_rate_q(TimePoint at, double rate) {
+  expects(rate > 0.0, "FaultPlan::clock_rate_q: rate must be positive");
+  Event e{Kind::kClockRateQ, at};
+  e.value = rate;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::duplication_burst(TimePoint from, TimePoint until,
+                                        double p) {
+  expects(until > from,
+          "FaultPlan::duplication_burst: window must be non-empty");
+  expects(p >= 0.0 && p <= 1.0,
+          "FaultPlan::duplication_burst: p must be in [0, 1]");
+  Event on{Kind::kDuplicationOn, from};
+  on.value = p;
+  push(std::move(on));
+  return push(Event{Kind::kDuplicationOff, until});
+}
+
+std::vector<FaultPlan::Event> FaultPlan::sorted_events() const {
+  std::vector<Event> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+  return sorted;
+}
+
+void FaultPlan::arm(core::Testbed& testbed) {
+  expects(!armed_, "FaultPlan::arm: plan already armed");
+  armed_ = true;
+  sim::Simulator& sim = testbed.simulator();
+  for (Event& ev : sorted_events()) {
+    switch (ev.kind) {
+      case Kind::kCrash:
+        // The sender keeps its own crash/recover schedule (and enforces
+        // the alternation contract); no simulator event needed here.
+        testbed.crash_p_at(ev.at);
+        break;
+      case Kind::kRecover:
+        testbed.recover_p_at(ev.at);
+        break;
+      case Kind::kPartitionOn:
+        sim.at(ev.at, [&testbed] { testbed.link().set_partitioned(true); });
+        break;
+      case Kind::kPartitionOff:
+        sim.at(ev.at, [&testbed] { testbed.link().set_partitioned(false); });
+        break;
+      case Kind::kSwapDelay:
+        sim.at(ev.at, [&testbed, d = ev.delay] {
+          testbed.link().set_delay(d->clone());
+        });
+        break;
+      case Kind::kSwapLoss:
+        sim.at(ev.at, [&testbed, l = ev.loss] {
+          testbed.link().set_loss(l->clone());
+        });
+        break;
+      case Kind::kClockJumpP:
+        sim.at(ev.at, [&testbed, step = ev.step] {
+          auto& clock = testbed.p_clock_adjust();
+          clock.jump(testbed.simulator().now(), step);
+        });
+        break;
+      case Kind::kClockJumpQ:
+        sim.at(ev.at, [&testbed, step = ev.step] {
+          auto& clock = testbed.q_clock_adjust();
+          clock.jump(testbed.simulator().now(), step);
+        });
+        break;
+      case Kind::kClockRateP:
+        sim.at(ev.at, [&testbed, rate = ev.value] {
+          auto& clock = testbed.p_clock_adjust();
+          clock.set_rate(testbed.simulator().now(), rate);
+        });
+        break;
+      case Kind::kClockRateQ:
+        sim.at(ev.at, [&testbed, rate = ev.value] {
+          auto& clock = testbed.q_clock_adjust();
+          clock.set_rate(testbed.simulator().now(), rate);
+        });
+        break;
+      case Kind::kDuplicationOn:
+        sim.at(ev.at, [&testbed, p = ev.value] {
+          testbed.link().set_duplication_probability(p);
+        });
+        break;
+      case Kind::kDuplicationOff:
+        sim.at(ev.at,
+               [&testbed] { testbed.link().set_duplication_probability(0.0); });
+        break;
+    }
+  }
+}
+
+std::vector<Window> FaultPlan::partition_windows() const {
+  std::vector<Window> out;
+  for (const Event& ev : sorted_events()) {
+    if (ev.kind == Kind::kPartitionOn) {
+      out.push_back(Window{ev.at, TimePoint::infinity()});
+    } else if (ev.kind == Kind::kPartitionOff && !out.empty() &&
+               out.back().end.is_infinite()) {
+      out.back().end = ev.at;
+    }
+  }
+  return out;
+}
+
+std::vector<Window> FaultPlan::downtime_windows() const {
+  std::vector<Window> out;
+  for (const Event& ev : sorted_events()) {
+    if (ev.kind == Kind::kCrash) {
+      out.push_back(Window{ev.at, TimePoint::infinity()});
+    } else if (ev.kind == Kind::kRecover && !out.empty() &&
+               out.back().end.is_infinite()) {
+      out.back().end = ev.at;
+    }
+  }
+  return out;
+}
+
+std::vector<Window> FaultPlan::outage_windows() const {
+  std::vector<Window> out = partition_windows();
+  const std::vector<Window> down = downtime_windows();
+  out.insert(out.end(), down.begin(), down.end());
+  std::sort(out.begin(), out.end(), [](const Window& a, const Window& b) {
+    return a.begin < b.begin;
+  });
+  return out;
+}
+
+}  // namespace chenfd::fault

@@ -1,0 +1,138 @@
+// Deterministic fault scripts for the two-process testbed (DESIGN.md
+// section 8).
+//
+// A FaultPlan is a schedule of timed fault events against a core::Testbed:
+//
+//   - crash/recover of the monitored process p (crash-recovery model;
+//     sequence numbers continue across the outage),
+//   - partition/heal of the link (drop-all state distinct from the loss
+//     model, see net::Link::set_partitioned),
+//   - swapping the delay distribution or loss model mid-run (regime shift),
+//   - clock jumps and clock-rate changes on either process's local clock,
+//   - heartbeat storms: windows during which every delivery is duplicated.
+//
+// Plans are built with chainable builder calls in any order, then armed
+// once against a testbed: arm() sorts the events by time and schedules
+// them on the testbed's simulator, so the same plan object is also the
+// ground truth the chaos oracles check against (partition_windows(),
+// downtime_windows() report exactly what was injected).
+//
+// Everything is deterministic: a plan replays identically for a given
+// testbed seed, and ChaosSchedule (chaos.hpp) samples randomized plans
+// from explicit RNG substreams so chaos suites are bit-reproducible for
+// any --jobs count.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/testbed.hpp"
+#include "dist/distribution.hpp"
+#include "net/loss_model.hpp"
+
+namespace chenfd::fault {
+
+/// A closed time interval during which a fault held the system down.
+struct Window {
+  TimePoint begin;
+  TimePoint end;
+
+  [[nodiscard]] Duration length() const { return end - begin; }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(FaultPlan&&) = default;
+  FaultPlan& operator=(FaultPlan&&) = default;
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // ---- builders (chainable; call in any order, times are sorted at arm) --
+
+  /// Crashes p at `at`.  Crash/recover events must alternate in time order
+  /// (enforced when the plan is armed).
+  FaultPlan& crash_p(TimePoint at);
+  /// Recovers p at `at` (> the preceding crash time).
+  FaultPlan& recover_p(TimePoint at);
+  /// Severs the link on [from, until): every send in the window is dropped.
+  FaultPlan& partition(TimePoint from, TimePoint until);
+  /// Swaps the link's delay distribution at `at` (regime shift).
+  FaultPlan& swap_delay(TimePoint at,
+                        std::unique_ptr<dist::DelayDistribution> delay);
+  /// Swaps the link's loss model at `at`.
+  FaultPlan& swap_loss(TimePoint at, std::unique_ptr<net::LossModel> loss);
+  /// Steps p's (resp. q's) local clock by `step` at real time `at`.
+  FaultPlan& clock_jump_p(TimePoint at, Duration step);
+  FaultPlan& clock_jump_q(TimePoint at, Duration step);
+  /// Changes p's (resp. q's) clock rate (drift) at real time `at`.
+  FaultPlan& clock_rate_p(TimePoint at, double rate);
+  FaultPlan& clock_rate_q(TimePoint at, double rate);
+  /// Heartbeat storm: on [from, until) every delivered message is
+  /// duplicated with probability `p` (1 = every delivery twice); the
+  /// probability returns to 0 at `until`.
+  FaultPlan& duplication_burst(TimePoint from, TimePoint until, double p);
+
+  // ---- execution --------------------------------------------------------
+
+  /// Schedules every event on `testbed`'s simulator (and the crash/recover
+  /// schedule on its sender).  Call exactly once, before running the
+  /// simulation past the earliest event; the plan must outlive the run
+  /// only through the closures it registered, so the plan object itself
+  /// may be queried or destroyed afterwards.
+  void arm(core::Testbed& testbed);
+
+  // ---- ground truth for oracles -----------------------------------------
+
+  /// The partition intervals, in time order.
+  [[nodiscard]] std::vector<Window> partition_windows() const;
+  /// The crash->recover downtime intervals, in time order.  A final crash
+  /// with no recovery yields a window ending at +infinity.
+  [[nodiscard]] std::vector<Window> downtime_windows() const;
+  /// partition_windows() and downtime_windows() merged into one time-ordered
+  /// list: every interval during which no heartbeat can get through.
+  [[nodiscard]] std::vector<Window> outage_windows() const;
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  enum class Kind {
+    kCrash,
+    kRecover,
+    kPartitionOn,
+    kPartitionOff,
+    kSwapDelay,
+    kSwapLoss,
+    kClockJumpP,
+    kClockJumpQ,
+    kClockRateP,
+    kClockRateQ,
+    kDuplicationOn,
+    kDuplicationOff,
+  };
+
+  struct Event {
+    Event(Kind k, TimePoint t) : kind(k), at(t) {}
+
+    Kind kind;
+    TimePoint at;
+    Duration step = Duration::zero();  // clock jumps
+    double value = 0.0;                // rates / probabilities
+    // Swap payloads are shared so the scheduling closures stay copyable
+    // (sim::EventFn is a std::function); the link receives a clone.
+    std::shared_ptr<dist::DelayDistribution> delay;
+    std::shared_ptr<net::LossModel> loss;
+  };
+
+  FaultPlan& push(Event event);
+  [[nodiscard]] std::vector<Event> sorted_events() const;
+
+  std::vector<Event> events_;
+  bool armed_ = false;
+};
+
+}  // namespace chenfd::fault

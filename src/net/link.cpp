@@ -24,6 +24,11 @@ void Link::set_receiver(Receiver receiver) {
 void Link::send(const Message& m) {
   expects(static_cast<bool>(receiver_), "Link::send: no receiver registered");
   ++sent_;
+  if (partitioned_) {
+    ++dropped_;
+    ++partition_dropped_;
+    return;
+  }
   if (loss_->drop_next(rng_)) {
     ++dropped_;
     return;
@@ -53,8 +58,8 @@ void Link::set_loss(std::unique_ptr<LossModel> loss) {
 }
 
 void Link::set_duplication_probability(double p) {
-  expects(p >= 0.0 && p < 1.0,
-          "Link::set_duplication_probability: p must be in [0,1)");
+  expects(p >= 0.0 && p <= 1.0,
+          "Link::set_duplication_probability: p must be in [0,1]");
   duplication_probability_ = p;
 }
 

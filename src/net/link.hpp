@@ -48,8 +48,18 @@ class Link {
   /// Swaps the loss model (takes effect for subsequent sends).
   void set_loss(std::unique_ptr<LossModel> loss);
   /// Sets the probability that a delivered message is delivered twice
-  /// (second copy with an independent delay).  Default 0.
+  /// (second copy with an independent delay).  Default 0.  p = 1 makes
+  /// every delivery a duplicate pair — the "heartbeat storm" fault.
   void set_duplication_probability(double p);
+
+  /// Severs the path entirely (fault injection): while partitioned every
+  /// send is dropped and counted in partition_dropped_count().  Distinct
+  /// from the loss model, whose state does not advance during a partition —
+  /// a partition is an outage of the path, not part of the loss process.
+  /// Messages already in flight still deliver, mirroring the crash
+  /// semantics of Section 3.1 (the link is independent of the fault).
+  void set_partitioned(bool on) { partitioned_ = on; }
+  [[nodiscard]] bool partitioned() const { return partitioned_; }
 
   [[nodiscard]] const dist::DelayDistribution& delay() const { return *delay_; }
   [[nodiscard]] const LossModel& loss() const { return *loss_; }
@@ -57,6 +67,11 @@ class Link {
   [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
   [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+  /// Sends dropped because the link was partitioned (a subset of
+  /// dropped_count()).
+  [[nodiscard]] std::uint64_t partition_dropped_count() const {
+    return partition_dropped_;
+  }
 
  private:
   void deliver_after(const Message& m, Duration delay);
@@ -67,9 +82,11 @@ class Link {
   Rng rng_;
   Receiver receiver_;
   double duplication_probability_ = 0.0;
+  bool partitioned_ = false;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t partition_dropped_ = 0;
 };
 
 }  // namespace chenfd::net

@@ -33,11 +33,13 @@ class LossModel {
 };
 
 /// Independent losses with fixed probability p_L — the paper's base model.
+/// p = 1 (total blackout) is admitted for fault injection; the QoS analysis
+/// itself assumes p_L < 1, which the configuration procedures enforce.
 class BernoulliLoss final : public LossModel {
  public:
   explicit BernoulliLoss(double p_loss) : p_(p_loss) {
-    expects(p_loss >= 0.0 && p_loss < 1.0,
-            "BernoulliLoss: p must be in [0, 1)");
+    expects(p_loss >= 0.0 && p_loss <= 1.0,
+            "BernoulliLoss: p must be in [0, 1]");
   }
 
   [[nodiscard]] bool drop_next(Rng& rng) override { return rng.bernoulli(p_); }

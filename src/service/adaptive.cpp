@@ -1,5 +1,6 @@
 #include "service/adaptive.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -21,6 +22,10 @@ AdaptiveMonitor::AdaptiveMonitor(sim::Simulator& simulator,
           "AdaptiveMonitor: invalid QoS requirements");
   expects(options_.reconfig_interval > Duration::zero(),
           "AdaptiveMonitor: reconfiguration interval must be positive");
+  expects(options_.silence_factor >= 0.0,
+          "AdaptiveMonitor: silence factor must be non-negative");
+  expects(options_.max_backoff_factor >= 1.0,
+          "AdaptiveMonitor: max backoff factor must be >= 1");
   // Relay the inner detector's output as our own.
   detector_.add_listener(
       [this](const Transition& t) { set_output(t.at, t.to); });
@@ -28,6 +33,7 @@ AdaptiveMonitor::AdaptiveMonitor(sim::Simulator& simulator,
 
 void AdaptiveMonitor::activate() {
   detector_.activate();
+  activated_local_ = q_clock_.local(sim_.now());
   timer_ = sim_.after(options_.reconfig_interval, [this] { reconfigure(); });
 }
 
@@ -38,9 +44,37 @@ void AdaptiveMonitor::stop() {
 }
 
 void AdaptiveMonitor::on_heartbeat(const net::Message& m, TimePoint real_now) {
-  estimator_.on_heartbeat(m.seq, m.sender_timestamp,
-                          q_clock_.local(real_now));
+  const TimePoint local_now = q_clock_.local(real_now);
+  if (options_.silence_factor > 0.0 && last_arrival_local_ &&
+      local_now - *last_arrival_local_ > silence_bound()) {
+    on_discontinuity(m.seq);
+  }
+  last_arrival_local_ = local_now;
+  estimator_.on_heartbeat(m.seq, m.sender_timestamp, local_now);
   detector_.on_heartbeat(m, real_now);
+}
+
+void AdaptiveMonitor::on_discontinuity(net::SeqNo seq) {
+  // The stream resumed after a silence no loss pattern explains: whatever
+  // caused it (partition, crash-recovery of p, a regime shift) breaks both
+  // the sliding estimates and the detector's Eq. 6.3 normalization, which
+  // assume one uninterrupted sending schedule.  Restart estimation at the
+  // resuming heartbeat and treat the QoS as unvalidated until a
+  // reconfiguration round succeeds against post-disruption estimates.
+  ++epoch_resets_;
+  estimator_.reset();
+  smoothed_loss_ = -1.0;
+  smoothed_variance_ = -1.0;
+  detector_.rebase(detector_.params(), seq);
+  raise_risk(RiskReason::kPostDisruption, /*backoff=*/false);
+}
+
+void AdaptiveMonitor::raise_risk(RiskReason reason, bool backoff) {
+  qos_at_risk_ = true;
+  risk_reason_ = reason;
+  if (backoff) {
+    backoff_ = std::min(backoff_ * 2.0, options_.max_backoff_factor);
+  }
 }
 
 void AdaptiveMonitor::update_requirements(
@@ -51,9 +85,28 @@ void AdaptiveMonitor::update_requirements(
 
 void AdaptiveMonitor::reconfigure() {
   if (stopped_) return;
-  timer_ = sim_.after(options_.reconfig_interval, [this] { reconfigure(); });
+  reconfigure_round();
+  if (stopped_) return;
+  timer_ = sim_.after(options_.reconfig_interval * backoff_,
+                      [this] { reconfigure(); });
+}
 
-  // Need enough observations for a meaningful variance estimate.
+void AdaptiveMonitor::reconfigure_round() {
+  // Ongoing silence: the link is effectively down right now.  The window
+  // estimates predate the outage, so reconfiguring from them would encode
+  // a regime that no longer exists — only flag the risk.
+  if (options_.silence_factor > 0.0) {
+    const TimePoint local_now = q_clock_.local(sim_.now());
+    const TimePoint last = last_arrival_local_.value_or(activated_local_);
+    if (local_now - last > silence_bound()) {
+      raise_risk(RiskReason::kSilence, /*backoff=*/false);
+      return;
+    }
+  }
+
+  // Need enough observations for a meaningful variance estimate.  (After an
+  // epoch reset this also holds off revalidation until the fresh window is
+  // primed, keeping the risk latched through the transient.)
   if (estimator_.long_term().samples() < 8) return;
 
   const double raw_loss = options_.use_two_component
@@ -62,6 +115,13 @@ void AdaptiveMonitor::reconfigure() {
   const double raw_variance = options_.use_two_component
                                   ? estimator_.delay_variance()
                                   : estimator_.long_term().delay_variance();
+  if (!std::isfinite(raw_loss) || !std::isfinite(raw_variance) ||
+      raw_loss < 0.0 || raw_variance < 0.0) {
+    // A clock jump or malformed stream produced garbage; configuring from
+    // it would institutionalize the garbage.  Keep the running parameters.
+    raise_risk(RiskReason::kEstimatesUnusable, /*backoff=*/true);
+    return;
+  }
   // Smooth across rounds so single-window noise does not flap the rate.
   const double a = options_.estimate_smoothing;
   smoothed_loss_ =
@@ -72,7 +132,7 @@ void AdaptiveMonitor::reconfigure() {
   const double p_loss = smoothed_loss_;
   const double variance = smoothed_variance_;
   if (p_loss >= 1.0) {
-    qos_at_risk_ = true;
+    raise_risk(RiskReason::kInfeasible, /*backoff=*/true);
     return;
   }
 
@@ -88,10 +148,12 @@ void AdaptiveMonitor::reconfigure() {
     outcome = core::configure_nfd_u(options_.requirements, p_loss, variance);
   }
   if (!outcome.achievable()) {
-    qos_at_risk_ = true;
+    raise_risk(RiskReason::kInfeasible, /*backoff=*/true);
     return;
   }
   qos_at_risk_ = false;
+  risk_reason_ = RiskReason::kNone;
+  backoff_ = 1.0;
 
   const core::NfdUParams target = *outcome.params;
   const double eta_now = detector_.params().eta.seconds();

@@ -19,10 +19,31 @@
 // If the current estimates make the registered QoS unachievable (Theorem 12
 // case 2), the service keeps its previous parameters and raises the
 // qos_at_risk flag for applications to inspect.
+//
+// Graceful degradation under faults (beyond the paper's failure-free
+// model; see DESIGN.md section 8): the service survives partitions,
+// crash-recovery of p, and delay/loss regime shifts without poisoning its
+// estimators.
+//
+//   - Discontinuity epoch reset.  A heartbeat arriving after a silence
+//     longer than silence_factor * eta means the stream was interrupted
+//     (partition, crash-recovery): the sliding estimates and the
+//     detector's Eq. 6.3 window mix incompatible regimes, so both are
+//     reset and estimation restarts from the resuming heartbeat.
+//   - qos_at_risk is latched with a reason code: it stays raised from the
+//     moment a disruption (or an infeasible target) is detected until a
+//     reconfiguration round succeeds against post-disruption estimates.
+//     During an ongoing silence the estimates are stale, so the round
+//     only flags the risk and leaves the running parameters alone.
+//   - Bounded backoff.  While targets are infeasible the reconfiguration
+//     interval doubles per failed round up to max_backoff_factor, so a
+//     degraded network is not hammered with doomed renegotiations; the
+//     first success resets the interval.
 
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 #include "clock/clock.hpp"
 #include "core/config.hpp"
@@ -55,6 +76,25 @@ class AdaptiveMonitor final : public core::FailureDetector {
     /// flip feasibility and flap the rate; headroom buys stability at a
     /// small bandwidth cost.
     double recurrence_safety_factor = 2.0;
+    /// Discontinuity detector: a gap between consecutive arrivals longer
+    /// than silence_factor * eta (current detector eta) is treated as a
+    /// network disruption and triggers the epoch reset described in the
+    /// file comment.  At p_L = 0.5 a false trigger needs 8 consecutive
+    /// losses (p ~ 0.4%); a false reset costs one window refill, nothing
+    /// more.  0 disables the detector.
+    double silence_factor = 8.0;
+    /// Cap on the reconfiguration-interval backoff multiplier applied
+    /// while targets are infeasible.
+    double max_backoff_factor = 8.0;
+  };
+
+  /// Why qos_at_risk() is raised.
+  enum class RiskReason {
+    kNone,              ///< not at risk
+    kInfeasible,        ///< Theorem 12 case 2 under current estimates
+    kEstimatesUnusable, ///< non-finite / out-of-domain estimates
+    kSilence,           ///< no heartbeat for longer than the silence bound
+    kPostDisruption,    ///< epoch reset done, QoS not yet revalidated
   };
 
   AdaptiveMonitor(sim::Simulator& simulator, const clk::Clock& q_clock,
@@ -71,10 +111,17 @@ class AdaptiveMonitor final : public core::FailureDetector {
   [[nodiscard]] core::NfdUParams current_params() const {
     return detector_.params();
   }
-  /// True if the last reconfiguration attempt found the target
-  /// unachievable under current network estimates.
+  /// True while the registered QoS is not validated against current
+  /// network estimates — because the last reconfiguration found the target
+  /// unachievable, or because a disruption was detected and no round has
+  /// succeeded since.  Latched; cleared only by a successful round.
   [[nodiscard]] bool qos_at_risk() const { return qos_at_risk_; }
+  [[nodiscard]] RiskReason risk_reason() const { return risk_reason_; }
   [[nodiscard]] std::size_t reconfigurations() const { return reconfigs_; }
+  /// Discontinuity epoch resets performed (see file comment).
+  [[nodiscard]] std::size_t epoch_resets() const { return epoch_resets_; }
+  /// Current reconfiguration-interval backoff multiplier (1 = no backoff).
+  [[nodiscard]] double backoff_factor() const { return backoff_; }
   /// Current detection-time bound *relative to E(D)* (Section 6.2):
   /// T_D <= this + E(D).  With unsynchronized clocks the absolute E(D) is
   /// unknowable from one-way messages — the arrival-minus-timestamp mean
@@ -89,6 +136,12 @@ class AdaptiveMonitor final : public core::FailureDetector {
 
  private:
   void reconfigure();
+  void reconfigure_round();
+  void on_discontinuity(net::SeqNo seq);
+  void raise_risk(RiskReason reason, bool backoff);
+  [[nodiscard]] Duration silence_bound() const {
+    return detector_.params().eta * options_.silence_factor;
+  }
 
   sim::Simulator& sim_;
   const clk::Clock& q_clock_;
@@ -97,9 +150,16 @@ class AdaptiveMonitor final : public core::FailureDetector {
   core::NfdE detector_;
   core::TwoComponentEstimator estimator_;
   bool qos_at_risk_ = false;
+  RiskReason risk_reason_ = RiskReason::kNone;
   std::size_t reconfigs_ = 0;
+  std::size_t epoch_resets_ = 0;
+  double backoff_ = 1.0;
   sim::EventId timer_ = 0;
   bool stopped_ = false;
+  // Local arrival time of the newest heartbeat (empty before the first);
+  // activation time seeds the silence detector for a blackout-from-start.
+  std::optional<TimePoint> last_arrival_local_;
+  TimePoint activated_local_{};
   // EWMA state for the configuration inputs (negative = not primed yet).
   double smoothed_loss_ = -1.0;
   double smoothed_variance_ = -1.0;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -172,6 +173,87 @@ TEST(AdaptiveMonitor, DetectsCrashAfterRebases) {
   EXPECT_GT(t_d, 0.0);
   EXPECT_LE(t_d,
             rig.monitor.relative_detection_bound().seconds() + 0.02 + 0.5);
+}
+
+TEST(AdaptiveMonitor, SurvivesPartitionHealWithoutPoisoningEstimates) {
+  // Acceptance scenario for the hardened service (DESIGN.md section 8): a
+  // 400s partition must raise qos_at_risk while it lasts, trigger exactly
+  // one discontinuity epoch reset at heal, and leave finite estimates and
+  // a cleared risk flag once the service reconverges.
+  Rig rig(0.05, 0.02, default_options(), 5020);
+  rig.tb.simulator().run_until(TimePoint(1500.0));
+  EXPECT_FALSE(rig.monitor.qos_at_risk());
+
+  rig.tb.link().set_partitioned(true);
+  rig.tb.simulator().run_until(TimePoint(1900.0));
+  EXPECT_TRUE(rig.monitor.qos_at_risk());
+  EXPECT_EQ(rig.monitor.risk_reason(), AdaptiveMonitor::RiskReason::kSilence);
+
+  rig.tb.link().set_partitioned(false);
+  rig.tb.simulator().run_until(TimePoint(3500.0));
+  EXPECT_FALSE(rig.monitor.qos_at_risk());
+  EXPECT_EQ(rig.monitor.risk_reason(), AdaptiveMonitor::RiskReason::kNone);
+  EXPECT_EQ(rig.monitor.epoch_resets(), 1u);
+  EXPECT_TRUE(std::isfinite(rig.monitor.estimator().delay_variance()));
+  EXPECT_TRUE(std::isfinite(rig.monitor.estimator().loss_probability()));
+  EXPECT_GT(rig.monitor.current_params().eta.seconds(), 0.0);
+  // Reconverged: mostly trusting again well after the heal.
+  const auto rec =
+      qos::replay(rig.log, TimePoint(2500.0), TimePoint(3500.0));
+  EXPECT_GT(rec.query_accuracy(), 0.9);
+}
+
+TEST(AdaptiveMonitor, CrashRecoveryTriggersEpochResetAndRevalidation) {
+  Rig rig(0.05, 0.02, default_options(), 5021);
+  rig.tb.simulator().run_until(TimePoint(1000.0));
+  rig.tb.crash_p_at(TimePoint(1500.0));
+  rig.tb.recover_p_at(TimePoint(1800.0));
+  rig.tb.simulator().run_until(TimePoint(1790.0));
+  // Mid-outage: the silence detector has flagged the disruption.
+  EXPECT_TRUE(rig.monitor.qos_at_risk());
+
+  rig.tb.simulator().run_until(TimePoint(3200.0));
+  EXPECT_FALSE(rig.monitor.qos_at_risk());
+  EXPECT_GE(rig.monitor.epoch_resets(), 1u);
+  EXPECT_TRUE(std::isfinite(rig.monitor.estimator().delay_variance()));
+  // The epoch rebase restores fast re-trust after the recovery (a fixed
+  // NFD-E would drag the downtime through its Eq. 6.3 window instead).
+  const auto rec =
+      qos::replay(rig.log, TimePoint(2200.0), TimePoint(3200.0));
+  EXPECT_GT(rec.query_accuracy(), 0.9);
+}
+
+TEST(AdaptiveMonitor, OngoingSilenceFlagsRiskWithoutBackingOff) {
+  // During a long outage every reconfiguration round sees stale estimates
+  // and must only raise the silence flag: the running parameters stay
+  // untouched (configuring from pre-outage estimates would encode a dead
+  // regime) and the backoff multiplier stays at 1 — backoff is reserved
+  // for infeasible/unusable rounds, so revalidation probing keeps its full
+  // cadence and the service notices the heal quickly.
+  Rig rig(0.05, 0.02, default_options(), 5022);
+  rig.tb.simulator().run_until(TimePoint(800.0));
+  const double eta_before = rig.monitor.current_params().eta.seconds();
+  rig.tb.link().set_partitioned(true);
+  rig.tb.simulator().run_until(TimePoint(2500.0));
+  EXPECT_TRUE(rig.monitor.qos_at_risk());
+  EXPECT_EQ(rig.monitor.risk_reason(), AdaptiveMonitor::RiskReason::kSilence);
+  EXPECT_DOUBLE_EQ(rig.monitor.backoff_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(rig.monitor.current_params().eta.seconds(), eta_before);
+  EXPECT_EQ(rig.monitor.epoch_resets(), 0u);  // reset happens at resumption
+}
+
+TEST(AdaptiveMonitor, RejectsInvalidHardeningOptions) {
+  core::Testbed tb(Rig::make_config(0.01, 0.02, 5023));
+  auto opts = default_options();
+  opts.silence_factor = -1.0;
+  EXPECT_THROW(AdaptiveMonitor(tb.simulator(), tb.q_clock(), tb.sender(),
+                               opts),
+               std::invalid_argument);
+  opts = default_options();
+  opts.max_backoff_factor = 0.5;
+  EXPECT_THROW(AdaptiveMonitor(tb.simulator(), tb.q_clock(), tb.sender(),
+                               opts),
+               std::invalid_argument);
 }
 
 TEST(AdaptiveMonitor, StopQuiescesService) {

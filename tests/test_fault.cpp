@@ -1,0 +1,234 @@
+// Tests for the fault-injection subsystem: FaultPlan scripting,
+// ChaosSchedule sampling, and the chaos suites with their oracles.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "dist/constant.hpp"
+#include "fault/chaos.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/loss_model.hpp"
+
+namespace chenfd::fault {
+namespace {
+
+core::Testbed::Config quiet_config(std::uint64_t seed) {
+  core::Testbed::Config cfg;
+  cfg.delay = std::make_unique<dist::Constant>(0.001);
+  cfg.loss = std::make_unique<net::BernoulliLoss>(0.0);
+  cfg.eta = seconds(1.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct CountingDetector final : core::FailureDetector {
+  std::vector<double> arrivals;
+  void on_heartbeat(const net::Message&, TimePoint real_now) override {
+    arrivals.push_back(real_now.seconds());
+  }
+};
+
+TEST(FaultPlan, BuilderRejectsMisuse) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.partition(TimePoint(10.0), TimePoint(10.0)),
+               std::invalid_argument);
+  EXPECT_THROW(plan.duplication_burst(TimePoint(0.0), TimePoint(1.0), 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(plan.duplication_burst(TimePoint(0.0), TimePoint(1.0), -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(plan.clock_rate_p(TimePoint(0.0), 0.0), std::invalid_argument);
+  EXPECT_THROW(plan.clock_rate_q(TimePoint(0.0), -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(plan.swap_delay(TimePoint(0.0), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(plan.swap_loss(TimePoint(0.0), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(plan.crash_p(TimePoint(-1.0)), std::invalid_argument);
+  EXPECT_EQ(plan.event_count(), 0u);  // nothing half-added
+
+  core::Testbed tb(quiet_config(1));
+  CountingDetector det;
+  tb.attach(det);
+  plan.partition(TimePoint(2.0), TimePoint(3.0));
+  plan.arm(tb);
+  EXPECT_TRUE(plan.armed());
+  EXPECT_THROW(plan.arm(tb), std::invalid_argument);
+  EXPECT_THROW(plan.crash_p(TimePoint(5.0)), std::invalid_argument);
+}
+
+TEST(FaultPlan, ReportsInjectedWindowsInTimeOrder) {
+  FaultPlan plan;
+  // Deliberately out of order; queries sort.
+  plan.partition(TimePoint(300.0), TimePoint(350.0))
+      .crash_p(TimePoint(200.0))
+      .recover_p(TimePoint(260.0))
+      .partition(TimePoint(100.0), TimePoint(160.0))
+      .crash_p(TimePoint(400.0));  // never recovers
+
+  const auto parts = plan.partition_windows();
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].begin, TimePoint(100.0));
+  EXPECT_EQ(parts[0].end, TimePoint(160.0));
+  EXPECT_EQ(parts[1].begin, TimePoint(300.0));
+  EXPECT_DOUBLE_EQ(parts[1].length().seconds(), 50.0);
+
+  const auto down = plan.downtime_windows();
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_EQ(down[0].begin, TimePoint(200.0));
+  EXPECT_EQ(down[0].end, TimePoint(260.0));
+  EXPECT_TRUE(down[1].end.is_infinite());
+
+  const auto outages = plan.outage_windows();
+  ASSERT_EQ(outages.size(), 4u);
+  for (std::size_t i = 1; i < outages.size(); ++i) {
+    EXPECT_LE(outages[i - 1].begin, outages[i].begin);
+  }
+}
+
+TEST(FaultPlan, ArmDrivesTheTestbed) {
+  core::Testbed tb(quiet_config(101));
+  CountingDetector det;
+  tb.attach(det);
+
+  FaultPlan plan;
+  plan.partition(TimePoint(4.5), TimePoint(9.5))
+      .crash_p(TimePoint(20.5))
+      .recover_p(TimePoint(25.0))
+      .duplication_burst(TimePoint(30.5), TimePoint(34.5), 1.0);
+  plan.arm(tb);
+  tb.start();
+  tb.simulator().run_until(TimePoint(40.0));
+
+  // Partition [4.5, 9.5): the sends at t = 5..9 were dropped.
+  EXPECT_EQ(tb.link().partition_dropped_count(), 5u);
+  // Crash [20.5, 25): sends at 21..24 suppressed, immediate re-announce at
+  // 25 with the sequence numbers continuing.
+  EXPECT_EQ(tb.sender().recoveries(), 1u);
+  std::size_t in_outage = 0;
+  std::size_t at_recovery = 0;
+  std::size_t in_burst = 0;
+  for (double t : det.arrivals) {
+    if (t > 20.6 && t < 25.0) ++in_outage;
+    if (t >= 25.0 && t < 25.1) ++at_recovery;
+    if (t > 30.6 && t < 34.6) ++in_burst;
+  }
+  EXPECT_EQ(in_outage, 0u);
+  EXPECT_EQ(at_recovery, 1u);
+  // Burst covers the sends at 31..34; with p = 1 each delivers twice.
+  EXPECT_EQ(in_burst, 8u);
+}
+
+TEST(ChaosSchedule, SampleIsDeterministicAndNonOverlapping) {
+  ChaosSchedule sched;
+  sched.horizon = seconds(4000.0);
+  sched.partitions = 3;
+  sched.crash_cycles = 2;
+  sched.duplication_bursts = 1;
+
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const FaultPlan plan_a = sched.sample(rng_a);
+  const FaultPlan plan_b = sched.sample(rng_b);
+
+  const auto windows_a = plan_a.outage_windows();
+  const auto windows_b = plan_b.outage_windows();
+  ASSERT_EQ(windows_a.size(), 5u);  // partitions + crash cycles
+  ASSERT_EQ(windows_b.size(), 5u);
+  for (std::size_t i = 0; i < windows_a.size(); ++i) {
+    EXPECT_EQ(windows_a[i].begin, windows_b[i].begin);
+    EXPECT_EQ(windows_a[i].end, windows_b[i].end);
+  }
+  // Slot placement: every fault closed, inside the horizon, no overlap.
+  for (std::size_t i = 0; i < windows_a.size(); ++i) {
+    EXPECT_FALSE(windows_a[i].end.is_infinite());
+    EXPECT_GE(windows_a[i].begin, TimePoint::zero());
+    EXPECT_LE(windows_a[i].end.seconds(), 4000.0);
+    if (i > 0) {
+      EXPECT_GT(windows_a[i].begin, windows_a[i - 1].end);
+    }
+  }
+  EXPECT_GT(sched.intensity_per_hour(), 0.0);
+}
+
+TEST(ChaosSuite, NamedSuitesExist) {
+  const auto names = suite_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_FALSE(suite("smoke").empty());
+  EXPECT_GT(suite("full").size(), suite("smoke").size());
+  EXPECT_THROW(suite("nope"), std::invalid_argument);
+  // Every scenario carries the metadata the degradation curves group by.
+  for (const auto& spec : suite("full")) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.family.empty());
+  }
+}
+
+TEST(ChaosSuite, SmokeSuitePassesItsOracles) {
+  const auto results = run_suite(suite("smoke"), 42, {1});
+  ASSERT_EQ(results.size(), suite("smoke").size());
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok) << r.name << ": "
+                      << (r.violations.empty() ? "" : r.violations.front());
+    EXPECT_GT(r.availability, 0.0);
+    EXPECT_GT(r.transitions, 0u);
+    EXPECT_GT(r.outages, 0u);
+    EXPECT_FALSE(r.trace.empty());
+  }
+}
+
+TEST(ChaosSuite, ResultsAreBitIdenticalAcrossJobCounts) {
+  const auto specs = suite("smoke");
+  const auto serial = run_suite(specs, 42, {1});
+  const auto parallel = run_suite(specs, 42, {4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].name, parallel[i].name);
+    EXPECT_EQ(serial[i].ok, parallel[i].ok);
+    // Exact double equality on purpose: substream-per-scenario makes the
+    // runs bit-identical, not just statistically close.
+    EXPECT_EQ(serial[i].availability, parallel[i].availability);
+    EXPECT_EQ(serial[i].mistake_rate, parallel[i].mistake_rate);
+    EXPECT_EQ(serial[i].mean_mistake_s, parallel[i].mean_mistake_s);
+    EXPECT_EQ(serial[i].transitions, parallel[i].transitions);
+    ASSERT_EQ(serial[i].trace.size(), parallel[i].trace.size());
+    for (std::size_t j = 0; j < serial[i].trace.size(); ++j) {
+      EXPECT_EQ(serial[i].trace[j].at, parallel[i].trace[j].at);
+      EXPECT_EQ(serial[i].trace[j].to, parallel[i].trace[j].to);
+    }
+  }
+}
+
+TEST(ChaosSuite, VerdictAtReplaysTheTransitionHistory) {
+  const std::vector<Transition> transitions = {
+      {TimePoint(5.0), Verdict::kTrust},
+      {TimePoint(10.0), Verdict::kSuspect},
+      {TimePoint(12.0), Verdict::kTrust},
+  };
+  // Detectors start suspecting; output is right-continuous.
+  EXPECT_EQ(verdict_at(transitions, TimePoint(0.0)), Verdict::kSuspect);
+  EXPECT_EQ(verdict_at(transitions, TimePoint(5.0)), Verdict::kTrust);
+  EXPECT_EQ(verdict_at(transitions, TimePoint(9.9)), Verdict::kTrust);
+  EXPECT_EQ(verdict_at(transitions, TimePoint(10.0)), Verdict::kSuspect);
+  EXPECT_EQ(verdict_at(transitions, TimePoint(30.0)), Verdict::kTrust);
+  EXPECT_EQ(verdict_at({}, TimePoint(3.0)), Verdict::kSuspect);
+}
+
+TEST(Testbed, RejectsLifecycleMisuse) {
+  core::Testbed tb(quiet_config(7));
+  EXPECT_THROW(tb.start(), std::invalid_argument);  // no detector attached
+  CountingDetector det;
+  tb.attach(det);
+  tb.start();
+  EXPECT_TRUE(tb.started());
+  EXPECT_THROW(tb.start(), std::invalid_argument);
+  CountingDetector late;
+  EXPECT_THROW(tb.attach(late), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd::fault

@@ -126,6 +126,81 @@ TEST(HeartbeatSender, RejectsMisuse) {
   EXPECT_THROW(sender.crash_at(TimePoint(4.0)), std::invalid_argument);
 }
 
+TEST(HeartbeatSender, RecoveryResumesWithContiguousSequence) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  sender.crash_at(TimePoint(3.5));
+  sender.recover_at(TimePoint(7.25));
+  sender.start();
+  f.sim.run_until(TimePoint(10.0));
+  // m_1..m_3 at 1..3; the recovered process re-announces immediately at
+  // 7.25 and resumes every eta: m_4 at 7.25, m_5 at 8.25, m_6 at 9.25.
+  ASSERT_EQ(f.delivered.size(), 6u);
+  EXPECT_DOUBLE_EQ(f.delivered[3].sent_real.seconds(), 7.25);
+  EXPECT_DOUBLE_EQ(f.delivered[4].sent_real.seconds(), 8.25);
+  EXPECT_DOUBLE_EQ(f.delivered[5].sent_real.seconds(), 9.25);
+  // Sequence numbers continue across the outage (recovery, not restart).
+  EXPECT_EQ(f.delivered[3].seq, 4u);
+  EXPECT_FALSE(sender.crashed());
+  EXPECT_EQ(sender.recoveries(), 1u);
+  // crash_time() keeps reporting the most recent effective crash.
+  ASSERT_TRUE(sender.crash_time().has_value());
+  EXPECT_EQ(*sender.crash_time(), TimePoint(3.5));
+}
+
+TEST(HeartbeatSender, CrashRecoverCrashCycle) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  sender.crash_at(TimePoint(2.5));
+  sender.recover_at(TimePoint(5.0));
+  sender.crash_at(TimePoint(7.5));
+  sender.recover_at(TimePoint(9.0));
+  sender.start();
+  f.sim.run_until(TimePoint(10.5));
+  // m_1 at 1, m_2 at 2 | down | m_3 at 5, m_4 at 6, m_5 at 7 | down |
+  // m_6 at 9, m_7 at 10.
+  ASSERT_EQ(f.delivered.size(), 7u);
+  EXPECT_DOUBLE_EQ(f.delivered[2].sent_real.seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(f.delivered[4].sent_real.seconds(), 7.0);
+  EXPECT_DOUBLE_EQ(f.delivered[5].sent_real.seconds(), 9.0);
+  EXPECT_EQ(f.delivered[6].seq, 7u);
+  EXPECT_EQ(sender.recoveries(), 2u);
+  EXPECT_FALSE(sender.crashed());
+  EXPECT_EQ(*sender.crash_time(), TimePoint(7.5));
+}
+
+TEST(HeartbeatSender, RecoveryOfAnAlreadyCrashedSender) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  sender.crash_at(TimePoint(2.5));
+  sender.start();
+  f.sim.run_until(TimePoint(6.0));  // crash took effect at 2.5
+  EXPECT_TRUE(sender.crashed());
+  sender.recover_at(TimePoint(8.0));
+  f.sim.run_until(TimePoint(9.5));
+  // m_1, m_2 before the crash, then m_3 at 8, m_4 at 9.
+  EXPECT_EQ(f.delivered.size(), 4u);
+  EXPECT_FALSE(sender.crashed());
+}
+
+TEST(HeartbeatSender, RejectsFaultScheduleMisuse) {
+  Fixture f;
+  HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));
+  // Recovery with no crash scheduled at all.
+  EXPECT_THROW(sender.recover_at(TimePoint(5.0)), std::invalid_argument);
+  sender.crash_at(TimePoint(4.0));
+  // Recovery must not precede its crash.
+  EXPECT_THROW(sender.recover_at(TimePoint(3.0)), std::invalid_argument);
+  sender.recover_at(TimePoint(6.0));
+  // Two recoveries back to back violate the alternation.
+  EXPECT_THROW(sender.recover_at(TimePoint(8.0)), std::invalid_argument);
+  // A crash before the scheduled recovery violates the time order.
+  EXPECT_THROW(sender.crash_at(TimePoint(5.0)), std::invalid_argument);
+  // In the past.
+  f.sim.run_until(TimePoint(10.0));
+  EXPECT_THROW(sender.recover_at(TimePoint(9.0)), std::invalid_argument);
+}
+
 TEST(HeartbeatSender, NextSeqTracksSends) {
   Fixture f;
   HeartbeatSender sender(f.sim, f.link, f.clock, seconds(1.0));

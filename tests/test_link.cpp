@@ -150,9 +150,96 @@ TEST(Link, RejectsInvalidConfiguration) {
                std::invalid_argument);
   Link link(sim, std::make_unique<dist::Constant>(0.1),
             std::make_unique<BernoulliLoss>(0.0), Rng(1));
-  EXPECT_THROW(link.set_duplication_probability(1.0), std::invalid_argument);
+  EXPECT_THROW(link.set_duplication_probability(1.5), std::invalid_argument);
+  EXPECT_THROW(link.set_duplication_probability(-0.1), std::invalid_argument);
   EXPECT_THROW(link.set_delay(nullptr), std::invalid_argument);
   EXPECT_THROW(link.set_loss(nullptr), std::invalid_argument);
+}
+
+TEST(Link, HeartbeatStormDuplicatesEveryDelivery) {
+  // p = 1 is the heartbeat-storm fault: every surviving message is
+  // delivered exactly twice, each copy with its own delay draw.
+  sim::Simulator sim;
+  Link link(sim, std::make_unique<dist::Constant>(0.1),
+            std::make_unique<BernoulliLoss>(0.0), Rng(23));
+  link.set_duplication_probability(1.0);
+  int received = 0;
+  link.set_receiver([&](const Message&, TimePoint) { ++received; });
+  constexpr int kN = 500;
+  for (int i = 0; i < kN; ++i) {
+    link.send(make_message(static_cast<SeqNo>(i + 1), sim.now()));
+  }
+  sim.run();
+  EXPECT_EQ(received, 2 * kN);
+  EXPECT_EQ(link.delivered_count(), static_cast<std::uint64_t>(2 * kN));
+}
+
+TEST(Link, PartitionDropsEverySend) {
+  sim::Simulator sim;
+  Link link(sim, std::make_unique<dist::Constant>(0.1),
+            std::make_unique<BernoulliLoss>(0.0), Rng(29));
+  int received = 0;
+  link.set_receiver([&](const Message&, TimePoint) { ++received; });
+  EXPECT_FALSE(link.partitioned());
+  link.set_partitioned(true);
+  EXPECT_TRUE(link.partitioned());
+  for (int i = 0; i < 50; ++i) {
+    link.send(make_message(static_cast<SeqNo>(i + 1), sim.now()));
+  }
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(link.partition_dropped_count(), 50u);
+  EXPECT_EQ(link.dropped_count(), 50u);
+
+  // Healing restores normal operation; the partition counter stays.
+  link.set_partitioned(false);
+  link.send(make_message(51, sim.now()));
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(link.partition_dropped_count(), 50u);
+}
+
+TEST(Link, PartitionDoesNotAdvanceLossState) {
+  // The partition is an outage of the path, not part of the loss process:
+  // a stateful loss model must see the same draw sequence whether or not a
+  // partition interleaved extra sends.
+  sim::Simulator sim;
+  const auto make_ge = [] {
+    // Deterministic state flip each message, loss only in Bad.
+    return std::make_unique<GilbertElliottLoss>(1.0, 1.0, 0.0, 1.0);
+  };
+  Link with_partition(sim, std::make_unique<dist::Constant>(0.1), make_ge(),
+                      Rng(31));
+  Link without(sim, std::make_unique<dist::Constant>(0.1), make_ge(),
+               Rng(31));
+  std::vector<SeqNo> got_a;
+  std::vector<SeqNo> got_b;
+  with_partition.set_receiver(
+      [&](const Message& m, TimePoint) { got_a.push_back(m.seq); });
+  without.set_receiver(
+      [&](const Message& m, TimePoint) { got_b.push_back(m.seq); });
+  for (SeqNo i = 1; i <= 20; ++i) {
+    if (i == 5) with_partition.set_partitioned(true);
+    if (i == 10) with_partition.set_partitioned(false);
+    with_partition.send(make_message(i, sim.now()));
+    if (i < 5 || i >= 10) without.send(make_message(i, sim.now()));
+  }
+  sim.run();
+  EXPECT_EQ(got_a, got_b);
+}
+
+TEST(Link, InFlightMessagesSurviveAPartition) {
+  // Mirrors the Section 3.1 crash semantics: the fault does not affect
+  // messages already on the wire.
+  sim::Simulator sim;
+  Link link(sim, std::make_unique<dist::Constant>(1.0),
+            std::make_unique<BernoulliLoss>(0.0), Rng(37));
+  int received = 0;
+  link.set_receiver([&](const Message&, TimePoint) { ++received; });
+  link.send(make_message(1, sim.now()));  // delivers at t = 1
+  sim.at(TimePoint(0.5), [&] { link.set_partitioned(true); });
+  sim.run();
+  EXPECT_EQ(received, 1);
 }
 
 }  // namespace

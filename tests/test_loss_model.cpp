@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -30,7 +31,16 @@ TEST(BernoulliLoss, ZeroNeverDrops) {
 
 TEST(BernoulliLoss, RejectsInvalidProbability) {
   EXPECT_THROW(BernoulliLoss(-0.1), std::invalid_argument);
-  EXPECT_THROW(BernoulliLoss(1.0), std::invalid_argument);
+  EXPECT_THROW(BernoulliLoss(1.1), std::invalid_argument);
+}
+
+TEST(BernoulliLoss, TotalBlackoutIsAdmitted) {
+  // p = 1 models a dead link for fault injection; only the configuration
+  // procedures require p_L < 1.
+  BernoulliLoss loss(1.0);
+  EXPECT_DOUBLE_EQ(loss.steady_state_loss(), 1.0);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(loss.drop_next(rng));
 }
 
 TEST(BernoulliLoss, CloneBehavesIdentically) {
@@ -55,6 +65,41 @@ TEST(GilbertElliottLoss, EmpiricalLossMatchesSteadyState) {
     if (loss.drop_next(rng)) ++drops;
   }
   EXPECT_NEAR(static_cast<double>(drops) / kN, loss.steady_state_loss(), 0.01);
+}
+
+TEST(GilbertElliottLoss, EmpiricalLossWithinThreeSigmaOfClosedForm) {
+  // The drop indicators form a correlated Bernoulli sequence driven by the
+  // two-state chain.  With lambda = 1 - p_gb - p_bg the state autocovariance
+  // decays like lambda^k, so the asymptotic variance of the empirical mean
+  // over n draws is
+  //
+  //   [ pbar(1-pbar) + 2 delta^2 pi_g pi_b lambda/(1-lambda) ] / n,
+  //
+  // delta = loss_bad - loss_good.  The empirical rate must land within 3
+  // sigma of the closed-form steady_state_loss() (plus a tiny burn-in
+  // allowance for the chain starting in Good instead of stationarity).
+  const double p_gb = 0.05;
+  const double p_bg = 0.25;
+  const double loss_good = 0.005;
+  const double loss_bad = 0.6;
+  GilbertElliottLoss loss(p_gb, p_bg, loss_good, loss_bad);
+  Rng rng(9);
+  int drops = 0;
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) {
+    if (loss.drop_next(rng)) ++drops;
+  }
+  const double pbar = loss.steady_state_loss();
+  const double pi_b = p_gb / (p_gb + p_bg);
+  const double pi_g = 1.0 - pi_b;
+  const double lambda = 1.0 - p_gb - p_bg;
+  const double delta = loss_bad - loss_good;
+  const double asym_var = pbar * (1.0 - pbar) +
+                          2.0 * delta * delta * pi_g * pi_b *
+                              lambda / (1.0 - lambda);
+  const double sigma = std::sqrt(asym_var / kN);
+  const double burn_in = 1.0 / ((1.0 - lambda) * kN);  // start-state bias
+  EXPECT_NEAR(static_cast<double>(drops) / kN, pbar, 3.0 * sigma + burn_in);
 }
 
 TEST(GilbertElliottLoss, ProducesBursts) {

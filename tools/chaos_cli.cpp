@@ -1,0 +1,214 @@
+#include "chaos_cli.hpp"
+
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "qos/trace.hpp"
+
+namespace chenfd::chaoscli {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t parsed = std::stoull(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("chenfd_chaos: " + flag +
+                                " expects a non-negative integer, got '" +
+                                value + "'");
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Options parse(const std::vector<std::string>& argv) {
+  Options opts;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= argv.size()) {
+        throw std::invalid_argument("chenfd_chaos: " + arg +
+                                    " expects a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--suite") {
+      opts.suite = value();
+    } else if (arg == "--seed") {
+      opts.seed = parse_u64(arg, value());
+    } else if (arg == "--jobs") {
+      opts.jobs = static_cast<unsigned>(parse_u64(arg, value()));
+    } else if (arg == "--out") {
+      opts.out = value();
+    } else if (arg == "--trace-dir") {
+      opts.trace_dir = value();
+    } else if (arg == "--list") {
+      opts.list = true;
+    } else {
+      throw std::invalid_argument("chenfd_chaos: unknown option '" + arg +
+                                  "'");
+    }
+  }
+  return opts;
+}
+
+void write_json(std::ostream& os, const std::string& suite_name,
+                std::uint64_t seed,
+                const std::vector<fault::ScenarioResult>& results) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\n";
+  os << "  \"suite\": \"" << json_escape(suite_name) << "\",\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const fault::ScenarioResult& r = results[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(r.name) << "\",\n";
+    os << "      \"family\": \"" << json_escape(r.family) << "\",\n";
+    os << "      \"fault_intensity\": " << r.fault_intensity << ",\n";
+    os << "      \"ok\": " << (r.ok ? "true" : "false") << ",\n";
+    os << "      \"violations\": [";
+    for (std::size_t v = 0; v < r.violations.size(); ++v) {
+      if (v != 0) os << ", ";
+      os << "\"" << json_escape(r.violations[v]) << "\"";
+    }
+    os << "],\n";
+    os << "      \"availability\": " << r.availability << ",\n";
+    os << "      \"mistake_rate\": " << r.mistake_rate << ",\n";
+    os << "      \"mean_mistake_s\": " << r.mean_mistake_s << ",\n";
+    os << "      \"s_transitions\": " << r.s_transitions << ",\n";
+    os << "      \"transitions\": " << r.transitions << ",\n";
+    os << "      \"outages\": " << r.outages << ",\n";
+    os << "      \"audit_cycles\": " << r.audit_cycles << ",\n";
+    os << "      \"adaptive\": " << (r.adaptive ? "true" : "false") << ",\n";
+    os << "      \"epoch_resets\": " << r.epoch_resets << ",\n";
+    os << "      \"reconfigurations\": " << r.reconfigurations << "\n";
+    os << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  // Degradation curves: per family, (intensity, lambda_M, E(T_M), P_A)
+  // points in scenario order — how the accuracy metrics decay as the fault
+  // intensity rises.
+  std::map<std::string, std::vector<const fault::ScenarioResult*>> families;
+  for (const fault::ScenarioResult& r : results) {
+    families[r.family].push_back(&r);
+  }
+  os << "  \"degradation\": [\n";
+  std::size_t f = 0;
+  for (const auto& [family, members] : families) {
+    os << "    {\"family\": \"" << json_escape(family) << "\", \"points\": [";
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      if (m != 0) os << ", ";
+      os << "{\"intensity\": " << members[m]->fault_intensity
+         << ", \"mistake_rate\": " << members[m]->mistake_rate
+         << ", \"mean_mistake_s\": " << members[m]->mean_mistake_s
+         << ", \"availability\": " << members[m]->availability << "}";
+    }
+    os << "]}" << (++f < families.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: chenfd_chaos [--suite smoke|full] [--seed N] [--jobs N]\n"
+     << "                    [--out FILE|-] [--trace-dir DIR] [--list]\n"
+     << "\n"
+     << "Runs the named fault-injection suite and checks its per-scenario\n"
+     << "oracles (suspect during outages, re-trust after heal/recovery,\n"
+     << "Theorem 1 trace identities, adaptive graceful degradation).\n"
+     << "Writes BENCH_chaos.json (byte-identical for any --jobs).\n"
+     << "Exit code: 0 all oracles hold, 1 violation, 2 usage error.\n";
+}
+
+int run_main(const std::vector<std::string>& argv, std::ostream& os) {
+  Options opts;
+  try {
+    opts = parse(argv);
+  } catch (const std::invalid_argument& e) {
+    os << e.what() << "\n";
+    print_usage(os);
+    return 2;
+  }
+
+  if (opts.list) {
+    for (const std::string& name : fault::suite_names()) {
+      os << name << ":\n";
+      for (const fault::ScenarioSpec& spec : fault::suite(name)) {
+        os << "  " << spec.name << " (" << spec.family << ")\n";
+      }
+    }
+    return 0;
+  }
+
+  std::vector<fault::ScenarioSpec> specs;
+  try {
+    specs = fault::suite(opts.suite);
+  } catch (const std::invalid_argument& e) {
+    os << e.what() << "\n";
+    print_usage(os);
+    return 2;
+  }
+
+  runner::RunnerOptions runner_opts;
+  runner_opts.jobs = opts.jobs;
+  const std::vector<fault::ScenarioResult> results =
+      fault::run_suite(specs, opts.seed, runner_opts);
+
+  bool all_ok = true;
+  for (const fault::ScenarioResult& r : results) {
+    os << (r.ok ? "PASS " : "FAIL ") << r.name << "  P_A=" << r.availability
+       << " lambda_M=" << r.mistake_rate << "/s outages=" << r.outages
+       << "\n";
+    for (const std::string& v : r.violations) {
+      os << "     - " << v << "\n";
+    }
+    all_ok = all_ok && r.ok;
+  }
+
+  if (!opts.trace_dir.empty()) {
+    for (const fault::ScenarioResult& r : results) {
+      const std::string path = opts.trace_dir + "/" + r.name + ".trace";
+      std::ofstream trace_out(path);
+      if (!trace_out) {
+        os << "chenfd_chaos: cannot write " << path << "\n";
+        return 2;
+      }
+      qos::write_trace(trace_out,
+                       qos::TraceFile{TimePoint::zero(), r.horizon, r.trace});
+      os << "wrote " << path << "\n";
+    }
+  }
+
+  if (opts.out == "-") {
+    write_json(os, opts.suite, opts.seed, results);
+  } else {
+    std::ofstream json_out(opts.out);
+    if (!json_out) {
+      os << "chenfd_chaos: cannot write " << opts.out << "\n";
+      return 2;
+    }
+    write_json(json_out, opts.suite, opts.seed, results);
+    os << "wrote " << opts.out << "\n";
+  }
+
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace chenfd::chaoscli

@@ -1,0 +1,47 @@
+// Argument parsing and command logic for the chenfd_chaos CLI, separated
+// from main() so the tests can drive it directly.
+//
+// chenfd_chaos runs a named chaos suite (fault/chaos.hpp) and emits a
+// deterministic BENCH_chaos.json: per-scenario oracle verdicts plus
+// degradation curves (lambda_M, E(T_M), P_A against fault intensity) per
+// scenario family.  The JSON contains no wall-clock, hardware or job-count
+// fields and all randomness flows from --seed through per-scenario
+// substreams, so the file is byte-identical for any --jobs value.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fault/chaos.hpp"
+
+namespace chenfd::chaoscli {
+
+struct Options {
+  std::string suite = "full";
+  std::uint64_t seed = 42;
+  unsigned jobs = 0;           ///< 0 = one per hardware thread
+  std::string out = "BENCH_chaos.json";  ///< "-" = stdout only
+  std::string trace_dir;       ///< when set, dump per-scenario traces here
+  bool list = false;           ///< list suites and scenarios, run nothing
+};
+
+/// Parses argv-style input (flags only).  Throws std::invalid_argument on
+/// unknown flags, missing values, or malformed numbers.
+[[nodiscard]] Options parse(const std::vector<std::string>& argv);
+
+/// Serializes suite results as the BENCH_chaos.json document.
+void write_json(std::ostream& os, const std::string& suite_name,
+                std::uint64_t seed,
+                const std::vector<fault::ScenarioResult>& results);
+
+/// Parse + run.  Writes progress and a human-readable verdict table to
+/// `os`.  Returns 0 when every oracle holds, 1 on an oracle violation,
+/// 2 on a usage error.
+int run_main(const std::vector<std::string>& argv, std::ostream& os);
+
+void print_usage(std::ostream& os);
+
+}  // namespace chenfd::chaoscli

@@ -1,0 +1,12 @@
+// chenfd_chaos: fault-injection suites with oracle checks (see
+// chaos_cli.hpp and DESIGN.md section 8).
+
+#include <iostream>
+#include <vector>
+
+#include "chaos_cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return chenfd::chaoscli::run_main(args, std::cout);
+}
