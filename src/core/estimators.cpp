@@ -34,6 +34,32 @@ void NetworkEstimator::reset() {
   sum_sq_ = 0.0;
 }
 
+std::vector<NetworkEstimator::Sample> NetworkEstimator::samples_snapshot()
+    const {
+  std::vector<Sample> out;
+  out.reserve(obs_.size());
+  for (const Obs& o : obs_) out.push_back(Sample{o.seq, o.delay});
+  return out;
+}
+
+void NetworkEstimator::restore(const std::vector<Sample>& samples,
+                               net::SeqNo highest_seq, net::SeqNo seq_shift) {
+  expects(samples.size() <= window_,
+          "NetworkEstimator::restore: window larger than capacity");
+  reset();
+  for (const Sample& s : samples) {
+    const net::SeqNo shifted = s.seq + seq_shift;
+    expects(obs_.empty() || shifted > obs_.back().seq,
+            "NetworkEstimator::restore: seqs must be strictly increasing");
+    obs_.push_back(Obs{shifted, s.delay_s});
+    sum_ += s.delay_s;
+    sum_sq_ += s.delay_s * s.delay_s;
+  }
+  expects(obs_.empty() || highest_seq >= samples.back().seq,
+          "NetworkEstimator::restore: highest seq below the window");
+  highest_seq_ = highest_seq + seq_shift;
+}
+
 double NetworkEstimator::loss_probability() const {
   if (obs_.size() < 2) return 0.0;
   const double received = static_cast<double>(obs_.size());
@@ -72,6 +98,15 @@ void TwoComponentEstimator::on_heartbeat(net::SeqNo seq,
 void TwoComponentEstimator::reset() {
   short_.reset();
   long_.reset();
+}
+
+void TwoComponentEstimator::restore(
+    const std::vector<NetworkEstimator::Sample>& short_samples,
+    net::SeqNo short_highest,
+    const std::vector<NetworkEstimator::Sample>& long_samples,
+    net::SeqNo long_highest, net::SeqNo seq_shift) {
+  short_.restore(short_samples, short_highest, seq_shift);
+  long_.restore(long_samples, long_highest, seq_shift);
 }
 
 double TwoComponentEstimator::loss_probability() const {

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/time.hpp"
@@ -40,8 +41,29 @@ class NetworkEstimator {
   /// describes the link).  The next heartbeat starts a fresh window.
   void reset();
 
+  /// One window entry in snapshot form (persist/snapshot.hpp).
+  struct Sample {
+    net::SeqNo seq;
+    double delay_s;
+  };
+
+  /// The current window, oldest first, for monitor snapshots.
+  [[nodiscard]] std::vector<Sample> samples_snapshot() const;
+
+  /// Replaces the window with `samples` (strictly increasing seq, at most
+  /// the window capacity), shifting every sequence number forward by
+  /// `seq_shift`.  Warm restart uses the shift to forgive the heartbeats p
+  /// sent while the monitor was down: they were unobservable, not lost, so
+  /// sliding the restored window up to the resuming stream keeps the
+  /// per-slot loss estimate from spiking when the next live heartbeat
+  /// arrives.  Delay statistics are unaffected by the shift.
+  void restore(const std::vector<Sample>& samples, net::SeqNo highest_seq,
+               net::SeqNo seq_shift);
+
   /// Number of received heartbeats currently in the window.
   [[nodiscard]] std::size_t samples() const { return obs_.size(); }
+  /// Maximum number of observations the window holds.
+  [[nodiscard]] std::size_t capacity() const { return window_; }
   [[nodiscard]] net::SeqNo highest_seq() const { return highest_seq_; }
 
   /// Estimated loss probability: 1 - received / slots, where slots is the
@@ -81,6 +103,12 @@ class TwoComponentEstimator {
 
   /// Resets both components (see NetworkEstimator::reset).
   void reset();
+
+  /// Restores both component windows (see NetworkEstimator::restore).
+  void restore(const std::vector<NetworkEstimator::Sample>& short_samples,
+               net::SeqNo short_highest,
+               const std::vector<NetworkEstimator::Sample>& long_samples,
+               net::SeqNo long_highest, net::SeqNo seq_shift);
 
   [[nodiscard]] double loss_probability() const;
   [[nodiscard]] double delay_mean() const;

@@ -23,6 +23,25 @@ void NfdE::rebase(NfdUParams new_params, net::SeqNo epoch_seq) {
   normalized_sum_ = 0.0;
 }
 
+void NfdE::restore(NfdUParams new_params, net::SeqNo epoch_seq,
+                   const std::vector<Observation>& window,
+                   net::SeqNo max_seq) {
+  CHENFD_EXPECTS(window.size() <= capacity_,
+                 "NfdE::restore: window larger than this detector's capacity");
+  rebase(new_params, epoch_seq);
+  for (const Observation& o : window) {
+    CHENFD_EXPECTS(o.seq >= epoch_seq,
+                   "NfdE::restore: window entry predates the epoch");
+    CHENFD_EXPECTS(window_.empty() || o.seq > window_.back().seq,
+                   "NfdE::restore: seqs must be strictly increasing");
+    window_.push_back(o);
+    normalized_sum_ += o.normalized;
+  }
+  CHENFD_EXPECTS(window_.empty() || max_seq >= window_.back().seq,
+                 "NfdE::restore: max seq below the restored window");
+  restore_max_seq(max_seq);
+}
+
 void NfdE::on_heartbeat(const net::Message& m, TimePoint real_now) {
   // Messages from before the current epoch were sent under a different
   // schedule; their arrival times do not fit the Eq. (6.3) normalization

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <deque>
+#include <vector>
 
 #include "core/nfd_u.hpp"
 
@@ -36,6 +37,28 @@ class NfdE final : public NfdU {
   /// service when it renegotiates the heartbeat rate with the sender.
   void rebase(NfdUParams new_params, net::SeqNo epoch_seq);
 
+  /// One Eq. 6.3 window entry, exposed for monitor snapshots.
+  struct Observation {
+    double normalized;  // A'_i - eta * (s_i - epoch), in q-local seconds
+    net::SeqNo seq;
+  };
+
+  /// The current estimation window, oldest first.
+  [[nodiscard]] std::vector<Observation> window_snapshot() const {
+    return {window_.begin(), window_.end()};
+  }
+
+  /// Rehydrates the full Eq. 6.3 state from a snapshot (supervised warm
+  /// restart).  The normalized arrival times are q-local and the sending
+  /// schedule survived the monitor's downtime (p did not crash merely
+  /// because its observer did), so the restored window remains a valid
+  /// basis for expected_arrival of post-restart sequence numbers — this is
+  /// what lets a warm restart re-trust on the first live heartbeat instead
+  /// of refilling the window.  The detector suspects until that heartbeat:
+  /// no freshness timer is armed here.
+  void restore(NfdUParams new_params, net::SeqNo epoch_seq,
+               const std::vector<Observation>& window, net::SeqNo max_seq);
+
   [[nodiscard]] std::size_t window_size() const { return window_.size(); }
   [[nodiscard]] std::size_t window_capacity() const { return capacity_; }
   [[nodiscard]] net::SeqNo epoch_seq() const { return epoch_seq_; }
@@ -44,11 +67,6 @@ class NfdE final : public NfdU {
   [[nodiscard]] TimePoint expected_arrival(net::SeqNo seq) override;
 
  private:
-  struct Observation {
-    double normalized;  // A'_i - eta * s_i, in seconds of q-local time
-    net::SeqNo seq;
-  };
-
   std::size_t capacity_;
   Duration eta_;
   net::SeqNo epoch_seq_ = 0;  // seq numbers are normalized relative to this

@@ -18,6 +18,7 @@ NfdU::NfdU(sim::Simulator& simulator, const clk::Clock& q_clock,
 void NfdU::stop() {
   stopped_ = true;
   if (timer_ != 0) sim_.cancel(timer_);
+  timer_ = 0;
 }
 
 TimePoint NfdU::expected_arrival(net::SeqNo seq) {

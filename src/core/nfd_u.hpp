@@ -36,7 +36,15 @@ class NfdU : public FailureDetector {
 
   void on_heartbeat(const net::Message& m, TimePoint real_now) override;
 
-  /// Cancels the pending freshness timer (for tear-down).
+  /// Re-arms a stopped detector (supervised warm-restart path): clears the
+  /// stopped flag so heartbeats are processed again.  The output stays
+  /// whatever it was — a freshly constructed detector starts suspecting —
+  /// and no freshness timer is armed until the next heartbeat.
+  void activate() override { stopped_ = false; }
+
+  /// Cancels the pending freshness timer and ignores further heartbeats
+  /// until activate() is called again (tear-down, or a supervised monitor
+  /// crash).
   void stop();
 
   [[nodiscard]] const NfdUParams& params() const { return params_; }
@@ -55,6 +63,16 @@ class NfdU : public FailureDetector {
   [[nodiscard]] virtual TimePoint expected_arrival(net::SeqNo seq);
 
   [[nodiscard]] const clk::Clock& q_clock() const { return q_clock_; }
+
+  /// Rehydrates the largest-received sequence number from a snapshot
+  /// (NfdE::restore).  Only meaningful while no freshness timer is pending:
+  /// the restored detector suspects until the next heartbeat re-derives its
+  /// freshness schedule.
+  void restore_max_seq(net::SeqNo seq) {
+    CHENFD_EXPECTS(timer_ == 0,
+                   "NfdU::restore_max_seq: freshness timer already armed");
+    ell_ = seq;
+  }
 
  private:
   void on_freshness_deadline();

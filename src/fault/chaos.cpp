@@ -19,14 +19,16 @@
 namespace chenfd::fault {
 
 double ChaosSchedule::intensity_per_hour() const {
-  const double faults =
-      static_cast<double>(partitions + crash_cycles + duplication_bursts);
+  const double faults = static_cast<double>(partitions + crash_cycles +
+                                            duplication_bursts +
+                                            monitor_crashes);
   return faults / (horizon.seconds() / 3600.0);
 }
 
 FaultPlan ChaosSchedule::sample(Rng& rng) const {
   FaultPlan plan;
-  const std::size_t total = partitions + crash_cycles + duplication_bursts;
+  const std::size_t total =
+      partitions + crash_cycles + duplication_bursts + monitor_crashes;
   if (total == 0) return plan;
   // Faults are placed in disjoint equal slots of the middle 80% of the
   // horizon: starts in the first quarter of the slot, lengths capped at
@@ -53,6 +55,11 @@ FaultPlan ChaosSchedule::sample(Rng& rng) const {
   for (std::size_t i = 0; i < duplication_bursts; ++i) {
     const Window w = place(burst_length.seconds(), burst_length.seconds());
     plan.duplication_burst(w.begin, w.end, burst_duplication);
+  }
+  for (std::size_t i = 0; i < monitor_crashes; ++i) {
+    const Window w =
+        place(monitor_downtime_min.seconds(), monitor_downtime_max.seconds());
+    plan.monitor_crash(w.begin).monitor_restart(w.end);
   }
   return plan;
 }
@@ -96,7 +103,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, Rng& rng) {
   result.name = spec.name;
   result.family = spec.family;
   result.fault_intensity = spec.fault_intensity;
-  result.adaptive = spec.adaptive;
+  const bool adaptive = spec.adaptive || spec.supervised;
+  result.adaptive = adaptive;
+  result.supervised = spec.supervised;
   result.horizon = TimePoint::zero() + spec.horizon;
 
   // The testbed's own stochastic components (delays, losses) draw from a
@@ -115,26 +124,47 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, Rng& rng) {
 
   std::unique_ptr<core::NfdE> fixed;
   std::unique_ptr<service::AdaptiveMonitor> monitor;
+  std::unique_ptr<persist::MemorySnapshotStore> store;
+  std::unique_ptr<service::MonitorSupervisor> supervisor;
   core::FailureDetector* detector = nullptr;
-  if (spec.adaptive) {
+  if (adaptive) {
     service::AdaptiveMonitor::Options options;
     options.requirements = core::RelativeRequirements{
         spec.eta + spec.alpha, spec.t_mr_lower, spec.t_m_upper};
     options.initial = core::NfdEParams{spec.eta, spec.alpha, spec.window};
     options.reconfig_interval = spec.reconfig_interval;
-    monitor = std::make_unique<service::AdaptiveMonitor>(
-        testbed.simulator(), testbed.q_clock(), testbed.sender(), options);
-    detector = monitor.get();
+    if (spec.supervised) {
+      store = std::make_unique<persist::MemorySnapshotStore>();
+      service::MonitorSupervisor::Options sup_options;
+      sup_options.monitor = options;
+      sup_options.snapshot_interval = spec.snapshot_interval;
+      sup_options.max_snapshot_age = spec.max_snapshot_age;
+      sup_options.policy = spec.restart_policy;
+      supervisor = std::make_unique<service::MonitorSupervisor>(
+          testbed.simulator(), testbed.q_clock(), testbed.sender(), *store,
+          sup_options);
+      detector = supervisor.get();
+    } else {
+      monitor = std::make_unique<service::AdaptiveMonitor>(
+          testbed.simulator(), testbed.q_clock(), testbed.sender(), options);
+      detector = monitor.get();
+    }
   } else {
     fixed = std::make_unique<core::NfdE>(
         testbed.simulator(), testbed.q_clock(),
         core::NfdEParams{spec.eta, spec.alpha, spec.window});
     detector = fixed.get();
   }
+  // The live service instance: stable for plain adaptive scenarios, the
+  // current incarnation (possibly none) for supervised ones.
+  const auto live_monitor = [&monitor,
+                             &supervisor]() -> const service::AdaptiveMonitor* {
+    return supervisor ? supervisor->monitor() : monitor.get();
+  };
   detector->add_listener(
       [&result](const Transition& t) { result.trace.push_back(t); });
   testbed.attach(*detector);
-  plan.arm(testbed);
+  plan.arm(testbed, supervisor.get());
 
   // Ground truth the oracles check against, clipped to the horizon.
   std::vector<Window> outages;
@@ -147,23 +177,68 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, Rng& rng) {
   // Graceful-degradation probes: shortly after each outage ends the risk
   // flag must still be latched (revalidation needs a fresh estimation
   // window, which takes several heartbeats to prime).
-  if (monitor) {
+  if (adaptive) {
     for (const Window& w : outages) {
       const TimePoint probe =
           std::min(w.end + spec.eta * 2.0, result.horizon);
-      testbed.simulator().at(probe, [&result, m = monitor.get()] {
-        if (m->qos_at_risk()) result.risk_during_fault = true;
+      testbed.simulator().at(probe, [&result, live_monitor] {
+        const service::AdaptiveMonitor* m = live_monitor();
+        if (m != nullptr && m->qos_at_risk()) result.risk_during_fault = true;
       });
     }
+  }
+
+  // Monitor downtime ground truth (supervised scenarios): these are NOT
+  // outages — heartbeats keep flowing, only the observer is gone.
+  std::vector<Window> monitor_outages;
+  for (const Window& w : plan.monitor_downtime_windows()) {
+    if (w.begin >= result.horizon) continue;
+    monitor_outages.push_back(Window{w.begin, std::min(w.end, result.horizon)});
+  }
+  result.monitor_outages = monitor_outages.size();
+
+  // Per-restart probes: the corruption injection (one bit flipped on the
+  // simulated disk midway through the downtime) and the bounded-re-trust
+  // latch check shortly after the restart.
+  std::size_t restarts_probed = 0;
+  std::size_t restarts_at_risk = 0;
+  for (const Window& w : monitor_outages) {
+    if (spec.corrupt_snapshots) {
+      const TimePoint mid = w.begin + (w.end - w.begin) * 0.5;
+      testbed.simulator().at(mid, [s = store.get()] {
+        std::optional<std::string> bytes = s->load();
+        if (bytes && !bytes->empty()) {
+          (*bytes)[bytes->size() / 2] =
+              static_cast<char>((*bytes)[bytes->size() / 2] ^ 0x01);
+          s->save(std::move(*bytes));
+        }
+      });
+    }
+    if (w.end >= result.horizon) continue;
+    ++restarts_probed;
+    const TimePoint probe = std::min(w.end + spec.eta * 2.0, result.horizon);
+    testbed.simulator().at(
+        probe, [&restarts_at_risk, live_monitor] {
+          const service::AdaptiveMonitor* m = live_monitor();
+          if (m != nullptr && m->qos_at_risk()) ++restarts_at_risk;
+        });
   }
 
   testbed.start();
   testbed.simulator().run_until(result.horizon);
 
-  if (monitor) {
-    result.epoch_resets = monitor->epoch_resets();
-    result.reconfigurations = monitor->reconfigurations();
-    result.risk_clear_at_end = !monitor->qos_at_risk();
+  if (adaptive) {
+    if (const service::AdaptiveMonitor* m = live_monitor()) {
+      result.epoch_resets = m->epoch_resets();
+      result.reconfigurations = m->reconfigurations();
+      result.risk_clear_at_end = !m->qos_at_risk();
+    }
+  }
+  if (supervisor) {
+    result.warm_restarts = supervisor->warm_restarts();
+    result.cold_restarts = supervisor->cold_restarts();
+    result.snapshots_taken = supervisor->snapshots_taken();
+    result.snapshot_rejects = supervisor->snapshot_rejects();
   }
 
   // ---- metrics ----------------------------------------------------------
@@ -204,7 +279,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, Rng& rng) {
     }
   }
 
-  if (spec.adaptive && !outages.empty()) {
+  if (adaptive && !outages.empty()) {
     if (!result.risk_during_fault) {
       violate("qos_at_risk never raised around an outage");
     }
@@ -215,12 +290,80 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, Rng& rng) {
       violate("no discontinuity epoch reset despite an outage");
     }
   }
-  if (spec.adaptive) {
-    const auto& est = monitor->estimator();
-    if (!std::isfinite(est.loss_probability()) ||
-        !std::isfinite(est.delay_variance()) ||
-        !std::isfinite(est.delay_mean())) {
-      violate("adaptive estimates are not finite at the horizon");
+  if (adaptive) {
+    if (const service::AdaptiveMonitor* m = live_monitor()) {
+      const auto& est = m->estimator();
+      if (!std::isfinite(est.loss_probability()) ||
+          !std::isfinite(est.delay_variance()) ||
+          !std::isfinite(est.delay_mean())) {
+        violate("adaptive estimates are not finite at the horizon");
+      }
+    }
+  }
+
+  if (spec.supervised) {
+    // Every restart must come back latched at risk: the rehydrated (warm)
+    // or assumed (cold) state is unvalidated until a round succeeds.
+    if (restarts_at_risk < restarts_probed) {
+      violate("a restarted monitor was not latched qos_at_risk");
+    }
+    // Bounded re-trust after each restart, and the mean re-trust time for
+    // the degradation curves.
+    double retrust_sum = 0.0;
+    std::size_t retrust_count = 0;
+    for (const Window& w : monitor_outages) {
+      if (w.end + spec.monitor_retrust_slack <= result.horizon &&
+          !retrusts_within(result.trace, w.end, spec.monitor_retrust_slack)) {
+        violate("no re-trust within " +
+                std::to_string(spec.monitor_retrust_slack.seconds()) +
+                "s after monitor restart at " + time_str(w.end));
+      }
+      for (const Transition& tr : result.trace) {
+        if (tr.at > w.end && tr.to == Verdict::kTrust) {
+          retrust_sum += (tr.at - w.end).seconds();
+          ++retrust_count;
+          break;
+        }
+      }
+    }
+    result.mean_restart_retrust_s =
+        retrust_count > 0 ? retrust_sum / static_cast<double>(retrust_count)
+                          : 0.0;
+    const std::size_t restarts = result.warm_restarts + result.cold_restarts;
+    if (restarts != restarts_probed) {
+      violate("supervisor restart count disagrees with the plan");
+    }
+    if (spec.corrupt_snapshots) {
+      if (result.warm_restarts != 0) {
+        violate("a corrupted snapshot was warm-restarted");
+      }
+      if (restarts > 0 && result.snapshot_rejects == 0) {
+        violate("corrupted snapshots were never rejected");
+      }
+    }
+    if (spec.restart_policy ==
+            service::MonitorSupervisor::RestartPolicy::kColdAlways &&
+        result.warm_restarts != 0) {
+      violate("warm restart under the cold-always policy");
+    }
+    if (spec.expect_all_warm && result.cold_restarts != 0) {
+      violate("expected warm restarts only, saw a cold one");
+    }
+    if (spec.expect_all_cold && result.warm_restarts != 0) {
+      violate("expected cold restarts only, saw a warm one");
+    }
+    if (restarts_probed > 0 && !result.risk_clear_at_end) {
+      violate("qos_at_risk still latched at the horizon after restarts");
+    }
+    // Once revalidated, the running configuration must honor the
+    // registered detection bound (Theorems 9-11 feasibility).
+    if (const service::AdaptiveMonitor* m = live_monitor()) {
+      if (!m->qos_at_risk() && m->relative_detection_bound() >
+                                   spec.eta + spec.alpha + seconds(1e-9)) {
+        violate("validated configuration exceeds the registered T_D bound");
+      }
+    } else {
+      violate("monitor not alive at the horizon");
     }
   }
 
@@ -420,20 +563,115 @@ void add_full(std::vector<ScenarioSpec>& out) {
   }
 }
 
+ScenarioSpec base_supervised(std::string name, std::string family,
+                             double intensity) {
+  ScenarioSpec s = base_spec(std::move(name), std::move(family), intensity);
+  s.supervised = true;
+  s.base_loss = 0.05;
+  s.horizon = seconds(2400.0);
+  s.snapshot_interval = seconds(20.0);
+  // Mistakes are rare for a configured service; the cycle-hungry Theorem 1
+  // audit does not apply (as in the other adaptive scenarios).
+  s.audit = false;
+  return s;
+}
+
+void add_monitor_restart(std::vector<ScenarioSpec>& out) {
+  {
+    // One scripted monitor crash with a fresh snapshot on disk: the warm
+    // path must rehydrate and re-trust on the first live heartbeat — the
+    // tight slack is the point of this scenario.
+    ScenarioSpec s =
+        base_supervised("monitor-warm-1", "monitor-restart-warm", 1.5);
+    s.scripted = [](FaultPlan& plan) {
+      plan.monitor_crash(TimePoint(900.0)).monitor_restart(TimePoint(960.0));
+    };
+    s.monitor_retrust_slack = seconds(10.0);
+    s.expect_all_warm = true;
+    out.push_back(std::move(s));
+  }
+  {
+    // Three randomized monitor crash cycles: snapshot freshness holds by
+    // construction (interval 20s, max age 300s, downtime <= 60s), so every
+    // restart must still be warm.
+    ScenarioSpec s =
+        base_supervised("monitor-warm-3", "monitor-restart-warm", 3.6);
+    s.horizon = seconds(3000.0);
+    s.chaos.horizon = s.horizon;
+    s.chaos.monitor_crashes = 3;
+    s.chaos.monitor_downtime_min = seconds(20.0);
+    s.chaos.monitor_downtime_max = seconds(60.0);
+    s.monitor_retrust_slack = seconds(10.0);
+    s.expect_all_warm = true;
+    out.push_back(std::move(s));
+  }
+  {
+    // The distrust-storage baseline: snapshots exist and are valid, but
+    // the policy forbids rehydration — every restart is cold and must
+    // still converge back under the registered bound.
+    ScenarioSpec s =
+        base_supervised("monitor-cold-policy", "monitor-restart-cold", 3.0);
+    s.restart_policy = service::MonitorSupervisor::RestartPolicy::kColdAlways;
+    s.scripted = [](FaultPlan& plan) {
+      plan.monitor_crash(TimePoint(700.0))
+          .monitor_restart(TimePoint(760.0))
+          .monitor_crash(TimePoint(1500.0))
+          .monitor_restart(TimePoint(1540.0));
+    };
+    s.expect_all_cold = true;
+    out.push_back(std::move(s));
+  }
+  {
+    // A bit flips on the simulated disk during every downtime: the CRC
+    // must reject the snapshot (all single-bit errors are detectable) and
+    // the supervisor must fall back to a cold start, never crash or
+    // half-restore.
+    ScenarioSpec s =
+        base_supervised("monitor-corrupt", "monitor-restart-cold", 3.0);
+    s.corrupt_snapshots = true;
+    s.scripted = [](FaultPlan& plan) {
+      plan.monitor_crash(TimePoint(700.0))
+          .monitor_restart(TimePoint(760.0))
+          .monitor_crash(TimePoint(1500.0))
+          .monitor_restart(TimePoint(1540.0));
+    };
+    s.expect_all_cold = true;
+    out.push_back(std::move(s));
+  }
+  {
+    // The snapshot is structurally valid but too old to trust: downtime
+    // (120s) exceeds max_snapshot_age (60s), so the supervisor must count
+    // a reject and start cold.
+    ScenarioSpec s =
+        base_supervised("monitor-stale", "monitor-restart-cold", 1.5);
+    s.max_snapshot_age = seconds(60.0);
+    s.scripted = [](FaultPlan& plan) {
+      plan.monitor_crash(TimePoint(900.0)).monitor_restart(TimePoint(1020.0));
+    };
+    s.expect_all_cold = true;
+    out.push_back(std::move(s));
+  }
+}
+
 }  // namespace
 
-std::vector<std::string> suite_names() { return {"smoke", "full"}; }
+std::vector<std::string> suite_names() {
+  return {"smoke", "monitor-restart", "full"};
+}
 
 std::vector<ScenarioSpec> suite(const std::string& name) {
   std::vector<ScenarioSpec> out;
   if (name == "smoke") {
     add_smoke(out);
+  } else if (name == "monitor-restart") {
+    add_monitor_restart(out);
   } else if (name == "full") {
     add_smoke(out);
     add_full(out);
+    add_monitor_restart(out);
   } else {
     throw std::invalid_argument("unknown chaos suite '" + name +
-                                "' (known: smoke, full)");
+                                "' (known: smoke, monitor-restart, full)");
   }
   return out;
 }

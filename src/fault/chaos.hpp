@@ -38,6 +38,7 @@
 #include "common/verdict.hpp"
 #include "fault/fault_plan.hpp"
 #include "runner/parallel_sweep.hpp"
+#include "service/supervisor.hpp"
 
 namespace chenfd::fault {
 
@@ -56,6 +57,11 @@ struct ChaosSchedule {
   std::size_t duplication_bursts = 0;  ///< heartbeat storms
   Duration burst_length = seconds(30.0);
   double burst_duplication = 1.0;
+  /// Monitor crash -> restart cycles (supervised scenarios only; arming a
+  /// plan containing them requires a MonitorSupervisor).
+  std::size_t monitor_crashes = 0;
+  Duration monitor_downtime_min = seconds(20.0);
+  Duration monitor_downtime_max = seconds(60.0);
 
   /// Number of faults the schedule injects per hour of horizon.
   [[nodiscard]] double intensity_per_hour() const;
@@ -84,6 +90,26 @@ struct ScenarioSpec {
   Duration reconfig_interval = seconds(40.0);
   Duration t_mr_lower = seconds(300.0);
   Duration t_m_upper = seconds(60.0);
+
+  /// True: a MonitorSupervisor fronts the adaptive service (implies the
+  /// adaptive probes) and monitor_crash/monitor_restart events are legal.
+  bool supervised = false;
+  service::MonitorSupervisor::RestartPolicy restart_policy =
+      service::MonitorSupervisor::RestartPolicy::kWarmPreferred;
+  Duration snapshot_interval = seconds(20.0);
+  Duration max_snapshot_age = seconds(300.0);
+  /// Flip one bit of the stored snapshot midway through every monitor
+  /// downtime window: every restart must detect the corruption (CRC-32
+  /// catches all single-bit errors) and fall back to a cold start.
+  bool corrupt_snapshots = false;
+  /// Re-trust bound applied after each monitor restart (per-policy: warm
+  /// restarts re-trust on the first live heartbeat, cold restarts need a
+  /// window refill, so cold scenarios set a larger slack).
+  Duration monitor_retrust_slack = seconds(30.0);
+  /// Oracle strengtheners for scenarios whose restart path is known by
+  /// construction: every restart must have been warm (resp. cold).
+  bool expect_all_warm = false;
+  bool expect_all_cold = false;
 
   ChaosSchedule chaos;  ///< randomized faults (sampled per substream)
   /// Scripted faults with fixed times, appended to the sampled plan.
@@ -126,6 +152,17 @@ struct ScenarioResult {
   bool risk_during_fault = false;
   bool risk_clear_at_end = false;
 
+  // Supervised-only observability (crash-tolerant monitor).
+  bool supervised = false;
+  std::size_t monitor_outages = 0;
+  std::size_t warm_restarts = 0;
+  std::size_t cold_restarts = 0;
+  std::size_t snapshots_taken = 0;
+  std::size_t snapshot_rejects = 0;
+  /// Mean time from monitor restart to the first Trust, over the restarts
+  /// that re-trusted before the horizon (0 if none did).
+  double mean_restart_retrust_s = 0.0;
+
   /// The recorded output signal (window [0, horizon]) for trace dumps and
   /// external audits (tools/audit_qos).
   std::vector<Transition> trace;
@@ -133,8 +170,10 @@ struct ScenarioResult {
 };
 
 /// The named suites.  "smoke" is a two-scenario subset sized for CI;
-/// "full" covers every family (flaky-link, flap-storm, partition-heal,
-/// slow-regime, crash-recover-cycle, plus the adaptive variants).
+/// "monitor-restart" exercises the crash-tolerant supervisor (warm, cold
+/// and corrupted-snapshot restarts); "full" covers every family
+/// (flaky-link, flap-storm, partition-heal, slow-regime,
+/// crash-recover-cycle, the adaptive variants, and monitor-restart).
 [[nodiscard]] std::vector<ScenarioSpec> suite(const std::string& name);
 [[nodiscard]] std::vector<std::string> suite_names();
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "service/supervisor.hpp"
 
 namespace chenfd::fault {
 
@@ -83,6 +84,14 @@ FaultPlan& FaultPlan::duplication_burst(TimePoint from, TimePoint until,
   return push(Event{Kind::kDuplicationOff, until});
 }
 
+FaultPlan& FaultPlan::monitor_crash(TimePoint at) {
+  return push(Event{Kind::kMonitorCrash, at});
+}
+
+FaultPlan& FaultPlan::monitor_restart(TimePoint at) {
+  return push(Event{Kind::kMonitorRestart, at});
+}
+
 std::vector<FaultPlan::Event> FaultPlan::sorted_events() const {
   std::vector<Event> sorted = events_;
   std::stable_sort(sorted.begin(), sorted.end(),
@@ -90,10 +99,17 @@ std::vector<FaultPlan::Event> FaultPlan::sorted_events() const {
   return sorted;
 }
 
-void FaultPlan::arm(core::Testbed& testbed) {
+void FaultPlan::arm(core::Testbed& testbed) { arm(testbed, nullptr); }
+
+void FaultPlan::arm(core::Testbed& testbed,
+                    service::MonitorSupervisor* supervisor) {
   expects(!armed_, "FaultPlan::arm: plan already armed");
   armed_ = true;
   sim::Simulator& sim = testbed.simulator();
+  // Monitor crash/restart must alternate (crash first), mirroring the
+  // sender's crash/recover contract, so the downtime windows are
+  // well-defined ground truth for the oracles.
+  bool monitor_down = false;
   for (Event& ev : sorted_events()) {
     switch (ev.kind) {
       case Kind::kCrash:
@@ -153,6 +169,22 @@ void FaultPlan::arm(core::Testbed& testbed) {
         sim.at(ev.at,
                [&testbed] { testbed.link().set_duplication_probability(0.0); });
         break;
+      case Kind::kMonitorCrash:
+        expects(supervisor != nullptr,
+                "FaultPlan::arm: monitor events need the supervisor overload");
+        expects(!monitor_down,
+                "FaultPlan::arm: monitor crash while already down");
+        monitor_down = true;
+        sim.at(ev.at, [supervisor] { supervisor->crash_monitor(); });
+        break;
+      case Kind::kMonitorRestart:
+        expects(supervisor != nullptr,
+                "FaultPlan::arm: monitor events need the supervisor overload");
+        expects(monitor_down,
+                "FaultPlan::arm: monitor restart without a preceding crash");
+        monitor_down = false;
+        sim.at(ev.at, [supervisor] { supervisor->restart_monitor(); });
+        break;
     }
   }
 }
@@ -176,6 +208,19 @@ std::vector<Window> FaultPlan::downtime_windows() const {
     if (ev.kind == Kind::kCrash) {
       out.push_back(Window{ev.at, TimePoint::infinity()});
     } else if (ev.kind == Kind::kRecover && !out.empty() &&
+               out.back().end.is_infinite()) {
+      out.back().end = ev.at;
+    }
+  }
+  return out;
+}
+
+std::vector<Window> FaultPlan::monitor_downtime_windows() const {
+  std::vector<Window> out;
+  for (const Event& ev : sorted_events()) {
+    if (ev.kind == Kind::kMonitorCrash) {
+      out.push_back(Window{ev.at, TimePoint::infinity()});
+    } else if (ev.kind == Kind::kMonitorRestart && !out.empty() &&
                out.back().end.is_infinite()) {
       out.back().end = ev.at;
     }

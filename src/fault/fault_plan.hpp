@@ -33,6 +33,10 @@
 #include "dist/distribution.hpp"
 #include "net/loss_model.hpp"
 
+namespace chenfd::service {
+class MonitorSupervisor;
+}  // namespace chenfd::service
+
 namespace chenfd::fault {
 
 /// A closed time interval during which a fault held the system down.
@@ -75,6 +79,14 @@ class FaultPlan {
   /// duplicated with probability `p` (1 = every delivery twice); the
   /// probability returns to 0 at `until`.
   FaultPlan& duplication_burst(TimePoint from, TimePoint until, double p);
+  /// Kills the *monitor* (not p) at `at`: the supervised service loses its
+  /// whole in-memory state.  Monitor crash/restart events must alternate
+  /// in time order (enforced at arm) and require the supervisor-aware
+  /// arm() overload.
+  FaultPlan& monitor_crash(TimePoint at);
+  /// Restarts the monitor at `at` (> the preceding monitor crash time);
+  /// warm or cold is the supervisor's decision, not the plan's.
+  FaultPlan& monitor_restart(TimePoint at);
 
   // ---- execution --------------------------------------------------------
 
@@ -85,6 +97,12 @@ class FaultPlan {
   /// may be queried or destroyed afterwards.
   void arm(core::Testbed& testbed);
 
+  /// As arm(testbed), additionally wiring monitor crash/restart events to
+  /// `supervisor` (must be attached to the same testbed and outlive the
+  /// run).  Plans without monitor events may use either overload; plans
+  /// with them must use this one.
+  void arm(core::Testbed& testbed, service::MonitorSupervisor* supervisor);
+
   // ---- ground truth for oracles -----------------------------------------
 
   /// The partition intervals, in time order.
@@ -92,6 +110,11 @@ class FaultPlan {
   /// The crash->recover downtime intervals, in time order.  A final crash
   /// with no recovery yields a window ending at +infinity.
   [[nodiscard]] std::vector<Window> downtime_windows() const;
+  /// The monitor crash->restart intervals, in time order (same final-crash
+  /// convention).  Deliberately NOT part of outage_windows(): heartbeats
+  /// still flow while the monitor is down — it is the observer that is
+  /// blind, not the link or p — so the outage oracles do not apply.
+  [[nodiscard]] std::vector<Window> monitor_downtime_windows() const;
   /// partition_windows() and downtime_windows() merged into one time-ordered
   /// list: every interval during which no heartbeat can get through.
   [[nodiscard]] std::vector<Window> outage_windows() const;
@@ -113,6 +136,8 @@ class FaultPlan {
     kClockRateQ,
     kDuplicationOn,
     kDuplicationOff,
+    kMonitorCrash,
+    kMonitorRestart,
   };
 
   struct Event {

@@ -1,0 +1,51 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for snapshot
+// integrity checking.
+//
+// The snapshot format (snapshot.hpp) appends a CRC over the payload so a
+// restarting monitor can tell a valid snapshot from a torn or bit-flipped
+// one before rehydrating state from it.  CRC-32 is deliberate: snapshots
+// guard against storage corruption, not adversaries, and the checksum must
+// be dependency-free (the container bakes in no crypto library) and cheap
+// enough to run on every save.
+//
+// The lookup table is built at compile time, so the header adds no static
+// initialization order hazards.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace chenfd::persist {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `data` (standard init/final XOR with 0xFFFFFFFF).
+[[nodiscard]] constexpr std::uint32_t crc32(std::string_view data) {
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (const char ch : data) {
+    c = detail::kCrc32Table[(c ^ static_cast<unsigned char>(ch)) & 0xFFU] ^
+        (c >> 8U);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace chenfd::persist

@@ -1,0 +1,410 @@
+#include "persist/snapshot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "persist/crc32.hpp"
+
+namespace chenfd::persist {
+
+namespace {
+
+constexpr std::array<const char*, 6> kRiskReasonNames = {
+    "none",    "infeasible",      "estimates_unusable",
+    "silence", "post_disruption", "warm_restart"};
+
+bool known_risk_reason(const std::string& word) {
+  return std::find(kRiskReasonNames.begin(), kRiskReasonNames.end(), word) !=
+         kRiskReasonNames.end();
+}
+
+// ---- writing --------------------------------------------------------------
+
+void write_estimator(std::ostream& os, const char* which,
+                     const EstimatorState& est) {
+  os << "estimator " << which << " " << est.capacity << " " << est.highest_seq
+     << " " << est.obs.size() << "\n";
+  for (const EstimatorState::Obs& o : est.obs) {
+    os << "eo " << o.seq << " " << o.delay_s << "\n";
+  }
+}
+
+// ---- parsing --------------------------------------------------------------
+
+/// Line-oriented cursor over the normalized payload with 1-based line
+/// numbers for diagnostics.  All `take_*` helpers throw SnapshotError
+/// naming the current line on any mismatch.
+class Parser {
+ public:
+  explicit Parser(std::vector<std::string> lines)
+      : lines_(std::move(lines)) {}
+
+  [[nodiscard]] std::size_t lineno() const { return next_; }
+
+  /// Opens the next line and requires its first token to be `keyword`.
+  void open(const std::string& keyword) {
+    if (next_ >= lines_.size()) {
+      throw SnapshotError("truncated: expected '" + keyword + "' record", 0);
+    }
+    ++next_;
+    tokens_.clear();
+    std::istringstream ls(lines_[next_ - 1]);
+    std::string token;
+    while (ls >> token) tokens_.push_back(std::move(token));
+    cursor_ = 0;
+    const std::string head = take_word();
+    if (head != keyword) {
+      fail("expected '" + keyword + "' record, got '" + head + "'");
+    }
+  }
+
+  /// Requires the current line to have been fully consumed.
+  void close() {
+    if (cursor_ != tokens_.size()) {
+      fail("trailing token '" + tokens_[cursor_] + "'");
+    }
+  }
+
+  [[nodiscard]] std::string take_word() {
+    if (cursor_ >= tokens_.size()) fail("missing field");
+    return tokens_[cursor_++];
+  }
+
+  [[nodiscard]] double take_double() {
+    const std::string word = take_word();
+    try {
+      std::size_t pos = 0;
+      const double value = std::stod(word, &pos);
+      if (pos != word.size()) throw std::invalid_argument(word);
+      return value;
+    } catch (const std::exception&) {
+      fail("malformed number '" + word + "'");
+    }
+  }
+
+  /// A double that must be finite (snapshot times, delays, parameters).
+  [[nodiscard]] double take_finite() {
+    const double value = take_double();
+    if (!std::isfinite(value)) fail("non-finite value");
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t take_u64() {
+    const std::string word = take_word();
+    try {
+      std::size_t pos = 0;
+      const std::uint64_t value = std::stoull(word, &pos);
+      if (pos != word.size() || word[0] == '-') {
+        throw std::invalid_argument(word);
+      }
+      return value;
+    } catch (const std::exception&) {
+      fail("malformed count '" + word + "'");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw SnapshotError(what, next_);
+  }
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t next_ = 0;  // index of the next line to open
+  std::vector<std::string> tokens_;
+  std::size_t cursor_ = 0;
+};
+
+EstimatorState read_estimator(Parser& p, const char* which) {
+  p.open("estimator");
+  const std::string label = p.take_word();
+  if (label != which) {
+    p.fail(std::string("expected '") + which + "' estimator, got '" + label +
+           "'");
+  }
+  EstimatorState est;
+  est.capacity = p.take_u64();
+  est.highest_seq = p.take_u64();
+  const std::uint64_t n = p.take_u64();
+  p.close();
+  if (est.capacity < 2) p.fail("estimator capacity must be >= 2");
+  if (n > est.capacity) p.fail("estimator window larger than its capacity");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    p.open("eo");
+    EstimatorState::Obs o;
+    o.seq = p.take_u64();
+    o.delay_s = p.take_finite();
+    p.close();
+    if (!est.obs.empty() && o.seq <= est.obs.back().seq) {
+      p.fail("estimator sequence numbers must be strictly increasing");
+    }
+    est.obs.push_back(o);
+  }
+  if (!est.obs.empty() && est.highest_seq < est.obs.back().seq) {
+    p.fail("estimator highest seq below its own window");
+  }
+  return est;
+}
+
+}  // namespace
+
+void write_snapshot(std::ostream& os, const MonitorSnapshot& snap) {
+  std::ostringstream payload;
+  payload.precision(std::numeric_limits<double>::max_digits10);
+
+  payload << "chenfd-snapshot v" << kSnapshotVersion << "\n";
+  payload << "taken_at " << snap.taken_at_s << "\n";
+  payload << "params " << snap.detector.eta_s << " " << snap.detector.alpha_s
+          << " " << snap.detector.window_capacity << "\n";
+  payload << "detector " << snap.detector.epoch_seq << " "
+          << snap.detector.max_seq << " " << snap.detector.window.size()
+          << "\n";
+  for (const DetectorState::Obs& o : snap.detector.window) {
+    payload << "dw " << o.normalized_s << " " << o.seq << "\n";
+  }
+  write_estimator(payload, "short", snap.short_term);
+  write_estimator(payload, "long", snap.long_term);
+  payload << "smoothed " << snap.smoothed_loss << " " << snap.smoothed_variance
+          << "\n";
+  payload << "risk " << (snap.qos_at_risk ? 1 : 0) << " " << snap.risk_reason
+          << " " << snap.backoff << "\n";
+  if (snap.has_last_arrival) {
+    payload << "last_arrival " << snap.last_arrival_s << "\n";
+  } else {
+    payload << "last_arrival none\n";
+  }
+  payload << "counters " << snap.reconfigurations << " " << snap.epoch_resets
+          << "\n";
+  payload << "requirements " << snap.req_detection_rel_s << " "
+          << snap.req_recurrence_s << " " << snap.req_duration_s << "\n";
+  payload << "apps " << snap.next_app_id << " " << snap.apps.size() << "\n";
+  for (const AppRequirement& app : snap.apps) {
+    payload << "app " << app.id << " " << app.detection_time_upper_rel_s << " "
+            << app.mistake_recurrence_lower_s << " "
+            << app.mistake_duration_upper_s << "\n";
+  }
+
+  const std::string bytes = payload.str();
+  os << bytes << "crc " << std::hex << std::setw(8) << std::setfill('0')
+     << crc32(bytes) << std::dec << "\n";
+}
+
+MonitorSnapshot read_snapshot(std::istream& is) {
+  std::string bytes(std::istreambuf_iterator<char>(is), {});
+  // CRLF tolerance: normalize before anything else so the CRC is computed
+  // over the same bytes the writer checksummed.
+  bytes.erase(std::remove(bytes.begin(), bytes.end(), '\r'), bytes.end());
+
+  // Split the trailing crc line from the payload it covers.
+  const std::size_t crc_pos = bytes.rfind("\ncrc ");
+  if (bytes.rfind("crc ", 0) == 0 || crc_pos == std::string::npos) {
+    // A leading crc line means an empty payload; both are rejects.
+    if (bytes.rfind("crc ", 0) != 0) {
+      throw SnapshotError("missing crc line", 0);
+    }
+    throw SnapshotError("empty payload before crc line", 1);
+  }
+  const std::string payload = bytes.substr(0, crc_pos + 1);
+  const std::string tail = bytes.substr(crc_pos + 1);
+  const std::size_t crc_lineno =
+      static_cast<std::size_t>(
+          std::count(payload.begin(), payload.end(), '\n')) +
+      1;
+  // The trailer must be byte-exact — "crc " + 8 lowercase hex digits +
+  // "\n", nothing before, between or after.  Anything looser (uppercase
+  // hex, 0x prefixes, stray whitespace, bytes after the final newline)
+  // would let a mutated snapshot alias the valid one.
+  if (tail.size() != 13 || tail.compare(0, 4, "crc ") != 0 ||
+      tail.back() != '\n') {
+    throw SnapshotError("malformed crc line", crc_lineno);
+  }
+  std::uint32_t declared = 0;
+  for (std::size_t i = 4; i < 12; ++i) {
+    const char c = tail[i];
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(10 + (c - 'a'));
+    } else {
+      throw SnapshotError("malformed crc '" + tail.substr(4, 8) + "'",
+                          crc_lineno);
+    }
+    declared = (declared << 4) | digit;
+  }
+  if (crc32(payload) != declared) {
+    throw SnapshotError("crc mismatch: snapshot is corrupt", crc_lineno);
+  }
+
+  // CRC verified: structural errors from here on indicate a writer bug or
+  // an unsupported version, and still reject with a line diagnostic.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < payload.size()) {
+    const std::size_t nl = payload.find('\n', start);
+    lines.push_back(payload.substr(start, nl - start));
+    start = nl + 1;
+  }
+  Parser p(std::move(lines));
+
+  p.open("chenfd-snapshot");
+  const std::string version = p.take_word();
+  p.close();
+  if (version.empty() || version[0] != 'v') {
+    p.fail("malformed version '" + version + "'");
+  }
+  if (version != "v" + std::to_string(kSnapshotVersion)) {
+    // Forward rejection: refuse rather than misparse a newer layout.
+    p.fail("unsupported snapshot version " + version + " (this build reads v" +
+           std::to_string(kSnapshotVersion) + ")");
+  }
+
+  MonitorSnapshot snap;
+  p.open("taken_at");
+  snap.taken_at_s = p.take_finite();
+  p.close();
+
+  p.open("params");
+  snap.detector.eta_s = p.take_finite();
+  snap.detector.alpha_s = p.take_finite();
+  snap.detector.window_capacity = p.take_u64();
+  p.close();
+  if (snap.detector.eta_s <= 0.0 || snap.detector.alpha_s <= 0.0) {
+    p.fail("detector parameters must be positive");
+  }
+  if (snap.detector.window_capacity < 1) {
+    p.fail("detector window capacity must be >= 1");
+  }
+
+  p.open("detector");
+  snap.detector.epoch_seq = p.take_u64();
+  snap.detector.max_seq = p.take_u64();
+  const std::uint64_t window_n = p.take_u64();
+  p.close();
+  if (window_n > snap.detector.window_capacity) {
+    p.fail("detector window larger than its capacity");
+  }
+  for (std::uint64_t i = 0; i < window_n; ++i) {
+    p.open("dw");
+    DetectorState::Obs o;
+    o.normalized_s = p.take_finite();
+    o.seq = p.take_u64();
+    p.close();
+    if (o.seq < snap.detector.epoch_seq) {
+      p.fail("detector window entry predates the epoch");
+    }
+    if (!snap.detector.window.empty() &&
+        o.seq <= snap.detector.window.back().seq) {
+      p.fail("detector sequence numbers must be strictly increasing");
+    }
+    snap.detector.window.push_back(o);
+  }
+  if (!snap.detector.window.empty() &&
+      snap.detector.max_seq < snap.detector.window.back().seq) {
+    p.fail("detector max seq below its own window");
+  }
+
+  snap.short_term = read_estimator(p, "short");
+  snap.long_term = read_estimator(p, "long");
+
+  p.open("smoothed");
+  snap.smoothed_loss = p.take_finite();
+  snap.smoothed_variance = p.take_finite();
+  p.close();
+
+  p.open("risk");
+  const std::uint64_t risk_flag = p.take_u64();
+  snap.risk_reason = p.take_word();
+  snap.backoff = p.take_finite();
+  p.close();
+  if (risk_flag > 1) p.fail("risk flag must be 0 or 1");
+  snap.qos_at_risk = risk_flag == 1;
+  if (!known_risk_reason(snap.risk_reason)) {
+    p.fail("unknown risk reason '" + snap.risk_reason + "'");
+  }
+  if (snap.qos_at_risk == (snap.risk_reason == "none")) {
+    p.fail("risk flag inconsistent with its reason");
+  }
+  if (snap.backoff < 1.0) p.fail("backoff must be >= 1");
+
+  p.open("last_arrival");
+  {
+    const std::string word = p.take_word();
+    p.close();
+    if (word == "none") {
+      snap.has_last_arrival = false;
+    } else {
+      std::istringstream ws(word);
+      double value = 0.0;
+      std::string extra;
+      if (!(ws >> value) || (ws >> extra) || !std::isfinite(value)) {
+        p.fail("malformed last_arrival '" + word + "'");
+      }
+      snap.has_last_arrival = true;
+      snap.last_arrival_s = value;
+    }
+  }
+
+  p.open("counters");
+  snap.reconfigurations = p.take_u64();
+  snap.epoch_resets = p.take_u64();
+  p.close();
+
+  p.open("requirements");
+  snap.req_detection_rel_s = p.take_finite();
+  snap.req_recurrence_s = p.take_finite();
+  snap.req_duration_s = p.take_finite();
+  p.close();
+  if (snap.req_detection_rel_s <= 0.0 || snap.req_recurrence_s <= 0.0 ||
+      snap.req_duration_s <= 0.0) {
+    p.fail("requirements must be positive");
+  }
+
+  p.open("apps");
+  snap.next_app_id = p.take_u64();
+  const std::uint64_t app_count = p.take_u64();
+  p.close();
+  for (std::uint64_t i = 0; i < app_count; ++i) {
+    p.open("app");
+    AppRequirement app;
+    app.id = p.take_u64();
+    app.detection_time_upper_rel_s = p.take_finite();
+    app.mistake_recurrence_lower_s = p.take_finite();
+    app.mistake_duration_upper_s = p.take_finite();
+    p.close();
+    if (app.id == 0 || app.id >= snap.next_app_id) {
+      p.fail("app id outside the registry's issued range");
+    }
+    if (!snap.apps.empty() && app.id <= snap.apps.back().id) {
+      p.fail("app ids must be strictly increasing");
+    }
+    if (app.detection_time_upper_rel_s <= 0.0 ||
+        app.mistake_recurrence_lower_s <= 0.0 ||
+        app.mistake_duration_upper_s <= 0.0) {
+      p.fail("app requirements must be positive");
+    }
+    snap.apps.push_back(app);
+  }
+
+  if (p.lineno() != crc_lineno - 1) {
+    throw SnapshotError("unconsumed payload after apps section",
+                        p.lineno() + 1);
+  }
+  return snap;
+}
+
+std::string to_string(const MonitorSnapshot& snap) {
+  std::ostringstream os;
+  write_snapshot(os, snap);
+  return os.str();
+}
+
+MonitorSnapshot from_string(const std::string& bytes) {
+  std::istringstream is(bytes);
+  return read_snapshot(is);
+}
+
+}  // namespace chenfd::persist

@@ -1,0 +1,158 @@
+// Versioned, checksummed monitor snapshots (DESIGN.md section 9).
+//
+// A MonitorSnapshot is the full serializable state of the adaptive
+// monitoring service at one instant of q-local time: the NFD-E Eq. 6.3
+// running window and freshness epoch, both components of the two-component
+// network estimator, the EWMA-smoothed configuration inputs, the registered
+// per-application QoS demands, and the qos_at_risk latches.  A supervisor
+// (service/supervisor.hpp) saves one periodically; after a monitor crash it
+// decides between a warm restart (rehydrate from the snapshot) and a cold
+// restart (conservative parameters) based on whether a fresh, *valid*
+// snapshot exists.
+//
+// Wire format — plain text, following the trace-file discipline
+// (qos/trace.hpp): line-oriented, doubles printed with max_digits10 so a
+// serialize -> parse -> serialize round trip is bit-exact, CRLF tolerated
+// on input.
+//
+//   chenfd-snapshot v1
+//   taken_at <q-local-seconds>
+//   params <eta> <alpha> <window-capacity>
+//   detector <epoch-seq> <max-seq> <n>
+//   dw <normalized-seconds> <seq>                  (n lines)
+//   estimator <short|long> <capacity> <highest-seq> <n>
+//   eo <seq> <delay-seconds>                       (n lines, per estimator)
+//   smoothed <loss> <variance>
+//   risk <0|1> <reason-word> <backoff>
+//   last_arrival <q-local-seconds | none>
+//   counters <reconfigurations> <epoch-resets>
+//   requirements <T_D^u> <T_MR^L> <T_M^U>
+//   apps <next-id> <count>
+//   app <id> <T_D^u> <T_MR^L> <T_M^U>              (count lines)
+//   crc <8-hex-digits>
+//
+// Integrity rules:
+//   - the version line must name exactly the supported version; snapshots
+//     from a *newer* format are rejected, never half-parsed (forward
+//     rejection — an old binary must not misread a new field as garbage);
+//   - the final crc line holds the CRC-32 of every byte above it (with
+//     CRLF normalized to LF); any mismatch rejects the snapshot;
+//   - every structural violation throws SnapshotError carrying the
+//     offending line number, so corruption diagnostics are actionable.
+//
+// Rejection is an *expected* outcome for the supervisor (it falls back to
+// a cold restart), hence a dedicated exception type rather than the
+// contract-violation machinery.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace chenfd::persist {
+
+/// The snapshot format version this build reads and writes.
+inline constexpr int kSnapshotVersion = 1;
+
+/// Thrown when a snapshot is structurally invalid, checksum-corrupt, or of
+/// an unsupported version.  `line()` is the 1-based offending line (0 when
+/// the problem is not attributable to one line, e.g. a truncated stream).
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(const std::string& what, std::size_t line)
+      : std::runtime_error(line == 0 ? "snapshot: " + what
+                                     : "snapshot: " + what + " (line " +
+                                           std::to_string(line) + ")"),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// One NetworkEstimator sliding window (core/estimators.hpp).
+struct EstimatorState {
+  struct Obs {
+    std::uint64_t seq = 0;
+    double delay_s = 0.0;
+  };
+
+  std::size_t capacity = 0;
+  std::uint64_t highest_seq = 0;
+  std::vector<Obs> obs;  ///< strictly increasing seq, size <= capacity
+};
+
+/// The NFD-E detector: parameters, freshness epoch, Eq. 6.3 window.
+struct DetectorState {
+  struct Obs {
+    double normalized_s = 0.0;  ///< A'_i - eta * (s_i - epoch), q-local
+    std::uint64_t seq = 0;
+  };
+
+  double eta_s = 0.0;
+  double alpha_s = 0.0;
+  std::size_t window_capacity = 0;
+  std::uint64_t epoch_seq = 0;
+  std::uint64_t max_seq = 0;  ///< largest sequence number received (ell)
+  std::vector<Obs> window;    ///< strictly increasing seq
+};
+
+/// One registered application's relative QoS demand.
+struct AppRequirement {
+  std::uint64_t id = 0;
+  double detection_time_upper_rel_s = 0.0;
+  double mistake_recurrence_lower_s = 0.0;
+  double mistake_duration_upper_s = 0.0;
+};
+
+/// The full monitor-side state at `taken_at` (q-local seconds).
+struct MonitorSnapshot {
+  double taken_at_s = 0.0;
+
+  DetectorState detector;
+  EstimatorState short_term;
+  EstimatorState long_term;
+
+  // EWMA-smoothed configuration inputs (negative = not primed).
+  double smoothed_loss = -1.0;
+  double smoothed_variance = -1.0;
+
+  // Risk latches (reason stored by name; see risk_reason_names below).
+  bool qos_at_risk = false;
+  std::string risk_reason = "none";
+  double backoff = 1.0;
+
+  bool has_last_arrival = false;
+  double last_arrival_s = 0.0;
+
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t epoch_resets = 0;
+
+  // The merged requirement the monitor is currently configured against.
+  double req_detection_rel_s = 0.0;
+  double req_recurrence_s = 0.0;
+  double req_duration_s = 0.0;
+
+  // Registered per-application demands (the registry's contents).
+  std::uint64_t next_app_id = 1;
+  std::vector<AppRequirement> apps;
+};
+
+/// Serializes `snap` in the format above, CRC line included.
+void write_snapshot(std::ostream& os, const MonitorSnapshot& snap);
+
+/// Parses and integrity-checks a snapshot.  Throws SnapshotError on any
+/// version, checksum or structural violation.
+[[nodiscard]] MonitorSnapshot read_snapshot(std::istream& is);
+
+/// Convenience round-trip helpers over std::string.
+[[nodiscard]] std::string to_string(const MonitorSnapshot& snap);
+[[nodiscard]] MonitorSnapshot from_string(const std::string& bytes);
+
+}  // namespace chenfd::persist

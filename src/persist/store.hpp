@@ -1,0 +1,52 @@
+// Where snapshots live between a monitor crash and its restart.
+//
+// The supervisor persists opaque serialized bytes (persist/snapshot.hpp)
+// through this interface; integrity checking happens at parse time, not
+// here, so a store never needs to understand the format.  The in-memory
+// store is the default for the deterministic simulation harness: it models
+// "stable storage that survives the monitor process" (the q-side crash
+// kills the monitor's heap, not its disk), while keeping chaos suites free
+// of filesystem nondeterminism.  Corruption experiments mutate the stored
+// bytes directly through load()/save() — a bit flip through this interface
+// is exactly a bit flip on the simulated disk.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace chenfd::persist {
+
+class SnapshotStore {
+ public:
+  virtual ~SnapshotStore() = default;
+
+  /// Atomically replaces the stored snapshot.
+  virtual void save(std::string bytes) = 0;
+
+  /// The most recently saved snapshot, or nullopt if none was ever saved
+  /// (or the store was cleared).
+  [[nodiscard]] virtual std::optional<std::string> load() const = 0;
+
+  /// Drops the stored snapshot (models losing stable storage too).
+  virtual void clear() = 0;
+};
+
+/// Simulated stable storage: survives monitor crashes by living in the
+/// supervisor, not the monitor.
+class MemorySnapshotStore final : public SnapshotStore {
+ public:
+  void save(std::string bytes) override { bytes_ = std::move(bytes); }
+
+  [[nodiscard]] std::optional<std::string> load() const override {
+    return bytes_;
+  }
+
+  void clear() override { bytes_.reset(); }
+
+ private:
+  std::optional<std::string> bytes_;
+};
+
+}  // namespace chenfd::persist

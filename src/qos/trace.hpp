@@ -62,6 +62,9 @@ inline TraceFile read_trace(std::istream& is) {
   std::size_t lineno = 0;
   while (std::getline(is, line)) {
     ++lineno;
+    // Tolerate CRLF input: getline stops at '\n' and leaves the '\r' on
+    // the line, which must not end up inside the last token.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);

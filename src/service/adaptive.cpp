@@ -32,18 +32,27 @@ AdaptiveMonitor::AdaptiveMonitor(sim::Simulator& simulator,
 }
 
 void AdaptiveMonitor::activate() {
+  CHENFD_EXPECTS(!active_, "AdaptiveMonitor::activate: already active");
+  active_ = true;
   detector_.activate();
+  // Re-arm the silence detector from this instant: after a stop/restart
+  // cycle the pre-stop arrival history says nothing about the gap just
+  // spent inactive.
   activated_local_ = q_clock_.local(sim_.now());
-  timer_ = sim_.after(options_.reconfig_interval, [this] { reconfigure(); });
+  last_arrival_local_.reset();
+  timer_ = sim_.after(options_.reconfig_interval * backoff_,
+                      [this] { reconfigure(); });
 }
 
 void AdaptiveMonitor::stop() {
-  stopped_ = true;
+  active_ = false;
   if (timer_ != 0) sim_.cancel(timer_);
+  timer_ = 0;
   detector_.stop();
 }
 
 void AdaptiveMonitor::on_heartbeat(const net::Message& m, TimePoint real_now) {
+  if (!active_) return;
   const TimePoint local_now = q_clock_.local(real_now);
   if (options_.silence_factor > 0.0 && last_arrival_local_ &&
       local_now - *last_arrival_local_ > silence_bound()) {
@@ -83,15 +92,151 @@ void AdaptiveMonitor::update_requirements(
   options_.requirements = req;
 }
 
+void AdaptiveMonitor::adopt_params(core::NfdUParams params) {
+  expects(!active_,
+          "AdaptiveMonitor::adopt_params: adopt into an active service");
+  sender_.set_eta(params.eta);
+  detector_.rebase(params, sender_.next_seq());
+}
+
+void AdaptiveMonitor::latch_risk(RiskReason reason) {
+  expects(reason != RiskReason::kNone,
+          "AdaptiveMonitor::latch_risk: kNone is not a latchable reason");
+  raise_risk(reason, /*backoff=*/false);
+}
+
+namespace {
+
+persist::EstimatorState estimator_state(const core::NetworkEstimator& est) {
+  persist::EstimatorState state;
+  state.capacity = est.capacity();
+  state.highest_seq = est.highest_seq();
+  for (const core::NetworkEstimator::Sample& s : est.samples_snapshot()) {
+    state.obs.push_back(persist::EstimatorState::Obs{s.seq, s.delay_s});
+  }
+  return state;
+}
+
+}  // namespace
+
+persist::MonitorSnapshot AdaptiveMonitor::snapshot() const {
+  persist::MonitorSnapshot snap;
+  snap.taken_at_s = q_clock_.local(sim_.now()).seconds();
+
+  snap.detector.eta_s = detector_.params().eta.seconds();
+  snap.detector.alpha_s = detector_.params().alpha.seconds();
+  snap.detector.window_capacity = detector_.window_capacity();
+  snap.detector.epoch_seq = detector_.epoch_seq();
+  snap.detector.max_seq = detector_.max_seq();
+  for (const core::NfdE::Observation& o : detector_.window_snapshot()) {
+    snap.detector.window.push_back(
+        persist::DetectorState::Obs{o.normalized, o.seq});
+  }
+
+  snap.short_term = estimator_state(estimator_.short_term());
+  snap.long_term = estimator_state(estimator_.long_term());
+
+  snap.smoothed_loss = smoothed_loss_;
+  snap.smoothed_variance = smoothed_variance_;
+
+  snap.qos_at_risk = qos_at_risk_;
+  snap.risk_reason = to_string(risk_reason_);
+  snap.backoff = backoff_;
+
+  snap.has_last_arrival = last_arrival_local_.has_value();
+  snap.last_arrival_s =
+      last_arrival_local_ ? last_arrival_local_->seconds() : 0.0;
+
+  snap.reconfigurations = reconfigs_;
+  snap.epoch_resets = epoch_resets_;
+
+  snap.req_detection_rel_s =
+      options_.requirements.detection_time_upper_rel.seconds();
+  snap.req_recurrence_s =
+      options_.requirements.mistake_recurrence_lower.seconds();
+  snap.req_duration_s = options_.requirements.mistake_duration_upper.seconds();
+  // next_app_id / apps stay at their defaults: the supervisor owns the
+  // registry and fills them in before persisting.
+  return snap;
+}
+
+void AdaptiveMonitor::restore_from(const persist::MonitorSnapshot& snap,
+                                   Duration gap) {
+  expects(!active_,
+          "AdaptiveMonitor::restore_from: restore into an active service");
+  expects(gap >= Duration::zero(),
+          "AdaptiveMonitor::restore_from: negative downtime gap");
+  expects(snap.detector.eta_s > 0.0 && snap.detector.alpha_s > 0.0,
+          "AdaptiveMonitor::restore_from: non-positive detector parameters");
+
+  const core::NfdUParams params{seconds(snap.detector.eta_s),
+                                seconds(snap.detector.alpha_s)};
+
+  // The Eq. 6.3 window restores VERBATIM: its normalized q-local values
+  // stay consistent with p's unchanged sending schedule, so the first live
+  // heartbeat re-trusts immediately (the whole value of a warm restart).
+  std::vector<core::NfdE::Observation> window;
+  window.reserve(snap.detector.window.size());
+  for (const persist::DetectorState::Obs& o : snap.detector.window) {
+    window.push_back(core::NfdE::Observation{o.normalized_s, o.seq});
+  }
+  detector_.restore(params, snap.detector.epoch_seq, window,
+                    snap.detector.max_seq);
+
+  // The estimator windows slide forward by the heartbeats p sent while the
+  // monitor was down — unobservable, not lost — so the loss estimate does
+  // not spike at the first post-restart arrival.
+  const net::SeqNo seq_shift = static_cast<net::SeqNo>(
+      std::max<long long>(0, std::llround(gap.seconds() / snap.detector.eta_s)));
+  auto samples = [](const persist::EstimatorState& state) {
+    std::vector<core::NetworkEstimator::Sample> out;
+    out.reserve(state.obs.size());
+    for (const persist::EstimatorState::Obs& o : state.obs) {
+      out.push_back(core::NetworkEstimator::Sample{o.seq, o.delay_s});
+    }
+    return out;
+  };
+  estimator_.restore(samples(snap.short_term), snap.short_term.highest_seq,
+                     samples(snap.long_term), snap.long_term.highest_seq,
+                     seq_shift);
+
+  smoothed_loss_ = snap.smoothed_loss;
+  smoothed_variance_ = snap.smoothed_variance;
+  backoff_ = std::clamp(snap.backoff, 1.0, options_.max_backoff_factor);
+  reconfigs_ = snap.reconfigurations;
+  epoch_resets_ = snap.epoch_resets;
+
+  const core::RelativeRequirements req{seconds(snap.req_detection_rel_s),
+                                       seconds(snap.req_recurrence_s),
+                                       seconds(snap.req_duration_s)};
+  expects(req.valid(),
+          "AdaptiveMonitor::restore_from: invalid snapshot requirements");
+  options_.requirements = req;
+
+  // The pre-crash arrival history says nothing about the downtime just
+  // crossed; the silence detector re-seeds at activate() and the
+  // kWarmRestart latch holds until a post-restore heartbeat is observed
+  // AND a reconfiguration round then succeeds.
+  last_arrival_local_.reset();
+  raise_risk(RiskReason::kWarmRestart, /*backoff=*/false);
+}
+
 void AdaptiveMonitor::reconfigure() {
-  if (stopped_) return;
+  if (!active_) return;
   reconfigure_round();
-  if (stopped_) return;
+  if (!active_) return;
   timer_ = sim_.after(options_.reconfig_interval * backoff_,
                       [this] { reconfigure(); });
 }
 
 void AdaptiveMonitor::reconfigure_round() {
+  // A warm-restarted service runs on rehydrated estimates; they are only
+  // trustworthy once the live stream has confirmed the old sending
+  // schedule still holds.  Until the first post-restore heartbeat the
+  // round neither revalidates nor reconfigures.
+  if (risk_reason_ == RiskReason::kWarmRestart && !last_arrival_local_) {
+    return;
+  }
   // Ongoing silence: the link is effectively down right now.  The window
   // estimates predate the outage, so reconfiguring from them would encode
   // a regime that no longer exists — only flag the risk.
@@ -187,6 +332,36 @@ void AdaptiveMonitor::reconfigure_round() {
   sender_.set_eta(target.eta);
   detector_.rebase(target, sender_.next_seq());
   ++reconfigs_;
+}
+
+const char* to_string(AdaptiveMonitor::RiskReason reason) {
+  switch (reason) {
+    case AdaptiveMonitor::RiskReason::kNone:
+      return "none";
+    case AdaptiveMonitor::RiskReason::kInfeasible:
+      return "infeasible";
+    case AdaptiveMonitor::RiskReason::kEstimatesUnusable:
+      return "estimates_unusable";
+    case AdaptiveMonitor::RiskReason::kSilence:
+      return "silence";
+    case AdaptiveMonitor::RiskReason::kPostDisruption:
+      return "post_disruption";
+    case AdaptiveMonitor::RiskReason::kWarmRestart:
+      return "warm_restart";
+  }
+  return "none";  // unreachable; keeps -Wreturn-type quiet
+}
+
+std::optional<AdaptiveMonitor::RiskReason> risk_reason_from_string(
+    const std::string& word) {
+  using R = AdaptiveMonitor::RiskReason;
+  if (word == "none") return R::kNone;
+  if (word == "infeasible") return R::kInfeasible;
+  if (word == "estimates_unusable") return R::kEstimatesUnusable;
+  if (word == "silence") return R::kSilence;
+  if (word == "post_disruption") return R::kPostDisruption;
+  if (word == "warm_restart") return R::kWarmRestart;
+  return std::nullopt;
 }
 
 }  // namespace chenfd::service

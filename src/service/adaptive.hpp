@@ -44,12 +44,14 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 
 #include "clock/clock.hpp"
 #include "core/config.hpp"
 #include "core/estimators.hpp"
 #include "core/heartbeat_sender.hpp"
 #include "core/nfd_e.hpp"
+#include "persist/snapshot.hpp"
 #include "sim/simulator.hpp"
 
 namespace chenfd::service {
@@ -95,18 +97,59 @@ class AdaptiveMonitor final : public core::FailureDetector {
     kEstimatesUnusable, ///< non-finite / out-of-domain estimates
     kSilence,           ///< no heartbeat for longer than the silence bound
     kPostDisruption,    ///< epoch reset done, QoS not yet revalidated
+    kWarmRestart,       ///< rehydrated from a snapshot, not yet revalidated
   };
 
   AdaptiveMonitor(sim::Simulator& simulator, const clk::Clock& q_clock,
                   core::HeartbeatSender& sender, Options options);
 
+  /// Arms the service: activates the inner detector, seeds the silence
+  /// detector at the current instant and schedules the first
+  /// reconfiguration round.  Lifecycle contract: activate() on an already
+  /// active service is a precondition violation; activate() after stop()
+  /// cleanly re-arms both the reconfiguration timer and the silence
+  /// detector (the supervisor's restart path relies on this).
   void activate() override;
   void on_heartbeat(const net::Message& m, TimePoint real_now) override;
+  /// Quiesces the service: cancels the reconfiguration timer and stops the
+  /// inner detector.  Idempotent; reversible via activate().
   void stop();
 
   /// Replaces the QoS target (e.g. when the application registry changes);
   /// takes effect at the next reconfiguration.
   void update_requirements(const core::RelativeRequirements& req);
+
+  /// Latches qos_at_risk with `reason` (!= kNone) without touching the
+  /// running parameters.  The supervisor uses it to mark a cold-restarted
+  /// monitor as unvalidated; the latch clears on the next successful
+  /// reconfiguration round, like every other risk reason.
+  void latch_risk(RiskReason reason);
+
+  /// Captures the full monitor-side state (DESIGN.md section 9): detector
+  /// window and epoch, both estimator components, smoothed configuration
+  /// inputs, risk latches and counters.  The registry fields of the
+  /// returned snapshot are left empty — the supervisor owns the
+  /// application registry and fills them in before persisting.
+  [[nodiscard]] persist::MonitorSnapshot snapshot() const;
+
+  /// Cold restart: adopts `params` as the running configuration by
+  /// renegotiating the heartbeat rate with the sender and rebasing the
+  /// detector's estimation epoch at the next sequence number — the same
+  /// two-sided step a reconfiguration round performs, but driven by the
+  /// supervisor's conservative Chebyshev-bound choice instead of live
+  /// estimates.  Call before activate().
+  void adopt_params(core::NfdUParams params);
+
+  /// Warm restart: rehydrates the state captured by snapshot() into this
+  /// (not yet activated) service.  `gap` is the q-local time elapsed since
+  /// the snapshot was taken; the estimator windows are slid forward by
+  /// round(gap / eta) sequence numbers so the heartbeats p sent while the
+  /// monitor was down are forgiven rather than booked as losses (the same
+  /// normalization shift the crash-recovery epoch rebase applies).  The
+  /// restored service latches qos_at_risk with kWarmRestart; the latch can
+  /// only clear after at least one post-restore heartbeat has been
+  /// observed and a reconfiguration round then succeeds.
+  void restore_from(const persist::MonitorSnapshot& snap, Duration gap);
 
   [[nodiscard]] core::NfdUParams current_params() const {
     return detector_.params();
@@ -155,7 +198,7 @@ class AdaptiveMonitor final : public core::FailureDetector {
   std::size_t epoch_resets_ = 0;
   double backoff_ = 1.0;
   sim::EventId timer_ = 0;
-  bool stopped_ = false;
+  bool active_ = false;
   // Local arrival time of the newest heartbeat (empty before the first);
   // activation time seeds the silence detector for a blackout-from-start.
   std::optional<TimePoint> last_arrival_local_;
@@ -164,5 +207,11 @@ class AdaptiveMonitor final : public core::FailureDetector {
   double smoothed_loss_ = -1.0;
   double smoothed_variance_ = -1.0;
 };
+
+/// Stable wire names for RiskReason, used by the snapshot format (v1).
+[[nodiscard]] const char* to_string(AdaptiveMonitor::RiskReason reason);
+/// Inverse of to_string; returns nullopt for unknown words.
+[[nodiscard]] std::optional<AdaptiveMonitor::RiskReason>
+risk_reason_from_string(const std::string& word);
 
 }  // namespace chenfd::service

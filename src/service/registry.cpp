@@ -10,10 +10,24 @@ AppId RequirementRegistry::add(const qos::Requirements& req) {
   expects(req.valid(), "RequirementRegistry::add: invalid requirements");
   const AppId id = next_id_++;
   apps_.emplace(id, req);
+  notify();
   return id;
 }
 
-bool RequirementRegistry::remove(AppId id) { return apps_.erase(id) > 0; }
+bool RequirementRegistry::update(AppId id, const qos::Requirements& req) {
+  expects(req.valid(), "RequirementRegistry::update: invalid requirements");
+  const auto it = apps_.find(id);
+  if (it == apps_.end()) return false;
+  it->second = req;
+  notify();
+  return true;
+}
+
+bool RequirementRegistry::remove(AppId id) {
+  if (apps_.erase(id) == 0) return false;
+  notify();
+  return true;
+}
 
 std::optional<qos::Requirements> RequirementRegistry::merged() const {
   if (apps_.empty()) return std::nullopt;
@@ -29,16 +43,34 @@ std::optional<qos::Requirements> RequirementRegistry::merged() const {
   return out;
 }
 
+void RequirementRegistry::notify() const {
+  if (listener_) listener_(merged());
+}
+
 AppId RelativeRequirementRegistry::add(const core::RelativeRequirements& req) {
   expects(req.valid(),
           "RelativeRequirementRegistry::add: invalid requirements");
   const AppId id = next_id_++;
   apps_.emplace(id, req);
+  notify();
   return id;
 }
 
+bool RelativeRequirementRegistry::update(AppId id,
+                                         const core::RelativeRequirements& req) {
+  expects(req.valid(),
+          "RelativeRequirementRegistry::update: invalid requirements");
+  const auto it = apps_.find(id);
+  if (it == apps_.end()) return false;
+  it->second = req;
+  notify();
+  return true;
+}
+
 bool RelativeRequirementRegistry::remove(AppId id) {
-  return apps_.erase(id) > 0;
+  if (apps_.erase(id) == 0) return false;
+  notify();
+  return true;
 }
 
 std::optional<core::RelativeRequirements> RelativeRequirementRegistry::merged()
@@ -54,6 +86,23 @@ std::optional<core::RelativeRequirements> RelativeRequirementRegistry::merged()
         std::min(out.mistake_duration_upper, req.mistake_duration_upper);
   }
   return out;
+}
+
+void RelativeRequirementRegistry::restore(
+    AppId next_id,
+    const std::map<AppId, core::RelativeRequirements>& entries) {
+  for (const auto& [id, req] : entries) {
+    expects(id < next_id,
+            "RelativeRequirementRegistry::restore: handle >= next id");
+    expects(req.valid(),
+            "RelativeRequirementRegistry::restore: invalid requirements");
+  }
+  apps_ = entries;
+  next_id_ = next_id;
+}
+
+void RelativeRequirementRegistry::notify() const {
+  if (listener_) listener_(merged());
 }
 
 }  // namespace chenfd::service

@@ -9,10 +9,15 @@
 // the merged requirement takes the tightest bound of each component —
 // the minimum detection-time bound, the maximum mistake-recurrence lower
 // bound, and the minimum mistake-duration upper bound.
+//
+// Every mutation (add / update / remove) re-merges and notifies the
+// registered listener, so a monitor wired to the registry is reconfigured
+// the moment the demand set changes rather than at its own polling cadence.
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 
@@ -26,8 +31,18 @@ using AppId = std::uint64_t;
 /// Registry for absolute requirements (synchronized clocks, Section 4/5).
 class RequirementRegistry {
  public:
+  /// Called with the new merged requirement after every mutation (nullopt
+  /// when the last application deregistered).
+  using MergedListener =
+      std::function<void(const std::optional<qos::Requirements>&)>;
+
   /// Registers an application's demands; returns its handle.
   AppId add(const qos::Requirements& req);
+
+  /// Replaces a registered application's demands in place (the paper's
+  /// "changes in the current set of QoS demands" also covers an existing
+  /// application renegotiating).  Returns false if the handle is unknown.
+  bool update(AppId id, const qos::Requirements& req);
 
   /// Deregisters an application; returns false if the handle is unknown.
   bool remove(AppId id);
@@ -38,22 +53,54 @@ class RequirementRegistry {
   /// registered.
   [[nodiscard]] std::optional<qos::Requirements> merged() const;
 
+  /// Installs the single mutation listener (replacing any previous one).
+  void set_merged_listener(MergedListener listener) {
+    listener_ = std::move(listener);
+  }
+
  private:
+  void notify() const;
+
   std::map<AppId, qos::Requirements> apps_;
   AppId next_id_ = 1;
+  MergedListener listener_;
 };
 
 /// Registry for relative requirements (unsynchronized clocks, Section 6).
 class RelativeRequirementRegistry {
  public:
+  using MergedListener =
+      std::function<void(const std::optional<core::RelativeRequirements>&)>;
+
   AppId add(const core::RelativeRequirements& req);
+  /// See RequirementRegistry::update.
+  bool update(AppId id, const core::RelativeRequirements& req);
   bool remove(AppId id);
   [[nodiscard]] std::size_t size() const { return apps_.size(); }
   [[nodiscard]] std::optional<core::RelativeRequirements> merged() const;
+  void set_merged_listener(MergedListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// The registered demands by handle (monitor snapshots serialize these).
+  [[nodiscard]] const std::map<AppId, core::RelativeRequirements>& entries()
+      const {
+    return apps_;
+  }
+  [[nodiscard]] AppId next_id() const { return next_id_; }
+
+  /// Replaces the whole registry from a snapshot (supervised warm restart).
+  /// Handles must be < `next_id`; the listener is NOT notified — the
+  /// restore path configures the monitor from the snapshot directly.
+  void restore(AppId next_id,
+               const std::map<AppId, core::RelativeRequirements>& entries);
 
  private:
+  void notify() const;
+
   std::map<AppId, core::RelativeRequirements> apps_;
   AppId next_id_ = 1;
+  MergedListener listener_;
 };
 
 }  // namespace chenfd::service

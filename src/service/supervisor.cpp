@@ -1,0 +1,189 @@
+#include "service/supervisor.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/config.hpp"
+
+namespace chenfd::service {
+
+MonitorSupervisor::MonitorSupervisor(sim::Simulator& simulator,
+                                     const clk::Clock& q_clock,
+                                     core::HeartbeatSender& sender,
+                                     persist::SnapshotStore& store,
+                                     Options options)
+    : sim_(simulator),
+      q_clock_(q_clock),
+      sender_(sender),
+      store_(store),
+      options_(std::move(options)) {
+  expects(options_.snapshot_interval > Duration::zero(),
+          "MonitorSupervisor: snapshot interval must be positive");
+  expects(options_.max_snapshot_age > Duration::zero(),
+          "MonitorSupervisor: max snapshot age must be positive");
+  expects(options_.cold_loss_assumption >= 0.0 &&
+              options_.cold_loss_assumption < 1.0,
+          "MonitorSupervisor: cold loss assumption must be in [0, 1)");
+  expects(options_.cold_variance_assumption >= 0.0,
+          "MonitorSupervisor: cold variance assumption must be >= 0");
+  // Registry mutations reconfigure the live monitor immediately; while the
+  // monitor is down the merged requirement is picked up at restart.
+  registry_.set_merged_listener(
+      [this](const std::optional<core::RelativeRequirements>& merged) {
+        if (monitor_ && merged) monitor_->update_requirements(*merged);
+      });
+}
+
+std::unique_ptr<AdaptiveMonitor> MonitorSupervisor::make_monitor(
+    const AdaptiveMonitor::Options& options) {
+  auto monitor =
+      std::make_unique<AdaptiveMonitor>(sim_, q_clock_, sender_, options);
+  monitor->add_listener(
+      [this](const Transition& t) { set_output(t.at, t.to); });
+  return monitor;
+}
+
+void MonitorSupervisor::activate() {
+  expects(!started_, "MonitorSupervisor::activate: already started");
+  started_ = true;
+  AdaptiveMonitor::Options opts = options_.monitor;
+  if (const auto merged = registry_.merged()) opts.requirements = *merged;
+  monitor_ = make_monitor(opts);
+  monitor_->activate();
+  arm_snapshot_timer();
+}
+
+void MonitorSupervisor::on_heartbeat(const net::Message& m,
+                                     TimePoint real_now) {
+  if (monitor_) monitor_->on_heartbeat(m, real_now);
+}
+
+void MonitorSupervisor::arm_snapshot_timer() {
+  snapshot_timer_ =
+      sim_.after(options_.snapshot_interval, [this] { take_snapshot(); });
+}
+
+void MonitorSupervisor::take_snapshot() {
+  if (monitor_) {
+    persist::MonitorSnapshot snap = monitor_->snapshot();
+    snap.next_app_id = registry_.next_id();
+    for (const auto& [id, req] : registry_.entries()) {
+      snap.apps.push_back(persist::AppRequirement{
+          id, req.detection_time_upper_rel.seconds(),
+          req.mistake_recurrence_lower.seconds(),
+          req.mistake_duration_upper.seconds()});
+    }
+    store_.save(persist::to_string(snap));
+    ++snapshots_taken_;
+  }
+  arm_snapshot_timer();
+}
+
+AppId MonitorSupervisor::register_app(const core::RelativeRequirements& req) {
+  // The registry's merged-listener pushes the new demand set into the live
+  // monitor; while the monitor is down it is picked up at restart.
+  return registry_.add(req);
+}
+
+bool MonitorSupervisor::update_app(AppId id,
+                                   const core::RelativeRequirements& req) {
+  return registry_.update(id, req);
+}
+
+bool MonitorSupervisor::deregister_app(AppId id) {
+  return registry_.remove(id);
+}
+
+void MonitorSupervisor::crash_monitor() {
+  expects(monitor_ != nullptr,
+          "MonitorSupervisor::crash_monitor: monitor already down");
+  // stop() cancels every timer the incarnation owns; destroying it then
+  // takes the detector window, estimator components and risk latches with
+  // it.  Only the snapshot store outlives the crash.
+  monitor_->stop();
+  monitor_.reset();
+  set_output(q_clock_.local(sim_.now()), Verdict::kSuspect);
+}
+
+void MonitorSupervisor::restart_monitor() {
+  expects(monitor_ == nullptr,
+          "MonitorSupervisor::restart_monitor: monitor still up");
+  const TimePoint local_now = q_clock_.local(sim_.now());
+
+  if (options_.policy == RestartPolicy::kColdAlways) {
+    last_restart_detail_ = "cold: policy forbids warm restarts";
+    cold_restart();
+    return;
+  }
+  const std::optional<std::string> stored = store_.load();
+  if (!stored) {
+    last_restart_detail_ = "cold: no snapshot in stable storage";
+    cold_restart();
+    return;
+  }
+  persist::MonitorSnapshot snap;
+  try {
+    snap = persist::from_string(*stored);
+  } catch (const persist::SnapshotError& e) {
+    ++snapshot_rejects_;
+    last_restart_detail_ = std::string("cold: ") + e.what();
+    cold_restart();
+    return;
+  }
+  const double age_s = local_now.seconds() - snap.taken_at_s;
+  if (age_s < 0.0 || age_s > options_.max_snapshot_age.seconds()) {
+    ++snapshot_rejects_;
+    std::ostringstream os;
+    os << "cold: snapshot stale (age " << age_s << "s, max "
+       << options_.max_snapshot_age.seconds() << "s)";
+    last_restart_detail_ = os.str();
+    cold_restart();
+    return;
+  }
+  std::ostringstream os;
+  os << "warm: snapshot age " << age_s << "s";
+  last_restart_detail_ = os.str();
+  warm_restart(snap, local_now);
+}
+
+void MonitorSupervisor::warm_restart(const persist::MonitorSnapshot& snap,
+                                     TimePoint local_now) {
+  // The snapshot's demand set replaces the registry: handles issued before
+  // the crash stay valid after it.
+  std::map<AppId, core::RelativeRequirements> entries;
+  for (const persist::AppRequirement& a : snap.apps) {
+    entries.emplace(a.id, core::RelativeRequirements{
+                              seconds(a.detection_time_upper_rel_s),
+                              seconds(a.mistake_recurrence_lower_s),
+                              seconds(a.mistake_duration_upper_s)});
+  }
+  registry_.restore(snap.next_app_id, entries);
+
+  monitor_ = make_monitor(options_.monitor);
+  monitor_->restore_from(snap, seconds(local_now.seconds() - snap.taken_at_s));
+  monitor_->activate();
+  ++warm_restarts_;
+}
+
+void MonitorSupervisor::cold_restart() {
+  AdaptiveMonitor::Options opts = options_.monitor;
+  if (const auto merged = registry_.merged()) opts.requirements = *merged;
+
+  monitor_ = make_monitor(opts);
+  // Conservative parameters: run the Section 6 procedure against the
+  // pessimistic assumptions, so the Theorems 9-11 bounds cover a network
+  // worse than the one last observed.  If even those are infeasible the
+  // template's initial parameters stand — the kPostDisruption latch below
+  // tells applications either way that nothing is validated yet.
+  const auto outcome = core::configure_nfd_u(opts.requirements,
+                                             options_.cold_loss_assumption,
+                                             options_.cold_variance_assumption);
+  if (outcome.achievable()) monitor_->adopt_params(*outcome.params);
+  monitor_->latch_risk(AdaptiveMonitor::RiskReason::kPostDisruption);
+  monitor_->activate();
+  ++cold_restarts_;
+}
+
+}  // namespace chenfd::service

@@ -1,0 +1,153 @@
+// Supervised crash-tolerant monitoring (DESIGN.md section 9).
+//
+// The paper's QoS analysis assumes the *monitor* q never fails; in a real
+// deployment the monitoring process is as mortal as the process it watches.
+// The MonitorSupervisor closes that gap on the q side: it owns the
+// AdaptiveMonitor instance, periodically persists its full state to stable
+// storage (persist/snapshot.hpp via a SnapshotStore), and when the monitor
+// crashes — its heap, timers and estimator windows gone — drives a restart:
+//
+//   warm  — a fresh, structurally valid snapshot exists: a new monitor is
+//           rehydrated from it.  The Eq. 6.3 window restores verbatim (p's
+//           sending schedule survived the monitor's downtime, so the
+//           normalized q-local arrival times are still a valid basis for
+//           expected_arrival), which lets the detector re-trust on the
+//           first live heartbeat instead of refilling a window; the
+//           estimator windows slide forward by the heartbeats sent while
+//           unobserved.  The restarted monitor latches qos_at_risk with
+//           kWarmRestart until a post-restore heartbeat arrives and a
+//           reconfiguration round revalidates the rehydrated estimates.
+//
+//   cold  — the snapshot is missing, corrupt (CRC / structural rejection),
+//           stale, or the policy forbids warm restarts: a new monitor
+//           starts from conservative Chebyshev-bound parameters — the
+//           Section 6 configuration procedure (Theorems 9-11 bounds) run
+//           against pessimistic loss/variance assumptions — so the
+//           registered detection bound holds even on a worse network than
+//           the one last observed.  It latches kPostDisruption until live
+//           estimates revalidate the target.
+//
+// The supervisor is itself the FailureDetector the testbed sees: it
+// forwards heartbeat deliveries to the current monitor incarnation and
+// relays its output transitions, so Testbed::attach keeps one stable
+// pointer across arbitrarily many monitor crashes.  While the monitor is
+// down the supervisor's output is Suspect — with nobody home to judge
+// freshness, trusting would be a lie.
+//
+// The supervisor also fronts the application registry (Section 8.1.1):
+// register/update/deregister push the merged requirement into the running
+// monitor, and the registry contents ride along in every snapshot so a
+// warm restart restores the demand set, not just the estimator state.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "clock/clock.hpp"
+#include "core/failure_detector.hpp"
+#include "core/heartbeat_sender.hpp"
+#include "persist/store.hpp"
+#include "service/adaptive.hpp"
+#include "service/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::service {
+
+class MonitorSupervisor final : public core::FailureDetector {
+ public:
+  enum class RestartPolicy {
+    kWarmPreferred,  ///< warm when a fresh valid snapshot exists, else cold
+    kColdAlways,     ///< never rehydrate (distrust-storage baseline)
+  };
+
+  struct Options {
+    /// Construction template for every monitor incarnation.
+    AdaptiveMonitor::Options monitor;
+    Duration snapshot_interval = seconds(30.0);
+    /// Snapshots older than this (q-local) are stale: the network regime
+    /// they encode may be gone, so they trigger a cold restart.
+    Duration max_snapshot_age = seconds(300.0);
+    RestartPolicy policy = RestartPolicy::kWarmPreferred;
+    /// Pessimistic network assumptions for the cold-restart configuration
+    /// (Theorems 9-11): loss probability and delay variance (s^2) assumed
+    /// when no trustworthy estimate survived the crash.
+    double cold_loss_assumption = 0.3;
+    double cold_variance_assumption = 0.01;
+  };
+
+  MonitorSupervisor(sim::Simulator& simulator, const clk::Clock& q_clock,
+                    core::HeartbeatSender& sender,
+                    persist::SnapshotStore& store, Options options);
+
+  /// Starts supervision: brings up the first monitor incarnation and arms
+  /// the periodic snapshot timer.  Called by Testbed::start().
+  void activate() override;
+  void on_heartbeat(const net::Message& m, TimePoint real_now) override;
+
+  // ---- crash / restart (fault-injection entry points) --------------------
+
+  /// Kills the current monitor: every in-memory structure — detector
+  /// window, estimator components, risk latches, pending timers — is
+  /// destroyed.  Stable storage (the snapshot store) survives; the
+  /// supervisor's output drops to Suspect.
+  void crash_monitor();
+
+  /// Brings up a new monitor incarnation, warm or cold per the policy and
+  /// the stored snapshot's state (see file comment).
+  void restart_monitor();
+
+  // ---- application registry facade (Section 8.1.1) -----------------------
+
+  AppId register_app(const core::RelativeRequirements& req);
+  bool update_app(AppId id, const core::RelativeRequirements& req);
+  bool deregister_app(AppId id);
+  [[nodiscard]] std::size_t app_count() const { return registry_.size(); }
+
+  // ---- observability -----------------------------------------------------
+
+  /// The live monitor, or nullptr while crashed.
+  [[nodiscard]] const AdaptiveMonitor* monitor() const {
+    return monitor_.get();
+  }
+  [[nodiscard]] bool monitor_alive() const { return monitor_ != nullptr; }
+  [[nodiscard]] std::size_t warm_restarts() const { return warm_restarts_; }
+  [[nodiscard]] std::size_t cold_restarts() const { return cold_restarts_; }
+  [[nodiscard]] std::size_t snapshots_taken() const {
+    return snapshots_taken_;
+  }
+  /// Snapshots rejected at restart (corrupt / unsupported / stale).
+  [[nodiscard]] std::size_t snapshot_rejects() const {
+    return snapshot_rejects_;
+  }
+  /// Human-readable reason for the most recent restart decision.
+  [[nodiscard]] const std::string& last_restart_detail() const {
+    return last_restart_detail_;
+  }
+
+ private:
+  void take_snapshot();
+  void arm_snapshot_timer();
+  [[nodiscard]] std::unique_ptr<AdaptiveMonitor> make_monitor(
+      const AdaptiveMonitor::Options& options);
+  void warm_restart(const persist::MonitorSnapshot& snap, TimePoint local_now);
+  void cold_restart();
+
+  sim::Simulator& sim_;
+  const clk::Clock& q_clock_;
+  core::HeartbeatSender& sender_;
+  persist::SnapshotStore& store_;
+  Options options_;
+  RelativeRequirementRegistry registry_;
+  std::unique_ptr<AdaptiveMonitor> monitor_;
+  sim::EventId snapshot_timer_ = 0;
+  bool started_ = false;
+  std::size_t warm_restarts_ = 0;
+  std::size_t cold_restarts_ = 0;
+  std::size_t snapshots_taken_ = 0;
+  std::size_t snapshot_rejects_ = 0;
+  std::string last_restart_detail_;
+};
+
+}  // namespace chenfd::service

@@ -256,6 +256,198 @@ TEST(AdaptiveMonitor, RejectsInvalidHardeningOptions) {
                std::invalid_argument);
 }
 
+TEST(AdaptiveMonitor, RiskReasonWalksSilenceThenPostDisruptionThenNone) {
+  // The full organic latch walk of a disruption: kNone before the fault,
+  // kSilence while the link is dead, kPostDisruption the moment the stream
+  // resumes (discontinuity epoch reset), and kNone only after a
+  // reconfiguration round succeeds against post-disruption estimates.
+  Rig rig(0.05, 0.02, default_options(), 5030);
+  rig.tb.simulator().run_until(TimePoint(1500.0));
+  EXPECT_EQ(rig.monitor.risk_reason(), AdaptiveMonitor::RiskReason::kNone);
+
+  rig.tb.link().set_partitioned(true);
+  rig.tb.simulator().run_until(TimePoint(1900.0));
+  EXPECT_TRUE(rig.monitor.qos_at_risk());
+  EXPECT_EQ(rig.monitor.risk_reason(), AdaptiveMonitor::RiskReason::kSilence);
+
+  rig.tb.link().set_partitioned(false);
+  // Just past the first resumed heartbeat (the renegotiated eta can be
+  // several seconds, so allow two periods): the epoch reset has happened
+  // but no round has succeeded yet — the fresh window is not primed.
+  rig.tb.simulator().run_until(TimePoint(1917.0));
+  EXPECT_TRUE(rig.monitor.qos_at_risk());
+  EXPECT_EQ(rig.monitor.risk_reason(),
+            AdaptiveMonitor::RiskReason::kPostDisruption);
+  EXPECT_EQ(rig.monitor.epoch_resets(), 1u);
+
+  rig.tb.simulator().run_until(TimePoint(3500.0));
+  EXPECT_FALSE(rig.monitor.qos_at_risk());
+  EXPECT_EQ(rig.monitor.risk_reason(), AdaptiveMonitor::RiskReason::kNone);
+}
+
+TEST(AdaptiveMonitor, AggressiveTargetCranksTheHeartbeatRate) {
+  // A 0.2 s detection budget with a 2000 s recurrence bound cannot be met
+  // at the initial 1 Hz rate, but the Section 6 procedure trades bandwidth
+  // for accuracy: f(eta) grows without bound as eta -> 0 (Appendix D), so
+  // the service renegotiates a much faster rate instead of declaring the
+  // target infeasible.
+  auto opts = default_options();
+  opts.requirements =
+      RelativeRequirements{seconds(0.2), seconds(2000.0), seconds(4.0)};
+  Rig rig(0.01, 0.02, opts, 5031);
+  rig.tb.simulator().run_until(TimePoint(3000.0));
+
+  EXPECT_FALSE(rig.monitor.qos_at_risk());
+  EXPECT_GE(rig.monitor.reconfigurations(), 1u);
+  EXPECT_LT(rig.monitor.current_params().eta.seconds(), 0.2);
+  EXPECT_LE(rig.monitor.relative_detection_bound().seconds(), 0.2 + 1e-9);
+  EXPECT_DOUBLE_EQ(rig.tb.sender().eta().seconds(),
+                   rig.monitor.current_params().eta.seconds());
+}
+
+TEST(AdaptiveMonitor, LatchedRiskClearsOnlyOnSuccessfulRound) {
+  // Every latchable reason behaves the same way: raised immediately,
+  // untouched by heartbeats alone, cleared only by a successful
+  // reconfiguration round.  (kInfeasible and kEstimatesUnusable are
+  // injected here — organically they need a network the estimator cannot
+  // describe, e.g. total loss or non-finite moments.)
+  using R = AdaptiveMonitor::RiskReason;
+  for (const R reason :
+       {R::kInfeasible, R::kEstimatesUnusable, R::kPostDisruption}) {
+    Rig rig(0.01, 0.02, default_options(), 5032);
+    rig.tb.simulator().run_until(TimePoint(120.0));
+    ASSERT_FALSE(rig.monitor.qos_at_risk());
+
+    rig.monitor.latch_risk(reason);
+    EXPECT_TRUE(rig.monitor.qos_at_risk());
+    EXPECT_EQ(rig.monitor.risk_reason(), reason);
+
+    // Heartbeats alone must not clear it — only a successful round does.
+    rig.tb.simulator().run_until(TimePoint(140.0));
+    EXPECT_TRUE(rig.monitor.qos_at_risk());
+    rig.tb.simulator().run_until(TimePoint(400.0));
+    EXPECT_FALSE(rig.monitor.qos_at_risk());
+    EXPECT_EQ(rig.monitor.risk_reason(), R::kNone);
+  }
+
+  Rig rig(0.01, 0.02, default_options(), 5032);
+  EXPECT_THROW(rig.monitor.latch_risk(AdaptiveMonitor::RiskReason::kNone),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveMonitor, WarmRestartLatchHoldsUntilPostRestoreHeartbeat) {
+  // A rehydrated service must not revalidate from its restored estimates
+  // alone: rounds before the first post-restore heartbeat are no-ops, so
+  // the kWarmRestart latch survives them.
+  Rig rig(0.0, 0.02, default_options(), 5033);
+  rig.tb.simulator().run_until(TimePoint(500.0));
+
+  rig.tb.link().set_partitioned(true);
+  rig.tb.simulator().run_until(TimePoint(505.0));
+  rig.monitor.stop();
+  const persist::MonitorSnapshot snap = rig.monitor.snapshot();
+  rig.monitor.restore_from(snap, seconds(5.0));
+  rig.monitor.activate();
+  EXPECT_TRUE(rig.monitor.qos_at_risk());
+  EXPECT_EQ(rig.monitor.risk_reason(),
+            AdaptiveMonitor::RiskReason::kWarmRestart);
+
+  // A reconfiguration round fires during the blackout and must hold off.
+  const std::size_t reconfigs = rig.monitor.reconfigurations();
+  rig.tb.simulator().run_until(TimePoint(558.0));
+  EXPECT_EQ(rig.monitor.risk_reason(),
+            AdaptiveMonitor::RiskReason::kWarmRestart);
+  EXPECT_EQ(rig.monitor.reconfigurations(), reconfigs);
+
+  // Once live heartbeats confirm the schedule, a round clears the latch.
+  rig.tb.link().set_partitioned(false);
+  rig.tb.simulator().run_until(TimePoint(800.0));
+  EXPECT_FALSE(rig.monitor.qos_at_risk());
+  EXPECT_EQ(rig.monitor.risk_reason(), AdaptiveMonitor::RiskReason::kNone);
+}
+
+TEST(AdaptiveMonitor, SnapshotRestoreRoundTripsThroughTheWireFormat) {
+  Rig rig(0.01, 0.02, default_options(), 5034);
+  rig.tb.simulator().run_until(TimePoint(600.0));
+  rig.monitor.stop();
+
+  const persist::MonitorSnapshot snap = rig.monitor.snapshot();
+  // Through the serialized form, as the supervisor persists it.
+  const persist::MonitorSnapshot parsed =
+      persist::from_string(persist::to_string(snap));
+  rig.monitor.restore_from(parsed, seconds(0.0));
+  rig.monitor.activate();
+
+  // The rehydrated service runs the captured parameters and counters.
+  EXPECT_DOUBLE_EQ(rig.monitor.current_params().eta.seconds(),
+                   snap.detector.eta_s);
+  EXPECT_EQ(rig.monitor.reconfigurations(), snap.reconfigurations);
+  EXPECT_EQ(rig.monitor.epoch_resets(), snap.epoch_resets);
+  // And a second snapshot reproduces the restored state structurally.
+  const persist::MonitorSnapshot again = rig.monitor.snapshot();
+  EXPECT_EQ(again.detector.window.size(), snap.detector.window.size());
+  EXPECT_EQ(again.detector.epoch_seq, snap.detector.epoch_seq);
+  EXPECT_EQ(again.risk_reason, "warm_restart");
+}
+
+TEST(AdaptiveMonitor, AdoptParamsRenegotiatesRateBeforeActivation) {
+  Rig rig(0.01, 0.02, default_options(), 5035);
+  rig.tb.simulator().run_until(TimePoint(300.0));
+  const core::NfdUParams target{seconds(2.5), seconds(3.0)};
+  // Adopting into a running service is a precondition violation.
+  EXPECT_THROW(rig.monitor.adopt_params(target), std::invalid_argument);
+
+  rig.monitor.stop();
+  rig.monitor.adopt_params(target);
+  rig.monitor.activate();
+  EXPECT_DOUBLE_EQ(rig.monitor.current_params().eta.seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(rig.monitor.current_params().alpha.seconds(), 3.0);
+  // Sender and detector changed together (Eq. 6.3 stays normalized).
+  EXPECT_DOUBLE_EQ(rig.tb.sender().eta().seconds(), 2.5);
+}
+
+TEST(AdaptiveMonitor, LifecycleContractStopThenActivateResumes) {
+  Rig rig(0.01, 0.02, default_options(), 5036);
+  rig.tb.simulator().run_until(TimePoint(500.0));
+  // Double activation is a precondition violation.
+  EXPECT_THROW(rig.monitor.activate(), std::invalid_argument);
+
+  rig.monitor.stop();
+  rig.monitor.stop();  // idempotent
+  const std::size_t transitions = rig.log.size();
+  rig.tb.simulator().run_until(TimePoint(520.0));
+  EXPECT_EQ(rig.log.size(), transitions);
+
+  rig.monitor.activate();
+  rig.tb.simulator().run_until(TimePoint(1500.0));
+  EXPECT_FALSE(rig.monitor.qos_at_risk());
+  const auto rec = qos::replay(rig.log, TimePoint(600.0), TimePoint(1500.0));
+  EXPECT_GT(rec.query_accuracy(), 0.9);
+
+  // The reactivated detector is live, not a zombie: a real crash of p is
+  // still detected within the relative bound (+ E(D) + slack).
+  const TimePoint crash(1501.25);
+  rig.tb.crash_p_at(crash);
+  rig.tb.simulator().run_until(TimePoint(1600.0));
+  EXPECT_EQ(rig.monitor.output(), Verdict::kSuspect);
+  ASSERT_FALSE(rig.log.empty());
+  EXPECT_EQ(rig.log.back().to, Verdict::kSuspect);
+  EXPECT_LE((rig.log.back().at - crash).seconds(),
+            rig.monitor.relative_detection_bound().seconds() + 0.02 + 0.5);
+}
+
+TEST(AdaptiveMonitor, RiskReasonWireNamesRoundTrip) {
+  using R = AdaptiveMonitor::RiskReason;
+  for (const R reason :
+       {R::kNone, R::kInfeasible, R::kEstimatesUnusable, R::kSilence,
+        R::kPostDisruption, R::kWarmRestart}) {
+    const auto back = risk_reason_from_string(to_string(reason));
+    ASSERT_TRUE(back.has_value()) << to_string(reason);
+    EXPECT_EQ(*back, reason);
+  }
+  EXPECT_FALSE(risk_reason_from_string("lukewarm").has_value());
+}
+
 TEST(AdaptiveMonitor, StopQuiescesService) {
   Rig rig(0.01, 0.02, default_options(), 5009);
   rig.tb.simulator().run_until(TimePoint(500.0));

@@ -13,6 +13,8 @@
 #include "fault/chaos.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/loss_model.hpp"
+#include "persist/store.hpp"
+#include "service/supervisor.hpp"
 
 namespace chenfd::fault {
 namespace {
@@ -123,6 +125,88 @@ TEST(FaultPlan, ArmDrivesTheTestbed) {
   EXPECT_EQ(in_burst, 8u);
 }
 
+service::MonitorSupervisor::Options supervisor_options() {
+  service::MonitorSupervisor::Options o;
+  o.monitor.requirements = core::RelativeRequirements{
+      seconds(8.0), seconds(2000.0), seconds(4.0)};
+  o.monitor.initial = core::NfdEParams{Duration(1.0), Duration(1.0), 32};
+  o.monitor.reconfig_interval = seconds(50.0);
+  o.snapshot_interval = seconds(2.0);
+  return o;
+}
+
+TEST(FaultPlan, MonitorEventsNeedTheSupervisorAwareArm) {
+  core::Testbed tb(quiet_config(11));
+  CountingDetector det;
+  tb.attach(det);
+  FaultPlan plan;
+  plan.monitor_crash(TimePoint(10.0)).monitor_restart(TimePoint(20.0));
+  EXPECT_THROW(plan.arm(tb), std::invalid_argument);
+}
+
+TEST(FaultPlan, MonitorEventsMustAlternate) {
+  core::Testbed tb(quiet_config(12));
+  persist::MemorySnapshotStore store;
+  service::MonitorSupervisor sup(tb.simulator(), tb.q_clock(), tb.sender(),
+                                 store, supervisor_options());
+  tb.attach(sup);
+  {
+    FaultPlan plan;
+    plan.monitor_restart(TimePoint(5.0));  // restart before any crash
+    EXPECT_THROW(plan.arm(tb, &sup), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.monitor_crash(TimePoint(5.0)).monitor_crash(TimePoint(10.0));
+    EXPECT_THROW(plan.arm(tb, &sup), std::invalid_argument);
+  }
+}
+
+TEST(FaultPlan, ArmDrivesTheSupervisor) {
+  core::Testbed tb(quiet_config(13));
+  persist::MemorySnapshotStore store;
+  service::MonitorSupervisor sup(tb.simulator(), tb.q_clock(), tb.sender(),
+                                 store, supervisor_options());
+  tb.attach(sup);
+
+  FaultPlan plan;
+  plan.monitor_crash(TimePoint(10.5)).monitor_restart(TimePoint(15.5));
+  plan.arm(tb, &sup);
+  tb.start();
+
+  tb.simulator().run_until(TimePoint(12.0));
+  EXPECT_FALSE(sup.monitor_alive());
+  EXPECT_EQ(sup.output(), Verdict::kSuspect);
+
+  tb.simulator().run_until(TimePoint(30.0));
+  EXPECT_TRUE(sup.monitor_alive());
+  // Snapshots every 2 s meant a fresh one existed at the restart.
+  EXPECT_EQ(sup.warm_restarts(), 1u);
+  EXPECT_EQ(sup.cold_restarts(), 0u);
+}
+
+TEST(FaultPlan, MonitorDowntimeIsSeparateFromOutageGroundTruth) {
+  FaultPlan plan;
+  plan.partition(TimePoint(10.0), TimePoint(20.0))
+      .monitor_crash(TimePoint(100.0))
+      .monitor_restart(TimePoint(150.0))
+      .monitor_crash(TimePoint(200.0));  // never restarted
+
+  const auto down = plan.monitor_downtime_windows();
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_EQ(down[0].begin, TimePoint(100.0));
+  EXPECT_EQ(down[0].end, TimePoint(150.0));
+  EXPECT_EQ(down[1].begin, TimePoint(200.0));
+  EXPECT_TRUE(down[1].end.is_infinite());
+
+  // Heartbeats still flow while the monitor is down: monitor downtime must
+  // NOT count as a heartbeat outage, or the suspect-during-outage oracles
+  // would fire on windows where trusting is legitimate.
+  const auto outages = plan.outage_windows();
+  ASSERT_EQ(outages.size(), 1u);
+  EXPECT_EQ(outages[0].begin, TimePoint(10.0));
+}
+
 TEST(ChaosSchedule, SampleIsDeterministicAndNonOverlapping) {
   ChaosSchedule sched;
   sched.horizon = seconds(4000.0);
@@ -157,8 +241,9 @@ TEST(ChaosSchedule, SampleIsDeterministicAndNonOverlapping) {
 
 TEST(ChaosSuite, NamedSuitesExist) {
   const auto names = suite_names();
-  ASSERT_EQ(names.size(), 2u);
+  ASSERT_EQ(names.size(), 3u);
   EXPECT_FALSE(suite("smoke").empty());
+  EXPECT_FALSE(suite("monitor-restart").empty());
   EXPECT_GT(suite("full").size(), suite("smoke").size());
   EXPECT_THROW(suite("nope"), std::invalid_argument);
   // Every scenario carries the metadata the degradation curves group by.
@@ -166,6 +251,17 @@ TEST(ChaosSuite, NamedSuitesExist) {
     EXPECT_FALSE(spec.name.empty());
     EXPECT_FALSE(spec.family.empty());
   }
+  // Every monitor-restart scenario is supervised, and the full suite
+  // includes them all.
+  const auto restart = suite("monitor-restart");
+  for (const auto& spec : restart) {
+    EXPECT_TRUE(spec.supervised) << spec.name;
+  }
+  std::size_t in_full = 0;
+  for (const auto& spec : suite("full")) {
+    if (spec.supervised) ++in_full;
+  }
+  EXPECT_GE(in_full, restart.size());
 }
 
 TEST(ChaosSuite, SmokeSuitePassesItsOracles) {

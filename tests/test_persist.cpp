@@ -1,0 +1,269 @@
+// Tests for the versioned, checksummed snapshot format (DESIGN.md
+// section 9): bit-exact round trips, CRC and structural rejection,
+// forward-version rejection, CRLF tolerance and line-numbered diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "persist/snapshot.hpp"
+#include "persist/store.hpp"
+
+namespace chenfd::persist {
+namespace {
+
+MonitorSnapshot reference_snapshot() {
+  MonitorSnapshot snap;
+  snap.taken_at_s = 1234.5678901234;
+  snap.detector.eta_s = 1.0;
+  snap.detector.alpha_s = 0.5;
+  snap.detector.window_capacity = 8;
+  snap.detector.epoch_seq = 10;
+  snap.detector.max_seq = 25;
+  // Exactly representable normalized times, so the serialized lines are
+  // predictable text the structural-tampering tests can pattern-match.
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    snap.detector.window.push_back(
+        {1000.5 + 0.25 * static_cast<double>(i), 20 + i});
+  }
+  snap.short_term.capacity = 4;
+  snap.short_term.highest_seq = 25;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    snap.short_term.obs.push_back(
+        {22 + i, 0.02 + 0.001 * static_cast<double>(i)});
+  }
+  snap.long_term.capacity = 16;
+  snap.long_term.highest_seq = 25;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    snap.long_term.obs.push_back(
+        {14 + i, 0.019 + 0.0005 * static_cast<double>(i)});
+  }
+  snap.smoothed_loss = 0.05;
+  snap.smoothed_variance = 0.0004;
+  snap.qos_at_risk = true;
+  snap.risk_reason = "warm_restart";
+  snap.backoff = 2.0;
+  snap.has_last_arrival = true;
+  snap.last_arrival_s = 1234.0;
+  snap.reconfigurations = 3;
+  snap.epoch_resets = 1;
+  snap.req_detection_rel_s = 1.5;
+  snap.req_recurrence_s = 300.0;
+  snap.req_duration_s = 60.0;
+  snap.next_app_id = 4;
+  snap.apps.push_back({1, 1.5, 300.0, 60.0});
+  snap.apps.push_back({3, 2.0, 600.0, 30.0});
+  return snap;
+}
+
+// Replaces the first occurrence of `from` in a serialized snapshot and
+// recomputes nothing: the CRC line is left stale on purpose unless the
+// caller patches it too.
+std::string tamper(std::string bytes, const std::string& from,
+                   const std::string& to) {
+  const auto pos = bytes.find(from);
+  EXPECT_NE(pos, std::string::npos) << "pattern not found: " << from;
+  bytes.replace(pos, from.size(), to);
+  return bytes;
+}
+
+// Re-signs tampered bytes so structural checks (not the CRC) are what
+// rejects them: strips the trailing crc line and re-serializes through the
+// writer's own checksum path by hand.
+std::string resign(const std::string& bytes) {
+  const auto crc_pos = bytes.rfind("crc ");
+  EXPECT_NE(crc_pos, std::string::npos);
+  const std::string body = bytes.substr(0, crc_pos);
+  // Compute CRC-32 the same way the writer does (poly 0xEDB88320).
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : body) {
+    crc ^= static_cast<unsigned char>(c);
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  crc ^= 0xFFFFFFFFu;
+  static const char* hex = "0123456789abcdef";
+  std::string line = "crc ";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    line.push_back(hex[(crc >> shift) & 0xF]);
+  }
+  line.push_back('\n');
+  return body + line;
+}
+
+TEST(Snapshot, RoundTripIsBitExact) {
+  const MonitorSnapshot snap = reference_snapshot();
+  const std::string bytes = to_string(snap);
+  const MonitorSnapshot parsed = from_string(bytes);
+  EXPECT_EQ(to_string(parsed), bytes);
+}
+
+TEST(Snapshot, RoundTripPreservesEveryField) {
+  const MonitorSnapshot snap = reference_snapshot();
+  const MonitorSnapshot parsed = from_string(to_string(snap));
+  EXPECT_DOUBLE_EQ(parsed.taken_at_s, snap.taken_at_s);
+  EXPECT_DOUBLE_EQ(parsed.detector.eta_s, snap.detector.eta_s);
+  EXPECT_DOUBLE_EQ(parsed.detector.alpha_s, snap.detector.alpha_s);
+  EXPECT_EQ(parsed.detector.window_capacity, snap.detector.window_capacity);
+  EXPECT_EQ(parsed.detector.epoch_seq, snap.detector.epoch_seq);
+  EXPECT_EQ(parsed.detector.max_seq, snap.detector.max_seq);
+  ASSERT_EQ(parsed.detector.window.size(), snap.detector.window.size());
+  for (std::size_t i = 0; i < snap.detector.window.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed.detector.window[i].normalized_s,
+                     snap.detector.window[i].normalized_s);
+    EXPECT_EQ(parsed.detector.window[i].seq, snap.detector.window[i].seq);
+  }
+  ASSERT_EQ(parsed.short_term.obs.size(), snap.short_term.obs.size());
+  ASSERT_EQ(parsed.long_term.obs.size(), snap.long_term.obs.size());
+  EXPECT_EQ(parsed.qos_at_risk, snap.qos_at_risk);
+  EXPECT_EQ(parsed.risk_reason, snap.risk_reason);
+  EXPECT_DOUBLE_EQ(parsed.backoff, snap.backoff);
+  EXPECT_EQ(parsed.has_last_arrival, snap.has_last_arrival);
+  EXPECT_DOUBLE_EQ(parsed.last_arrival_s, snap.last_arrival_s);
+  EXPECT_EQ(parsed.reconfigurations, snap.reconfigurations);
+  EXPECT_EQ(parsed.epoch_resets, snap.epoch_resets);
+  EXPECT_EQ(parsed.next_app_id, snap.next_app_id);
+  ASSERT_EQ(parsed.apps.size(), snap.apps.size());
+  EXPECT_EQ(parsed.apps[1].id, snap.apps[1].id);
+  EXPECT_DOUBLE_EQ(parsed.apps[1].mistake_recurrence_lower_s,
+                   snap.apps[1].mistake_recurrence_lower_s);
+}
+
+TEST(Snapshot, EmptyWindowsAndNoLastArrivalRoundTrip) {
+  MonitorSnapshot snap;
+  snap.detector.eta_s = 2.0;
+  snap.detector.alpha_s = 1.0;
+  snap.detector.window_capacity = 4;
+  snap.short_term.capacity = 4;
+  snap.long_term.capacity = 16;
+  snap.req_detection_rel_s = 3.0;
+  snap.req_recurrence_s = 100.0;
+  snap.req_duration_s = 10.0;
+  const std::string bytes = to_string(snap);
+  const MonitorSnapshot parsed = from_string(bytes);
+  EXPECT_EQ(to_string(parsed), bytes);
+  EXPECT_FALSE(parsed.has_last_arrival);
+  EXPECT_TRUE(parsed.detector.window.empty());
+  EXPECT_TRUE(parsed.apps.empty());
+}
+
+TEST(Snapshot, CorruptedByteIsRejectedByChecksum) {
+  std::string bytes = to_string(reference_snapshot());
+  // Flip a digit inside a payload line; the structure stays plausible but
+  // the CRC no longer matches.
+  bytes = tamper(bytes, "smoothed 0.05", "smoothed 0.15");
+  try {
+    (void)from_string(bytes);
+    FAIL() << "corrupted snapshot parsed";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("crc"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, ForwardVersionIsRejectedNotHalfParsed) {
+  std::string bytes = to_string(reference_snapshot());
+  bytes = resign(tamper(bytes, "chenfd-snapshot v1", "chenfd-snapshot v2"));
+  try {
+    (void)from_string(bytes);
+    FAIL() << "future-version snapshot parsed";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.line(), 1u);
+  }
+}
+
+TEST(Snapshot, TruncatedStreamIsRejected) {
+  const std::string bytes = to_string(reference_snapshot());
+  // Missing CRC line entirely (torn write).
+  const auto crc_pos = bytes.rfind("crc ");
+  ASSERT_NE(crc_pos, std::string::npos);
+  EXPECT_THROW((void)from_string(bytes.substr(0, crc_pos)), SnapshotError);
+  // Torn mid-record.
+  EXPECT_THROW((void)from_string(bytes.substr(0, bytes.size() / 2)),
+               SnapshotError);
+  EXPECT_THROW((void)from_string(""), SnapshotError);
+}
+
+TEST(Snapshot, MalformedCrcLineIsRejected) {
+  std::string bytes = to_string(reference_snapshot());
+  // Uppercase hex is not the writer's alphabet; accepting it would let
+  // case-flipping bit errors alias the same checksum value.
+  const auto crc_pos = bytes.rfind("crc ");
+  ASSERT_NE(crc_pos, std::string::npos);
+  for (std::size_t i = crc_pos + 4; i < bytes.size() - 1; ++i) {
+    if (bytes[i] >= 'a' && bytes[i] <= 'f') {
+      std::string upper = bytes;
+      upper[i] = static_cast<char>(bytes[i] - 'a' + 'A');
+      EXPECT_THROW((void)from_string(upper), SnapshotError);
+      break;
+    }
+  }
+  // Trailing garbage after the CRC line.
+  EXPECT_THROW((void)from_string(bytes + "x"), SnapshotError);
+}
+
+TEST(Snapshot, StructuralViolationsCarryLineNumbers) {
+  const std::string good = to_string(reference_snapshot());
+  // Non-increasing detector window sequence numbers.
+  {
+    std::string bad = resign(tamper(good, "dw 1000.75 21", "dw 1000.75 20"));
+    try {
+      (void)from_string(bad);
+      FAIL() << "non-increasing window seq parsed";
+    } catch (const SnapshotError& e) {
+      EXPECT_GT(e.line(), 0u);
+    }
+  }
+  // Unknown risk-reason word.
+  {
+    std::string bad = resign(tamper(good, "warm_restart", "lukewarm"));
+    EXPECT_THROW((void)from_string(bad), SnapshotError);
+  }
+  // Declared count disagrees with the following lines.
+  {
+    std::string bad = resign(tamper(good, "detector 10 25 6",
+                                    "detector 10 25 7"));
+    EXPECT_THROW((void)from_string(bad), SnapshotError);
+  }
+  // App id at or above next-id.
+  {
+    std::string bad = resign(tamper(good, "app 3 ", "app 9 "));
+    EXPECT_THROW((void)from_string(bad), SnapshotError);
+  }
+}
+
+TEST(Snapshot, CrlfInputParsesToTheSameSnapshot) {
+  const std::string bytes = to_string(reference_snapshot());
+  std::string crlf;
+  for (const char c : bytes) {
+    if (c == '\n') crlf.push_back('\r');
+    crlf.push_back(c);
+  }
+  const MonitorSnapshot parsed = from_string(crlf);
+  EXPECT_EQ(to_string(parsed), bytes);
+}
+
+TEST(Snapshot, StreamInterfaceMatchesStringInterface) {
+  const MonitorSnapshot snap = reference_snapshot();
+  std::ostringstream os;
+  write_snapshot(os, snap);
+  EXPECT_EQ(os.str(), to_string(snap));
+  std::istringstream is(os.str());
+  EXPECT_EQ(to_string(read_snapshot(is)), os.str());
+}
+
+TEST(SnapshotStore, MemoryStoreLifecycle) {
+  MemorySnapshotStore store;
+  EXPECT_FALSE(store.load().has_value());
+  store.save("v1");
+  ASSERT_TRUE(store.load().has_value());
+  EXPECT_EQ(*store.load(), "v1");
+  store.save("v2");  // atomic replace
+  EXPECT_EQ(*store.load(), "v2");
+  store.clear();
+  EXPECT_FALSE(store.load().has_value());
+}
+
+}  // namespace
+}  // namespace chenfd::persist

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <optional>
+#include <vector>
+
 #include "service/registry.hpp"
 
 namespace chenfd::service {
@@ -92,6 +96,111 @@ TEST(RelativeRequirementRegistry, AddRemoveLifecycle) {
   EXPECT_TRUE(reg.remove(a));
   EXPECT_FALSE(reg.remove(a));
   EXPECT_FALSE(reg.merged().has_value());
+}
+
+TEST(RequirementRegistry, UpdateRenegotiatesInPlace) {
+  RequirementRegistry reg;
+  const AppId a = reg.add(req(30.0, 1000.0, 60.0));
+  reg.add(req(25.0, 2000.0, 50.0));
+  ASSERT_TRUE(reg.update(a, req(10.0, 5000.0, 40.0)));
+  const auto m = reg.merged();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->detection_time_upper, seconds(10.0));
+  EXPECT_EQ(m->mistake_recurrence_lower, seconds(5000.0));
+  EXPECT_EQ(m->mistake_duration_upper, seconds(40.0));
+  EXPECT_EQ(reg.size(), 2u);  // update is not an add
+}
+
+TEST(RequirementRegistry, UpdateUnknownFailsAndInvalidThrows) {
+  RequirementRegistry reg;
+  const AppId a = reg.add(req(30.0, 1000.0, 60.0));
+  EXPECT_FALSE(reg.update(a + 99, req(10.0, 5000.0, 40.0)));
+  EXPECT_THROW(reg.update(a, req(0.0, 1.0, 1.0)), std::invalid_argument);
+  // The failed update left the entry untouched.
+  EXPECT_EQ(reg.merged()->detection_time_upper, seconds(30.0));
+}
+
+TEST(RequirementRegistry, EveryMutationNotifiesTheMergedListener) {
+  RequirementRegistry reg;
+  std::vector<std::optional<qos::Requirements>> seen;
+  reg.set_merged_listener(
+      [&seen](const std::optional<qos::Requirements>& m) {
+        seen.push_back(m);
+      });
+
+  const AppId a = reg.add(req(30.0, 1000.0, 60.0));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen.back()->detection_time_upper, seconds(30.0));
+
+  reg.update(a, req(12.0, 2000.0, 30.0));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen.back()->detection_time_upper, seconds(12.0));
+
+  reg.remove(a);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_FALSE(seen.back().has_value());  // last app gone
+
+  // Failed mutations do not notify.
+  EXPECT_FALSE(reg.remove(a));
+  EXPECT_FALSE(reg.update(a, req(1.0, 1.0, 1.0)));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RelativeRequirementRegistry, UpdateAndListenerMirrorTheAbsoluteOne) {
+  RelativeRequirementRegistry reg;
+  std::size_t notifications = 0;
+  std::optional<core::RelativeRequirements> last;
+  reg.set_merged_listener(
+      [&](const std::optional<core::RelativeRequirements>& m) {
+        ++notifications;
+        last = m;
+      });
+  const AppId a = reg.add(
+      core::RelativeRequirements{seconds(5.0), seconds(100.0), seconds(2.0)});
+  ASSERT_TRUE(reg.update(a, core::RelativeRequirements{
+                                seconds(3.0), seconds(200.0), seconds(1.0)}));
+  EXPECT_FALSE(reg.update(a + 1, core::RelativeRequirements{
+                                     seconds(3.0), seconds(200.0),
+                                     seconds(1.0)}));
+  EXPECT_EQ(notifications, 2u);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->detection_time_upper_rel, seconds(3.0));
+}
+
+TEST(RelativeRequirementRegistry, RestoreReplacesContentsWithoutNotifying) {
+  RelativeRequirementRegistry reg;
+  std::size_t notifications = 0;
+  reg.set_merged_listener(
+      [&](const std::optional<core::RelativeRequirements>&) {
+        ++notifications;
+      });
+  reg.add(
+      core::RelativeRequirements{seconds(5.0), seconds(100.0), seconds(2.0)});
+  ASSERT_EQ(notifications, 1u);
+
+  std::map<AppId, core::RelativeRequirements> entries;
+  entries.emplace(2, core::RelativeRequirements{seconds(6.0), seconds(300.0),
+                                                seconds(3.0)});
+  entries.emplace(5, core::RelativeRequirements{seconds(9.0), seconds(150.0),
+                                                seconds(4.0)});
+  reg.restore(7, entries);
+  // The restore path configures the monitor from the snapshot directly, so
+  // the listener stays quiet.
+  EXPECT_EQ(notifications, 1u);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.next_id(), 7u);
+  EXPECT_EQ(reg.entries().count(5), 1u);
+  // Restored handles stay live and new ids continue past next_id.
+  EXPECT_TRUE(reg.remove(2));
+  const AppId fresh = reg.add(
+      core::RelativeRequirements{seconds(4.0), seconds(500.0), seconds(2.0)});
+  EXPECT_EQ(fresh, 7u);
+
+  // Handles at or above next_id are a contract violation.
+  std::map<AppId, core::RelativeRequirements> bad;
+  bad.emplace(9, core::RelativeRequirements{seconds(6.0), seconds(300.0),
+                                            seconds(3.0)});
+  EXPECT_THROW(reg.restore(9, bad), std::invalid_argument);
 }
 
 TEST(Registries, MergedRequirementSatisfiesEveryApp) {

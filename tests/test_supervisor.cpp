@@ -1,0 +1,289 @@
+// Tests for the crash-tolerant monitor supervisor (DESIGN.md section 9):
+// warm restart from a fresh snapshot, cold restart on missing / corrupt /
+// stale snapshots, restart policy, the registry facade, and the
+// suspect-while-down output contract.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "dist/exponential.hpp"
+#include "net/loss_model.hpp"
+#include "persist/store.hpp"
+#include "qos/replay.hpp"
+#include "service/supervisor.hpp"
+
+namespace chenfd::service {
+namespace {
+
+using core::RelativeRequirements;
+
+AdaptiveMonitor::Options monitor_options() {
+  AdaptiveMonitor::Options o;
+  o.requirements =
+      RelativeRequirements{seconds(8.0), seconds(2000.0), seconds(4.0)};
+  o.initial = core::NfdEParams{Duration(1.0), Duration(1.0), 32};
+  o.reconfig_interval = seconds(50.0);
+  return o;
+}
+
+struct Rig {
+  core::Testbed tb;
+  persist::MemorySnapshotStore store;
+  MonitorSupervisor supervisor;
+  std::vector<Transition> log;
+
+  explicit Rig(MonitorSupervisor::Options opts, std::uint64_t seed = 6001,
+               double p_loss = 0.01)
+      : tb(make_config(p_loss, seed)),
+        supervisor(tb.simulator(), tb.q_clock(), tb.sender(), store, opts) {
+    supervisor.add_listener(
+        [this](const Transition& t) { log.push_back(t); });
+    tb.attach(supervisor);
+    tb.start();
+  }
+
+  static core::Testbed::Config make_config(double p_loss,
+                                           std::uint64_t seed) {
+    core::Testbed::Config cfg;
+    cfg.delay = std::make_unique<dist::Exponential>(0.02);
+    cfg.loss = std::make_unique<net::BernoulliLoss>(p_loss);
+    cfg.eta = seconds(1.0);
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  void run_until(double t) { tb.simulator().run_until(TimePoint(t)); }
+};
+
+MonitorSupervisor::Options default_sup_options() {
+  MonitorSupervisor::Options o;
+  o.monitor = monitor_options();
+  o.snapshot_interval = seconds(20.0);
+  o.max_snapshot_age = seconds(300.0);
+  return o;
+}
+
+TEST(MonitorSupervisor, TakesPeriodicSnapshots) {
+  Rig rig(default_sup_options());
+  rig.run_until(105.0);
+  EXPECT_GE(rig.supervisor.snapshots_taken(), 5u);
+  ASSERT_TRUE(rig.store.load().has_value());
+  // The persisted bytes are a valid snapshot as stored.
+  EXPECT_NO_THROW((void)persist::from_string(*rig.store.load()));
+}
+
+TEST(MonitorSupervisor, OutputIsSuspectWhileMonitorIsDown) {
+  Rig rig(default_sup_options());
+  rig.run_until(905.0);
+  ASSERT_TRUE(rig.supervisor.monitor_alive());
+  rig.supervisor.crash_monitor();
+  EXPECT_FALSE(rig.supervisor.monitor_alive());
+  EXPECT_EQ(rig.supervisor.monitor(), nullptr);
+  EXPECT_EQ(rig.supervisor.output(), Verdict::kSuspect);
+  // Heartbeats keep arriving during the downtime, but with nobody home the
+  // supervisor must not trust.
+  const std::size_t transitions = rig.log.size();
+  rig.run_until(940.0);
+  EXPECT_EQ(rig.supervisor.output(), Verdict::kSuspect);
+  EXPECT_EQ(rig.log.size(), transitions);
+}
+
+TEST(MonitorSupervisor, WarmRestartRehydratesAndReTrusts) {
+  Rig rig(default_sup_options());
+  rig.run_until(905.0);
+  const auto params_before = rig.supervisor.monitor()->current_params();
+  rig.supervisor.crash_monitor();
+  rig.run_until(935.0);
+  rig.supervisor.restart_monitor();
+
+  EXPECT_EQ(rig.supervisor.warm_restarts(), 1u);
+  EXPECT_EQ(rig.supervisor.cold_restarts(), 0u);
+  EXPECT_EQ(rig.supervisor.snapshot_rejects(), 0u);
+  ASSERT_TRUE(rig.supervisor.monitor_alive());
+
+  // The rehydrated monitor runs the snapshot's parameters and is latched
+  // at-risk until live estimates revalidate the target.
+  EXPECT_DOUBLE_EQ(rig.supervisor.monitor()->current_params().eta.seconds(),
+                   params_before.eta.seconds());
+  EXPECT_TRUE(rig.supervisor.monitor()->qos_at_risk());
+  EXPECT_EQ(rig.supervisor.monitor()->risk_reason(),
+            AdaptiveMonitor::RiskReason::kWarmRestart);
+
+  // The Eq. 6.3 window restored verbatim: the first live heartbeats
+  // re-trust the output within a couple of sending periods.
+  rig.run_until(940.0);
+  EXPECT_EQ(rig.supervisor.output(), Verdict::kTrust);
+
+  // After a post-restore reconfiguration round the latch clears.
+  rig.run_until(1100.0);
+  EXPECT_FALSE(rig.supervisor.monitor()->qos_at_risk());
+  EXPECT_EQ(rig.supervisor.monitor()->risk_reason(),
+            AdaptiveMonitor::RiskReason::kNone);
+
+  // And the service keeps meeting its availability target afterwards.
+  const auto rec = qos::replay(rig.log, TimePoint(950.0), TimePoint(1100.0));
+  EXPECT_GT(rec.query_accuracy(), 0.9);
+}
+
+TEST(MonitorSupervisor, ColdRestartWhenNoSnapshotExists) {
+  Rig rig(default_sup_options());
+  rig.run_until(905.0);
+  rig.supervisor.crash_monitor();
+  rig.store.clear();  // stable storage lost too
+  rig.run_until(935.0);
+  rig.supervisor.restart_monitor();
+
+  EXPECT_EQ(rig.supervisor.warm_restarts(), 0u);
+  EXPECT_EQ(rig.supervisor.cold_restarts(), 1u);
+  ASSERT_TRUE(rig.supervisor.monitor_alive());
+  // Conservative Chebyshev-bound parameters, flagged for revalidation.
+  EXPECT_TRUE(rig.supervisor.monitor()->qos_at_risk());
+  EXPECT_EQ(rig.supervisor.monitor()->risk_reason(),
+            AdaptiveMonitor::RiskReason::kPostDisruption);
+  // The conservative configuration still honors the registered detection
+  // bound.
+  EXPECT_LE(rig.supervisor.monitor()->relative_detection_bound().seconds(),
+            8.0 + 1e-9);
+  // Live estimates eventually revalidate and clear the latch.
+  rig.run_until(1200.0);
+  EXPECT_FALSE(rig.supervisor.monitor()->qos_at_risk());
+}
+
+TEST(MonitorSupervisor, ColdRestartOnCorruptSnapshot) {
+  Rig rig(default_sup_options());
+  rig.run_until(905.0);
+  rig.supervisor.crash_monitor();
+  // Simulated disk corruption: one bit flips in stable storage.
+  auto bytes = rig.store.load();
+  ASSERT_TRUE(bytes.has_value());
+  (*bytes)[bytes->size() / 2] =
+      static_cast<char>((*bytes)[bytes->size() / 2] ^ 0x01);
+  rig.store.save(*bytes);
+  rig.run_until(935.0);
+  rig.supervisor.restart_monitor();
+
+  EXPECT_EQ(rig.supervisor.warm_restarts(), 0u);
+  EXPECT_EQ(rig.supervisor.cold_restarts(), 1u);
+  EXPECT_EQ(rig.supervisor.snapshot_rejects(), 1u);
+  EXPECT_NE(rig.supervisor.last_restart_detail().find("snapshot"),
+            std::string::npos);
+}
+
+TEST(MonitorSupervisor, ColdRestartOnStaleSnapshot) {
+  auto opts = default_sup_options();
+  opts.max_snapshot_age = seconds(60.0);
+  Rig rig(opts);
+  rig.run_until(905.0);
+  rig.supervisor.crash_monitor();
+  // Down for 120 s: the last snapshot (t = 900) ages past the 60 s bound.
+  rig.run_until(1025.0);
+  rig.supervisor.restart_monitor();
+
+  EXPECT_EQ(rig.supervisor.warm_restarts(), 0u);
+  EXPECT_EQ(rig.supervisor.cold_restarts(), 1u);
+  EXPECT_EQ(rig.supervisor.snapshot_rejects(), 1u);
+  EXPECT_NE(rig.supervisor.last_restart_detail().find("stale"),
+            std::string::npos);
+}
+
+TEST(MonitorSupervisor, ColdAlwaysPolicyNeverRehydrates) {
+  auto opts = default_sup_options();
+  opts.policy = MonitorSupervisor::RestartPolicy::kColdAlways;
+  Rig rig(opts);
+  rig.run_until(905.0);
+  rig.supervisor.crash_monitor();
+  rig.run_until(935.0);
+  rig.supervisor.restart_monitor();
+  EXPECT_EQ(rig.supervisor.warm_restarts(), 0u);
+  EXPECT_EQ(rig.supervisor.cold_restarts(), 1u);
+}
+
+TEST(MonitorSupervisor, SurvivesRepeatedCrashRestartCycles) {
+  Rig rig(default_sup_options());
+  double t = 500.0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    rig.run_until(t);
+    rig.supervisor.crash_monitor();
+    rig.run_until(t + 30.0);
+    rig.supervisor.restart_monitor();
+    t += 300.0;
+  }
+  rig.run_until(t + 200.0);
+  EXPECT_EQ(rig.supervisor.warm_restarts(), 3u);
+  ASSERT_TRUE(rig.supervisor.monitor_alive());
+  EXPECT_FALSE(rig.supervisor.monitor()->qos_at_risk());
+  EXPECT_EQ(rig.supervisor.output(), Verdict::kTrust);
+}
+
+TEST(MonitorSupervisor, RegistryFacadeSurvivesWarmRestart) {
+  Rig rig(default_sup_options());
+  const AppId a = rig.supervisor.register_app(
+      RelativeRequirements{seconds(6.0), seconds(3000.0), seconds(3.0)});
+  const AppId b = rig.supervisor.register_app(
+      RelativeRequirements{seconds(9.0), seconds(1500.0), seconds(5.0)});
+  EXPECT_EQ(rig.supervisor.app_count(), 2u);
+  rig.run_until(905.0);
+
+  rig.supervisor.crash_monitor();
+  rig.run_until(935.0);
+  rig.supervisor.restart_monitor();
+  ASSERT_EQ(rig.supervisor.warm_restarts(), 1u);
+
+  // The demand set rode along in the snapshot.
+  EXPECT_EQ(rig.supervisor.app_count(), 2u);
+  // Handles remain live: update and deregister still work, and new
+  // registrations do not reuse restored ids.
+  EXPECT_TRUE(rig.supervisor.update_app(
+      a, RelativeRequirements{seconds(5.0), seconds(4000.0), seconds(3.0)}));
+  EXPECT_TRUE(rig.supervisor.deregister_app(b));
+  EXPECT_FALSE(rig.supervisor.deregister_app(b));
+  const AppId c = rig.supervisor.register_app(
+      RelativeRequirements{seconds(7.0), seconds(1000.0), seconds(4.0)});
+  EXPECT_GT(c, b);
+  EXPECT_EQ(rig.supervisor.app_count(), 2u);
+}
+
+TEST(MonitorSupervisor, RegistryPushesMergedRequirementIntoMonitor) {
+  Rig rig(default_sup_options());
+  rig.run_until(1500.0);
+  const double eta_before =
+      rig.supervisor.monitor()->current_params().eta.seconds();
+  // A far stricter recurrence demand must shrink eta at the next rounds.
+  rig.supervisor.register_app(
+      RelativeRequirements{seconds(8.0), days(30.0), seconds(4.0)});
+  rig.run_until(3000.0);
+  EXPECT_LT(rig.supervisor.monitor()->current_params().eta.seconds(),
+            eta_before);
+}
+
+TEST(MonitorSupervisor, RejectsLifecycleMisuse) {
+  Rig rig(default_sup_options());
+  rig.run_until(100.0);
+  EXPECT_THROW(rig.supervisor.restart_monitor(), std::invalid_argument);
+  rig.supervisor.crash_monitor();
+  EXPECT_THROW(rig.supervisor.crash_monitor(), std::invalid_argument);
+  rig.supervisor.restart_monitor();
+  EXPECT_TRUE(rig.supervisor.monitor_alive());
+}
+
+TEST(MonitorSupervisor, RejectsInvalidOptions) {
+  core::Testbed tb(Rig::make_config(0.01, 6099));
+  persist::MemorySnapshotStore store;
+  auto opts = default_sup_options();
+  opts.snapshot_interval = seconds(0.0);
+  EXPECT_THROW(MonitorSupervisor(tb.simulator(), tb.q_clock(), tb.sender(),
+                                 store, opts),
+               std::invalid_argument);
+  opts = default_sup_options();
+  opts.cold_loss_assumption = 1.5;
+  EXPECT_THROW(MonitorSupervisor(tb.simulator(), tb.q_clock(), tb.sender(),
+                                 store, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd::service

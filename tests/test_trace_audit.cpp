@@ -101,6 +101,38 @@ TEST(Trace, CommentsAndBlankLinesAreIgnored) {
   EXPECT_EQ(t.transitions[1].to, Verdict::kTrust);
 }
 
+TEST(Trace, CrlfInputParsesLikeLfInput) {
+  // Traces written on (or transferred through) Windows tooling arrive with
+  // CRLF line endings; the '\r' must not end up glued to the last token.
+  std::istringstream is("window 0 10\r\n1.0 S\r\n2.0 T\r\n");
+  const qos::TraceFile t = qos::read_trace(is);
+  EXPECT_EQ(t.end, TimePoint(10.0));
+  ASSERT_EQ(t.transitions.size(), 2u);
+  EXPECT_EQ(t.transitions[1].to, Verdict::kTrust);
+  // Mixed endings and a CRLF comment line parse too.
+  std::istringstream mixed("# note\r\nwindow 0 10\n1.0 T\r\n");
+  EXPECT_EQ(qos::read_trace(mixed).transitions.size(), 1u);
+}
+
+TEST(Trace, DiagnosticsCarryTheOffendingLineNumber) {
+  const auto line_of = [](const std::string& text) -> std::string {
+    std::istringstream is(text);
+    try {
+      (void)qos::read_trace(is);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Comment and blank lines still count toward the line number, so the
+  // diagnostic points at the file as the user sees it.
+  EXPECT_NE(line_of("# c\n\nwindow 0 10\n1.0 X\n").find("line 4"),
+            std::string::npos);
+  EXPECT_NE(line_of("window 0 10\n5.0 S\n4.0 T\n").find("line 3"),
+            std::string::npos);
+  EXPECT_NE(line_of("window 10 0\n").find("line 1"), std::string::npos);
+}
+
 TEST(Audit, Theorem1IdentitiesHoldOnSimulatedNfdSTrace) {
   const qos::TraceFile trace = simulated_trace();
   const qos::Recorder rec =

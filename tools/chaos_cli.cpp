@@ -98,7 +98,16 @@ void write_json(std::ostream& os, const std::string& suite_name,
     os << "      \"audit_cycles\": " << r.audit_cycles << ",\n";
     os << "      \"adaptive\": " << (r.adaptive ? "true" : "false") << ",\n";
     os << "      \"epoch_resets\": " << r.epoch_resets << ",\n";
-    os << "      \"reconfigurations\": " << r.reconfigurations << "\n";
+    os << "      \"reconfigurations\": " << r.reconfigurations << ",\n";
+    os << "      \"supervised\": " << (r.supervised ? "true" : "false")
+       << ",\n";
+    os << "      \"monitor_outages\": " << r.monitor_outages << ",\n";
+    os << "      \"warm_restarts\": " << r.warm_restarts << ",\n";
+    os << "      \"cold_restarts\": " << r.cold_restarts << ",\n";
+    os << "      \"snapshots_taken\": " << r.snapshots_taken << ",\n";
+    os << "      \"snapshot_rejects\": " << r.snapshot_rejects << ",\n";
+    os << "      \"mean_restart_retrust_s\": " << r.mean_restart_retrust_s
+       << "\n";
     os << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
@@ -122,12 +131,38 @@ void write_json(std::ostream& os, const std::string& suite_name,
     }
     os << "]}" << (++f < families.size() ? "," : "") << "\n";
   }
+  os << "  ],\n";
+  // Restart degradation: per restart policy family (supervised scenarios
+  // only), how availability and the post-restart re-trust time behave as
+  // the monitor-crash intensity rises.
+  std::map<std::string, std::vector<const fault::ScenarioResult*>> supervised;
+  for (const fault::ScenarioResult& r : results) {
+    if (r.supervised) supervised[r.family].push_back(&r);
+  }
+  os << "  \"restart_degradation\": [\n";
+  std::size_t sf = 0;
+  for (const auto& [family, members] : supervised) {
+    os << "    {\"family\": \"" << json_escape(family) << "\", \"points\": [";
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      if (m != 0) os << ", ";
+      os << "{\"intensity\": " << members[m]->fault_intensity
+         << ", \"monitor_outages\": " << members[m]->monitor_outages
+         << ", \"warm_restarts\": " << members[m]->warm_restarts
+         << ", \"cold_restarts\": " << members[m]->cold_restarts
+         << ", \"snapshot_rejects\": " << members[m]->snapshot_rejects
+         << ", \"mean_restart_retrust_s\": "
+         << members[m]->mean_restart_retrust_s
+         << ", \"availability\": " << members[m]->availability << "}";
+    }
+    os << "]}" << (++sf < supervised.size() ? "," : "") << "\n";
+  }
   os << "  ]\n";
   os << "}\n";
 }
 
 void print_usage(std::ostream& os) {
-  os << "usage: chenfd_chaos [--suite smoke|full] [--seed N] [--jobs N]\n"
+  os << "usage: chenfd_chaos [--suite smoke|monitor-restart|full] [--seed N]"
+        " [--jobs N]\n"
      << "                    [--out FILE|-] [--trace-dir DIR] [--list]\n"
      << "\n"
      << "Runs the named fault-injection suite and checks its per-scenario\n"

@@ -1,0 +1,171 @@
+// Snapshot corruption fuzzer (DESIGN.md section 9).
+//
+// Builds a representative valid monitor snapshot, then deterministically
+// mutates it — every single-bit flip over the whole byte string, plus
+// truncations at every line boundary and a band of random multi-byte
+// mutations — and feeds each mutant to persist::from_string.  The contract
+// under test:
+//
+//   - a mutant either parses (possible only if the mutation was inside a
+//     comment-free format this writer never emits — in practice the CRC
+//     catches everything) or throws persist::SnapshotError;
+//   - no mutant may crash, corrupt memory (run under ASan/UBSan in CI), or
+//     throw anything other than SnapshotError;
+//   - the unmutated input must round-trip bit-exactly.
+//
+// Exit code 0 when the contract holds for every mutant, 1 otherwise.
+// Deterministic: a fixed seed drives the random band, so a failure
+// reproduces by rerunning the binary.
+
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "common/rng.hpp"
+#include "persist/snapshot.hpp"
+
+namespace {
+
+chenfd::persist::MonitorSnapshot make_reference() {
+  chenfd::persist::MonitorSnapshot snap;
+  snap.taken_at_s = 1234.5678901234;
+  snap.detector.eta_s = 1.0;
+  snap.detector.alpha_s = 0.5;
+  snap.detector.window_capacity = 8;
+  snap.detector.epoch_seq = 10;
+  snap.detector.max_seq = 25;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    snap.detector.window.push_back(
+        {1000.0 + 0.01 * static_cast<double>(i), 20 + i});
+  }
+  snap.short_term.capacity = 4;
+  snap.short_term.highest_seq = 25;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    snap.short_term.obs.push_back({22 + i, 0.02 + 0.001 * static_cast<double>(i)});
+  }
+  snap.long_term.capacity = 16;
+  snap.long_term.highest_seq = 25;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    snap.long_term.obs.push_back({14 + i, 0.019 + 0.0005 * static_cast<double>(i)});
+  }
+  snap.smoothed_loss = 0.05;
+  snap.smoothed_variance = 0.0004;
+  snap.qos_at_risk = true;
+  snap.risk_reason = "warm_restart";
+  snap.backoff = 2.0;
+  snap.has_last_arrival = true;
+  snap.last_arrival_s = 1234.0;
+  snap.reconfigurations = 3;
+  snap.epoch_resets = 1;
+  snap.req_detection_rel_s = 1.5;
+  snap.req_recurrence_s = 300.0;
+  snap.req_duration_s = 60.0;
+  snap.next_app_id = 4;
+  snap.apps.push_back({1, 1.5, 300.0, 60.0});
+  snap.apps.push_back({3, 2.0, 600.0, 30.0});
+  return snap;
+}
+
+// Returns true when `bytes` honors the parse contract: either a clean
+// parse or a SnapshotError.  Any other escape is a contract violation.
+bool probe(const std::string& bytes, const char* what, std::size_t detail) {
+  try {
+    (void)chenfd::persist::from_string(bytes);
+    return true;
+  } catch (const chenfd::persist::SnapshotError&) {
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL %s %zu: escaped exception: %s\n", what, detail,
+                 e.what());
+  } catch (...) {
+    std::fprintf(stderr, "FAIL %s %zu: escaped non-std exception\n", what,
+                 detail);
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  const std::string valid =
+      chenfd::persist::to_string(make_reference());
+
+  // Sanity: the unmutated bytes must parse and round-trip bit-exactly.
+  try {
+    const chenfd::persist::MonitorSnapshot parsed =
+        chenfd::persist::from_string(valid);
+    if (chenfd::persist::to_string(parsed) != valid) {
+      std::fprintf(stderr, "FAIL round-trip is not bit-exact\n");
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL reference snapshot rejected: %s\n", e.what());
+    return 1;
+  }
+
+  bool ok = true;
+  std::size_t rejected = 0;
+  std::size_t mutants = 0;
+
+  // Every single-bit flip.  CRC-32 detects all of them, so each mutant
+  // must be *rejected* (not merely survive) — a mutant that parses means
+  // the checksum was not actually covering that byte.
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutant = valid;
+      mutant[i] = static_cast<char>(mutant[i] ^ (1 << bit));
+      ++mutants;
+      if (!probe(mutant, "bit-flip at byte", i)) {
+        ok = false;
+        continue;
+      }
+      try {
+        (void)chenfd::persist::from_string(mutant);
+        std::fprintf(stderr,
+                     "FAIL bit %d of byte %zu flipped yet snapshot parsed\n",
+                     bit, i);
+        ok = false;
+      } catch (const chenfd::persist::SnapshotError&) {
+        ++rejected;
+      }
+    }
+  }
+
+  // Truncation at every line boundary (torn write), plus every prefix of
+  // the final CRC line.
+  for (std::size_t i = 0; i <= valid.size(); ++i) {
+    if (i != valid.size() && valid[i] != '\n') continue;
+    std::string mutant = valid.substr(0, i);
+    ++mutants;
+    if (!probe(mutant, "truncation at byte", i)) ok = false;
+  }
+
+  // Random heavier mutations: splices, duplicated lines, garbage bytes.
+  chenfd::Rng rng(20260806);
+  for (std::size_t round = 0; round < 2000; ++round) {
+    std::string mutant = valid;
+    const std::size_t edits = 1 + static_cast<std::size_t>(rng() % 4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t at = static_cast<std::size_t>(rng() % mutant.size());
+      switch (rng() % 3) {
+        case 0:  // overwrite with garbage
+          mutant[at] = static_cast<char>(rng() % 256);
+          break;
+        case 1:  // delete a span
+          mutant.erase(at, 1 + static_cast<std::size_t>(rng() % 16));
+          break;
+        default:  // duplicate a span
+          mutant.insert(at, mutant.substr(at, 1 + static_cast<std::size_t>(rng() % 16)));
+          break;
+      }
+      if (mutant.empty()) mutant = "x";
+    }
+    ++mutants;
+    if (!probe(mutant, "random mutation round", round)) ok = false;
+  }
+
+  std::printf("snapshot_fuzz: %zu mutants, %zu single-bit rejects, %s\n",
+              mutants, rejected, ok ? "contract holds" : "CONTRACT VIOLATED");
+  return ok ? 0 : 1;
+}
