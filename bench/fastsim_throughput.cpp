@@ -1,0 +1,156 @@
+// Throughput study of the batched fast-sim kernels, and the producer of
+// the perf-regression baseline.
+//
+// Runs each fast engine (NFD-S skip-scan, NFD-E and SFD event loops) on
+// the same workloads as bench_micro's per-heartbeat benchmarks, measures
+// heartbeats/sec over several repetitions, and writes the medians to
+// BENCH_fastsim.json.  CI's perf-smoke job (tools/perf_gate.py) compares
+// that file against the committed baseline bench/BENCH_fastsim_baseline.json
+// and fails on a >20% regression.
+//
+// The pre-batching reference constants below were measured on the same
+// workloads with the per-event virtual-dispatch engines this kernel
+// replaced (Release build, idle machine, median of 3 google-benchmark
+// repetitions); they exist so the reported multiple has a fixed, documented
+// denominator.  See EXPERIMENTS.md E16.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/arena.hpp"
+#include "core/fast_sim.hpp"
+#include "core/sampler.hpp"
+#include "dist/exponential.hpp"
+
+namespace {
+
+using namespace chenfd;
+
+struct Budget {
+  std::uint64_t heartbeats_per_rep;
+  int repetitions;
+};
+
+Budget budget() {
+  if (bench::fast_mode()) return {2'000'000, 3};
+  return {20'000'000, 5};
+}
+
+struct EngineResult {
+  std::string name;
+  double items_per_sec;       // median across repetitions
+  double pre_batching_ref;    // items/sec of the replaced engine (0 = n/a)
+};
+
+/// Medians are robust to a single slow repetition (cold cache, scheduler
+/// blip) without needing long settle times.
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+template <typename RunFn>
+EngineResult measure(const std::string& name, double pre_batching_ref,
+                     std::uint64_t items_per_rep, int reps, RunFn&& run) {
+  std::vector<double> rates;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run(static_cast<std::uint64_t>(r + 1));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    rates.push_back(static_cast<double>(items_per_rep) / secs);
+  }
+  return {name, median(rates), pre_batching_ref};
+}
+
+}  // namespace
+
+int main() {
+  const Budget b = budget();
+  dist::Exponential delay(0.02);
+  const core::CompiledSampler sampler(delay);
+  MonotonicArena arena;
+
+  core::StopCriteria stop;
+  stop.target_s_transitions = std::size_t{1} << 30;  // run to the cap
+  stop.max_heartbeats = b.heartbeats_per_rep;
+
+  bench::print_header(
+      "Fast-sim kernel throughput",
+      std::to_string(b.heartbeats_per_rep) + " heartbeats/repetition x " +
+          std::to_string(b.repetitions) +
+          " repetitions per engine; median reported.\n"
+          "Workloads match bench_micro (eta = 1, p_L = 0.01, "
+          "exponential delay, mean 0.02).");
+
+  // Pre-batching references: the per-event engines on identical workloads.
+  constexpr double kPreNfdS = 65.2e6;
+  constexpr double kPreNfdE = 31.9e6;
+  constexpr double kPreSfd = 54.6e6;
+
+  std::vector<EngineResult> results;
+  results.push_back(measure(
+      "nfd_s", kPreNfdS, b.heartbeats_per_rep, b.repetitions,
+      [&](std::uint64_t seed) {
+        Rng rng(seed);
+        const auto r = core::fast_nfd_s_accuracy(
+            core::NfdSParams{Duration(1.0), Duration(2.0)}, 0.01, sampler,
+            rng, stop, &arena);
+        if (r.heartbeats == 0) std::abort();  // keep the run observable
+      }));
+  results.push_back(measure(
+      "nfd_e", kPreNfdE, b.heartbeats_per_rep, b.repetitions,
+      [&](std::uint64_t seed) {
+        Rng rng(100 + seed);
+        const auto r = core::fast_nfd_e_accuracy(
+            core::NfdEParams{Duration(1.0), Duration(2.0), 32}, 0.01,
+            sampler, rng, stop, &arena);
+        if (r.heartbeats == 0) std::abort();
+      }));
+  results.push_back(measure(
+      "sfd", kPreSfd, b.heartbeats_per_rep, b.repetitions,
+      [&](std::uint64_t seed) {
+        Rng rng(200 + seed);
+        const auto r = core::fast_sfd_accuracy(
+            core::SfdParams{Duration(1.84), Duration(0.16)}, Duration(1.0),
+            0.01, sampler, rng, stop, &arena);
+        if (r.heartbeats == 0) std::abort();
+      }));
+
+  bench::Table table({"engine", "items/sec", "pre-batching", "multiple"});
+  for (const auto& r : results) {
+    table.add_row({r.name, bench::Table::sci(r.items_per_sec),
+                   bench::Table::sci(r.pre_batching_ref),
+                   bench::Table::num(r.items_per_sec / r.pre_batching_ref)});
+  }
+  table.print();
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"fastsim_throughput\",\n"
+       << "  \"fast_mode\": " << (bench::fast_mode() ? "true" : "false")
+       << ",\n"
+       << "  \"heartbeats_per_rep\": " << b.heartbeats_per_rep << ",\n"
+       << "  \"repetitions\": " << b.repetitions << ",\n"
+       << "  \"engines\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"name\": \"" << r.name
+         << "\", \"items_per_sec\": " << r.items_per_sec
+         << ", \"pre_batching_items_per_sec\": " << r.pre_batching_ref
+         << ", \"multiple_vs_pre_batching\": "
+         << r.items_per_sec / r.pre_batching_ref << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::ofstream("BENCH_fastsim.json") << json.str();
+  std::cout << "\nWrote BENCH_fastsim.json\n";
+  return 0;
+}

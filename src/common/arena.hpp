@@ -1,0 +1,167 @@
+// Monotonic arena allocation for hot simulation scratch memory.
+//
+// The fast simulation engines (core/fast_sim.cpp) allocate per-run scratch —
+// SoA receipt blocks, sliding-window rings, the NFD-E in-flight heap — whose
+// lifetime is exactly one run.  Allocating that scratch from the global heap
+// makes every ParallelSweep worker contend on the allocator and scatters the
+// hot data across the address space.  A MonotonicArena instead carves
+// allocations out of large blocks with a bump pointer: allocation is a
+// pointer increment, deallocation is a no-op, and reset() recycles every
+// block for the next run without returning memory to the system.
+//
+// runner::ArenaPool (src/runner/arena.hpp) hands one reusable arena to each
+// worker thread, so after the first task on a worker the per-task scratch
+// never touches the global heap at all ("arena-backed workers").
+//
+// Not thread-safe: one arena belongs to one thread at a time (the pool
+// enforces this).  Trivially-destructible payloads only — reset() does not
+// run destructors, which is why the allocator below is constrained.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace chenfd {
+
+class MonotonicArena {
+ public:
+  /// `block_bytes` is the granularity of the backing blocks; oversized
+  /// requests get a dedicated block of exactly their size.
+  explicit MonotonicArena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {
+    CHENFD_EXPECTS(block_bytes > 0,
+                   "MonotonicArena: block size must be positive");
+  }
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+  MonotonicArena(MonotonicArena&&) = default;
+  MonotonicArena& operator=(MonotonicArena&&) = default;
+
+  /// Bump-allocates `bytes` bytes aligned to `align` (a power of two no
+  /// larger than alignof(std::max_align_t); blocks are max-aligned by new).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    CHENFD_EXPECTS(align > 0 && (align & (align - 1)) == 0,
+                   "MonotonicArena: alignment must be a power of two");
+    if (bytes == 0) bytes = 1;
+    const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+    if (current_ == nullptr || aligned + bytes > current_size_) {
+      grow(bytes, align);
+      return allocate(bytes, align);
+    }
+    offset_ = aligned + bytes;
+    if (offset_ > high_water_block_) high_water_block_ = offset_;
+    return current_ + aligned;
+  }
+
+  /// Recycles all blocks: subsequent allocations reuse them front to back.
+  /// No destructors run (see file comment).
+  void reset() {
+    cursor_ = 0;
+    offset_ = 0;
+    if (blocks_.empty()) {
+      current_ = nullptr;
+      current_size_ = 0;
+    } else {
+      current_ = blocks_.front().data.get();
+      current_size_ = blocks_.front().size;
+    }
+  }
+
+  /// Number of backing blocks obtained from the global heap so far.  A
+  /// worker whose arena has warmed up sees this stay constant across tasks
+  /// — the "never touch the global heap mid-run" property, testable.
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+  /// Total bytes held (capacity, not live allocations).
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{1} << 18;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t bytes, std::size_t align) {
+    // Try the next recycled block first; allocate a new one only when no
+    // recycled block fits.  `align - 1` slack guarantees the retry succeeds.
+    while (cursor_ + 1 < blocks_.size()) {
+      ++cursor_;
+      if (blocks_[cursor_].size >= bytes + align - 1) {
+        adopt(cursor_);
+        return;
+      }
+    }
+    const std::size_t want = bytes + align - 1;
+    const std::size_t size = want > block_bytes_ ? want : block_bytes_;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    cursor_ = blocks_.size() - 1;
+    adopt(cursor_);
+  }
+
+  void adopt(std::size_t index) {
+    current_ = blocks_[index].data.get();
+    current_size_ = blocks_[index].size;
+    offset_ = 0;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t cursor_ = 0;       ///< index of the block being bumped
+  std::byte* current_ = nullptr;
+  std::size_t current_size_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t high_water_block_ = 0;
+};
+
+/// std-compatible allocator carving out of a MonotonicArena.  deallocate is
+/// a no-op, so containers using it must hold trivially-destructible values
+/// and must not outlive the arena (enforced for the value type at compile
+/// time; lifetime is the caller's contract).
+template <typename T>
+class ArenaAllocator {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "ArenaAllocator requires trivially destructible values: "
+                "MonotonicArena::reset() never runs destructors");
+
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (n > (std::size_t{1} << 48) / sizeof(T)) throw std::bad_alloc();
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}  // monotonic: reclaim on reset
+
+  [[nodiscard]] MonotonicArena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+/// Arena-backed vector of trivially-destructible elements.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace chenfd

@@ -1,0 +1,65 @@
+// Shared floating-point rounding helpers for the paper's index arithmetic.
+//
+// The freshness-point schedule keeps producing expressions of the form
+// ceil(delta / eta) (the NFD-S window size k, Theorem 5's summation bound)
+// and floor((t - delta) / eta) (the freshness index).  Both are fragile in
+// floating point: delta = 2.5, eta = 1 must give k = 3, but delta = 2 must
+// give k = 2 even when 2/1 evaluates one ULP above 2 — and PR 2's level-2
+// audit caught a real bug where NfdS::freshness_index lost low bits when
+// delta >> eta and misclassified the instant tau_i.  Before this header the
+// snap-to-integer guard was re-implemented (inconsistently) in fast_sim.cpp,
+// analysis.cpp, chebyshev.cpp and config.cpp; this is the one shared,
+// contract-checked version, pinned by tests/test_rounding.cpp.
+
+#pragma once
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace chenfd {
+
+/// Relative slack used to decide that a ratio "is" an integer.  One part in
+/// 10^9 is far above any plausible accumulation error in the schedule
+/// arithmetic (a handful of multiplies/divides) and far below the spacing
+/// of distinct parameter ratios users express (milliseconds over seconds).
+inline constexpr double kRatioSnapSlack = 1e-9;
+
+/// ceil(a / b) for a >= 0, b > 0, robust to a/b landing a hair above an
+/// integer: the result is the smallest integer n with n >= a/b - slack,
+/// where slack is kRatioSnapSlack relative to max(1, a/b).
+[[nodiscard]] inline long ceil_ratio(double a, double b) {
+  CHENFD_EXPECTS(std::isfinite(a) && a >= 0.0,
+                 "ceil_ratio: numerator must be finite and >= 0");
+  CHENFD_EXPECTS(std::isfinite(b) && b > 0.0,
+                 "ceil_ratio: denominator must be finite and > 0");
+  const double r = a / b;
+  const double eps = kRatioSnapSlack * (r > 1.0 ? r : 1.0);
+  const double up = std::ceil(r - eps);
+  CHENFD_ENSURES(up >= 0.0, "ceil_ratio: result must be >= 0");
+  return static_cast<long>(up);
+}
+
+/// floor(r) with snap-to-nearest: when r is within kRatioSnapSlack
+/// (relative) of an integer the nearest integer is returned, so a value
+/// meant to be exactly i that lands one ULP below i does not misclassify
+/// as i - 1.  May return negative values; callers clamp as appropriate.
+[[nodiscard]] inline double floor_snapped(double r) {
+  CHENFD_EXPECTS(std::isfinite(r), "floor_snapped: value must be finite");
+  const double nearest = std::round(r);
+  if (std::abs(r - nearest) <=
+      kRatioSnapSlack * std::max(1.0, std::abs(r))) {
+    return nearest;
+  }
+  return std::floor(r);
+}
+
+/// floor(a / b) with the same snapping, for the freshness-index pattern.
+[[nodiscard]] inline double floor_ratio_snapped(double a, double b) {
+  CHENFD_EXPECTS(std::isfinite(a), "floor_ratio_snapped: numerator finite");
+  CHENFD_EXPECTS(std::isfinite(b) && b > 0.0,
+                 "floor_ratio_snapped: denominator must be finite and > 0");
+  return floor_snapped(a / b);
+}
+
+}  // namespace chenfd

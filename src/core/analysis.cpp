@@ -3,18 +3,10 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/rounding.hpp"
 
 namespace chenfd::core {
 namespace {
-
-/// ceil(a/b) for positive durations, robust to a/b being a hair above an
-/// integer due to floating point (e.g. delta = 2.5, eta = 1 must give 3,
-/// but delta = 2, eta = 1 must give 2 even if 2/1 evaluates to 2.0000000001).
-int ceil_ratio(Duration a, Duration b) {
-  const double r = a / b;
-  const double eps = 1e-9 * (r > 1.0 ? r : 1.0);
-  return static_cast<int>(std::ceil(r - eps));
-}
 
 /// Composite Simpson's rule on [lo, hi] with n (even) subintervals.
 template <typename F>
@@ -35,7 +27,8 @@ NfdSAnalysis::NfdSAnalysis(NfdSParams params, double p_loss,
     : params_(params),
       p_loss_(p_loss),
       delay_(delay),
-      k_(ceil_ratio(params.delta, params.eta)) {
+      k_(static_cast<int>(
+          ceil_ratio(params.delta.seconds(), params.eta.seconds()))) {
   params_.validate();
   expects(p_loss >= 0.0 && p_loss < 1.0,
           "NfdSAnalysis: p_loss must be in [0, 1)");

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/rounding.hpp"
 
 namespace chenfd::core {
 namespace {
@@ -19,7 +20,7 @@ AccuracyBounds bounds_from_slack(Duration eta_d, double d, double p_loss,
           "chebyshev bounds: p_loss must be in [0, 1)");
   expects(variance >= 0.0, "chebyshev bounds: variance must be >= 0");
 
-  const int k0 = static_cast<int>(std::ceil(d / eta - 1e-9)) - 1;
+  const int k0 = static_cast<int>(ceil_ratio(d, eta)) - 1;
   double beta = 1.0;
   for (int j = 0; j <= k0; ++j) {
     const double s = d - static_cast<double>(j) * eta;

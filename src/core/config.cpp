@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/check.hpp"
+#include "common/rounding.hpp"
 
 namespace chenfd::core {
 namespace {
@@ -112,7 +113,7 @@ ConfigOutcome<NfdSParams> configure_exact(const qos::Requirements& req,
   // Step 2: f(eta) = eta / (q0' * prod_{j=1}^{ceil(T/eta)-1} p_j) with
   // p_j = p_L + (1 - p_L) Pr(D > T_D^U - j*eta)   (Eq. 4.5).
   const auto f = [&](double eta) {
-    const int terms = static_cast<int>(std::ceil(t_du / eta - 1e-9)) - 1;
+    const int terms = static_cast<int>(ceil_ratio(t_du, eta)) - 1;
     double denom = q0p;
     for (int j = 1; j <= terms; ++j) {
       denom *= p_loss + (1.0 - p_loss) *
@@ -181,7 +182,7 @@ ConfigOutcome<NfdSParams> configure_from_moments(const qos::Requirements& req,
   // Step 2: f(eta) = eta * prod_{j} [V + (t - j eta)^2]/[V + pL (t - j eta)^2]
   // (Eq. 5.2).
   const auto f = [&](double eta) {
-    const int terms = static_cast<int>(std::ceil(t / eta - 1e-9)) - 1;
+    const int terms = static_cast<int>(ceil_ratio(t, eta)) - 1;
     double prod = eta;
     for (int j = 1; j <= terms; ++j) {
       const double s = t - static_cast<double>(j) * eta;
@@ -230,7 +231,7 @@ ConfigOutcome<NfdUParams> configure_nfd_u(const RelativeRequirements& req,
 
   // Step 2 (Eq. 6.2).
   const auto f = [&](double eta) {
-    const int terms = static_cast<int>(std::ceil(t / eta - 1e-9)) - 1;
+    const int terms = static_cast<int>(ceil_ratio(t, eta)) - 1;
     double prod = eta;
     for (int j = 1; j <= terms; ++j) {
       const double s = t - static_cast<double>(j) * eta;

@@ -1,26 +1,35 @@
 #include "core/fast_sim.hpp"
 
 #include <cmath>
-#include <deque>
 #include <limits>
 #include <optional>
-#include <queue>
 #include <utility>
-#include <vector>
 
-#include "common/check.hpp"
+#include "common/rounding.hpp"
 
 namespace chenfd::core {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Receipts (or delays) generated per SoA block refill.  4096 doubles =
+/// 32 KiB — inside L1/L2 so block passes (sample fill, loss marking, send
+/// offsets) and the consuming scan stay cache-resident.
+constexpr std::size_t kBlockLen = 4096;
+
+/// In-flight heap slots reserved up front for the event-loop engines.  The
+/// heap holds one entry per undelivered sent message, so occupancy above
+/// this requires a single delay longer than kInFlightReserve heartbeat
+/// periods — far outside the delay regimes the paper (and our test
+/// distributions) consider.  Audit level >= 1 asserts the reserve held.
+constexpr std::size_t kInFlightReserve = 4096;
+
 /// Shared transition bookkeeping: turns an alternating S/T transition
 /// stream (plus a measurement window) into an AccuracyResult.  Callers
 /// invoke on_suspect / on_trust only on genuine transitions.
 class Tally {
  public:
-  explicit Tally(const StopCriteria& stop) : stop_(stop) {}
+  explicit Tally(const StopCriteria& stop) : stop_(stop), res_(stop) {}
 
   void begin(double t) {
     begun_ = true;
@@ -57,6 +66,16 @@ class Tally {
     }
     res_.trust_seconds = trust_seconds_;
     res_.heartbeats = heartbeats;
+    if (AccuracyResult::reservoir_capacity(stop_) <=
+        AccuracyResult::kReservoirReserve) {
+      // A run records at most target + 1 samples per reservoir, so when the
+      // up-front reserve covers the target the measurement must have been
+      // reallocation-free.
+      CHENFD_ENSURES(res_.mistake_recurrence.within_reserve() &&
+                         res_.mistake_duration.within_reserve() &&
+                         res_.good_period.within_reserve(),
+                     "fast_sim: sample reservoir grew during measurement");
+    }
     return std::move(res_);
   }
 
@@ -71,69 +90,189 @@ class Tally {
   std::optional<double> last_t_;
 };
 
-/// Receipt-time generator: r_i = i*eta + D_i, or +infinity if m_i is lost.
-class ReceiptSampler {
+[[nodiscard]] std::size_t ceil_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// SoA stream of per-message values generated a block at a time: delays
+/// from the compiled sampler, losses marked +inf by geometric skipping, and
+/// (in receipt mode) send times j*eta added so entries are receipt times.
+/// Consuming the stream is an array read; all per-draw machinery runs once
+/// per block over contiguous memory.
+class BatchedStream {
  public:
-  ReceiptSampler(double eta, double p_loss,
-                 const dist::DelayDistribution& delay, Rng& rng)
-      : eta_(eta), p_loss_(p_loss), delay_(delay), rng_(rng) {}
+  enum class Mode { kReceipts, kDelays };
 
-  [[nodiscard]] double receipt(std::uint64_t seq) {
-    if (rng_.bernoulli(p_loss_)) return kInf;
-    return eta_ * static_cast<double>(seq) + delay_.sample(rng_);
-  }
+  BatchedStream(Mode mode, double eta, double p_loss,
+                const CompiledSampler& delay, Rng& rng, MonotonicArena& arena)
+      : mode_(mode),
+        eta_(eta),
+        delay_(delay),
+        loss_(p_loss, rng),
+        rng_(rng),
+        block_(kBlockLen, ArenaAllocator<double>(arena)) {}
 
-  /// Delay only (for event-loop engines that need send & receipt times).
-  [[nodiscard]] double delay_or_inf() {
-    if (rng_.bernoulli(p_loss_)) return kInf;
-    return delay_.sample(rng_);
+  /// Value for the next message in sequence (first call is m_1): receipt
+  /// time j*eta + D_j in kReceipts mode, bare delay D_j in kDelays mode;
+  /// +inf either way when m_j is lost.
+  [[nodiscard]] double next() {
+    if (idx_ == kBlockLen) refill();
+    return block_[idx_++];
   }
 
  private:
+  void refill() {
+    delay_.fill(rng_, block_.data(), kBlockLen);
+    // `first` is the 0-based offset of block_[0] in the message stream
+    // (message m_{first+1}); the skipper reports lost offsets in the same
+    // coordinates.
+    const std::uint64_t first = generated_;
+    while (loss_.next_lost() < first + kBlockLen) {
+      block_[static_cast<std::size_t>(loss_.next_lost() - first)] = kInf;
+      loss_.advance(rng_);
+    }
+    if (mode_ == Mode::kReceipts) {
+      for (std::size_t i = 0; i < kBlockLen; ++i) {
+        // Direct j*eta (not an incremental sum) so receipt times carry no
+        // accumulated rounding over 10^9-message streams.
+        block_[i] += eta_ * static_cast<double>(first + 1 + i);
+      }
+    }
+    generated_ += kBlockLen;
+    idx_ = 0;
+  }
+
+  Mode mode_;
   double eta_;
-  double p_loss_;
-  const dist::DelayDistribution& delay_;
+  const CompiledSampler& delay_;
+  LossSkipper loss_;
   Rng& rng_;
+  ArenaVector<double> block_;
+  std::size_t idx_ = kBlockLen;
+  std::uint64_t generated_ = 0;
 };
 
-int ceil_ratio(double a, double b) {
-  const double r = a / b;
-  const double eps = 1e-9 * (r > 1.0 ? r : 1.0);
-  return static_cast<int>(std::ceil(r - eps));
-}
+/// Monotone ring deque over (receipt, seq): receipts increase from the
+/// front, so the front is the minimum of the current window.  push() evicts
+/// dominated entries from the back (a newer message with an earlier receipt
+/// makes older, later receipts irrelevant); expire_below() drops entries
+/// that left the window.  Both are O(1) amortized — each entry is pushed
+/// and popped at most once — replacing the old O(k) per-interval ring scan.
+class MinWindow {
+ public:
+  MinWindow(std::size_t window, MonotonicArena& arena)
+      : mask_(ceil_pow2(window + 1) - 1),
+        val_(mask_ + 1, ArenaAllocator<double>(arena)),
+        seq_(mask_ + 1, ArenaAllocator<std::uint64_t>(arena)) {}
 
-/// The NFD-S sliding-window scan, generic over the per-message delay
-/// source so the i.i.d. fast path stays direct-call while the correlated
-/// ablation goes through std::function.
-template <typename DelayFn>
-AccuracyResult nfd_s_scan(NfdSParams params, double p_loss,
-                          DelayFn&& next_delay, Rng& rng,
-                          const StopCriteria& stop) {
-  params.validate();
-  expects(p_loss >= 0.0 && p_loss < 1.0,
-          "fast_nfd_s_accuracy: p_loss must be in [0, 1)");
+  void push(std::uint64_t seq, double r) {
+    while (tail_ != head_ && val_[(tail_ - 1) & mask_] >= r) --tail_;
+    val_[tail_ & mask_] = r;
+    seq_[tail_ & mask_] = seq;
+    ++tail_;
+  }
+
+  void expire_below(std::uint64_t min_seq) {
+    while (tail_ != head_ && seq_[head_ & mask_] < min_seq) ++head_;
+  }
+
+  /// Minimum receipt time in the window (+inf when every entry was lost —
+  /// then the deque still holds the newest lost entry, which is +inf).
+  [[nodiscard]] double min() const {
+    return tail_ == head_ ? kInf : val_[head_ & mask_];
+  }
+
+ private:
+  std::size_t mask_;
+  ArenaVector<double> val_;
+  ArenaVector<std::uint64_t> seq_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+/// Pre-sized binary min-heap of in-flight (receipt time, seq) pairs for the
+/// event-loop engines, SoA so sift compares touch one contiguous array.
+/// Grows (from the arena) only beyond kInFlightReserve live messages;
+/// grew() reports whether that ever happened.
+class InFlightHeap {
+ public:
+  InFlightHeap(std::size_t reserve, MonotonicArena& arena)
+      : t_(reserve < 1 ? 1 : reserve, ArenaAllocator<double>(arena)),
+        s_(reserve < 1 ? 1 : reserve, ArenaAllocator<std::uint64_t>(arena)) {}
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] double top_time() const { return t_[0]; }
+  [[nodiscard]] std::uint64_t top_seq() const { return s_[0]; }
+  [[nodiscard]] bool grew() const { return grew_; }
+
+  void push(double t, std::uint64_t seq) {
+    if (size_ == t_.size()) {
+      t_.resize(t_.size() * 2);
+      s_.resize(s_.size() * 2);
+      grew_ = true;
+    }
+    std::size_t i = size_++;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (t_[parent] <= t) break;
+      t_[i] = t_[parent];
+      s_[i] = s_[parent];
+      i = parent;
+    }
+    t_[i] = t;
+    s_[i] = seq;
+  }
+
+  void pop() {
+    --size_;
+    const double t = t_[size_];
+    const std::uint64_t seq = s_[size_];
+    std::size_t i = 0;
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= size_) break;
+      if (child + 1 < size_ && t_[child + 1] < t_[child]) ++child;
+      if (t_[child] >= t) break;
+      t_[i] = t_[child];
+      s_[i] = s_[child];
+      i = child;
+    }
+    if (size_ != 0) {
+      t_[i] = t;
+      s_[i] = seq;
+    }
+  }
+
+ private:
+  ArenaVector<double> t_;
+  ArenaVector<std::uint64_t> s_;
+  std::size_t size_ = 0;
+  bool grew_ = false;
+};
+
+/// The NFD-S sliding-window scan, generic over the receipt source so the
+/// batched SoA stream stays a direct call while the correlated ablation
+/// goes through std::function.  `receipt(seq)` is called with strictly
+/// increasing seq starting at 1 and returns the receipt time of m_seq (or
+/// +inf if lost).
+template <typename ReceiptFn>
+AccuracyResult nfd_s_window_scan(const NfdSParams& params,
+                                 ReceiptFn&& receipt,
+                                 const StopCriteria& stop,
+                                 MonotonicArena& arena) {
   const double eta = params.eta.seconds();
   const double dlt = params.delta.seconds();
-  const int k = ceil_ratio(dlt, eta);
+  const auto k = static_cast<std::uint64_t>(ceil_ratio(dlt, eta));
   ensures(k >= 1, "fast_nfd_s_accuracy: k must be >= 1 since delta > 0");
-
-  // Receipt time of m_seq, or +inf if lost.  The delay is sampled for lost
-  // messages too, so a stateful (correlated) sampler advances uniformly.
-  const auto receipt = [&](std::uint64_t seq) {
-    const double d = next_delay(rng);
-    if (p_loss > 0.0 && rng.bernoulli(p_loss)) return kInf;
-    return eta * static_cast<double>(seq) + d;
-  };
 
   Tally tally(stop);
 
-  // Ring of the receipt times of m_i .. m_{i+k} (Proposition 13: only these
-  // can affect the output in [tau_i, tau_{i+1})).
-  const std::size_t ring_size = static_cast<std::size_t>(k) + 1;
-  std::vector<double> ring(ring_size);
-  for (std::uint64_t j = 1; j <= ring_size; ++j) {
-    ring[(j - 1) % ring_size] = receipt(j);
-  }
+  // Window of the receipt times of m_i .. m_{i+k} (Proposition 13: only
+  // these can affect the output in [tau_i, tau_{i+1})).
+  MinWindow win(static_cast<std::size_t>(k) + 1, arena);
+  for (std::uint64_t j = 1; j <= k + 1; ++j) win.push(j, receipt(j));
 
   bool trusting = false;  // output entering tau_1 (warmup absorbs any error)
   std::uint64_t i = 1;
@@ -143,8 +282,146 @@ AccuracyResult nfd_s_scan(NfdSParams params, double p_loss,
     const double tau_next = tau + eta;
     if (!tally.begun() && i >= stop.warmup_intervals) tally.begin(tau);
 
+    win.expire_below(i);
+    const double first_fresh = win.min();
+
+    if (trusting && first_fresh > tau) {
+      // Freshness check fails at tau_i: S-transition (Proposition 13.1).
+      trusting = false;
+      if (tally.on_suspect(tau)) {
+        end_time = tau;
+        break;
+      }
+    } else if (!trusting && first_fresh <= tau) {
+      // Only possible before steady state (a fresh message arrived during a
+      // pre-window suspicion); silently resynchronize.
+      trusting = true;
+    }
+    if (!trusting && first_fresh < tau_next) {
+      // T-transition when the first fresh message arrives mid-interval.
+      trusting = true;
+      tally.on_trust(first_fresh);
+    }
+
+    if (i >= stop.max_heartbeats) {
+      end_time = tau_next;
+      break;
+    }
+    // Slide the window: m_i expires next interval, m_{i+k+1} enters.
+    win.push(i + k + 1, receipt(i + k + 1));
+  }
+  return tally.finish(end_time, trusting, i);
+}
+
+/// Resolves the caller-supplied arena, falling back to a private per-run
+/// arena when none was given.
+class ArenaScope {
+ public:
+  explicit ArenaScope(MonotonicArena* external) {
+    if (external == nullptr) arena_ = &local_.emplace();
+    else arena_ = external;
+  }
+  [[nodiscard]] MonotonicArena& get() { return *arena_; }
+
+ private:
+  std::optional<MonotonicArena> local_;
+  MonotonicArena* arena_ = nullptr;
+};
+
+}  // namespace
+
+namespace {
+
+/// The batched NFD-S kernel.  The key inequality: if m_i was delivered with
+/// delay D_i <= delta, then r_i = i*eta + D_i <= tau_i, so the freshness
+/// check at tau_i passes and a trusting detector stays trusting — no
+/// transition, no state change, regardless of every other message.  Blocks
+/// of raw delays are therefore scanned once for "late" messages (lost, or
+/// D > delta); while the detector is trusting, the interval index jumps
+/// straight to the next late message with zero per-interval work.  Only
+/// intervals at (or dragged behind by) a late message run the exact
+/// freshness-window logic, reading receipts on demand from a double-
+/// buffered delay ring.  Amortized cost per heartbeat: one ziggurat draw
+/// plus one compare.
+AccuracyResult nfd_s_skip_scan(const NfdSParams& params, double p_loss,
+                               const CompiledSampler& delay, Rng& rng,
+                               const StopCriteria& stop,
+                               MonotonicArena& arena) {
+  const double eta = params.eta.seconds();
+  const double dlt = params.delta.seconds();
+  const auto k = static_cast<std::uint64_t>(ceil_ratio(dlt, eta));
+  ensures(k >= 1, "fast_nfd_s_accuracy: k must be >= 1 since delta > 0");
+
+  Tally tally(stop);
+  LossSkipper loss(p_loss, rng);
+
+  // Raw delays of the last two generated blocks, indexed by (seq-1) &
+  // rmask; +inf marks a lost message.  The window [i, i+k] always lies
+  // within the newest 2*kBlockLen sequence numbers because refills happen
+  // only when gen < i + k and k < kBlockLen.
+  constexpr std::size_t kRingMask = 2 * kBlockLen - 1;
+  ArenaVector<double> delays(2 * kBlockLen, ArenaAllocator<double>(arena));
+  // FIFO ring of the sequence numbers of late messages (ascending).  Late
+  // entries live between i and gen <= i + k + kBlockLen, so 4*kBlockLen
+  // slots can never overflow.
+  constexpr std::size_t kLateMask = 4 * kBlockLen - 1;
+  ArenaVector<std::uint64_t> late(4 * kBlockLen,
+                                  ArenaAllocator<std::uint64_t>(arena));
+  std::size_t lhead = 0;
+  std::size_t ltail = 0;
+  std::uint64_t gen = 0;  // messages m_1 .. m_gen have been generated
+
+  const auto refill = [&] {
+    double* blk = delays.data() + (gen & kRingMask);
+    delay.fill(rng, blk, kBlockLen);
+    const std::uint64_t first = gen;  // 0-based offset of blk[0]
+    while (loss.next_lost() < first + kBlockLen) {
+      blk[static_cast<std::size_t>(loss.next_lost() - first)] = kInf;
+      loss.advance(rng);
+    }
+    for (std::size_t j = 0; j < kBlockLen; ++j) {
+      if (blk[j] > dlt) {  // catches +inf (lost) too
+        late[ltail & kLateMask] = first + 1 + j;
+        ++ltail;
+      }
+    }
+    gen += kBlockLen;
+  };
+  const auto receipt = [&](std::uint64_t seq) {
+    return eta * static_cast<double>(seq) +
+           delays[static_cast<std::size_t>((seq - 1) & kRingMask)];
+  };
+
+  bool trusting = false;  // output entering tau_1 (warmup absorbs any error)
+  std::uint64_t i = 1;
+  double end_time = 0.0;
+  for (;;) {
+    // Drop late entries whose window has fully passed.
+    while (lhead != ltail && late[lhead & kLateMask] < i) ++lhead;
+
+    if (trusting && tally.begun()) {
+      // Skip ahead: every interval whose own heartbeat was on time is
+      // transition-free while trusting.  The skip stops at the next late
+      // message, the edge of the generated stream (status unknown beyond),
+      // or the heartbeat cap (that interval ends the run).
+      std::uint64_t target = lhead != ltail ? late[lhead & kLateMask]
+                                            : gen + 1;
+      if (target > stop.max_heartbeats) target = stop.max_heartbeats;
+      if (target > i) {
+        i = target;
+        continue;  // re-evaluate with the late list popped up to the new i
+      }
+    }
+
+    while (gen < i + k) refill();
+
+    const double tau = static_cast<double>(i) * eta + dlt;
+    const double tau_next = tau + eta;
+    if (!tally.begun() && i >= stop.warmup_intervals) tally.begin(tau);
+
     double first_fresh = kInf;
-    for (double r : ring) {
+    for (std::uint64_t j = i; j <= i + k; ++j) {
+      const double r = receipt(j);
       if (r < first_fresh) first_fresh = r;
     }
 
@@ -170,59 +447,97 @@ AccuracyResult nfd_s_scan(NfdSParams params, double p_loss,
       end_time = tau_next;
       break;
     }
-    // Slide the window: drop r_i, generate r_{i+k+1} (slot indices for
-    // seq j are (j-1) mod (k+1), and (i+k) mod (k+1) == (i-1) mod (k+1)).
-    ring[(i - 1) % ring_size] = receipt(i + ring_size);
+    ++i;
   }
   return tally.finish(end_time, trusting, i);
 }
 
-/// Min-heap of in-flight (receipt time, seq) pairs for the event-loop
-/// engines.
-using InFlight =
-    std::priority_queue<std::pair<double, std::uint64_t>,
-                        std::vector<std::pair<double, std::uint64_t>>,
-                        std::greater<>>;
-
 }  // namespace
 
 AccuracyResult fast_nfd_s_accuracy(NfdSParams params, double p_loss,
+                                   const CompiledSampler& delay, Rng& rng,
+                                   const StopCriteria& stop,
+                                   MonotonicArena* arena) {
+  params.validate();
+  expects(p_loss >= 0.0 && p_loss < 1.0,
+          "fast_nfd_s_accuracy: p_loss must be in [0, 1)");
+  ArenaScope scope(arena);
+  const double eta = params.eta.seconds();
+  const auto k = static_cast<std::uint64_t>(
+      ceil_ratio(params.delta.seconds(), eta));
+  if (k < kBlockLen) {
+    return nfd_s_skip_scan(params, p_loss, delay, rng, stop, scope.get());
+  }
+  // Freshness window wider than a generation block (delta/eta >= 4096):
+  // stream receipts through the O(1)-amortized monotone-deque scan instead.
+  BatchedStream stream(BatchedStream::Mode::kReceipts, eta, p_loss, delay,
+                       rng, scope.get());
+  return nfd_s_window_scan(
+      params, [&stream](std::uint64_t) { return stream.next(); }, stop,
+      scope.get());
+}
+
+AccuracyResult fast_nfd_s_accuracy(NfdSParams params, double p_loss,
                                    const dist::DelayDistribution& delay,
-                                   Rng& rng, const StopCriteria& stop) {
-  return nfd_s_scan(
-      params, p_loss, [&delay](Rng& r) { return delay.sample(r); }, rng,
-      stop);
+                                   Rng& rng, const StopCriteria& stop,
+                                   MonotonicArena* arena) {
+  return fast_nfd_s_accuracy(params, p_loss, CompiledSampler(delay), rng,
+                             stop, arena);
 }
 
 AccuracyResult fast_nfd_s_accuracy_sampled(
     NfdSParams params, double p_loss,
     const std::function<double(Rng&)>& delay_sampler, Rng& rng,
-    const StopCriteria& stop) {
+    const StopCriteria& stop, MonotonicArena* arena) {
   expects(static_cast<bool>(delay_sampler),
           "fast_nfd_s_accuracy_sampled: sampler required");
-  return nfd_s_scan(params, p_loss, delay_sampler, rng, stop);
+  params.validate();
+  expects(p_loss >= 0.0 && p_loss < 1.0,
+          "fast_nfd_s_accuracy_sampled: p_loss must be in [0, 1)");
+  const double eta = params.eta.seconds();
+  ArenaScope scope(arena);
+  // Legacy per-message draw order (delay, then loss coin), and the delay is
+  // sampled for lost messages too, so a stateful (correlated) sampler
+  // advances uniformly across the stream.
+  const auto receipt = [&](std::uint64_t seq) {
+    const double d = delay_sampler(rng);
+    if (p_loss > 0.0 && rng.bernoulli(p_loss)) return kInf;
+    return eta * static_cast<double>(seq) + d;
+  };
+  return nfd_s_window_scan(params, receipt, stop, scope.get());
 }
 
 AccuracyResult fast_nfd_e_accuracy(NfdEParams params, double p_loss,
-                                   const dist::DelayDistribution& delay,
-                                   Rng& rng, const StopCriteria& stop) {
+                                   const CompiledSampler& delay, Rng& rng,
+                                   const StopCriteria& stop,
+                                   MonotonicArena* arena) {
   params.validate();
   expects(p_loss >= 0.0 && p_loss < 1.0,
           "fast_nfd_e_accuracy: p_loss must be in [0, 1)");
   const double eta = params.eta.seconds();
   const double alpha = params.alpha.seconds();
-  ReceiptSampler sampler(eta, p_loss, delay, rng);
+  ArenaScope scope(arena);
+  BatchedStream delays(BatchedStream::Mode::kDelays, eta, p_loss, delay, rng,
+                       scope.get());
   Tally tally(stop);
 
-  // Eq. (6.3) estimation window: normalized receipt times A' - eta*s.
-  std::deque<std::pair<double, std::uint64_t>> window;  // (normalized, seq)
+  // Eq. (6.3) estimation window, as a fixed ring of the last `window`
+  // normalized receipt times A' - eta*s with a running sum.
+  const std::size_t wcap = params.window;
+  ArenaVector<double> wnorm(wcap, ArenaAllocator<double>(scope.get()));
+  std::size_t wcount = 0;
+  std::size_t whead = 0;  // oldest entry when wcount == wcap
+  std::uint64_t wlast_seq = 0;
   double normalized_sum = 0.0;
   const auto estimate_ea = [&](std::uint64_t seq) {
-    return normalized_sum / static_cast<double>(window.size()) +
+    return normalized_sum / static_cast<double>(wcount) +
            eta * static_cast<double>(seq);
   };
 
-  InFlight inflight;
+  InFlightHeap inflight(
+      static_cast<std::size_t>(std::min<std::uint64_t>(stop.max_heartbeats,
+                                                       kInFlightReserve)),
+      scope.get());
   std::uint64_t sent = 0;
   std::uint64_t ell = 0;
   double deadline = kInf;  // pending freshness deadline tau_{ell+1}
@@ -233,7 +548,7 @@ AccuracyResult fast_nfd_e_accuracy(NfdEParams params, double p_loss,
   double end_time = 0.0;
   for (;;) {
     const double t_send = static_cast<double>(sent + 1) * eta;
-    const double t_recv = inflight.empty() ? kInf : inflight.top().first;
+    const double t_recv = inflight.empty() ? kInf : inflight.top_time();
     const double t_next = std::min({t_send, t_recv, deadline});
 
     if (!tally.begun() && t_next >= warmup_end) tally.begin(warmup_end);
@@ -241,16 +556,21 @@ AccuracyResult fast_nfd_e_accuracy(NfdEParams params, double p_loss,
     if (t_recv <= t_send && t_recv <= deadline) {
       // Receipt first (messages received "by" a deadline count, and receipt
       // order is what the algorithm reacts to).
-      const auto [t, seq] = inflight.top();
+      const double t = inflight.top_time();
+      const std::uint64_t seq = inflight.top_seq();
       inflight.pop();
-      if (window.empty() || seq > window.back().second) {
+      if (wcount == 0 || seq > wlast_seq) {
         const double normalized = t - eta * static_cast<double>(seq);
-        window.emplace_back(normalized, seq);
-        normalized_sum += normalized;
-        if (window.size() > params.window) {
-          normalized_sum -= window.front().first;
-          window.pop_front();
+        if (wcount == wcap) {
+          normalized_sum -= wnorm[whead];
+          wnorm[whead] = normalized;
+          whead = whead + 1 == wcap ? 0 : whead + 1;
+        } else {
+          wnorm[wcount] = normalized;
+          ++wcount;
         }
+        normalized_sum += normalized;
+        wlast_seq = seq;
       }
       if (seq > ell) {
         ell = seq;
@@ -292,17 +612,28 @@ AccuracyResult fast_nfd_e_accuracy(NfdEParams params, double p_loss,
         end_time = t_send;
         break;
       }
-      const double d = sampler.delay_or_inf();
-      if (!std::isinf(d)) inflight.emplace(t_send + d, sent);
+      const double d = delays.next();
+      if (!std::isinf(d)) inflight.push(t_send + d, sent);
     }
   }
+  CHENFD_ENSURES(!inflight.grew(),
+                 "fast_nfd_e_accuracy: in-flight heap outgrew its reserve "
+                 "(a delay exceeded kInFlightReserve heartbeat periods)");
   return tally.finish(end_time, trusting, sent);
 }
 
+AccuracyResult fast_nfd_e_accuracy(NfdEParams params, double p_loss,
+                                   const dist::DelayDistribution& delay,
+                                   Rng& rng, const StopCriteria& stop,
+                                   MonotonicArena* arena) {
+  return fast_nfd_e_accuracy(params, p_loss, CompiledSampler(delay), rng,
+                             stop, arena);
+}
+
 AccuracyResult fast_sfd_accuracy(SfdParams params, Duration eta_d,
-                                 double p_loss,
-                                 const dist::DelayDistribution& delay,
-                                 Rng& rng, const StopCriteria& stop) {
+                                 double p_loss, const CompiledSampler& delay,
+                                 Rng& rng, const StopCriteria& stop,
+                                 MonotonicArena* arena) {
   params.validate();
   expects(eta_d > Duration::zero(), "fast_sfd_accuracy: eta must be positive");
   expects(p_loss >= 0.0 && p_loss < 1.0,
@@ -310,10 +641,15 @@ AccuracyResult fast_sfd_accuracy(SfdParams params, Duration eta_d,
   const double eta = eta_d.seconds();
   const double to = params.timeout.seconds();
   const double cutoff = params.cutoff.seconds();
-  ReceiptSampler sampler(eta, p_loss, delay, rng);
+  ArenaScope scope(arena);
+  BatchedStream delays(BatchedStream::Mode::kDelays, eta, p_loss, delay, rng,
+                       scope.get());
   Tally tally(stop);
 
-  InFlight inflight;
+  InFlightHeap inflight(
+      static_cast<std::size_t>(std::min<std::uint64_t>(stop.max_heartbeats,
+                                                       kInFlightReserve)),
+      scope.get());
   std::uint64_t sent = 0;
   std::uint64_t ell = 0;
   double deadline = kInf;
@@ -323,13 +659,14 @@ AccuracyResult fast_sfd_accuracy(SfdParams params, Duration eta_d,
   double end_time = 0.0;
   for (;;) {
     const double t_send = static_cast<double>(sent + 1) * eta;
-    const double t_recv = inflight.empty() ? kInf : inflight.top().first;
+    const double t_recv = inflight.empty() ? kInf : inflight.top_time();
     const double t_next = std::min({t_send, t_recv, deadline});
 
     if (!tally.begun() && t_next >= warmup_end) tally.begin(warmup_end);
 
     if (t_recv <= t_send && t_recv <= deadline) {
-      const auto [t, seq] = inflight.top();
+      const double t = inflight.top_time();
+      const std::uint64_t seq = inflight.top_seq();
       inflight.pop();
       if (seq > ell) {  // only *newer* heartbeats restart the timer
         ell = seq;
@@ -355,13 +692,27 @@ AccuracyResult fast_sfd_accuracy(SfdParams params, Duration eta_d,
         end_time = t_send;
         break;
       }
-      const double d = sampler.delay_or_inf();
+      const double d = delays.next();
       // The cutoff discards heartbeats delayed more than c (Section 7.2);
-      // discarding at generation is equivalent and cheaper.
-      if (d <= cutoff) inflight.emplace(t_send + d, sent);
+      // discarding at generation is equivalent and cheaper.  Lost messages
+      // (d = +inf) never arrive, so they are dropped even when the cutoff
+      // itself is infinite.
+      if (d <= cutoff && !std::isinf(d)) inflight.push(t_send + d, sent);
     }
   }
+  CHENFD_ENSURES(!inflight.grew(),
+                 "fast_sfd_accuracy: in-flight heap outgrew its reserve "
+                 "(a delay exceeded kInFlightReserve heartbeat periods)");
   return tally.finish(end_time, trusting, sent);
+}
+
+AccuracyResult fast_sfd_accuracy(SfdParams params, Duration eta_d,
+                                 double p_loss,
+                                 const dist::DelayDistribution& delay,
+                                 Rng& rng, const StopCriteria& stop,
+                                 MonotonicArena* arena) {
+  return fast_sfd_accuracy(params, eta_d, p_loss, CompiledSampler(delay), rng,
+                           stop, arena);
 }
 
 }  // namespace chenfd::core

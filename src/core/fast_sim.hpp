@@ -1,4 +1,4 @@
-// Optimized Monte-Carlo accuracy simulation — the engine behind the Fig. 12
+// Batched Monte-Carlo accuracy simulation — the engine behind the Fig. 12
 // reproduction.
 //
 // The paper's Fig. 12 plots E(T_MR) over T_D^U in [1, 3.5] with eta = 1,
@@ -6,28 +6,52 @@
 // recurrence time of NFD-S is ~10^6 heartbeat periods, so observing even a
 // few hundred mistakes takes ~10^8-10^9 heartbeats — far beyond what a
 // general discrete-event simulator handles comfortably.  This module
-// provides specialized per-algorithm simulation loops that process one
-// heartbeat in a few nanoseconds:
+// provides specialized per-algorithm kernels that process one heartbeat in
+// a few nanoseconds:
 //
+//   - Delays come from a core::CompiledSampler (sampler.hpp): each
+//     dist::DelayDistribution is compiled once into a direct sampler
+//     (ziggurat for exponential families, closed-form inverses, or a
+//     precomputed inverse-CDF table) — no virtual dispatch per draw.
+//   - Bernoulli losses are skip-sampled geometrically (core::LossSkipper):
+//     a lost message costs one log draw, a delivered message costs nothing.
+//   - Receipt times are generated in fixed-size SoA blocks consumed
+//     branch-light by the per-algorithm loops.
 //   - NFD-S: a sliding-window scan over freshness intervals.  By
 //     Proposition 13, the output in [tau_i, tau_{i+1}) depends only on the
-//     receipt times of m_i .. m_{i+k}; the scan keeps exactly those k+1
-//     receipt times in a ring buffer.
+//     receipt times of m_i .. m_{i+k}; a monotone ring deque keeps the
+//     window minimum in O(1) amortized per heartbeat for any k.
 //   - NFD-E and SFD: a lean three-source event loop (sends, receipts via a
-//     small in-flight heap, one freshness/timeout deadline).
+//     pre-sized in-flight heap, one freshness/timeout deadline).
+//   - All scratch (blocks, rings, heap storage) lives in a MonotonicArena.
+//     Callers may pass a reusable arena (runner::ArenaPool gives each
+//     ParallelSweep worker one) so repeated runs do no per-run heap work;
+//     without one the engine creates a private arena for the run.
+//
+// RNG-stream versioning (stream v2): the batched kernel consumes the
+// task's uniform stream in a different order than the pre-batching engines
+// (ziggurat draws a variable number of uniforms per delay; losses consume
+// one draw per *loss* instead of one per message).  Results are therefore
+// deterministic and bit-identical for a given seed and --jobs count — but
+// not bit-comparable with runs recorded before the batched kernel landed.
+// Statistical agreement with the old engines, the discrete-event Testbed
+// and the Theorem 5 closed forms is pinned by tests/.
 //
 // Every engine is cross-validated against the discrete-event Testbed (and,
 // for NFD-S, against the Theorem 5 closed forms) in tests/.
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "core/params.hpp"
+#include "core/sampler.hpp"
 #include "dist/distribution.hpp"
 #include "stats/sample_set.hpp"
 
@@ -45,13 +69,43 @@ struct StopCriteria {
 /// Steady-state accuracy measurement of one run (failure-free, Section 2.2
 /// semantics).  All durations in seconds.
 struct AccuracyResult {
+  /// Hard ceiling on retained raw samples per reservoir (the historical
+  /// default capacity).
+  static constexpr std::size_t kReservoirCap = std::size_t{1} << 16;
+  /// How much of the reservoir the pre-sized constructor reserves eagerly;
+  /// runs whose mistake target fits are guaranteed realloc-free.
+  static constexpr std::size_t kReservoirReserve = 4096;
+
+  AccuracyResult() = default;
+
+  /// Pre-sizes the sample reservoirs for a run with the given stop
+  /// criteria: a run observes at most target_s_transitions mistakes, hence
+  /// at most target + 1 samples per reservoir, so sizing from the stop
+  /// criteria makes steady-state measurement reallocation-free (asserted
+  /// at audit level >= 1 when the target fits kReservoirReserve).
+  explicit AccuracyResult(const StopCriteria& stop)
+      : mistake_recurrence(reservoir_capacity(stop)),
+        mistake_duration(reservoir_capacity(stop)),
+        good_period(reservoir_capacity(stop)) {
+    const std::size_t up_front =
+        std::min(reservoir_capacity(stop), kReservoirReserve);
+    mistake_recurrence.reserve(up_front);
+    mistake_duration.reserve(up_front);
+    good_period.reserve(up_front);
+  }
+
+  [[nodiscard]] static std::size_t reservoir_capacity(
+      const StopCriteria& stop) {
+    return std::min(stop.target_s_transitions + 1, kReservoirCap);
+  }
+
   std::uint64_t heartbeats = 0;      ///< heartbeats sent during measurement
   double observed_seconds = 0.0;     ///< measurement window length
   double trust_seconds = 0.0;        ///< time spent trusting
   std::size_t s_transitions = 0;     ///< mistakes observed
-  stats::SampleSet mistake_recurrence{1u << 16};  ///< T_MR samples
-  stats::SampleSet mistake_duration{1u << 16};    ///< T_M samples
-  stats::SampleSet good_period{1u << 16};         ///< T_G samples
+  stats::SampleSet mistake_recurrence{kReservoirCap};  ///< T_MR samples
+  stats::SampleSet mistake_duration{kReservoirCap};    ///< T_M samples
+  stats::SampleSet good_period{kReservoirCap};         ///< T_G samples
 
   /// Folds another run's measurements into this one (totals add, sample
   /// sets merge).  Used by runner::ParallelSweep to reduce per-replication
@@ -94,32 +148,52 @@ struct AccuracyResult {
   }
 };
 
+// Each engine comes in two forms: the DelayDistribution overload compiles
+// the sampler per call (convenient for one-off runs), and the
+// CompiledSampler overload reuses a sampler compiled once (what the
+// runner's task factories do — compilation can cost milliseconds for
+// table-backed distributions).  `arena` optionally supplies reusable
+// scratch memory; pass nullptr for a private per-run arena.
+
 /// NFD-S accuracy via the sliding-window scan.  Clocks synchronized.
 [[nodiscard]] AccuracyResult fast_nfd_s_accuracy(
     NfdSParams params, double p_loss, const dist::DelayDistribution& delay,
-    Rng& rng, const StopCriteria& stop = {});
+    Rng& rng, const StopCriteria& stop = {}, MonotonicArena* arena = nullptr);
+[[nodiscard]] AccuracyResult fast_nfd_s_accuracy(
+    NfdSParams params, double p_loss, const CompiledSampler& delay, Rng& rng,
+    const StopCriteria& stop = {}, MonotonicArena* arena = nullptr);
 
 /// Variant of the NFD-S engine taking an arbitrary (possibly stateful)
 /// per-message delay sampler — used by the correlated-delay ablation
 /// (net::CorrelatedDelaySampler) that probes the paper's message
-/// independence assumption (Section 3.3 / footnote 10).
+/// independence assumption (Section 3.3 / footnote 10).  This path keeps
+/// the legacy per-message draw order (delay, then loss coin) so stateful
+/// samplers advance uniformly; it shares the windowed scan with the
+/// batched kernel.
 [[nodiscard]] AccuracyResult fast_nfd_s_accuracy_sampled(
     NfdSParams params, double p_loss,
     const std::function<double(Rng&)>& delay_sampler, Rng& rng,
-    const StopCriteria& stop = {});
+    const StopCriteria& stop = {}, MonotonicArena* arena = nullptr);
 
 /// NFD-E accuracy via the event loop (estimated expected arrival times,
 /// Eq. 6.3).  Clock skew does not affect NFD-E's behaviour (Section 6), so
 /// the loop runs in real time without loss of generality.
 [[nodiscard]] AccuracyResult fast_nfd_e_accuracy(
     NfdEParams params, double p_loss, const dist::DelayDistribution& delay,
-    Rng& rng, const StopCriteria& stop = {});
+    Rng& rng, const StopCriteria& stop = {}, MonotonicArena* arena = nullptr);
+[[nodiscard]] AccuracyResult fast_nfd_e_accuracy(
+    NfdEParams params, double p_loss, const CompiledSampler& delay, Rng& rng,
+    const StopCriteria& stop = {}, MonotonicArena* arena = nullptr);
 
 /// SFD accuracy via the event loop.  `eta` is the heartbeat period (a
 /// property of the sender, not of SFD itself).
 [[nodiscard]] AccuracyResult fast_sfd_accuracy(
     SfdParams params, Duration eta, double p_loss,
     const dist::DelayDistribution& delay, Rng& rng,
-    const StopCriteria& stop = {});
+    const StopCriteria& stop = {}, MonotonicArena* arena = nullptr);
+[[nodiscard]] AccuracyResult fast_sfd_accuracy(
+    SfdParams params, Duration eta, double p_loss,
+    const CompiledSampler& delay, Rng& rng, const StopCriteria& stop = {},
+    MonotonicArena* arena = nullptr);
 
 }  // namespace chenfd::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/rounding.hpp"
 
 namespace chenfd::core {
 
@@ -29,17 +30,12 @@ void NfdS::stop() {
 std::uint64_t NfdS::freshness_index(TimePoint t) const {
   const double eta = params_.eta.seconds();
   const double offset = (t - (TimePoint::zero() + params_.delta)).seconds();
-  const double ratio = offset / eta;
   // Snap to the nearest integer when within floating-point slack: tau_i is
   // computed as i*eta + delta, and when delta >> eta the subtraction above
   // can land one ULP below i*eta, so a plain floor() would misclassify the
   // instant tau_i itself as still inside [tau_{i-1}, tau_i).  The level-2
   // contract audit in on_freshness_point caught exactly this.
-  const double nearest = std::round(ratio);
-  const double idx =
-      std::abs(ratio - nearest) <= 1e-9 * std::max(1.0, std::abs(ratio))
-          ? nearest
-          : std::floor(ratio);
+  const double idx = floor_ratio_snapped(offset, eta);
   if (idx < 1.0) return 0;  // before tau_1
   return static_cast<std::uint64_t>(idx);
 }

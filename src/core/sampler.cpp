@@ -1,0 +1,234 @@
+#include "core/sampler.hpp"
+
+#include <cmath>
+
+#include "dist/constant.hpp"
+#include "dist/empirical.hpp"
+#include "dist/erlang.hpp"
+#include "dist/exponential.hpp"
+#include "dist/pareto.hpp"
+#include "dist/shifted.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+
+namespace chenfd::core {
+namespace {
+
+// Lemire bounded draw: idx = (r * n) >> 64, bias < n / 2^64 — no divide, no
+// rejection loop.  (__extension__ keeps -Wpedantic quiet about __int128.)
+__extension__ typedef unsigned __int128 Uint128;
+
+std::size_t bounded_index(std::uint64_t r, std::size_t n) {
+  return static_cast<std::size_t>((static_cast<Uint128>(r) * n) >> 64);
+}
+
+}  // namespace
+
+// ---- ExpZiggurat ---------------------------------------------------------
+
+const ExpZiggurat& ExpZiggurat::instance() {
+  static const ExpZiggurat z;
+  return z;
+}
+
+ExpZiggurat::ExpZiggurat() {
+  // Table setup after Marsaglia & Tsang (2000), rescaled from 2^32 to 2^53
+  // so the layer test consumes the full 53-bit uniform integer.  R and V are
+  // the standard constants for N = 256 exponential layers: V = R*e^-R + e^-R.
+  constexpr double m = 9007199254740992.0;  // 2^53
+  constexpr double v = 3.949659822581572e-3;
+  double de = kTailStart;
+  double te = de;
+  const double q = v / std::exp(-de);
+  ke_[0] = static_cast<std::uint64_t>((de / q) * m);
+  ke_[1] = 0;
+  we_[0] = q / m;
+  we_[255] = de / m;
+  fe_[0] = 1.0;
+  fe_[255] = std::exp(-de);
+  for (int i = 254; i >= 1; --i) {
+    de = -std::log(v / de + std::exp(-de));
+    ke_[i + 1] = static_cast<std::uint64_t>((de / te) * m);
+    te = de;
+    fe_[i] = std::exp(-de);
+    we_[i] = de / m;
+  }
+}
+
+// ---- CompiledSampler -----------------------------------------------------
+
+CompiledSampler::CompiledSampler(const dist::DelayDistribution& source)
+    : kind_(Kind::kTable), name_(source.name()) {
+  const dist::DelayDistribution* d = &source;
+  // Fold any chain of Shifted wrappers into a constant offset.
+  while (const auto* s = dynamic_cast<const dist::Shifted*>(d)) {
+    shift_ += s->offset();
+    d = &s->inner();
+  }
+  if (const auto* e = dynamic_cast<const dist::Exponential*>(d)) {
+    kind_ = Kind::kExponential;
+    a_ = e->mean();
+  } else if (const auto* er = dynamic_cast<const dist::Erlang*>(d)) {
+    kind_ = Kind::kErlang;
+    n_ = static_cast<unsigned>(er->stages());
+    a_ = 1.0 / er->rate();
+  } else if (const auto* c = dynamic_cast<const dist::Constant*>(d)) {
+    kind_ = Kind::kConstant;
+    a_ = c->value();
+  } else if (const auto* u = dynamic_cast<const dist::Uniform*>(d)) {
+    kind_ = Kind::kUniform;
+    a_ = u->lo();
+    b_ = u->hi() - u->lo();
+  } else if (const auto* p = dynamic_cast<const dist::Pareto*>(d)) {
+    kind_ = Kind::kPareto;
+    a_ = p->xm();
+    b_ = -1.0 / p->alpha();
+  } else if (const auto* w = dynamic_cast<const dist::Weibull*>(d)) {
+    kind_ = Kind::kWeibull;
+    a_ = w->scale();
+    b_ = 1.0 / w->shape();
+  } else if (const auto* em = dynamic_cast<const dist::Empirical*>(d)) {
+    kind_ = Kind::kEmpirical;
+    empirical_.assign(em->samples().begin(), em->samples().end());
+    CHENFD_ENSURES(!empirical_.empty(),
+                   "CompiledSampler: empirical distribution has no samples");
+  } else {
+    kind_ = Kind::kTable;
+    compile_table(*d);
+  }
+}
+
+void CompiledSampler::compile_table(const dist::DelayDistribution& source) {
+  // Body: uniform grid on u in [0, kBodyEnd].  quantile(0) may be the
+  // distribution's lower support bound; use a tiny positive u instead.
+  body_.resize(kBodyKnots + 1);
+  for (std::size_t i = 0; i <= kBodyKnots; ++i) {
+    const double u =
+        std::max(1e-12, kBodyEnd * static_cast<double>(i) /
+                            static_cast<double>(kBodyKnots));
+    body_[i] = source.quantile(u);
+  }
+  // Tail: knots log-spaced in 1 - u from 1 - kBodyEnd down through
+  // kTailDecades decades (u up to 1 - 1e-9 for the defaults).
+  tail_.resize(kTailKnots + 1);
+  for (std::size_t j = 0; j <= kTailKnots; ++j) {
+    const double decades =
+        kTailDecades * static_cast<double>(j) / static_cast<double>(kTailKnots);
+    const double one_minus_u = (1.0 - kBodyEnd) * std::pow(10.0, -decades);
+    tail_[j] = source.quantile(1.0 - one_minus_u);
+  }
+  // The quantile function of a distribution on (0, inf) is nondecreasing;
+  // if the bracketing fallback ever produced a dip the interpolation below
+  // would silently sample from a deformed distribution.
+  for (std::size_t i = 1; i < body_.size(); ++i) {
+    CHENFD_ENSURES(body_[i] >= body_[i - 1],
+                   "CompiledSampler: non-monotone body quantile table");
+  }
+  for (std::size_t j = 1; j < tail_.size(); ++j) {
+    CHENFD_ENSURES(tail_[j] >= tail_[j - 1],
+                   "CompiledSampler: non-monotone tail quantile table");
+  }
+}
+
+double CompiledSampler::sample_table(double u) const {
+  if (u <= kBodyEnd) {
+    const double pos =
+        u * (static_cast<double>(kBodyKnots) / kBodyEnd);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    return body_[lo] + frac * (body_[lo + 1] - body_[lo]);
+  }
+  // Tail: interpolate linearly in t = log10((1 - kBodyEnd) / (1 - u)),
+  // clamping past the last knot (mass 10^-kTailDecades of (1 - kBodyEnd)).
+  const double one_minus_u = 1.0 - u;
+  const double t = std::log10((1.0 - kBodyEnd) /
+                              std::max(one_minus_u, 1e-300));
+  const double pos = std::min(
+      t * (static_cast<double>(kTailKnots) / kTailDecades),
+      static_cast<double>(kTailKnots));
+  const std::size_t lo = std::min(static_cast<std::size_t>(pos),
+                                  kTailKnots - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return tail_[lo] + frac * (tail_[lo + 1] - tail_[lo]);
+}
+
+double CompiledSampler::sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kExponential:
+      return shift_ + a_ * ExpZiggurat::instance()(rng);
+    case Kind::kErlang: {
+      const ExpZiggurat& z = ExpZiggurat::instance();
+      double acc = 0.0;
+      for (unsigned s = 0; s < n_; ++s) acc += z(rng);
+      return shift_ + a_ * acc;
+    }
+    case Kind::kConstant:
+      return shift_ + a_;
+    case Kind::kUniform:
+      return shift_ + a_ + b_ * rng.uniform01();
+    case Kind::kPareto:
+      return shift_ + a_ * std::pow(rng.uniform01_open_zero(), b_);
+    case Kind::kWeibull:
+      return shift_ +
+             a_ * std::pow(-std::log(rng.uniform01_open_zero()), b_);
+    case Kind::kEmpirical:
+      return shift_ + empirical_[bounded_index(rng(), empirical_.size())];
+    case Kind::kTable:
+      return shift_ + sample_table(rng.uniform01_open_zero());
+  }
+  CHENFD_ENSURES(false, "CompiledSampler: unreachable kind");
+  return 0.0;
+}
+
+void CompiledSampler::fill(Rng& rng, double* out, std::size_t n) const {
+  // Per-kind loops keep the switch out of the hot path; each arm matches
+  // sample() draw-for-draw so batch and scalar use are interchangeable.
+  switch (kind_) {
+    case Kind::kExponential: {
+      const ExpZiggurat& z = ExpZiggurat::instance();
+      for (std::size_t i = 0; i < n; ++i) out[i] = shift_ + a_ * z(rng);
+      return;
+    }
+    case Kind::kErlang: {
+      const ExpZiggurat& z = ExpZiggurat::instance();
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (unsigned s = 0; s < n_; ++s) acc += z(rng);
+        out[i] = shift_ + a_ * acc;
+      }
+      return;
+    }
+    case Kind::kConstant:
+      for (std::size_t i = 0; i < n; ++i) out[i] = shift_ + a_;
+      return;
+    case Kind::kUniform:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = shift_ + a_ + b_ * rng.uniform01();
+      }
+      return;
+    case Kind::kPareto:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = shift_ + a_ * std::pow(rng.uniform01_open_zero(), b_);
+      }
+      return;
+    case Kind::kWeibull:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = shift_ +
+                 a_ * std::pow(-std::log(rng.uniform01_open_zero()), b_);
+      }
+      return;
+    case Kind::kEmpirical:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = shift_ + empirical_[bounded_index(rng(), empirical_.size())];
+      }
+      return;
+    case Kind::kTable:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = shift_ + sample_table(rng.uniform01_open_zero());
+      }
+      return;
+  }
+  CHENFD_ENSURES(false, "CompiledSampler: unreachable kind");
+}
+
+}  // namespace chenfd::core

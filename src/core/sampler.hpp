@@ -1,0 +1,194 @@
+// Compiled delay samplers: the per-draw engine of the batched fast-sim
+// kernel.
+//
+// The dist::DelayDistribution hierarchy is the right abstraction for the
+// analytic layer (cdf/tail/moments), but its virtual sample() is the wrong
+// shape for a loop that draws 10^8-10^9 delays: every draw pays an indirect
+// call, and the common families pay a transcendental on top (Exponential's
+// -mean*log(u)).  CompiledSampler "compiles" a distribution once, up front,
+// into a direct sampler:
+//
+//   - Exponential / Erlang: a 256-layer ziggurat (Marsaglia & Tsang 2000)
+//     for the standard exponential — the common case is one 64-bit draw,
+//     one table compare and one multiply, no log.  Erlang sums `stages`
+//     ziggurat draws.
+//   - Constant, Uniform, Pareto, Weibull: the closed-form inverse CDF,
+//     inlined (no virtual dispatch, params held by value).
+//   - Shifted(inner): the compiled inner sampler plus a constant offset.
+//   - Empirical: bootstrap resampling via a Lemire bounded draw over the
+//     retained samples.
+//   - Everything else: a precomputed inverse-CDF table — a uniform body
+//     grid on u in [0, 0.99] plus a log-spaced tail grid down to
+//     1 - u = 1e-9, linearly interpolated; beyond the last knot the draw
+//     clamps (mass 1e-9, far below the Monte-Carlo tolerances).
+//
+// Every compiled sampler is cross-validated against its dist/ reference in
+// tests/test_sampler.cpp (moments and quantiles) and the engines built on
+// it are cross-validated against the discrete-event Testbed and the
+// Theorem 5 closed forms.
+//
+// RNG-stream note: a compiled sampler consumes uniforms in its own order
+// (the ziggurat draws a variable number per sample), so results differ
+// stream-wise — not statistically — from the dist/ sample() path.  See
+// "RNG-stream versioning" in DESIGN.md section 10.
+
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dist/distribution.hpp"
+
+namespace chenfd::core {
+
+/// 256-layer ziggurat for the standard exponential density e^{-x}.
+/// Tables are built once per process (thread-safe function-local static).
+class ExpZiggurat {
+ public:
+  static const ExpZiggurat& instance();
+
+  /// One standard-exponential draw.  ~98.9% of draws take the fast path:
+  /// one 64-bit generate, one table compare, one multiply.
+  double operator()(Rng& rng) const {
+    for (;;) {
+      const std::uint64_t bits = rng();
+      const std::size_t i = static_cast<std::size_t>(bits & 255u);
+      const std::uint64_t j = bits >> 11;  // 53-bit uniform integer
+      if (j < ke_[i]) return static_cast<double>(j) * we_[i];
+      if (i == 0) return kTailStart - std::log(rng.uniform01_open_zero());
+      const double x = static_cast<double>(j) * we_[i];
+      if (fe_[i] + rng.uniform01() * (fe_[i - 1] - fe_[i]) < std::exp(-x)) {
+        return x;
+      }
+      // Rejected wedge sample: loop with fresh bits.
+    }
+  }
+
+  /// Start of the unbounded tail layer (the paper's R for N = 256).
+  static constexpr double kTailStart = 7.697117470131487;
+
+ private:
+  ExpZiggurat();
+
+  std::array<std::uint64_t, 256> ke_;
+  std::array<double, 256> we_;
+  std::array<double, 256> fe_;
+};
+
+/// A dist::DelayDistribution compiled into a direct (non-virtual) sampler.
+/// Immutable after construction and stateless per draw, so one compiled
+/// sampler may be shared by const reference across threads.
+class CompiledSampler {
+ public:
+  enum class Kind {
+    kExponential,  ///< ziggurat, scaled by the mean
+    kErlang,       ///< sum of `stages` ziggurat draws / rate
+    kConstant,
+    kUniform,
+    kPareto,
+    kWeibull,
+    kEmpirical,    ///< bootstrap over retained samples
+    kTable,        ///< generic inverse-CDF table (lognormal, user types)
+  };
+
+  /// Compiles `source`.  The distribution is only inspected during
+  /// construction; no reference is retained.
+  explicit CompiledSampler(const dist::DelayDistribution& source);
+
+  /// One delay draw; distributionally identical (within the documented
+  /// table tolerance for kTable) to source.sample().
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Batch draw: out[0..n) filled with independent delays.  Equivalent to
+  /// calling sample() n times on the same generator (bit-identical draw
+  /// order — pinned by tests/test_sampler.cpp).
+  void fill(Rng& rng, double* out, std::size_t n) const;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& source_name() const { return name_; }
+
+ private:
+  void compile_table(const dist::DelayDistribution& source);
+  [[nodiscard]] double sample_table(double u) const;
+
+  Kind kind_;
+  std::string name_;
+  double shift_ = 0.0;  ///< additive offset (Shifted wrappers fold in here)
+  // Family parameters (meaning depends on kind_):
+  //   kExponential: a_ = mean
+  //   kErlang:      a_ = 1/rate, n_ = stages
+  //   kConstant:    a_ = value
+  //   kUniform:     a_ = lo, b_ = hi - lo
+  //   kPareto:      a_ = xm, b_ = -1/alpha
+  //   kWeibull:     a_ = lambda, b_ = 1/k
+  double a_ = 0.0;
+  double b_ = 0.0;
+  unsigned n_ = 0;
+  std::vector<double> body_;  ///< kTable: quantiles on the uniform body grid
+  std::vector<double> tail_;  ///< kTable: quantiles on the log-spaced tail
+  std::vector<double> empirical_;  ///< kEmpirical: retained samples
+
+  // Table layout (kTable): body_ has kBodyKnots + 1 knots at
+  // u = i * kBodyEnd / kBodyKnots; tail_ has kTailKnots + 1 knots at
+  // 1 - u = (1 - kBodyEnd) * 10^{-j * kTailDecades / kTailKnots}.
+  static constexpr std::size_t kBodyKnots = 2048;
+  static constexpr double kBodyEnd = 0.99;
+  static constexpr std::size_t kTailKnots = 256;
+  static constexpr double kTailDecades = 7.0;  ///< down to 1 - u = 1e-9
+};
+
+/// Geometric skip-sampler for Bernoulli(p) message loss: instead of one
+/// uniform draw per message, draws the gap to the next loss directly
+/// (inverse-CDF of the geometric), so loss handling costs O(1) amortized
+/// per *lost* message — with p_L = 0.01, one log every ~100 heartbeats.
+///
+/// Stream note: consumes one uniform per loss event, not one per message —
+/// part of the kernel's documented RNG-stream change.
+class LossSkipper {
+ public:
+  /// p in [0, 1).  The first call to next_gap draws the initial gap.
+  LossSkipper(double p, Rng& rng) : log1m_p_(0.0), never_(p == 0.0) {
+    CHENFD_EXPECTS(p >= 0.0 && p < 1.0, "LossSkipper: p must be in [0, 1)");
+    if (!never_) {
+      log1m_p_ = std::log1p(-p);
+      next_ = draw_gap(rng);
+    }
+  }
+
+  /// Absolute 0-based offset (from the stream start) of the next lost
+  /// message, or a sentinel beyond any stream if p == 0.
+  [[nodiscard]] std::uint64_t next_lost() const {
+    return never_ ? kNever : next_;
+  }
+
+  /// Consumes the current loss and draws the offset of the following one.
+  void advance(Rng& rng) {
+    CHENFD_EXPECTS(!never_, "LossSkipper::advance: p == 0 has no losses");
+    next_ += 1 + draw_gap(rng);
+  }
+
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+ private:
+  [[nodiscard]] std::uint64_t draw_gap(Rng& rng) const {
+    // Geometric via inversion: G = floor(ln U / ln(1-p)), U in (0, 1], has
+    // Pr(G = k) = (1-p)^k p — the number of delivered messages before the
+    // next loss.
+    const double g = std::floor(std::log(rng.uniform01_open_zero()) / log1m_p_);
+    // Guard against absurd g from U ~ 0 overflowing the cast.
+    return g >= 9.0e18 ? std::uint64_t{9'000'000'000'000'000'000ull}
+                       : static_cast<std::uint64_t>(g);
+  }
+
+  double log1m_p_;
+  bool never_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace chenfd::core

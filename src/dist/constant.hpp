@@ -25,6 +25,8 @@ class Constant final : public DelayDistribution {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
 
+  [[nodiscard]] double value() const { return value_; }
+
  private:
   double value_;
 };

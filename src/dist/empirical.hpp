@@ -29,6 +29,9 @@ class Empirical final : public DelayDistribution {
 
   [[nodiscard]] std::size_t size() const { return sorted_.size(); }
 
+  /// The retained (sorted) samples — the bootstrap-resampling population.
+  [[nodiscard]] const std::vector<double>& samples() const { return sorted_; }
+
  private:
   std::vector<double> sorted_;
   double mean_ = 0.0;

@@ -28,6 +28,9 @@ class Erlang final : public DelayDistribution {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
 
+  [[nodiscard]] int stages() const { return stages_; }
+  [[nodiscard]] double rate() const { return rate_; }
+
  private:
   int stages_;
   double rate_;

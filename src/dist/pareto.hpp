@@ -27,6 +27,9 @@ class Pareto final : public DelayDistribution {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
 
+  [[nodiscard]] double xm() const { return xm_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
  private:
   double xm_;
   double alpha_;

@@ -23,6 +23,9 @@ class Shifted final : public DelayDistribution {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
 
+  [[nodiscard]] double offset() const { return offset_; }
+  [[nodiscard]] const DelayDistribution& inner() const { return *inner_; }
+
  private:
   double offset_;
   std::unique_ptr<DelayDistribution> inner_;

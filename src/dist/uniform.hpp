@@ -24,6 +24,9 @@ class Uniform final : public DelayDistribution {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
 
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
  private:
   double lo_;
   double hi_;

@@ -21,6 +21,9 @@ class Weibull final : public DelayDistribution {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<DelayDistribution> clone() const override;
 
+  [[nodiscard]] double shape() const { return k_; }
+  [[nodiscard]] double scale() const { return lambda_; }
+
  private:
   double k_;
   double lambda_;

@@ -1,0 +1,42 @@
+#include "runner/arena.hpp"
+
+namespace chenfd::runner {
+
+ArenaLease::~ArenaLease() {
+  if (pool_ != nullptr) pool_->release(arena_);
+}
+
+ArenaLease ArenaPool::acquire() {
+  MonotonicArena* arena = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      arena = idle_.back();
+      idle_.pop_back();
+    } else {
+      all_.push_back(std::make_unique<MonotonicArena>(block_bytes_));
+      arena = all_.back().get();
+    }
+  }
+  arena->reset();
+  return {this, arena};
+}
+
+void ArenaPool::release(MonotonicArena* arena) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(arena);
+}
+
+std::size_t ArenaPool::arena_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return all_.size();
+}
+
+std::size_t ArenaPool::total_blocks() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& a : all_) total += a->block_count();
+  return total;
+}
+
+}  // namespace chenfd::runner

@@ -23,15 +23,24 @@ std::vector<core::AccuracyResult> ParallelSweep::run(
   const std::size_t n_tasks = points.size() * replications;
   std::vector<Rng> streams = make_substreams(root_seed, n_tasks);
   std::vector<core::AccuracyResult> per_task(n_tasks);
+  // One reusable arena per concurrent worker: a task leases an arena for
+  // its duration, so after each worker's first task the engines' scratch
+  // (receipt blocks, window rings, in-flight heaps) recycles warm blocks
+  // instead of hitting the global allocator.
+  ArenaPool arenas;
   run_indexed(n_tasks, opts_.jobs, [&](std::size_t i) {
-    per_task[i] = points[i / replications](streams[i]);
+    ArenaLease lease = arenas.acquire();
+    per_task[i] = points[i / replications](streams[i], lease.arena());
   });
   // Ordered reduction: replication r of point p sits at p*replications + r,
-  // merged in ascending r — independent of completion order.
+  // merged in ascending r — independent of completion order.  Merging into
+  // a fresh accumulator (rather than moving replication 0) keeps the merged
+  // reservoirs at full capacity even though per-task results pre-size
+  // theirs from the stop criteria; merging into an empty result is an exact
+  // copy, so the reduction stays bit-identical.
   std::vector<core::AccuracyResult> merged(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) {
-    merged[p] = std::move(per_task[p * replications]);
-    for (std::size_t r = 1; r < replications; ++r) {
+    for (std::size_t r = 0; r < replications; ++r) {
       merged[p].merge(per_task[p * replications + r]);
     }
   }
@@ -48,27 +57,31 @@ core::AccuracyResult ParallelSweep::run_one(const AccuracyTask& task,
 AccuracyTask nfd_s_task(core::NfdSParams params, double p_loss,
                         const dist::DelayDistribution& delay,
                         core::StopCriteria stop) {
-  std::shared_ptr<const dist::DelayDistribution> d = delay.clone();
-  return [params, p_loss, d, stop](Rng& rng) {
-    return core::fast_nfd_s_accuracy(params, p_loss, *d, rng, stop);
+  auto sampler = std::make_shared<const core::CompiledSampler>(delay);
+  return [params, p_loss, sampler, stop](Rng& rng, MonotonicArena& arena) {
+    return core::fast_nfd_s_accuracy(params, p_loss, *sampler, rng, stop,
+                                     &arena);
   };
 }
 
 AccuracyTask nfd_e_task(core::NfdEParams params, double p_loss,
                         const dist::DelayDistribution& delay,
                         core::StopCriteria stop) {
-  std::shared_ptr<const dist::DelayDistribution> d = delay.clone();
-  return [params, p_loss, d, stop](Rng& rng) {
-    return core::fast_nfd_e_accuracy(params, p_loss, *d, rng, stop);
+  auto sampler = std::make_shared<const core::CompiledSampler>(delay);
+  return [params, p_loss, sampler, stop](Rng& rng, MonotonicArena& arena) {
+    return core::fast_nfd_e_accuracy(params, p_loss, *sampler, rng, stop,
+                                     &arena);
   };
 }
 
 AccuracyTask sfd_task(core::SfdParams params, Duration eta, double p_loss,
                       const dist::DelayDistribution& delay,
                       core::StopCriteria stop) {
-  std::shared_ptr<const dist::DelayDistribution> d = delay.clone();
-  return [params, eta, p_loss, d, stop](Rng& rng) {
-    return core::fast_sfd_accuracy(params, eta, p_loss, *d, rng, stop);
+  auto sampler = std::make_shared<const core::CompiledSampler>(delay);
+  return [params, eta, p_loss, sampler, stop](Rng& rng,
+                                              MonotonicArena& arena) {
+    return core::fast_sfd_accuracy(params, eta, p_loss, *sampler, rng, stop,
+                                   &arena);
   };
 }
 
@@ -87,7 +100,8 @@ AccuracyTask des_accuracy_task(core::DetectorFactory factory, double p_loss,
                                const dist::DelayDistribution& delay,
                                core::AccuracyExperiment exp) {
   std::shared_ptr<const dist::DelayDistribution> d = delay.clone();
-  return [factory = std::move(factory), p_loss, d, exp](Rng& rng) {
+  return [factory = std::move(factory), p_loss, d, exp](Rng& rng,
+                                                        MonotonicArena&) {
     core::AccuracyExperiment task_exp = exp;
     task_exp.seed = rng();
     const core::NetworkModel model{p_loss, *d};

@@ -27,10 +27,12 @@
 #include <functional>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/rng.hpp"
 #include "core/experiments.hpp"
 #include "core/fast_sim.hpp"
 #include "qos/recorder.hpp"
+#include "runner/arena.hpp"
 #include "runner/thread_pool.hpp"
 #include "stats/sample_set.hpp"
 
@@ -47,8 +49,11 @@ struct RunnerOptions {
                                                std::size_t n);
 
 /// One cell of the task grid: runs a single simulation drawing all its
-/// randomness from the supplied task-private generator.
-using AccuracyTask = std::function<core::AccuracyResult(Rng&)>;
+/// randomness from the supplied task-private generator and all its scratch
+/// memory from the supplied task-private arena (reset before each task, so
+/// a warm worker's tasks never touch the global heap for scratch).
+using AccuracyTask =
+    std::function<core::AccuracyResult(Rng&, MonotonicArena&)>;
 
 class ParallelSweep {
  public:
@@ -85,8 +90,9 @@ template <typename R>
 }
 
 // ---- task factories for the fast heartbeat-level engines ----------------
-// Each factory clones the delay distribution (distributions are immutable,
-// so clones are cheap) and returns a self-contained task safe to run on any
+// Each factory compiles the delay distribution once (core::CompiledSampler;
+// immutable, so one compiled sampler is shared by every replication on
+// every worker) and returns a self-contained task safe to run on any
 // worker thread after the caller's arguments have gone out of scope.
 
 [[nodiscard]] AccuracyTask nfd_s_task(core::NfdSParams params, double p_loss,

@@ -29,6 +29,23 @@ class SampleSet {
     sorted_ = false;
   }
 
+  /// Pre-allocates room for up to n retained samples (clamped to capacity).
+  /// The fast-sim engines size their reservoirs from the stop criteria so
+  /// steady-state measurement never reallocates; within_reserve() is the
+  /// audit witness for that property.
+  void reserve(std::size_t n) {
+    n = std::min(n, capacity_);
+    samples_.reserve(n);
+    reserved_ = std::max(reserved_, n);
+  }
+
+  /// True while no sample has been retained beyond the reserved prefix —
+  /// i.e. add() has provably never grown the reservoir's heap allocation.
+  /// Meaningful only after reserve(); trivially false otherwise.
+  [[nodiscard]] bool within_reserve() const {
+    return samples_.size() <= reserved_;
+  }
+
   [[nodiscard]] std::size_t count() const { return online_.count(); }
   [[nodiscard]] double mean() const { return online_.mean(); }
   [[nodiscard]] double variance() const { return online_.variance(); }
@@ -106,6 +123,7 @@ class SampleSet {
   }
 
   std::size_t capacity_;
+  std::size_t reserved_ = 0;
   std::vector<double> samples_;
   OnlineStats online_;
   bool sorted_ = false;

@@ -1,0 +1,166 @@
+// Tests for the monotonic arena (common/arena.hpp) and the per-worker
+// arena pool (runner/arena.hpp): alignment, block recycling, the warm
+// no-heap-growth property the fast engines rely on, and pool reuse.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "core/fast_sim.hpp"
+#include "dist/exponential.hpp"
+#include "runner/arena.hpp"
+
+namespace chenfd {
+namespace {
+
+TEST(MonotonicArena, RespectsAlignment) {
+  MonotonicArena arena(1024);
+  for (const std::size_t align : {1u, 2u, 4u, 8u, 16u}) {
+    // Throw the bump pointer off by one first so alignment has to work.
+    (void)arena.allocate(1, 1);
+    void* p = arena.allocate(32, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+  }
+}
+
+TEST(MonotonicArena, AllocationsDoNotOverlap) {
+  MonotonicArena arena(256);  // small blocks force several grows
+  std::vector<std::byte*> ptrs;
+  constexpr std::size_t kSize = 48;
+  for (int i = 0; i < 64; ++i) {
+    auto* p = static_cast<std::byte*>(arena.allocate(kSize, 8));
+    ptrs.push_back(p);
+    p[0] = std::byte{static_cast<unsigned char>(i)};  // touch the memory
+    p[kSize - 1] = std::byte{static_cast<unsigned char>(i)};
+  }
+  for (std::size_t a = 0; a < ptrs.size(); ++a) {
+    for (std::size_t b = a + 1; b < ptrs.size(); ++b) {
+      const bool disjoint =
+          ptrs[a] + kSize <= ptrs[b] || ptrs[b] + kSize <= ptrs[a];
+      ASSERT_TRUE(disjoint) << a << " overlaps " << b;
+    }
+  }
+}
+
+TEST(MonotonicArena, OversizedRequestGetsDedicatedBlock) {
+  MonotonicArena arena(128);
+  void* p = arena.allocate(10'000, 8);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.capacity_bytes(), 10'000u);
+}
+
+TEST(MonotonicArena, ResetRecyclesBlocksWithoutHeapGrowth) {
+  MonotonicArena arena(512);
+  for (int i = 0; i < 20; ++i) (void)arena.allocate(100, 8);
+  const std::size_t warm_blocks = arena.block_count();
+  ASSERT_GT(warm_blocks, 1u);  // the workload spilled into several blocks
+  for (int round = 0; round < 5; ++round) {
+    arena.reset();
+    for (int i = 0; i < 20; ++i) (void)arena.allocate(100, 8);
+    EXPECT_EQ(arena.block_count(), warm_blocks) << "round " << round;
+  }
+}
+
+TEST(MonotonicArena, ZeroByteAllocationsAreDistinct) {
+  MonotonicArena arena;
+  void* a = arena.allocate(0, 1);
+  void* b = arena.allocate(0, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(MonotonicArena, RejectsBadAlignment) {
+  MonotonicArena arena;
+  EXPECT_THROW(arena.allocate(8, 3), std::invalid_argument);
+  EXPECT_THROW(arena.allocate(8, 0), std::invalid_argument);
+}
+
+TEST(ArenaVector, GrowsInsideTheArena) {
+  MonotonicArena arena;
+  ArenaVector<double> v{ArenaAllocator<double>(arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<double>(i));
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[i], static_cast<double>(i));
+  EXPECT_GE(arena.capacity_bytes(), 1000 * sizeof(double));
+}
+
+TEST(FastEngineOnArena, WarmRunsDoNotGrowTheArena) {
+  // The property the whole subsystem exists for: after one run warmed the
+  // arena, repeated runs recycle its blocks and never touch the global heap.
+  dist::Exponential delay(0.02);
+  const core::CompiledSampler sampler(delay);
+  core::StopCriteria stop;
+  stop.target_s_transitions = 50;
+  stop.max_heartbeats = 200'000;
+  MonotonicArena arena;
+
+  Rng rng(1);
+  const auto run_all = [&] {
+    (void)core::fast_nfd_s_accuracy(
+        core::NfdSParams{Duration(1.0), Duration(0.5)}, 0.01, sampler, rng,
+        stop, &arena);
+    (void)core::fast_nfd_e_accuracy(
+        core::NfdEParams{Duration(1.0), Duration(1.0), 16}, 0.01, sampler,
+        rng, stop, &arena);
+    (void)core::fast_sfd_accuracy(core::SfdParams{Duration(1.5)},
+                                  Duration(1.0), 0.01, sampler, rng, stop,
+                                  &arena);
+  };
+  run_all();  // first pass sizes the arena for the whole engine mix
+  const std::size_t warm = arena.block_count();
+  ASSERT_GT(warm, 0u);
+  for (int run = 0; run < 3; ++run) {
+    arena.reset();
+    run_all();
+    EXPECT_EQ(arena.block_count(), warm) << "run " << run;
+  }
+}
+
+TEST(ArenaPool, SequentialLeasesReuseOneArena) {
+  runner::ArenaPool pool;
+  for (int i = 0; i < 10; ++i) {
+    runner::ArenaLease lease = pool.acquire();
+    (void)lease.arena().allocate(1024, 8);
+  }
+  EXPECT_EQ(pool.arena_count(), 1u);
+}
+
+TEST(ArenaPool, ConcurrentLeasesGetDistinctArenas) {
+  runner::ArenaPool pool;
+  {
+    runner::ArenaLease a = pool.acquire();
+    runner::ArenaLease b = pool.acquire();
+    EXPECT_NE(&a.arena(), &b.arena());
+  }
+  EXPECT_EQ(pool.arena_count(), 2u);
+  // Both returned: the next two leases create nothing new.
+  {
+    runner::ArenaLease a = pool.acquire();
+    runner::ArenaLease b = pool.acquire();
+  }
+  EXPECT_EQ(pool.arena_count(), 2u);
+}
+
+TEST(ArenaPool, LeasedArenaStartsEmptyButWarm) {
+  runner::ArenaPool pool;
+  std::size_t warm_blocks = 0;
+  {
+    runner::ArenaLease lease = pool.acquire();
+    for (int i = 0; i < 30; ++i) (void)lease.arena().allocate(4096, 8);
+    warm_blocks = lease.arena().block_count();
+  }
+  ASSERT_GT(warm_blocks, 0u);
+  {
+    // Re-leasing resets (content recycled) but keeps the backing blocks.
+    runner::ArenaLease lease = pool.acquire();
+    EXPECT_EQ(lease.arena().block_count(), warm_blocks);
+    for (int i = 0; i < 30; ++i) (void)lease.arena().allocate(4096, 8);
+    EXPECT_EQ(lease.arena().block_count(), warm_blocks);
+  }
+  EXPECT_EQ(pool.total_blocks(), warm_blocks);
+}
+
+}  // namespace
+}  // namespace chenfd

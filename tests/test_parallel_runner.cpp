@@ -67,6 +67,39 @@ TEST(ParallelSweep, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelSweep, NfdEBitIdenticalAcrossThreadCounts) {
+  // The batched NFD-E event loop must be deterministic under the runner
+  // exactly like NFD-S: per-task substreams, reduction in task order.
+  dist::Exponential delay(0.02);
+  std::vector<AccuracyTask> points;
+  for (const double alpha : {0.5, 1.0, 1.5}) {
+    points.push_back(nfd_e_task(
+        core::NfdEParams{Duration(1.0), Duration(alpha), 16}, 0.02, delay,
+        small_stop()));
+  }
+  const auto serial = ParallelSweep(RunnerOptions{1}).run(points, 3, 555);
+  const auto parallel = ParallelSweep(RunnerOptions{4}).run(points, 3, 555);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    expect_bit_identical(serial[p], parallel[p]);
+  }
+}
+
+TEST(ParallelSweep, SfdBitIdenticalAcrossThreadCounts) {
+  dist::Exponential delay(0.02);
+  std::vector<AccuracyTask> points;
+  for (const double timeout : {1.2, 1.6, 2.0}) {
+    points.push_back(sfd_task(core::SfdParams{Duration(timeout)},
+                              Duration(1.0), 0.02, delay, small_stop()));
+  }
+  const auto serial = ParallelSweep(RunnerOptions{1}).run(points, 3, 556);
+  const auto parallel = ParallelSweep(RunnerOptions{4}).run(points, 3, 556);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    expect_bit_identical(serial[p], parallel[p]);
+  }
+}
+
 TEST(ParallelSweep, SubstreamZeroMatchesSerialRng) {
   // Substream 0 is Rng(root_seed) itself, so a 1-task run through the
   // runner reproduces the pre-runner serial code path exactly.

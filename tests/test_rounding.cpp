@@ -1,0 +1,104 @@
+// Boundary-value tests for the shared rounding helpers (common/rounding.hpp)
+// used by the freshness-point index arithmetic in fast_sim, analysis,
+// chebyshev, config and nfd_s.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rounding.hpp"
+
+namespace chenfd {
+namespace {
+
+TEST(CeilRatio, ExactAndFractionalRatios) {
+  EXPECT_EQ(ceil_ratio(2.5, 1.0), 3);   // k = ceil(delta/eta), Theorem 5
+  EXPECT_EQ(ceil_ratio(2.0, 1.0), 2);   // exact ratio must not round up
+  EXPECT_EQ(ceil_ratio(0.0, 1.0), 0);
+  EXPECT_EQ(ceil_ratio(1e-6, 1.0), 1);   // above the slack: ceils to 1
+  EXPECT_EQ(ceil_ratio(1e-12, 1.0), 0);  // within the slack of 0: snaps
+  EXPECT_EQ(ceil_ratio(30.0, 9.98), 4);
+}
+
+TEST(CeilRatio, SnapsRatiosOneUlpAboveAnInteger) {
+  // 0.3 / 0.1 = 3.0000000000000004 in binary64; a plain ceil would give 4.
+  EXPECT_EQ(ceil_ratio(0.3, 0.1), 3);
+  // Same pattern at a larger magnitude: 3 * 1e6 ULP drift.
+  EXPECT_EQ(ceil_ratio(std::nextafter(2.0, 3.0), 1.0), 2);
+  // The slack is relative: at 2e6 it covers 2e-3, so a 1e-4 excess snaps
+  // down while a 1e-2 excess is a genuine fraction and ceils.
+  EXPECT_EQ(ceil_ratio(2'000'000.0 + 1e-4, 1.0), 2'000'000);
+  EXPECT_EQ(ceil_ratio(2'000'000.0 + 1e-2, 1.0), 2'000'001);
+}
+
+TEST(CeilRatio, DoesNotSnapGenuineFractions) {
+  // The slack is 1e-9 relative; a 1e-7 excess is a real fraction.
+  EXPECT_EQ(ceil_ratio(2.0 + 1e-7, 1.0), 3);
+}
+
+TEST(CeilRatio, RejectsInvalidOperands) {
+  EXPECT_THROW((void)ceil_ratio(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)ceil_ratio(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)ceil_ratio(1.0, -2.0), std::invalid_argument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)ceil_ratio(inf, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)ceil_ratio(1.0, inf), std::invalid_argument);
+}
+
+TEST(FloorSnapped, PlainFloorAwayFromIntegers) {
+  EXPECT_EQ(floor_snapped(2.9), 2.0);
+  EXPECT_EQ(floor_snapped(2.1), 2.0);
+  EXPECT_EQ(floor_snapped(0.4), 0.0);
+  EXPECT_EQ(floor_snapped(-0.5), -1.0);
+}
+
+TEST(FloorSnapped, SnapsValuesOneUlpBelowAnInteger) {
+  // The freshness-index bug class: t meant to be exactly tau_i computes to
+  // one ULP below i and a plain floor misclassifies the instant itself.
+  EXPECT_EQ(floor_snapped(std::nextafter(3.0, 0.0)), 3.0);
+  EXPECT_EQ(floor_snapped(std::nextafter(1.0, 0.0)), 1.0);
+  EXPECT_EQ(floor_snapped(1e6 - 1e-5), 1e6);  // relative slack scales
+}
+
+TEST(FloorSnapped, ExactIntegersPassThrough) {
+  EXPECT_EQ(floor_snapped(5.0), 5.0);
+  EXPECT_EQ(floor_snapped(0.0), 0.0);
+  EXPECT_EQ(floor_snapped(-3.0), -3.0);
+}
+
+TEST(FloorSnapped, RejectsNonFinite) {
+  EXPECT_THROW((void)floor_snapped(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(
+      (void)floor_snapped(std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+}
+
+TEST(FloorRatioSnapped, FreshnessIndexPattern) {
+  // floor((t - delta) / eta) with eta = 0.1: binary64 division puts
+  // 0.3 / 0.1 just below 3 on some operand patterns; snapping keeps the
+  // index consistent with the schedule.
+  EXPECT_EQ(floor_ratio_snapped(0.3, 0.1), 3.0);
+  EXPECT_EQ(floor_ratio_snapped(0.35, 0.1), 3.0);
+  EXPECT_EQ(floor_ratio_snapped(-0.05, 0.1), -1.0);  // before tau_0: negative
+  EXPECT_EQ(floor_ratio_snapped(0.0, 0.1), 0.0);
+}
+
+TEST(FloorRatioSnapped, LargeDeltaSmallEta) {
+  // delta >> eta is where the subtraction loses low bits (the PR 2 audit
+  // find): an offset meant to be exactly 10^7 intervals must not come back
+  // as 10^7 - 1.
+  const double eta = 1e-3;
+  const double offset = 1e7 * eta;  // 10000 seconds, inexact in binary64
+  EXPECT_EQ(floor_ratio_snapped(offset, eta), 1e7);
+}
+
+TEST(FloorRatioSnapped, RejectsInvalidOperands) {
+  EXPECT_THROW((void)floor_ratio_snapped(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(
+      (void)floor_ratio_snapped(std::numeric_limits<double>::infinity(), 1.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd

@@ -1,0 +1,289 @@
+// Cross-validation of the compiled delay samplers against their dist/
+// references: kind classification, moments, quantiles, batch/scalar draw
+// equivalence, the ziggurat itself, and the geometric loss skipper.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/sampler.hpp"
+#include "dist/constant.hpp"
+#include "dist/empirical.hpp"
+#include "dist/erlang.hpp"
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/pareto.hpp"
+#include "dist/shifted.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+
+namespace chenfd::core {
+namespace {
+
+constexpr std::size_t kDraws = 200'000;
+
+struct Moments {
+  double mean;
+  double variance;
+};
+
+Moments sample_moments(const CompiledSampler& s, std::uint64_t seed,
+                       std::size_t n = kDraws) {
+  Rng rng(seed);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = s.sample(rng);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / static_cast<double>(n);
+  return {mean, sq / static_cast<double>(n) - mean * mean};
+}
+
+/// Moments of the compiled sampler must match the analytic moments of the
+/// source distribution within Monte-Carlo noise.  Tolerances are loose
+/// enough to be seed-stable (4-5 sigma) yet tight enough to catch a wrong
+/// parameter mapping (which shifts moments by O(1) factors).
+void expect_moments_match(const dist::DelayDistribution& d,
+                          std::uint64_t seed, double mean_tol,
+                          double var_tol) {
+  const CompiledSampler s(d);
+  const Moments m = sample_moments(s, seed);
+  EXPECT_NEAR(m.mean, d.mean(), mean_tol * std::max(1e-12, d.mean()))
+      << d.name();
+  EXPECT_NEAR(m.variance, d.variance(),
+              var_tol * std::max(1e-12, d.variance()))
+      << d.name();
+}
+
+/// Empirical quantiles of compiled draws vs the reference quantile
+/// function, checked at body and moderate-tail probabilities.
+void expect_quantiles_match(const dist::DelayDistribution& d,
+                            std::uint64_t seed, double rel_tol) {
+  const CompiledSampler s(d);
+  Rng rng(seed);
+  std::vector<double> draws(kDraws);
+  s.fill(rng, draws.data(), draws.size());
+  std::sort(draws.begin(), draws.end());
+  for (const double u : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const double expected = d.quantile(u);
+    const double got =
+        draws[static_cast<std::size_t>(u * (kDraws - 1))];
+    EXPECT_NEAR(got, expected, rel_tol * std::max(1e-12, expected))
+        << d.name() << " at u = " << u;
+  }
+}
+
+// ---- kind classification -------------------------------------------------
+
+TEST(CompiledSampler, ClassifiesFamilies) {
+  EXPECT_EQ(CompiledSampler(dist::Exponential(0.02)).kind(),
+            CompiledSampler::Kind::kExponential);
+  EXPECT_EQ(CompiledSampler(dist::Erlang(3, 100.0)).kind(),
+            CompiledSampler::Kind::kErlang);
+  EXPECT_EQ(CompiledSampler(dist::Constant(0.5)).kind(),
+            CompiledSampler::Kind::kConstant);
+  EXPECT_EQ(CompiledSampler(dist::Uniform(0.1, 0.4)).kind(),
+            CompiledSampler::Kind::kUniform);
+  EXPECT_EQ(CompiledSampler(dist::Pareto::with_mean(0.05, 2.5)).kind(),
+            CompiledSampler::Kind::kPareto);
+  EXPECT_EQ(CompiledSampler(dist::Weibull(1.5, 0.02)).kind(),
+            CompiledSampler::Kind::kWeibull);
+  EXPECT_EQ(CompiledSampler(dist::LogNormal(-4.0, 0.5)).kind(),
+            CompiledSampler::Kind::kTable);
+  const std::vector<double> obs{0.01, 0.02, 0.03, 0.05};
+  EXPECT_EQ(CompiledSampler(dist::Empirical(obs)).kind(),
+            CompiledSampler::Kind::kEmpirical);
+}
+
+TEST(CompiledSampler, FoldsShiftedWrappers) {
+  // Shifted(Shifted(Exp)) compiles to the exponential kind with the offsets
+  // folded into the sampler, not to a table.
+  auto inner = std::make_unique<dist::Shifted>(
+      0.1, std::make_unique<dist::Exponential>(0.02));
+  const dist::Shifted outer(0.05, std::move(inner));
+  const CompiledSampler s(outer);
+  EXPECT_EQ(s.kind(), CompiledSampler::Kind::kExponential);
+  const Moments m = sample_moments(s, 7);
+  EXPECT_NEAR(m.mean, outer.mean(), 0.01 * outer.mean());
+}
+
+// ---- moments per family --------------------------------------------------
+
+TEST(CompiledSampler, ExponentialMoments) {
+  expect_moments_match(dist::Exponential(0.02), 11, 0.02, 0.05);
+}
+
+TEST(CompiledSampler, ErlangMoments) {
+  expect_moments_match(dist::Erlang(4, 200.0), 12, 0.02, 0.05);
+}
+
+TEST(CompiledSampler, ConstantIsExact) {
+  const CompiledSampler s(dist::Constant(0.125));
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 0.125);
+}
+
+TEST(CompiledSampler, UniformMoments) {
+  expect_moments_match(dist::Uniform(0.1, 0.4), 14, 0.01, 0.05);
+}
+
+TEST(CompiledSampler, ParetoMoments) {
+  // alpha = 3.5 keeps the variance finite and the MC estimate stable.
+  expect_moments_match(dist::Pareto::with_mean(0.05, 3.5), 15, 0.02, 0.2);
+}
+
+TEST(CompiledSampler, WeibullMoments) {
+  expect_moments_match(dist::Weibull(1.5, 0.02), 16, 0.02, 0.05);
+}
+
+TEST(CompiledSampler, EmpiricalBootstrapsRetainedSamples) {
+  const std::vector<double> obs{0.01, 0.02, 0.03, 0.05, 0.08};
+  const dist::Empirical d(obs);
+  const CompiledSampler s(d);
+  Rng rng(17);
+  std::vector<int> hits(obs.size(), 0);
+  for (std::size_t i = 0; i < 50'000; ++i) {
+    const double x = s.sample(rng);
+    const auto it = std::find(obs.begin(), obs.end(), x);
+    ASSERT_NE(it, obs.end()) << "draw not in the retained sample set";
+    ++hits[static_cast<std::size_t>(it - obs.begin())];
+  }
+  // Bootstrap resampling is uniform over the retained samples.
+  for (const int h : hits) EXPECT_NEAR(h, 10'000, 600);
+}
+
+// ---- table fallback (lognormal has no closed-form inverse here) ---------
+
+TEST(CompiledSampler, TableMatchesLognormalMoments) {
+  expect_moments_match(dist::LogNormal(-4.0, 0.5), 18, 0.02, 0.06);
+}
+
+TEST(CompiledSampler, TableMatchesLognormalQuantiles) {
+  expect_quantiles_match(dist::LogNormal(-4.0, 0.5), 19, 0.03);
+}
+
+TEST(CompiledSampler, QuantilesMatchOnClosedFormFamilies) {
+  expect_quantiles_match(dist::Exponential(0.02), 20, 0.05);
+  expect_quantiles_match(dist::Weibull(1.5, 0.02), 21, 0.05);
+}
+
+// ---- batch/scalar equivalence -------------------------------------------
+
+TEST(CompiledSampler, FillMatchesRepeatedSampleBitForBit) {
+  // fill() must consume the generator exactly like n sample() calls, or
+  // batched and scalar code paths would diverge stream-wise.
+  const std::vector<double> obs{0.01, 0.02, 0.03};
+  std::vector<std::unique_ptr<dist::DelayDistribution>> sources;
+  sources.push_back(std::make_unique<dist::Exponential>(0.02));
+  sources.push_back(std::make_unique<dist::Erlang>(3, 150.0));
+  sources.push_back(std::make_unique<dist::Constant>(0.3));
+  sources.push_back(std::make_unique<dist::Uniform>(0.0, 0.1));
+  sources.push_back(std::make_unique<dist::Pareto>(
+      dist::Pareto::with_mean(0.05, 2.5)));
+  sources.push_back(std::make_unique<dist::Weibull>(1.5, 0.02));
+  sources.push_back(std::make_unique<dist::LogNormal>(-4.0, 0.5));
+  sources.push_back(std::make_unique<dist::Empirical>(obs));
+  for (const auto& d : sources) {
+    const CompiledSampler s(*d);
+    Rng batch_rng(99);
+    Rng scalar_rng(99);
+    std::vector<double> batch(1000);
+    s.fill(batch_rng, batch.data(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(batch[i], s.sample(scalar_rng))
+          << d->name() << " diverges at draw " << i;
+    }
+    // Generators must be in the same state afterwards too.
+    EXPECT_EQ(batch_rng(), scalar_rng()) << d->name();
+  }
+}
+
+// ---- the ziggurat itself -------------------------------------------------
+
+TEST(ExpZiggurat, StandardExponentialMoments) {
+  const ExpZiggurat& z = ExpZiggurat::instance();
+  Rng rng(23);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr std::size_t n = 500'000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = z(rng);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0, 0.01);
+  EXPECT_NEAR(sq / n - mean * mean, 1.0, 0.03);
+}
+
+TEST(ExpZiggurat, TailMassBeyondLayerStartIsExponential) {
+  // Pr(X > R) = e^{-R}; with R ~ 7.7 that is ~4.5e-4 — the tail branch must
+  // fire at the right rate or extreme delays would be mis-weighted.
+  const ExpZiggurat& z = ExpZiggurat::instance();
+  Rng rng(24);
+  constexpr std::size_t n = 2'000'000;
+  std::size_t beyond = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (z(rng) > ExpZiggurat::kTailStart) ++beyond;
+  }
+  const double expected = std::exp(-ExpZiggurat::kTailStart) * n;
+  EXPECT_NEAR(static_cast<double>(beyond), expected,
+              5.0 * std::sqrt(expected));
+}
+
+// ---- loss skipper --------------------------------------------------------
+
+TEST(LossSkipper, MatchesBernoulliLossRate) {
+  const double p = 0.01;
+  Rng rng(25);
+  LossSkipper skip(p, rng);
+  constexpr std::uint64_t n = 1'000'000;
+  std::uint64_t losses = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (skip.next_lost() == i) {
+      ++losses;
+      skip.advance(rng);
+    }
+  }
+  // Binomial(n, p): sd ~ sqrt(n p (1-p)) ~ 99.5.
+  EXPECT_NEAR(static_cast<double>(losses), p * n, 500.0);
+}
+
+TEST(LossSkipper, GapsFollowGeometricLaw) {
+  const double p = 0.05;
+  Rng rng(26);
+  LossSkipper skip(p, rng);
+  std::uint64_t prev = skip.next_lost();
+  double gap_sum = static_cast<double>(prev);
+  constexpr std::size_t kLosses = 100'000;
+  for (std::size_t i = 1; i < kLosses; ++i) {
+    skip.advance(rng);
+    ASSERT_GT(skip.next_lost(), prev) << "loss offsets must increase";
+    gap_sum += static_cast<double>(skip.next_lost() - prev - 1);
+    prev = skip.next_lost();
+  }
+  // Delivered messages between losses ~ Geometric(p): mean (1-p)/p = 19.
+  EXPECT_NEAR(gap_sum / kLosses, (1.0 - p) / p, 0.3);
+}
+
+TEST(LossSkipper, ZeroLossNeverFires) {
+  Rng rng(27);
+  const LossSkipper skip(0.0, rng);
+  EXPECT_EQ(skip.next_lost(), LossSkipper::kNever);
+}
+
+TEST(LossSkipper, RejectsInvalidProbability) {
+  Rng rng(28);
+  EXPECT_THROW(LossSkipper(-0.1, rng), std::invalid_argument);
+  EXPECT_THROW(LossSkipper(1.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd::core

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the batched fast-sim kernels.
+
+Compares a freshly produced BENCH_fastsim.json (from bench_fastsim_throughput)
+against the committed baseline bench/BENCH_fastsim_baseline.json and fails if
+any engine's throughput regressed by more than the threshold (default 20%).
+
+Usage:
+    tools/perf_gate.py <fresh BENCH_fastsim.json> [<baseline json>]
+
+Exit status: 0 = within threshold, 1 = regression, 2 = usage/format error.
+
+Overriding the gate
+-------------------
+CI machines vary, so a legitimate change can trip the gate without any code
+being slower.  Two sanctioned overrides, in order of preference:
+
+1. Re-baseline: run bench_fastsim_throughput on an idle machine in a Release
+   build, copy BENCH_fastsim.json over bench/BENCH_fastsim_baseline.json, and
+   commit it *in the same PR* with a note explaining the shift (new hardware,
+   intentional algorithmic trade-off, ...).
+2. One-off skip: set CHENFD_PERF_GATE_SKIP=1 in the job environment.  The
+   gate still prints the comparison but always exits 0.  Use this only for
+   emergencies (e.g. a shared runner got slower overnight); follow up with a
+   re-baseline.
+
+The threshold can be tuned with CHENFD_PERF_GATE_THRESHOLD (fraction, e.g.
+0.25 for 25%); loosening it in CI requires the same justification as a
+re-baseline.
+"""
+
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "BENCH_fastsim_baseline.json")
+
+
+def load_engines(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    engines = {e["name"]: float(e["items_per_sec"])
+               for e in doc.get("engines", [])}
+    if not engines:
+        print(f"perf_gate: no engines in {path}", file=sys.stderr)
+        sys.exit(2)
+    return engines
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh_path = argv[1]
+    baseline_path = argv[2] if len(argv) == 3 else DEFAULT_BASELINE
+    threshold = float(os.environ.get("CHENFD_PERF_GATE_THRESHOLD", "0.20"))
+    skip = os.environ.get("CHENFD_PERF_GATE_SKIP") == "1"
+
+    fresh = load_engines(fresh_path)
+    baseline = load_engines(baseline_path)
+
+    failed = []
+    print(f"perf_gate: threshold {threshold:.0%} "
+          f"(baseline {os.path.relpath(baseline_path)})")
+    for name, base in sorted(baseline.items()):
+        if name not in fresh:
+            print(f"  {name:8s}  MISSING from fresh results")
+            failed.append(name)
+            continue
+        now = fresh[name]
+        ratio = now / base if base > 0 else float("inf")
+        verdict = "ok" if ratio >= 1.0 - threshold else "REGRESSION"
+        print(f"  {name:8s}  baseline {base:.3e}  now {now:.3e}  "
+              f"({ratio:6.1%})  {verdict}")
+        if verdict != "ok":
+            failed.append(name)
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"  {name:8s}  new engine (no baseline) — add it on the next "
+              "re-baseline")
+
+    if failed and skip:
+        print("perf_gate: CHENFD_PERF_GATE_SKIP=1 set — reporting only, "
+              "exiting 0.  Follow up with a re-baseline.")
+        return 0
+    if failed:
+        print(f"perf_gate: FAIL ({', '.join(failed)}).  If the slowdown is "
+              "expected, re-baseline per the header of this script.")
+        return 1
+    print("perf_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
