@@ -6,6 +6,7 @@
 namespace chenfd::bench {
 
 bool fast_mode() {
+  // detlint: allow(R1) CI toggle only scales rep counts, never results
   const char* v = std::getenv("CHENFD_BENCH_FAST");
   return v != nullptr && std::string(v) == "1";
 }

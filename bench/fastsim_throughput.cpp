@@ -61,8 +61,10 @@ EngineResult measure(const std::string& name, double pre_batching_ref,
                      std::uint64_t items_per_rep, int reps, RunFn&& run) {
   std::vector<double> rates;
   for (int r = 0; r < reps; ++r) {
+    // detlint: allow(R1) measuring wall-clock throughput is this bench's job
     const auto t0 = std::chrono::steady_clock::now();
     run(static_cast<std::uint64_t>(r + 1));
+    // detlint: allow(R1) measuring wall-clock throughput is this bench's job
     const auto t1 = std::chrono::steady_clock::now();
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     rates.push_back(static_cast<double>(items_per_rep) / secs);

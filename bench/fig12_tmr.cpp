@@ -48,6 +48,7 @@ Budget budget() {
 }
 
 unsigned jobs_from_env() {
+  // detlint: allow(R1) job-count override affects scheduling, not output
   const char* env = std::getenv("CHENFD_JOBS");
   return env ? static_cast<unsigned>(std::atoi(env)) : 0;
 }

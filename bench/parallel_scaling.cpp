@@ -76,8 +76,10 @@ int main() {
   std::vector<Measurement> runs;
   for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
     const runner::ParallelSweep sweep(runner::RunnerOptions{jobs});
+    // detlint: allow(R1) measuring wall-clock scaling is this bench's job
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = sweep.run(points, b.replications, root_seed);
+    // detlint: allow(R1) measuring wall-clock scaling is this bench's job
     const auto t1 = std::chrono::steady_clock::now();
 
     Measurement m;

@@ -26,8 +26,11 @@ void NetworkEstimator::on_heartbeat(net::SeqNo seq,
     sum_sq_ -= obs_.front().delay * obs_.front().delay;
     obs_.pop_front();
   }
+  ensures(obs_.size() <= window_,
+          "NetworkEstimator::on_heartbeat: window exceeded its capacity");
 }
 
+// detlint: allow(R4) unconditional transition to the empty state; no inputs
 void NetworkEstimator::reset() {
   obs_.clear();
   sum_ = 0.0;
@@ -88,6 +91,7 @@ TwoComponentEstimator::TwoComponentEstimator(std::size_t short_window,
           "TwoComponentEstimator: short window must be shorter than long");
 }
 
+// detlint: allow(R4) pure delegation; admission rules live in NetworkEstimator
 void TwoComponentEstimator::on_heartbeat(net::SeqNo seq,
                                          TimePoint sender_timestamp,
                                          TimePoint recv_local) {
@@ -95,11 +99,13 @@ void TwoComponentEstimator::on_heartbeat(net::SeqNo seq,
   long_.on_heartbeat(seq, sender_timestamp, recv_local);
 }
 
+// detlint: allow(R4) unconditional transition to the empty state; no inputs
 void TwoComponentEstimator::reset() {
   short_.reset();
   long_.reset();
 }
 
+// detlint: allow(R4) pure delegation; NetworkEstimator::restore checks seqs
 void TwoComponentEstimator::restore(
     const std::vector<NetworkEstimator::Sample>& short_samples,
     net::SeqNo short_highest,

@@ -16,6 +16,7 @@ NfdE::NfdE(sim::Simulator& simulator, const clk::Clock& q_clock,
 }
 
 void NfdE::rebase(NfdUParams new_params, net::SeqNo epoch_seq) {
+  new_params.validate();
   set_params(new_params);
   eta_ = new_params.eta;
   epoch_seq_ = epoch_seq;

@@ -22,6 +22,7 @@ void NfdS::activate() {
   pending_check_ = sim_.at(tau_1, [this] { on_freshness_point(1); });
 }
 
+// detlint: allow(R4) stop is idempotent and legal in any state
 void NfdS::stop() {
   stopped_ = true;
   if (pending_check_ != 0) sim_.cancel(pending_check_);
@@ -58,6 +59,7 @@ void NfdS::on_freshness_point(std::uint64_t i) {
   pending_check_ = sim_.at(tau_next, [this, i] { on_freshness_point(i + 1); });
 }
 
+// detlint: allow(R4) every message is admissible; stale seqs are no-ops
 void NfdS::on_heartbeat(const net::Message& m, TimePoint real_now) {
   if (m.seq > max_seq_) max_seq_ = m.seq;
   // Fig. 6 line 6: trust iff the newest message is still fresh now.

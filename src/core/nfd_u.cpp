@@ -15,6 +15,7 @@ NfdU::NfdU(sim::Simulator& simulator, const clk::Clock& q_clock,
   params_.validate();
 }
 
+// detlint: allow(R4) stop is idempotent and legal in any state
 void NfdU::stop() {
   stopped_ = true;
   if (timer_ != 0) sim_.cancel(timer_);

@@ -8,11 +8,13 @@ Sfd::Sfd(sim::Simulator& simulator, const clk::Clock& q_clock,
   params_.validate();
 }
 
+// detlint: allow(R4) stop is idempotent and legal in any state
 void Sfd::stop() {
   stopped_ = true;
   if (timer_ != 0) sim_.cancel(timer_);
 }
 
+// detlint: allow(R4) every message is admissible; late/stale ones are dropped
 void Sfd::on_heartbeat(const net::Message& m, TimePoint real_now) {
   if (stopped_) return;
   // Cutoff check: discard heartbeats older than c.  The measured delay is

@@ -1,6 +1,7 @@
 #include "fault/fault_plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/check.hpp"
@@ -47,12 +48,16 @@ FaultPlan& FaultPlan::swap_loss(TimePoint at,
 }
 
 FaultPlan& FaultPlan::clock_jump_p(TimePoint at, Duration step) {
+  expects(std::isfinite(step.seconds()),
+          "FaultPlan::clock_jump_p: step must be finite");
   Event e{Kind::kClockJumpP, at};
   e.step = step;
   return push(std::move(e));
 }
 
 FaultPlan& FaultPlan::clock_jump_q(TimePoint at, Duration step) {
+  expects(std::isfinite(step.seconds()),
+          "FaultPlan::clock_jump_q: step must be finite");
   Event e{Kind::kClockJumpQ, at};
   e.step = step;
   return push(std::move(e));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/rounding.hpp"
 #include "core/chebyshev.hpp"
 
 namespace chenfd::service {
@@ -44,6 +45,7 @@ void AdaptiveMonitor::activate() {
                       [this] { reconfigure(); });
 }
 
+// detlint: allow(R4) stop is idempotent and legal in any state
 void AdaptiveMonitor::stop() {
   active_ = false;
   if (timer_ != 0) sim_.cancel(timer_);
@@ -51,6 +53,7 @@ void AdaptiveMonitor::stop() {
   detector_.stop();
 }
 
+// detlint: allow(R4) every message is admissible; inactive monitors drop them
 void AdaptiveMonitor::on_heartbeat(const net::Message& m, TimePoint real_now) {
   if (!active_) return;
   const TimePoint local_now = q_clock_.local(real_now);
@@ -185,9 +188,13 @@ void AdaptiveMonitor::restore_from(const persist::MonitorSnapshot& snap,
 
   // The estimator windows slide forward by the heartbeats p sent while the
   // monitor was down — unobservable, not lost — so the loss estimate does
-  // not spike at the first post-restart arrival.
-  const net::SeqNo seq_shift = static_cast<net::SeqNo>(
-      std::max<long long>(0, std::llround(gap.seconds() / snap.detector.eta_s)));
+  // not spike at the first post-restart arrival.  Only *completed* sending
+  // intervals count: floor, not round-to-nearest, else a gap of 2.6*eta
+  // would credit p with 3 sends and shift the window past a heartbeat that
+  // was never due.
+  const double completed_intervals = std::max(
+      0.0, floor_ratio_snapped(gap.seconds(), snap.detector.eta_s));
+  const net::SeqNo seq_shift = static_cast<net::SeqNo>(completed_intervals);
   auto samples = [](const persist::EstimatorState& state) {
     std::vector<core::NetworkEstimator::Sample> out;
     out.reserve(state.obs.size());

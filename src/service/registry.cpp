@@ -23,6 +23,7 @@ bool RequirementRegistry::update(AppId id, const qos::Requirements& req) {
   return true;
 }
 
+// detlint: allow(R4) total over all ids; removing an absent id returns false
 bool RequirementRegistry::remove(AppId id) {
   if (apps_.erase(id) == 0) return false;
   notify();
@@ -67,6 +68,7 @@ bool RelativeRequirementRegistry::update(AppId id,
   return true;
 }
 
+// detlint: allow(R4) total over all ids; removing an absent id returns false
 bool RelativeRequirementRegistry::remove(AppId id) {
   if (apps_.erase(id) == 0) return false;
   notify();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -388,6 +389,30 @@ TEST(AdaptiveMonitor, SnapshotRestoreRoundTripsThroughTheWireFormat) {
   EXPECT_EQ(again.detector.window.size(), snap.detector.window.size());
   EXPECT_EQ(again.detector.epoch_seq, snap.detector.epoch_seq);
   EXPECT_EQ(again.risk_reason, "warm_restart");
+}
+
+TEST(AdaptiveMonitor, RestoreShiftsEstimatorsByCompletedIntervalsOnly) {
+  // The downtime gap credits p with floor(gap / eta) sends: only intervals
+  // that COMPLETED while the monitor was down. Round-to-nearest (the old
+  // llround) credited a phantom heartbeat whenever the fractional part
+  // passed 0.5, shifting the loss window past a message never due.
+  Rig rig(0.01, 0.02, default_options(), 5040);
+  rig.tb.simulator().run_until(TimePoint(600.0));
+  rig.monitor.stop();
+
+  const persist::MonitorSnapshot snap = rig.monitor.snapshot();
+  const double eta = snap.detector.eta_s;
+  const std::uint64_t base = snap.short_term.highest_seq;
+  ASSERT_GT(base, 0u);
+
+  // 2.6 intervals elapsed -> 2 heartbeats were due (llround said 3).
+  rig.monitor.restore_from(snap, seconds(2.6 * eta));
+  EXPECT_EQ(rig.monitor.snapshot().short_term.highest_seq, base + 2);
+
+  // A ratio one ULP shy of an integer still counts it: a naked floor would
+  // say 2 when 3 * eta seconds of downtime landed at 2.999... * eta.
+  rig.monitor.restore_from(snap, seconds(std::nextafter(3.0 * eta, 0.0)));
+  EXPECT_EQ(rig.monitor.snapshot().short_term.highest_seq, base + 3);
 }
 
 TEST(AdaptiveMonitor, AdoptParamsRenegotiatesRateBeforeActivation) {

@@ -51,6 +51,10 @@ TEST(FaultPlan, BuilderRejectsMisuse) {
   EXPECT_THROW(plan.swap_loss(TimePoint(0.0), nullptr),
                std::invalid_argument);
   EXPECT_THROW(plan.crash_p(TimePoint(-1.0)), std::invalid_argument);
+  EXPECT_THROW(plan.clock_jump_p(TimePoint(0.0), Duration::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(plan.clock_jump_q(TimePoint(0.0), Duration::infinity()),
+               std::invalid_argument);
   EXPECT_EQ(plan.event_count(), 0u);  // nothing half-added
 
   core::Testbed tb(quiet_config(1));

@@ -163,5 +163,16 @@ TEST(NfdE, RejectsInvalidParams) {
                std::invalid_argument);
 }
 
+TEST(NfdE, RebaseRejectsInvalidParams) {
+  Script s(NfdEParams{Duration(kEta), Duration(0.5), 8});
+  s.deliver(1, 1.2);
+  s.run_to(1.5);
+  EXPECT_THROW(
+      s.detector.rebase(NfdUParams{Duration(0.0), Duration(0.5)}, 2),
+      std::invalid_argument);
+  // The failed rebase must not have torn down the current epoch.
+  EXPECT_EQ(s.detector.window_size(), 1u);
+}
+
 }  // namespace
 }  // namespace chenfd::core

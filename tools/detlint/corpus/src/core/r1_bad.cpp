@@ -1,0 +1,42 @@
+// R1 known-bad: every ambient nondeterminism source must be flagged.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace corpus {
+
+int ambient_rand() {
+  return std::rand();  // EXPECT: R1
+}
+
+unsigned hardware_seed() {
+  std::random_device rd;  // EXPECT: R1
+  return rd();
+}
+
+long wall_seconds() {
+  return ::time(nullptr);  // EXPECT: R1
+}
+
+double wall_now() {
+  const auto t = std::chrono::steady_clock::now();  // EXPECT: R1
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double wall_now_sys() {
+  const auto t = std::chrono::system_clock::now();  // EXPECT: R1
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+const char* env_knob() {
+  return std::getenv("CORPUS_KNOB");  // EXPECT: R1
+}
+
+// Banned calls hiding inside macro definitions are still seen (the lexer
+// scans preprocessor lines too).
+#define CORPUS_NOW() time(nullptr)  // EXPECT: R1
+
+long uses_macro() { return CORPUS_NOW(); }
+
+}  // namespace corpus

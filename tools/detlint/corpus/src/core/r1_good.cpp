@@ -1,0 +1,32 @@
+// R1 known-good: member functions and qualified names that merely *look*
+// like banned symbols, plus the sanctioned seeded-RNG / virtual-clock idiom.
+namespace corpus {
+
+struct Rng {
+  unsigned long state = 1;
+  double uniform01() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) / 9007199254740992.0;
+  }
+};
+
+struct Simulator {
+  double now = 0.0;
+  // A member named time() is not libc time(): detlint must not flag calls
+  // through an object.
+  double time() const { return now; }
+  double clock() const { return now; }
+};
+
+struct Scheduler {
+  // Foo::time(...) is a project name, not ::time.
+  static double time(double base) { return base; }
+};
+
+double virtual_now(const Simulator& sim) {
+  return sim.time() + Scheduler::time(sim.clock());
+}
+
+double seeded_draw(Rng& rng) { return rng.uniform01(); }
+
+}  // namespace corpus

@@ -1,0 +1,53 @@
+// R2 known-bad: unordered iteration on merge/serialization paths.  The
+// corpus config marks merge_results / emit_json as roots; reach() is a
+// helper called by a root, builder() is a caller feeding a root.
+#include <map>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace corpus {
+
+struct Registry {
+  std::unordered_map<int, double> weights_;
+  std::unordered_set<int> members_;
+
+  void merge_results(std::ostream& os) {
+    for (const auto& [id, w] : weights_) {  // EXPECT: R2
+      os << id << ' ' << w;
+    }
+  }
+};
+
+double reach_helper(const std::unordered_map<int, double>& other) {
+  std::unordered_map<int, double> scratch(other);
+  double total = 0.0;
+  for (auto it = scratch.begin(); it != scratch.end(); ++it) {  // EXPECT: R2
+    total += it->second;
+  }
+  return total;
+}
+
+void emit_json(std::ostream& os,
+               const std::unordered_map<int, double>& table) {
+  os << reach_helper(table);
+}
+
+// Pointer-keyed ordered containers iterate in address order: deterministic
+// within a process, not across runs — the same hazard class.
+struct Node {
+  int id;
+};
+
+void builder(std::ostream& os) {
+  std::map<Node*, double> by_node;
+  for (const auto& [node, w] : by_node) {  // EXPECT: R2
+    os << node->id << w;
+  }
+  std::unordered_map<int, double> table;
+  Registry reg;
+  reg.merge_results(os);
+}
+
+}  // namespace corpus

@@ -1,0 +1,39 @@
+// R2 known-good: ordered iteration on serialization paths, unordered
+// lookups that never iterate, and unordered iteration in functions that are
+// NOT on any merge/serialization path.
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace corpus {
+
+// Value-keyed std::map iterates in key order: deterministic, allowed.
+void merge_results(std::ostream& os,
+                   const std::map<std::string, double>& table) {
+  for (const auto& [key, value] : table) {
+    os << key << ' ' << value;
+  }
+}
+
+// Unordered lookup without iteration is fine on a serialization path.
+double emit_json(std::ostream& os,
+                 const std::unordered_map<int, double>& cache) {
+  const auto it = cache.find(7);
+  const double v = it == cache.end() ? 0.0 : it->second;
+  os << v;
+  return v;
+}
+
+// Iterating an unordered map in a function nowhere near a root is not an
+// ordering hazard for the reproducibility guarantee.
+double off_path_total(const std::unordered_map<int, double>& histo) {
+  double total = 0.0;
+  for (const auto& [k, v] : histo) {
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace corpus

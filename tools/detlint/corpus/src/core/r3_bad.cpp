@@ -1,0 +1,35 @@
+// R3 known-bad: naked rounding and integer casts on time quantities
+// (expressions reading Duration/TimePoint::seconds()), bypassing the
+// snap-guarded helpers in common/rounding.hpp.  One violation per line so
+// the EXPECT markers pin the reported line exactly (detlint reports the
+// outermost offending construct).
+#include <cmath>
+
+namespace corpus {
+
+class Duration {
+ public:
+  explicit Duration(double s) : s_(s) {}
+  double seconds() const { return s_; }
+
+ private:
+  double s_;
+};
+
+double freshness_index(Duration offset, Duration eta) {
+  return std::floor(offset.seconds() / eta.seconds());  // EXPECT: R3
+}
+
+long long heartbeat_shift(Duration gap, double eta_s) {
+  return std::llround(gap.seconds() / eta_s);  // EXPECT: R3
+}
+
+double window_size(Duration delta, Duration eta) {
+  return std::ceil(delta.seconds() / eta.seconds());  // EXPECT: R3
+}
+
+unsigned long truncate_point(Duration t) {
+  return static_cast<unsigned long>(t.seconds());  // EXPECT: R3
+}
+
+}  // namespace corpus

@@ -1,0 +1,45 @@
+// R3 known-good: time-index arithmetic routed through the sanctioned
+// helpers (common/rounding.hpp), rounding on plain doubles, and casts of
+// already-snapped values.
+#include <cmath>
+
+namespace corpus {
+
+class Duration {
+ public:
+  explicit Duration(double s) : s_(s) {}
+  double seconds() const { return s_; }
+
+ private:
+  double s_;
+};
+
+// Stand-ins for the sanctioned helpers; detlint recognizes them by name.
+long ceil_ratio(double a, double b) {
+  return static_cast<long>(std::ceil(a / b - 1e-9));
+}
+double floor_ratio_snapped(double a, double b) { return std::floor(a / b); }
+double floor_snapped(double r) { return std::floor(r); }
+
+long window_size(Duration delta, Duration eta) {
+  return ceil_ratio(delta.seconds(), eta.seconds());
+}
+
+double freshness_index(Duration offset, Duration eta) {
+  return floor_ratio_snapped(offset.seconds(), eta.seconds());
+}
+
+// Casting the snapped result is the documented pattern: round first via the
+// helper, then cast the already-integral value.
+unsigned long heartbeat_shift(Duration gap, Duration eta) {
+  const double shift = floor_ratio_snapped(gap.seconds(), eta.seconds());
+  return static_cast<unsigned long>(shift < 0.0 ? 0.0 : shift);
+}
+
+// Rounding a quantity with no time units attached is out of scope.
+double plain_math(double x) { return std::floor(x / 3.0) + std::ceil(x); }
+
+// Reading seconds() without rounding or truncating it is fine.
+double ratio(Duration a, Duration b) { return a.seconds() / b.seconds(); }
+
+}  // namespace corpus

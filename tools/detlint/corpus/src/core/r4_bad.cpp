@@ -1,0 +1,12 @@
+// R4 known-bad, out-of-line definition: access is looked up from the
+// declaration in r4_bad.hpp.
+#include "r4_bad.hpp"
+
+namespace corpus {
+
+void Sampler::rebuild(int buckets) {  // EXPECT: R4
+  buckets_ = buckets;
+  ++version_;
+}
+
+}  // namespace corpus

@@ -1,0 +1,41 @@
+// R4 known-bad: public mutating methods of substance with no contract.
+#pragma once
+
+namespace corpus {
+
+class Accumulator {
+ public:
+  void add(double v) {  // EXPECT: R4
+    total_ += v;
+    ++count_;
+  }
+
+  struct Config {
+    double scale = 1.0;
+  };
+
+  void reconfigure(const Config& cfg) {  // EXPECT: R4
+    scale_ = cfg.scale;
+    total_ = total_ * scale_;
+    dirty_ = true;
+  }
+
+ private:
+  double total_ = 0.0;
+  double scale_ = 1.0;
+  long count_ = 0;
+  bool dirty_ = false;
+};
+
+// Out-of-line definition: the declaration here carries the access, the
+// definition in r4_bad.cpp is where the finding lands.
+class Sampler {
+ public:
+  void rebuild(int buckets);
+
+ private:
+  int buckets_ = 0;
+  int version_ = 0;
+};
+
+}  // namespace corpus

@@ -1,0 +1,32 @@
+// R4 known-good, out-of-line definitions: staticness and access come from
+// the in-class declaration, which out-of-line definitions do not repeat.
+#include "r4_good.hpp"
+
+namespace corpus {
+
+class Pool {
+ public:
+  static Pool& instance();
+
+ private:
+  void drain();
+
+  int live_ = 0;
+  int drained_ = 0;
+};
+
+// A static factory mutates no instance state; `static` is only on the
+// declaration, so a naive reading of this definition would flag it.
+Pool& Pool::instance() {
+  static Pool pool;
+  pool.live_ = 1;
+  return pool;
+}
+
+// Private per the declaration above — not public API.
+void Pool::drain() {
+  live_ = 0;
+  ++drained_;
+}
+
+}  // namespace corpus

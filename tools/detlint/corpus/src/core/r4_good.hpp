@@ -1,0 +1,77 @@
+// R4 known-good: contracts present, const observers, trivial setters,
+// non-public mutators and TU-local helpers are all exempt.
+#pragma once
+
+#include <stdexcept>
+
+#define CHENFD_EXPECTS(cond, msg) \
+  do {                            \
+    if (!(cond)) throw std::invalid_argument(msg); \
+  } while (false)
+
+namespace corpus {
+
+inline void expects(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+struct Params {
+  double eta = 1.0;
+  void validate() const { expects(eta > 0.0, "eta must be > 0"); }
+};
+
+class Monitor {
+ public:
+  // Direct contract macro.
+  void advance(double dt) {
+    CHENFD_EXPECTS(dt >= 0.0, "advance: negative dt");
+    now_ += dt;
+    ++steps_;
+  }
+
+  // Delegated validation counts as a contract.
+  void set_params(Params p) {
+    p.validate();
+    params_ = p;
+  }
+
+  // Const observers are not mutating.
+  double now() const {
+    double shifted = now_;
+    shifted += 0.0;
+    return shifted;
+  }
+
+  // One-statement setters have no precondition worth stating.
+  void mark() { dirty_ = true; }
+
+ protected:
+  // Non-public mutators are the class's own business.
+  void reset_internal() {
+    now_ = 0.0;
+    steps_ = 0;
+  }
+
+ private:
+  double now_ = 0.0;
+  long steps_ = 0;
+  bool dirty_ = false;
+  Params params_;
+};
+
+}  // namespace corpus
+
+// TU-local helper classes in anonymous namespaces are not public API.
+namespace {
+class Scratch {
+ public:
+  void fill(int n) {
+    a_ = n;
+    b_ = n * 2;
+  }
+
+ private:
+  int a_ = 0;
+  int b_ = 0;
+};
+}  // namespace

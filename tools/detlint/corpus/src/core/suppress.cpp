@@ -1,0 +1,29 @@
+// Suppression mechanics: same-line and previous-line allows silence a
+// finding only when they carry a reason; a reasonless or unknown-rule allow
+// is itself reported (rule id "suppression") and the original finding
+// stays.  `EXPECT-NEXT` markers pin findings on the following line.
+#include <cstdlib>
+#include <ctime>
+
+namespace corpus {
+
+int same_line_allow() {
+  return std::rand();  // detlint: allow(R1) corpus fixture, never shipped
+}
+
+long previous_line_allow() {
+  // detlint: allow(R1) corpus fixture exercising previous-line suppression
+  return ::time(nullptr);
+}
+
+int reasonless_allow() {
+  // EXPECT-NEXT: R1, suppression
+  return std::rand();  // detlint: allow(R1)
+}
+
+int unknown_rule() {
+  // EXPECT-NEXT: R1, suppression
+  return std::rand();  // detlint: allow(R9) bogus rule id
+}
+
+}  // namespace corpus

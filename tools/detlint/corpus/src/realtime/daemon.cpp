@@ -1,0 +1,18 @@
+// The allow-listed real-time layer: wall clocks are sanctioned here (the
+// corpus config maps src/realtime/ -> ["wallclock"]), but ambient RNGs and
+// environment reads stay banned everywhere.
+#include <chrono>
+#include <cstdlib>
+
+namespace corpus {
+
+double daemon_now() {
+  const auto t = std::chrono::steady_clock::now();  // allowed by config
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int daemon_jitter() {
+  return std::rand();  // EXPECT: R1
+}
+
+}  // namespace corpus

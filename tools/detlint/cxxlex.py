@@ -1,0 +1,185 @@
+"""Deterministic C++ lexer for detlint.
+
+Produces a flat token stream (identifiers, numbers, string/char literals,
+punctuation) plus a separate comment list, which is what the suppression
+parser consumes.  Preprocessor directives are lexed like ordinary code but
+their tokens are marked ``in_pp`` so structural parsing can skip them while
+token-level rules (R1) still see, e.g., a banned call hidden in a ``#define``.
+
+This is a lexer, not a preprocessor: macros are not expanded and headers are
+not included.  detlint trades the full clang AST (the container toolchain
+ships no clang — see tools/detlint/README.md) for a deterministic,
+dependency-free front end whose behaviour is pinned by the corpus tests.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Longest-first so `::` wins over `:`, `->` over `-`, etc.
+_PUNCTUATORS = [
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "<=>", "##",
+]
+_PUNCTUATORS.sort(key=len, reverse=True)
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+# pp-numbers are lexed loosely: we never interpret values, only positions.
+_NUMBER_RE = re.compile(r"\.?[0-9](?:[0-9a-zA-Z_.']|[eEpP][+-])*")
+
+KEYWORDS = frozenset("""
+    alignas alignof asm auto bool break case catch char char8_t char16_t
+    char32_t class concept const consteval constexpr constinit const_cast
+    continue co_await co_return co_yield decltype default delete do double
+    dynamic_cast else enum explicit export extern false float for friend goto
+    if inline int long mutable namespace new noexcept nullptr operator
+    private protected public register reinterpret_cast requires return short
+    signed sizeof static static_assert static_cast struct switch template
+    this thread_local throw true try typedef typeid typename union unsigned
+    using virtual void volatile wchar_t while
+""".split())
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'number' | 'string' | 'char' | 'punct'
+    text: str
+    line: int
+    col: int
+    in_pp: bool = False
+
+
+@dataclass(frozen=True)
+class Comment:
+    text: str  # comment body without the // or /* */ markers, stripped
+    line: int  # line the comment starts on
+
+
+class LexError(Exception):
+    pass
+
+
+def lex(source: str, path: str = "<memory>"):
+    """Returns (tokens, comments).  Raises LexError on an unterminated
+    string/comment so malformed input fails loudly instead of silently
+    dropping the rest of the file from analysis."""
+    tokens: list[Token] = []
+    comments: list[Comment] = []
+    i = 0
+    n = len(source)
+    line = 1
+    line_start = 0
+    in_pp = False
+
+    def col() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        c = source[i]
+
+        if c == "\n":
+            if in_pp:
+                in_pp = False
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if c in " \t\r\v\f":
+            i += 1
+            continue
+
+        # Line continuation inside a preprocessor directive.
+        if c == "\\" and in_pp and i + 1 < n and source[i + 1] == "\n":
+            line += 1
+            i += 2
+            line_start = i
+            continue
+
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            end = source.find("\n", i)
+            if end == -1:
+                end = n
+            comments.append(Comment(source[i + 2:end].strip(), line))
+            i = end
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"{path}:{line}: unterminated block comment")
+            body = source[i + 2:end]
+            comments.append(Comment(body.strip(), line))
+            line += body.count("\n")
+            nl = source.rfind("\n", i, end + 2)
+            if nl != -1:
+                line_start = nl + 1
+            i = end + 2
+            continue
+
+        if c == "#" and not in_pp:
+            in_pp = True
+            tokens.append(Token("punct", "#", line, col(), True))
+            i += 1
+            continue
+
+        # Raw string literal: R"delim( ... )delim"
+        if c == "R" and source.startswith('R"', i):
+            m = re.match(r'R"([^()\\ \t\n]{0,16})\(', source[i:])
+            if m:
+                delim = m.group(1)
+                close = ")" + delim + '"'
+                end = source.find(close, i + m.end())
+                if end == -1:
+                    raise LexError(f"{path}:{line}: unterminated raw string")
+                text = source[i:end + len(close)]
+                tokens.append(Token("string", text, line, col(), in_pp))
+                line += text.count("\n")
+                nl = source.rfind("\n", i, end + len(close))
+                if nl != -1:
+                    line_start = nl + 1
+                i = end + len(close)
+                continue
+
+        if c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if source[j] == "\\":
+                    j += 2
+                    continue
+                if source[j] == quote:
+                    break
+                if source[j] == "\n":
+                    raise LexError(
+                        f"{path}:{line}: newline in {quote}-literal")
+                j += 1
+            if j >= n:
+                raise LexError(f"{path}:{line}: unterminated literal")
+            kind = "string" if quote == '"' else "char"
+            tokens.append(Token(kind, source[i:j + 1], line, col(), in_pp))
+            i = j + 1
+            continue
+
+        m = _IDENT_RE.match(source, i)
+        if m:
+            tokens.append(Token("ident", m.group(), line, col(), in_pp))
+            i = m.end()
+            continue
+
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            m = _NUMBER_RE.match(source, i)
+            tokens.append(Token("number", m.group(), line, col(), in_pp))
+            i = m.end()
+            continue
+
+        for p in _PUNCTUATORS:
+            if source.startswith(p, i):
+                tokens.append(Token("punct", p, line, col(), in_pp))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line, col(), in_pp))
+            i += 1
+
+    return tokens, comments

@@ -1,0 +1,361 @@
+#!/usr/bin/env python3
+"""detlint — project-specific determinism & unit-safety lint for chenfd.
+
+Scans src/, tools/ and bench/ (configurable) with four rule families:
+
+  R1  nondeterminism sources (ambient RNGs, env reads, wall clocks)
+  R2  unordered-container iteration on merge/reduction/serialization paths
+  R3  naked rounding / integer casts on time quantities
+  R4  public mutating methods without CHENFD_EXPECTS/ENSURES contracts
+
+Usage:
+    tools/detlint/detlint.py [options] [paths...]
+
+Options:
+    --root DIR             repository root (default: two levels up)
+    --config FILE          rule configuration (default: <here>/detlint.json)
+    --baseline FILE        accepted-findings baseline (default:
+                           <here>/baseline.json); pass 'none' to disable
+    --write-baseline       rewrite the baseline with current findings, exit 0
+    --compile-commands F   also scan every in-root TU listed in a
+                           compile_commands.json (CI reuses the tidy job's)
+    --engine NAME          'lexer' (default) or 'clang-ast' (gated: needs a
+                           clang with -Xclang -ast-dump=json on PATH)
+    --format text|github   'github' adds ::error workflow annotations
+    --summary FILE         append a per-rule markdown summary (step summary)
+    --list FILE            write machine-readable findings JSON
+
+Suppressions (reason is mandatory):
+    // detlint: allow(R1) timing the bench harness, never simulation state
+    // detlint: allow-file(R4) plain data carrier, no invariants to state
+
+Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cxxlex  # noqa: E402
+import rules as rules_mod  # noqa: E402
+import srcmodel  # noqa: E402
+from rules import RULES, Finding  # noqa: E402
+
+_SUPPRESS_RE = re.compile(
+    r"detlint\s*:\s*allow(?P<scope>-file)?\s*\(\s*(?P<rules>[^)]*?)\s*\)"
+    r"\s*(?P<reason>.*)", re.DOTALL)
+
+DEFAULT_CONFIG = {
+    "paths": ["src", "tools", "bench"],
+    "exclude": ["tools/detlint"],
+    "extensions": [".hpp", ".cpp", ".h", ".cc"],
+    "r1": {"allow_paths": {}},
+    "r2": {"roots": [], "serialization_paths": []},
+    "r3": {},
+    "r4": {"paths": [], "min_statements": 2},
+}
+
+
+def _merge_config(base: dict, override: dict) -> dict:
+    out = dict(base)
+    for k, v in override.items():
+        if isinstance(v, dict) and isinstance(out.get(k), dict):
+            out[k] = _merge_config(out[k], v)
+        else:
+            out[k] = v
+    return out
+
+
+def load_config(path: str | None) -> dict:
+    if path is None:
+        return dict(DEFAULT_CONFIG)
+    try:
+        with open(path, encoding="utf-8") as f:
+            user = json.load(f)
+    except (OSError, ValueError) as err:
+        raise _die(f"detlint: cannot read config {path}: {err}")
+    return _merge_config(DEFAULT_CONFIG, user)
+
+
+def discover_files(root: str, config: dict, extra_paths: list[str],
+                   compile_commands: str | None) -> list[str]:
+    paths = extra_paths or config["paths"]
+    exts = tuple(config["extensions"])
+    excludes = tuple(config["exclude"])
+    found: set[str] = set()
+    for p in paths:
+        full = os.path.join(root, p)
+        if os.path.isfile(full):
+            found.add(os.path.normpath(p))
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(exts):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                found.add(os.path.normpath(rel))
+    if compile_commands:
+        try:
+            with open(compile_commands, encoding="utf-8") as f:
+                entries = json.load(f)
+        except (OSError, ValueError) as err:
+            raise _die(
+                f"detlint: cannot read compile commands "
+                f"{compile_commands}: {err}")
+        # Compile commands ALIGN the file set with what actually builds;
+        # they never widen the scope past the configured paths (a project's
+        # compile_commands.json also lists tests/, examples/, ...).
+        prefixes = tuple(os.path.normpath(p) + os.sep for p in paths)
+        for e in entries:
+            file = e.get("file", "")
+            absf = os.path.normpath(
+                os.path.join(e.get("directory", root), file))
+            rel = os.path.relpath(absf, root)
+            if (not rel.startswith("..") and rel.endswith(exts)
+                    and os.path.normpath(rel).startswith(prefixes)):
+                found.add(os.path.normpath(rel))
+    return sorted(f for f in found
+                  if not any(f.startswith(x) for x in excludes))
+
+
+class Suppressions:
+    def __init__(self, path: str, comments):
+        self.line_allows: dict[int, set[str]] = {}
+        self.file_allows: set[str] = set()
+        self.errors: list[Finding] = []
+        for c in comments:
+            m = _SUPPRESS_RE.search(c.text)
+            if not m:
+                continue
+            ruleset = {r.strip() for r in m.group("rules").split(",")
+                       if r.strip()}
+            bad = ruleset - set(RULES) - {"*"}
+            reason = m.group("reason").strip()
+            if bad or not ruleset:
+                self.errors.append(Finding(
+                    "suppression", path, c.line,
+                    f"unknown rule id(s) in suppression: "
+                    f"{', '.join(sorted(bad)) or '(empty)'}",
+                    f"use one of {', '.join(RULES)} or *", f"|{c.text[:80]}"))
+                continue
+            if not reason:
+                self.errors.append(Finding(
+                    "suppression", path, c.line,
+                    "suppression without a reason",
+                    "detlint: allow(<rule>) <why this is sound>",
+                    f"|{c.text[:80]}"))
+                continue
+            if m.group("scope"):
+                self.file_allows.update(ruleset)
+            else:
+                self.line_allows.setdefault(c.line, set()).update(ruleset)
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.rule in self.file_allows or "*" in self.file_allows:
+            return True
+        for line in (finding.line, finding.line - 1):
+            allowed = self.line_allows.get(line, ())
+            if finding.rule in allowed or "*" in allowed:
+                return True
+        return False
+
+
+def _die(message: str) -> "SystemExit":
+    # Tool errors (bad config/baseline, missing engine) exit 2 so CI can
+    # distinguish "lint failed" (1) from "lint could not run" (2).
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
+def load_baseline(path: str | None) -> set[str]:
+    if path is None:
+        return set()
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        return set()
+    except (OSError, ValueError) as err:
+        raise _die(f"detlint: cannot read baseline {path}: {err}")
+    if not isinstance(doc, list):
+        raise _die(f"detlint: baseline {path} must be a JSON list")
+    keys = set()
+    for entry in doc:
+        try:
+            keys.add(f"{entry['rule']}|{entry['path']}|{entry['context']}")
+        except (TypeError, KeyError):
+            raise _die(
+                f"detlint: malformed baseline entry in {path}: {entry!r}")
+    return keys
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    entries = [{"rule": f.rule, "path": f.path, "context": f.context}
+               for f in findings]
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["context"]))
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(entries, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def analyze(root: str, files: list[str], config: dict):
+    """Returns (findings, per_file_suppressions, errors)."""
+    models = []
+    sources = {}
+    suppressions = {}
+    errors: list[Finding] = []
+    for rel in files:
+        full = os.path.join(root, rel)
+        try:
+            with open(full, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as err:
+            raise _die(f"detlint: cannot read {full}: {err}")
+        try:
+            tokens, comments = cxxlex.lex(text, rel)
+        except cxxlex.LexError as err:
+            errors.append(Finding("parse", rel, 1, str(err),
+                                  "fix the unterminated construct", "|"))
+            continue
+        model = srcmodel.parse_file(rel, tokens, comments)
+        models.append(model)
+        sources[rel] = text.splitlines()
+        sup = Suppressions(rel, comments)
+        suppressions[rel] = sup
+        errors.extend(sup.errors)
+
+    # qualname -> (access, is_static) from in-class declarations, so
+    # out-of-line definitions (which repeat neither) can be classified.
+    decl_access = {}
+    for m in models:
+        for d in m.method_decls:
+            decl_access[d.qualname] = (d.access, d.is_static)
+        for fn in m.functions:
+            if fn.access is not None:
+                decl_access.setdefault(fn.qualname,
+                                       (fn.access, fn.is_static))
+
+    on_path, _graph = rules_mod.r2_on_path_set(models, config)
+
+    findings: list[Finding] = []
+    for m in models:
+        lines = sources[m.path]
+        findings.extend(rules_mod.run_r1(m, config, lines))
+        findings.extend(rules_mod.run_r2(m, config, lines, on_path))
+        findings.extend(rules_mod.run_r3(m, config, lines))
+        findings.extend(rules_mod.run_r4(m, config, lines, decl_access))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings, suppressions, errors
+
+
+def main(argv: list[str]) -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    ap = argparse.ArgumentParser(
+        prog="detlint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*")
+    ap.add_argument("--root",
+                    default=os.path.dirname(os.path.dirname(here)))
+    ap.add_argument("--config", default=os.path.join(here, "detlint.json"))
+    ap.add_argument("--baseline", default=os.path.join(here, "baseline.json"))
+    ap.add_argument("--write-baseline", action="store_true")
+    ap.add_argument("--compile-commands", default=None)
+    ap.add_argument("--engine", choices=("lexer", "clang-ast"),
+                    default="lexer")
+    ap.add_argument("--format", choices=("text", "github"), default="text")
+    ap.add_argument("--summary", default=None)
+    ap.add_argument("--list", dest="list_path", default=None)
+    args = ap.parse_args(argv)
+
+    if args.engine == "clang-ast":
+        import shutil
+        if shutil.which("clang") is None:
+            print("detlint: the clang-ast engine needs a clang with "
+                  "`-Xclang -ast-dump=json` on PATH; none found. The lexer "
+                  "engine (default) is the supported front end on this "
+                  "toolchain.", file=sys.stderr)
+            return 2
+        print("detlint: clang-ast engine is not implemented yet; it is "
+              "reserved for when the toolchain ships clang (see "
+              "tools/detlint/README.md).", file=sys.stderr)
+        return 2
+
+    config = load_config(args.config if os.path.exists(args.config)
+                         else None)
+    baseline_path = None if args.baseline == "none" else args.baseline
+    baseline = set() if args.write_baseline else load_baseline(baseline_path)
+
+    files = discover_files(args.root, config, args.paths,
+                           args.compile_commands)
+    if not files:
+        print("detlint: no files to analyze", file=sys.stderr)
+        return 2
+    findings, suppressions, errors = analyze(args.root, files, config)
+
+    unsuppressed: list[Finding] = []
+    suppressed = baselined = 0
+    per_rule = {r: [0, 0, 0] for r in RULES}  # open, suppressed, baselined
+    for f in findings:
+        bucket = per_rule.setdefault(f.rule, [0, 0, 0])
+        if suppressions[f.path].covers(f):
+            suppressed += 1
+            bucket[1] += 1
+        elif f.key() in baseline:
+            baselined += 1
+            bucket[2] += 1
+        else:
+            unsuppressed.append(f)
+            bucket[0] += 1
+    unsuppressed.extend(errors)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, [f for f in unsuppressed
+                                       if f.rule in RULES])
+        print(f"detlint: baseline rewritten with "
+              f"{len(unsuppressed)} finding(s) -> {args.baseline}")
+        return 0
+
+    for f in unsuppressed:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+        print(f"    hint: {f.hint}")
+        if args.format == "github":
+            print(f"::error file={f.path},line={f.line},"
+                  f"title=detlint {f.rule}::{f.message} — {f.hint}")
+
+    if args.list_path:
+        doc = [{"rule": f.rule, "path": f.path, "line": f.line,
+                "message": f.message, "hint": f.hint}
+               for f in unsuppressed]
+        with open(args.list_path, "w", encoding="utf-8") as fobj:
+            json.dump(doc, fobj, indent=2, sort_keys=True)
+            fobj.write("\n")
+
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as fobj:
+            fobj.write("## detlint\n\n")
+            fobj.write(f"{len(files)} files scanned — "
+                       f"**{len(unsuppressed)} unsuppressed**, "
+                       f"{suppressed} suppressed, "
+                       f"{baselined} baselined\n\n")
+            fobj.write("| rule | open | suppressed | baselined |\n")
+            fobj.write("|------|------|------------|----------|\n")
+            for r in sorted(per_rule):
+                o, s, b = per_rule[r]
+                fobj.write(f"| {r} | {o} | {s} | {b} |\n")
+
+    total = len(findings)
+    print(f"detlint: {len(files)} files, {total} finding(s): "
+          f"{len(unsuppressed)} unsuppressed, {suppressed} suppressed, "
+          f"{baselined} baselined")
+    return 1 if unsuppressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,512 @@
+"""detlint rule implementations.
+
+Four project-specific rule families (see DESIGN.md section 10):
+
+  R1  nondeterminism sources — unseeded/ambient RNGs, environment reads and
+      wall clocks are banned outside the allow-listed real-time layer.
+  R2  ordering hazards — iteration over std::unordered_* (or pointer-keyed
+      ordered containers) in any function on a merge/reduction/serialization
+      path; iteration order there must be deterministic for the bit-identical
+      --jobs guarantee to hold.
+  R3  time-unit safety — naked floor/ceil/round/integer-casts applied to
+      time quantities (expressions involving Duration/TimePoint::seconds()),
+      bypassing the snap-guarded helpers in common/rounding.hpp.
+  R4  contracts coverage — public mutating methods of substance in the core
+      state-bearing modules must state CHENFD_EXPECTS/ENSURES contracts.
+
+Every finding carries a fix hint and a stable context key (enclosing
+function + normalized source line) so the committed baseline survives
+unrelated line drift.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from cxxlex import KEYWORDS
+from srcmodel import FileModel, Function
+
+RULES = ("R1", "R2", "R3", "R4")
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str
+    context: str  # stable baseline key component
+
+    def key(self) -> str:
+        return f"{self.rule}|{self.path}|{self.context}"
+
+
+def _line_text(source_lines: list[str], line: int) -> str:
+    if 1 <= line <= len(source_lines):
+        return re.sub(r"\s+", " ", source_lines[line - 1].strip())
+    return ""
+
+
+def _context(fn_name: str | None, source_lines: list[str], line: int) -> str:
+    return f"{fn_name or ''}|{_line_text(source_lines, line)}"
+
+
+def _enclosing(model: FileModel, tok_idx: int) -> Function | None:
+    for fn in model.functions:
+        if fn.body[0] <= tok_idx < fn.body[1]:
+            return fn
+    return None
+
+
+# --------------------------------------------------------------------------
+# R1: nondeterminism sources
+# --------------------------------------------------------------------------
+
+# group -> (symbols flagged on bare mention, symbols flagged as free calls)
+R1_GROUPS = {
+    "rng": ({"random_device"},
+            {"rand", "srand", "drand48", "srand48", "lrand48", "mrand48",
+             "rand_r", "random"}),
+    "wallclock": ({"system_clock", "steady_clock", "high_resolution_clock"},
+                  {"time", "clock", "gettimeofday", "clock_gettime",
+                   "localtime", "gmtime", "mktime", "ftime"}),
+    "env": (set(), {"getenv", "secure_getenv", "setenv", "putenv",
+                    "unsetenv"}),
+}
+
+_R1_HINTS = {
+    "rng": "draw from the seeded chenfd::Rng substream plumbed into this "
+           "component (common/rng.hpp)",
+    "wallclock": "simulated components take time from sim::Simulator / "
+                 "clock::Clock; wall clocks live only in the allow-listed "
+                 "real-time layer",
+    "env": "thread configuration through explicit options structs / CLI "
+           "flags so a run is reproducible from its command line alone",
+}
+
+
+# Keywords a call expression can directly follow; any *other* identifier
+# right before `name(` means a declaration (`double time(...)`) or a
+# qualified project name, not a call of the libc symbol.
+_CALL_ADJACENT = frozenset({"return", "co_return", "co_await", "co_yield",
+                            "throw", "case", "else", "do", "goto", "while",
+                            "if", "switch", "for", "and", "or", "not"})
+
+
+def _is_free_call(model: FileModel, k: int) -> bool:
+    """tokens[k] is an ident: true when followed by '(' and the context is
+    a call of the free function — not a member access (x.time()), not a
+    non-std qualified name (Foo::time) and not a declaration head
+    (double time(...))."""
+    toks = model.tokens
+    if k + 1 >= len(toks) or toks[k + 1].text != "(":
+        return False
+    if k == 0:
+        return True
+    prev = toks[k - 1]
+    if prev.kind == "ident":
+        return prev.text in _CALL_ADJACENT
+    if prev.kind == "punct" and prev.text in (".", "->"):
+        return False
+    if prev.kind == "punct" and prev.text == "::":
+        if k >= 2 and toks[k - 2].kind == "ident" \
+                and toks[k - 2].text not in KEYWORDS:
+            return toks[k - 2].text == "std"  # std::time yes, Foo::time no
+        return True  # ::time(nullptr), return ::time(...)
+    return True
+
+
+def run_r1(model: FileModel, config, source_lines) -> list[Finding]:
+    allow = config.get("r1", {}).get("allow_paths", {})
+    allowed_groups: set[str] = set()
+    for prefix, groups in allow.items():
+        if model.path.startswith(prefix):
+            allowed_groups.update(groups)
+    out: list[Finding] = []
+    for k, t in enumerate(model.tokens):
+        if t.kind != "ident":
+            continue
+        for group, (mentions, calls) in R1_GROUPS.items():
+            if group in allowed_groups:
+                continue
+            hit = None
+            if t.text in mentions:
+                # `std::chrono::steady_clock` / bare `steady_clock` mentions
+                hit = t.text
+            elif t.text in calls and _is_free_call(model, k):
+                hit = t.text + "()"
+            if hit:
+                fn = _enclosing(model, k)
+                out.append(Finding(
+                    "R1", model.path, t.line,
+                    f"nondeterminism source `{hit}` ({group})",
+                    _R1_HINTS[group],
+                    _context(fn.qualname if fn else None, source_lines,
+                             t.line)))
+    return out
+
+
+# --------------------------------------------------------------------------
+# R2: ordering hazards on merge/reduction/serialization paths
+# --------------------------------------------------------------------------
+
+_UNORDERED_NAMES = frozenset({"unordered_map", "unordered_set",
+                              "unordered_multimap", "unordered_multiset"})
+_ORDERED_ASSOC = frozenset({"map", "set", "multimap", "multiset"})
+# A lone `x.end()` appears in the find()-compare idiom, which never walks
+# the container; only a begin-family call starts an ordered traversal.
+_ITER_METHODS = frozenset({"begin", "cbegin", "rbegin", "crbegin"})
+
+
+def _scan_hazard_vars(model: FileModel, span: tuple[int, int]) -> dict:
+    """Hazardous container variable names declared inside a token span:
+    name -> short type description."""
+    toks = model.tokens
+    out: dict[str, str] = {}
+    k = span[0]
+    while k < span[1]:
+        t = toks[k]
+        if t.kind == "ident" and (t.text in _UNORDERED_NAMES
+                                  or t.text in _ORDERED_ASSOC):
+            type_name = t.text
+            j = k + 1
+            if j < span[1] and toks[j].text == "<":
+                depth = 0
+                first_arg_has_ptr = False
+                arg_depth_comma_seen = False
+                while j < span[1]:
+                    w = toks[j]
+                    if w.text == "<":
+                        depth += 1
+                    elif w.text == ">":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif w.text == ">>":
+                        depth -= 2
+                        if depth <= 0:
+                            break
+                    elif w.text == "," and depth == 1:
+                        arg_depth_comma_seen = True
+                    elif w.text == "*" and depth == 1 and \
+                            not arg_depth_comma_seen:
+                        first_arg_has_ptr = True
+                    j += 1
+                hazardous = (type_name in _UNORDERED_NAMES
+                             or first_arg_has_ptr)
+                if hazardous and j + 1 < span[1] and \
+                        toks[j + 1].kind == "ident" and \
+                        toks[j + 1].text not in KEYWORDS:
+                    kind = ("std::" + type_name if type_name
+                            in _UNORDERED_NAMES else
+                            f"pointer-keyed std::{type_name}")
+                    out[toks[j + 1].text] = kind
+                k = j
+        k += 1
+    return out
+
+
+def _iteration_sites(model: FileModel, fn: Function, hazard_vars: dict):
+    """Yields (line, var, how) for iterations over hazardous vars in fn."""
+    toks = model.tokens
+    k = fn.body[0]
+    while k < fn.body[1]:
+        t = toks[k]
+        # range-for:  for ( decl : expr )
+        if t.kind == "ident" and t.text == "for" and k + 1 < fn.body[1] \
+                and toks[k + 1].text == "(":
+            depth = 0
+            colon = None
+            j = k + 1
+            while j < fn.body[1]:
+                w = toks[j]
+                if w.text == "(":
+                    depth += 1
+                elif w.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif w.text == ":" and depth == 1 and colon is None:
+                    colon = j
+                j += 1
+            if colon is not None:
+                for m in range(colon + 1, j):
+                    w = toks[m]
+                    if w.kind == "ident" and w.text in hazard_vars:
+                        yield (t.line, w.text, "range-for over")
+                        break
+                k = j + 1
+            else:
+                k += 1  # classic for: scan its header for .begin() walks
+            continue
+        # explicit iterators: var.begin() / var.cbegin() / ...
+        if t.kind == "ident" and t.text in hazard_vars \
+                and k + 2 < fn.body[1] \
+                and toks[k + 1].text in (".", "->") \
+                and toks[k + 2].kind == "ident" \
+                and toks[k + 2].text in _ITER_METHODS:
+            yield (t.line, t.text, "iterator walk over")
+            k += 3
+            continue
+        k += 1
+
+
+class CallGraph:
+    def __init__(self, models: list[FileModel]):
+        from srcmodel import called_names
+        self.fns: dict[str, list[tuple[FileModel, Function]]] = {}
+        self.by_name: dict[str, list[str]] = {}
+        for m in models:
+            for fn in m.functions:
+                self.fns.setdefault(fn.qualname, []).append((m, fn))
+                self.by_name.setdefault(fn.name, []).append(fn.qualname)
+        self.edges: dict[str, set[str]] = {}
+        self.redges: dict[str, set[str]] = {}
+        for m in models:
+            for fn in m.functions:
+                callees: set[str] = set()
+                for name in called_names(m, fn):
+                    short = name.split("::")[-1]
+                    for q in self.by_name.get(short, []):
+                        if "::" in name and not q.endswith(name):
+                            continue
+                        callees.add(q)
+                self.edges.setdefault(fn.qualname, set()).update(callees)
+                for c in callees:
+                    self.redges.setdefault(c, set()).add(fn.qualname)
+
+    def reachable(self, seeds: set[str], edges) -> set[str]:
+        seen = set(seeds)
+        stack = list(seeds)
+        while stack:
+            q = stack.pop()
+            for nxt in edges.get(q, ()):  # determinism: result is a set
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+
+def r2_on_path_set(models: list[FileModel], config) -> tuple[set, "CallGraph"]:
+    r2cfg = config.get("r2", {})
+    roots: set[str] = set()
+    graph = CallGraph(models)
+    patterns = r2cfg.get("roots", [])
+    ser_paths = tuple(r2cfg.get("serialization_paths", []))
+    for m in models:
+        for fn in m.functions:
+            for pat in patterns:
+                if fn.qualname == pat or fn.qualname.endswith("::" + pat) \
+                        or fn.name == pat:
+                    roots.add(fn.qualname)
+            if ser_paths and m.path.startswith(ser_paths):
+                roots.add(fn.qualname)
+    # A hazard matters both downstream of a root (helpers the merge calls)
+    # and upstream (callers assembling the root's inputs).
+    on_path = graph.reachable(roots, graph.edges) \
+        | graph.reachable(roots, graph.redges)
+    return on_path, graph
+
+
+def run_r2(model: FileModel, config, source_lines, on_path: set
+           ) -> list[Finding]:
+    # member/global hazards recorded by the parser + per-function locals
+    file_hazards = {h.name: h.type_text for h in model.hazards}
+    out: list[Finding] = []
+    for fn in model.functions:
+        if fn.qualname not in on_path:
+            continue
+        hazard_vars = dict(file_hazards)
+        hazard_vars.update(_scan_hazard_vars(model, fn.body))
+        if not hazard_vars:
+            continue
+        seen: set[tuple[int, str]] = set()
+        for line, var, how in _iteration_sites(model, fn, hazard_vars):
+            if (line, var) in seen:
+                continue  # x.begin()/x.end() on one line is one finding
+            seen.add((line, var))
+            kind = hazard_vars[var]
+            if not kind.startswith("std::") and \
+                    not kind.startswith("pointer-keyed"):
+                kind = kind.split("<")[0].replace(" :: ", "::").strip()
+                kind = kind.split()[-1] if kind.split() else kind
+            out.append(Finding(
+                "R2", model.path, line,
+                f"{how} `{var}` ({kind}) in `{fn.qualname}`, which is on a "
+                "merge/reduction/serialization path",
+                "iterate a deterministically ordered view instead (sort "
+                "keys into a vector, or switch the container to a "
+                "value-ordered std::map/std::vector)",
+                _context(fn.qualname, source_lines, line)))
+    return out
+
+
+# --------------------------------------------------------------------------
+# R3: time-unit safety
+# --------------------------------------------------------------------------
+
+_R3_ROUNDERS = frozenset({"floor", "ceil", "round", "lround", "llround",
+                          "trunc", "nearbyint", "rint"})
+_R3_SANCTIONED = frozenset({"ceil_ratio", "floor_snapped",
+                            "floor_ratio_snapped"})
+_R3_INT_TYPES = frozenset({"int", "long", "short", "unsigned", "size_t",
+                           "ptrdiff_t", "int8_t", "int16_t", "int32_t",
+                           "int64_t", "uint8_t", "uint16_t", "uint32_t",
+                           "uint64_t", "SeqNo"})
+
+
+def _matching_paren(toks, open_idx, end):
+    depth = 0
+    j = open_idx
+    while j < end:
+        if toks[j].text == "(":
+            depth += 1
+        elif toks[j].text == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+        j += 1
+    return end - 1
+
+
+def _sanctioned_spans(model: FileModel, span) -> list[tuple[int, int]]:
+    toks = model.tokens
+    spans = []
+    for k in range(span[0], span[1] - 1):
+        if toks[k].kind == "ident" and toks[k].text in _R3_SANCTIONED \
+                and toks[k + 1].text == "(":
+            spans.append((k, _matching_paren(toks, k + 1, span[1]) + 1))
+    return spans
+
+
+def _arg_has_time_quantity(model: FileModel, lo: int, hi: int,
+                           sanctioned) -> bool:
+    """True when tokens[lo:hi] contains a `.seconds()` escape-hatch read
+    outside any sanctioned rounding-helper call."""
+    toks = model.tokens
+    for k in range(lo, hi - 2):
+        if any(s <= k < e for s, e in sanctioned):
+            continue
+        if toks[k].text in (".", "->") and toks[k + 1].kind == "ident" \
+                and toks[k + 1].text == "seconds" \
+                and toks[k + 2].text == "(":
+            return True
+    return False
+
+
+def run_r3(model: FileModel, config, source_lines) -> list[Finding]:
+    toks = model.tokens
+    out: list[Finding] = []
+    whole = (0, len(toks))
+    sanctioned = _sanctioned_spans(model, whole)
+    k = 0
+    while k < len(toks) - 1:
+        t = toks[k]
+        if t.kind == "ident" and t.text in _R3_ROUNDERS \
+                and toks[k + 1].text == "(" \
+                and _is_free_call(model, k):
+            close = _matching_paren(toks, k + 1, len(toks))
+            if _arg_has_time_quantity(model, k + 2, close, sanctioned):
+                fn = _enclosing(model, k)
+                out.append(Finding(
+                    "R3", model.path, t.line,
+                    f"naked `{t.text}()` on a time quantity "
+                    "(argument reads Duration/TimePoint::seconds())",
+                    "snap through common/rounding.hpp (ceil_ratio, "
+                    "floor_snapped, floor_ratio_snapped) so a value one ULP "
+                    "off an integer cannot misclassify an interval index",
+                    _context(fn.qualname if fn else None, source_lines,
+                             t.line)))
+                k = close
+                continue
+        if t.kind == "ident" and t.text == "static_cast" \
+                and toks[k + 1].text == "<":
+            # collect the target type up to the matching '>'
+            j = k + 1
+            depth = 0
+            type_toks = []
+            while j < len(toks):
+                w = toks[j]
+                if w.text == "<":
+                    depth += 1
+                elif w.text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif depth >= 1:
+                    type_toks.append(w.text)
+                j += 1
+            if j + 1 < len(toks) and toks[j + 1].text == "(" and \
+                    any(w in _R3_INT_TYPES for w in type_toks):
+                close = _matching_paren(toks, j + 1, len(toks))
+                if _arg_has_time_quantity(model, j + 2, close, sanctioned):
+                    fn = _enclosing(model, k)
+                    out.append(Finding(
+                        "R3", model.path, t.line,
+                        "integer static_cast truncates a time quantity "
+                        "(operand reads Duration/TimePoint::seconds())",
+                        "round via common/rounding.hpp first, then cast the "
+                        "already-snapped integral value",
+                        _context(fn.qualname if fn else None, source_lines,
+                                 t.line)))
+                    k = close
+                    continue
+        k += 1
+    return out
+
+
+# --------------------------------------------------------------------------
+# R4: contracts coverage
+# --------------------------------------------------------------------------
+
+# A delegated `params.validate()` counts: the contract lives one call away
+# but the arguments are still checked before the mutation commits.
+_CONTRACT_TOKENS = frozenset({"CHENFD_EXPECTS", "CHENFD_ENSURES",
+                              "CHENFD_AUDIT", "expects", "ensures",
+                              "validate"})
+
+
+def run_r4(model: FileModel, config, source_lines,
+           decl_access: dict) -> list[Finding]:
+    r4cfg = config.get("r4", {})
+    paths = tuple(r4cfg.get("paths", []))
+    if paths and not model.path.startswith(paths):
+        return []
+    min_statements = int(r4cfg.get("min_statements", 2))
+    out: list[Finding] = []
+    for fn in model.functions:
+        if fn.kind != "function" or fn.is_const or fn.is_static:
+            continue
+        if fn.class_name is None or fn.in_anon:
+            continue  # free functions / TU-local helpers are not public API
+        access = (fn.access, fn.is_static) if fn.access is not None else None
+        if access is None:
+            decl = decl_access.get(fn.qualname)
+            if decl is None:
+                # try suffix match (cpp may carry a shorter namespace chain)
+                hits = [a for q, a in decl_access.items()
+                        if q.endswith(fn.qualname) or fn.qualname.endswith(q)]
+                decl = hits[0] if len(hits) == 1 else None
+            access = decl
+        if access is None or access[0] != "public" or access[1]:
+            continue  # non-public, or static per the in-class declaration
+        toks = model.tokens
+        semis = sum(1 for kk in range(fn.body[0], fn.body[1])
+                    if toks[kk].text == ";")
+        if semis < min_statements:
+            continue  # one-line setters have no precondition worth stating
+        has_contract = any(
+            toks[kk].kind == "ident" and toks[kk].text in _CONTRACT_TOKENS
+            for kk in range(fn.body[0], fn.body[1]))
+        if has_contract:
+            continue
+        out.append(Finding(
+            "R4", model.path, fn.line,
+            f"public mutating method `{fn.qualname}` has no "
+            "CHENFD_EXPECTS/ENSURES contract",
+            "state the method's pre/postconditions (common/check.hpp), or "
+            "suppress with a reason if it genuinely has none",
+            _context(fn.qualname, source_lines, fn.line)))
+    return out

@@ -1,0 +1,455 @@
+"""Structural source model for detlint.
+
+Builds, from the token stream of each file, the pieces the rules need:
+
+  * function definitions (qualified name, body token span, constness,
+    access section for methods, enclosing class),
+  * method *declarations* inside classes (so the access of an out-of-line
+    ``Class::method`` definition in a .cpp can be looked up from its header),
+  * declarations of ordering-hazardous containers (``std::unordered_map``,
+    ``std::unordered_set``, and pointer-keyed ``std::map``/``std::set``),
+  * a name-based call graph (caller qualname -> callee name tokens),
+    deliberately over-approximate: any identifier followed by ``(`` counts.
+
+The parser only classifies constructs at namespace/class scope; a function
+body is consumed as one balanced-brace token span, so statement-level braces
+(``if``/``for``/lambdas) never confuse it.  Heuristics are pinned by the
+corpus under tools/detlint/corpus/.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from cxxlex import KEYWORDS, Token
+
+_CONTROL = frozenset({"if", "for", "while", "switch", "catch", "return",
+                      "do", "else", "new", "delete", "sizeof", "case",
+                      "throw", "co_return", "co_yield", "co_await"})
+
+# Container types whose iteration order is not deterministic across runs /
+# implementations, or whose ordered iteration is keyed on pointer values
+# (deterministic within one process, but not across processes or runs —
+# exactly what the bit-identical --jobs guarantee forbids).
+_UNORDERED_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(unordered_map|unordered_set|unordered_multimap|"
+    r"unordered_multiset)\b")
+_PTR_KEYED_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(map|set|multimap|multiset)\s*<[^,>]*\*")
+
+
+@dataclass
+class Function:
+    qualname: str          # e.g. "chenfd::SampleSet::merge"
+    name: str              # last component, e.g. "merge"
+    class_name: str | None  # enclosing (or qualifier) class, if any
+    access: str | None     # 'public'/'protected'/'private' for in-class defs
+    is_const: bool
+    is_static: bool
+    kind: str              # 'function' | 'ctor' | 'dtor' | 'operator'
+    in_anon: bool          # defined inside an anonymous namespace
+    line: int
+    body: tuple[int, int]  # [start, end) token indices of the body incl. {}
+    head: tuple[int, int]  # [start, end) token indices of the declaration head
+
+
+@dataclass
+class MethodDecl:
+    qualname: str
+    access: str
+    is_const: bool
+    is_static: bool
+
+
+@dataclass
+class HazardDecl:
+    name: str              # variable name
+    type_text: str
+    line: int
+    owner: str | None      # qualname of owning function, or class for members
+
+
+@dataclass
+class FileModel:
+    path: str
+    tokens: list[Token]
+    comments: list
+    functions: list[Function] = field(default_factory=list)
+    method_decls: list[MethodDecl] = field(default_factory=list)
+    hazards: list[HazardDecl] = field(default_factory=list)
+
+
+def _head_text(tokens: list[Token], span: tuple[int, int]) -> str:
+    return " ".join(t.text for t in tokens[span[0]:span[1]])
+
+
+def _match_brace(tokens: list[Token], open_idx: int) -> int:
+    """Index just past the '}' matching tokens[open_idx] == '{'."""
+    depth = 0
+    i = open_idx
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        i += 1
+    return n
+
+
+def _extract_callable_name(tokens: list[Token], head: tuple[int, int]):
+    """Finds the `name(` of a function head.  Returns (name_parts, paren_idx)
+    or (None, None).  name_parts is the ::-separated component list."""
+    depth_p = depth_a = 0
+    i = head[0]
+    candidates = []
+    while i < head[1]:
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.text == "(":
+                if depth_p == 0 and depth_a == 0 and candidates:
+                    return candidates, i
+                depth_p += 1
+            elif t.text == ")":
+                depth_p = max(0, depth_p - 1)
+            elif t.text == "<" and depth_p == 0:
+                # Template argument list of the *name* only matters between
+                # the name and its '('; approximate by bracket counting.
+                depth_a += 1
+            elif t.text == ">" and depth_p == 0 and depth_a > 0:
+                depth_a -= 1
+        if depth_p == 0 and depth_a == 0:
+            if t.kind == "ident" and t.text == "operator":
+                # Collect the operator token(s) up to '('.
+                parts = [t.text]
+                j = i + 1
+                while j < head[1] and not (tokens[j].kind == "punct"
+                                           and tokens[j].text == "("):
+                    parts.append(tokens[j].text)
+                    j += 1
+                # `operator()` names the call operator: its '(' pair belongs
+                # to the *name*; the parameter list opens after it.
+                if (j + 1 < head[1] and tokens[j].text == "("
+                        and tokens[j + 1].text == ")"
+                        and "".join(parts) == "operator"):
+                    parts.append("()")
+                    j += 2
+                    while j < head[1] and not (tokens[j].kind == "punct"
+                                               and tokens[j].text == "("):
+                        j += 1
+                candidates = ["".join(parts)]
+                if j < head[1]:
+                    return candidates, j
+                return None, None
+            if t.kind == "ident" and t.text not in KEYWORDS:
+                if (candidates and i >= 2
+                        and tokens[i - 1].text == "::"):
+                    candidates.append(t.text)
+                else:
+                    candidates = [t.text]
+            elif t.kind == "punct" and t.text == "~" and candidates == []:
+                candidates = ["~"]
+            elif t.kind == "punct" and t.text == "~":
+                if i >= 1 and tokens[i - 1].text == "::":
+                    candidates.append("~")
+            elif t.kind == "punct" and t.text == "::":
+                pass
+            elif t.kind == "punct" and t.text in {"&", "*", "[", "]"}:
+                pass
+        i += 1
+    return None, None
+
+
+def _merge_tilde(parts: list[str]) -> list[str]:
+    out: list[str] = []
+    for p in parts:
+        if out and out[-1] == "~":
+            out[-1] = "~" + p
+        else:
+            out.append(p)
+    return out
+
+
+def _const_after_params(tokens: list[Token], head: tuple[int, int],
+                        paren: int | None) -> bool:
+    """True when 'const' qualifies the method (appears after the parameter
+    list's closing ')', before the body / end of head)."""
+    if paren is None:
+        return False
+    depth = 0
+    k = paren
+    while k < head[1]:
+        if tokens[k].text == "(":
+            depth += 1
+        elif tokens[k].text == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        k += 1
+    j = k + 1
+    while j < head[1]:
+        w = tokens[j]
+        if w.kind == "ident" and w.text == "const":
+            return True
+        if w.kind == "ident" and w.text in ("noexcept", "override", "final"):
+            j += 1
+            continue
+        if w.kind == "punct" and w.text == "(":
+            d = 0
+            while j < head[1]:  # noexcept(...) operand
+                if tokens[j].text == "(":
+                    d += 1
+                elif tokens[j].text == ")":
+                    d -= 1
+                    if d == 0:
+                        break
+                j += 1
+            j += 1
+            continue
+        if w.kind == "punct" and w.text in ("->", "&", "&&"):
+            j += 1
+            continue
+        break
+    return False
+
+
+class _Scope:
+    def __init__(self, kind: str, name: str, access: str | None = None):
+        self.kind = kind          # 'namespace' | 'class' | 'skip'
+        self.name = name
+        self.access = access      # current access section for classes
+
+
+def parse_file(path: str, tokens: list[Token], comments) -> FileModel:
+    model = FileModel(path=path, tokens=tokens, comments=comments)
+    scopes: list[_Scope] = []
+    i = 0
+    n = len(tokens)
+
+    def qual_prefix() -> str:
+        names = [s.name for s in scopes
+                 if s.kind in ("namespace", "class") and s.name]
+        return "::".join(names)
+
+    def enclosing_class() -> _Scope | None:
+        for s in reversed(scopes):
+            if s.kind == "class":
+                return s
+        return None
+
+    while i < n:
+        t = tokens[i]
+        if t.in_pp:
+            i += 1
+            continue
+        if t.kind == "punct" and t.text == "}":
+            if scopes:
+                scopes.pop()
+            i += 1
+            continue
+
+        cls = enclosing_class()
+        if (cls is not None and t.kind == "ident"
+                and t.text in ("public", "protected", "private")
+                and i + 1 < n and tokens[i + 1].text == ":"):
+            cls.access = t.text
+            i += 2
+            continue
+
+        # Accumulate a declaration head until ';' or '{' at depth 0.
+        start = i
+        depth_p = 0
+        saw_eq_at_top = False
+        while i < n:
+            t = tokens[i]
+            if t.in_pp:
+                i += 1
+                continue
+            if t.kind == "punct":
+                if t.text in "([":
+                    depth_p += 1
+                elif t.text in ")]":
+                    depth_p = max(0, depth_p - 1)
+                elif t.text == "=" and depth_p == 0:
+                    saw_eq_at_top = True
+                elif t.text == ";" and depth_p == 0:
+                    break
+                elif t.text == "{" and depth_p == 0:
+                    break
+                elif t.text == "}" and depth_p == 0:
+                    break  # stray close: let outer loop pop the scope
+            i += 1
+        head = (start, i)
+        head_words = [tokens[k].text for k in range(start, i)
+                      if tokens[k].kind == "ident"]
+
+        if i >= n or tokens[i].text in (";", "}"):
+            # Pure declaration (no body).  Record hazardous member/global
+            # declarations and in-class method declarations.
+            _record_decls(model, tokens, head, head_words,
+                          enclosing_class(), qual_prefix())
+            cls = enclosing_class()
+            if cls is not None and head[1] > head[0]:
+                name_parts, paren = _extract_callable_name(tokens, head)
+                if name_parts is not None and \
+                        name_parts[0] not in _CONTROL:
+                    name_parts = _merge_tilde(name_parts)
+                    prefix = qual_prefix()
+                    qual = "::".join(([prefix] if prefix else [])
+                                     + name_parts)
+                    is_const = _const_after_params(tokens, head, paren)
+                    model.method_decls.append(MethodDecl(
+                        qualname=qual, access=cls.access or "public",
+                        is_const=is_const,
+                        is_static="static" in head_words[:6]))
+            if i < n and tokens[i].text == ";":
+                i += 1
+            continue
+
+        # tokens[i] == '{' : classify the construct that owns this body.
+        if "namespace" in head_words:
+            parts = [w for w in head_words
+                     if w not in ("namespace", "inline")]
+            scopes.append(_Scope("namespace", "::".join(parts)))
+            i += 1
+            continue
+        is_record = any(w in ("class", "struct", "union") for w in head_words)
+        has_enum = "enum" in head_words
+        name_parts, paren = (None, None)
+        if not saw_eq_at_top and not has_enum:
+            name_parts, paren = _extract_callable_name(tokens, head)
+        if name_parts is not None and name_parts[0] in _CONTROL:
+            name_parts, paren = None, None
+        if has_enum or (is_record and name_parts is None):
+            if has_enum:
+                end = _match_brace(tokens, i)
+                i = end
+                continue
+            # class/struct definition
+            name = ""
+            for k in range(head[1] - 1, head[0] - 1, -1):
+                w = tokens[k]
+                if w.kind == "ident" and w.text in ("class", "struct",
+                                                    "union"):
+                    break
+                if w.text == ":":  # inheritance list: name precedes it
+                    continue
+            # take the identifier right after class/struct (skipping
+            # attributes and export macros is overkill here)
+            for k in range(head[0], head[1]):
+                if tokens[k].kind == "ident" and tokens[k].text in (
+                        "class", "struct", "union"):
+                    for j in range(k + 1, head[1]):
+                        if tokens[j].kind == "ident" and \
+                                tokens[j].text not in KEYWORDS:
+                            name = tokens[j].text
+                        elif tokens[j].text in (":", "{", "final"):
+                            break
+                        else:
+                            continue
+                        break
+                    break
+            default_access = "private" if "class" in head_words else "public"
+            scopes.append(_Scope("class", name, default_access))
+            i += 1
+            continue
+        if name_parts is None:
+            # Brace-initialised variable, lambda assignment, extern "C" {,
+            # requires-clause, ... : skip the balanced body conservatively,
+            # except extern "C" which is transparent.
+            if head_words == ["extern"] or (
+                    head_words and head_words[0] == "extern"
+                    and len(head_words) == 1):
+                scopes.append(_Scope("namespace", ""))
+                i += 1
+                continue
+            end = _match_brace(tokens, i)
+            # still record hazardous decls like `std::unordered_map<...> m{};`
+            _record_decls(model, tokens, head, head_words,
+                          enclosing_class(), qual_prefix())
+            i = end
+            continue
+
+        # Function definition.
+        name_parts = _merge_tilde(name_parts)
+        fname = name_parts[-1]
+        cls = enclosing_class()
+        class_name = cls.name if cls else (
+            name_parts[-2] if len(name_parts) >= 2 else None)
+        prefix = qual_prefix()
+        qual = "::".join(([prefix] if prefix else []) + name_parts)
+        kind = "function"
+        if fname.startswith("~"):
+            kind = "dtor"
+        elif fname.startswith("operator"):
+            kind = "operator"
+        elif class_name is not None and fname == class_name:
+            kind = "ctor"
+        is_const = _const_after_params(tokens, head, paren)
+        is_static = "static" in head_words[:6]
+        in_anon = any(s.kind == "namespace" and s.name == "" for s in scopes)
+        body_end = _match_brace(tokens, i)
+        model.functions.append(Function(
+            qualname=qual, name=fname, class_name=class_name,
+            access=(cls.access if cls else None), is_const=is_const,
+            is_static=is_static, kind=kind, in_anon=in_anon,
+            line=tokens[start].line, body=(i, body_end), head=head))
+        # Hazardous locals are found by the rules via a body scan; members
+        # and params declared in the head still get recorded here.
+        _record_decls(model, tokens, head, head_words, cls, prefix,
+                      owner=qual)
+        i = body_end
+
+    return model
+
+
+def _record_decls(model: FileModel, tokens, head, head_words, cls,
+                  prefix: str, owner: str | None = None):
+    text = _head_text(tokens, head)
+    if not (_UNORDERED_RE.search(text) or _PTR_KEYED_RE.search(text)):
+        return
+    # Variable name: last plain identifier before '=', '{', or end.
+    name = None
+    for k in range(head[1] - 1, head[0] - 1, -1):
+        t = tokens[k]
+        if t.kind == "punct" and t.text in ("=", "{"):
+            name = None
+            continue
+        if t.kind == "ident" and t.text not in KEYWORDS:
+            name = t.text
+            break
+        if t.kind == "punct" and t.text in (">", ")", "&", "*"):
+            break
+    if name is None:
+        return
+    own = owner if owner is not None else (
+        "::".join(p for p in (prefix,) if p) or None)
+    model.hazards.append(HazardDecl(
+        name=name, type_text=text[:120], line=tokens[head[0]].line,
+        owner=own))
+
+
+def body_tokens(model: FileModel, fn: Function) -> list[Token]:
+    return model.tokens[fn.body[0]:fn.body[1]]
+
+
+def called_names(model: FileModel, fn: Function) -> set[str]:
+    """Names referenced as calls inside fn's body (over-approximate)."""
+    toks = model.tokens
+    out: set[str] = set()
+    for k in range(fn.body[0], fn.body[1] - 1):
+        t = toks[k]
+        if t.kind != "ident" or t.text in KEYWORDS or t.text in _CONTROL:
+            continue
+        if toks[k + 1].kind == "punct" and toks[k + 1].text == "(":
+            out.add(t.text)
+            # qualified form A::b -> record "A::b" too
+            if k >= 2 and toks[k - 1].text == "::" and \
+                    toks[k - 2].kind == "ident":
+                out.add(toks[k - 2].text + "::" + t.text)
+    return out

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Self-tests for detlint: corpus expectations, suppression mechanics,
+baseline round trips, and the clang-ast engine gate.  Wired into ctest as
+`detlint_selftest` (tools/CMakeLists.txt); runnable standalone:
+
+    python3 tools/detlint/test_detlint.py -v
+
+Corpus contract: every finding detlint emits over tools/detlint/corpus must
+be pinned by an `// EXPECT: <rules>` marker on the same line (or an
+`// EXPECT-NEXT: <rules>` marker on the previous line), and every marker
+must be hit — no extra findings, no missing ones.
+"""
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DETLINT = os.path.join(HERE, "detlint.py")
+CORPUS = os.path.join(HERE, "corpus")
+
+_EXPECT_RE = re.compile(r"//\s*EXPECT(?P<next>-NEXT)?:\s*(?P<rules>[\w*,\s]+)")
+
+
+def run_detlint(args, cwd=None):
+    proc = subprocess.run(
+        [sys.executable, DETLINT] + args,
+        capture_output=True, text=True, cwd=cwd)
+    return proc
+
+
+def corpus_expectations():
+    expected = set()
+    for dirpath, _dirnames, filenames in os.walk(CORPUS):
+        for name in sorted(filenames):
+            if not name.endswith((".cpp", ".hpp", ".h", ".cc")):
+                continue
+            full = os.path.join(dirpath, name)
+            rel = os.path.relpath(full, CORPUS)
+            with open(full, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    m = _EXPECT_RE.search(line)
+                    if not m:
+                        continue
+                    target = lineno + 1 if m.group("next") else lineno
+                    for rule in m.group("rules").split(","):
+                        rule = rule.strip()
+                        if rule:
+                            expected.add((rel, target, rule))
+    return expected
+
+
+class CorpusTest(unittest.TestCase):
+    """Every rule family has a known-bad and a known-good corpus file; the
+    finding set must equal the marker set exactly."""
+
+    def test_corpus_matches_markers(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            listing = os.path.join(tmp, "findings.json")
+            proc = run_detlint([
+                "--root", CORPUS,
+                "--config", os.path.join(CORPUS, "detlint.json"),
+                "--baseline", "none",
+                "--list", listing,
+            ])
+            self.assertEqual(proc.returncode, 1,
+                             f"corpus has known-bad files, expected exit 1:"
+                             f"\n{proc.stdout}\n{proc.stderr}")
+            with open(listing, encoding="utf-8") as f:
+                findings = {(e["path"], e["line"], e["rule"])
+                            for e in json.load(f)}
+        expected = corpus_expectations()
+        self.assertTrue(expected, "corpus has no EXPECT markers?")
+        missing = expected - findings
+        extra = findings - expected
+        self.assertFalse(
+            missing | extra,
+            f"corpus mismatch — missing: {sorted(missing)}, "
+            f"unexpected: {sorted(extra)}")
+
+    def test_every_rule_has_bad_and_good_files(self):
+        expected = corpus_expectations()
+        rules_hit = {r for (_p, _l, r) in expected}
+        for rule in ("R1", "R2", "R3", "R4"):
+            self.assertIn(rule, rules_hit,
+                          f"{rule} has no known-bad corpus coverage")
+            good = os.path.join(
+                CORPUS, "src", "core", f"{rule.lower()}_good")
+            self.assertTrue(
+                os.path.exists(good + ".cpp") or os.path.exists(
+                    good + ".hpp"),
+                f"{rule} has no known-good corpus file")
+
+    def test_suppressed_findings_do_not_fail(self):
+        # The two valid suppressions in suppress.cpp must be counted as
+        # suppressed, and suppressing them is what keeps their lines out of
+        # the marker set.
+        proc = run_detlint([
+            "--root", CORPUS,
+            "--config", os.path.join(CORPUS, "detlint.json"),
+            "--baseline", "none",
+        ])
+        self.assertIn("2 suppressed", proc.stdout)
+
+
+class BaselineTest(unittest.TestCase):
+    """--write-baseline / baseline matching round trip, and the incremental
+    adoption story: old findings baselined, new findings still fail."""
+
+    def _mini_project(self, tmp):
+        src = os.path.join(tmp, "src")
+        os.makedirs(src)
+        with open(os.path.join(src, "old.cpp"), "w",
+                  encoding="utf-8") as f:
+            f.write("#include <cstdlib>\n"
+                    "namespace p {\n"
+                    "int legacy() { return std::rand(); }\n"
+                    "}  // namespace p\n")
+        with open(os.path.join(tmp, "detlint.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump({"paths": ["src"], "exclude": []}, f)
+        return src
+
+    def test_round_trip(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = self._mini_project(tmp)
+            baseline = os.path.join(tmp, "baseline.json")
+            config = os.path.join(tmp, "detlint.json")
+            base_args = ["--root", tmp, "--config", config,
+                         "--baseline", baseline]
+
+            # Without a baseline the legacy finding fails the run.
+            proc = run_detlint(base_args)
+            self.assertEqual(proc.returncode, 1, proc.stdout)
+
+            # Writing a baseline accepts it ...
+            proc = run_detlint(base_args + ["--write-baseline"])
+            self.assertEqual(proc.returncode, 0, proc.stdout)
+            with open(baseline, encoding="utf-8") as f:
+                entries = json.load(f)
+            self.assertEqual(len(entries), 1)
+            self.assertEqual(entries[0]["rule"], "R1")
+
+            # ... so the same tree now passes, with the finding reported as
+            # baselined rather than open.
+            proc = run_detlint(base_args)
+            self.assertEqual(proc.returncode, 0, proc.stdout)
+            self.assertIn("1 baselined", proc.stdout)
+
+            # A new violation in a fresh file still fails; the baselined one
+            # stays accepted.
+            with open(os.path.join(src, "new.cpp"), "w",
+                      encoding="utf-8") as f:
+                f.write("#include <cstdlib>\n"
+                        "namespace p {\n"
+                        "int fresh() { return std::rand(); }\n"
+                        "}  // namespace p\n")
+            proc = run_detlint(base_args)
+            self.assertEqual(proc.returncode, 1, proc.stdout)
+            self.assertIn("new.cpp", proc.stdout)
+            self.assertNotIn("old.cpp:", proc.stdout.split("hint")[0])
+
+    def test_baseline_survives_line_drift(self):
+        # Keys are (rule, path, function, normalized line text): inserting
+        # lines above the finding must not invalidate the baseline.
+        with tempfile.TemporaryDirectory() as tmp:
+            src = self._mini_project(tmp)
+            baseline = os.path.join(tmp, "baseline.json")
+            config = os.path.join(tmp, "detlint.json")
+            base_args = ["--root", tmp, "--config", config,
+                         "--baseline", baseline]
+            run_detlint(base_args + ["--write-baseline"])
+            old = os.path.join(src, "old.cpp")
+            with open(old, encoding="utf-8") as f:
+                text = f.read()
+            with open(old, "w", encoding="utf-8") as f:
+                f.write("// three\n// new\n// lines\n" + text)
+            proc = run_detlint(base_args)
+            self.assertEqual(proc.returncode, 0,
+                             f"line drift broke the baseline:\n"
+                             f"{proc.stdout}")
+
+    def test_malformed_baseline_is_a_clear_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self._mini_project(tmp)
+            baseline = os.path.join(tmp, "baseline.json")
+            with open(baseline, "w", encoding="utf-8") as f:
+                f.write('{"not": "a list"}\n')
+            proc = run_detlint(["--root", tmp,
+                                "--config",
+                                os.path.join(tmp, "detlint.json"),
+                                "--baseline", baseline])
+            self.assertEqual(proc.returncode, 2)
+            self.assertIn("baseline", proc.stderr)
+
+
+class EngineGateTest(unittest.TestCase):
+    def test_clang_ast_engine_is_gated(self):
+        if shutil.which("clang") is not None:
+            self.skipTest("clang present; gate message not applicable")
+        proc = run_detlint(["--engine", "clang-ast", "--root", CORPUS,
+                            "--config",
+                            os.path.join(CORPUS, "detlint.json")])
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("clang", proc.stderr)
+
+
+class RepoCleanTest(unittest.TestCase):
+    """The committed tree must be clean: zero unsuppressed findings over
+    src/, tools/ and bench/ with the committed config and baseline."""
+
+    def test_repo_is_clean(self):
+        root = os.path.dirname(os.path.dirname(HERE))
+        proc = run_detlint(["--root", root])
+        self.assertEqual(
+            proc.returncode, 0,
+            f"detlint found unsuppressed violations:\n{proc.stdout}")
+
+
+if __name__ == "__main__":
+    unittest.main()

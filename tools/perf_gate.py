@@ -30,6 +30,7 @@ re-baseline.
 """
 
 import json
+import math
 import os
 import sys
 
@@ -38,15 +39,55 @@ DEFAULT_BASELINE = os.path.join(
     "bench", "BENCH_fastsim_baseline.json")
 
 
-def load_engines(path):
+def load_engines(path, *, missing_ok=False):
+    """Parse {"engines": [{"name": ..., "items_per_sec": ...}, ...]}.
+
+    Every entry is validated individually so a hand-edited or truncated
+    baseline produces a message naming the offending entry instead of a
+    KeyError traceback.  With missing_ok a nonexistent file returns None
+    (the caller treats it as "nothing to gate against").
+    """
+    if missing_ok and not os.path.exists(path):
+        return None
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, ValueError) as err:
         print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
         sys.exit(2)
-    engines = {e["name"]: float(e["items_per_sec"])
-               for e in doc.get("engines", [])}
+    if not isinstance(doc, dict) or not isinstance(doc.get("engines"), list):
+        print(f"perf_gate: {path}: expected an object with an "
+              "\"engines\" list", file=sys.stderr)
+        sys.exit(2)
+    engines = {}
+    for i, e in enumerate(doc["engines"]):
+        where = f"{path}: engines[{i}]"
+        if not isinstance(e, dict):
+            print(f"perf_gate: {where} is not an object", file=sys.stderr)
+            sys.exit(2)
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            print(f"perf_gate: {where} has no \"name\"", file=sys.stderr)
+            sys.exit(2)
+        if name in engines:
+            print(f"perf_gate: {where} duplicates engine \"{name}\"",
+                  file=sys.stderr)
+            sys.exit(2)
+        try:
+            rate = float(e["items_per_sec"])
+        except KeyError:
+            print(f"perf_gate: {where} (\"{name}\") has no "
+                  "\"items_per_sec\"", file=sys.stderr)
+            sys.exit(2)
+        except (TypeError, ValueError):
+            print(f"perf_gate: {where} (\"{name}\"): items_per_sec "
+                  f"{e['items_per_sec']!r} is not a number", file=sys.stderr)
+            sys.exit(2)
+        if not math.isfinite(rate) or rate <= 0.0:
+            print(f"perf_gate: {where} (\"{name}\"): items_per_sec must be "
+                  f"finite and > 0, got {rate!r}", file=sys.stderr)
+            sys.exit(2)
+        engines[name] = rate
     if not engines:
         print(f"perf_gate: no engines in {path}", file=sys.stderr)
         sys.exit(2)
@@ -59,11 +100,24 @@ def main(argv):
         return 2
     fresh_path = argv[1]
     baseline_path = argv[2] if len(argv) == 3 else DEFAULT_BASELINE
-    threshold = float(os.environ.get("CHENFD_PERF_GATE_THRESHOLD", "0.20"))
+    try:
+        threshold = float(
+            os.environ.get("CHENFD_PERF_GATE_THRESHOLD", "0.20"))
+    except ValueError:
+        print("perf_gate: CHENFD_PERF_GATE_THRESHOLD is not a number",
+              file=sys.stderr)
+        return 2
     skip = os.environ.get("CHENFD_PERF_GATE_SKIP") == "1"
 
     fresh = load_engines(fresh_path)
-    baseline = load_engines(baseline_path)
+    # A missing baseline is not an error: a fresh fork or a machine that has
+    # never been re-baselined has nothing to gate against yet.  Engines the
+    # baseline lacks are likewise reported, not failed, below.
+    baseline = load_engines(baseline_path, missing_ok=True)
+    if baseline is None:
+        print(f"perf_gate: no baseline at {baseline_path} — nothing to "
+              "compare.  Commit one (see the header) to arm the gate.")
+        return 0
 
     failed = []
     print(f"perf_gate: threshold {threshold:.0%} "

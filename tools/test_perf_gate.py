@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/perf_gate.py — wired into ctest as
+`perf_gate_selftest`; runnable standalone:
+
+    python3 tools/test_perf_gate.py -v
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+PERF_GATE = os.path.join(HERE, "perf_gate.py")
+
+
+def bench_doc(**rates):
+    return {"engines": [{"name": n, "items_per_sec": r}
+                        for n, r in rates.items()]}
+
+
+class PerfGateTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+
+    def path_for(self, name, doc):
+        path = os.path.join(self._tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(doc, str):
+                f.write(doc)
+            else:
+                json.dump(doc, f)
+        return path
+
+    def run_gate(self, fresh, baseline=None, env_extra=None):
+        env = {k: v for k, v in os.environ.items()
+               if not k.startswith("CHENFD_PERF_GATE")}
+        env.update(env_extra or {})
+        args = [sys.executable, PERF_GATE, fresh]
+        if baseline is not None:
+            args.append(baseline)
+        return subprocess.run(args, capture_output=True, text=True, env=env)
+
+    def test_pass_within_threshold(self):
+        fresh = self.path_for("fresh.json", bench_doc(mono=0.9e6, multi=2e6))
+        base = self.path_for("base.json", bench_doc(mono=1e6, multi=2e6))
+        proc = self.run_gate(fresh, base)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("PASS", proc.stdout)
+
+    def test_regression_fails(self):
+        fresh = self.path_for("fresh.json", bench_doc(mono=0.5e6))
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        proc = self.run_gate(fresh, base)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_skip_env_reports_but_passes(self):
+        fresh = self.path_for("fresh.json", bench_doc(mono=0.5e6))
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        proc = self.run_gate(fresh, base,
+                             env_extra={"CHENFD_PERF_GATE_SKIP": "1"})
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)  # still reported
+
+    def test_threshold_env_is_honored(self):
+        fresh = self.path_for("fresh.json", bench_doc(mono=0.7e6))
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        self.assertEqual(self.run_gate(fresh, base).returncode, 1)
+        proc = self.run_gate(
+            fresh, base, env_extra={"CHENFD_PERF_GATE_THRESHOLD": "0.40"})
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_bad_threshold_env_is_a_clear_error(self):
+        fresh = self.path_for("fresh.json", bench_doc(mono=1e6))
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        proc = self.run_gate(
+            fresh, base, env_extra={"CHENFD_PERF_GATE_THRESHOLD": "fast"})
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("THRESHOLD", proc.stderr)
+
+    def test_missing_baseline_file_is_inert_not_fatal(self):
+        fresh = self.path_for("fresh.json", bench_doc(mono=1e6))
+        missing = os.path.join(self._tmp.name, "nonexistent.json")
+        proc = self.run_gate(fresh, missing)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("no baseline", proc.stdout)
+
+    def test_missing_fresh_file_is_fatal(self):
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        proc = self.run_gate(os.path.join(self._tmp.name, "nope.json"), base)
+        self.assertEqual(proc.returncode, 2)
+
+    def test_partial_baseline_gates_known_engines_only(self):
+        # Engines the baseline has never seen are reported, not failed; the
+        # regression in the known engine still fails the run.
+        fresh = self.path_for("fresh.json",
+                              bench_doc(mono=0.5e6, newengine=9e6))
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        proc = self.run_gate(fresh, base)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("new engine", proc.stdout)
+        # And with the known engine healthy, the unknown one cannot fail it.
+        fresh_ok = self.path_for("fresh_ok.json",
+                                 bench_doc(mono=1e6, newengine=9e6))
+        self.assertEqual(self.run_gate(fresh_ok, base).returncode, 0)
+
+    def test_engine_missing_from_fresh_fails(self):
+        fresh = self.path_for("fresh.json", bench_doc(mono=1e6))
+        base = self.path_for("base.json", bench_doc(mono=1e6, multi=2e6))
+        proc = self.run_gate(fresh, base)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("MISSING", proc.stdout)
+
+    def test_entry_without_items_per_sec_names_the_entry(self):
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        fresh = self.path_for(
+            "fresh.json", {"engines": [{"name": "mono"}]})
+        proc = self.run_gate(fresh, base)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("engines[0]", proc.stderr)
+        self.assertIn("items_per_sec", proc.stderr)
+
+    def test_entry_without_name_names_the_index(self):
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        fresh = self.path_for(
+            "fresh.json", {"engines": [{"items_per_sec": 1e6}]})
+        proc = self.run_gate(fresh, base)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("engines[0]", proc.stderr)
+
+    def test_non_numeric_rate_is_a_clear_error(self):
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        fresh = self.path_for(
+            "fresh.json",
+            {"engines": [{"name": "mono", "items_per_sec": "quick"}]})
+        proc = self.run_gate(fresh, base)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("not a number", proc.stderr)
+
+    def test_nonpositive_rate_is_a_clear_error(self):
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        fresh = self.path_for(
+            "fresh.json",
+            {"engines": [{"name": "mono", "items_per_sec": 0.0}]})
+        proc = self.run_gate(fresh, base)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("finite and > 0", proc.stderr)
+
+    def test_duplicate_engine_is_a_clear_error(self):
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        fresh = self.path_for(
+            "fresh.json",
+            {"engines": [{"name": "mono", "items_per_sec": 1e6},
+                         {"name": "mono", "items_per_sec": 2e6}]})
+        proc = self.run_gate(fresh, base)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("duplicates", proc.stderr)
+
+    def test_malformed_json_is_a_clear_error(self):
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        fresh = self.path_for("fresh.json", "{not json")
+        proc = self.run_gate(fresh, base)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("cannot read", proc.stderr)
+
+    def test_wrong_shape_is_a_clear_error(self):
+        base = self.path_for("base.json", bench_doc(mono=1e6))
+        fresh = self.path_for("fresh.json", {"engines": "mono"})
+        proc = self.run_gate(fresh, base)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("engines", proc.stderr)
+
+    def test_committed_baseline_still_parses(self):
+        # The real committed baseline must stay loadable by the validator.
+        committed = os.path.join(
+            os.path.dirname(HERE), "bench", "BENCH_fastsim_baseline.json")
+        fresh = self.path_for("fresh.json", bench_doc(mono=1e15, multi=1e15))
+        proc = self.run_gate(fresh, committed)
+        self.assertNotEqual(proc.returncode, 2,
+                            proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
