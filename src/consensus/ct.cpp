@@ -27,6 +27,19 @@ CtProcess::CtProcess(sim::Simulator& simulator, Transport& transport,
                      std::size_t n, std::int64_t proposal)
     : CtProcess(simulator, transport, oracle, id, n, proposal, Options{}) {}
 
+ProcessId CtProcess::coordinator_of(std::uint64_t round) const {
+  // A valid leader hint overrides the rotation; an empty or out-of-range
+  // hint (election still converging) falls back to it, so termination
+  // never depends on the hint being well-behaved.
+  if (options_.leader_hint) {
+    if (const std::optional<ProcessId> hinted = options_.leader_hint();
+        hinted.has_value() && *hinted < n_) {
+      return *hinted;
+    }
+  }
+  return static_cast<ProcessId>((round - 1) % n_);
+}
+
 std::int64_t CtProcess::decision() const {
   expects(decision_.has_value(), "CtProcess::decision: not decided yet");
   return *decision_;
@@ -116,12 +129,18 @@ void CtProcess::on_select(const Message& m) {
   ack.type = Message::Type::kAck;
   ack.from = id_;
   ack.round = round_;
-  transport_.send(coordinator_of(round_), ack);
+  // ACK the coordinator that actually sent the SELECT: identical to
+  // coordinator_of(round_) under the rotation, and the only correct
+  // addressee when a leader hint changed mid-round.
+  transport_.send(m.from, ack);
   begin_round(round_ + 1);
 }
 
 void CtProcess::coordinator_on_estimate(const Message& m) {
-  expects(coordinator_of(m.round) == id_,
+  // Under a rotation the addressing is static and checkable; under hints
+  // two processes may briefly disagree on the leader, so a coordinator
+  // accepts whatever estimates were addressed to it.
+  expects(options_.leader_hint != nullptr || coordinator_of(m.round) == id_,
           "CtProcess: received an ESTIMATE addressed to another coordinator");
   auto& cr = coordinator_rounds_[m.round];
   if (cr.select_sent) return;
@@ -145,7 +164,7 @@ void CtProcess::coordinator_on_estimate(const Message& m) {
 }
 
 void CtProcess::coordinator_on_reply(const Message& m) {
-  expects(coordinator_of(m.round) == id_,
+  expects(options_.leader_hint != nullptr || coordinator_of(m.round) == id_,
           "CtProcess: received a reply addressed to another coordinator");
   auto& cr = coordinator_rounds_[m.round];
   if (cr.done) return;

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -49,6 +50,17 @@ class CtProcess {
     Duration suspicion_poll = seconds(0.05);
     /// Safety valve for runaway executions (0 = unlimited).
     std::uint64_t max_rounds = 0;
+    /// Optional Omega-style leader hint (election::Elector output): when
+    /// set and returning a valid id, that process coordinates *every*
+    /// round instead of the static rotation c_r = (r-1) mod n.  Under a
+    /// stable leader the first coordinator is already a correct process,
+    /// so no round is burned detecting a crashed one — the QoS payoff the
+    /// election service exists for.  Safety is untouched (any coordinator
+    /// choice preserves validity and agreement; only termination needs the
+    /// hints to eventually converge, which Omega guarantees).  With
+    /// divergent hints a process may receive coordinator traffic it did
+    /// not expect; such messages are handled rather than rejected.
+    std::function<std::optional<ProcessId>()> leader_hint;
   };
 
   CtProcess(sim::Simulator& simulator, Transport& transport,
@@ -83,9 +95,7 @@ class CtProcess {
     bool done = false;  // decided or aborted
   };
 
-  [[nodiscard]] ProcessId coordinator_of(std::uint64_t round) const {
-    return static_cast<ProcessId>((round - 1) % n_);
-  }
+  [[nodiscard]] ProcessId coordinator_of(std::uint64_t round) const;
 
   void begin_round(std::uint64_t round);
   void on_message(const Message& m, TimePoint at);

@@ -108,6 +108,7 @@ void HeartbeatSender::send_next() {
   m.seq = next_seq_++;
   m.sent_real = now;
   m.sender_timestamp = clock_.local(now);
+  m.incarnation = recoveries_;
   link_.send(m);
   pending_send_ = sim_.after(eta_, [this] { send_next(); });
 }

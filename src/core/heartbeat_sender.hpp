@@ -65,6 +65,10 @@ class HeartbeatSender {
   }
   /// Number of recoveries that have taken effect.
   [[nodiscard]] std::size_t recoveries() const { return recoveries_; }
+  /// The incarnation number stamped into outgoing heartbeats: 0 for the
+  /// first life, bumped on every recovery.  Receivers discriminate stale
+  /// in-flight heartbeats of a previous life by comparing incarnations.
+  [[nodiscard]] std::uint64_t incarnation() const { return recoveries_; }
   [[nodiscard]] net::SeqNo next_seq() const { return next_seq_; }
   [[nodiscard]] Duration eta() const { return eta_; }
 

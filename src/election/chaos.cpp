@@ -1,0 +1,347 @@
+#include "election/chaos.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chenfd::election {
+
+double LeaderChaosSchedule::intensity_per_hour() const {
+  const double faults =
+      static_cast<double>(crash_cycles + isolations + elector_restarts);
+  return faults / (horizon.seconds() / 3600.0);
+}
+
+fault::FaultPlan LeaderChaosSchedule::sample(Rng& rng) const {
+  fault::FaultPlan plan;
+  const std::size_t total = crash_cycles + isolations + elector_restarts;
+  if (total == 0) return plan;
+  // Same slot-placement rule as fault::ChaosSchedule: disjoint equal slots
+  // of the middle 80% of the horizon, starts in the first quarter of the
+  // slot, lengths capped at half the slot — windows never overlap or touch
+  // the edges, so per-process alternation holds by construction.
+  const double h = horizon.seconds();
+  const double width = 0.8 * h / static_cast<double>(total);
+  std::size_t slot = 0;
+  const auto place = [&](double min_len, double max_len) {
+    const double slot_begin = 0.1 * h + static_cast<double>(slot) * width;
+    ++slot;
+    const double start = slot_begin + rng.uniform(0.0, 0.25 * width);
+    const double len = std::min(rng.uniform(min_len, max_len), 0.5 * width);
+    return fault::Window{TimePoint(start), TimePoint(start + len)};
+  };
+  for (std::size_t i = 0; i < crash_cycles; ++i) {
+    const fault::Window w = place(downtime_min.seconds(), downtime_max.seconds());
+    plan.crash_process(victim, w.begin).recover_process(victim, w.end);
+  }
+  for (std::size_t i = 0; i < isolations; ++i) {
+    const fault::Window w =
+        place(isolation_min.seconds(), isolation_max.seconds());
+    plan.isolate(victim, w.begin, w.end);
+  }
+  for (std::size_t i = 0; i < elector_restarts; ++i) {
+    const fault::Window w = place(elector_downtime_min.seconds(),
+                                  elector_downtime_max.seconds());
+    plan.elector_crash(victim, w.begin).elector_restart(victim, w.end);
+  }
+  return plan;
+}
+
+Duration analytic_election_bound(const LeaderScenarioSpec& spec) {
+  return spec.eta + spec.alpha + spec.bound_margin;
+}
+
+Duration settle_allowance(const LeaderScenarioSpec& spec) {
+  return analytic_election_bound(spec) + spec.elector.holddown_cap +
+         spec.elector.self_claim_delay + spec.elector.restore_grace;
+}
+
+namespace {
+
+std::string time_str(TimePoint t) {
+  std::ostringstream os;
+  os << t.seconds() << "s";
+  return os.str();
+}
+
+}  // namespace
+
+LeaderScenarioResult run_leader_scenario(const LeaderScenarioSpec& spec,
+                                         Rng& rng) {
+  expects(!spec.name.empty(), "run_leader_scenario: scenario must be named");
+  expects(spec.horizon > Duration::zero(),
+          "run_leader_scenario: horizon must be positive");
+  expects(spec.size >= 2, "run_leader_scenario: need at least two processes");
+  expects(spec.chaos.victim < spec.size,
+          "run_leader_scenario: victim out of range");
+
+  LeaderScenarioResult result;
+  result.name = spec.name;
+  result.family = spec.family;
+  result.fault_intensity = spec.fault_intensity;
+  const TimePoint horizon = TimePoint::zero() + spec.horizon;
+  result.horizon = horizon;
+  result.election_bound_s = analytic_election_bound(spec).seconds();
+
+  // The cluster's stochastic components (delays, losses) draw from a seed
+  // derived from the scenario substream, keeping the whole scenario a pure
+  // function of (spec, substream).
+  const std::uint64_t cluster_seed = rng();
+
+  fault::FaultPlan plan = spec.chaos.sample(rng);
+  if (spec.scripted) spec.scripted(plan);
+
+  Cluster::Config config;
+  config.size = spec.size;
+  config.delay_mean_s = spec.delay_mean_s;
+  config.p_loss = spec.p_loss;
+  config.detector = core::NfdEParams{spec.eta, spec.alpha, spec.window};
+  config.elector = spec.elector;
+  config.seed = cluster_seed;
+  config.snapshot_interval = spec.snapshot_interval;
+  config.max_snapshot_age = spec.max_snapshot_age;
+  Cluster cluster(std::move(config));
+  cluster.apply(plan);
+  cluster.start();
+  cluster.simulator().run_until(horizon);
+
+  result.warm_elector_restarts = cluster.warm_elector_restarts();
+  result.cold_elector_restarts = cluster.cold_elector_restarts();
+  result.stale_heartbeats_dropped = cluster.stale_heartbeats_dropped();
+  result.incarnation_rebases = cluster.incarnation_rebases();
+
+  // ---- ground truth ------------------------------------------------------
+  const Duration settle = settle_allowance(spec);
+  QosInput input;
+  input.n = spec.size;
+  input.horizon = horizon;
+  input.election_bound = analytic_election_bound(spec);
+  std::vector<fault::Window> disturbances;
+  std::vector<fault::Window> raw_faults;
+  // Startup: detectors fill windows and the self-claim delay runs off.
+  disturbances.push_back({TimePoint::zero(), TimePoint::zero() + settle});
+  for (ProcessId id = 0; id < spec.size; ++id) {
+    result.traces.push_back(cluster.elector(id).trace());
+
+    // A process's *view* exists while both it and its elector are up.
+    std::vector<fault::Window> elector_down;
+    for (fault::Window w : plan.elector_downtime_windows(id)) {
+      w.end = std::min(w.end, horizon);
+      if (w.end > w.begin && w.begin < horizon) elector_down.push_back(w);
+    }
+    input.view_windows.push_back(subtract_windows(
+        plan.ground_truth_up_windows(id, horizon), elector_down));
+
+    // Every injected fault disturbs agreement from its start until settle
+    // after it ends (or forever, for a crash with no recovery).
+    const auto pad = [&](const std::vector<fault::Window>& windows) {
+      for (const fault::Window& w : windows) {
+        if (w.begin >= horizon) continue;
+        const TimePoint raw_end =
+            w.end.is_infinite() ? horizon : std::min(w.end, horizon);
+        raw_faults.push_back({w.begin, raw_end});
+        const TimePoint end =
+            w.end.is_infinite() ? horizon : std::min(w.end + settle, horizon);
+        disturbances.push_back({w.begin, end});
+      }
+    };
+    pad(plan.downtime_windows(id));
+    pad(plan.isolation_windows(id));
+    pad(plan.elector_downtime_windows(id));
+  }
+  input.traces = result.traces;
+  input.disturbance_windows = merge_windows(std::move(disturbances), horizon);
+  input.fault_windows = merge_windows(std::move(raw_faults), horizon);
+  result.qos = compute_qos(input);
+
+  // ---- oracles -----------------------------------------------------------
+  auto& violations = result.violations;
+  const double max_undisturbed_s =
+      spec.max_undisturbed_violation_fraction * spec.horizon.seconds();
+  if (result.qos.undisturbed_violation_s > max_undisturbed_s) {
+    std::ostringstream os;
+    os << "agreement lost for " << result.qos.undisturbed_violation_s
+       << "s outside every disturbance window (allowed "
+       << max_undisturbed_s << "s)";
+    violations.push_back(os.str());
+  }
+  if (result.qos.bound_violations > 0) {
+    std::ostringstream os;
+    os << result.qos.bound_violations
+       << " election gap(s) outlived the analytic bound of "
+       << time_str(TimePoint(result.election_bound_s));
+    violations.push_back(os.str());
+  }
+  if (result.qos.spurious_demotions > spec.max_spurious_demotions) {
+    std::ostringstream os;
+    os << result.qos.spurious_demotions << " spurious demotion(s), allowed "
+       << spec.max_spurious_demotions;
+    violations.push_back(os.str());
+  }
+  if (result.qos.exactly_one_leader_fraction < spec.min_agreement_fraction) {
+    std::ostringstream os;
+    os << "exactly-one-leader fraction "
+       << result.qos.exactly_one_leader_fraction << " below floor "
+       << spec.min_agreement_fraction;
+    violations.push_back(os.str());
+  }
+  if (spec.expect_warm_restarts &&
+      (result.warm_elector_restarts == 0 ||
+       result.cold_elector_restarts != 0)) {
+    std::ostringstream os;
+    os << "expected warm elector restarts only, got "
+       << result.warm_elector_restarts << " warm / "
+       << result.cold_elector_restarts << " cold";
+    violations.push_back(os.str());
+  }
+  if (spec.expect_cold_restarts &&
+      (result.cold_elector_restarts == 0 ||
+       result.warm_elector_restarts != 0)) {
+    std::ostringstream os;
+    os << "expected cold elector restarts only, got "
+       << result.warm_elector_restarts << " warm / "
+       << result.cold_elector_restarts << " cold";
+    violations.push_back(os.str());
+  }
+
+  result.ok = violations.empty();
+  return result;
+}
+
+std::vector<LeaderScenarioResult> run_leader_suite(
+    const std::vector<LeaderScenarioSpec>& specs, std::uint64_t root_seed,
+    const runner::RunnerOptions& opts) {
+  return runner::parallel_map<LeaderScenarioResult>(
+      specs.size(), root_seed, opts,
+      [&specs](std::size_t i, Rng& rng) {
+        return run_leader_scenario(specs[i], rng);
+      });
+}
+
+namespace {
+
+LeaderScenarioSpec base_spec(std::string name, std::string family,
+                             double intensity) {
+  LeaderScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.family = std::move(family);
+  spec.fault_intensity = intensity;
+  // Election wants an *accurate* operating point, not the mistake-rate
+  // measurement point of the two-process benches: with alpha a few etas the
+  // freshness window spans several heartbeats, so only >= 4 consecutive
+  // losses (p^4 ~ 1.6e-7 here) produce a false suspicion and leadership is
+  // steady between injected faults.
+  spec.alpha = seconds(3.5);
+  spec.p_loss = 0.02;
+  // Tight hysteresis keeps the settle allowance (and thus the undisturbed
+  // portion of the horizon the oracles actually check) large.
+  spec.elector.holddown_base = seconds(4.0);
+  spec.elector.holddown_cap = seconds(16.0);
+  spec.elector.holddown_reset = seconds(120.0);
+  spec.elector.self_claim_delay = seconds(3.0);
+  spec.elector.restore_grace = seconds(10.0);
+  spec.snapshot_interval = seconds(10.0);
+  spec.max_snapshot_age = seconds(90.0);
+  return spec;
+}
+
+std::vector<LeaderScenarioSpec> smoke_suite() {
+  std::vector<LeaderScenarioSpec> specs;
+  {
+    LeaderScenarioSpec spec =
+        base_spec("smoke-leader-crash", "leader-crash-recover", 1.0);
+    spec.size = 3;
+    spec.horizon = seconds(800.0);
+    spec.chaos.horizon = spec.horizon;
+    spec.chaos.victim = 0;
+    spec.chaos.crash_cycles = 1;
+    spec.chaos.downtime_min = seconds(60.0);
+    spec.chaos.downtime_max = seconds(120.0);
+    specs.push_back(std::move(spec));
+  }
+  {
+    LeaderScenarioSpec spec =
+        base_spec("smoke-leader-elector-warm", "leader-elector-restart", 1.0);
+    spec.size = 3;
+    spec.horizon = seconds(800.0);
+    spec.chaos.horizon = spec.horizon;
+    // The victim is a follower: its warm restore must revive the leader
+    // latch instead of manufacturing an election.
+    spec.chaos.victim = 2;
+    spec.chaos.elector_restarts = 1;
+    spec.chaos.elector_downtime_min = seconds(20.0);
+    spec.chaos.elector_downtime_max = seconds(40.0);
+    spec.expect_warm_restarts = true;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<LeaderScenarioSpec> full_suite() {
+  std::vector<LeaderScenarioSpec> specs = smoke_suite();
+  // Crash-recover cycles of the lowest-id (and therefore default leader)
+  // process, at increasing intensity.
+  for (const std::size_t cycles : {1, 2, 4}) {
+    LeaderScenarioSpec spec = base_spec(
+        "leader-crash-x" + std::to_string(cycles), "leader-crash-recover",
+        static_cast<double>(cycles));
+    spec.chaos.victim = 0;
+    spec.chaos.crash_cycles = cycles;
+    specs.push_back(std::move(spec));
+  }
+  // Isolations of the leader: the cluster must fail over while the victim
+  // is cut off and fold back in after the heal.
+  for (const std::size_t isolations : {1, 2, 4}) {
+    LeaderScenarioSpec spec = base_spec(
+        "leader-partition-x" + std::to_string(isolations),
+        "leader-partition-heal", static_cast<double>(isolations));
+    spec.chaos.victim = 0;
+    spec.chaos.isolations = isolations;
+    specs.push_back(std::move(spec));
+  }
+  {
+    // Flap storm: scripted short isolations of process 0 in rapid
+    // succession.  The demotion hysteresis must keep the inter-flap
+    // windows calm (no spurious demotions, agreement between flaps).
+    LeaderScenarioSpec spec =
+        base_spec("leader-flap-storm", "leader-flap-storm", 6.0);
+    spec.scripted = [](fault::FaultPlan& plan) {
+      for (int i = 0; i < 6; ++i) {
+        const double start = 300.0 + 120.0 * static_cast<double>(i);
+        plan.isolate(0, TimePoint(start), TimePoint(start + 15.0));
+      }
+    };
+    specs.push_back(std::move(spec));
+  }
+  {
+    // Stale-snapshot elector restart: the outage outlives max_snapshot_age,
+    // so the restart must reject the snapshot and rejoin cold.
+    LeaderScenarioSpec spec = base_spec("leader-elector-stale",
+                                        "leader-elector-restart", 1.0);
+    spec.max_snapshot_age = seconds(30.0);
+    spec.scripted = [](fault::FaultPlan& plan) {
+      plan.elector_crash(2, TimePoint(600.0))
+          .elector_restart(2, TimePoint(680.0));
+    };
+    spec.expect_cold_restarts = true;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace
+
+std::vector<LeaderScenarioSpec> leader_suite(const std::string& name) {
+  if (name == "leader-smoke") return smoke_suite();
+  if (name == "leader-full") return full_suite();
+  throw std::invalid_argument("unknown leader chaos suite: " + name);
+}
+
+std::vector<std::string> leader_suite_names() {
+  return {"leader-smoke", "leader-full"};
+}
+
+}  // namespace chenfd::election

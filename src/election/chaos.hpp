@@ -1,0 +1,160 @@
+// Leader-election chaos suites (DESIGN.md section 12).
+//
+// The fault::chaos pattern lifted to the N-process election cluster: each
+// scenario runs a full Cluster under a FaultPlan combining a sampled part
+// (LeaderChaosSchedule: crash-recover cycles, isolations and elector
+// restarts of a victim process, placed in disjoint slots) with an optional
+// scripted part, then checks the recorded leader traces against the plan's
+// ground truth via compute_qos:
+//
+//   - outside every disturbance window (each fault padded by the settle
+//     allowance the detectors and the hysteresis are entitled to) the
+//     cluster must have exactly one leader that knows it is leader;
+//   - every election gap must close within the analytic bound after the
+//     last disturbance overlapping it ends — the bound derives from the
+//     NFD-E detection time (eta + alpha) plus a margin for delivery delay
+//     and election scheduling;
+//   - demotions in calm air (spurious demotions) are capped, normally at
+//     zero — the hysteresis exists precisely to prevent them;
+//   - scenarios that script elector restarts assert the restart path
+//     (warm latch vs. stale-snapshot cold fallback) taken by construction.
+//
+// Determinism: scenario i of a suite draws from substream i of the root
+// seed (runner::parallel_map), the cluster from a seed drawn off that
+// substream, so BENCH_leader.json is bit-identical for any --jobs count.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "election/cluster.hpp"
+#include "election/qos.hpp"
+#include "fault/fault_plan.hpp"
+#include "runner/parallel_sweep.hpp"
+
+namespace chenfd::election {
+
+/// Samples cluster-level fault plans: the requested faults are placed in
+/// disjoint equal slots of the middle 80% of the horizon (same placement
+/// rule as fault::ChaosSchedule), so windows never overlap and every
+/// crash/recover and elector crash/restart pair alternates by construction.
+struct LeaderChaosSchedule {
+  Duration horizon = seconds(2000.0);
+  ProcessId victim = 0;  ///< the process the sampled faults hit
+
+  std::size_t crash_cycles = 0;  ///< crash -> recover pairs of the victim
+  Duration downtime_min = seconds(60.0);
+  Duration downtime_max = seconds(180.0);
+
+  std::size_t isolations = 0;  ///< full isolation windows of the victim
+  Duration isolation_min = seconds(40.0);
+  Duration isolation_max = seconds(120.0);
+
+  std::size_t elector_restarts = 0;  ///< elector crash -> restart pairs
+  Duration elector_downtime_min = seconds(20.0);
+  Duration elector_downtime_max = seconds(60.0);
+
+  /// Number of faults the schedule injects per hour of horizon.
+  [[nodiscard]] double intensity_per_hour() const;
+
+  [[nodiscard]] fault::FaultPlan sample(Rng& rng) const;
+};
+
+/// One named leader-election chaos scenario.
+struct LeaderScenarioSpec {
+  std::string name;
+  std::string family;            ///< stability-curve grouping key
+  double fault_intensity = 0.0;  ///< x-axis of the stability curve
+
+  // Cluster shape and baseline network.
+  std::size_t size = 4;
+  double delay_mean_s = 0.02;
+  double p_loss = 0.05;
+  Duration eta = seconds(1.0);
+  Duration alpha = seconds(0.5);
+  std::size_t window = 16;
+  Duration horizon = seconds(2000.0);
+
+  Elector::Options elector;
+  Duration snapshot_interval = seconds(20.0);
+  Duration max_snapshot_age = seconds(90.0);
+
+  LeaderChaosSchedule chaos;  ///< randomized faults (sampled per substream)
+  /// Scripted faults with fixed times, appended to the sampled plan.
+  std::function<void(fault::FaultPlan&)> scripted;
+
+  // Oracle configuration.
+  /// Margin on top of the NFD-E detection time (eta + alpha) in the
+  /// analytic election bound: delivery delay plus election scheduling.
+  Duration bound_margin = seconds(6.0);
+  /// Ceiling on non-agreement time outside every disturbance window, as a
+  /// fraction of the horizon.  Effectively zero: calm air must be calm.
+  double max_undisturbed_violation_fraction = 1e-6;
+  /// Floor on the exactly-one-leader fraction over the whole horizon.
+  double min_agreement_fraction = 0.6;
+  std::uint64_t max_spurious_demotions = 0;
+  /// Oracle strengtheners for scenarios whose elector-restart path is
+  /// known by construction: every restart warm (resp. at least one cold,
+  /// none warm).
+  bool expect_warm_restarts = false;
+  bool expect_cold_restarts = false;
+};
+
+/// Everything measured about one leader scenario run.  All fields derive
+/// deterministically from (spec, substream): bit-comparable across --jobs.
+struct LeaderScenarioResult {
+  std::string name;
+  std::string family;
+  double fault_intensity = 0.0;
+  bool ok = false;
+  std::vector<std::string> violations;
+
+  QosReport qos;
+  double election_bound_s = 0.0;
+  std::size_t warm_elector_restarts = 0;
+  std::size_t cold_elector_restarts = 0;
+  std::uint64_t stale_heartbeats_dropped = 0;
+  std::uint64_t incarnation_rebases = 0;
+
+  /// Per-process leader traces (the raw evidence), for bit-equality tests
+  /// and external dumps.
+  std::vector<std::vector<LeaderChange>> traces;
+  TimePoint horizon;
+};
+
+/// The analytic convergence bound for a spec: NFD-E detection time
+/// (eta + alpha) plus the spec's margin.  Exposed so tests can assert the
+/// oracle's deadline independently.
+[[nodiscard]] Duration analytic_election_bound(const LeaderScenarioSpec& spec);
+
+/// The settle allowance granted around every fault window: the analytic
+/// bound plus the hysteresis overheads (holddown cap, self-claim delay,
+/// restore grace) the elector is entitled to consume before agreement is
+/// demanded again.
+[[nodiscard]] Duration settle_allowance(const LeaderScenarioSpec& spec);
+
+/// The named leader suites: "leader-smoke" is a two-scenario subset sized
+/// for CI and sanitizer runs; "leader-full" covers the crash-recover,
+/// partition-heal, flap-storm and elector-restart families.
+[[nodiscard]] std::vector<LeaderScenarioSpec> leader_suite(
+    const std::string& name);
+[[nodiscard]] std::vector<std::string> leader_suite_names();
+
+/// Runs one scenario against substream `rng`; evaluates its oracles.
+[[nodiscard]] LeaderScenarioResult run_leader_scenario(
+    const LeaderScenarioSpec& spec, Rng& rng);
+
+/// Runs every scenario of `specs` on the deterministic parallel runner:
+/// scenario i uses substream i of `root_seed`, results come back in
+/// scenario order, bit-identical for any jobs count.
+[[nodiscard]] std::vector<LeaderScenarioResult> run_leader_suite(
+    const std::vector<LeaderScenarioSpec>& specs, std::uint64_t root_seed,
+    const runner::RunnerOptions& opts = {});
+
+}  // namespace chenfd::election

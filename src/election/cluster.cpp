@@ -1,0 +1,265 @@
+#include "election/cluster.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dist/exponential.hpp"
+#include "net/loss_model.hpp"
+
+namespace chenfd::election {
+
+Cluster::Cluster(Config config)
+    : config_(std::move(config)),
+      stored_(config_.size),
+      process_down_(config_.size, false),
+      elector_down_(config_.size, false) {
+  expects(config_.size >= 2, "Cluster: need at least two processes");
+  expects(config_.delay_mean_s > 0.0, "Cluster: delay mean must be positive");
+  expects(config_.p_loss >= 0.0 && config_.p_loss < 1.0,
+          "Cluster: loss probability must be in [0, 1)");
+  expects(config_.snapshot_interval > Duration::zero(),
+          "Cluster: snapshot interval must be positive");
+  expects(config_.max_snapshot_age > Duration::zero(),
+          "Cluster: max snapshot age must be positive");
+  config_.detector.validate();
+  config_.elector.validate();
+
+  const std::size_t n = config_.size;
+  // Per-link RNGs split off the root in a fixed construction order: the
+  // randomness any pair consumes is independent of what the others draw,
+  // so traces are bit-identical regardless of delivery interleavings.
+  Rng root(config_.seed);
+  pairs_.resize(n * n);
+  for (ProcessId from = 0; from < n; ++from) {
+    for (ProcessId to = 0; to < n; ++to) {
+      if (from == to) continue;
+      auto p = std::make_unique<Pair>();
+      p->link = std::make_unique<net::Link>(
+          sim_, std::make_unique<dist::Exponential>(config_.delay_mean_s),
+          std::make_unique<net::BernoulliLoss>(config_.p_loss), root.split());
+      p->link->set_receiver(
+          [this, from, to](const net::Message& m, TimePoint real_now) {
+            on_delivery(from, to, m, real_now);
+          });
+      p->sender = std::make_unique<core::HeartbeatSender>(
+          sim_, *p->link, clock_, config_.detector.eta);
+      pairs_[pair_index(from, to)] = std::move(p);
+    }
+  }
+  for (ProcessId id = 0; id < n; ++id) {
+    electors_.push_back(
+        std::make_unique<Elector>(sim_, id, n, config_.elector));
+  }
+  // Detectors after electors: make_detector wires transitions into them.
+  for (ProcessId to = 0; to < n; ++to) {
+    for (ProcessId from = 0; from < n; ++from) {
+      if (from == to) continue;
+      make_detector(from, to);
+    }
+  }
+}
+
+void Cluster::make_detector(ProcessId from, ProcessId to) {
+  Pair& p = pair(from, to);
+  p.detector = std::make_unique<core::NfdE>(sim_, clock_, config_.detector);
+  p.detector->add_listener([this, from, to](const Transition& t) {
+    electors_[to]->on_peer_transition(from, t.to, t.at);
+  });
+  p.detector->activate();
+  p.incarnation_known = false;
+  p.incarnation = 0;
+}
+
+void Cluster::start() {
+  expects(!started_, "Cluster::start: already started");
+  started_ = true;
+  for (const auto& p : pairs_) {
+    if (p) p->sender->start();
+  }
+  for (const auto& e : electors_) e->activate();
+  sim_.after(config_.snapshot_interval, [this] { take_snapshots(); });
+}
+
+void Cluster::take_snapshots() {
+  const TimePoint now = sim_.now();
+  for (ProcessId id = 0; id < config_.size; ++id) {
+    // Only a live process with a live elector can write a snapshot.
+    if (process_down_[id] || elector_down_[id]) continue;
+    stored_[id] = StoredSnapshot{electors_[id]->export_state(now), now, true};
+  }
+  sim_.after(config_.snapshot_interval, [this] { take_snapshots(); });
+}
+
+void Cluster::on_delivery(ProcessId from, ProcessId to, const net::Message& m,
+                          TimePoint real_now) {
+  // Nobody home: the process or its elector is down, so the heartbeat
+  // falls on the floor (the detector was torn down with its owner).
+  if (process_down_[to] || elector_down_[to]) return;
+  Pair& p = pair(from, to);
+  if (!p.detector) return;
+  if (!p.incarnation_known) {
+    p.incarnation_known = true;
+    p.incarnation = m.incarnation;
+  } else if (m.incarnation < p.incarnation) {
+    // An in-flight heartbeat of a previous life: processing it would let
+    // the dead incarnation impersonate the recovered one.
+    ++stale_dropped_;
+    return;
+  } else if (m.incarnation > p.incarnation) {
+    // The sender recovered: its post-recovery schedule is shifted by the
+    // outage, so pre-recovery window entries no longer fit the Eq. 6.3
+    // normalization.  Rebase to start a fresh epoch at this heartbeat.
+    p.incarnation = m.incarnation;
+    p.detector->rebase({config_.detector.eta, config_.detector.alpha}, m.seq);
+    ++incarnation_rebases_;
+    electors_[to]->on_peer_incarnation(from, m.incarnation, sim_.now());
+  }
+  p.detector->on_heartbeat(m, real_now);
+}
+
+void Cluster::teardown_observer(ProcessId observer) {
+  for (ProcessId from = 0; from < config_.size; ++from) {
+    if (from == observer) continue;
+    Pair& p = pair(from, observer);
+    if (p.detector) {
+      p.detector->stop();  // cancel pending freshness timers before delete
+      p.detector.reset();
+    }
+  }
+}
+
+void Cluster::rebuild_observer(ProcessId observer) {
+  for (ProcessId from = 0; from < config_.size; ++from) {
+    if (from == observer) continue;
+    make_detector(from, observer);
+  }
+}
+
+void Cluster::crash_at(ProcessId id, TimePoint at) {
+  expects(id < config_.size, "Cluster::crash_at: id out of range");
+  expects(at >= sim_.now(), "Cluster::crash_at: cannot crash in the past");
+  for (ProcessId to = 0; to < config_.size; ++to) {
+    if (to == id) continue;
+    pair(id, to).sender->crash_at(at);
+  }
+  sim_.at(at, [this, id] {
+    expects(!process_down_[id], "Cluster: process crashed twice");
+    process_down_[id] = true;
+    electors_[id]->crash(sim_.now());
+    teardown_observer(id);
+  });
+}
+
+void Cluster::recover_at(ProcessId id, TimePoint at) {
+  expects(id < config_.size, "Cluster::recover_at: id out of range");
+  expects(at >= sim_.now(), "Cluster::recover_at: cannot recover in the past");
+  for (ProcessId to = 0; to < config_.size; ++to) {
+    if (to == id) continue;
+    pair(id, to).sender->recover_at(at);
+  }
+  sim_.at(at, [this, id] {
+    expects(process_down_[id], "Cluster: recovery without a crash");
+    process_down_[id] = false;
+    // A recovered process remembers nothing: fresh detectors (everyone
+    // suspected until their first heartbeat) and a follower elector gated
+    // by the self-claim delay.  Its stored snapshot is from before the
+    // crash of the *process*, not just the observer, so it must not be
+    // replayed — drop it.
+    stored_[id].valid = false;
+    rebuild_observer(id);
+    electors_[id]->recover(sim_.now());
+  });
+}
+
+void Cluster::adjust_isolation(ProcessId id, int delta) {
+  for (ProcessId other = 0; other < config_.size; ++other) {
+    if (other == id) continue;
+    for (Pair* p : {&pair(id, other), &pair(other, id)}) {
+      p->partition_depth += delta;
+      CHENFD_ENSURES(p->partition_depth >= 0,
+                     "Cluster: isolation depth underflow");
+      p->link->set_partitioned(p->partition_depth > 0);
+    }
+  }
+}
+
+void Cluster::isolate(ProcessId id, TimePoint from, TimePoint until) {
+  expects(id < config_.size, "Cluster::isolate: id out of range");
+  expects(from >= sim_.now() && until > from,
+          "Cluster::isolate: window must be future and non-empty");
+  sim_.at(from, [this, id] { adjust_isolation(id, +1); });
+  sim_.at(until, [this, id] { adjust_isolation(id, -1); });
+}
+
+void Cluster::elector_crash_at(ProcessId id, TimePoint at) {
+  expects(id < config_.size, "Cluster::elector_crash_at: id out of range");
+  expects(at >= sim_.now(), "Cluster::elector_crash_at: past time");
+  sim_.at(at, [this, id] {
+    expects(!process_down_[id] && !elector_down_[id],
+            "Cluster: elector crash needs a live process and elector");
+    elector_down_[id] = true;
+    electors_[id]->crash(sim_.now());
+    // Observer-side state dies with the elector: detectors are in-memory
+    // structures of the monitoring process.
+    teardown_observer(id);
+  });
+}
+
+void Cluster::elector_restart_at(ProcessId id, TimePoint at) {
+  expects(id < config_.size, "Cluster::elector_restart_at: id out of range");
+  expects(at >= sim_.now(), "Cluster::elector_restart_at: past time");
+  sim_.at(at, [this, id] {
+    expects(elector_down_[id], "Cluster: elector restart without a crash");
+    const TimePoint now = sim_.now();
+    elector_down_[id] = false;
+    rebuild_observer(id);
+    // MonitorSupervisor's restart policy in miniature: warm from the
+    // stored snapshot when it is fresh enough, cold otherwise.
+    const StoredSnapshot& snap = stored_[id];
+    if (snap.valid && now - snap.taken_at <= config_.max_snapshot_age) {
+      electors_[id]->restore_state(snap.state, /*warm=*/true, now);
+      ++warm_elector_restarts_;
+    } else {
+      electors_[id]->restore_state(std::nullopt, /*warm=*/false, now);
+      ++cold_elector_restarts_;
+    }
+  });
+}
+
+void Cluster::apply(const fault::FaultPlan& plan) {
+  expects(!started_, "Cluster::apply: apply plans before start()");
+  expects(plan.partition_windows().empty(),
+          "Cluster::apply: two-process partitions do not map to a cluster; "
+          "use isolate events");
+  expects(plan.monitor_downtime_windows().empty(),
+          "Cluster::apply: monitor events are testbed-only; use elector "
+          "events");
+  for (ProcessId id = 0; id < config_.size; ++id) {
+    for (const auto& w : plan.downtime_windows(id)) {
+      crash_at(id, w.begin);
+      if (!w.end.is_infinite()) recover_at(id, w.end);
+    }
+    for (const auto& w : plan.isolation_windows(id)) {
+      expects(!w.end.is_infinite(),
+              "Cluster::apply: isolation windows must close");
+      isolate(id, w.begin, w.end);
+    }
+    for (const auto& w : plan.elector_downtime_windows(id)) {
+      elector_crash_at(id, w.begin);
+      if (!w.end.is_infinite()) elector_restart_at(id, w.end);
+    }
+  }
+}
+
+const Elector& Cluster::elector(ProcessId id) const {
+  expects(id < config_.size, "Cluster::elector: id out of range");
+  return *electors_[id];
+}
+
+ProcessId Cluster::leader_view(ProcessId id) const {
+  expects(id < config_.size, "Cluster::leader_view: id out of range");
+  return electors_[id]->leader();
+}
+
+}  // namespace chenfd::election

@@ -1,0 +1,159 @@
+// An N-process election cluster: the tentpole harness of DESIGN.md
+// section 12.
+//
+// Every ordered pair (i, j), i != j, gets its own probabilistic link
+// (net::Link), heartbeat sender at i and NFD-E detector at j — the same
+// per-pair plumbing as the two-process Testbed, replicated n*(n-1) times —
+// and every process runs one Omega Elector fed by its n-1 detectors.  The
+// cluster is the glue: it wires deliveries through the incarnation filter
+// (drop stale lives, rebase the Eq. 6.3 window on a bump), routes detector
+// transitions into the electors, and applies cluster-level FaultPlans:
+//
+//   crash/recover of a process  — all its senders stop, its elector loses
+//     its state and rejoins gated by the self-claim delay, and its own
+//     detectors are rebuilt from scratch (a recovered process remembers
+//     nothing);
+//   isolation  — every link to and from the process drops all messages
+//     (an asymmetric partition around one process);
+//   elector crash/restart  — observer-side state loss: heartbeats keep
+//     flowing but nobody at the process is watching.  On restart the
+//     cluster plays MonitorSupervisor: a stored election snapshot newer
+//     than max_snapshot_age restores warm (leader latch survives under the
+//     elector's restore grace), otherwise the elector rejoins cold as a
+//     follower.
+//
+// Determinism: all randomness comes from per-link RNGs split off the
+// config seed in construction order; faults are pre-scheduled simulator
+// events.  Two clusters with equal configs produce bit-identical leader
+// traces.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/heartbeat_sender.hpp"
+#include "core/nfd_e.hpp"
+#include "core/params.hpp"
+#include "election/elector.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::election {
+
+class Cluster {
+ public:
+  struct Config {
+    std::size_t size = 4;
+    double delay_mean_s = 0.02;  ///< exponential per-link delay mean
+    double p_loss = 0.05;        ///< per-link Bernoulli loss
+    core::NfdEParams detector{seconds(1.0), seconds(0.5), 16};
+    Elector::Options elector;
+    std::uint64_t seed = 42;
+    /// Elector snapshot cadence and freshness bound (the cluster-level
+    /// stand-in for MonitorSupervisor's snapshot store).
+    Duration snapshot_interval = seconds(20.0);
+    Duration max_snapshot_age = seconds(120.0);
+  };
+
+  explicit Cluster(Config config);
+
+  /// Starts heartbeats, electors and the snapshot cadence.  Call once.
+  void start();
+
+  // ---- fault injection (schedule before or during the run) ---------------
+
+  /// Crashes process `id` at `at`: senders stop, elector and detectors die.
+  void crash_at(ProcessId id, TimePoint at);
+  /// Recovers process `id` at `at`: heartbeats resume with a bumped
+  /// incarnation, the elector rejoins as a follower.
+  void recover_at(ProcessId id, TimePoint at);
+  /// Drops every message to or from `id` on [from, until).
+  void isolate(ProcessId id, TimePoint from, TimePoint until);
+  /// Observer-side crash/restart of `id`'s elector (see file comment).
+  void elector_crash_at(ProcessId id, TimePoint at);
+  void elector_restart_at(ProcessId id, TimePoint at);
+
+  /// Applies a cluster-level FaultPlan: per-process downtime, isolation
+  /// and elector windows become the scheduled faults above.  The plan is
+  /// not armed (that is the two-process testbed path) and stays queryable
+  /// as ground truth.  Two-process-only events (partitions, clock faults,
+  /// regime swaps, monitor events) are rejected.
+  void apply(const fault::FaultPlan& plan);
+
+  // ---- observability -----------------------------------------------------
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] std::size_t size() const { return config_.size; }
+  [[nodiscard]] const Elector& elector(ProcessId id) const;
+  /// Process id's current local leader (kNoLeader while down/leaderless).
+  [[nodiscard]] ProcessId leader_view(ProcessId id) const;
+  [[nodiscard]] std::size_t warm_elector_restarts() const {
+    return warm_elector_restarts_;
+  }
+  [[nodiscard]] std::size_t cold_elector_restarts() const {
+    return cold_elector_restarts_;
+  }
+  /// Heartbeats dropped by the incarnation filter (stale lives).
+  [[nodiscard]] std::uint64_t stale_heartbeats_dropped() const {
+    return stale_dropped_;
+  }
+  /// Eq. 6.3 window rebases triggered by incarnation bumps.
+  [[nodiscard]] std::uint64_t incarnation_rebases() const {
+    return incarnation_rebases_;
+  }
+
+ private:
+  /// The directed pair (from, to): link + sender at `from`, detector at
+  /// `to`.  Detectors are rebuilt on observer death; the other members
+  /// live for the whole run.
+  struct Pair {
+    std::unique_ptr<net::Link> link;
+    std::unique_ptr<core::HeartbeatSender> sender;
+    std::unique_ptr<core::NfdE> detector;
+    bool incarnation_known = false;
+    std::uint64_t incarnation = 0;
+    int partition_depth = 0;  ///< isolations may overlap; >0 = severed
+  };
+
+  struct StoredSnapshot {
+    persist::ElectionState state;
+    TimePoint taken_at;
+    bool valid = false;
+  };
+
+  [[nodiscard]] std::size_t pair_index(ProcessId from, ProcessId to) const {
+    return from * config_.size + to;
+  }
+  [[nodiscard]] Pair& pair(ProcessId from, ProcessId to) {
+    return *pairs_[pair_index(from, to)];
+  }
+  void make_detector(ProcessId from, ProcessId to);
+  void teardown_observer(ProcessId observer);
+  void rebuild_observer(ProcessId observer);
+  void on_delivery(ProcessId from, ProcessId to, const net::Message& m,
+                   TimePoint real_now);
+  void adjust_isolation(ProcessId id, int delta);
+  void take_snapshots();
+
+  Config config_;
+  sim::Simulator sim_;
+  clk::SynchronizedClock clock_;
+  std::vector<std::unique_ptr<Pair>> pairs_;  // from * size + to
+  std::vector<std::unique_ptr<Elector>> electors_;
+  std::vector<StoredSnapshot> stored_;
+  std::vector<bool> process_down_;
+  std::vector<bool> elector_down_;
+  bool started_ = false;
+  std::size_t warm_elector_restarts_ = 0;
+  std::size_t cold_elector_restarts_ = 0;
+  std::uint64_t stale_dropped_ = 0;
+  std::uint64_t incarnation_rebases_ = 0;
+};
+
+}  // namespace chenfd::election

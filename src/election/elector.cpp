@@ -1,0 +1,237 @@
+#include "election/elector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chenfd::election {
+
+void Elector::Options::validate() const {
+  CHENFD_EXPECTS(holddown_base > Duration::zero(),
+                 "Elector: holddown_base must be positive");
+  CHENFD_EXPECTS(holddown_cap >= holddown_base,
+                 "Elector: holddown_cap must be >= holddown_base");
+  CHENFD_EXPECTS(holddown_reset > Duration::zero(),
+                 "Elector: holddown_reset must be positive");
+  CHENFD_EXPECTS(self_claim_delay >= Duration::zero(),
+                 "Elector: self_claim_delay must be non-negative");
+  CHENFD_EXPECTS(restore_grace > Duration::zero(),
+                 "Elector: restore_grace must be positive");
+}
+
+Elector::Elector(sim::Simulator& simulator, ProcessId self, std::size_t n,
+                 Options options)
+    : sim_(simulator), self_(self), n_(n), options_(options), peers_(n) {
+  expects(n >= 2, "Elector: need at least two processes");
+  expects(self < n, "Elector: self id out of range");
+  options_.validate();
+}
+
+void Elector::activate() {
+  expects(!started_, "Elector::activate: already started");
+  started_ = true;
+  self_eligible_from_ = sim_.now() + options_.self_claim_delay;
+  schedule_reevaluation(self_eligible_from_);
+  reevaluate(sim_.now());
+}
+
+Duration Elector::holddown(std::uint64_t demotions) const {
+  if (demotions == 0) return Duration::zero();
+  Duration d = options_.holddown_base;
+  for (std::uint64_t i = 1; i < demotions && d < options_.holddown_cap; ++i) {
+    d = d * 2.0;
+  }
+  return std::min(d, options_.holddown_cap);
+}
+
+void Elector::note_demotion(Peer& peer, TimePoint at) {
+  // The demotion count decays: a long demotion-free stretch since the last
+  // demotion means the old flaps are ancient history.  (Time spent *down*
+  // does not count as good behaviour — the reset clock is the gap between
+  // demotions, so a peer that crashes for an hour and flaps on return is
+  // still held down.)
+  if (peer.demotions > 0 && at - peer.last_demotion > options_.holddown_reset) {
+    peer.demotions = 0;
+  }
+  ++peer.demotions;
+  peer.last_demotion = at;
+}
+
+void Elector::on_peer_transition(ProcessId peer, Verdict v, TimePoint at) {
+  expects(peer < n_ && peer != self_,
+          "Elector::on_peer_transition: invalid peer id");
+  if (!started_ || !alive_) return;  // transitions may race a crash
+  Peer& entry = peers_[peer];
+  if (v == Verdict::kTrust) {
+    entry.trusted = true;
+    // Hysteresis: a previously demoted leader regains eligibility only
+    // after its bounded backoff.
+    entry.eligible_from = at + holddown(entry.demotions);
+    if (entry.eligible_from > at) schedule_reevaluation(entry.eligible_from);
+    // A real trust transition confirms a warm-restored latch.
+    if (grace_leader_ == peer) grace_leader_ = kNoLeader;
+  } else {
+    entry.trusted = false;
+    if (leader_ == peer) note_demotion(entry, at);
+    if (grace_leader_ == peer) grace_leader_ = kNoLeader;
+  }
+  reevaluate(at);
+}
+
+void Elector::on_peer_incarnation(ProcessId peer, std::uint64_t incarnation,
+                                  TimePoint at) {
+  expects(peer < n_ && peer != self_,
+          "Elector::on_peer_incarnation: invalid peer id");
+  if (!started_ || !alive_) return;
+  Peer& entry = peers_[peer];
+  if (incarnation <= entry.incarnation) return;  // stale notification
+  entry.incarnation = incarnation;
+  // A new life starts with a clean hysteresis record: the flaps belonged
+  // to the previous incarnation (and typically to the crash that ended
+  // it), not to the recovered process.
+  entry.demotions = 0;
+  entry.eligible_from = at;
+  reevaluate(at);
+}
+
+void Elector::crash(TimePoint at) {
+  expects(started_, "Elector::crash: not started");
+  expects(alive_, "Elector::crash: already crashed");
+  alive_ = false;
+  grace_leader_ = kNoLeader;
+  // A crashed process holds no view; the trace records the gap so the QoS
+  // layer can tell "down" from "leaderless".
+  set_leader(at, kNoLeader);
+}
+
+void Elector::reset_volatile(TimePoint at) {
+  std::fill(peers_.begin(), peers_.end(), Peer{});
+  grace_leader_ = kNoLeader;
+  grace_until_ = at;
+  self_eligible_from_ = at + options_.self_claim_delay;
+  schedule_reevaluation(self_eligible_from_);
+}
+
+void Elector::recover(TimePoint at) {
+  expects(started_, "Elector::recover: not started");
+  expects(!alive_, "Elector::recover: not crashed");
+  alive_ = true;
+  reset_volatile(at);
+  reevaluate(at);
+}
+
+persist::ElectionState Elector::export_state(TimePoint at) const {
+  persist::ElectionState state;
+  state.self = self_;
+  state.has_leader = leader_ != kNoLeader;
+  state.leader = state.has_leader ? leader_ : 0;
+  state.leader_since_s = leader_since_.seconds();
+  state.leader_changes = leader_changes_;
+  for (ProcessId id = 0; id < n_; ++id) {
+    if (id == self_) continue;
+    const Peer& entry = peers_[id];
+    persist::ElectionPeerState peer;
+    peer.id = id;
+    peer.incarnation = entry.incarnation;
+    peer.demotions = entry.demotions;
+    peer.has_holddown = entry.eligible_from > at;
+    peer.holddown_until_s = peer.has_holddown ? entry.eligible_from.seconds()
+                                              : 0.0;
+    state.peers.push_back(peer);
+  }
+  ensures(state.peers.size() + 1 == n_,
+          "Elector::export_state: one entry per peer");
+  return state;
+}
+
+void Elector::restore_state(
+    const std::optional<persist::ElectionState>& state, bool warm,
+    TimePoint at) {
+  expects(started_, "Elector::restore_state: not started");
+  expects(!warm || state.has_value(),
+          "Elector::restore_state: a warm restore needs a state");
+  alive_ = true;
+  reset_volatile(at);
+  if (warm) {
+    // The process itself did not die — only its observer-side state did —
+    // so self-eligibility is not re-gated.
+    self_eligible_from_ = at;
+    for (const persist::ElectionPeerState& peer : state->peers) {
+      if (peer.id >= n_ || peer.id == self_) continue;
+      Peer& entry = peers_[peer.id];
+      entry.incarnation = peer.incarnation;
+      entry.demotions = peer.demotions;
+      if (peer.has_holddown) {
+        entry.eligible_from = TimePoint(peer.holddown_until_s);
+        schedule_reevaluation(entry.eligible_from);
+      }
+    }
+    if (state->has_leader) {
+      // Revive the leader latch: the rebuilt detectors suspect everyone
+      // until their first heartbeat, so without the grace period a warm
+      // restart would always manufacture a spurious election.
+      grace_leader_ = static_cast<ProcessId>(state->leader);
+      grace_until_ = at + options_.restore_grace;
+      schedule_reevaluation(grace_until_);
+    }
+  }
+  reevaluate(at);
+}
+
+std::uint64_t Elector::demotions(ProcessId peer) const {
+  expects(peer < n_ && peer != self_, "Elector::demotions: invalid peer id");
+  return peers_[peer].demotions;
+}
+
+void Elector::add_listener(std::function<void(const LeaderChange&)> listener) {
+  expects(listener != nullptr, "Elector::add_listener: null listener");
+  listeners_.push_back(std::move(listener));
+}
+
+void Elector::schedule_reevaluation(TimePoint at) {
+  if (at <= sim_.now()) return;  // the caller reevaluates synchronously
+  sim_.at(at, [this] {
+    if (started_ && alive_) reevaluate(sim_.now());
+  });
+}
+
+void Elector::reevaluate(TimePoint at) {
+  if (!started_ || !alive_) return;
+  // Lapse the warm-restore latch.
+  if (grace_leader_ != kNoLeader && at >= grace_until_) {
+    grace_leader_ = kNoLeader;
+  }
+  ProcessId candidate = kNoLeader;
+  for (ProcessId id = 0; id < n_; ++id) {
+    const bool eligible = id == self_
+                              ? at >= self_eligible_from_
+                              : peers_[id].trusted &&
+                                    at >= peers_[id].eligible_from;
+    if (eligible) {
+      candidate = id;
+      break;
+    }
+  }
+  // The latched leader stands in for missing evidence, but never beats a
+  // lower-id process with real evidence.
+  if (grace_leader_ != kNoLeader &&
+      (candidate == kNoLeader || grace_leader_ < candidate)) {
+    candidate = grace_leader_;
+  }
+  set_leader(at, candidate);
+}
+
+void Elector::set_leader(TimePoint at, ProcessId leader) {
+  if (leader == leader_) return;
+  ensures(trace_.empty() || at >= trace_.back().at,
+          "Elector: leader changes must be time-ordered");
+  leader_ = leader;
+  leader_since_ = at;
+  ++leader_changes_;
+  const LeaderChange change{at, leader};
+  trace_.push_back(change);
+  for (const auto& listener : listeners_) listener(change);
+}
+
+}  // namespace chenfd::election

@@ -1,0 +1,178 @@
+// Omega-style eventual leader election over per-peer failure detectors
+// (DESIGN.md section 12).
+//
+// Each process runs one Elector fed by n-1 per-peer NFD-E detectors (the
+// cluster wires their transitions in).  The rule is the classic Omega
+// reduction: trust yourself, trust every peer whose detector currently
+// trusts it, and elect the lowest-id *eligible* trusted process.  Two
+// crash-recovery refinements make the rule robust:
+//
+//   incarnations — heartbeats carry the sender's incarnation (lives
+//     survived).  The cluster drops in-flight heartbeats of an older
+//     incarnation and rebases the peer's NFD-E window on a bump, so a
+//     recovered process is never mistaken for its pre-crash self; the
+//     elector only observes the resulting clean trust signal plus an
+//     on_peer_incarnation notification that resets the peer's hysteresis
+//     history (a new life starts with a clean record).
+//
+//   demotion hysteresis — when the current leader is demoted (its detector
+//     stops trusting it), the elector remembers and, on the next re-trust,
+//     holds the peer ineligible for a bounded exponential backoff
+//     (holddown_base * 2^(demotions-1), capped at holddown_cap).  A
+//     flapping low-id process therefore converges to a *stable* higher-id
+//     leader instead of dragging leadership back and forth; the backoff
+//     decays to zero after holddown_reset of demotion-free behaviour.
+//
+// A process's own eligibility is gated the same way after a life change:
+// on activate, recover and cold restore it waits self_claim_delay before
+// claiming leadership, so a rejoining low-id process adopts the incumbent
+// view first instead of immediately splitting leadership.
+//
+// Warm restarts (MonitorSupervisor snapshot path) revive the leader latch:
+// the restored leader is kept for restore_grace even though the rebuilt
+// detectors still suspect everyone (they start Suspect until the first
+// heartbeat), so a monitor restart does not manufacture an election.  A
+// cold or stale restore falls back to follower.
+//
+// Everything is deterministic: the elector draws no randomness, reacts only
+// to detector transitions and its own simulator events, and appends every
+// leader change to an in-order trace the QoS layer consumes.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/verdict.hpp"
+#include "persist/snapshot.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::election {
+
+using ProcessId = std::size_t;
+
+/// Sentinel for "no leader elected" in traces and queries.
+inline constexpr ProcessId kNoLeader = static_cast<ProcessId>(-1);
+
+/// One change of a process's local leader view.
+struct LeaderChange {
+  TimePoint at;
+  ProcessId leader = kNoLeader;  ///< kNoLeader = view became leaderless
+
+  friend bool operator==(const LeaderChange&, const LeaderChange&) = default;
+};
+
+class Elector {
+ public:
+  struct Options {
+    /// Holddown after the first demotion; doubles per further demotion.
+    Duration holddown_base = seconds(8.0);
+    /// Upper bound of the demotion backoff (the hysteresis is *bounded*:
+    /// a genuinely stable ex-leader regains eligibility within this).
+    Duration holddown_cap = seconds(64.0);
+    /// A peer's demotion count resets after this much demotion-free time.
+    Duration holddown_reset = seconds(180.0);
+    /// Self-eligibility delay after activate/recover/cold-restore.
+    Duration self_claim_delay = seconds(5.0);
+    /// How long a warm-restored leader latch survives without the rebuilt
+    /// detector confirming it.
+    Duration restore_grace = seconds(20.0);
+
+    void validate() const;
+  };
+
+  /// An elector for process `self` of `n` processes (ids 0..n-1).
+  Elector(sim::Simulator& simulator, ProcessId self, std::size_t n,
+          Options options);
+
+  /// Starts the elector: arms the self-claim delay and evaluates the first
+  /// view.  Call exactly once, at simulated time 0 or later.
+  void activate();
+
+  /// Feeds one transition of the detector watching `peer` (cluster glue).
+  void on_peer_transition(ProcessId peer, Verdict v, TimePoint at);
+
+  /// Notifies that `peer` re-announced itself with a higher incarnation:
+  /// its demotion history belongs to a previous life and is cleared.
+  void on_peer_incarnation(ProcessId peer, std::uint64_t incarnation,
+                           TimePoint at);
+
+  /// Crash of the hosting process: the elector stops (a crashed process
+  /// has no leader view; the trace records kNoLeader) and all volatile
+  /// state is lost.
+  void crash(TimePoint at);
+
+  /// Recovery of the hosting process: fresh state, everyone suspected,
+  /// self-claim gated by self_claim_delay.
+  void recover(TimePoint at);
+
+  // ---- supervisor snapshot plumbing (warm/cold restarts) -----------------
+
+  /// The persistent state a snapshot carries (see persist::ElectionState).
+  [[nodiscard]] persist::ElectionState export_state(TimePoint at) const;
+
+  /// Restores after an elector/monitor restart.  With a state and
+  /// warm=true the leader latch revives under restore_grace; with nullopt
+  /// (cold restart, stale or election-less snapshot) the elector rejoins
+  /// as a follower exactly like recover().
+  void restore_state(const std::optional<persist::ElectionState>& state,
+                     bool warm, TimePoint at);
+
+  // ---- observability -----------------------------------------------------
+
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] ProcessId self() const { return self_; }
+  [[nodiscard]] ProcessId leader() const { return leader_; }
+  [[nodiscard]] bool self_claimed() const { return leader_ == self_; }
+  [[nodiscard]] std::uint64_t leader_changes() const {
+    return leader_changes_;
+  }
+  [[nodiscard]] std::uint64_t demotions(ProcessId peer) const;
+  /// Every local leader change, in time order.
+  [[nodiscard]] const std::vector<LeaderChange>& trace() const {
+    return trace_;
+  }
+
+  void add_listener(std::function<void(const LeaderChange&)> listener);
+
+ private:
+  struct Peer {
+    bool trusted = false;
+    std::uint64_t incarnation = 0;
+    std::uint64_t demotions = 0;
+    TimePoint eligible_from = TimePoint::zero();
+    TimePoint last_demotion = TimePoint::zero();
+  };
+
+  [[nodiscard]] Duration holddown(std::uint64_t demotions) const;
+  void note_demotion(Peer& peer, TimePoint at);
+  void reevaluate(TimePoint at);
+  void set_leader(TimePoint at, ProcessId leader);
+  void schedule_reevaluation(TimePoint at);
+  void reset_volatile(TimePoint at);
+
+  sim::Simulator& sim_;
+  ProcessId self_;
+  std::size_t n_;
+  Options options_;
+  std::vector<Peer> peers_;  // indexed by process id; entry self_ unused
+  bool started_ = false;
+  bool alive_ = true;
+  ProcessId leader_ = kNoLeader;
+  TimePoint leader_since_ = TimePoint::zero();
+  TimePoint self_eligible_from_ = TimePoint::zero();
+  // Warm-restore latch: `grace_leader_` stays leader until `grace_until_`
+  // unless a lower process becomes eligible or the latch is confirmed by a
+  // real trust transition.
+  ProcessId grace_leader_ = kNoLeader;
+  TimePoint grace_until_ = TimePoint::zero();
+  std::uint64_t leader_changes_ = 0;
+  std::vector<LeaderChange> trace_;
+  std::vector<std::function<void(const LeaderChange&)>> listeners_;
+};
+
+}  // namespace chenfd::election

@@ -1,0 +1,303 @@
+#include "election/qos.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace chenfd::election {
+
+namespace {
+
+/// Is `t` inside any window of the disjoint, ordered set?
+bool covered(const std::vector<fault::Window>& windows, TimePoint t) {
+  for (const fault::Window& w : windows) {
+    if (t < w.begin) return false;
+    if (t < w.end) return true;
+  }
+  return false;
+}
+
+/// The local leader view of the right-continuous trace at time `t`.
+ProcessId view_at(const std::vector<LeaderChange>& trace, TimePoint t) {
+  ProcessId view = kNoLeader;
+  for (const LeaderChange& c : trace) {
+    if (c.at > t) break;
+    view = c.leader;
+  }
+  return view;
+}
+
+void check_windows(const std::vector<fault::Window>& windows,
+                   const char* what) {
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    expects(windows[i].end > windows[i].begin, what);
+    if (i > 0) expects(windows[i].begin >= windows[i - 1].end, what);
+  }
+}
+
+enum class Kind { kAgreement, kNoLeader, kDisagreement };
+
+}  // namespace
+
+std::vector<fault::Window> merge_windows(std::vector<fault::Window> windows,
+                                         TimePoint horizon) {
+  expects(horizon > TimePoint::zero(),
+          "merge_windows: horizon must be positive");
+  std::vector<fault::Window> clamped;
+  for (fault::Window w : windows) {
+    w.begin = std::max(w.begin, TimePoint::zero());
+    w.end = std::min(w.end, horizon);
+    if (w.end > w.begin) clamped.push_back(w);
+  }
+  std::sort(clamped.begin(), clamped.end(),
+            [](const fault::Window& a, const fault::Window& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<fault::Window> merged;
+  for (const fault::Window& w : clamped) {
+    if (!merged.empty() && w.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, w.end);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  CHENFD_ENSURES(
+      std::is_sorted(merged.begin(), merged.end(),
+                     [](const fault::Window& a, const fault::Window& b) {
+                       return a.end <= b.begin;
+                     }),
+      "merge_windows: result must be disjoint and ordered");
+  return merged;
+}
+
+std::vector<fault::Window> subtract_windows(
+    const std::vector<fault::Window>& base,
+    const std::vector<fault::Window>& minus) {
+  check_windows(base, "subtract_windows: base must be disjoint and ordered");
+  check_windows(minus, "subtract_windows: minus must be disjoint and ordered");
+  std::vector<fault::Window> out;
+  for (const fault::Window& b : base) {
+    TimePoint cursor = b.begin;
+    for (const fault::Window& m : minus) {
+      if (m.end <= cursor) continue;
+      if (m.begin >= b.end) break;
+      if (m.begin > cursor) out.push_back({cursor, m.begin});
+      cursor = std::max(cursor, m.end);
+      if (cursor >= b.end) break;
+    }
+    if (cursor < b.end) out.push_back({cursor, b.end});
+  }
+  return out;
+}
+
+QosReport compute_qos(const QosInput& input) {
+  expects(input.n >= 2, "compute_qos: need at least two processes");
+  expects(input.horizon > TimePoint::zero(),
+          "compute_qos: horizon must be positive");
+  expects(input.traces.size() == input.n,
+          "compute_qos: one trace per process");
+  expects(input.view_windows.size() == input.n,
+          "compute_qos: one view-window set per process");
+  expects(input.election_bound > Duration::zero(),
+          "compute_qos: election bound must be positive");
+  for (const auto& trace : input.traces) {
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      expects(trace[i].at >= trace[i - 1].at,
+              "compute_qos: traces must be time-ordered");
+    }
+  }
+  for (const auto& windows : input.view_windows) {
+    check_windows(windows,
+                  "compute_qos: view windows must be disjoint and ordered");
+  }
+  check_windows(
+      input.disturbance_windows,
+      "compute_qos: disturbance windows must be disjoint and ordered");
+  check_windows(input.fault_windows,
+                "compute_qos: fault windows must be disjoint and ordered");
+
+  // Cut the timeline at every point where any input step function changes.
+  std::set<TimePoint> cuts{TimePoint::zero(), input.horizon};
+  auto add_cut = [&](TimePoint t) {
+    if (t > TimePoint::zero() && t < input.horizon) cuts.insert(t);
+  };
+  for (const auto& trace : input.traces) {
+    for (const LeaderChange& c : trace) add_cut(c.at);
+  }
+  for (const auto& windows : input.view_windows) {
+    for (const fault::Window& w : windows) {
+      add_cut(w.begin);
+      add_cut(w.end);
+    }
+  }
+  for (const fault::Window& w : input.disturbance_windows) {
+    add_cut(w.begin);
+    add_cut(w.end);
+  }
+
+  QosReport report;
+  for (const auto& trace : input.traces) {
+    report.total_leader_changes += trace.size();
+  }
+
+  const double horizon_s = input.horizon.seconds();
+  double agree_s = 0.0;
+  double none_s = 0.0;
+  double split_s = 0.0;
+
+  // Stability / gap accumulators, advanced segment by segment.
+  ProcessId stable_leader = kNoLeader;
+  TimePoint stable_since = TimePoint::zero();
+  ProcessId last_agreed = kNoLeader;
+  std::vector<double> stability_s;
+  bool in_gap = false;
+  TimePoint gap_begin = TimePoint::zero();
+  std::vector<double> latencies_s;
+
+  auto close_stability = [&](TimePoint at) {
+    if (stable_leader == kNoLeader) return;
+    stability_s.push_back((at - stable_since).seconds());
+    stable_leader = kNoLeader;
+  };
+  auto close_gap = [&](TimePoint at, bool censored) {
+    if (!in_gap) return;
+    in_gap = false;
+    // Both references count from the moment the system was last disturbed
+    // during the gap — before that, failing to agree is expected, not slow.
+    // The deadline reference uses the *padded* windows (the elector is
+    // entitled to the settle allowance); the latency reference uses the
+    // raw fault ends, so latencies report real convergence time.
+    const auto last_overlapping_end =
+        [&](const std::vector<fault::Window>& windows) {
+          TimePoint reference = gap_begin;
+          for (const fault::Window& w : windows) {
+            if (w.begin >= at) break;
+            if (w.end > gap_begin) {
+              reference = std::max(reference, std::min(w.end, at));
+            }
+          }
+          return reference;
+        };
+    const TimePoint deadline =
+        last_overlapping_end(input.disturbance_windows) + input.election_bound;
+    if (at > deadline && deadline <= input.horizon) ++report.bound_violations;
+    if (!censored) {
+      ++report.elections;
+      latencies_s.push_back(
+          (at - last_overlapping_end(input.fault_windows)).seconds());
+    }
+  };
+
+  TimePoint prev = TimePoint::zero();
+  bool first = true;
+  for (const TimePoint cut : cuts) {
+    if (first) {
+      first = false;
+      prev = cut;
+      continue;
+    }
+    const TimePoint t0 = prev;
+    const TimePoint t1 = cut;
+    prev = cut;
+    const double len_s = (t1 - t0).seconds();
+
+    // Classify the segment at its left edge (all inputs are constant on it).
+    std::vector<ProcessId> live;
+    for (ProcessId id = 0; id < input.n; ++id) {
+      if (covered(input.view_windows[id], t0)) live.push_back(id);
+    }
+    Kind kind = Kind::kNoLeader;
+    if (!live.empty()) {
+      const ProcessId claimed = view_at(input.traces[live.front()], t0);
+      bool unanimous = true;
+      bool any_claim = false;
+      for (const ProcessId id : live) {
+        const ProcessId v = view_at(input.traces[id], t0);
+        if (v != kNoLeader) any_claim = true;
+        if (v != claimed) unanimous = false;
+      }
+      const bool leader_live =
+          claimed != kNoLeader &&
+          std::find(live.begin(), live.end(), claimed) != live.end();
+      if (unanimous && leader_live) {
+        kind = Kind::kAgreement;
+      } else if (any_claim) {
+        kind = Kind::kDisagreement;
+      }
+    }
+
+    if (kind == Kind::kAgreement) {
+      agree_s += len_s;
+      const ProcessId leader = view_at(input.traces[live.front()], t0);
+      close_gap(t0, /*censored=*/false);
+      if (stable_leader != leader) {
+        close_stability(t0);
+        stable_leader = leader;
+        stable_since = t0;
+        if (last_agreed != kNoLeader && last_agreed != leader) {
+          ++report.agreed_leader_changes;
+        }
+        last_agreed = leader;
+      }
+    } else {
+      (kind == Kind::kNoLeader ? none_s : split_s) += len_s;
+      close_stability(t0);
+      if (!in_gap) {
+        in_gap = true;
+        gap_begin = t0;
+      }
+      if (!covered(input.disturbance_windows, t0)) {
+        report.undisturbed_violation_s += len_s;
+      }
+    }
+  }
+  close_stability(input.horizon);
+  close_gap(input.horizon, /*censored=*/true);
+
+  report.exactly_one_leader_fraction = agree_s / horizon_s;
+  report.no_leader_fraction = none_s / horizon_s;
+  report.disagreement_fraction = split_s / horizon_s;
+  if (!stability_s.empty()) {
+    double sum = 0.0;
+    for (const double s : stability_s) {
+      sum += s;
+      report.max_stability_s = std::max(report.max_stability_s, s);
+    }
+    report.mean_stability_s = sum / static_cast<double>(stability_s.size());
+  }
+  if (!latencies_s.empty()) {
+    double sum = 0.0;
+    for (const double s : latencies_s) {
+      sum += s;
+      report.max_election_latency_s =
+          std::max(report.max_election_latency_s, s);
+    }
+    report.mean_election_latency_s =
+        sum / static_cast<double>(latencies_s.size());
+  }
+
+  // Spurious demotions: a view walking away from a live leader in calm air.
+  for (ProcessId id = 0; id < input.n; ++id) {
+    const auto& trace = input.traces[id];
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      const ProcessId old_leader = trace[i - 1].leader;
+      const ProcessId new_leader = trace[i].leader;
+      const TimePoint at = trace[i].at;
+      if (old_leader == kNoLeader || at >= input.horizon) continue;
+      if (new_leader != kNoLeader && new_leader < old_leader) continue;
+      if (!covered(input.view_windows[old_leader], at)) continue;
+      if (covered(input.disturbance_windows, at)) continue;
+      ++report.spurious_demotions;
+    }
+  }
+
+  const double total = report.exactly_one_leader_fraction +
+                       report.no_leader_fraction +
+                       report.disagreement_fraction;
+  CHENFD_ENSURES(total > 0.999 && total < 1.001,
+                 "compute_qos: fractions must partition the horizon");
+  return report;
+}
+
+}  // namespace chenfd::election

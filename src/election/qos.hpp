@@ -1,0 +1,111 @@
+// Leader-election QoS metrics against FaultPlan ground truth (DESIGN.md
+// section 12).
+//
+// The paper quantifies failure-detector quality with accuracy/speed metrics
+// computed against what *actually* happened on the link; this header does
+// the same one layer up, for the Omega service built on NFD-E.  Inputs are
+// the per-process leader traces (right-continuous step functions: each
+// LeaderChange sets the view from its time on), the per-process "view up"
+// windows (process up AND elector up — ground truth from the FaultPlan),
+// and the merged disturbance windows (fault windows padded by the settle
+// time the scenario grants the detectors).
+//
+// The timeline is cut at every change point and each segment is classified:
+//
+//   agreement   — some live L is everyone's leader, including L itself
+//                 (the "exactly one leader" predicate of Omega);
+//   no leader   — every live view is kNoLeader;
+//   disagreement— anything else (split views, or a claimed leader that is
+//                 down or not self-claiming).
+//
+// From the segments: exactly-one / no-leader / disagreement time fractions,
+// leader-stability intervals (maximal agreement runs on one leader),
+// election gaps (maximal non-agreement runs) with latencies measured from
+// the end of the last overlapping disturbance, deadline checks against the
+// analytic bound (NFD-E detection time + election settling), and spurious
+// demotions — a view abandoning a leader that was up, outside every
+// disturbance window (switching to a *lower* id is adoption, not demotion).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "election/elector.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace chenfd::election {
+
+struct QosInput {
+  std::size_t n = 0;
+  TimePoint horizon;
+  /// Per-process local leader traces (Elector::trace()), indexed by id.
+  std::vector<std::vector<LeaderChange>> traces;
+  /// Per-process windows during which the process's *view* exists: process
+  /// up and elector up.  Disjoint and time-ordered per process.
+  std::vector<std::vector<fault::Window>> view_windows;
+  /// Merged disturbance windows: every injected fault window padded by the
+  /// scenario's settle allowance.  Agreement is not demanded inside these.
+  std::vector<fault::Window> disturbance_windows;
+  /// Merged *raw* (unpadded) fault windows.  Election latency is measured
+  /// from the last raw fault end overlapping the gap — the moment the
+  /// system was actually healed — while the deadline check uses the padded
+  /// windows above (the elector is entitled to the settle allowance).
+  std::vector<fault::Window> fault_windows;
+  /// Analytic convergence bound: once a disturbance ends, agreement must
+  /// (re-)form within this (NFD-E detection bound + election overheads).
+  Duration election_bound;
+};
+
+struct QosReport {
+  // Time fractions of the horizon (they sum to 1).
+  double exactly_one_leader_fraction = 0.0;
+  double no_leader_fraction = 0.0;
+  double disagreement_fraction = 0.0;
+  /// Non-agreement time lying outside every disturbance window, seconds.
+  double undisturbed_violation_s = 0.0;
+
+  // Leader stability: maximal agreement runs on a single leader.
+  double mean_stability_s = 0.0;
+  double max_stability_s = 0.0;
+  /// Agreement intervals whose leader differs from the previous one.
+  std::uint64_t agreed_leader_changes = 0;
+
+  // Election gaps: maximal non-agreement runs that closed before the
+  // horizon.  Latency is measured from the end of the last disturbance
+  // overlapping the gap (or the gap start if none).
+  std::size_t elections = 0;
+  double mean_election_latency_s = 0.0;
+  double max_election_latency_s = 0.0;
+  /// Gaps that outlived their deadline (last overlapping disturbance end,
+  /// or gap start, plus election_bound).
+  std::size_t bound_violations = 0;
+
+  // Spurious demotions: a view dropping leader L (to kNoLeader or a higher
+  // id) while L's view existed and the change lies outside every
+  // disturbance window.
+  std::uint64_t spurious_demotions = 0;
+  /// All leader changes across all traces (including crash gaps).
+  std::uint64_t total_leader_changes = 0;
+};
+
+/// Computes the report.  Contract-checks the input: traces time-ordered,
+/// windows disjoint and ordered, horizon positive.
+[[nodiscard]] QosReport compute_qos(const QosInput& input);
+
+/// Merges possibly-overlapping windows into a disjoint, time-ordered set,
+/// clamped to [0, horizon].  Used to build disturbance_windows from padded
+/// per-fault windows.
+[[nodiscard]] std::vector<fault::Window> merge_windows(
+    std::vector<fault::Window> windows, TimePoint horizon);
+
+/// Subtracts `minus` from `base` (both disjoint and ordered): the parts of
+/// `base` not covered by any `minus` window.  Used to intersect process-up
+/// with elector-up ground truth.
+[[nodiscard]] std::vector<fault::Window> subtract_windows(
+    const std::vector<fault::Window>& base,
+    const std::vector<fault::Window>& minus);
+
+}  // namespace chenfd::election

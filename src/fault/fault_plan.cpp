@@ -17,12 +17,46 @@ FaultPlan& FaultPlan::push(Event event) {
   return *this;
 }
 
-FaultPlan& FaultPlan::crash_p(TimePoint at) {
-  return push(Event{Kind::kCrash, at});
+FaultPlan& FaultPlan::crash_p(TimePoint at) { return crash_process(0, at); }
+
+FaultPlan& FaultPlan::recover_p(TimePoint at) { return recover_process(0, at); }
+
+FaultPlan& FaultPlan::crash_process(ProcessId id, TimePoint at) {
+  expects(!armed_, "FaultPlan::crash_process: plan already armed");
+  Event e{Kind::kCrash, at};
+  e.process = id;
+  return push(std::move(e));
 }
 
-FaultPlan& FaultPlan::recover_p(TimePoint at) {
-  return push(Event{Kind::kRecover, at});
+FaultPlan& FaultPlan::recover_process(ProcessId id, TimePoint at) {
+  expects(!armed_, "FaultPlan::recover_process: plan already armed");
+  Event e{Kind::kRecover, at};
+  e.process = id;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::isolate(ProcessId id, TimePoint from, TimePoint until) {
+  expects(until > from, "FaultPlan::isolate: window must be non-empty");
+  Event on{Kind::kIsolateOn, from};
+  on.process = id;
+  push(std::move(on));
+  Event off{Kind::kIsolateOff, until};
+  off.process = id;
+  return push(std::move(off));
+}
+
+FaultPlan& FaultPlan::elector_crash(ProcessId id, TimePoint at) {
+  expects(!armed_, "FaultPlan::elector_crash: plan already armed");
+  Event e{Kind::kElectorCrash, at};
+  e.process = id;
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::elector_restart(ProcessId id, TimePoint at) {
+  expects(!armed_, "FaultPlan::elector_restart: plan already armed");
+  Event e{Kind::kElectorRestart, at};
+  e.process = id;
+  return push(std::move(e));
 }
 
 FaultPlan& FaultPlan::partition(TimePoint from, TimePoint until) {
@@ -120,10 +154,24 @@ void FaultPlan::arm(core::Testbed& testbed,
       case Kind::kCrash:
         // The sender keeps its own crash/recover schedule (and enforces
         // the alternation contract); no simulator event needed here.
+        expects(ev.process == 0,
+                "FaultPlan::arm: only process 0 exists in a two-process "
+                "testbed; cluster plans are applied by election::Cluster");
         testbed.crash_p_at(ev.at);
         break;
       case Kind::kRecover:
+        expects(ev.process == 0,
+                "FaultPlan::arm: only process 0 exists in a two-process "
+                "testbed; cluster plans are applied by election::Cluster");
         testbed.recover_p_at(ev.at);
+        break;
+      case Kind::kIsolateOn:
+      case Kind::kIsolateOff:
+      case Kind::kElectorCrash:
+      case Kind::kElectorRestart:
+        expects(false,
+                "FaultPlan::arm: isolation/elector events are cluster-only "
+                "(apply the plan through election::Cluster)");
         break;
       case Kind::kPartitionOn:
         sim.at(ev.at, [&testbed] { testbed.link().set_partitioned(true); });
@@ -208,14 +256,69 @@ std::vector<Window> FaultPlan::partition_windows() const {
 }
 
 std::vector<Window> FaultPlan::downtime_windows() const {
+  return downtime_windows(0);
+}
+
+std::vector<Window> FaultPlan::paired_windows(Kind on, Kind off,
+                                              ProcessId id) const {
   std::vector<Window> out;
   for (const Event& ev : sorted_events()) {
-    if (ev.kind == Kind::kCrash) {
+    if (ev.process != id) continue;
+    if (ev.kind == on) {
+      expects(out.empty() || !out.back().end.is_infinite(),
+              "FaultPlan: on event while the previous window is still open");
+      expects(out.empty() || ev.at >= out.back().end,
+              "FaultPlan: on/off events must alternate in time order");
       out.push_back(Window{ev.at, TimePoint::infinity()});
-    } else if (ev.kind == Kind::kRecover && !out.empty() &&
-               out.back().end.is_infinite()) {
+    } else if (ev.kind == off) {
+      expects(!out.empty() && out.back().end.is_infinite(),
+              "FaultPlan: off event without a matching open window");
+      expects(ev.at > out.back().begin,
+              "FaultPlan: window close must follow its open");
       out.back().end = ev.at;
     }
+  }
+  // Contract: disjoint, time-ordered, only the last may be infinite.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ensures(out[i - 1].end <= out[i].begin && !out[i - 1].end.is_infinite(),
+            "FaultPlan: windows must be disjoint and time-ordered");
+  }
+  return out;
+}
+
+std::vector<Window> FaultPlan::downtime_windows(ProcessId id) const {
+  return paired_windows(Kind::kCrash, Kind::kRecover, id);
+}
+
+std::vector<Window> FaultPlan::isolation_windows(ProcessId id) const {
+  return paired_windows(Kind::kIsolateOn, Kind::kIsolateOff, id);
+}
+
+std::vector<Window> FaultPlan::elector_downtime_windows(ProcessId id) const {
+  return paired_windows(Kind::kElectorCrash, Kind::kElectorRestart, id);
+}
+
+std::vector<Window> FaultPlan::ground_truth_up_windows(
+    ProcessId id, TimePoint horizon) const {
+  expects(horizon > TimePoint::zero(),
+          "FaultPlan::ground_truth_up_windows: horizon must be positive");
+  const std::vector<Window> down = downtime_windows(id);
+  std::vector<Window> out;
+  TimePoint up_since = TimePoint::zero();
+  for (const Window& w : down) {
+    if (w.begin >= horizon) break;
+    if (w.begin > up_since) out.push_back(Window{up_since, w.begin});
+    up_since = w.end;
+    if (up_since.is_infinite() || up_since >= horizon) return out;
+  }
+  if (up_since < horizon) out.push_back(Window{up_since, horizon});
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ensures(out[i].end > out[i].begin && out[i].end <= horizon,
+            "FaultPlan::ground_truth_up_windows: windows must be non-empty "
+            "and clamped to the horizon");
+    ensures(i == 0 || out[i - 1].end <= out[i].begin,
+            "FaultPlan::ground_truth_up_windows: windows must be disjoint "
+            "and time-ordered");
   }
   return out;
 }

@@ -47,6 +47,11 @@ struct Window {
   [[nodiscard]] Duration length() const { return end - begin; }
 };
 
+/// Identifies a process in an N-process election cluster.  The two-process
+/// testbed's monitored process p is process 0 by convention, so the
+/// untagged builders (crash_p, ...) are shorthands for process 0.
+using ProcessId = std::size_t;
+
 class FaultPlan {
  public:
   FaultPlan() = default;
@@ -58,10 +63,30 @@ class FaultPlan {
   // ---- builders (chainable; call in any order, times are sorted at arm) --
 
   /// Crashes p at `at`.  Crash/recover events must alternate in time order
-  /// (enforced when the plan is armed).
+  /// (enforced when the plan is armed).  Shorthand for
+  /// crash_process(0, at).
   FaultPlan& crash_p(TimePoint at);
-  /// Recovers p at `at` (> the preceding crash time).
+  /// Recovers p at `at` (> the preceding crash time).  Shorthand for
+  /// recover_process(0, at).
   FaultPlan& recover_p(TimePoint at);
+  /// Crashes process `id` of an election cluster at `at`.  Per-process
+  /// crash/recover events must alternate in time order (checked by the
+  /// window queries and by the cluster applying the plan).  Only process 0
+  /// events can be armed against a two-process testbed.
+  FaultPlan& crash_process(ProcessId id, TimePoint at);
+  /// Recovers process `id` at `at` (> its preceding crash time).
+  FaultPlan& recover_process(ProcessId id, TimePoint at);
+  /// Isolates process `id` on [from, until): every link to or from `id`
+  /// drops all messages (an asymmetric partition around one process).
+  /// Cluster-level only — the two-process testbed expresses the same fault
+  /// as partition().
+  FaultPlan& isolate(ProcessId id, TimePoint from, TimePoint until);
+  /// Kills process `id`'s *elector/monitor* (observer-side state loss,
+  /// process `id` itself keeps sending heartbeats).  Cluster-level
+  /// equivalent of monitor_crash(); restart policy (warm vs cold) is the
+  /// restarting component's decision.
+  FaultPlan& elector_crash(ProcessId id, TimePoint at);
+  FaultPlan& elector_restart(ProcessId id, TimePoint at);
   /// Severs the link on [from, until): every send in the window is dropped.
   FaultPlan& partition(TimePoint from, TimePoint until);
   /// Swaps the link's delay distribution at `at` (regime shift).
@@ -119,6 +144,27 @@ class FaultPlan {
   /// list: every interval during which no heartbeat can get through.
   [[nodiscard]] std::vector<Window> outage_windows() const;
 
+  // ---- per-process ground truth (election clusters) ---------------------
+
+  /// The crash->recover downtime intervals of process `id`, in time order
+  /// (the no-argument overload reports process 0).  Ordering and
+  /// alternation are contract-checked: windows are disjoint, time-ordered,
+  /// and only the last may extend to +infinity.
+  [[nodiscard]] std::vector<Window> downtime_windows(ProcessId id) const;
+  /// The isolate() intervals of process `id`, in time order.
+  [[nodiscard]] std::vector<Window> isolation_windows(ProcessId id) const;
+  /// The elector crash->restart intervals of process `id`, in time order.
+  [[nodiscard]] std::vector<Window> elector_downtime_windows(
+      ProcessId id) const;
+  /// The complement of downtime_windows(id) clamped to [0, horizon]: the
+  /// intervals during which process `id` is up, in time order.  This is the
+  /// ground truth the leader QoS oracles consume directly instead of
+  /// re-deriving it ad hoc.  Windows are contract-checked to be non-empty,
+  /// disjoint and time-ordered; a process crashed at the horizon simply
+  /// contributes no trailing window.
+  [[nodiscard]] std::vector<Window> ground_truth_up_windows(
+      ProcessId id, TimePoint horizon) const;
+
   [[nodiscard]] std::size_t event_count() const { return events_.size(); }
   [[nodiscard]] bool armed() const { return armed_; }
 
@@ -138,6 +184,10 @@ class FaultPlan {
     kDuplicationOff,
     kMonitorCrash,
     kMonitorRestart,
+    kIsolateOn,
+    kIsolateOff,
+    kElectorCrash,
+    kElectorRestart,
   };
 
   struct Event {
@@ -145,6 +195,7 @@ class FaultPlan {
 
     Kind kind;
     TimePoint at;
+    ProcessId process = 0;             // crash/recover/isolate/elector tag
     Duration step = Duration::zero();  // clock jumps
     double value = 0.0;                // rates / probabilities
     // Swap payloads are shared so the scheduling closures stay copyable
@@ -155,6 +206,10 @@ class FaultPlan {
 
   FaultPlan& push(Event event);
   [[nodiscard]] std::vector<Event> sorted_events() const;
+  /// Pairs `on`/`off` events tagged with process `id` into windows and
+  /// contract-checks alternation and ordering.
+  [[nodiscard]] std::vector<Window> paired_windows(Kind on, Kind off,
+                                                   ProcessId id) const;
 
   std::vector<Event> events_;
   bool armed_ = false;

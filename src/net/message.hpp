@@ -5,6 +5,14 @@
 // time sigma_i; with skewed clocks it is sigma_i plus the (unknown) skew —
 // which is all the Section 5.2 / 6.2.2 estimators need, since the variance
 // of (arrival - timestamp) is invariant to a constant skew.
+//
+// In the crash-recovery extension (DESIGN.md sections 8 and 12) heartbeats
+// additionally carry the sender's incarnation number: 0 for the initial
+// life, incremented on every recovery.  Receivers use it to tell a
+// recovered process from its pre-crash self — in-flight heartbeats of an
+// older incarnation are stale and must not refresh trust, and an
+// incarnation bump signals that the sending schedule was re-anchored at
+// recovery time, so Eq. 6.3 estimation windows must be rebased.
 
 #pragma once
 
@@ -20,6 +28,7 @@ struct Message {
   SeqNo seq = 0;                ///< heartbeat sequence number i >= 1
   TimePoint sent_real;          ///< real (simulated) sending time sigma_i
   TimePoint sender_timestamp;   ///< sending time per the sender's local clock
+  std::uint64_t incarnation = 0;  ///< sender lives survived (0 = first life)
 };
 
 }  // namespace chenfd::net

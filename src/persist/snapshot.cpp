@@ -186,6 +186,27 @@ void write_snapshot(std::ostream& os, const MonitorSnapshot& snap) {
             << app.mistake_recurrence_lower_s << " "
             << app.mistake_duration_upper_s << "\n";
   }
+  if (snap.has_election) {
+    payload << "election " << snap.election.self << " ";
+    if (snap.election.has_leader) {
+      payload << snap.election.leader;
+    } else {
+      payload << "none";
+    }
+    payload << " " << snap.election.leader_since_s << " "
+            << snap.election.leader_changes << " "
+            << snap.election.peers.size() << "\n";
+    for (const ElectionPeerState& peer : snap.election.peers) {
+      payload << "epeer " << peer.id << " " << peer.incarnation << " "
+              << peer.demotions << " ";
+      if (peer.has_holddown) {
+        payload << peer.holddown_until_s;
+      } else {
+        payload << "none";
+      }
+      payload << "\n";
+    }
+  }
 
   const std::string bytes = payload.str();
   os << bytes << "crc " << std::hex << std::setw(8) << std::setfill('0')
@@ -390,7 +411,66 @@ MonitorSnapshot read_snapshot(std::istream& is) {
   }
 
   if (p.lineno() != crc_lineno - 1) {
-    throw SnapshotError("unconsumed payload after apps section",
+    // Anything left after the apps section must be the optional election
+    // section; a reader predating it lands in the else branch below and
+    // rejects, which is exactly the forward-rejection behaviour we want.
+    p.open("election");
+    snap.has_election = true;
+    snap.election.self = p.take_u64();
+    const std::string leader_word = p.take_word();
+    if (leader_word == "none") {
+      snap.election.has_leader = false;
+    } else {
+      std::istringstream ws(leader_word);
+      std::uint64_t value = 0;
+      std::string extra;
+      if (!(ws >> value) || (ws >> extra) || leader_word[0] == '-') {
+        p.fail("malformed leader '" + leader_word + "'");
+      }
+      snap.election.has_leader = true;
+      snap.election.leader = value;
+    }
+    snap.election.leader_since_s = p.take_finite();
+    snap.election.leader_changes = p.take_u64();
+    const std::uint64_t peer_count = p.take_u64();
+    p.close();
+    if (snap.election.has_leader &&
+        snap.election.leader_since_s > snap.taken_at_s) {
+      p.fail("leader latched after the snapshot was taken");
+    }
+    for (std::uint64_t i = 0; i < peer_count; ++i) {
+      p.open("epeer");
+      ElectionPeerState peer;
+      peer.id = p.take_u64();
+      peer.incarnation = p.take_u64();
+      peer.demotions = p.take_u64();
+      const std::string hold_word = p.take_word();
+      p.close();
+      if (hold_word == "none") {
+        peer.has_holddown = false;
+      } else {
+        std::istringstream ws(hold_word);
+        double value = 0.0;
+        std::string extra;
+        if (!(ws >> value) || (ws >> extra) || !std::isfinite(value)) {
+          p.fail("malformed holddown '" + hold_word + "'");
+        }
+        peer.has_holddown = true;
+        peer.holddown_until_s = value;
+      }
+      if (peer.id == snap.election.self) {
+        p.fail("election peer list must not contain the process itself");
+      }
+      if (!snap.election.peers.empty() &&
+          peer.id <= snap.election.peers.back().id) {
+        p.fail("election peer ids must be strictly increasing");
+      }
+      snap.election.peers.push_back(peer);
+    }
+  }
+
+  if (p.lineno() != crc_lineno - 1) {
+    throw SnapshotError("unconsumed payload after election section",
                         p.lineno() + 1);
   }
   return snap;

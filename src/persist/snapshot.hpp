@@ -29,7 +29,15 @@
 //   requirements <T_D^u> <T_MR^L> <T_M^U>
 //   apps <next-id> <count>
 //   app <id> <T_D^u> <T_MR^L> <T_M^U>              (count lines)
+//   election <self> <leader|none> <since> <changes> <count>   (optional)
+//   epeer <id> <incarnation> <demotions> <holddown-until|none> (count lines)
 //   crc <8-hex-digits>
+//
+// The election section is optional (supervisors without an attached
+// election service never write it) and still part of format v1: a reader
+// predating it rejects snapshots that carry one via the "unconsumed
+// payload" structural check — the same refuse-don't-misparse guarantee a
+// version bump would give, without invalidating existing v1 snapshots.
 //
 // Integrity rules:
 //   - the version line must name exactly the supported version; snapshots
@@ -111,6 +119,30 @@ struct AppRequirement {
   double mistake_duration_upper_s = 0.0;
 };
 
+/// One peer's election-relevant history as seen by the snapshotting
+/// process: last incarnation heard, demotion count (drives the hysteresis
+/// backoff) and, when the peer is currently held down, the local time its
+/// leadership eligibility returns.
+struct ElectionPeerState {
+  std::uint64_t id = 0;
+  std::uint64_t incarnation = 0;
+  std::uint64_t demotions = 0;
+  bool has_holddown = false;
+  double holddown_until_s = 0.0;
+};
+
+/// The Omega elector's persistent state (DESIGN.md section 12): who this
+/// process is, who it currently considers leader (the latch a warm restart
+/// revives), and the per-peer hysteresis bookkeeping.
+struct ElectionState {
+  std::uint64_t self = 0;
+  bool has_leader = false;
+  std::uint64_t leader = 0;
+  double leader_since_s = 0.0;
+  std::uint64_t leader_changes = 0;
+  std::vector<ElectionPeerState> peers;  ///< strictly increasing id, != self
+};
+
 /// The full monitor-side state at `taken_at` (q-local seconds).
 struct MonitorSnapshot {
   double taken_at_s = 0.0;
@@ -142,6 +174,11 @@ struct MonitorSnapshot {
   // Registered per-application demands (the registry's contents).
   std::uint64_t next_app_id = 1;
   std::vector<AppRequirement> apps;
+
+  // Optional election section (present when an election service rides on
+  // this monitor; see MonitorSupervisor::set_election_hooks).
+  bool has_election = false;
+  ElectionState election;
 };
 
 /// Serializes `snap` in the format above, CRC line included.

@@ -75,10 +75,22 @@ void MonitorSupervisor::take_snapshot() {
           req.mistake_recurrence_lower.seconds(),
           req.mistake_duration_upper.seconds()});
     }
+    if (election_exporter_) {
+      snap.has_election = true;
+      snap.election = election_exporter_();
+    }
     store_.save(persist::to_string(snap));
     ++snapshots_taken_;
   }
   arm_snapshot_timer();
+}
+
+void MonitorSupervisor::set_election_hooks(ElectionExporter exporter,
+                                           ElectionRestorer restorer) {
+  expects(exporter != nullptr && restorer != nullptr,
+          "MonitorSupervisor::set_election_hooks: hooks must be non-null");
+  election_exporter_ = std::move(exporter);
+  election_restorer_ = std::move(restorer);
 }
 
 AppId MonitorSupervisor::register_app(const core::RelativeRequirements& req) {
@@ -165,6 +177,16 @@ void MonitorSupervisor::warm_restart(const persist::MonitorSnapshot& snap,
   monitor_->restore_from(snap, seconds(local_now.seconds() - snap.taken_at_s));
   monitor_->activate();
   ++warm_restarts_;
+  if (election_restorer_) {
+    // A warm monitor restart only revives the election latch when the
+    // snapshot actually carries one; an election-less snapshot (hooks
+    // attached after the last snapshot cycle) demotes to follower.
+    if (snap.has_election) {
+      election_restorer_(snap.election, true);
+    } else {
+      election_restorer_(std::nullopt, false);
+    }
+  }
 }
 
 void MonitorSupervisor::cold_restart() {
@@ -184,6 +206,7 @@ void MonitorSupervisor::cold_restart() {
   monitor_->latch_risk(AdaptiveMonitor::RiskReason::kPostDisruption);
   monitor_->activate();
   ++cold_restarts_;
+  if (election_restorer_) election_restorer_(std::nullopt, false);
 }
 
 }  // namespace chenfd::service

@@ -42,12 +42,15 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "clock/clock.hpp"
 #include "core/failure_detector.hpp"
 #include "core/heartbeat_sender.hpp"
+#include "persist/snapshot.hpp"
 #include "persist/store.hpp"
 #include "service/adaptive.hpp"
 #include "service/registry.hpp"
@@ -97,6 +100,23 @@ class MonitorSupervisor final : public core::FailureDetector {
   /// Brings up a new monitor incarnation, warm or cold per the policy and
   /// the stored snapshot's state (see file comment).
   void restart_monitor();
+
+  // ---- election piggyback (DESIGN.md section 12) -------------------------
+
+  /// Contributes the Omega elector's state to every periodic snapshot.
+  using ElectionExporter = std::function<persist::ElectionState()>;
+  /// Invoked on every restart decision: with the snapshot's election state
+  /// and warm=true when the monitor restarts warm from a snapshot carrying
+  /// one, with nullopt and warm=false otherwise (cold restart, stale or
+  /// election-less snapshot) — the elector must then fall back to follower.
+  using ElectionRestorer =
+      std::function<void(const std::optional<persist::ElectionState>&, bool)>;
+
+  /// Attaches an election service's state to this supervisor's snapshot
+  /// cycle.  Both hooks must be non-null; call before activate() so the
+  /// first snapshot already carries the election section.
+  void set_election_hooks(ElectionExporter exporter,
+                          ElectionRestorer restorer);
 
   // ---- application registry facade (Section 8.1.1) -----------------------
 
@@ -148,6 +168,8 @@ class MonitorSupervisor final : public core::FailureDetector {
   std::size_t snapshots_taken_ = 0;
   std::size_t snapshot_rejects_ = 0;
   std::string last_restart_detail_;
+  ElectionExporter election_exporter_;
+  ElectionRestorer election_restorer_;
 };
 
 }  // namespace chenfd::service

@@ -1,0 +1,429 @@
+// Tests for the Omega-style elector (DESIGN.md section 12): the lowest-id
+// trust rule, demotion hysteresis (doubling, cap, reset, incarnation
+// amnesty), crash/recover gating, the warm-restore leader latch, and the
+// leader-QoS metrics plus the FaultPlan ground-truth window queries they
+// consume.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "election/elector.hpp"
+#include "election/qos.hpp"
+#include "fault/fault_plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace chenfd::election {
+namespace {
+
+Elector::Options tight_options() {
+  Elector::Options o;
+  o.holddown_base = seconds(4.0);
+  o.holddown_cap = seconds(16.0);
+  o.holddown_reset = seconds(60.0);
+  o.self_claim_delay = seconds(2.0);
+  o.restore_grace = seconds(10.0);
+  return o;
+}
+
+/// An elector under direct drive: events are injected at sim.now() so the
+/// elector's internal reevaluation timers stay consistent.
+struct Rig {
+  sim::Simulator sim;
+  Elector elector;
+
+  explicit Rig(ProcessId self, std::size_t n = 3,
+               Elector::Options opts = tight_options())
+      : elector(sim, self, n, opts) {
+    elector.activate();
+  }
+
+  void advance_to(double t) { sim.run_until(TimePoint(t)); }
+
+  void trust(ProcessId peer) {
+    elector.on_peer_transition(peer, Verdict::kTrust, sim.now());
+  }
+  void suspect(ProcessId peer) {
+    elector.on_peer_transition(peer, Verdict::kSuspect, sim.now());
+  }
+};
+
+TEST(Elector, SelfClaimIsGatedByDelay) {
+  Rig rig(0);
+  EXPECT_EQ(rig.elector.leader(), kNoLeader);
+  rig.advance_to(1.9);
+  EXPECT_EQ(rig.elector.leader(), kNoLeader);
+  rig.advance_to(2.1);
+  EXPECT_EQ(rig.elector.leader(), 0u);
+  EXPECT_TRUE(rig.elector.self_claimed());
+  ASSERT_EQ(rig.elector.trace().size(), 1u);
+  EXPECT_EQ(rig.elector.trace().front().leader, 0u);
+}
+
+TEST(Elector, LowestTrustedIdWins) {
+  Rig rig(2);
+  rig.advance_to(1.0);
+  rig.trust(1);
+  EXPECT_EQ(rig.elector.leader(), 1u);  // first trust, no holddown
+  rig.trust(0);
+  EXPECT_EQ(rig.elector.leader(), 0u);  // lower id preempts
+  rig.suspect(0);
+  EXPECT_EQ(rig.elector.leader(), 1u);  // falls back to next trusted
+}
+
+TEST(Elector, DemotionHolddownDelaysReinstatement) {
+  Rig rig(2);
+  rig.advance_to(1.0);
+  rig.trust(1);
+  rig.trust(0);
+  rig.suspect(0);  // demotion #1
+  EXPECT_EQ(rig.elector.demotions(0), 1u);
+  rig.advance_to(10.0);
+  rig.trust(0);  // re-trust: held down for holddown_base = 4 s
+  EXPECT_EQ(rig.elector.leader(), 1u);
+  rig.advance_to(13.9);
+  EXPECT_EQ(rig.elector.leader(), 1u);
+  rig.advance_to(14.1);
+  EXPECT_EQ(rig.elector.leader(), 0u);  // backoff served
+}
+
+TEST(Elector, HolddownDoublesAndIsCapped) {
+  Rig rig(2);
+  rig.advance_to(1.0);
+  rig.trust(1);
+  // Flap process 0 repeatedly; each cycle serves its backoff, so the next
+  // demotion increments the count (the gaps stay under holddown_reset).
+  // After d demotions the holddown is base * 2^(d-1), capped at 16 s.
+  const double expected_holddown[] = {0.0, 4.0, 8.0, 16.0, 16.0};
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const double t = rig.sim.now().seconds();
+    rig.trust(0);
+    const double eligible_at = t + expected_holddown[cycle];
+    if (cycle > 0) {
+      rig.advance_to(eligible_at - 0.1);
+      EXPECT_EQ(rig.elector.leader(), 1u) << "cycle " << cycle;
+    }
+    rig.advance_to(eligible_at + 0.1);
+    EXPECT_EQ(rig.elector.leader(), 0u) << "cycle " << cycle;
+    rig.suspect(0);
+    EXPECT_EQ(rig.elector.demotions(0),
+              static_cast<std::uint64_t>(cycle + 1));
+  }
+}
+
+TEST(Elector, DemotionCountResetsAfterQuietStretch) {
+  Rig rig(2);
+  rig.advance_to(1.0);
+  rig.trust(1);
+  rig.trust(0);
+  rig.suspect(0);  // demotion #1 at t = 1
+  rig.advance_to(5.0);
+  rig.trust(0);
+  rig.advance_to(10.0);  // backoff served, 0 leads again
+  ASSERT_EQ(rig.elector.leader(), 0u);
+  rig.advance_to(70.0);  // 65 s demotion-free > holddown_reset = 60 s
+  rig.suspect(0);
+  // The reset wiped the old count before this demotion was recorded.
+  EXPECT_EQ(rig.elector.demotions(0), 1u);
+}
+
+TEST(Elector, IncarnationBumpClearsHysteresis) {
+  Rig rig(2);
+  rig.advance_to(1.0);
+  rig.trust(1);
+  rig.trust(0);
+  rig.suspect(0);
+  rig.suspect(0);  // no-op transition-wise, but exercise idempotence
+  rig.advance_to(2.0);
+  rig.trust(0);  // held down until t = 6
+  ASSERT_EQ(rig.elector.leader(), 1u);
+  // Process 0 re-announces itself as a new incarnation: its flaps belong
+  // to the previous life, so it leads immediately.
+  rig.elector.on_peer_incarnation(0, 1, rig.sim.now());
+  EXPECT_EQ(rig.elector.demotions(0), 0u);
+  EXPECT_EQ(rig.elector.leader(), 0u);
+  // A stale (not higher) incarnation notification changes nothing.
+  rig.suspect(0);
+  rig.elector.on_peer_incarnation(0, 1, rig.sim.now());
+  EXPECT_EQ(rig.elector.demotions(0), 1u);
+}
+
+TEST(Elector, CrashRecordsNoLeaderAndRecoveryRegatesSelf) {
+  Rig rig(1);
+  rig.advance_to(1.0);
+  rig.trust(0);
+  ASSERT_EQ(rig.elector.leader(), 0u);
+  rig.elector.crash(rig.sim.now());
+  EXPECT_FALSE(rig.elector.alive());
+  EXPECT_EQ(rig.elector.leader(), kNoLeader);
+  EXPECT_EQ(rig.elector.trace().back().leader, kNoLeader);
+  rig.trust(0);  // ignored while dead
+  EXPECT_EQ(rig.elector.leader(), kNoLeader);
+  rig.advance_to(10.0);
+  rig.elector.recover(rig.sim.now());
+  EXPECT_TRUE(rig.elector.alive());
+  EXPECT_EQ(rig.elector.leader(), kNoLeader);  // everyone suspected afresh
+  rig.advance_to(12.1);  // self_claim_delay = 2 s after recovery
+  EXPECT_EQ(rig.elector.leader(), 1u);
+}
+
+TEST(Elector, WarmRestoreLatchesLeaderAndTrustConfirmsIt) {
+  Rig rig(2);
+  rig.advance_to(1.0);
+  rig.trust(0);
+  ASSERT_EQ(rig.elector.leader(), 0u);
+  const persist::ElectionState state =
+      rig.elector.export_state(rig.sim.now());
+  ASSERT_TRUE(state.has_leader);
+  EXPECT_EQ(state.leader, 0u);
+
+  // Observer-side restart: detectors rebuilt (everyone suspect), state
+  // restored warm — the latch keeps the leader without fresh evidence.
+  rig.advance_to(5.0);
+  rig.elector.restore_state(state, /*warm=*/true, rig.sim.now());
+  EXPECT_EQ(rig.elector.leader(), 0u);
+  // The first real trust transition confirms the latch; leadership then
+  // rests on evidence and survives the grace deadline.
+  rig.advance_to(6.0);
+  rig.trust(0);
+  rig.advance_to(30.0);
+  EXPECT_EQ(rig.elector.leader(), 0u);
+}
+
+TEST(Elector, WarmRestoreLatchLapsesWithoutConfirmation) {
+  Rig rig(2);
+  rig.advance_to(1.0);
+  rig.trust(0);
+  const persist::ElectionState state =
+      rig.elector.export_state(rig.sim.now());
+  rig.advance_to(5.0);
+  rig.elector.restore_state(state, /*warm=*/true, rig.sim.now());
+  ASSERT_EQ(rig.elector.leader(), 0u);
+  // No detector ever re-trusts 0: at restore + restore_grace = 15 s the
+  // latch lapses and the elector falls back to the best real evidence —
+  // itself (warm restores do not re-gate self-eligibility).
+  rig.advance_to(15.1);
+  EXPECT_EQ(rig.elector.leader(), 2u);
+}
+
+TEST(Elector, WarmLatchYieldsToLowerIdEvidence) {
+  Rig rig(2);
+  rig.advance_to(1.0);
+  rig.trust(1);
+  ASSERT_EQ(rig.elector.leader(), 1u);
+  const persist::ElectionState state =
+      rig.elector.export_state(rig.sim.now());
+  rig.advance_to(5.0);
+  rig.elector.restore_state(state, /*warm=*/true, rig.sim.now());
+  ASSERT_EQ(rig.elector.leader(), 1u);  // latched
+  rig.trust(0);
+  EXPECT_EQ(rig.elector.leader(), 0u);  // real lower-id evidence wins
+}
+
+TEST(Elector, ColdRestoreFallsBackToFollower) {
+  Rig rig(1);
+  rig.advance_to(1.0);
+  rig.trust(0);
+  ASSERT_EQ(rig.elector.leader(), 0u);
+  rig.advance_to(5.0);
+  rig.elector.restore_state(std::nullopt, /*warm=*/false, rig.sim.now());
+  EXPECT_EQ(rig.elector.leader(), kNoLeader);
+  rig.advance_to(7.1);  // self-claim re-gated like a recovery
+  EXPECT_EQ(rig.elector.leader(), 1u);
+}
+
+TEST(Elector, ListenersSeeEveryChangeInOrder) {
+  Rig rig(2);
+  std::vector<LeaderChange> seen;
+  rig.elector.add_listener(
+      [&seen](const LeaderChange& c) { seen.push_back(c); });
+  rig.advance_to(1.0);
+  rig.trust(1);
+  rig.trust(0);
+  rig.suspect(0);
+  EXPECT_EQ(seen.size(), 3u);
+  // The trace replays the same history (listener attached from the start).
+  EXPECT_EQ(seen, rig.elector.trace());
+}
+
+TEST(Elector, RejectsBadConstructionAndUse) {
+  sim::Simulator sim;
+  EXPECT_THROW(Elector(sim, 0, 1, tight_options()), std::invalid_argument);
+  EXPECT_THROW(Elector(sim, 3, 3, tight_options()), std::invalid_argument);
+  Elector::Options bad = tight_options();
+  bad.holddown_cap = seconds(1.0);  // < holddown_base
+  EXPECT_THROW(Elector(sim, 0, 3, bad), std::invalid_argument);
+
+  Rig rig(1);
+  EXPECT_THROW(rig.elector.activate(), std::invalid_argument);
+  EXPECT_THROW(rig.elector.on_peer_transition(1, Verdict::kTrust,
+                                              rig.sim.now()),
+               std::invalid_argument);  // self is not a peer
+  EXPECT_THROW(rig.elector.recover(rig.sim.now()),
+               std::invalid_argument);  // not crashed
+  EXPECT_THROW(rig.elector.restore_state(std::nullopt, /*warm=*/true,
+                                         rig.sim.now()),
+               std::invalid_argument);  // warm needs a state
+}
+
+// ---- window algebra and QoS metrics ---------------------------------------
+
+fault::Window win(double b, double e) {
+  return fault::Window{TimePoint(b), TimePoint(e)};
+}
+
+TEST(LeaderQos, MergeWindowsCoalescesAndClamps) {
+  const auto merged = merge_windows(
+      {win(40.0, 50.0), win(10.0, 20.0), win(15.0, 30.0), win(45.0, 200.0)},
+      TimePoint(100.0));
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].begin.seconds(), 10.0);
+  EXPECT_EQ(merged[0].end.seconds(), 30.0);
+  EXPECT_EQ(merged[1].begin.seconds(), 40.0);
+  EXPECT_EQ(merged[1].end.seconds(), 100.0);  // clamped to the horizon
+}
+
+TEST(LeaderQos, SubtractWindowsPunchesHoles) {
+  const auto rest = subtract_windows({win(0.0, 100.0)},
+                                     {win(20.0, 30.0), win(50.0, 60.0)});
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0].end.seconds(), 20.0);
+  EXPECT_EQ(rest[1].begin.seconds(), 30.0);
+  EXPECT_EQ(rest[1].end.seconds(), 50.0);
+  EXPECT_EQ(rest[2].begin.seconds(), 60.0);
+  EXPECT_EQ(rest[2].end.seconds(), 100.0);
+}
+
+QosInput steady_input() {
+  QosInput in;
+  in.n = 2;
+  in.horizon = TimePoint(100.0);
+  in.traces = {{{TimePoint(0.0), 0}}, {{TimePoint(0.0), 0}}};
+  in.view_windows = {{win(0.0, 100.0)}, {win(0.0, 100.0)}};
+  in.election_bound = seconds(10.0);
+  return in;
+}
+
+TEST(LeaderQos, SteadyAgreementIsOneStableInterval) {
+  const QosReport r = compute_qos(steady_input());
+  EXPECT_DOUBLE_EQ(r.exactly_one_leader_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.no_leader_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.disagreement_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_stability_s, 100.0);
+  EXPECT_EQ(r.elections, 0u);
+  EXPECT_EQ(r.spurious_demotions, 0u);
+  EXPECT_EQ(r.bound_violations, 0u);
+}
+
+TEST(LeaderQos, DroppingALiveLeaderInCalmAirIsSpurious) {
+  QosInput in = steady_input();
+  // View 1 abandons leader 0 at t = 50 and re-adopts it at t = 52.
+  in.traces[1].push_back({TimePoint(50.0), kNoLeader});
+  in.traces[1].push_back({TimePoint(52.0), 0});
+  const QosReport r = compute_qos(in);
+  EXPECT_EQ(r.spurious_demotions, 1u);
+  EXPECT_NEAR(r.exactly_one_leader_fraction, 0.98, 1e-9);
+  EXPECT_NEAR(r.undisturbed_violation_s, 2.0, 1e-9);
+  // The gap closed 2 s after it opened (no fault to blame): one election,
+  // latency 2 s, within the 10 s bound.
+  EXPECT_EQ(r.elections, 1u);
+  EXPECT_NEAR(r.max_election_latency_s, 2.0, 1e-9);
+  EXPECT_EQ(r.bound_violations, 0u);
+}
+
+TEST(LeaderQos, DemotionInsideADisturbanceIsForgiven) {
+  QosInput in = steady_input();
+  in.traces[1].push_back({TimePoint(50.0), kNoLeader});
+  in.traces[1].push_back({TimePoint(52.0), 0});
+  in.disturbance_windows = {win(45.0, 60.0)};
+  in.fault_windows = {win(45.0, 51.0)};
+  const QosReport r = compute_qos(in);
+  EXPECT_EQ(r.spurious_demotions, 0u);
+  EXPECT_DOUBLE_EQ(r.undisturbed_violation_s, 0.0);
+  // Latency counts from the raw fault end (t = 51), not the gap start.
+  EXPECT_EQ(r.elections, 1u);
+  EXPECT_NEAR(r.max_election_latency_s, 1.0, 1e-9);
+}
+
+TEST(LeaderQos, SwitchingToALowerIdIsAdoptionNotDemotion) {
+  QosInput in = steady_input();
+  in.traces = {{{TimePoint(0.0), 1}}, {{TimePoint(0.0), 1}}};
+  in.traces[1].push_back({TimePoint(50.0), 0});
+  in.traces[0].push_back({TimePoint(50.5), 0});
+  const QosReport r = compute_qos(in);
+  EXPECT_EQ(r.spurious_demotions, 0u);
+  EXPECT_EQ(r.agreed_leader_changes, 1u);  // 1 -> 0 across an agreement run
+}
+
+TEST(LeaderQos, GapOutlivingItsDeadlineIsABoundViolation) {
+  QosInput in = steady_input();
+  in.traces[1].push_back({TimePoint(50.0), kNoLeader});
+  in.traces[1].push_back({TimePoint(75.0), 0});  // 25 s > 10 s bound
+  const QosReport r = compute_qos(in);
+  EXPECT_EQ(r.elections, 1u);
+  EXPECT_EQ(r.bound_violations, 1u);
+}
+
+// ---- FaultPlan ground-truth queries ---------------------------------------
+
+TEST(FaultPlanGroundTruth, UpWindowsComplementDowntime) {
+  fault::FaultPlan plan;
+  plan.crash_process(1, TimePoint(100.0));
+  plan.recover_process(1, TimePoint(200.0));
+  const auto up = plan.ground_truth_up_windows(1, TimePoint(500.0));
+  ASSERT_EQ(up.size(), 2u);
+  EXPECT_EQ(up[0].begin.seconds(), 0.0);
+  EXPECT_EQ(up[0].end.seconds(), 100.0);
+  EXPECT_EQ(up[1].begin.seconds(), 200.0);
+  EXPECT_EQ(up[1].end.seconds(), 500.0);
+  // A process the plan never touches is up for the whole horizon.
+  const auto idle = plan.ground_truth_up_windows(0, TimePoint(500.0));
+  ASSERT_EQ(idle.size(), 1u);
+  EXPECT_EQ(idle[0].end.seconds(), 500.0);
+}
+
+TEST(FaultPlanGroundTruth, CrashWithoutRecoveryEndsTheUpTime) {
+  fault::FaultPlan plan;
+  plan.crash_process(0, TimePoint(300.0));
+  const auto up = plan.ground_truth_up_windows(0, TimePoint(500.0));
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].end.seconds(), 300.0);
+}
+
+TEST(FaultPlanGroundTruth, PerProcessWindowsAreIndependent) {
+  fault::FaultPlan plan;
+  plan.crash_process(0, TimePoint(100.0));
+  plan.recover_process(0, TimePoint(150.0));
+  plan.isolate(1, TimePoint(200.0), TimePoint(260.0));
+  plan.elector_crash(2, TimePoint(300.0));
+  plan.elector_restart(2, TimePoint(340.0));
+  EXPECT_EQ(plan.downtime_windows(0).size(), 1u);
+  EXPECT_TRUE(plan.downtime_windows(1).empty());
+  ASSERT_EQ(plan.isolation_windows(1).size(), 1u);
+  EXPECT_EQ(plan.isolation_windows(1)[0].begin.seconds(), 200.0);
+  ASSERT_EQ(plan.elector_downtime_windows(2).size(), 1u);
+  EXPECT_EQ(plan.elector_downtime_windows(2)[0].end.seconds(), 340.0);
+  EXPECT_TRUE(plan.elector_downtime_windows(0).empty());
+}
+
+TEST(FaultPlanGroundTruth, ContractsRejectMalformedSchedules) {
+  fault::FaultPlan orphan_recover;
+  orphan_recover.recover_process(0, TimePoint(50.0));
+  EXPECT_THROW((void)orphan_recover.downtime_windows(0),
+               std::invalid_argument);
+
+  fault::FaultPlan double_crash;
+  double_crash.crash_process(0, TimePoint(10.0));
+  double_crash.crash_process(0, TimePoint(20.0));
+  EXPECT_THROW((void)double_crash.downtime_windows(0),
+               std::invalid_argument);
+
+  fault::FaultPlan plan;
+  EXPECT_THROW((void)plan.ground_truth_up_windows(0, TimePoint::zero()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd::election

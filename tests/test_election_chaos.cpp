@@ -1,0 +1,130 @@
+// Tests for the leader-election chaos suites (DESIGN.md section 12):
+// the smoke suite's oracles hold, results are bit-identical across runner
+// job counts, the scripted elector-restart paths (warm latch vs. stale
+// cold fallback) are taken by construction, and the analytic bound /
+// settle-allowance plumbing is consistent.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "election/chaos.hpp"
+#include "runner/parallel_sweep.hpp"
+
+namespace chenfd::election {
+namespace {
+
+void expect_bit_identical(const LeaderScenarioResult& a,
+                          const LeaderScenarioResult& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.violations, b.violations);
+  // The traces are the raw evidence: every leader change at every process
+  // must match to the bit for the BENCH_leader.json files to be identical.
+  EXPECT_EQ(a.traces, b.traces);
+  EXPECT_EQ(a.qos.exactly_one_leader_fraction,
+            b.qos.exactly_one_leader_fraction);
+  EXPECT_EQ(a.qos.mean_stability_s, b.qos.mean_stability_s);
+  EXPECT_EQ(a.qos.mean_election_latency_s, b.qos.mean_election_latency_s);
+  EXPECT_EQ(a.qos.spurious_demotions, b.qos.spurious_demotions);
+  EXPECT_EQ(a.qos.total_leader_changes, b.qos.total_leader_changes);
+  EXPECT_EQ(a.warm_elector_restarts, b.warm_elector_restarts);
+  EXPECT_EQ(a.cold_elector_restarts, b.cold_elector_restarts);
+  EXPECT_EQ(a.stale_heartbeats_dropped, b.stale_heartbeats_dropped);
+  EXPECT_EQ(a.incarnation_rebases, b.incarnation_rebases);
+}
+
+TEST(LeaderChaos, SmokeSuitePassesAndIsJobCountInvariant) {
+  const std::vector<LeaderScenarioSpec> specs = leader_suite("leader-smoke");
+  ASSERT_EQ(specs.size(), 2u);
+
+  runner::RunnerOptions serial;
+  serial.jobs = 1;
+  runner::RunnerOptions wide;
+  wide.jobs = 4;
+  const auto r1 = run_leader_suite(specs, 42, serial);
+  const auto r4 = run_leader_suite(specs, 42, wide);
+  ASSERT_EQ(r1.size(), specs.size());
+  ASSERT_EQ(r4.size(), specs.size());
+
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_TRUE(r1[i].ok) << r1[i].name << ": "
+                          << (r1[i].violations.empty()
+                                  ? std::string{}
+                                  : r1[i].violations.front());
+    expect_bit_identical(r1[i], r4[i]);
+  }
+}
+
+TEST(LeaderChaos, WarmElectorRestartRevivesTheLeaderLatch) {
+  // The smoke suite's elector-restart scenario crashes a *follower's*
+  // elector with a fresh snapshot available: the restart must be warm, the
+  // latched leader must survive, and no election may be manufactured.
+  const std::vector<LeaderScenarioSpec> specs = leader_suite("leader-smoke");
+  ASSERT_EQ(specs[1].name, "smoke-leader-elector-warm");
+  ASSERT_TRUE(specs[1].expect_warm_restarts);
+  auto streams = runner::make_substreams(42, specs.size());
+  const LeaderScenarioResult r = run_leader_scenario(specs[1], streams[1]);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? std::string{}
+                                             : r.violations.front());
+  EXPECT_GE(r.warm_elector_restarts, 1u);
+  EXPECT_EQ(r.cold_elector_restarts, 0u);
+  EXPECT_EQ(r.qos.spurious_demotions, 0u);
+}
+
+TEST(LeaderChaos, StaleSnapshotForcesColdFallback) {
+  // Same scenario, but the snapshot-age ceiling is tightened below the
+  // elector downtime: every stored snapshot is stale by the time the
+  // elector restarts, so the restore must fall back cold (follower), and
+  // the cluster must still satisfy every oracle.
+  std::vector<LeaderScenarioSpec> specs = leader_suite("leader-smoke");
+  LeaderScenarioSpec spec = specs[1];
+  spec.name = "test-leader-elector-stale";
+  spec.max_snapshot_age = seconds(5.0);  // < minimum elector downtime
+  spec.expect_warm_restarts = false;
+  spec.expect_cold_restarts = true;
+  auto streams = runner::make_substreams(42, specs.size());
+  const LeaderScenarioResult r = run_leader_scenario(spec, streams[1]);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? std::string{}
+                                             : r.violations.front());
+  EXPECT_EQ(r.warm_elector_restarts, 0u);
+  EXPECT_GE(r.cold_elector_restarts, 1u);
+}
+
+TEST(LeaderChaos, CrashScenarioRebasesEveryObserverOncePerRecovery) {
+  const std::vector<LeaderScenarioSpec> specs = leader_suite("leader-smoke");
+  ASSERT_EQ(specs[0].name, "smoke-leader-crash");
+  auto streams = runner::make_substreams(42, specs.size());
+  const LeaderScenarioResult r = run_leader_scenario(specs[0], streams[0]);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? std::string{}
+                                             : r.violations.front());
+  // One crash/recover cycle of the victim: each of the size-1 observers
+  // sees exactly one incarnation bump.
+  EXPECT_EQ(r.incarnation_rebases, specs[0].size - 1);
+}
+
+TEST(LeaderChaos, AnalyticBoundAndSettleAllowanceAreConsistent) {
+  const LeaderScenarioSpec spec = leader_suite("leader-smoke")[0];
+  const Duration bound = analytic_election_bound(spec);
+  EXPECT_EQ(bound.seconds(),
+            (spec.eta + spec.alpha + spec.bound_margin).seconds());
+  const Duration settle = settle_allowance(spec);
+  EXPECT_EQ(settle.seconds(),
+            (bound + spec.elector.holddown_cap +
+             spec.elector.self_claim_delay + spec.elector.restore_grace)
+                .seconds());
+}
+
+TEST(LeaderChaos, SuiteRegistryListsAndRejects) {
+  const std::vector<std::string> names = leader_suite_names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    EXPECT_FALSE(leader_suite(name).empty()) << name;
+  }
+  EXPECT_THROW((void)leader_suite("leader-nonsense"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chenfd::election

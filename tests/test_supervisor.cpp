@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/testbed.hpp"
@@ -171,6 +173,88 @@ TEST(MonitorSupervisor, ColdRestartOnCorruptSnapshot) {
   EXPECT_EQ(rig.supervisor.snapshot_rejects(), 1u);
   EXPECT_NE(rig.supervisor.last_restart_detail().find("snapshot"),
             std::string::npos);
+}
+
+/// Captures every restorer invocation: (warm, restored state).
+struct ElectionProbe {
+  std::vector<std::pair<bool, std::optional<persist::ElectionState>>> calls;
+
+  static persist::ElectionState sample_state() {
+    persist::ElectionState state;
+    state.self = 2;
+    state.has_leader = true;
+    state.leader = 0;
+    state.leader_since_s = 12.5;
+    state.leader_changes = 3;
+    persist::ElectionPeerState flappy;
+    flappy.id = 0;
+    flappy.incarnation = 1;
+    flappy.demotions = 2;
+    flappy.has_holddown = true;
+    flappy.holddown_until_s = 99.0;
+    state.peers.push_back(flappy);
+    persist::ElectionPeerState quiet;
+    quiet.id = 1;
+    state.peers.push_back(quiet);
+    return state;
+  }
+
+  void attach(MonitorSupervisor& supervisor) {
+    supervisor.set_election_hooks(
+        [] { return sample_state(); },
+        [this](const std::optional<persist::ElectionState>& s, bool warm) {
+          calls.emplace_back(warm, s);
+        });
+  }
+};
+
+TEST(MonitorSupervisor, WarmRestartRoundTripsElectionState) {
+  Rig rig(default_sup_options());
+  ElectionProbe probe;
+  probe.attach(rig.supervisor);
+  rig.run_until(905.0);
+  rig.supervisor.crash_monitor();
+  rig.run_until(935.0);
+  rig.supervisor.restart_monitor();
+
+  ASSERT_EQ(rig.supervisor.warm_restarts(), 1u);
+  ASSERT_EQ(probe.calls.size(), 1u);
+  EXPECT_TRUE(probe.calls[0].first);  // warm
+  // The state came back through the snapshot codec (stable storage), not a
+  // reference: every field must have survived the round trip.
+  ASSERT_TRUE(probe.calls[0].second.has_value());
+  const persist::ElectionState& restored = *probe.calls[0].second;
+  EXPECT_EQ(restored.self, 2u);
+  EXPECT_TRUE(restored.has_leader);
+  EXPECT_EQ(restored.leader, 0u);
+  EXPECT_DOUBLE_EQ(restored.leader_since_s, 12.5);
+  EXPECT_EQ(restored.leader_changes, 3u);
+  ASSERT_EQ(restored.peers.size(), 2u);
+  EXPECT_EQ(restored.peers[0].incarnation, 1u);
+  EXPECT_EQ(restored.peers[0].demotions, 2u);
+  EXPECT_TRUE(restored.peers[0].has_holddown);
+  EXPECT_DOUBLE_EQ(restored.peers[0].holddown_until_s, 99.0);
+  EXPECT_FALSE(restored.peers[1].has_holddown);
+}
+
+TEST(MonitorSupervisor, StaleSnapshotRestoresElectionCold) {
+  // The elector side of the stale-snapshot contract: when the monitor
+  // falls back cold, the restorer is told so with no state — the elector
+  // must rejoin as a follower instead of resurrecting an old leader view.
+  auto opts = default_sup_options();
+  opts.max_snapshot_age = seconds(60.0);
+  Rig rig(opts);
+  ElectionProbe probe;
+  probe.attach(rig.supervisor);
+  rig.run_until(905.0);
+  rig.supervisor.crash_monitor();
+  rig.run_until(1025.0);  // the last snapshot ages past the 60 s bound
+  rig.supervisor.restart_monitor();
+
+  ASSERT_EQ(rig.supervisor.cold_restarts(), 1u);
+  ASSERT_EQ(probe.calls.size(), 1u);
+  EXPECT_FALSE(probe.calls[0].first);              // cold
+  EXPECT_FALSE(probe.calls[0].second.has_value()); // no state to revive
 }
 
 TEST(MonitorSupervisor, ColdRestartOnStaleSnapshot) {

@@ -56,6 +56,7 @@ Options parse(const std::vector<std::string>& argv) {
       opts.jobs = static_cast<unsigned>(parse_u64(arg, value()));
     } else if (arg == "--out") {
       opts.out = value();
+      opts.out_explicit = true;
     } else if (arg == "--trace-dir") {
       opts.trace_dir = value();
     } else if (arg == "--list") {
@@ -160,8 +161,143 @@ void write_json(std::ostream& os, const std::string& suite_name,
   os << "}\n";
 }
 
+void write_leader_json(
+    std::ostream& os, const std::string& suite_name, std::uint64_t seed,
+    const std::vector<election::LeaderScenarioResult>& results) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\n";
+  os << "  \"suite\": \"" << json_escape(suite_name) << "\",\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const election::LeaderScenarioResult& r = results[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(r.name) << "\",\n";
+    os << "      \"family\": \"" << json_escape(r.family) << "\",\n";
+    os << "      \"fault_intensity\": " << r.fault_intensity << ",\n";
+    os << "      \"ok\": " << (r.ok ? "true" : "false") << ",\n";
+    os << "      \"violations\": [";
+    for (std::size_t v = 0; v < r.violations.size(); ++v) {
+      if (v != 0) os << ", ";
+      os << "\"" << json_escape(r.violations[v]) << "\"";
+    }
+    os << "],\n";
+    os << "      \"election_bound_s\": " << r.election_bound_s << ",\n";
+    os << "      \"exactly_one_leader_fraction\": "
+       << r.qos.exactly_one_leader_fraction << ",\n";
+    os << "      \"no_leader_fraction\": " << r.qos.no_leader_fraction
+       << ",\n";
+    os << "      \"disagreement_fraction\": " << r.qos.disagreement_fraction
+       << ",\n";
+    os << "      \"undisturbed_violation_s\": "
+       << r.qos.undisturbed_violation_s << ",\n";
+    os << "      \"mean_stability_s\": " << r.qos.mean_stability_s << ",\n";
+    os << "      \"max_stability_s\": " << r.qos.max_stability_s << ",\n";
+    os << "      \"agreed_leader_changes\": " << r.qos.agreed_leader_changes
+       << ",\n";
+    os << "      \"elections\": " << r.qos.elections << ",\n";
+    os << "      \"mean_election_latency_s\": "
+       << r.qos.mean_election_latency_s << ",\n";
+    os << "      \"max_election_latency_s\": "
+       << r.qos.max_election_latency_s << ",\n";
+    os << "      \"bound_violations\": " << r.qos.bound_violations << ",\n";
+    os << "      \"spurious_demotions\": " << r.qos.spurious_demotions
+       << ",\n";
+    os << "      \"total_leader_changes\": " << r.qos.total_leader_changes
+       << ",\n";
+    os << "      \"warm_elector_restarts\": " << r.warm_elector_restarts
+       << ",\n";
+    os << "      \"cold_elector_restarts\": " << r.cold_elector_restarts
+       << ",\n";
+    os << "      \"stale_heartbeats_dropped\": " << r.stale_heartbeats_dropped
+       << ",\n";
+    os << "      \"incarnation_rebases\": " << r.incarnation_rebases << "\n";
+    os << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  // Stability curves: per fault family, how leader stability and election
+  // latency behave as the fault intensity rises (scenario order).
+  std::map<std::string, std::vector<const election::LeaderScenarioResult*>>
+      families;
+  for (const election::LeaderScenarioResult& r : results) {
+    families[r.family].push_back(&r);
+  }
+  os << "  \"stability\": [\n";
+  std::size_t f = 0;
+  for (const auto& [family, members] : families) {
+    os << "    {\"family\": \"" << json_escape(family) << "\", \"points\": [";
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      if (m != 0) os << ", ";
+      os << "{\"intensity\": " << members[m]->fault_intensity
+         << ", \"exactly_one_leader_fraction\": "
+         << members[m]->qos.exactly_one_leader_fraction
+         << ", \"mean_stability_s\": " << members[m]->qos.mean_stability_s
+         << ", \"mean_election_latency_s\": "
+         << members[m]->qos.mean_election_latency_s
+         << ", \"spurious_demotions\": "
+         << members[m]->qos.spurious_demotions << "}";
+    }
+    os << "]}" << (++f < families.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+namespace {
+
+int run_leader_main(const Options& opts, std::ostream& os) {
+  std::vector<election::LeaderScenarioSpec> specs;
+  try {
+    specs = election::leader_suite(opts.suite);
+  } catch (const std::invalid_argument& e) {
+    os << e.what() << "\n";
+    print_usage(os);
+    return 2;
+  }
+
+  runner::RunnerOptions runner_opts;
+  runner_opts.jobs = opts.jobs;
+  const std::vector<election::LeaderScenarioResult> results =
+      election::run_leader_suite(specs, opts.seed, runner_opts);
+
+  bool all_ok = true;
+  for (const election::LeaderScenarioResult& r : results) {
+    os << (r.ok ? "PASS " : "FAIL ") << r.name
+       << "  one_leader=" << r.qos.exactly_one_leader_fraction
+       << " elections=" << r.qos.elections
+       << " mean_latency=" << r.qos.mean_election_latency_s << "s"
+       << " spurious=" << r.qos.spurious_demotions << "\n";
+    for (const std::string& v : r.violations) {
+      os << "     - " << v << "\n";
+    }
+    all_ok = all_ok && r.ok;
+  }
+  if (!opts.trace_dir.empty()) {
+    os << "chenfd_chaos: --trace-dir applies to detector suites only; "
+          "leader traces live in the JSON metrics\n";
+  }
+
+  const std::string out =
+      opts.out_explicit ? opts.out : std::string("BENCH_leader.json");
+  if (out == "-") {
+    write_leader_json(os, opts.suite, opts.seed, results);
+  } else {
+    std::ofstream json_out(out);
+    if (!json_out) {
+      os << "chenfd_chaos: cannot write " << out << "\n";
+      return 2;
+    }
+    write_leader_json(json_out, opts.suite, opts.seed, results);
+    os << "wrote " << out << "\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
 void print_usage(std::ostream& os) {
-  os << "usage: chenfd_chaos [--suite smoke|monitor-restart|full] [--seed N]"
+  os << "usage: chenfd_chaos [--suite smoke|monitor-restart|full|\n"
+        "                             leader-smoke|leader-full] [--seed N]"
         " [--jobs N]\n"
      << "                    [--out FILE|-] [--trace-dir DIR] [--list]\n"
      << "\n"
@@ -169,6 +305,9 @@ void print_usage(std::ostream& os) {
      << "oracles (suspect during outages, re-trust after heal/recovery,\n"
      << "Theorem 1 trace identities, adaptive graceful degradation).\n"
      << "Writes BENCH_chaos.json (byte-identical for any --jobs).\n"
+     << "Suites starting with \"leader\" run the N-process election\n"
+     << "cluster instead (exactly-one-leader, election-deadline and\n"
+     << "spurious-demotion oracles) and write BENCH_leader.json.\n"
      << "Exit code: 0 all oracles hold, 1 violation, 2 usage error.\n";
 }
 
@@ -189,8 +328,17 @@ int run_main(const std::vector<std::string>& argv, std::ostream& os) {
         os << "  " << spec.name << " (" << spec.family << ")\n";
       }
     }
+    for (const std::string& name : election::leader_suite_names()) {
+      os << name << ":\n";
+      for (const election::LeaderScenarioSpec& spec :
+           election::leader_suite(name)) {
+        os << "  " << spec.name << " (" << spec.family << ")\n";
+      }
+    }
     return 0;
   }
+
+  if (opts.leader_suite()) return run_leader_main(opts, os);
 
   std::vector<fault::ScenarioSpec> specs;
   try {

@@ -1,12 +1,16 @@
 // Argument parsing and command logic for the chenfd_chaos CLI, separated
 // from main() so the tests can drive it directly.
 //
-// chenfd_chaos runs a named chaos suite (fault/chaos.hpp) and emits a
-// deterministic BENCH_chaos.json: per-scenario oracle verdicts plus
-// degradation curves (lambda_M, E(T_M), P_A against fault intensity) per
-// scenario family.  The JSON contains no wall-clock, hardware or job-count
-// fields and all randomness flows from --seed through per-scenario
-// substreams, so the file is byte-identical for any --jobs value.
+// chenfd_chaos runs a named chaos suite and emits a deterministic JSON
+// report.  Two-process detector suites (fault/chaos.hpp) write
+// BENCH_chaos.json: per-scenario oracle verdicts plus degradation curves
+// (lambda_M, E(T_M), P_A against fault intensity) per scenario family.
+// Suites whose name starts with "leader" are the N-process election
+// suites (election/chaos.hpp) and write BENCH_leader.json instead:
+// leader-stability and election-latency curves per fault family.  Either
+// JSON contains no wall-clock, hardware or job-count fields and all
+// randomness flows from --seed through per-scenario substreams, so the
+// file is byte-identical for any --jobs value.
 
 #pragma once
 
@@ -15,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "election/chaos.hpp"
 #include "fault/chaos.hpp"
 
 namespace chenfd::chaoscli {
@@ -24,8 +29,15 @@ struct Options {
   std::uint64_t seed = 42;
   unsigned jobs = 0;           ///< 0 = one per hardware thread
   std::string out = "BENCH_chaos.json";  ///< "-" = stdout only
+  bool out_explicit = false;   ///< --out given (else leader suites switch
+                               ///< the default to BENCH_leader.json)
   std::string trace_dir;       ///< when set, dump per-scenario traces here
   bool list = false;           ///< list suites and scenarios, run nothing
+
+  /// True when `suite` dispatches to the election suites.
+  [[nodiscard]] bool leader_suite() const {
+    return suite.rfind("leader", 0) == 0;
+  }
 };
 
 /// Parses argv-style input (flags only).  Throws std::invalid_argument on
@@ -36,6 +48,12 @@ struct Options {
 void write_json(std::ostream& os, const std::string& suite_name,
                 std::uint64_t seed,
                 const std::vector<fault::ScenarioResult>& results);
+
+/// Serializes leader suite results as the BENCH_leader.json document.
+void write_leader_json(std::ostream& os, const std::string& suite_name,
+                       std::uint64_t seed,
+                       const std::vector<election::LeaderScenarioResult>&
+                           results);
 
 /// Parse + run.  Writes progress and a human-readable verdict table to
 /// `os`.  Returns 0 when every oracle holds, 1 on an oracle violation,

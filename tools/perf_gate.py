@@ -7,8 +7,15 @@ any engine's throughput regressed by more than the threshold (default 20%).
 
 Usage:
     tools/perf_gate.py <fresh BENCH_fastsim.json> [<baseline json>]
+    tools/perf_gate.py --check-leader <BENCH_leader.json>
 
 Exit status: 0 = within threshold, 1 = regression, 2 = usage/format error.
+
+The --check-leader mode is a schema gate, not a perf gate: it validates a
+BENCH_leader.json produced by `chenfd_chaos --suite leader-*` (structure,
+metric ranges, non-empty stability curves) so CI catches a malformed or
+truncated report even when every oracle inside it passed.  Exit 0 = valid,
+2 = invalid.
 
 Overriding the gate
 -------------------
@@ -94,7 +101,99 @@ def load_engines(path, *, missing_ok=False):
     return engines
 
 
+def _fail(where, what):
+    print(f"perf_gate: {where}: {what}", file=sys.stderr)
+    sys.exit(2)
+
+
+def check_leader(path):
+    """Validate the structure of a BENCH_leader.json report.
+
+    Mirrors the field-by-field diagnostics of load_engines: every problem
+    names the offending scenario/field instead of raising.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        _fail(path, "expected a JSON object")
+    if not isinstance(doc.get("suite"), str) or not doc["suite"]:
+        _fail(path, 'missing or empty "suite"')
+    if not isinstance(doc.get("seed"), int):
+        _fail(path, '"seed" must be an integer')
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        _fail(path, 'expected a non-empty "scenarios" list')
+
+    fraction_keys = ("exactly_one_leader_fraction", "no_leader_fraction",
+                     "disagreement_fraction")
+    count_keys = ("agreed_leader_changes", "elections", "bound_violations",
+                  "spurious_demotions", "total_leader_changes",
+                  "warm_elector_restarts", "cold_elector_restarts",
+                  "stale_heartbeats_dropped", "incarnation_rebases")
+    metric_keys = ("election_bound_s", "undisturbed_violation_s",
+                   "mean_stability_s", "max_stability_s",
+                   "mean_election_latency_s", "max_election_latency_s")
+    all_ok = True
+    for i, s in enumerate(scenarios):
+        where = f"{path}: scenarios[{i}]"
+        if not isinstance(s, dict):
+            _fail(where, "is not an object")
+        name = s.get("name")
+        if not isinstance(name, str) or not name:
+            _fail(where, 'has no "name"')
+        where = f"{where} (\"{name}\")"
+        if not isinstance(s.get("family"), str) or not s["family"]:
+            _fail(where, 'has no "family"')
+        if not isinstance(s.get("ok"), bool):
+            _fail(where, '"ok" must be a boolean')
+        if not isinstance(s.get("violations"), list):
+            _fail(where, '"violations" must be a list')
+        if s["ok"] != (not s["violations"]):
+            _fail(where, '"ok" contradicts "violations"')
+        all_ok = all_ok and s["ok"]
+        for key in fraction_keys + count_keys + metric_keys:
+            if key not in s:
+                _fail(where, f'has no "{key}"')
+            try:
+                value = float(s[key])
+            except (TypeError, ValueError):
+                _fail(where, f'"{key}" {s[key]!r} is not a number')
+            if not math.isfinite(value) or value < 0.0:
+                _fail(where, f'"{key}" must be finite and >= 0, got {value!r}')
+            if key in fraction_keys and value > 1.0:
+                _fail(where, f'"{key}" must be <= 1, got {value!r}')
+        total = sum(float(s[k]) for k in fraction_keys)
+        if not 0.999 <= total <= 1.001:
+            _fail(where, f"time fractions sum to {total!r}, expected 1")
+
+    stability = doc.get("stability")
+    if not isinstance(stability, list) or not stability:
+        _fail(path, 'expected a non-empty "stability" curve list')
+    families = {s["family"] for s in scenarios}
+    for i, curve in enumerate(stability):
+        where = f"{path}: stability[{i}]"
+        if not isinstance(curve, dict):
+            _fail(where, "is not an object")
+        if curve.get("family") not in families:
+            _fail(where, f'"family" {curve.get("family")!r} matches no '
+                  "scenario")
+        points = curve.get("points")
+        if not isinstance(points, list) or not points:
+            _fail(where, 'has no "points"')
+    n_fail = sum(1 for s in scenarios if not s["ok"])
+    print(f"perf_gate: {path}: {len(scenarios)} scenario(s), "
+          f"{len(stability)} stability curve(s), {n_fail} oracle failure(s) "
+          "— schema valid")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 3 and argv[1] == "--check-leader":
+        return check_leader(argv[2])
     if len(argv) < 2 or len(argv) > 3:
         print(__doc__, file=sys.stderr)
         return 2

@@ -21,6 +21,40 @@ def bench_doc(**rates):
                         for n, r in rates.items()]}
 
 
+def leader_scenario(name="leader-crash-x1", family="crash", ok=True,
+                    **overrides):
+    s = {
+        "name": name, "family": family, "fault_intensity": 1.0,
+        "ok": ok, "violations": [] if ok else ["bound_violations > 0"],
+        "election_bound_s": 10.5,
+        "exactly_one_leader_fraction": 0.95,
+        "no_leader_fraction": 0.05,
+        "disagreement_fraction": 0.0,
+        "undisturbed_violation_s": 0.0,
+        "mean_stability_s": 400.0, "max_stability_s": 900.0,
+        "agreed_leader_changes": 3, "elections": 2,
+        "mean_election_latency_s": 2.5, "max_election_latency_s": 6.0,
+        "bound_violations": 0, "spurious_demotions": 0,
+        "total_leader_changes": 4,
+        "warm_elector_restarts": 0, "cold_elector_restarts": 0,
+        "stale_heartbeats_dropped": 0, "incarnation_rebases": 3,
+    }
+    s.update(overrides)
+    return s
+
+
+def leader_doc(*scenarios):
+    scenarios = list(scenarios) or [leader_scenario()]
+    return {
+        "suite": "leader-smoke", "seed": 42, "scenarios": scenarios,
+        "stability": [{"family": s["family"],
+                       "points": [{"fault_intensity": s["fault_intensity"],
+                                   "exactly_one_leader_fraction":
+                                       s["exactly_one_leader_fraction"]}]}
+                      for s in scenarios],
+    }
+
+
 class PerfGateTest(unittest.TestCase):
     def setUp(self):
         self._tmp = tempfile.TemporaryDirectory()
@@ -173,6 +207,71 @@ class PerfGateTest(unittest.TestCase):
         proc = self.run_gate(fresh, base)
         self.assertEqual(proc.returncode, 2)
         self.assertIn("engines", proc.stderr)
+
+    def run_check_leader(self, path):
+        return subprocess.run(
+            [sys.executable, PERF_GATE, "--check-leader", path],
+            capture_output=True, text=True)
+
+    def test_check_leader_valid_report_passes(self):
+        path = self.path_for("leader.json", leader_doc())
+        proc = self.run_check_leader(path)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("schema valid", proc.stdout)
+
+    def test_check_leader_is_schema_only_not_an_oracle_gate(self):
+        # A scenario whose oracles failed is still a *valid* report — the
+        # chaos binary's own exit code gates oracles; this mode only guards
+        # against malformed/truncated JSON.
+        path = self.path_for("leader.json", leader_doc(
+            leader_scenario(ok=False)))
+        proc = self.run_check_leader(path)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("1 oracle failure(s)", proc.stdout)
+
+    def test_check_leader_empty_object_is_rejected(self):
+        path = self.path_for("leader.json", {})
+        proc = self.run_check_leader(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("suite", proc.stderr)
+
+    def test_check_leader_missing_metric_names_the_scenario(self):
+        doc = leader_doc()
+        del doc["scenarios"][0]["spurious_demotions"]
+        path = self.path_for("leader.json", doc)
+        proc = self.run_check_leader(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("spurious_demotions", proc.stderr)
+        self.assertIn("leader-crash-x1", proc.stderr)
+
+    def test_check_leader_fractions_must_sum_to_one(self):
+        path = self.path_for("leader.json", leader_doc(
+            leader_scenario(no_leader_fraction=0.5)))
+        proc = self.run_check_leader(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("sum", proc.stderr)
+
+    def test_check_leader_ok_must_match_violations(self):
+        path = self.path_for("leader.json", leader_doc(
+            leader_scenario(ok=True, violations=["lying"])))
+        proc = self.run_check_leader(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("contradicts", proc.stderr)
+
+    def test_check_leader_orphan_stability_family_is_rejected(self):
+        doc = leader_doc()
+        doc["stability"][0]["family"] = "no-such-family"
+        path = self.path_for("leader.json", doc)
+        proc = self.run_check_leader(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("no-such-family", proc.stderr)
+
+    def test_check_leader_nonfinite_metric_is_rejected(self):
+        path = self.path_for("leader.json", leader_doc(
+            leader_scenario(mean_stability_s=float("nan"))))
+        proc = self.run_check_leader(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("mean_stability_s", proc.stderr)
 
     def test_committed_baseline_still_parses(self):
         # The real committed baseline must stay loadable by the validator.
