@@ -1,0 +1,173 @@
+// Throughput and memory study of the sharded FleetMonitor, and the
+// producer of the fleet perf baseline (DESIGN.md §13, EXPERIMENTS.md E18).
+//
+// For each fleet size the bench generates one deterministic heartbeat
+// workload (fleet::generate_workload), then times the pure engine path —
+// ingest batches + close — over several repetitions with a fresh monitor
+// each time, reporting the median heartbeats/sec and the steady-state
+// bytes per monitored process.  Results go to BENCH_fleet.json; CI's
+// perf-smoke job gates it against bench/BENCH_fleet_baseline.json via
+// tools/perf_gate.py --check-fleet.
+//
+// Before timing anything the bench re-runs the smallest size at shard
+// counts {1, 4, 16} and requires byte-identical deterministic payloads
+// (counters + transition-stream CRC): the sharding discipline of PRs 1/3/5
+// — parallel structure must never change results — applied to the fleet.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fleet/fleet_monitor.hpp"
+#include "fleet/workload.hpp"
+
+namespace {
+
+using namespace chenfd;
+
+struct Config {
+  std::size_t processes;
+  std::uint64_t slots;
+  int repetitions;
+};
+
+std::vector<Config> configs() {
+  if (bench::fast_mode()) {
+    return {{10'000, 20, 2}, {100'000, 10, 2}};
+  }
+  // The 10^6 row keeps fewer slots so the generated stream (32 bytes per
+  // heartbeat) stays within a sane memory budget; throughput is
+  // per-heartbeat, so fewer slots do not flatter the result.
+  return {{10'000, 30, 5}, {100'000, 30, 3}, {1'000'000, 12, 2}};
+}
+
+core::NfdEParams detector_params() {
+  return core::NfdEParams{seconds(1.0), seconds(0.5), 16};
+}
+
+fleet::WorkloadOptions workload_options(const Config& c) {
+  fleet::WorkloadOptions w;
+  w.processes = c.processes;
+  w.seed = 0xF1EE7u + c.processes;
+  w.slots = c.slots;
+  w.loss_prob = 0.01;
+  return w;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+constexpr std::size_t kShards = 16;
+constexpr std::size_t kChunk = 8192;
+
+}  // namespace
+
+int main() {
+  const std::vector<Config> cs = configs();
+  const core::NfdEParams params = detector_params();
+
+  bench::print_header(
+      "Fleet monitor throughput",
+      "Sharded NFD-E engine: batched ingest + timing-wheel expiry.\n"
+      "Timed path: ingest + close over a pregenerated stream, fresh "
+      "monitor per repetition, median reported; " +
+          std::to_string(kShards) + " shards.");
+
+  // ---- determinism gate: shard counts must not change results ----------
+  {
+    const fleet::WorkloadOptions w = workload_options(cs.front());
+    std::string reference;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                     std::size_t{16}}) {
+      const fleet::FleetRunResult r = fleet::run_fleet(w, shards, params);
+      std::ostringstream payload;
+      fleet::write_fleet_json(payload, {r}, /*include_measurements=*/false,
+                              bench::fast_mode());
+      if (reference.empty()) {
+        reference = payload.str();
+      } else if (payload.str() != reference) {
+        std::cerr << "FATAL: fleet results differ across shard counts "
+                     "(shards="
+                  << shards << ")\n";
+        return 1;
+      }
+    }
+    std::cout << "shard determinism: payloads identical for shards {1,4,16}"
+              << "\n\n";
+  }
+
+  std::vector<fleet::FleetRunResult> results;
+  for (const Config& c : cs) {
+    const fleet::WorkloadOptions w = workload_options(c);
+    const std::vector<fleet::Heartbeat> stream = fleet::generate_workload(w);
+    const TimePoint horizon = fleet::workload_horizon(w, params);
+
+    fleet::FleetRunResult r;
+    std::vector<double> rates;
+    for (int rep = 0; rep < c.repetitions; ++rep) {
+      fleet::FleetOptions fo;
+      fo.processes = c.processes;
+      fo.shards = kShards;
+      fo.params = params;
+      fleet::FleetMonitor monitor(fo);
+      // detlint: allow(R1) measuring wall-clock throughput is this bench's job
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < stream.size(); i += kChunk) {
+        const std::size_t n = std::min(kChunk, stream.size() - i);
+        monitor.ingest(std::span<const fleet::Heartbeat>(&stream[i], n));
+      }
+      monitor.close(horizon);
+      // detlint: allow(R1) measuring wall-clock throughput is this bench's job
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      rates.push_back(static_cast<double>(stream.size()) / secs);
+
+      const std::vector<fleet::Transition> ts = monitor.drain_transitions();
+      if (ts.empty()) std::abort();  // keep the run observable
+      if (rep + 1 == c.repetitions) {
+        r.processes = c.processes;
+        r.heartbeats = monitor.heartbeats();
+        r.dropped_stale = monitor.dropped_stale();
+        r.dropped_pre_epoch = monitor.dropped_pre_epoch();
+        r.dropped_duplicate = monitor.dropped_duplicate();
+        r.ingested = r.heartbeats - r.dropped_stale - r.dropped_pre_epoch -
+                     r.dropped_duplicate;
+        r.transitions = ts.size();
+        r.suspects = monitor.suspects();
+        r.trusts = monitor.trusts();
+        r.stream_crc32 = fleet::stream_crc(ts);
+        r.shards = kShards;
+        r.bytes_per_process = static_cast<double>(monitor.memory_bytes()) /
+                              static_cast<double>(c.processes);
+      }
+    }
+    r.heartbeats_per_sec = median(rates);
+    results.push_back(r);
+  }
+
+  bench::Table table(
+      {"processes", "heartbeats", "hb/sec", "bytes/process", "transitions"});
+  for (const fleet::FleetRunResult& r : results) {
+    table.add_row({std::to_string(r.processes), std::to_string(r.heartbeats),
+                   bench::Table::sci(r.heartbeats_per_sec),
+                   bench::Table::num(r.bytes_per_process),
+                   std::to_string(r.transitions)});
+  }
+  table.print();
+
+  std::ofstream out("BENCH_fleet.json");
+  fleet::write_fleet_json(out, results, /*include_measurements=*/true,
+                          bench::fast_mode());
+  std::cout << "\nWrote BENCH_fleet.json\n";
+  return 0;
+}

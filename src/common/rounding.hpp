@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.hpp"
 
@@ -60,6 +61,38 @@ inline constexpr double kRatioSnapSlack = 1e-9;
   CHENFD_EXPECTS(std::isfinite(b) && b > 0.0,
                  "floor_ratio_snapped: denominator must be finite and > 0");
   return floor_snapped(a / b);
+}
+
+// --- Grid quantization (deliberately NOT snapped) ------------------------
+//
+// The timing wheel in src/fleet/ maps continuous deadlines onto a coarse
+// tick grid where firing *late* is safe (the exact deadline timestamp is
+// stored separately and re-emitted) but firing *early* would reorder the
+// transition stream.  Snapping would break that one-sidedness: a time one
+// ULP below a boundary would snap up and could fire a tick early.  These
+// helpers are the plain floor/ceil counterparts for that case, kept here so
+// grid arithmetic still routes through the shared contract-checked header
+// (detlint R3).
+
+/// Plain floor(a / b) as an unsigned tick index, for quantizing "now" onto
+/// a grid: the returned tick never lies after a.
+[[nodiscard]] inline std::uint64_t grid_floor(double a, double b) {
+  CHENFD_EXPECTS(std::isfinite(a) && a >= 0.0,
+                 "grid_floor: value must be finite and >= 0");
+  CHENFD_EXPECTS(std::isfinite(b) && b > 0.0,
+                 "grid_floor: grid step must be finite and > 0");
+  return static_cast<std::uint64_t>(std::floor(a / b));
+}
+
+/// Plain ceil(a / b) as an unsigned tick index, for quantizing a deadline
+/// onto a grid: the returned tick never lies before a, so a timer scheduled
+/// at grid_ceil can fire late but never early.
+[[nodiscard]] inline std::uint64_t grid_ceil(double a, double b) {
+  CHENFD_EXPECTS(std::isfinite(a) && a >= 0.0,
+                 "grid_ceil: value must be finite and >= 0");
+  CHENFD_EXPECTS(std::isfinite(b) && b > 0.0,
+                 "grid_ceil: grid step must be finite and > 0");
+  return static_cast<std::uint64_t>(std::ceil(a / b));
 }
 
 }  // namespace chenfd

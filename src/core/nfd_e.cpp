@@ -3,17 +3,28 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "core/nfd_e_math.hpp"
 
 namespace chenfd::core {
 
+namespace {
+
+/// Validating pass-through for the base-class member initializer: the
+/// full NfdEParams contract runs *before* any state reaches the NfdU base.
+/// (Validating in the constructor body would be too late — the base
+/// subobject is already built from the unchecked eta/alpha by then.)
+NfdUParams validated_base_params(const NfdEParams& params) {
+  params.validate();
+  return NfdUParams{params.eta, params.alpha};
+}
+
+}  // namespace
+
 NfdE::NfdE(sim::Simulator& simulator, const clk::Clock& q_clock,
            NfdEParams params)
-    : NfdU(simulator, q_clock, NfdUParams{params.eta, params.alpha},
-           EaProvider{}),
+    : NfdU(simulator, q_clock, validated_base_params(params), EaProvider{}),
       capacity_(params.window),
-      eta_(params.eta) {
-  params.validate();
-}
+      eta_(params.eta) {}
 
 void NfdE::rebase(NfdUParams new_params, net::SeqNo epoch_seq) {
   new_params.validate();
@@ -58,8 +69,8 @@ void NfdE::on_heartbeat(const net::Message& m, TimePoint real_now) {
   if (window_.empty() || m.seq > window_.back().seq) {
     const TimePoint local_now = q_clock().local(real_now);
     const double normalized =
-        local_now.seconds() -
-        eta_.seconds() * static_cast<double>(m.seq - epoch_seq_);
+        eq63::normalize(local_now.seconds(), m.seq, epoch_seq_,
+                        eta_.seconds());
     window_.push_back(Observation{normalized, m.seq});
     normalized_sum_ += normalized;
     if (window_.size() > capacity_) {
@@ -83,14 +94,15 @@ void NfdE::on_heartbeat(const net::Message& m, TimePoint real_now) {
 }
 
 TimePoint NfdE::expected_arrival(net::SeqNo seq) {
-  CHENFD_ENSURES(
+  // A non-empty window is a requirement on the *caller* (no estimate exists
+  // before the first heartbeat), hence EXPECTS, not ENSURES.
+  CHENFD_EXPECTS(
       !window_.empty(),
       "NfdE::expected_arrival: called before any heartbeat was received");
   CHENFD_EXPECTS(seq >= epoch_seq_,
                  "NfdE::expected_arrival: sequence number predates the epoch");
-  const double base = normalized_sum_ / static_cast<double>(window_.size());
-  return TimePoint(base +
-                   eta_.seconds() * static_cast<double>(seq - epoch_seq_));
+  return TimePoint(eq63::estimate(normalized_sum_, window_.size(), seq,
+                                  epoch_seq_, eta_.seconds()));
 }
 
 }  // namespace chenfd::core

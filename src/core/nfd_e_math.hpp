@@ -1,0 +1,44 @@
+// The Eq. (6.3) arithmetic of NFD-E, extracted into free inline helpers so
+// the per-pair detector (core/nfd_e.cpp) and the sharded struct-of-arrays
+// fleet engine (src/fleet/) share one normalization:
+//
+//   EA_{ell+1}  ~=  (1/n) * sum_i (A'_i - eta * s_i)  +  (ell+1) * eta
+//
+// Receipt times are "normalized" by shifting them back (s_i - epoch) sending
+// periods; the normalized times are averaged; the average is shifted forward
+// to the slot being estimated.  Sequence numbers are kept relative to an
+// epoch so rebases (rate renegotiation, incarnation bumps) reset the frame
+// without renumbering history.
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "net/message.hpp"
+
+namespace chenfd::core::eq63 {
+
+/// Normalized receipt time A'_i - eta * (s_i - epoch): the arrival shifted
+/// back to sequence slot `epoch`, in the receiver's local seconds.
+[[nodiscard]] inline double normalize(double local_arrival_s, net::SeqNo seq,
+                                      net::SeqNo epoch_seq, double eta_s) {
+  CHENFD_EXPECTS(seq >= epoch_seq,
+                 "eq63::normalize: sequence number predates the epoch");
+  return local_arrival_s -
+         eta_s * static_cast<double>(seq - epoch_seq);
+}
+
+/// Eq. (6.3) estimate of EA_seq from a window of `count` normalized receipt
+/// times summing to `normalized_sum`, in the receiver's local seconds.
+[[nodiscard]] inline double estimate(double normalized_sum, std::size_t count,
+                                     net::SeqNo seq, net::SeqNo epoch_seq,
+                                     double eta_s) {
+  CHENFD_EXPECTS(count > 0, "eq63::estimate: empty estimation window");
+  CHENFD_EXPECTS(seq >= epoch_seq,
+                 "eq63::estimate: sequence number predates the epoch");
+  const double base = normalized_sum / static_cast<double>(count);
+  return base + eta_s * static_cast<double>(seq - epoch_seq);
+}
+
+}  // namespace chenfd::core::eq63

@@ -90,7 +90,10 @@ CompiledSampler::CompiledSampler(const dist::DelayDistribution& source)
   } else if (const auto* em = dynamic_cast<const dist::Empirical*>(d)) {
     kind_ = Kind::kEmpirical;
     empirical_.assign(em->samples().begin(), em->samples().end());
-    CHENFD_ENSURES(!empirical_.empty(),
+    // The sample set is caller-supplied input, not a derived result, so an
+    // empty one is a precondition violation (EXPECTS), not a broken
+    // postcondition.
+    CHENFD_EXPECTS(!empirical_.empty(),
                    "CompiledSampler: empirical distribution has no samples");
   } else {
     kind_ = Kind::kTable;

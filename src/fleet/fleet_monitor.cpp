@@ -1,0 +1,300 @@
+#include "fleet/fleet_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rounding.hpp"
+#include "core/nfd_e_math.hpp"
+
+namespace chenfd::fleet {
+
+FleetMonitor::FleetMonitor(FleetOptions opts) : opts_(opts) {
+  opts_.validate();
+  resolution_s_ = opts_.resolution().seconds();
+  // Balanced block partition: the first `processes % shards` shards monitor
+  // one extra member, so every shard is non-empty and sizes differ by at
+  // most one.
+  base_members_ = opts_.processes / opts_.shards;
+  big_shards_ = opts_.processes % opts_.shards;
+  shards_.reserve(opts_.shards);
+  ProcessIndex first = 0;
+  for (std::size_t s = 0; s < opts_.shards; ++s) {
+    const std::size_t members = base_members_ + (s < big_shards_ ? 1 : 0);
+    shards_.emplace_back(first, members, opts_.params.window);
+    first += static_cast<ProcessIndex>(members);
+  }
+}
+
+std::size_t FleetMonitor::shard_of(ProcessIndex id) const {
+  const std::size_t big_span = big_shards_ * (base_members_ + 1);
+  if (id < big_span) return id / (base_members_ + 1);
+  return big_shards_ + (id - big_span) / base_members_;
+}
+
+void FleetMonitor::fire(Shard& shard, std::uint32_t member) {
+  shard.log.push_back(
+      Transition{TimePoint(shard.fresh_point[member]),
+                 shard.first + static_cast<ProcessIndex>(member),
+                 Verdict::kSuspect});
+  shard.trusted[member] = 0;
+  ++suspects_;
+}
+
+void FleetMonitor::advance_shard(Shard& shard, TimingWheel::Tick to_tick) {
+  shard.wheel.advance(
+      to_tick, [this, &shard](TimingWheel::TimerId id, TimingWheel::Tick) {
+        CHENFD_AUDIT(shard.trusted[id] != 0,
+                     "FleetMonitor: wheel fired for an untrusted member");
+        fire(shard, id);
+      });
+}
+
+void FleetMonitor::apply(Shard& shard, const Heartbeat& hb) {
+  const std::uint32_t m = hb.process - shard.first;
+  const double t = hb.arrival.seconds();
+  const double eta_s = opts_.params.eta.seconds();
+
+  // Determinism rule 2 (catch-up): this member's own overdue freshness
+  // point fires before the heartbeat is applied, so the outcome does not
+  // depend on the wheel's tick granularity.
+  if (shard.trusted[m] != 0 && shard.fresh_point[m] <= t) {
+    shard.wheel.cancel(m);
+    fire(shard, m);
+  }
+
+  // Incarnation-filtered admission (crash-recovery model, DESIGN.md §12):
+  // heartbeats from an older incarnation are stale echoes; a newer one
+  // starts a fresh Eq. 6.3 epoch at this sequence number.
+  if (hb.incarnation < shard.incarnation[m]) {
+    ++dropped_stale_;
+    return;
+  }
+  if (hb.incarnation > shard.incarnation[m]) {
+    shard.incarnation[m] = hb.incarnation;
+    shard.epoch[m] = hb.seq;
+    shard.ell[m] = hb.seq - 1;  // tolerate sequence restarts across crashes
+    shard.win_count[m] = 0;
+    shard.win_next[m] = 0;
+    shard.win_sum[m] = 0.0;
+  }
+  if (hb.seq < shard.epoch[m]) {
+    ++dropped_pre_epoch_;
+    return;
+  }
+  if (hb.seq <= shard.ell[m]) {
+    ++dropped_duplicate_;
+    return;
+  }
+  shard.ell[m] = hb.seq;
+
+  // Admit into the Eq. 6.3 ring (evicting the oldest entry when full) and
+  // recompute the freshness point for the *next* heartbeat, exactly as the
+  // per-pair NfdE does.
+  const std::size_t window = opts_.params.window;
+  double* ring = &shard.ring[static_cast<std::size_t>(m) * window];
+  const double normalized =
+      core::eq63::normalize(t, hb.seq, shard.epoch[m], eta_s);
+  if (shard.win_count[m] == window) {
+    shard.win_sum[m] -= ring[shard.win_next[m]];
+  } else {
+    ++shard.win_count[m];
+  }
+  ring[shard.win_next[m]] = normalized;
+  shard.win_sum[m] += normalized;
+  shard.win_next[m] =
+      (shard.win_next[m] + 1) % static_cast<std::uint32_t>(window);
+
+  const double tau =
+      core::eq63::estimate(shard.win_sum[m], shard.win_count[m],
+                           shard.ell[m] + 1, shard.epoch[m], eta_s) +
+      opts_.params.alpha.seconds();
+  shard.wheel.cancel(m);
+  if (t < tau) {
+    if (shard.trusted[m] == 0) {
+      shard.log.push_back(
+          Transition{TimePoint(t),
+                     shard.first + static_cast<ProcessIndex>(m),
+                     Verdict::kTrust});
+      shard.trusted[m] = 1;
+      ++trusts_;
+    }
+    shard.fresh_point[m] = tau;
+    // tau > t implies ceil(tau/res) > floor(t/res) = wheel now in exact
+    // arithmetic; the clamp guards the one-ULP float case (fires a tick
+    // late, never early).
+    TimingWheel::Tick tick = grid_ceil(tau, resolution_s_);
+    if (tick <= shard.wheel.now()) tick = shard.wheel.now() + 1;
+    shard.wheel.schedule(m, tick);
+  } else if (shard.trusted[m] != 0) {
+    // Already past the refreshed deadline: the per-pair NfdU suspects at
+    // receipt time in this case (the estimate moved backwards).
+    shard.log.push_back(Transition{
+        TimePoint(t), shard.first + static_cast<ProcessIndex>(m),
+        Verdict::kSuspect});
+    shard.trusted[m] = 0;
+    ++suspects_;
+  }
+  CHENFD_AUDIT((shard.trusted[m] != 0) == shard.wheel.pending(m),
+               "FleetMonitor: trust latch and armed timer diverged");
+}
+
+void FleetMonitor::ingest(std::span<const Heartbeat> batch) {
+  double prev = watermark_s_;
+  for (const Heartbeat& hb : batch) {
+    CHENFD_EXPECTS(hb.process < opts_.processes,
+                   "FleetMonitor::ingest: process index out of range");
+    CHENFD_EXPECTS(hb.seq >= 1,
+                   "FleetMonitor::ingest: sequence numbers start at 1");
+    const double t = hb.arrival.seconds();
+    CHENFD_EXPECTS(t >= prev,
+                   "FleetMonitor::ingest: batch not sorted by arrival time "
+                   "or precedes the ingest watermark");
+    prev = t;
+    Shard& shard = shards_[shard_of(hb.process)];
+    advance_shard(shard, grid_floor(t, resolution_s_));
+    apply(shard, hb);
+    ++heartbeats_;
+    watermark_s_ = t;
+  }
+}
+
+void FleetMonitor::advance(TimePoint to) {
+  const double to_s = to.seconds();
+  CHENFD_EXPECTS(std::isfinite(to_s) && to_s >= 0.0,
+                 "FleetMonitor::advance: target time must be finite and "
+                 ">= 0");
+  const TimingWheel::Tick tick = grid_floor(to_s, resolution_s_);
+  for (Shard& shard : shards_) advance_shard(shard, tick);
+  watermark_s_ = std::max(watermark_s_, to_s);
+}
+
+void FleetMonitor::close(TimePoint horizon) {
+  const double horizon_s = horizon.seconds();
+  CHENFD_EXPECTS(std::isfinite(horizon_s) && horizon_s >= 0.0,
+                 "FleetMonitor::close: horizon must be finite and >= 0");
+  for (Shard& shard : shards_) {
+    for (std::size_t m = 0; m < shard.members(); ++m) {
+      if (shard.trusted[m] != 0 && shard.fresh_point[m] <= horizon_s) {
+        shard.wheel.cancel(static_cast<TimingWheel::TimerId>(m));
+        fire(shard, static_cast<std::uint32_t>(m));
+      }
+    }
+  }
+  watermark_s_ = std::max(watermark_s_, horizon_s);
+}
+
+// detlint: allow(R4) draining is legal in any state; an empty result is valid
+std::vector<Transition> FleetMonitor::drain_transitions() {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.log.size();
+  std::vector<Transition> out;
+  out.reserve(total);
+  for (Shard& shard : shards_) {
+    out.insert(out.end(), shard.log.begin(), shard.log.end());
+    shard.log.clear();
+  }
+  // (time, process) is a total order across shards for distinct processes;
+  // a process's same-time pair (suspect at tau == trust at arrival) keeps
+  // its emission order because the sort is stable and each process's
+  // transitions come from exactly one shard, already in order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Transition& a, const Transition& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.process < b.process;
+                   });
+  return out;
+}
+
+Verdict FleetMonitor::verdict(ProcessIndex id) const {
+  CHENFD_EXPECTS(id < opts_.processes,
+                 "FleetMonitor::verdict: process index out of range");
+  const Shard& shard = shards_[shard_of(id)];
+  return shard.trusted[id - shard.first] != 0 ? Verdict::kTrust
+                                              : Verdict::kSuspect;
+}
+
+std::uint32_t FleetMonitor::incarnation(ProcessIndex id) const {
+  CHENFD_EXPECTS(id < opts_.processes,
+                 "FleetMonitor::incarnation: process index out of range");
+  const Shard& shard = shards_[shard_of(id)];
+  return shard.incarnation[id - shard.first];
+}
+
+std::uint32_t FleetMonitor::window_count(ProcessIndex id) const {
+  CHENFD_EXPECTS(id < opts_.processes,
+                 "FleetMonitor::window_count: process index out of range");
+  const Shard& shard = shards_[shard_of(id)];
+  return shard.win_count[id - shard.first];
+}
+
+std::size_t FleetMonitor::memory_bytes() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.incarnation.capacity() * sizeof(std::uint32_t);
+    total += shard.ell.capacity() * sizeof(std::uint64_t);
+    total += shard.epoch.capacity() * sizeof(std::uint64_t);
+    total += shard.win_count.capacity() * sizeof(std::uint32_t);
+    total += shard.win_next.capacity() * sizeof(std::uint32_t);
+    total += shard.win_sum.capacity() * sizeof(double);
+    total += shard.fresh_point.capacity() * sizeof(double);
+    total += shard.trusted.capacity() * sizeof(std::uint8_t);
+    total += shard.ring.capacity() * sizeof(double);
+    total += shard.wheel.memory_bytes();
+    total += shard.log.capacity() * sizeof(Transition);
+  }
+  return total;
+}
+
+persist::FleetState FleetMonitor::export_summary() const {
+  persist::FleetState state;
+  state.processes = opts_.processes;
+  state.shards.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    persist::FleetShardState out;
+    out.shard = s;
+    out.processes = shard.members();
+    for (std::size_t m = 0; m < shard.members(); ++m) {
+      out.max_incarnation =
+          std::max<std::uint64_t>(out.max_incarnation, shard.incarnation[m]);
+      out.max_seq = std::max(out.max_seq, shard.ell[m]);
+    }
+    state.shards.push_back(out);
+  }
+  return state;
+}
+
+void FleetMonitor::restore_summary(
+    const std::optional<persist::FleetState>& state, bool warm) {
+  if (warm) {
+    expects(state.has_value(),
+            "FleetMonitor::restore_summary: warm restore requires a summary");
+    expects(state->processes == opts_.processes,
+            "FleetMonitor::restore_summary: snapshot fleet size mismatch");
+    expects(state->shards.size() == shards_.size(),
+            "FleetMonitor::restore_summary: snapshot shard count mismatch");
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      expects(state->shards[s].processes == shards_[s].members(),
+              "FleetMonitor::restore_summary: snapshot shard layout mismatch");
+    }
+  }
+  reset_soft_state();
+}
+
+void FleetMonitor::reset_soft_state() {
+  for (Shard& shard : shards_) {
+    std::fill(shard.incarnation.begin(), shard.incarnation.end(), 0U);
+    std::fill(shard.ell.begin(), shard.ell.end(), std::uint64_t{0});
+    std::fill(shard.epoch.begin(), shard.epoch.end(), std::uint64_t{0});
+    std::fill(shard.win_count.begin(), shard.win_count.end(), 0U);
+    std::fill(shard.win_next.begin(), shard.win_next.end(), 0U);
+    std::fill(shard.win_sum.begin(), shard.win_sum.end(), 0.0);
+    std::fill(shard.fresh_point.begin(), shard.fresh_point.end(), 0.0);
+    std::fill(shard.trusted.begin(), shard.trusted.end(), std::uint8_t{0});
+    shard.wheel.clear();
+    shard.log.clear();
+  }
+}
+
+}  // namespace chenfd::fleet

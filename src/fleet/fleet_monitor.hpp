@@ -1,0 +1,158 @@
+// FleetMonitor — a sharded NFD-E engine monitoring 10^4–10^6 processes in
+// one address space (DESIGN.md §13).
+//
+// Each monitored process gets one row of a struct-of-arrays table inside
+// its shard: incarnation, largest-seen sequence number, freshness epoch,
+// the Eq. 6.3 ring (count/next-slot/running-sum plus a flat ring arena),
+// the current freshness point, and the trust latch.  Freshness expiry is
+// driven by a per-shard hierarchical timing wheel (timing_wheel.hpp), so a
+// heartbeat costs O(1) amortized rather than the O(log n) heap ops of the
+// per-pair path; around 70 + 8*window bytes per process all-in.
+//
+// Determinism contract (pinned by tests/test_fleet.cpp): the drained
+// transition stream is a pure function of the heartbeat stream — it does
+// not depend on the shard count or on the wheel resolution.  Three rules
+// make that hold:
+//
+//   1. transitions carry *exact* timestamps: the heartbeat arrival for
+//      trust, the stored (unquantized) Eq. 6.3 freshness point for
+//      suspicion — never a wheel tick;
+//   2. before a heartbeat is applied, its process's own overdue freshness
+//      point is fired (the catch-up check), so a per-process outcome never
+//      depends on when the coarse wheel happened to notice the expiry;
+//   3. per-process streams are generated independently (all heartbeats of
+//      a process land in one shard, in ingest order) and the global drain
+//      stable-sorts by (time, process), which is a total order across
+//      shards of every same-time pair.
+//
+// The per-pair NfdE object remains the reference implementation; the
+// single-process parity test in test_fleet.cpp pins this engine to it.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fleet/timing_wheel.hpp"
+#include "fleet/types.hpp"
+#include "persist/snapshot.hpp"
+
+namespace chenfd::fleet {
+
+class FleetMonitor {
+ public:
+  explicit FleetMonitor(FleetOptions opts);
+
+  /// Applies a batch of heartbeats.  The batch must be sorted by arrival
+  /// time, and no arrival may precede the engine's high-water mark (the
+  /// latest arrival already ingested) — heartbeat *reordering across
+  /// batches* is the transport's problem; within the engine time moves
+  /// forward.  Sequence numbers start at 1.
+  void ingest(std::span<const Heartbeat> batch);
+
+  /// Advances every shard's wheel to `to`, firing freshness expiries whose
+  /// deadline tick has passed.  Granular: an expiry within the last
+  /// partial tick is noticed by the next advance()/ingest()/close() that
+  /// crosses it (its emitted timestamp is exact regardless).
+  void advance(TimePoint to);
+
+  /// Exact end-of-run flush: fires every pending freshness point <= horizon
+  /// directly from the process table (no tick rounding).  The wheel's
+  /// remaining entries are discarded; the engine stays usable only for
+  /// draining and inspection afterwards.
+  void close(TimePoint horizon);
+
+  /// Moves out all transitions emitted since the last drain, merged across
+  /// shards and stable-sorted by (time, process).
+  [[nodiscard]] std::vector<Transition> drain_transitions();
+
+  // ---- observability ----------------------------------------------------
+
+  [[nodiscard]] std::size_t processes() const { return opts_.processes; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] Verdict verdict(ProcessIndex id) const;
+  [[nodiscard]] std::uint32_t incarnation(ProcessIndex id) const;
+  [[nodiscard]] std::uint32_t window_count(ProcessIndex id) const;
+
+  [[nodiscard]] std::uint64_t heartbeats() const { return heartbeats_; }
+  [[nodiscard]] std::uint64_t dropped_stale() const { return dropped_stale_; }
+  [[nodiscard]] std::uint64_t dropped_pre_epoch() const {
+    return dropped_pre_epoch_;
+  }
+  [[nodiscard]] std::uint64_t dropped_duplicate() const {
+    return dropped_duplicate_;
+  }
+  [[nodiscard]] std::uint64_t suspects() const { return suspects_; }
+  [[nodiscard]] std::uint64_t trusts() const { return trusts_; }
+
+  /// Steady-state heap footprint of the process table, rings, wheels and
+  /// transition buffers (vector capacities, not just sizes).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  // ---- supervisor persistence (soft-state summary; see snapshot.hpp) ----
+
+  [[nodiscard]] persist::FleetState export_summary() const;
+
+  /// Warm restart (`state` present, `warm` true): validates that the
+  /// summary's shape matches this engine (process count, shard layout) and
+  /// resumes from all-suspect soft state — every live process re-trusts on
+  /// its first heartbeat.  Cold restart (`warm` false or no state): the
+  /// same reset without the shape check.
+  void restore_summary(const std::optional<persist::FleetState>& state,
+                       bool warm);
+
+ private:
+  struct Shard {
+    ProcessIndex first = 0;  ///< global index of member 0
+    // Parallel per-member arrays (struct of arrays).
+    std::vector<std::uint32_t> incarnation;
+    std::vector<std::uint64_t> ell;        ///< largest seq processed (0 = none)
+    std::vector<std::uint64_t> epoch;      ///< Eq. 6.3 epoch seq
+    std::vector<std::uint32_t> win_count;  ///< entries in the Eq. 6.3 ring
+    std::vector<std::uint32_t> win_next;   ///< next ring slot to overwrite
+    std::vector<double> win_sum;           ///< running normalized sum
+    std::vector<double> fresh_point;       ///< exact tau while trusted
+    std::vector<std::uint8_t> trusted;
+    std::vector<double> ring;              ///< members * window, flat
+    TimingWheel wheel;
+    std::vector<Transition> log;
+
+    Shard(ProcessIndex first_id, std::size_t members, std::size_t window)
+        : first(first_id),
+          incarnation(members, 0),
+          ell(members, 0),
+          epoch(members, 0),
+          win_count(members, 0),
+          win_next(members, 0),
+          win_sum(members, 0.0),
+          fresh_point(members, 0.0),
+          trusted(members, 0),
+          ring(members * window, 0.0),
+          wheel(members) {}
+
+    [[nodiscard]] std::size_t members() const { return incarnation.size(); }
+  };
+
+  [[nodiscard]] std::size_t shard_of(ProcessIndex id) const;
+  void apply(Shard& shard, const Heartbeat& hb);
+  void fire(Shard& shard, std::uint32_t member);
+  void advance_shard(Shard& shard, TimingWheel::Tick to_tick);
+  void reset_soft_state();
+
+  FleetOptions opts_;
+  double resolution_s_;
+  std::size_t big_shards_;       ///< shards holding base_members_ + 1
+  std::size_t base_members_;     ///< processes / shards
+  std::vector<Shard> shards_;
+  double watermark_s_ = 0.0;     ///< latest ingested arrival
+  std::uint64_t heartbeats_ = 0;
+  std::uint64_t dropped_stale_ = 0;
+  std::uint64_t dropped_pre_epoch_ = 0;
+  std::uint64_t dropped_duplicate_ = 0;
+  std::uint64_t suspects_ = 0;
+  std::uint64_t trusts_ = 0;
+};
+
+}  // namespace chenfd::fleet

@@ -1,0 +1,182 @@
+#include "fleet/workload.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/verdict.hpp"
+#include "fault/fault_plan.hpp"
+#include "persist/crc32.hpp"
+
+namespace chenfd::fleet {
+
+namespace {
+
+/// Stateless draw: one SplitMix64 step keyed by (seed, process, slot,
+/// purpose).  Every heartbeat attribute is a pure function of its
+/// coordinates, so generation order can never leak into the stream.
+std::uint64_t draw(std::uint64_t seed, std::uint64_t process,
+                   std::uint64_t slot, std::uint64_t purpose) {
+  SplitMix64 sm(seed ^ (process * 0x9E3779B97F4A7C15ULL) ^
+                (slot * 0xC2B2AE3D27D4EB4FULL) ^
+                (purpose * 0x165667B19E3779F9ULL));
+  return sm.next();
+}
+
+double unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+enum Purpose : std::uint64_t { kPhase = 1, kLoss = 2, kDelay = 3 };
+
+}  // namespace
+
+std::vector<Heartbeat> generate_workload(const WorkloadOptions& opts,
+                                         const fault::FaultPlan* faults) {
+  opts.validate();
+  const double eta_s = opts.eta.seconds();
+  const double delay_span =
+      opts.delay_max.seconds() - opts.delay_min.seconds();
+  std::vector<Heartbeat> out;
+  out.reserve(opts.processes * opts.slots);
+  for (std::size_t g = 0; g < opts.processes; ++g) {
+    // Sending phases are staggered across [0, 0.1 * eta) so a million
+    // processes do not all heartbeat on the same instant.
+    const double phase = unit(draw(opts.seed, g, 0, kPhase)) * 0.1 * eta_s;
+    std::vector<fault::Window> down;
+    if (faults != nullptr) down = faults->downtime_windows(g);
+    for (std::uint64_t s = 1; s <= opts.slots; ++s) {
+      const double sigma = phase + static_cast<double>(s - 1) * eta_s;
+      // Crash-recovery model: no sends while down; the incarnation counts
+      // completed downtime windows (bumps at each recovery); sequence
+      // numbers continue across the outage.
+      std::uint32_t incarnation = 0;
+      bool suppressed = false;
+      for (const fault::Window& w : down) {
+        if (sigma >= w.begin.seconds() && sigma < w.end.seconds()) {
+          suppressed = true;
+          break;
+        }
+        if (w.end.seconds() <= sigma) ++incarnation;
+      }
+      if (suppressed) continue;
+      if (unit(draw(opts.seed, g, s, kLoss)) < opts.loss_prob) continue;
+      const double delay =
+          opts.delay_min.seconds() +
+          unit(draw(opts.seed, g, s, kDelay)) * delay_span;
+      Heartbeat hb;
+      hb.process = static_cast<ProcessIndex>(g);
+      hb.incarnation = incarnation;
+      hb.seq = s;
+      hb.arrival = TimePoint(sigma + delay);
+      out.push_back(hb);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Heartbeat& a, const Heartbeat& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    if (a.process != b.process) return a.process < b.process;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+std::uint32_t stream_crc(const std::vector<Transition>& ts) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const Transition& t : ts) {
+    os << t.at.seconds() << " " << t.process << " " << to_string(t.to)
+       << "\n";
+  }
+  return persist::crc32(os.str());
+}
+
+TimePoint workload_horizon(const WorkloadOptions& opts,
+                           const core::NfdEParams& params) {
+  // Past every reachable freshness point: the latest send is at
+  // phase + (slots-1)*eta, the Eq. 6.3 estimate for slot slots+1 is at
+  // most one eta plus the maximum delay beyond it, plus alpha.
+  return TimePoint(0.1 * opts.eta.seconds() +
+                   static_cast<double>(opts.slots + 1) * opts.eta.seconds() +
+                   opts.delay_max.seconds() + params.alpha.seconds() + 1.0);
+}
+
+FleetRunResult run_fleet(const WorkloadOptions& workload, std::size_t shards,
+                         const core::NfdEParams& params,
+                         const fault::FaultPlan* faults) {
+  FleetOptions options;
+  options.processes = workload.processes;
+  options.shards = shards;
+  options.params = params;
+  FleetMonitor monitor(options);
+
+  const std::vector<Heartbeat> heartbeats =
+      generate_workload(workload, faults);
+  // Chunked ingestion exercises the batch boundary handling; the chunk
+  // size is invisible in the results (the stream is already time-sorted).
+  constexpr std::size_t kChunk = 8192;
+  for (std::size_t i = 0; i < heartbeats.size(); i += kChunk) {
+    const std::size_t n = std::min(kChunk, heartbeats.size() - i);
+    monitor.ingest(std::span<const Heartbeat>(&heartbeats[i], n));
+  }
+  monitor.close(workload_horizon(workload, params));
+
+  const std::vector<Transition> stream = monitor.drain_transitions();
+  FleetRunResult r;
+  r.processes = workload.processes;
+  r.heartbeats = monitor.heartbeats();
+  r.dropped_stale = monitor.dropped_stale();
+  r.dropped_pre_epoch = monitor.dropped_pre_epoch();
+  r.dropped_duplicate = monitor.dropped_duplicate();
+  r.ingested = r.heartbeats - r.dropped_stale - r.dropped_pre_epoch -
+               r.dropped_duplicate;
+  r.transitions = stream.size();
+  r.suspects = monitor.suspects();
+  r.trusts = monitor.trusts();
+  r.stream_crc32 = stream_crc(stream);
+  r.shards = shards;
+  r.bytes_per_process =
+      static_cast<double>(monitor.memory_bytes()) /
+      static_cast<double>(workload.processes);
+  return r;
+}
+
+void write_fleet_json(std::ostream& os,
+                      const std::vector<FleetRunResult>& results,
+                      bool include_measurements, bool fast_mode) {
+  os << "{\n";
+  os << "  \"bench\": \"fleet\",\n";
+  os << "  \"fast_mode\": " << (fast_mode ? "true" : "false") << ",\n";
+  os << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FleetRunResult& r = results[i];
+    os << "    {\n";
+    os << "      \"processes\": " << r.processes << ",\n";
+    os << "      \"heartbeats\": " << r.heartbeats << ",\n";
+    os << "      \"ingested\": " << r.ingested << ",\n";
+    os << "      \"dropped_stale\": " << r.dropped_stale << ",\n";
+    os << "      \"dropped_pre_epoch\": " << r.dropped_pre_epoch << ",\n";
+    os << "      \"dropped_duplicate\": " << r.dropped_duplicate << ",\n";
+    os << "      \"transitions\": " << r.transitions << ",\n";
+    os << "      \"suspects\": " << r.suspects << ",\n";
+    os << "      \"trusts\": " << r.trusts << ",\n";
+    os << "      \"stream_crc32\": \"" << std::hex << std::setw(8)
+       << std::setfill('0') << r.stream_crc32 << std::dec
+       << std::setfill(' ') << "\"";
+    if (include_measurements) {
+      std::ostringstream ms;
+      ms.precision(std::numeric_limits<double>::max_digits10);
+      ms << ",\n      \"shards\": " << r.shards << ",\n";
+      ms << "      \"heartbeats_per_sec\": " << r.heartbeats_per_sec << ",\n";
+      ms << "      \"bytes_per_process\": " << r.bytes_per_process;
+      os << ms.str();
+    }
+    os << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace chenfd::fleet

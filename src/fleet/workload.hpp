@@ -1,0 +1,113 @@
+// Deterministic fleet workload generation and the shared run/report
+// harness used by tests/test_fleet.cpp and bench/fleet_throughput.cpp.
+//
+// Workloads are generated *statelessly*: every random draw is a SplitMix64
+// hash of (seed, process, slot, purpose), so the heartbeat stream for a
+// given option set is one fixed function — independent of generation
+// order, shard count, or batch size.  A FaultPlan can be layered on top:
+// its per-process downtime windows suppress sends and bump the incarnation
+// after each recovery (crash-recovery model; sequence numbers continue
+// across the outage).
+//
+// The run result splits into a deterministic payload (counters plus a
+// CRC-32 of the canonical transition stream) and measurement fields
+// (heartbeats/sec, bytes/process) that depend on the host and the shard
+// count.  write_fleet_json() keeps the two apart so tests can require
+// byte-identical payloads across shard counts while the bench still
+// reports throughput.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+#include "fleet/fleet_monitor.hpp"
+#include "fleet/types.hpp"
+
+namespace chenfd::fault {
+class FaultPlan;
+}  // namespace chenfd::fault
+
+namespace chenfd::fleet {
+
+struct WorkloadOptions {
+  std::size_t processes = 0;
+  std::uint64_t seed = 1;
+  Duration eta = Duration(1.0);
+  /// Heartbeats per process (sequence numbers 1..slots).
+  std::uint64_t slots = 30;
+  double loss_prob = 0.01;
+  Duration delay_min = Duration(0.05);
+  Duration delay_max = Duration(0.25);
+
+  void validate() const {
+    CHENFD_EXPECTS(processes >= 1, "WorkloadOptions: processes must be >= 1");
+    CHENFD_EXPECTS(slots >= 1, "WorkloadOptions: slots must be >= 1");
+    CHENFD_EXPECTS(eta > Duration::zero(),
+                   "WorkloadOptions: eta must be positive");
+    CHENFD_EXPECTS(loss_prob >= 0.0 && loss_prob < 1.0,
+                   "WorkloadOptions: loss probability outside [0, 1)");
+    CHENFD_EXPECTS(delay_min >= Duration::zero() && delay_max >= delay_min,
+                   "WorkloadOptions: delay bounds must satisfy 0 <= min <= "
+                   "max");
+  }
+};
+
+/// Generates the heartbeat stream for `opts`, time-sorted and ready for
+/// FleetMonitor::ingest.  With a FaultPlan, sends inside a process's
+/// downtime windows are suppressed and its incarnation counts completed
+/// windows (bumps on each recovery).
+[[nodiscard]] std::vector<Heartbeat> generate_workload(
+    const WorkloadOptions& opts, const fault::FaultPlan* faults = nullptr);
+
+/// CRC-32 over the canonical text form of a transition stream (one
+/// "<time> <process> <S|T>" line per transition, max_digits10) — the
+/// fingerprint the determinism suite and the bench compare across shard
+/// counts.
+[[nodiscard]] std::uint32_t stream_crc(const std::vector<Transition>& ts);
+
+struct FleetRunResult {
+  // Deterministic payload: identical for any shard count.
+  std::uint64_t processes = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t ingested = 0;
+  std::uint64_t dropped_stale = 0;
+  std::uint64_t dropped_pre_epoch = 0;
+  std::uint64_t dropped_duplicate = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t suspects = 0;
+  std::uint64_t trusts = 0;
+  std::uint32_t stream_crc32 = 0;
+  // Shard/host-dependent measurements (reported by the bench only).
+  std::uint64_t shards = 0;
+  double heartbeats_per_sec = 0.0;
+  double bytes_per_process = 0.0;
+};
+
+/// Generates the workload, ingests it through a FleetMonitor with `shards`
+/// shards, closes past the last freshness point and summarizes.  Pure
+/// virtual-time run: heartbeats_per_sec is left at 0 (the bench times its
+/// own ingest loop); bytes_per_process is filled from memory_bytes().
+[[nodiscard]] FleetRunResult run_fleet(const WorkloadOptions& workload,
+                                       std::size_t shards,
+                                       const core::NfdEParams& params,
+                                       const fault::FaultPlan* faults =
+                                           nullptr);
+
+/// A close() horizon past every freshness point `opts` can produce under
+/// detector parameters `params`.
+[[nodiscard]] TimePoint workload_horizon(const WorkloadOptions& opts,
+                                         const core::NfdEParams& params);
+
+/// Writes BENCH_fleet.json.  With `include_measurements` false the output
+/// is a pure function of the heartbeat streams (the determinism suite
+/// requires byte-identical strings across shard counts); with true it adds
+/// shards, heartbeats_per_sec and bytes_per_process per config.
+void write_fleet_json(std::ostream& os,
+                      const std::vector<FleetRunResult>& results,
+                      bool include_measurements, bool fast_mode);
+
+}  // namespace chenfd::fleet

@@ -107,6 +107,17 @@ class Parser {
     }
   }
 
+  /// First token of the next unopened line ("" at end of payload) — lets
+  /// the reader dispatch among the optional trailing sections without
+  /// committing to open() one.
+  [[nodiscard]] std::string peek_keyword() const {
+    if (next_ >= lines_.size()) return {};
+    std::istringstream ls(lines_[next_]);
+    std::string token;
+    ls >> token;
+    return token;
+  }
+
   [[noreturn]] void fail(const std::string& what) const {
     throw SnapshotError(what, next_);
   }
@@ -205,6 +216,14 @@ void write_snapshot(std::ostream& os, const MonitorSnapshot& snap) {
         payload << "none";
       }
       payload << "\n";
+    }
+  }
+  if (snap.has_fleet) {
+    payload << "fleet " << snap.fleet.processes << " "
+            << snap.fleet.shards.size() << "\n";
+    for (const FleetShardState& shard : snap.fleet.shards) {
+      payload << "fshard " << shard.shard << " " << shard.processes << " "
+              << shard.max_incarnation << " " << shard.max_seq << "\n";
     }
   }
 
@@ -410,10 +429,7 @@ MonitorSnapshot read_snapshot(std::istream& is) {
     snap.apps.push_back(app);
   }
 
-  if (p.lineno() != crc_lineno - 1) {
-    // Anything left after the apps section must be the optional election
-    // section; a reader predating it lands in the else branch below and
-    // rejects, which is exactly the forward-rejection behaviour we want.
+  if (p.lineno() != crc_lineno - 1 && p.peek_keyword() == "election") {
     p.open("election");
     snap.has_election = true;
     snap.election.self = p.take_u64();
@@ -469,8 +485,39 @@ MonitorSnapshot read_snapshot(std::istream& is) {
     }
   }
 
+  if (p.lineno() != crc_lineno - 1 && p.peek_keyword() == "fleet") {
+    p.open("fleet");
+    snap.has_fleet = true;
+    snap.fleet.processes = p.take_u64();
+    const std::uint64_t shard_count = p.take_u64();
+    p.close();
+    if (snap.fleet.processes < 1) p.fail("fleet must monitor >= 1 process");
+    if (shard_count < 1 || shard_count > snap.fleet.processes) {
+      p.fail("fleet shard count outside [1, processes]");
+    }
+    std::uint64_t covered = 0;
+    for (std::uint64_t i = 0; i < shard_count; ++i) {
+      p.open("fshard");
+      FleetShardState shard;
+      shard.shard = p.take_u64();
+      shard.processes = p.take_u64();
+      shard.max_incarnation = p.take_u64();
+      shard.max_seq = p.take_u64();
+      p.close();
+      if (shard.shard != i) p.fail("fleet shard ids must be 0..n-1 in order");
+      if (shard.processes < 1) p.fail("fleet shard monitors no processes");
+      covered += shard.processes;
+      snap.fleet.shards.push_back(shard);
+    }
+    if (covered != snap.fleet.processes) {
+      p.fail("fleet shard process counts do not sum to the fleet size");
+    }
+  }
+
+  // Anything left now is from a format this build predates (or a writer
+  // bug); refuse rather than misparse — the forward-rejection guarantee.
   if (p.lineno() != crc_lineno - 1) {
-    throw SnapshotError("unconsumed payload after election section",
+    throw SnapshotError("unconsumed payload after optional sections",
                         p.lineno() + 1);
   }
   return snap;

@@ -31,13 +31,24 @@
 //   app <id> <T_D^u> <T_MR^L> <T_M^U>              (count lines)
 //   election <self> <leader|none> <since> <changes> <count>   (optional)
 //   epeer <id> <incarnation> <demotions> <holddown-until|none> (count lines)
+//   fleet <processes> <shard-count>                            (optional)
+//   fshard <id> <processes> <max-incarnation> <max-seq>  (shard-count lines)
 //   crc <8-hex-digits>
 //
-// The election section is optional (supervisors without an attached
-// election service never write it) and still part of format v1: a reader
-// predating it rejects snapshots that carry one via the "unconsumed
-// payload" structural check — the same refuse-don't-misparse guarantee a
-// version bump would give, without invalidating existing v1 snapshots.
+// The election and fleet sections are optional (supervisors without the
+// corresponding service never write them; when both are present, election
+// precedes fleet) and still part of format v1: a reader predating them
+// rejects snapshots that carry one via the "unconsumed payload" structural
+// check — the same refuse-don't-misparse guarantee a version bump would
+// give, without invalidating existing v1 snapshots.
+//
+// The fleet section is deliberately a per-shard *summary*, not the full
+// process table: at 10^6 monitored processes the Eq. 6.3 windows alone are
+// hundreds of megabytes, far past what a periodic text snapshot should
+// carry, and fleet suspicion state is soft (every process re-trusts on its
+// first live heartbeat).  A warm restart therefore validates the shape
+// (process and shard counts) and resumes from all-suspect; see
+// fleet::FleetMonitor::restore_summary.
 //
 // Integrity rules:
 //   - the version line must name exactly the supported version; snapshots
@@ -143,6 +154,23 @@ struct ElectionState {
   std::vector<ElectionPeerState> peers;  ///< strictly increasing id, != self
 };
 
+/// One fleet shard's summary: how many processes it monitors and the
+/// high-water marks of what it has heard (continuity diagnostics for a
+/// restarting supervisor, not rehydratable detector state).
+struct FleetShardState {
+  std::uint64_t shard = 0;
+  std::uint64_t processes = 0;
+  std::uint64_t max_incarnation = 0;
+  std::uint64_t max_seq = 0;
+};
+
+/// The fleet engine's persistent summary (see the format note above on why
+/// this is a summary rather than the full 10^6-process table).
+struct FleetState {
+  std::uint64_t processes = 0;
+  std::vector<FleetShardState> shards;  ///< ids 0..n-1 in order
+};
+
 /// The full monitor-side state at `taken_at` (q-local seconds).
 struct MonitorSnapshot {
   double taken_at_s = 0.0;
@@ -179,6 +207,11 @@ struct MonitorSnapshot {
   // this monitor; see MonitorSupervisor::set_election_hooks).
   bool has_election = false;
   ElectionState election;
+
+  // Optional fleet section (present when a fleet engine rides on this
+  // monitor; see MonitorSupervisor::set_fleet_hooks).
+  bool has_fleet = false;
+  FleetState fleet;
 };
 
 /// Serializes `snap` in the format above, CRC line included.

@@ -79,6 +79,10 @@ void MonitorSupervisor::take_snapshot() {
       snap.has_election = true;
       snap.election = election_exporter_();
     }
+    if (fleet_exporter_) {
+      snap.has_fleet = true;
+      snap.fleet = fleet_exporter_();
+    }
     store_.save(persist::to_string(snap));
     ++snapshots_taken_;
   }
@@ -91,6 +95,14 @@ void MonitorSupervisor::set_election_hooks(ElectionExporter exporter,
           "MonitorSupervisor::set_election_hooks: hooks must be non-null");
   election_exporter_ = std::move(exporter);
   election_restorer_ = std::move(restorer);
+}
+
+void MonitorSupervisor::set_fleet_hooks(FleetExporter exporter,
+                                        FleetRestorer restorer) {
+  expects(exporter != nullptr && restorer != nullptr,
+          "MonitorSupervisor::set_fleet_hooks: hooks must be non-null");
+  fleet_exporter_ = std::move(exporter);
+  fleet_restorer_ = std::move(restorer);
 }
 
 AppId MonitorSupervisor::register_app(const core::RelativeRequirements& req) {
@@ -187,6 +199,16 @@ void MonitorSupervisor::warm_restart(const persist::MonitorSnapshot& snap,
       election_restorer_(std::nullopt, false);
     }
   }
+  if (fleet_restorer_) {
+    // Same rule for the fleet engine: a fleet-less snapshot means the
+    // hooks were attached after the last snapshot cycle, so the engine
+    // gets the cold-style reset.
+    if (snap.has_fleet) {
+      fleet_restorer_(snap.fleet, true);
+    } else {
+      fleet_restorer_(std::nullopt, false);
+    }
+  }
 }
 
 void MonitorSupervisor::cold_restart() {
@@ -207,6 +229,7 @@ void MonitorSupervisor::cold_restart() {
   monitor_->activate();
   ++cold_restarts_;
   if (election_restorer_) election_restorer_(std::nullopt, false);
+  if (fleet_restorer_) fleet_restorer_(std::nullopt, false);
 }
 
 }  // namespace chenfd::service

@@ -118,6 +118,23 @@ class MonitorSupervisor final : public core::FailureDetector {
   void set_election_hooks(ElectionExporter exporter,
                           ElectionRestorer restorer);
 
+  // ---- fleet piggyback (DESIGN.md section 13) ----------------------------
+
+  /// Contributes the fleet engine's per-shard summary to every periodic
+  /// snapshot (a summary, not the full table — see persist/snapshot.hpp).
+  using FleetExporter = std::function<persist::FleetState()>;
+  /// Invoked on every restart decision: with the snapshot's fleet state
+  /// and warm=true when the monitor restarts warm from a snapshot carrying
+  /// one, with nullopt and warm=false otherwise — the fleet engine resets
+  /// to all-suspect soft state either way (FleetMonitor::restore_summary).
+  using FleetRestorer =
+      std::function<void(const std::optional<persist::FleetState>&, bool)>;
+
+  /// Attaches a fleet engine's summary to this supervisor's snapshot
+  /// cycle.  Both hooks must be non-null; call before activate() so the
+  /// first snapshot already carries the fleet section.
+  void set_fleet_hooks(FleetExporter exporter, FleetRestorer restorer);
+
   // ---- application registry facade (Section 8.1.1) -----------------------
 
   AppId register_app(const core::RelativeRequirements& req);
@@ -170,6 +187,8 @@ class MonitorSupervisor final : public core::FailureDetector {
   std::string last_restart_detail_;
   ElectionExporter election_exporter_;
   ElectionRestorer election_restorer_;
+  FleetExporter fleet_exporter_;
+  FleetRestorer fleet_restorer_;
 };
 
 }  // namespace chenfd::service

@@ -6,9 +6,12 @@
 // lazy: cancelled events stay in the heap and are skipped on pop, which
 // keeps both schedule() and cancel() cheap.  To stop cancel-heavy workloads
 // (adaptive detectors rescheduling deadlines on every heartbeat) from
-// accumulating garbage without bound, cancel() compacts the heap whenever
-// dead entries outnumber live ones, so the heap never holds more than
-// max(2 * pending() + 1, kCompactionFloor) entries.
+// accumulating garbage without bound, every operation that shrinks the live
+// set — cancel(), pop(), and the dead-entry skip inside next_time()/pop() —
+// compacts the heap whenever dead entries outnumber live ones, so the heap
+// never holds more than max(2 * pending() + 1, kCompactionFloor) entries.
+// (Compacting only from cancel() is not enough: a cancel-then-drain workload
+// shrinks live_ via pop() while the dead majority sits untouched.)
 
 #pragma once
 
@@ -67,6 +70,7 @@ class EventQueue {
     std::pair<TimePoint, EventFn> out{top.at, std::move(top.fn)};
     live_.erase(top.id);
     heap_.pop_back();
+    maybe_compact();
     return out;
   }
 
@@ -101,6 +105,7 @@ class EventQueue {
       std::pop_heap(heap_.begin(), heap_.end(), Later{});
       heap_.pop_back();
     }
+    maybe_compact();
   }
 
   void maybe_compact() {

@@ -135,6 +135,41 @@ TEST(EventQueue, CompactionPreservesOrderAndLiveEvents) {
   EXPECT_EQ(order.size(), 100u);
 }
 
+TEST(EventQueue, CancelThenDrainKeepsHeapBounded) {
+  // Regression: compaction used to run only from cancel().  A workload that
+  // cancels a large batch (not enough to trip compaction while the live set
+  // is big) and then drains the live events via pop() shrinks pending()
+  // without touching the dead majority — the bound must keep holding as the
+  // live set shrinks, which requires pop()/skip_dead() to compact too.
+  EventQueue q;
+  constexpr std::size_t kLive = 400;
+  constexpr std::size_t kDead = 350;  // <= kLive: cancel alone won't compact
+  for (std::size_t i = 0; i < kLive; ++i) {
+    q.schedule(TimePoint(static_cast<double>(i)), [] {});
+  }
+  std::vector<EventId> dead;
+  for (std::size_t i = 0; i < kDead; ++i) {
+    dead.push_back(
+        q.schedule(TimePoint(1e6 + static_cast<double>(i)), [] {}));
+  }
+  for (const EventId id : dead) ASSERT_TRUE(q.cancel(id));
+
+  std::size_t drained = 0;
+  TimePoint prev = TimePoint::zero();
+  while (auto ev = q.pop()) {
+    EXPECT_GE(ev->first, prev);
+    prev = ev->first;
+    ++drained;
+    const std::size_t bound =
+        std::max<std::size_t>(2 * q.pending() + 1, 64);
+    EXPECT_LE(q.heap_size(), bound)
+        << "after draining " << drained << " events";
+  }
+  EXPECT_EQ(drained, kLive);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.heap_size(), 0u);
+}
+
 TEST(EventQueue, ManyInterleavedOperations) {
   EventQueue q;
   std::vector<EventId> ids;

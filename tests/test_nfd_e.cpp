@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "clock/clock.hpp"
 #include "core/nfd_e.hpp"
+#include "core/nfd_e_math.hpp"
 #include "sim/simulator.hpp"
 
 namespace chenfd::core {
@@ -161,6 +164,47 @@ TEST(NfdE, RejectsInvalidParams) {
   clk::SynchronizedClock clock;
   EXPECT_THROW(NfdE(sim, clock, NfdEParams{Duration(1.0), Duration(0.5), 0}),
                std::invalid_argument);
+}
+
+TEST(NfdE, ValidatesOwnParamsBeforeBaseDelegation) {
+  // Regression: the ctor used to hand params to the NfdU base first and
+  // validate the NfdEParams in its own body afterwards, so an invalid eta
+  // surfaced as a "NfdUParams: ..." diagnostic (or, with a bad window, after
+  // the base was already built).  Validation must run before delegation and
+  // name the params type the caller actually passed.
+  sim::Simulator sim;
+  clk::SynchronizedClock clock;
+  try {
+    NfdE bad(sim, clock, NfdEParams{Duration(0.0), Duration(0.5), 8});
+    FAIL() << "invalid eta must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("NfdEParams"), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+  try {
+    NfdE bad(sim, clock, NfdEParams{Duration(1.0), Duration(0.5), 0});
+    FAIL() << "zero window must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("NfdEParams"), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+TEST(NfdE, Eq63HelpersRejectPreconditionViolationsAsCallerErrors) {
+  // Regression companion to the expected_arrival EXPECTS fix: the shared
+  // Eq. 6.3 helpers treat an empty window / pre-epoch sequence number as a
+  // *caller* error (invalid_argument), not an internal invariant breach
+  // (logic_error) — callers asking for an estimate before any heartbeat was
+  // admitted get the precondition diagnostic.
+  EXPECT_THROW((void)eq63::estimate(0.0, 0, 2, 1, kEta),
+               std::invalid_argument);  // empty window
+  EXPECT_THROW((void)eq63::estimate(0.0, 3, 1, 2, kEta),
+               std::invalid_argument);  // seq predates the epoch
+  EXPECT_THROW((void)eq63::normalize(1.2, 1, 2, kEta),
+               std::invalid_argument);  // seq predates the epoch
+  // And the happy path matches the hand-derived Eq. 6.3 values.
+  EXPECT_DOUBLE_EQ(eq63::normalize(1.2, 1, 0, kEta), 0.2);
+  EXPECT_DOUBLE_EQ(eq63::estimate(0.4, 2, 3, 0, kEta), 3.2);
 }
 
 TEST(NfdE, RebaseRejectsInvalidParams) {

@@ -253,6 +253,78 @@ TEST(Snapshot, StreamInterfaceMatchesStringInterface) {
   EXPECT_EQ(to_string(read_snapshot(is)), os.str());
 }
 
+MonitorSnapshot fleet_snapshot() {
+  MonitorSnapshot snap = reference_snapshot();
+  snap.has_fleet = true;
+  snap.fleet.processes = 7;
+  snap.fleet.shards.push_back(FleetShardState{0, 4, 2, 31});
+  snap.fleet.shards.push_back(FleetShardState{1, 3, 0, 30});
+  return snap;
+}
+
+TEST(Snapshot, FleetSectionRoundTripsBitExact) {
+  const MonitorSnapshot snap = fleet_snapshot();
+  const std::string bytes = to_string(snap);
+  const MonitorSnapshot parsed = from_string(bytes);
+  EXPECT_EQ(to_string(parsed), bytes);
+  ASSERT_TRUE(parsed.has_fleet);
+  EXPECT_EQ(parsed.fleet.processes, 7u);
+  ASSERT_EQ(parsed.fleet.shards.size(), 2u);
+  EXPECT_EQ(parsed.fleet.shards[0].max_incarnation, 2u);
+  EXPECT_EQ(parsed.fleet.shards[1].max_seq, 30u);
+}
+
+TEST(Snapshot, FleetSectionIsOptional) {
+  // A fleet-less snapshot (every snapshot written before the section
+  // existed, or a supervisor with no fleet hooks) still parses, with
+  // has_fleet false.
+  const MonitorSnapshot parsed = from_string(to_string(reference_snapshot()));
+  EXPECT_FALSE(parsed.has_fleet);
+  EXPECT_TRUE(parsed.fleet.shards.empty());
+}
+
+TEST(Snapshot, FleetAndElectionStayIndependent) {
+  // Either optional section may appear without the other; order in the
+  // stream is election first, fleet second.
+  MonitorSnapshot snap = fleet_snapshot();
+  snap.has_election = true;
+  snap.election.self = 1;
+  const std::string bytes = to_string(snap);
+  EXPECT_LT(bytes.find("election"), bytes.find("fleet"));
+  const MonitorSnapshot parsed = from_string(bytes);
+  EXPECT_TRUE(parsed.has_election);
+  ASSERT_TRUE(parsed.has_fleet);
+  EXPECT_EQ(parsed.fleet.processes, 7u);
+}
+
+TEST(Snapshot, FleetShardIdOutOfOrderIsRejected) {
+  const std::string bytes = resign(
+      tamper(to_string(fleet_snapshot()), "fshard 1 3", "fshard 2 3"));
+  EXPECT_THROW((void)from_string(bytes), SnapshotError);
+}
+
+TEST(Snapshot, FleetShardCountOutsideProcessesIsRejected) {
+  const std::string bytes = resign(
+      tamper(to_string(fleet_snapshot()), "fleet 7 2", "fleet 1 2"));
+  EXPECT_THROW((void)from_string(bytes), SnapshotError);
+}
+
+TEST(Snapshot, FleetShardSumMismatchIsRejected) {
+  const std::string bytes = resign(
+      tamper(to_string(fleet_snapshot()), "fshard 0 4", "fshard 0 5"));
+  EXPECT_THROW((void)from_string(bytes), SnapshotError);
+}
+
+TEST(Snapshot, PayloadAfterFleetSectionIsRejected) {
+  // Forward-compatibility guard: a future section appended after the fleet
+  // block must reject cleanly, not half-parse.
+  std::string bytes = to_string(fleet_snapshot());
+  const auto crc_pos = bytes.rfind("crc ");
+  ASSERT_NE(crc_pos, std::string::npos);
+  bytes.insert(crc_pos, "futuresection 1 2 3\n");
+  EXPECT_THROW((void)from_string(resign(bytes)), SnapshotError);
+}
+
 TEST(SnapshotStore, MemoryStoreLifecycle) {
   MemorySnapshotStore store;
   EXPECT_FALSE(store.load().has_value());

@@ -100,5 +100,40 @@ TEST(FloorRatioSnapped, RejectsInvalidOperands) {
       std::invalid_argument);
 }
 
+TEST(GridQuantization, FloorAndCeilOnExactBoundaries) {
+  EXPECT_EQ(grid_floor(1.0, 0.125), 8u);
+  EXPECT_EQ(grid_ceil(1.0, 0.125), 8u);  // exact multiple: floor == ceil
+  EXPECT_EQ(grid_floor(0.0, 0.125), 0u);
+  EXPECT_EQ(grid_ceil(0.0, 0.125), 0u);
+}
+
+TEST(GridQuantization, FractionsSplitFloorFromCeil) {
+  EXPECT_EQ(grid_floor(1.01, 0.125), 8u);
+  EXPECT_EQ(grid_ceil(1.01, 0.125), 9u);
+  EXPECT_EQ(grid_floor(0.99, 0.125), 7u);
+  EXPECT_EQ(grid_ceil(0.99, 0.125), 8u);
+}
+
+TEST(GridQuantization, DeliberatelyNotSnapped) {
+  // Unlike ceil_ratio/floor_snapped these are plain quantizers: the timing
+  // wheel uses grid_ceil for deadlines (snapping down could fire a deadline
+  // a tick early, reordering the transition stream) and grid_floor for
+  // "ticks fully elapsed" (snapping up would advance past a deadline whose
+  // exact time has not been reached).  A ratio one ULP off an integer must
+  // NOT snap: contrast ceil_ratio/floor_snapped above, which do.
+  EXPECT_EQ(grid_ceil(std::nextafter(3.0, 4.0), 1.0), 4u);
+  EXPECT_EQ(grid_floor(std::nextafter(3.0, 0.0), 1.0), 2u);
+}
+
+TEST(GridQuantization, RejectsInvalidOperands) {
+  EXPECT_THROW((void)grid_floor(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)grid_floor(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)grid_ceil(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)grid_ceil(1.0, -1.0), std::invalid_argument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)grid_ceil(inf, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)grid_floor(1.0, inf), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace chenfd

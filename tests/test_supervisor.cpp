@@ -257,6 +257,100 @@ TEST(MonitorSupervisor, StaleSnapshotRestoresElectionCold) {
   EXPECT_FALSE(probe.calls[0].second.has_value()); // no state to revive
 }
 
+/// Captures every fleet restorer invocation: (warm, restored summary).
+struct FleetProbe {
+  std::vector<std::pair<bool, std::optional<persist::FleetState>>> calls;
+
+  static persist::FleetState sample_state() {
+    persist::FleetState state;
+    state.processes = 7;
+    state.shards.push_back(persist::FleetShardState{0, 4, 2, 31});
+    state.shards.push_back(persist::FleetShardState{1, 3, 0, 30});
+    return state;
+  }
+
+  void attach(MonitorSupervisor& supervisor) {
+    supervisor.set_fleet_hooks(
+        [] { return sample_state(); },
+        [this](const std::optional<persist::FleetState>& s, bool warm) {
+          calls.emplace_back(warm, s);
+        });
+  }
+};
+
+TEST(MonitorSupervisor, WarmRestartRoundTripsFleetSummary) {
+  Rig rig(default_sup_options());
+  FleetProbe probe;
+  probe.attach(rig.supervisor);
+  rig.run_until(905.0);
+  rig.supervisor.crash_monitor();
+  rig.run_until(935.0);
+  rig.supervisor.restart_monitor();
+
+  ASSERT_EQ(rig.supervisor.warm_restarts(), 1u);
+  ASSERT_EQ(probe.calls.size(), 1u);
+  EXPECT_TRUE(probe.calls[0].first);  // warm
+  // The summary came back through the snapshot codec, not a reference.
+  ASSERT_TRUE(probe.calls[0].second.has_value());
+  const persist::FleetState& restored = *probe.calls[0].second;
+  EXPECT_EQ(restored.processes, 7u);
+  ASSERT_EQ(restored.shards.size(), 2u);
+  EXPECT_EQ(restored.shards[0].shard, 0u);
+  EXPECT_EQ(restored.shards[0].processes, 4u);
+  EXPECT_EQ(restored.shards[0].max_incarnation, 2u);
+  EXPECT_EQ(restored.shards[0].max_seq, 31u);
+  EXPECT_EQ(restored.shards[1].shard, 1u);
+  EXPECT_EQ(restored.shards[1].processes, 3u);
+  EXPECT_EQ(restored.shards[1].max_incarnation, 0u);
+  EXPECT_EQ(restored.shards[1].max_seq, 30u);
+}
+
+TEST(MonitorSupervisor, StaleSnapshotRestoresFleetCold) {
+  auto opts = default_sup_options();
+  opts.max_snapshot_age = seconds(60.0);
+  Rig rig(opts);
+  FleetProbe probe;
+  probe.attach(rig.supervisor);
+  rig.run_until(905.0);
+  rig.supervisor.crash_monitor();
+  rig.run_until(1025.0);  // the last snapshot ages past the 60 s bound
+  rig.supervisor.restart_monitor();
+
+  ASSERT_EQ(rig.supervisor.cold_restarts(), 1u);
+  ASSERT_EQ(probe.calls.size(), 1u);
+  EXPECT_FALSE(probe.calls[0].first);               // cold
+  EXPECT_FALSE(probe.calls[0].second.has_value());  // no summary to revive
+}
+
+TEST(MonitorSupervisor, FleetlessSnapshotRestoresFleetCold) {
+  // Hooks attached after the last snapshot cycle: the monitor itself warm
+  // restarts, but the snapshot carries no fleet section, so the engine is
+  // told to reset cold-style.
+  Rig rig(default_sup_options());
+  rig.run_until(905.0);  // snapshots taken with no fleet hooks attached
+  FleetProbe probe;
+  probe.attach(rig.supervisor);
+  rig.supervisor.crash_monitor();
+  rig.run_until(935.0);
+  rig.supervisor.restart_monitor();
+
+  ASSERT_EQ(rig.supervisor.warm_restarts(), 1u);
+  ASSERT_EQ(probe.calls.size(), 1u);
+  EXPECT_FALSE(probe.calls[0].first);
+  EXPECT_FALSE(probe.calls[0].second.has_value());
+}
+
+TEST(MonitorSupervisor, RejectsNullFleetHooks) {
+  Rig rig(default_sup_options());
+  EXPECT_THROW(rig.supervisor.set_fleet_hooks(
+                   nullptr,
+                   [](const std::optional<persist::FleetState>&, bool) {}),
+               std::invalid_argument);
+  EXPECT_THROW(rig.supervisor.set_fleet_hooks(
+                   [] { return persist::FleetState{}; }, nullptr),
+               std::invalid_argument);
+}
+
 TEST(MonitorSupervisor, ColdRestartOnStaleSnapshot) {
   auto opts = default_sup_options();
   opts.max_snapshot_age = seconds(60.0);

@@ -8,6 +8,7 @@ any engine's throughput regressed by more than the threshold (default 20%).
 Usage:
     tools/perf_gate.py <fresh BENCH_fastsim.json> [<baseline json>]
     tools/perf_gate.py --check-leader <BENCH_leader.json>
+    tools/perf_gate.py --check-fleet <BENCH_fleet.json> [<baseline json>]
 
 Exit status: 0 = within threshold, 1 = regression, 2 = usage/format error.
 
@@ -16,6 +17,12 @@ BENCH_leader.json produced by `chenfd_chaos --suite leader-*` (structure,
 metric ranges, non-empty stability curves) so CI catches a malformed or
 truncated report even when every oracle inside it passed.  Exit 0 = valid,
 2 = invalid.
+
+The --check-fleet mode is both: it validates a BENCH_fleet.json produced by
+bench_fleet (full mode only — counter identities, CRC format, a config at
+>= 10^6 processes) and then gates heartbeats_per_sec per fleet size against
+bench/BENCH_fleet_baseline.json with the same threshold/skip/re-baseline
+rules as the fastsim gate.
 
 Overriding the gate
 -------------------
@@ -44,6 +51,9 @@ import sys
 DEFAULT_BASELINE = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "bench", "BENCH_fastsim_baseline.json")
+DEFAULT_FLEET_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "BENCH_fleet_baseline.json")
 
 
 def load_engines(path, *, missing_ok=False):
@@ -191,9 +201,149 @@ def check_leader(path):
     return 0
 
 
+def load_fleet_configs(path, *, missing_ok=False, require_million=False):
+    """Parse and validate a BENCH_fleet.json; returns {processes: config}.
+
+    Field-by-field validation in the load_engines style: a truncated or
+    hand-edited report names the offending config and field.  Counter
+    identities (ingested + drops == heartbeats, transitions == suspects +
+    trusts) are checked here because the emitter computes them
+    independently — a mismatch means the engine and its drain disagree.
+    """
+    if missing_ok and not os.path.exists(path):
+        return None
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        _fail(path, "expected a JSON object")
+    if doc.get("bench") != "fleet":
+        _fail(path, '"bench" must be "fleet"')
+    if doc.get("fast_mode") is not False:
+        _fail(path, 'fast-mode report — the gate needs a full run '
+              '("fast_mode": false)')
+    configs = doc.get("configs")
+    if not isinstance(configs, list) or not configs:
+        _fail(path, 'expected a non-empty "configs" list')
+
+    count_keys = ("heartbeats", "ingested", "dropped_stale",
+                  "dropped_pre_epoch", "dropped_duplicate", "transitions",
+                  "suspects", "trusts")
+    rate_keys = ("heartbeats_per_sec", "bytes_per_process")
+    out = {}
+    for i, c in enumerate(configs):
+        where = f"{path}: configs[{i}]"
+        if not isinstance(c, dict):
+            _fail(where, "is not an object")
+        processes = c.get("processes")
+        if not isinstance(processes, int) or processes < 1:
+            _fail(where, f'"processes" must be a positive integer, '
+                  f"got {processes!r}")
+        where = f"{where} (processes={processes})"
+        if processes in out:
+            _fail(where, "duplicates an earlier fleet size")
+        for key in count_keys:
+            if not isinstance(c.get(key), int) or c[key] < 0:
+                _fail(where, f'"{key}" must be a non-negative integer, '
+                      f"got {c.get(key)!r}")
+        if c["heartbeats"] == 0:
+            _fail(where, '"heartbeats" is 0 — empty run')
+        drops = (c["dropped_stale"] + c["dropped_pre_epoch"] +
+                 c["dropped_duplicate"])
+        if c["ingested"] + drops != c["heartbeats"]:
+            _fail(where, f'ingested ({c["ingested"]}) + drops ({drops}) != '
+                  f'heartbeats ({c["heartbeats"]})')
+        if c["transitions"] != c["suspects"] + c["trusts"]:
+            _fail(where, f'transitions ({c["transitions"]}) != suspects '
+                  f'({c["suspects"]}) + trusts ({c["trusts"]})')
+        crc = c.get("stream_crc32")
+        if (not isinstance(crc, str) or len(crc) != 8
+                or any(ch not in "0123456789abcdef" for ch in crc)):
+            _fail(where, f'"stream_crc32" must be 8 lowercase hex digits, '
+                  f"got {crc!r}")
+        if not isinstance(c.get("shards"), int) or c["shards"] < 1:
+            _fail(where, f'"shards" must be a positive integer, '
+                  f"got {c.get('shards')!r}")
+        for key in rate_keys:
+            try:
+                value = float(c[key])
+            except KeyError:
+                _fail(where, f'has no "{key}"')
+            except (TypeError, ValueError):
+                _fail(where, f'"{key}" {c[key]!r} is not a number')
+            if not math.isfinite(value) or value <= 0.0:
+                _fail(where, f'"{key}" must be finite and > 0, '
+                      f"got {value!r}")
+        out[processes] = c
+    if require_million and max(out) < 1_000_000:
+        _fail(path, "no config at >= 10^6 processes — the bench must "
+              "demonstrate million-process scale (largest: "
+              f"{max(out)})")
+    return out
+
+
+def check_fleet(fresh_path, baseline_path):
+    """Schema-validate a fleet report, then gate throughput per fleet size."""
+    try:
+        threshold = float(
+            os.environ.get("CHENFD_PERF_GATE_THRESHOLD", "0.20"))
+    except ValueError:
+        print("perf_gate: CHENFD_PERF_GATE_THRESHOLD is not a number",
+              file=sys.stderr)
+        return 2
+    skip = os.environ.get("CHENFD_PERF_GATE_SKIP") == "1"
+
+    fresh = load_fleet_configs(fresh_path, require_million=True)
+    print(f"perf_gate: {fresh_path}: {len(fresh)} fleet config(s), largest "
+          f"{max(fresh)} processes — schema valid")
+    baseline = load_fleet_configs(baseline_path, missing_ok=True)
+    if baseline is None:
+        print(f"perf_gate: no baseline at {baseline_path} — nothing to "
+              "compare.  Commit one (see the header) to arm the gate.")
+        return 0
+
+    failed = []
+    print(f"perf_gate: threshold {threshold:.0%} "
+          f"(baseline {os.path.relpath(baseline_path)})")
+    for processes, base_cfg in sorted(baseline.items()):
+        name = f"{processes}p"
+        if processes not in fresh:
+            print(f"  {name:9s}  MISSING from fresh results")
+            failed.append(name)
+            continue
+        base = float(base_cfg["heartbeats_per_sec"])
+        now = float(fresh[processes]["heartbeats_per_sec"])
+        ratio = now / base
+        verdict = "ok" if ratio >= 1.0 - threshold else "REGRESSION"
+        print(f"  {name:9s}  baseline {base:.3e}  now {now:.3e}  "
+              f"({ratio:6.1%})  {verdict}")
+        if verdict != "ok":
+            failed.append(name)
+    for processes in sorted(set(fresh) - set(baseline)):
+        print(f"  {processes}p  new fleet size (no baseline) — add it on "
+              "the next re-baseline")
+
+    if failed and skip:
+        print("perf_gate: CHENFD_PERF_GATE_SKIP=1 set — reporting only, "
+              "exiting 0.  Follow up with a re-baseline.")
+        return 0
+    if failed:
+        print(f"perf_gate: FAIL ({', '.join(failed)}).  If the slowdown is "
+              "expected, re-baseline per the header of this script.")
+        return 1
+    print("perf_gate: PASS")
+    return 0
+
+
 def main(argv):
     if len(argv) == 3 and argv[1] == "--check-leader":
         return check_leader(argv[2])
+    if argv[1:2] == ["--check-fleet"] and len(argv) in (3, 4):
+        baseline = argv[3] if len(argv) == 4 else DEFAULT_FLEET_BASELINE
+        return check_fleet(argv[2], baseline)
     if len(argv) < 2 or len(argv) > 3:
         print(__doc__, file=sys.stderr)
         return 2

@@ -55,6 +55,28 @@ def leader_doc(*scenarios):
     }
 
 
+def fleet_config(processes, hb_per_sec, **overrides):
+    heartbeats = processes * 10
+    c = {
+        "processes": processes, "heartbeats": heartbeats,
+        "ingested": heartbeats - 3, "dropped_stale": 1,
+        "dropped_pre_epoch": 1, "dropped_duplicate": 1,
+        "transitions": 2 * processes, "suspects": processes,
+        "trusts": processes, "stream_crc32": "0badf00d",
+        "shards": 16, "heartbeats_per_sec": hb_per_sec,
+        "bytes_per_process": 250.0,
+    }
+    c.update(overrides)
+    return c
+
+
+def fleet_doc(*configs):
+    configs = list(configs) or [fleet_config(10_000, 2e7),
+                                fleet_config(100_000, 1e7),
+                                fleet_config(1_000_000, 5e6)]
+    return {"bench": "fleet", "fast_mode": False, "configs": configs}
+
+
 class PerfGateTest(unittest.TestCase):
     def setUp(self):
         self._tmp = tempfile.TemporaryDirectory()
@@ -272,6 +294,102 @@ class PerfGateTest(unittest.TestCase):
         proc = self.run_check_leader(path)
         self.assertEqual(proc.returncode, 2)
         self.assertIn("mean_stability_s", proc.stderr)
+
+    def run_check_fleet(self, path, baseline=None, env_extra=None):
+        env = {k: v for k, v in os.environ.items()
+               if not k.startswith("CHENFD_PERF_GATE")}
+        env.update(env_extra or {})
+        args = [sys.executable, PERF_GATE, "--check-fleet", path]
+        if baseline is not None:
+            args.append(baseline)
+        return subprocess.run(args, capture_output=True, text=True, env=env)
+
+    def test_check_fleet_valid_report_passes(self):
+        path = self.path_for("fleet.json", fleet_doc())
+        missing = os.path.join(self._tmp.name, "no_baseline.json")
+        proc = self.run_check_fleet(path, missing)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("schema valid", proc.stdout)
+        self.assertIn("no baseline", proc.stdout)
+
+    def test_check_fleet_gates_throughput_per_fleet_size(self):
+        base = self.path_for("base.json", fleet_doc())
+        slow = fleet_doc()
+        slow["configs"][-1]["heartbeats_per_sec"] = 1e6  # >20% below 5e6
+        fresh = self.path_for("fresh.json", slow)
+        proc = self.run_check_fleet(fresh, base)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("1000000p", proc.stdout)
+        # Healthy rates against the same baseline pass.
+        ok = self.path_for("ok.json", fleet_doc())
+        self.assertEqual(self.run_check_fleet(ok, base).returncode, 0)
+
+    def test_check_fleet_skip_env_reports_but_passes(self):
+        base = self.path_for("base.json", fleet_doc())
+        slow = fleet_doc()
+        slow["configs"][0]["heartbeats_per_sec"] = 1.0
+        fresh = self.path_for("fresh.json", slow)
+        proc = self.run_check_fleet(
+            fresh, base, env_extra={"CHENFD_PERF_GATE_SKIP": "1"})
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_check_fleet_fast_mode_report_is_rejected(self):
+        doc = fleet_doc()
+        doc["fast_mode"] = True
+        path = self.path_for("fleet.json", doc)
+        proc = self.run_check_fleet(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("fast", proc.stderr)
+
+    def test_check_fleet_requires_a_million_process_config(self):
+        doc = fleet_doc()
+        doc["configs"] = doc["configs"][:2]  # drop the 10^6 row
+        path = self.path_for("fleet.json", doc)
+        proc = self.run_check_fleet(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("10^6", proc.stderr)
+
+    def test_check_fleet_counter_identity_is_enforced(self):
+        doc = fleet_doc()
+        doc["configs"][0]["ingested"] += 1
+        path = self.path_for("fleet.json", doc)
+        proc = self.run_check_fleet(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("heartbeats", proc.stderr)
+        doc = fleet_doc()
+        doc["configs"][0]["suspects"] += 1
+        path = self.path_for("fleet2.json", doc)
+        proc = self.run_check_fleet(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("suspects", proc.stderr)
+
+    def test_check_fleet_bad_crc_names_the_config(self):
+        doc = fleet_doc()
+        doc["configs"][1]["stream_crc32"] = "XYZ"
+        path = self.path_for("fleet.json", doc)
+        proc = self.run_check_fleet(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("stream_crc32", proc.stderr)
+        self.assertIn("processes=100000", proc.stderr)
+
+    def test_check_fleet_size_missing_from_fresh_fails(self):
+        base = self.path_for("base.json", fleet_doc())
+        doc = fleet_doc()
+        doc["configs"] = [doc["configs"][0], doc["configs"][2]]
+        fresh = self.path_for("fresh.json", doc)
+        proc = self.run_check_fleet(fresh, base)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("MISSING", proc.stdout)
+
+    def test_check_fleet_committed_baseline_still_parses(self):
+        committed = os.path.join(
+            os.path.dirname(HERE), "bench", "BENCH_fleet_baseline.json")
+        if not os.path.exists(committed):
+            self.skipTest("no committed fleet baseline")
+        proc = self.run_check_fleet(committed, committed)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
 
     def test_committed_baseline_still_parses(self):
         # The real committed baseline must stay loadable by the validator.
