@@ -206,11 +206,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, Rng& rng) {
     if (spec.corrupt_snapshots) {
       const TimePoint mid = w.begin + (w.end - w.begin) * 0.5;
       testbed.simulator().at(mid, [s = store.get()] {
-        std::optional<std::string> bytes = s->load();
-        if (bytes && !bytes->empty()) {
-          (*bytes)[bytes->size() / 2] =
-              static_cast<char>((*bytes)[bytes->size() / 2] ^ 0x01);
-          s->save(std::move(*bytes));
+        std::optional<persist::StoredSnapshot> stored = s->load();
+        if (stored && !stored->bytes.empty()) {
+          stored->bytes[stored->bytes.size() / 2] = static_cast<char>(
+              stored->bytes[stored->bytes.size() / 2] ^ 0x01);
+          s->save(std::move(stored->bytes), stored->saved_at);
         }
       });
     }

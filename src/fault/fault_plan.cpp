@@ -131,6 +131,17 @@ FaultPlan& FaultPlan::monitor_restart(TimePoint at) {
   return push(Event{Kind::kMonitorRestart, at});
 }
 
+FaultPlan& FaultPlan::consumer_stall(ProcessId shard, TimePoint from,
+                                     TimePoint until) {
+  expects(until > from, "FaultPlan::consumer_stall: window must be non-empty");
+  Event on{Kind::kConsumerStallOn, from};
+  on.process = shard;
+  push(std::move(on));
+  Event off{Kind::kConsumerStallOff, until};
+  off.process = shard;
+  return push(std::move(off));
+}
+
 std::vector<FaultPlan::Event> FaultPlan::sorted_events() const {
   std::vector<Event> sorted = events_;
   std::stable_sort(sorted.begin(), sorted.end(),
@@ -172,6 +183,12 @@ void FaultPlan::arm(core::Testbed& testbed,
         expects(false,
                 "FaultPlan::arm: isolation/elector events are cluster-only "
                 "(apply the plan through election::Cluster)");
+        break;
+      case Kind::kConsumerStallOn:
+      case Kind::kConsumerStallOff:
+        expects(false,
+                "FaultPlan::arm: consumer-stall events are realtime-replay-"
+                "only (consume them via consumer_stall_windows)");
         break;
       case Kind::kPartitionOn:
         sim.at(ev.at, [&testbed] { testbed.link().set_partitioned(true); });
@@ -296,6 +313,15 @@ std::vector<Window> FaultPlan::isolation_windows(ProcessId id) const {
 
 std::vector<Window> FaultPlan::elector_downtime_windows(ProcessId id) const {
   return paired_windows(Kind::kElectorCrash, Kind::kElectorRestart, id);
+}
+
+std::vector<Window> FaultPlan::consumer_stall_windows(ProcessId shard) const {
+  return paired_windows(Kind::kConsumerStallOn, Kind::kConsumerStallOff,
+                        shard);
+}
+
+std::vector<Window> FaultPlan::duplication_windows() const {
+  return paired_windows(Kind::kDuplicationOn, Kind::kDuplicationOff, 0);
 }
 
 std::vector<Window> FaultPlan::ground_truth_up_windows(

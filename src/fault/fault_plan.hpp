@@ -112,6 +112,11 @@ class FaultPlan {
   /// Restarts the monitor at `at` (> the preceding monitor crash time);
   /// warm or cold is the supervisor's decision, not the plan's.
   FaultPlan& monitor_restart(TimePoint at);
+  /// Realtime-front-end fault (service/realtime/replay.hpp): the consumer
+  /// of realtime shard `shard` is alive but makes no progress on
+  /// [from, until) — a stuck drain loop, not a crash.  Consumed via
+  /// consumer_stall_windows(); cannot be armed against a testbed.
+  FaultPlan& consumer_stall(ProcessId shard, TimePoint from, TimePoint until);
 
   // ---- execution --------------------------------------------------------
 
@@ -156,6 +161,13 @@ class FaultPlan {
   /// The elector crash->restart intervals of process `id`, in time order.
   [[nodiscard]] std::vector<Window> elector_downtime_windows(
       ProcessId id) const;
+  /// The consumer_stall() intervals of realtime shard `shard`, in time
+  /// order.
+  [[nodiscard]] std::vector<Window> consumer_stall_windows(
+      ProcessId shard) const;
+  /// The duplication_burst() intervals, in time order (the realtime replay
+  /// harness treats each as a storm window: every heartbeat sent twice).
+  [[nodiscard]] std::vector<Window> duplication_windows() const;
   /// The complement of downtime_windows(id) clamped to [0, horizon]: the
   /// intervals during which process `id` is up, in time order.  This is the
   /// ground truth the leader QoS oracles consume directly instead of
@@ -188,6 +200,8 @@ class FaultPlan {
     kIsolateOff,
     kElectorCrash,
     kElectorRestart,
+    kConsumerStallOn,
+    kConsumerStallOff,
   };
 
   struct Event {

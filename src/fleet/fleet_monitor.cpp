@@ -18,7 +18,7 @@ FleetMonitor::FleetMonitor(FleetOptions opts) : opts_(opts) {
   base_members_ = opts_.processes / opts_.shards;
   big_shards_ = opts_.processes % opts_.shards;
   shards_.reserve(opts_.shards);
-  ProcessIndex first = 0;
+  ProcessIndex first = opts_.first_process;
   for (std::size_t s = 0; s < opts_.shards; ++s) {
     const std::size_t members = base_members_ + (s < big_shards_ ? 1 : 0);
     shards_.emplace_back(first, members, opts_.params.window);
@@ -27,9 +27,10 @@ FleetMonitor::FleetMonitor(FleetOptions opts) : opts_(opts) {
 }
 
 std::size_t FleetMonitor::shard_of(ProcessIndex id) const {
+  const std::size_t local = id - opts_.first_process;
   const std::size_t big_span = big_shards_ * (base_members_ + 1);
-  if (id < big_span) return id / (base_members_ + 1);
-  return big_shards_ + (id - big_span) / base_members_;
+  if (local < big_span) return local / (base_members_ + 1);
+  return big_shards_ + (local - big_span) / base_members_;
 }
 
 void FleetMonitor::fire(Shard& shard, std::uint32_t member) {
@@ -142,7 +143,8 @@ void FleetMonitor::apply(Shard& shard, const Heartbeat& hb) {
 void FleetMonitor::ingest(std::span<const Heartbeat> batch) {
   double prev = watermark_s_;
   for (const Heartbeat& hb : batch) {
-    CHENFD_EXPECTS(hb.process < opts_.processes,
+    CHENFD_EXPECTS(hb.process >= opts_.first_process &&
+                       hb.process - opts_.first_process < opts_.processes,
                    "FleetMonitor::ingest: process index out of range");
     CHENFD_EXPECTS(hb.seq >= 1,
                    "FleetMonitor::ingest: sequence numbers start at 1");
@@ -207,7 +209,8 @@ std::vector<Transition> FleetMonitor::drain_transitions() {
 }
 
 Verdict FleetMonitor::verdict(ProcessIndex id) const {
-  CHENFD_EXPECTS(id < opts_.processes,
+  CHENFD_EXPECTS(id >= opts_.first_process &&
+                     id - opts_.first_process < opts_.processes,
                  "FleetMonitor::verdict: process index out of range");
   const Shard& shard = shards_[shard_of(id)];
   return shard.trusted[id - shard.first] != 0 ? Verdict::kTrust
@@ -215,14 +218,16 @@ Verdict FleetMonitor::verdict(ProcessIndex id) const {
 }
 
 std::uint32_t FleetMonitor::incarnation(ProcessIndex id) const {
-  CHENFD_EXPECTS(id < opts_.processes,
+  CHENFD_EXPECTS(id >= opts_.first_process &&
+                     id - opts_.first_process < opts_.processes,
                  "FleetMonitor::incarnation: process index out of range");
   const Shard& shard = shards_[shard_of(id)];
   return shard.incarnation[id - shard.first];
 }
 
 std::uint32_t FleetMonitor::window_count(ProcessIndex id) const {
-  CHENFD_EXPECTS(id < opts_.processes,
+  CHENFD_EXPECTS(id >= opts_.first_process &&
+                     id - opts_.first_process < opts_.processes,
                  "FleetMonitor::window_count: process index out of range");
   const Shard& shard = shards_[shard_of(id)];
   return shard.win_count[id - shard.first];

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 
 #include "common/check.hpp"
 #include "common/time.hpp"
@@ -51,6 +52,11 @@ struct FleetOptions {
   /// Granularity affects only *when* an expiry is noticed by advance(), not
   /// the emitted timestamps — those are the stored exact freshness points.
   Duration wheel_resolution = Duration(0.0);
+  /// Global index of this engine's first process: heartbeat ids live in
+  /// [first_process, first_process + processes) and transitions carry the
+  /// same global ids.  Lets a front-end (service/realtime) run one
+  /// FleetMonitor per partition of a larger fleet without renumbering.
+  ProcessIndex first_process = 0;
 
   void validate() const {
     CHENFD_EXPECTS(processes >= 1, "FleetOptions: processes must be >= 1");
@@ -60,6 +66,10 @@ struct FleetOptions {
     params.validate();
     CHENFD_EXPECTS(wheel_resolution >= Duration::zero(),
                    "FleetOptions: wheel resolution must be >= 0");
+    CHENFD_EXPECTS(processes <= std::numeric_limits<ProcessIndex>::max() -
+                                    first_process,
+                   "FleetOptions: first_process + processes overflows "
+                   "ProcessIndex");
   }
 
   [[nodiscard]] Duration resolution() const {

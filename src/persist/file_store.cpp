@@ -1,0 +1,118 @@
+#include "persist/file_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace chenfd::persist {
+
+namespace {
+
+constexpr const char* kMagic = "chenfd-store v1 saved_at ";
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("FileSnapshotStore: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, std::size_t n,
+               const std::string& path) {
+  std::size_t written = 0;
+  while (written < n) {
+    const ssize_t r = ::write(fd, data + written, n - written);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("write failed for", path);
+    }
+    written += static_cast<std::size_t>(r);
+  }
+}
+
+void fsync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) fail("open for fsync failed for", path);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync failed for", path);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+FileSnapshotStore::FileSnapshotStore(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  expects(!path_.empty(), "FileSnapshotStore: path must be non-empty");
+  const std::size_t slash = path_.find_last_of('/');
+  dir_path_ = slash == std::string::npos ? "." : path_.substr(0, slash + 1);
+}
+
+void FileSnapshotStore::save(std::string bytes, TimePoint saved_at) {
+  expects(!saved_at.is_infinite(),
+          "FileSnapshotStore::save: saved_at must be finite");
+  std::ostringstream header;
+  header << kMagic
+         << std::setprecision(std::numeric_limits<double>::max_digits10)
+         << saved_at.seconds() << "\n";
+  const std::string head = header.str();
+
+  const int fd =
+      ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create", tmp_path_);
+  write_all(fd, head.data(), head.size(), tmp_path_);
+  write_all(fd, bytes.data(), bytes.size(), tmp_path_);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync failed for", tmp_path_);
+  }
+  if (::close(fd) != 0) fail("close failed for", tmp_path_);
+
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    fail("rename failed onto", path_);
+  }
+  // The rename itself must survive a power cut: sync the directory entry.
+  fsync_path(dir_path_, O_RDONLY | O_DIRECTORY);
+}
+
+std::optional<StoredSnapshot> FileSnapshotStore::load() const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string header;
+  if (!std::getline(in, header)) return std::nullopt;
+  if (!header.empty() && header.back() == '\r') header.pop_back();
+  const std::string_view magic(kMagic);
+  if (header.size() <= magic.size() || header.substr(0, magic.size()) != magic)
+    return std::nullopt;
+  double saved_at_s = 0.0;
+  std::istringstream stamp(header.substr(magic.size()));
+  if (!(stamp >> saved_at_s)) return std::nullopt;
+  std::string rest;
+  stamp >> rest;
+  if (!rest.empty()) return std::nullopt;  // trailing junk in the header
+  StoredSnapshot out;
+  out.saved_at = TimePoint(saved_at_s);
+  std::ostringstream payload;
+  payload << in.rdbuf();
+  out.bytes = payload.str();
+  return out;
+}
+
+void FileSnapshotStore::clear() {
+  if (std::remove(path_.c_str()) != 0 && errno != ENOENT) {
+    fail("remove failed for", path_);
+  }
+}
+
+}  // namespace chenfd::persist

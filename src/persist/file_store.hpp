@@ -1,0 +1,62 @@
+// On-disk SnapshotStore with crash-safe replacement (DESIGN.md section 14).
+//
+// chenfd_rtd persists its periodic snapshots through this store.  A daemon
+// can die at any instant — including mid-save — so the store must never
+// leave a torn file where the previous good snapshot used to be.  The
+// classic recipe:
+//
+//   1. write the new snapshot to `<path>.tmp`,
+//   2. fsync the tmp file (contents durable before the name flips),
+//   3. rename(tmp, path) — atomic on POSIX: readers see the old file or
+//      the new one, never a mixture,
+//   4. fsync the containing directory (the rename itself durable).
+//
+// A crash before step 3 leaves the old snapshot untouched (a stale .tmp
+// is ignored and overwritten by the next save); a crash after step 3 has
+// the new snapshot in place.  load() therefore only ever sees complete
+// files; anything unreadable or structurally alien (wrong magic, garbage
+// stamp) yields nullopt — the same "no snapshot, cold restart" answer as
+// an empty store, with payload-level corruption left to the snapshot
+// parser's CRC, which is what chenfd_snapshot_fuzz hammers.
+//
+// On-disk layout: one header line, then the payload verbatim:
+//
+//   chenfd-store v1 saved_at <q-local-seconds, max_digits10>
+//   <payload bytes...>
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "persist/store.hpp"
+
+namespace chenfd::persist {
+
+class FileSnapshotStore final : public SnapshotStore {
+ public:
+  /// `path` is the snapshot file; `<path>.tmp` must also be writable
+  /// (same directory).  The file need not exist yet.
+  explicit FileSnapshotStore(std::string path);
+
+  /// Write-temp + fsync + atomic-rename + directory fsync.  Throws
+  /// std::runtime_error when the filesystem refuses (disk full, bad path);
+  /// the previous snapshot is intact in every failure case.
+  void save(std::string bytes, TimePoint saved_at) override;
+
+  /// The stored snapshot, or nullopt when the file is missing or its
+  /// header is not ours.  Never throws on bad content.
+  [[nodiscard]] std::optional<StoredSnapshot> load() const override;
+
+  /// Removes the snapshot file (missing file is fine).
+  void clear() override;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::string dir_path_;
+};
+
+}  // namespace chenfd::persist

@@ -2,13 +2,21 @@
 //
 // The supervisor persists opaque serialized bytes (persist/snapshot.hpp)
 // through this interface; integrity checking happens at parse time, not
-// here, so a store never needs to understand the format.  The in-memory
-// store is the default for the deterministic simulation harness: it models
-// "stable storage that survives the monitor process" (the q-side crash
-// kills the monitor's heap, not its disk), while keeping chaos suites free
-// of filesystem nondeterminism.  Corruption experiments mutate the stored
-// bytes directly through load()/save() — a bit flip through this interface
-// is exactly a bit flip on the simulated disk.
+// here, so a store never needs to understand the format.  What the store
+// *does* understand is the save instant: the supervisor stamps each save
+// with its injected clock's q-local time, and staleness at restart is
+// judged against that store-level stamp rather than anything the payload
+// claims about itself — a wall-clock daemon restarting hours later must
+// measure the snapshot's real age even if the content parses fine.
+//
+// The in-memory store is the default for the deterministic simulation
+// harness: it models "stable storage that survives the monitor process"
+// (the q-side crash kills the monitor's heap, not its disk), while keeping
+// chaos suites free of filesystem nondeterminism.  Corruption experiments
+// mutate the stored bytes directly through load()/save() — a bit flip
+// through this interface is exactly a bit flip on the simulated disk.
+// FileSnapshotStore (file_store.hpp) is the real-disk implementation used
+// by chenfd_rtd.
 
 #pragma once
 
@@ -16,18 +24,29 @@
 #include <string>
 #include <utility>
 
+#include "common/time.hpp"
+
 namespace chenfd::persist {
+
+/// A stored snapshot: the opaque serialized bytes plus the q-local instant
+/// the saver stamped.  The stamp is store metadata, deliberately outside
+/// the (checksummed) payload: it answers "how old is what's on disk",
+/// which must hold even for payloads that turn out to be corrupt.
+struct StoredSnapshot {
+  std::string bytes;
+  TimePoint saved_at;
+};
 
 class SnapshotStore {
  public:
   virtual ~SnapshotStore() = default;
 
-  /// Atomically replaces the stored snapshot.
-  virtual void save(std::string bytes) = 0;
+  /// Atomically replaces the stored snapshot, stamped with `saved_at`.
+  virtual void save(std::string bytes, TimePoint saved_at) = 0;
 
   /// The most recently saved snapshot, or nullopt if none was ever saved
-  /// (or the store was cleared).
-  [[nodiscard]] virtual std::optional<std::string> load() const = 0;
+  /// (or the store was cleared, or what is on disk is unreadable).
+  [[nodiscard]] virtual std::optional<StoredSnapshot> load() const = 0;
 
   /// Drops the stored snapshot (models losing stable storage too).
   virtual void clear() = 0;
@@ -37,16 +56,18 @@ class SnapshotStore {
 /// supervisor, not the monitor.
 class MemorySnapshotStore final : public SnapshotStore {
  public:
-  void save(std::string bytes) override { bytes_ = std::move(bytes); }
-
-  [[nodiscard]] std::optional<std::string> load() const override {
-    return bytes_;
+  void save(std::string bytes, TimePoint saved_at) override {
+    stored_ = StoredSnapshot{std::move(bytes), saved_at};
   }
 
-  void clear() override { bytes_.reset(); }
+  [[nodiscard]] std::optional<StoredSnapshot> load() const override {
+    return stored_;
+  }
+
+  void clear() override { stored_.reset(); }
 
  private:
-  std::optional<std::string> bytes_;
+  std::optional<StoredSnapshot> stored_;
 };
 
 }  // namespace chenfd::persist

@@ -1,0 +1,33 @@
+#include "service/realtime/monotonic_clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace chenfd::rt {
+
+namespace {
+
+[[nodiscard]] double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+MonotonicClock::MonotonicClock()
+    : epoch_s_(std::chrono::duration<double>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count()),
+      origin_s_(steady_seconds()) {}
+
+TimePoint MonotonicClock::now() const {
+  return TimePoint(epoch_s_ + (steady_seconds() - origin_s_));
+}
+
+void MonotonicClock::sleep_for(Duration d) const {
+  if (d <= Duration::zero()) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(d.seconds()));
+}
+
+}  // namespace chenfd::rt

@@ -1,0 +1,142 @@
+// Bounded lock-free MPSC ring (DESIGN.md section 14).
+//
+// One queue sits in front of every realtime fleet shard: any number of
+// producer threads (transport callbacks, bench load generators) push
+// heartbeats; exactly one consumer thread drains them into that shard's
+// FleetMonitor.  The design is the classic bounded sequence-number ring
+// (Vyukov): each slot carries an atomic sequence that encodes both "whose
+// turn" and "which lap", so producers claim slots with one fetch_add and
+// never touch a lock, and the consumer reads items in FIFO order without
+// CAS loops.  Slots are cache-line padded — a producer writing slot i and
+// the consumer reading slot i-1 must not false-share.
+//
+// Contract highlights:
+//   - try_push never blocks and never spins unboundedly: when the ring is
+//     full it fails immediately (the shedding policy decides what that
+//     means — see policies.hpp);
+//   - pop/pop_batch are single-consumer: two concurrent consumers are a
+//     precondition violation, not a supported mode (shards share nothing,
+//     so per-shard single consumers need no MPMC generality);
+//   - capacity is rounded up to a power of two for mask arithmetic; the
+//     *logical* admission bound lives in the engine, so the physical ring
+//     size is not observable in replay output (determinism contract).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+#include "common/check.hpp"
+
+namespace chenfd::rt {
+
+/// Smallest power of two >= n (n >= 1).
+[[nodiscard]] constexpr std::size_t ceil_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1U;
+  return p;
+}
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// `capacity` is a minimum: the ring allocates the next power of two.
+  explicit MpscQueue(std::size_t capacity)
+      : capacity_(ceil_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<Slot[]>(capacity_)) {
+    expects(capacity >= 1, "MpscQueue: capacity must be >= 1");
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Multi-producer, non-blocking: claims the tail slot and publishes
+  /// `value`, or returns false when the ring is full.  Wait-free in the
+  /// common case; on a lost race the producer re-reads the tail (bounded
+  /// by the number of concurrent producers, never by the consumer).
+  bool try_push(const T& value) {
+    CHENFD_AUDIT(capacity_ != 0, "MpscQueue: pushed into a moved-from ring");
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = value;
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // pos was refreshed by the failed CAS; retry with the new tail.
+      } else if (diff < 0) {
+        return false;  // full: the slot still holds an unconsumed lap
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer pop.  Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    CHENFD_AUDIT(capacity_ != 0, "MpscQueue: popped from a moved-from ring");
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[pos & mask_];
+    const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+    const auto diff = static_cast<std::intptr_t>(seq) -
+                      static_cast<std::intptr_t>(pos + 1);
+    if (diff < 0) return false;  // empty (or the producer is mid-publish)
+    out = slot.value;
+    slot.seq.store(pos + capacity_, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Single-consumer batch pop: moves up to `max` items into `out` in FIFO
+  /// order and returns how many were taken.
+  std::size_t pop_batch(T* out, std::size_t max) {
+    CHENFD_EXPECTS(out != nullptr || max == 0,
+                   "MpscQueue::pop_batch: null output buffer");
+    std::size_t n = 0;
+    while (n < max && try_pop(out[n])) ++n;
+    return n;
+  }
+
+  /// Items currently published and unconsumed (approximate under
+  /// concurrency; exact when producers and the consumer are quiescent).
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Steady-state heap footprint (slots are the only allocation).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return capacity_ * sizeof(Slot);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producers claim here
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer reads here
+};
+
+}  // namespace chenfd::rt

@@ -1,0 +1,205 @@
+// Overload-shedding and watchdog policies for the realtime front-end
+// (DESIGN.md section 14).
+//
+// These are the *decisions* of the daemon path, separated from its
+// machinery (queues, threads) so they are pure, unit-testable, and shared
+// verbatim between the live daemon and the deterministic replay harness:
+//
+//   - OverloadPolicy: what to do when a shard's logical queue saturates.
+//     drop-newest rejects at the producer; drop-oldest admits everything
+//     and sheds the *oldest* backlog at drain time (only the newest
+//     `queue_capacity` items survive); degrade-eta thins the heartbeat
+//     stream to every other sequence number above a watermark (doubling
+//     the effective interarrival eta — NFD-E's freshness estimate handles
+//     sequence gaps natively), then falls back to drop-newest at full.
+//
+//   - RiskLatch: once QoS has been at risk the fact must not be washed out
+//     by later recovery — operators need "was it ever degraded", not "is
+//     it degraded right now".  First reason sticks (atomic CAS from
+//     kNone), per shard and per engine.
+//
+//   - WatchdogPolicy: a pure state machine deciding when a stalled or dead
+//     consumer warrants a warm restart, with bounded exponential backoff
+//     so a crash-looping shard cannot hog the supervisor.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace chenfd::rt {
+
+// ---------------------------------------------------------------------------
+// Overload shedding
+// ---------------------------------------------------------------------------
+
+enum class OverloadPolicy : std::uint8_t {
+  kDropNewest,  ///< producer rejects pushes once the logical queue is full
+  kDropOldest,  ///< always admit; consumer keeps only the newest backlog
+  kDegradeEta,  ///< thin to alternate seq numbers above a watermark
+};
+
+[[nodiscard]] constexpr const char* name(OverloadPolicy p) {
+  switch (p) {
+    case OverloadPolicy::kDropNewest: return "drop-newest";
+    case OverloadPolicy::kDropOldest: return "drop-oldest";
+    case OverloadPolicy::kDegradeEta: return "degrade-eta";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Latched risk
+// ---------------------------------------------------------------------------
+
+/// Why QoS first became at-risk.  Ordered by severity only for display;
+/// the latch keeps the *first* reason, not the worst.
+enum class RiskReason : std::uint8_t {
+  kNone = 0,
+  kOverload,         ///< a shedding policy dropped or thinned heartbeats
+  kConsumerStall,    ///< watchdog saw a live consumer make no progress
+  kWatchdogRestart,  ///< a consumer was warm-restarted (detector state reset)
+};
+
+[[nodiscard]] constexpr const char* name(RiskReason r) {
+  switch (r) {
+    case RiskReason::kNone: return "none";
+    case RiskReason::kOverload: return "overload";
+    case RiskReason::kConsumerStall: return "consumer-stall";
+    case RiskReason::kWatchdogRestart: return "watchdog-restart";
+  }
+  return "?";
+}
+
+/// First-reason-sticks latch, safe to set from any producer/consumer/
+/// watchdog thread.  Resettable only explicitly (warm restart does *not*
+/// clear it — the restart itself is a risk event).
+class RiskLatch {
+ public:
+  /// Latches `reason` iff nothing latched before.  Returns true when this
+  /// call won the latch.
+  bool latch(RiskReason reason) {
+    CHENFD_EXPECTS(reason != RiskReason::kNone,
+                   "RiskLatch: cannot latch kNone");
+    std::uint8_t expected = 0;
+    return state_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(reason),
+        std::memory_order_acq_rel, std::memory_order_acquire);
+  }
+
+  [[nodiscard]] RiskReason reason() const {
+    return static_cast<RiskReason>(state_.load(std::memory_order_acquire));
+  }
+
+  [[nodiscard]] bool engaged() const {
+    return reason() != RiskReason::kNone;
+  }
+
+  void reset() { state_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint8_t> state_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+struct WatchdogConfig {
+  Duration stall_timeout = seconds(2.0);   ///< no-progress window => stalled
+  Duration backoff_base = seconds(0.5);    ///< first restart delay
+  Duration backoff_cap = seconds(8.0);     ///< ceiling on the delay
+  Duration healthy_interval = seconds(10.0);  ///< progress run resetting backoff
+
+  void validate() const {
+    expects(stall_timeout > Duration::zero(),
+            "WatchdogConfig: stall_timeout must be > 0");
+    expects(backoff_base > Duration::zero(),
+            "WatchdogConfig: backoff_base must be > 0");
+    expects(backoff_cap >= backoff_base,
+            "WatchdogConfig: backoff_cap must be >= backoff_base");
+    expects(healthy_interval > Duration::zero(),
+            "WatchdogConfig: healthy_interval must be > 0");
+  }
+};
+
+enum class WatchdogAction : std::uint8_t {
+  kNone,     ///< consumer healthy
+  kBackoff,  ///< stalled, but a restart is not yet allowed (inside backoff)
+  kRestart,  ///< warm-restart the shard's consumer now
+};
+
+/// Per-shard watchdog state machine.  Pure: time is always passed in, so
+/// the same object drives the live daemon (MonotonicClock) and the replay
+/// harness (VirtualTimeSource) identically.
+///
+/// A consumer is *stalled* when it is dead, or when its queue is nonempty
+/// and it has made no progress for `stall_timeout`.  A stalled consumer is
+/// restarted as soon as `now >= next_allowed_restart`; each restart doubles
+/// the next delay (base * 2^(n-1), capped), and a `healthy_interval` of
+/// progress after the last restart resets the streak to zero.
+class WatchdogPolicy {
+ public:
+  explicit WatchdogPolicy(WatchdogConfig config) : config_(config) {
+    config_.validate();
+  }
+
+  /// The consumer ingested at least one heartbeat (or proved liveness on an
+  /// empty queue) at `now`.
+  void note_progress(TimePoint now) {
+    CHENFD_EXPECTS(!now.is_infinite(),
+                   "WatchdogPolicy::note_progress: now must be finite");
+    last_progress_at_ = now;
+    if (consecutive_restarts_ > 0 &&
+        now - last_restart_at_ >= config_.healthy_interval) {
+      consecutive_restarts_ = 0;
+    }
+  }
+
+  /// One watchdog tick.  Decides whether the shard needs a restart at `now`
+  /// given the consumer's liveness and whether work is waiting.
+  [[nodiscard]] WatchdogAction poll(TimePoint now, bool consumer_alive,
+                                    bool queue_nonempty) {
+    CHENFD_EXPECTS(!now.is_infinite(),
+                   "WatchdogPolicy::poll: now must be finite");
+    const bool stalled =
+        !consumer_alive ||
+        (queue_nonempty && now - last_progress_at_ >= config_.stall_timeout);
+    if (!stalled) return WatchdogAction::kNone;
+    if (now < next_allowed_restart_) return WatchdogAction::kBackoff;
+    ++consecutive_restarts_;
+    last_restart_at_ = now;
+    last_progress_at_ = now;  // grant the fresh consumer a full stall window
+    Duration delay = config_.backoff_base;
+    for (int i = 1; i < consecutive_restarts_ && delay < config_.backoff_cap;
+         ++i) {
+      delay *= 2.0;
+    }
+    if (delay > config_.backoff_cap) delay = config_.backoff_cap;
+    next_allowed_restart_ = now + delay;
+    return WatchdogAction::kRestart;
+  }
+
+  [[nodiscard]] int consecutive_restarts() const {
+    return consecutive_restarts_;
+  }
+  [[nodiscard]] TimePoint next_allowed_restart() const {
+    return next_allowed_restart_;
+  }
+  [[nodiscard]] TimePoint last_progress_at() const {
+    return last_progress_at_;
+  }
+  [[nodiscard]] const WatchdogConfig& config() const { return config_; }
+
+ private:
+  WatchdogConfig config_;
+  TimePoint last_progress_at_ = TimePoint::zero();
+  TimePoint last_restart_at_ = TimePoint::zero();
+  TimePoint next_allowed_restart_ = TimePoint::zero();
+  int consecutive_restarts_ = 0;
+};
+
+}  // namespace chenfd::rt

@@ -1,0 +1,386 @@
+#include "service/realtime/replay.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/verdict.hpp"
+#include "persist/crc32.hpp"
+#include "service/realtime/time_source.hpp"
+
+namespace chenfd::rt {
+
+void ReplayScenario::validate() const {
+  expects(!name.empty(), "ReplayScenario: name must be non-empty");
+  engine.validate();
+  expects(send_interval > Duration::zero(),
+          "ReplayScenario: send_interval must be > 0");
+  expects(horizon > TimePoint::zero(), "ReplayScenario: horizon must be > 0");
+  expects(!horizon.is_infinite(), "ReplayScenario: horizon must be finite");
+  expects(consumer_period > Duration::zero(),
+          "ReplayScenario: consumer_period must be > 0");
+  expects(watchdog_period > Duration::zero(),
+          "ReplayScenario: watchdog_period must be > 0");
+}
+
+namespace {
+
+/// Event priorities at equal times: heartbeats land before the consumer
+/// drains, and the watchdog judges the post-drain state.
+enum : int { kHeartbeat = 0, kConsumerTick = 1, kWatchdogTick = 2 };
+
+struct Event {
+  double t = 0.0;
+  int priority = kHeartbeat;
+  fleet::ProcessIndex process = 0;
+  std::uint64_t seq = 0;
+};
+
+[[nodiscard]] bool in_windows(const std::vector<fault::Window>& windows,
+                              TimePoint t) {
+  for (const fault::Window& w : windows) {
+    if (t < w.begin) break;  // windows are time-ordered
+    if (t < w.end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ReplayResult run_replay(const ReplayScenario& scenario,
+                        const ReplayKnobs& knobs) {
+  scenario.validate();
+  expects(knobs.consumer_groups >= 1,
+          "run_replay: consumer_groups must be >= 1");
+  expects(knobs.drain_chunk >= 1, "run_replay: drain_chunk must be >= 1");
+
+  RealtimeOptions opts = scenario.engine;
+  if (knobs.ring_capacity != 0) opts.ring_capacity = knobs.ring_capacity;
+  opts.drain_chunk = knobs.drain_chunk;
+
+  VirtualTimeSource time;
+  RealtimeEngine engine(opts, time);
+
+  // Ground-truth windows straight from the fault plan (same objects the
+  // oracles would query — no second source of truth).
+  std::vector<std::vector<fault::Window>> stalls(opts.shards);
+  for (std::size_t s = 0; s < opts.shards; ++s) {
+    stalls[s] = scenario.faults.consumer_stall_windows(s);
+  }
+  const std::vector<fault::Window> down =
+      scenario.faults.monitor_downtime_windows();
+  const std::vector<fault::Window> storms =
+      scenario.faults.duplication_windows();
+
+  // Materialize the whole timeline, then totally order it.
+  std::vector<Event> events;
+  const double interval = scenario.send_interval.seconds();
+  const double horizon = scenario.horizon.seconds();
+  for (fleet::ProcessIndex p = 0; p < opts.processes; ++p) {
+    // Phases in (0, interval) spread the senders so no two processes share
+    // a send instant (the total order below would still break the tie).
+    const double phase = interval * (static_cast<double>(p) + 1.0) /
+                         (static_cast<double>(opts.processes) + 1.0);
+    std::uint64_t seq = 1;
+    for (double t = phase; t <= horizon; t += interval, ++seq) {
+      events.push_back(Event{t, kHeartbeat, p, seq});
+      if (in_windows(storms, TimePoint(t))) {
+        // Storm: the delivery is duplicated — same sequence number, so the
+        // monitor counts a duplicate but the queue pays for both.
+        events.push_back(Event{t, kHeartbeat, p, seq});
+      }
+    }
+  }
+  const double consumer_period = scenario.consumer_period.seconds();
+  for (double t = consumer_period; t <= horizon; t += consumer_period) {
+    events.push_back(Event{t, kConsumerTick, 0, 0});
+  }
+  const double watchdog_period = scenario.watchdog_period.seconds();
+  for (double t = watchdog_period; t <= horizon; t += watchdog_period) {
+    events.push_back(Event{t, kWatchdogTick, 0, 0});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     if (a.priority != b.priority) {
+                       return a.priority < b.priority;
+                     }
+                     if (a.process != b.process) return a.process < b.process;
+                     return a.seq < b.seq;
+                   });
+
+  for (const Event& ev : events) {
+    const TimePoint now(ev.t);
+    time.advance(now);
+    switch (ev.priority) {
+      case kHeartbeat:
+        engine.offer(fleet::Heartbeat{ev.process, 0, ev.seq, now});
+        break;
+      case kConsumerTick:
+        if (in_windows(down, now)) break;  // monitor down: nobody drains
+        for (std::size_t g = 0; g < knobs.consumer_groups; ++g) {
+          for (std::size_t s = g; s < engine.shard_count();
+               s += knobs.consumer_groups) {
+            if (in_windows(stalls[s], now)) continue;
+            engine.drain_shard(s, now);
+            engine.advance_shard(s, now);
+          }
+        }
+        break;
+      default:
+        for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+          const bool alive = !in_windows(down, now);
+          if (engine.poll_watchdog(s, now, alive) ==
+              WatchdogAction::kRestart) {
+            engine.warm_restart_shard(s, now);
+          }
+        }
+        break;
+    }
+  }
+
+  // Quiescent final drain + exact close: after this, every produced
+  // heartbeat has been either accepted or shed, so the counter identity is
+  // checkable on the result.
+  time.advance(scenario.horizon);
+  for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+    engine.drain_shard(s, scenario.horizon);
+  }
+  engine.close(scenario.horizon);
+
+  ReplayResult result;
+  result.transitions = engine.drain_transitions();
+  result.shards.reserve(engine.shard_count());
+  for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+    result.shards.push_back(engine.counters(s));
+  }
+  result.totals = engine.totals();
+  result.qos_at_risk = engine.qos_at_risk();
+  result.reason = engine.risk_reason();
+
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "chenfd-rt-replay v1\n";
+  os << "scenario " << scenario.name << "\n";
+  os << "engine policy " << name(opts.policy) << " capacity "
+     << opts.queue_capacity << " shards " << opts.shards << " processes "
+     << opts.processes << "\n";
+  for (const fleet::Transition& tr : result.transitions) {
+    os << "transition " << tr.at.seconds() << " " << tr.process << " "
+       << (tr.to == Verdict::kTrust ? 'T' : 'S') << "\n";
+  }
+  for (std::size_t s = 0; s < result.shards.size(); ++s) {
+    const ShardCounters& c = result.shards[s];
+    os << "shard " << s << " produced " << c.produced << " accepted "
+       << c.accepted << " shed_newest " << c.shed_newest << " shed_degraded "
+       << c.shed_degraded << " shed_oldest " << c.shed_oldest
+       << " shed_overflow " << c.shed_overflow << " consumed " << c.consumed
+       << " restarts " << c.restarts << "\n";
+  }
+  os << "risk " << (result.qos_at_risk ? 1 : 0) << " " << name(result.reason)
+     << "\n";
+  result.payload = os.str();
+  result.crc = persist::crc32(result.payload);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical smoke scenarios
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] core::NfdEParams nfde(double eta_s, double alpha_s,
+                                    std::size_t window) {
+  core::NfdEParams params;
+  params.eta = Duration(eta_s);
+  params.alpha = Duration(alpha_s);
+  params.window = window;
+  return params;
+}
+
+/// Sustained 2x overload on every shard (64 arrivals per shard per
+/// consumer period against capacity 32) plus a duplication storm on
+/// [10, 12) pushing it to 4x.  drop-newest must shed about half and latch
+/// overload; the watchdog stays quiet (progress on every tick).
+[[nodiscard]] ReplayScenario overload_2x_drop_newest() {
+  ReplayScenario sc;
+  sc.name = "overload-2x-drop-newest";
+  sc.engine.processes = 48;
+  sc.engine.shards = 3;
+  sc.engine.params = nfde(0.25, 1.0, 16);
+  sc.engine.queue_capacity = 32;
+  sc.engine.policy = OverloadPolicy::kDropNewest;
+  sc.send_interval = Duration(0.25);
+  sc.horizon = TimePoint(30.0);
+  sc.consumer_period = Duration(1.0);
+  sc.watchdog_period = Duration(5.0);
+  sc.faults.duplication_burst(TimePoint(10.0), TimePoint(12.0), 1.0);
+  sc.expect_reason = RiskReason::kOverload;
+  sc.expect_shed = true;
+  return sc;
+}
+
+/// Shard 0's consumer freezes on [10, 13) under drop-oldest: the backlog
+/// (112 heartbeats) exceeds the logical capacity (64) but stays under the
+/// smallest physical ring the knob grid uses, so exactly the oldest excess
+/// is shed at the catch-up drain.  The watchdog (stall timeout 2.5s) fires
+/// one warm restart mid-stall; consumer-stall is the first latched reason.
+[[nodiscard]] ReplayScenario stall_drop_oldest() {
+  ReplayScenario sc;
+  sc.name = "stall-drop-oldest";
+  sc.engine.processes = 32;
+  sc.engine.shards = 2;
+  sc.engine.params = nfde(0.5, 1.0, 16);
+  sc.engine.queue_capacity = 64;
+  sc.engine.policy = OverloadPolicy::kDropOldest;
+  sc.engine.watchdog.stall_timeout = Duration(2.5);
+  sc.engine.watchdog.backoff_base = Duration(2.0);
+  sc.engine.watchdog.backoff_cap = Duration(8.0);
+  sc.engine.watchdog.healthy_interval = Duration(5.0);
+  sc.send_interval = Duration(0.5);
+  sc.horizon = TimePoint(25.0);
+  sc.consumer_period = Duration(0.5);
+  sc.watchdog_period = Duration(1.0);
+  sc.faults.consumer_stall(0, TimePoint(10.0), TimePoint(13.0));
+  sc.expect_reason = RiskReason::kConsumerStall;
+  sc.expect_shed = true;
+  sc.min_restarts = 1;
+  sc.max_restarts = 1;
+  return sc;
+}
+
+/// The whole monitor goes down on [8, 15): every consumer is dead, so the
+/// watchdog warm-restarts each shard with doubling backoff (delays 1, 2,
+/// 4 — capped) until the outage ends; the backlog overruns capacity late
+/// in the window, so some drop-newest shedding rides along, but the first
+/// latched reason is the restart at t=8.
+[[nodiscard]] ReplayScenario monitor_crash_backoff() {
+  ReplayScenario sc;
+  sc.name = "monitor-crash-backoff";
+  sc.engine.processes = 30;
+  sc.engine.shards = 3;
+  sc.engine.params = nfde(1.0, 1.5, 8);
+  sc.engine.queue_capacity = 64;
+  sc.engine.policy = OverloadPolicy::kDropNewest;
+  sc.engine.watchdog.stall_timeout = Duration(2.0);
+  sc.engine.watchdog.backoff_base = Duration(1.0);
+  sc.engine.watchdog.backoff_cap = Duration(4.0);
+  sc.engine.watchdog.healthy_interval = Duration(5.0);
+  sc.send_interval = Duration(1.0);
+  sc.horizon = TimePoint(30.0);
+  sc.consumer_period = Duration(1.0);
+  sc.watchdog_period = Duration(1.0);
+  sc.faults.monitor_crash(TimePoint(8.0)).monitor_restart(TimePoint(15.0));
+  sc.expect_reason = RiskReason::kWatchdogRestart;
+  sc.expect_shed = true;
+  sc.min_restarts = 9;  // 3 restarts (backoff 1, 2, 4) on each of 3 shards
+  sc.max_restarts = 9;
+  return sc;
+}
+
+/// degrade-eta under 1.6x overload: occupancy crosses the 50% watermark
+/// every period, thinning to even sequence numbers, and hits the full
+/// fallback at the tail of each burst.
+[[nodiscard]] ReplayScenario degrade_eta_watermark() {
+  ReplayScenario sc;
+  sc.name = "degrade-eta-watermark";
+  sc.engine.processes = 16;
+  sc.engine.shards = 1;
+  sc.engine.params = nfde(0.25, 1.0, 16);
+  sc.engine.queue_capacity = 40;
+  sc.engine.policy = OverloadPolicy::kDegradeEta;
+  sc.engine.degrade_watermark = 0.5;
+  sc.send_interval = Duration(0.25);
+  sc.horizon = TimePoint(20.0);
+  sc.consumer_period = Duration(1.0);
+  sc.watchdog_period = Duration(5.0);
+  sc.expect_reason = RiskReason::kOverload;
+  sc.expect_shed = true;
+  return sc;
+}
+
+}  // namespace
+
+std::vector<ReplayScenario> smoke_scenarios() {
+  std::vector<ReplayScenario> out;
+  out.push_back(overload_2x_drop_newest());
+  out.push_back(stall_drop_oldest());
+  out.push_back(monitor_crash_backoff());
+  out.push_back(degrade_eta_watermark());
+  return out;
+}
+
+bool replay_smoke(std::ostream& diag) {
+  bool ok = true;
+  const std::vector<ReplayScenario> scenarios = smoke_scenarios();
+  for (const ReplayScenario& sc : scenarios) {
+    // Knob grid: consumer grouping, physical ring capacity, drain chunk.
+    // All must be unobservable.
+    const std::vector<ReplayKnobs> grid = {
+        ReplayKnobs{1, 0, 64},
+        ReplayKnobs{3, 0, 64},
+        ReplayKnobs{2, 4 * sc.engine.queue_capacity, 7},
+        ReplayKnobs{1, 2 * sc.engine.queue_capacity, 1},
+    };
+    const ReplayResult base = run_replay(sc, grid.front());
+    diag << sc.name << ": crc " << std::hex << std::setw(8)
+         << std::setfill('0') << base.crc << std::dec << std::setfill(' ')
+         << ", " << base.transitions.size() << " transitions, "
+         << base.totals.shed_total() << "/" << base.totals.produced
+         << " shed, " << base.totals.restarts << " restarts, risk "
+         << name(base.reason) << "\n";
+    for (std::size_t k = 1; k < grid.size(); ++k) {
+      const ReplayResult alt = run_replay(sc, grid[k]);
+      if (alt.payload != base.payload) {
+        diag << "FAIL " << sc.name << ": knob set " << k
+             << " (groups=" << grid[k].consumer_groups
+             << " ring=" << grid[k].ring_capacity
+             << " chunk=" << grid[k].drain_chunk
+             << ") changed the payload (crc " << std::hex << alt.crc
+             << " vs " << base.crc << std::dec << ")\n";
+        ok = false;
+      }
+    }
+    // Counter identity, per shard and in total.
+    for (std::size_t s = 0; s < base.shards.size(); ++s) {
+      const ShardCounters& c = base.shards[s];
+      if (c.accepted + c.shed_total() != c.produced) {
+        diag << "FAIL " << sc.name << ": shard " << s
+             << " counter identity broken: produced " << c.produced
+             << " != accepted " << c.accepted << " + shed "
+             << c.shed_total() << "\n";
+        ok = false;
+      }
+    }
+    if (base.reason != sc.expect_reason) {
+      diag << "FAIL " << sc.name << ": expected risk reason "
+           << name(sc.expect_reason) << ", got " << name(base.reason)
+           << "\n";
+      ok = false;
+    }
+    if (sc.expect_shed != (base.totals.shed_total() > 0)) {
+      diag << "FAIL " << sc.name << ": expected shed="
+           << (sc.expect_shed ? "yes" : "no") << ", shed_total "
+           << base.totals.shed_total() << "\n";
+      ok = false;
+    }
+    if (base.totals.restarts < sc.min_restarts ||
+        base.totals.restarts > sc.max_restarts) {
+      diag << "FAIL " << sc.name << ": restarts " << base.totals.restarts
+           << " outside [" << sc.min_restarts << ", " << sc.max_restarts
+           << "]\n";
+      ok = false;
+    }
+    if (base.transitions.empty()) {
+      diag << "FAIL " << sc.name << ": no transitions emitted\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace chenfd::rt

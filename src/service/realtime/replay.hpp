@@ -1,0 +1,93 @@
+// Deterministic replay harness for the realtime front-end (DESIGN.md
+// section 14).
+//
+// A ReplayScenario is a complete description of an overload/fault episode:
+// engine options, a synthetic heartbeat workload (every process sends
+// seq 1, 2, ... on a fixed interval with a per-process phase), the
+// consumer and watchdog cadences, and a fault::FaultPlan whose window
+// queries provide the ground truth — duplication_burst() windows are
+// heartbeat storms (every send doubled), consumer_stall() windows freeze
+// one shard's consumer, monitor_crash()/monitor_restart() windows take
+// every consumer down and drive the watchdog's bounded-backoff restart
+// path.
+//
+// run_replay() executes the scenario single-threaded against a
+// VirtualTimeSource: events are totally ordered by (time, kind-priority,
+// process, seq) with heartbeats before consumer ticks before watchdog
+// ticks at equal times, so the run is a pure function of the scenario.
+//
+// Determinism contract (pinned by tests/test_realtime.cpp and the CI
+// replay smoke): the canonical payload — transition stream, per-shard
+// counters, latched risk — is byte-identical across every ReplayKnobs
+// setting.  Knobs are the *unobservable* half of the configuration:
+// consumer grouping (which virtual consumer drains which shard), physical
+// ring capacity, and drain chunk size.  The logical queue_capacity and the
+// shedding policy are part of the scenario: shedding decisions depend on
+// them by design.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "fleet/types.hpp"
+#include "service/realtime/engine.hpp"
+
+namespace chenfd::rt {
+
+struct ReplayScenario {
+  std::string name;
+  RealtimeOptions engine;
+  Duration send_interval;  ///< per-process heartbeat period
+  TimePoint horizon;
+  Duration consumer_period;
+  Duration watchdog_period;
+  fault::FaultPlan faults;
+
+  // Oracle expectations checked by replay_smoke().
+  RiskReason expect_reason = RiskReason::kNone;
+  bool expect_shed = false;
+  std::uint64_t min_restarts = 0;
+  std::uint64_t max_restarts = 0;
+
+  void validate() const;
+};
+
+/// The unobservable knobs: replay output must not depend on any of these.
+struct ReplayKnobs {
+  std::size_t consumer_groups = 1;  ///< virtual consumers (shard s -> s % n)
+  std::size_t ring_capacity = 0;    ///< physical ring override (0 = scenario)
+  std::size_t drain_chunk = 64;
+};
+
+struct ReplayResult {
+  std::string payload;  ///< canonical text: transitions, counters, risk
+  std::uint32_t crc = 0;
+  std::vector<fleet::Transition> transitions;
+  std::vector<ShardCounters> shards;
+  ShardCounters totals;
+  bool qos_at_risk = false;
+  RiskReason reason = RiskReason::kNone;
+};
+
+/// Runs `scenario` to its horizon in virtual time (including a quiescent
+/// final drain and an exact close, so the counter identity
+/// produced == accepted + shed holds on the result).
+[[nodiscard]] ReplayResult run_replay(const ReplayScenario& scenario,
+                                      const ReplayKnobs& knobs = {});
+
+/// The canonical chaos scenarios: sustained 2x overload with a storm
+/// (drop-newest), a stalled consumer (drop-oldest), a monitor crash
+/// driving repeated backoff restarts, and degrade-eta thinning.
+[[nodiscard]] std::vector<ReplayScenario> smoke_scenarios();
+
+/// Runs every smoke scenario across a grid of knob settings, checking
+/// byte-identity of the payload plus the per-scenario oracles (counter
+/// identity, expected risk reason, shed presence, restart bounds).
+/// Diagnostics go to `diag`; returns true when everything held.
+[[nodiscard]] bool replay_smoke(std::ostream& diag);
+
+}  // namespace chenfd::rt

@@ -83,7 +83,7 @@ void MonitorSupervisor::take_snapshot() {
       snap.has_fleet = true;
       snap.fleet = fleet_exporter_();
     }
-    store_.save(persist::to_string(snap));
+    store_.save(persist::to_string(snap), q_clock_.local(sim_.now()));
     ++snapshots_taken_;
   }
   arm_snapshot_timer();
@@ -141,7 +141,7 @@ void MonitorSupervisor::restart_monitor() {
     cold_restart();
     return;
   }
-  const std::optional<std::string> stored = store_.load();
+  const std::optional<persist::StoredSnapshot> stored = store_.load();
   if (!stored) {
     last_restart_detail_ = "cold: no snapshot in stable storage";
     cold_restart();
@@ -149,15 +149,22 @@ void MonitorSupervisor::restart_monitor() {
   }
   persist::MonitorSnapshot snap;
   try {
-    snap = persist::from_string(*stored);
+    snap = persist::from_string(stored->bytes);
   } catch (const persist::SnapshotError& e) {
     ++snapshot_rejects_;
     last_restart_detail_ = std::string("cold: ") + e.what();
     cold_restart();
     return;
   }
-  const double age_s = local_now.seconds() - snap.taken_at_s;
-  if (age_s < 0.0 || age_s > options_.max_snapshot_age.seconds()) {
+  // Staleness is judged from the *store's* save stamp, not the payload's
+  // self-reported taken_at_s: the injected clock is the only authority on
+  // q-local time, and a forged/replayed payload must not be able to claim
+  // freshness the store never witnessed.  The content timestamp is still
+  // rejected when it sits in the future — that is structural nonsense no
+  // matter how recent the save was.
+  const double age_s = (local_now - stored->saved_at).seconds();
+  if (local_now.seconds() - snap.taken_at_s < 0.0 || age_s < 0.0 ||
+      age_s > options_.max_snapshot_age.seconds()) {
     ++snapshot_rejects_;
     std::ostringstream os;
     os << "cold: snapshot stale (age " << age_s << "s, max "

@@ -330,5 +330,44 @@ TEST(Testbed, RejectsLifecycleMisuse) {
   EXPECT_THROW(tb.attach(late), std::invalid_argument);
 }
 
+TEST(FaultPlan, ConsumerStallWindowsArePerShardGroundTruth) {
+  FaultPlan plan;
+  // Deliberately out of order across two shards; queries sort per shard.
+  plan.consumer_stall(1, TimePoint(40.0), TimePoint(45.0))
+      .consumer_stall(0, TimePoint(10.0), TimePoint(13.0))
+      .consumer_stall(1, TimePoint(20.0), TimePoint(22.0))
+      .duplication_burst(TimePoint(5.0), TimePoint(7.0), 1.0);
+  EXPECT_THROW(plan.consumer_stall(0, TimePoint(50.0), TimePoint(50.0)),
+               std::invalid_argument);
+
+  const auto shard0 = plan.consumer_stall_windows(0);
+  ASSERT_EQ(shard0.size(), 1u);
+  EXPECT_EQ(shard0[0].begin, TimePoint(10.0));
+  EXPECT_EQ(shard0[0].end, TimePoint(13.0));
+
+  const auto shard1 = plan.consumer_stall_windows(1);
+  ASSERT_EQ(shard1.size(), 2u);
+  EXPECT_EQ(shard1[0].begin, TimePoint(20.0));
+  EXPECT_EQ(shard1[1].begin, TimePoint(40.0));
+  EXPECT_TRUE(plan.consumer_stall_windows(2).empty());
+
+  // The realtime replay harness reads storms through the same query.
+  const auto storms = plan.duplication_windows();
+  ASSERT_EQ(storms.size(), 1u);
+  EXPECT_EQ(storms[0].begin, TimePoint(5.0));
+  EXPECT_DOUBLE_EQ(storms[0].length().seconds(), 2.0);
+}
+
+TEST(FaultPlan, ConsumerStallEventsAreRealtimeReplayOnly) {
+  // Consumer stalls freeze a realtime shard's drain loop — there is no
+  // such thing in the two-process testbed, so arming must refuse.
+  core::Testbed tb(quiet_config(7));
+  CountingDetector det;
+  tb.attach(det);
+  FaultPlan plan;
+  plan.consumer_stall(0, TimePoint(1.0), TimePoint(2.0));
+  EXPECT_THROW(plan.arm(tb), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace chenfd::fault

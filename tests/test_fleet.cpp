@@ -647,5 +647,36 @@ TEST(FleetReport, JsonSplitsPayloadFromMeasurements) {
   EXPECT_NE(full.str().find("\"fast_mode\": false"), std::string::npos);
 }
 
+// ---- global-id offset (realtime front-end partition) --------------------
+
+TEST(FleetMonitor, FirstProcessOffsetKeepsGlobalIds) {
+  // The realtime engine runs one single-shard monitor per partition slice;
+  // first_process makes that monitor speak global process ids directly.
+  FleetOptions fo = fleet_options(3, 1);
+  fo.first_process = 100;
+  FleetMonitor monitor(fo);
+
+  monitor.ingest(std::vector<Heartbeat>{hb(100, 1, 1.0), hb(102, 1, 1.5)});
+  EXPECT_EQ(monitor.verdict(100), Verdict::kTrust);
+  EXPECT_EQ(monitor.verdict(101), Verdict::kSuspect);  // never heard from
+  EXPECT_EQ(monitor.verdict(102), Verdict::kTrust);
+  // Ids outside [first_process, first_process + processes) are rejected,
+  // including the pre-offset range.
+  EXPECT_THROW((void)monitor.verdict(99), std::invalid_argument);
+  EXPECT_THROW((void)monitor.verdict(103), std::invalid_argument);
+  EXPECT_THROW(monitor.ingest(std::vector<Heartbeat>{hb(0, 1, 2.0)}),
+               std::invalid_argument);
+
+  const auto stream = monitor.drain_transitions();
+  ASSERT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream[0].process, 100u);  // transitions carry global ids
+  EXPECT_EQ(stream[1].process, 102u);
+
+  // Overflow guard: first_process + processes must fit ProcessIndex.
+  FleetOptions overflow = fleet_options(2, 1);
+  overflow.first_process = 0xffffffffu;
+  EXPECT_THROW(overflow.validate(), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace chenfd::fleet

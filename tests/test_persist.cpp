@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
 
+#include "persist/file_store.hpp"
 #include "persist/snapshot.hpp"
 #include "persist/store.hpp"
 
@@ -328,13 +330,66 @@ TEST(Snapshot, PayloadAfterFleetSectionIsRejected) {
 TEST(SnapshotStore, MemoryStoreLifecycle) {
   MemorySnapshotStore store;
   EXPECT_FALSE(store.load().has_value());
-  store.save("v1");
+  store.save("v1", TimePoint(10.0));
   ASSERT_TRUE(store.load().has_value());
-  EXPECT_EQ(*store.load(), "v1");
-  store.save("v2");  // atomic replace
-  EXPECT_EQ(*store.load(), "v2");
+  EXPECT_EQ(store.load()->bytes, "v1");
+  EXPECT_DOUBLE_EQ(store.load()->saved_at.seconds(), 10.0);
+  store.save("v2", TimePoint(20.0));  // atomic replace, stamp included
+  EXPECT_EQ(store.load()->bytes, "v2");
+  EXPECT_DOUBLE_EQ(store.load()->saved_at.seconds(), 20.0);
   store.clear();
   EXPECT_FALSE(store.load().has_value());
+}
+
+TEST(SnapshotStore, FileStoreRoundTripsBytesAndStamp) {
+  const std::string path = "test_persist_file_store.dat";
+  FileSnapshotStore store(path);
+  store.clear();  // clean slate even if a previous run crashed
+  EXPECT_FALSE(store.load().has_value());
+
+  const std::string payload = std::string("binary\0payload\nline2", 20);
+  store.save(payload, TimePoint(1234.5));
+  auto stored = store.load();
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(stored->bytes, payload);  // bit-exact, embedded NUL included
+  EXPECT_DOUBLE_EQ(stored->saved_at.seconds(), 1234.5);
+
+  // Atomic replace: a second save fully supersedes the first.
+  store.save("v2", TimePoint(2000.25));
+  stored = store.load();
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(stored->bytes, "v2");
+  EXPECT_DOUBLE_EQ(stored->saved_at.seconds(), 2000.25);
+
+  // A second store on the same path sees the same snapshot — that is how
+  // a restarted daemon measures the previous incarnation's snapshot age.
+  FileSnapshotStore reopened(path);
+  ASSERT_TRUE(reopened.load().has_value());
+  EXPECT_EQ(reopened.load()->bytes, "v2");
+
+  store.clear();
+  EXPECT_FALSE(store.load().has_value());
+  store.clear();  // idempotent on a missing file
+}
+
+TEST(SnapshotStore, FileStoreRejectsAlienFilesWithoutThrowing) {
+  const std::string path = "test_persist_file_store_alien.dat";
+  const std::string aliens[] = {
+      "",                                     // empty file
+      "chenfd-store v1 saved_at",             // header cut before the stamp
+      "chenfd-store v1 saved_at junk\nx",     // unparsable stamp
+      "chenfd-store v1 saved_at 1 extra\nx",  // trailing junk after stamp
+      "some other file format\npayload",      // different file entirely
+  };
+  for (const std::string& alien : aliens) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << alien;
+    }
+    FileSnapshotStore store(path);
+    EXPECT_FALSE(store.load().has_value()) << "accepted: " << alien;
+    store.clear();
+  }
 }
 
 }  // namespace

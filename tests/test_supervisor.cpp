@@ -74,8 +74,11 @@ TEST(MonitorSupervisor, TakesPeriodicSnapshots) {
   rig.run_until(105.0);
   EXPECT_GE(rig.supervisor.snapshots_taken(), 5u);
   ASSERT_TRUE(rig.store.load().has_value());
-  // The persisted bytes are a valid snapshot as stored.
-  EXPECT_NO_THROW((void)persist::from_string(*rig.store.load()));
+  // The persisted bytes are a valid snapshot as stored, and the store
+  // stamp is the supervisor's q-local save instant, not anything the
+  // payload claims.
+  EXPECT_NO_THROW((void)persist::from_string(rig.store.load()->bytes));
+  EXPECT_GT(rig.store.load()->saved_at.seconds(), 0.0);
 }
 
 TEST(MonitorSupervisor, OutputIsSuspectWhileMonitorIsDown) {
@@ -160,11 +163,11 @@ TEST(MonitorSupervisor, ColdRestartOnCorruptSnapshot) {
   rig.run_until(905.0);
   rig.supervisor.crash_monitor();
   // Simulated disk corruption: one bit flips in stable storage.
-  auto bytes = rig.store.load();
-  ASSERT_TRUE(bytes.has_value());
-  (*bytes)[bytes->size() / 2] =
-      static_cast<char>((*bytes)[bytes->size() / 2] ^ 0x01);
-  rig.store.save(*bytes);
+  auto stored = rig.store.load();
+  ASSERT_TRUE(stored.has_value());
+  stored->bytes[stored->bytes.size() / 2] =
+      static_cast<char>(stored->bytes[stored->bytes.size() / 2] ^ 0x01);
+  rig.store.save(stored->bytes, stored->saved_at);
   rig.run_until(935.0);
   rig.supervisor.restart_monitor();
 

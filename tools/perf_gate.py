@@ -9,6 +9,7 @@ Usage:
     tools/perf_gate.py <fresh BENCH_fastsim.json> [<baseline json>]
     tools/perf_gate.py --check-leader <BENCH_leader.json>
     tools/perf_gate.py --check-fleet <BENCH_fleet.json> [<baseline json>]
+    tools/perf_gate.py --check-rt <BENCH_rt.json>
 
 Exit status: 0 = within threshold, 1 = regression, 2 = usage/format error.
 
@@ -23,6 +24,14 @@ bench_fleet (full mode only — counter identities, CRC format, a config at
 >= 10^6 processes) and then gates heartbeats_per_sec per fleet size against
 bench/BENCH_fleet_baseline.json with the same threshold/skip/re-baseline
 rules as the fastsim gate.
+
+The --check-rt mode is a schema gate for BENCH_rt.json (bench_rt_throughput):
+per-config ingestion counter identity (produced == accepted + shed) and
+finite positive rates, plus the deterministic 2x-overload replay section —
+shedding must have happened (shed_fraction consistent with the raw counters),
+qos_at_risk must be latched with a non-"none" reason, and the replay CRC must
+be 8 lowercase hex digits.  Absolute rates are machine-dependent and are NOT
+gated.  Exit 0 = valid, 2 = invalid.
 
 Overriding the gate
 -------------------
@@ -338,9 +347,123 @@ def check_fleet(fresh_path, baseline_path):
     return 0
 
 
+def check_rt(path):
+    """Schema-validate a BENCH_rt.json report (see the module docstring)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        _fail(path, "expected a JSON object")
+    if doc.get("bench") != "rt":
+        _fail(path, '"bench" must be "rt"')
+    if not isinstance(doc.get("fast_mode"), bool):
+        _fail(path, '"fast_mode" must be a boolean')
+
+    configs = doc.get("configs")
+    if not isinstance(configs, list) or not configs:
+        _fail(path, 'expected a non-empty "configs" list')
+    count_keys = ("produced", "accepted", "shed")
+    rate_keys = ("offered_hb_per_sec", "sustained_hb_per_sec")
+    seen_shards = set()
+    for i, c in enumerate(configs):
+        where = f"{path}: configs[{i}]"
+        if not isinstance(c, dict):
+            _fail(where, "is not an object")
+        shards = c.get("shards")
+        if not isinstance(shards, int) or shards < 1:
+            _fail(where, f'"shards" must be a positive integer, got {shards!r}')
+        where = f"{where} (shards={shards})"
+        if shards in seen_shards:
+            _fail(where, "duplicates an earlier shard count")
+        seen_shards.add(shards)
+        for key in count_keys:
+            if not isinstance(c.get(key), int) or c[key] < 0:
+                _fail(where, f'"{key}" must be a non-negative integer, '
+                      f"got {c.get(key)!r}")
+        if c["produced"] == 0:
+            _fail(where, '"produced" is 0 — empty run')
+        if c.get("identity") is not True:
+            _fail(where, '"identity" must be true (produced == accepted '
+                  "+ shed)")
+        if c["produced"] != c["accepted"] + c["shed"]:
+            _fail(where, f'produced ({c["produced"]}) != accepted '
+                  f'({c["accepted"]}) + shed ({c["shed"]})')
+        for key in rate_keys:
+            try:
+                value = float(c[key])
+            except KeyError:
+                _fail(where, f'has no "{key}"')
+            except (TypeError, ValueError):
+                _fail(where, f'"{key}" {c[key]!r} is not a number')
+            if not math.isfinite(value) or value <= 0.0:
+                _fail(where, f'"{key}" must be finite and > 0, got {value!r}')
+        try:
+            p99 = float(c["p99_ingest_latency_us"])
+        except KeyError:
+            _fail(where, 'has no "p99_ingest_latency_us"')
+        except (TypeError, ValueError):
+            _fail(where, f'"p99_ingest_latency_us" '
+                  f"{c['p99_ingest_latency_us']!r} is not a number")
+        if not math.isfinite(p99) or p99 < 0.0:
+            _fail(where, f'"p99_ingest_latency_us" must be finite and >= 0, '
+                  f"got {p99!r}")
+
+    o = doc.get("overload")
+    where = f"{path}: overload"
+    if not isinstance(o, dict):
+        _fail(path, 'expected an "overload" object')
+    if not isinstance(o.get("policy"), str) or not o["policy"]:
+        _fail(where, 'has no "policy"')
+    for key in count_keys:
+        if not isinstance(o.get(key), int) or o[key] < 0:
+            _fail(where, f'"{key}" must be a non-negative integer, '
+                  f"got {o.get(key)!r}")
+    if o["produced"] == 0:
+        _fail(where, '"produced" is 0 — empty replay')
+    if o.get("identity") is not True:
+        _fail(where, '"identity" must be true (produced == accepted + shed)')
+    if o["produced"] != o["accepted"] + o["shed"]:
+        _fail(where, f'produced ({o["produced"]}) != accepted '
+              f'({o["accepted"]}) + shed ({o["shed"]})')
+    if o["shed"] == 0:
+        _fail(where, "a 2x-overload replay that shed nothing is broken")
+    try:
+        fraction = float(o["shed_fraction"])
+    except KeyError:
+        _fail(where, 'has no "shed_fraction"')
+    except (TypeError, ValueError):
+        _fail(where, f'"shed_fraction" {o["shed_fraction"]!r} is not a number')
+    if not math.isfinite(fraction) or not 0.0 < fraction <= 1.0:
+        _fail(where, f'"shed_fraction" must be in (0, 1], got {fraction!r}')
+    expected = o["shed"] / o["produced"]
+    if abs(fraction - expected) > 1e-6:
+        _fail(where, f'"shed_fraction" {fraction!r} inconsistent with '
+              f"shed/produced ({expected!r})")
+    if o.get("qos_at_risk") is not True:
+        _fail(where, '"qos_at_risk" must be true — overload must latch')
+    reason = o.get("risk_reason")
+    if not isinstance(reason, str) or not reason or reason == "none":
+        _fail(where, f'"risk_reason" must be a latched reason, got {reason!r}')
+    crc = o.get("replay_crc")
+    if (not isinstance(crc, str) or len(crc) != 8
+            or any(ch not in "0123456789abcdef" for ch in crc)):
+        _fail(where, f'"replay_crc" must be 8 lowercase hex digits, '
+              f"got {crc!r}")
+
+    print(f"perf_gate: {path}: {len(configs)} ingestion config(s), overload "
+          f"shed fraction {fraction:.3f} (reason \"{reason}\", crc {crc}) — "
+          "schema valid")
+    return 0
+
+
 def main(argv):
     if len(argv) == 3 and argv[1] == "--check-leader":
         return check_leader(argv[2])
+    if len(argv) == 3 and argv[1] == "--check-rt":
+        return check_rt(argv[2])
     if argv[1:2] == ["--check-fleet"] and len(argv) in (3, 4):
         baseline = argv[3] if len(argv) == 4 else DEFAULT_FLEET_BASELINE
         return check_fleet(argv[2], baseline)

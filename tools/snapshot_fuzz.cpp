@@ -20,9 +20,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "common/rng.hpp"
+#include "persist/file_store.hpp"
 #include "persist/snapshot.hpp"
 
 namespace {
@@ -164,6 +167,70 @@ int main() {
     ++mutants;
     if (!probe(mutant, "random mutation round", round)) ok = false;
   }
+
+  // FileSnapshotStore: the on-disk store must round-trip payloads byte-
+  // exactly (it is payload-agnostic by contract), must surface torn or
+  // alien files as nullopt rather than throwing, and a fuzzed payload
+  // pulled back through the store must still honor the parse contract.
+  const std::string store_path = "snapshot_fuzz_store.dat";
+  chenfd::persist::FileSnapshotStore store(store_path);
+  store.clear();
+  if (store.load()) {
+    std::fprintf(stderr, "FAIL file store not empty after clear\n");
+    ok = false;
+  }
+  const chenfd::TimePoint stamp(9876.54321);
+  store.save(valid, stamp);
+  if (const auto back = store.load(); !back || back->bytes != valid ||
+                                      back->saved_at.seconds() !=
+                                          stamp.seconds()) {
+    std::fprintf(stderr, "FAIL file store round-trip not bit-exact\n");
+    ok = false;
+  } else if (!probe(back->bytes, "file store payload", 0)) {
+    ok = false;
+  }
+
+  // Torn / alien files dropped where the snapshot lives: load() must
+  // answer "no snapshot" (nullopt), never throw.
+  const char* alien[] = {"", "chenfd-store", "chenfd-store v1 saved_at",
+                         "chenfd-store v1 saved_at junk\npayload",
+                         "chenfd-store v1 saved_at 1.0 extra\npayload",
+                         "some entirely different file\n"};
+  for (std::size_t i = 0; i < sizeof(alien) / sizeof(alien[0]); ++i) {
+    {
+      std::ofstream out(store_path, std::ios::binary | std::ios::trunc);
+      out << alien[i];
+    }
+    try {
+      if (store.load()) {
+        std::fprintf(stderr, "FAIL alien file %zu loaded as a snapshot\n", i);
+        ok = false;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "FAIL alien file %zu threw: %s\n", i, e.what());
+      ok = false;
+    }
+  }
+
+  // Fuzzed payloads through the store: save/load is the identity on the
+  // bytes, and whatever comes back obeys the parse contract.
+  for (std::size_t round = 0; round < 200; ++round) {
+    std::string mutant = valid;
+    const std::size_t at = static_cast<std::size_t>(rng() % mutant.size());
+    mutant[at] = static_cast<char>(rng() % 256);
+    if (rng() % 2 == 0) mutant.resize(at);  // torn payload
+    store.save(mutant, stamp);
+    ++mutants;
+    const auto back = store.load();
+    if (!back || back->bytes != mutant) {
+      std::fprintf(stderr, "FAIL file store mangled fuzzed payload %zu\n",
+                   round);
+      ok = false;
+      continue;
+    }
+    if (!probe(back->bytes, "file store fuzz round", round)) ok = false;
+  }
+  store.clear();
 
   std::printf("snapshot_fuzz: %zu mutants, %zu single-bit rejects, %s\n",
               mutants, rejected, ok ? "contract holds" : "CONTRACT VIOLATED");

@@ -77,6 +77,29 @@ def fleet_doc(*configs):
     return {"bench": "fleet", "fast_mode": False, "configs": configs}
 
 
+def rt_config(shards, **overrides):
+    c = {
+        "shards": shards, "produced": 100_000, "accepted": 90_000,
+        "shed": 10_000, "identity": True,
+        "offered_hb_per_sec": 5e6, "sustained_hb_per_sec": 4.5e6,
+        "p99_ingest_latency_us": 1.5,
+    }
+    c.update(overrides)
+    return c
+
+
+def rt_doc(**overload_overrides):
+    overload = {
+        "policy": "drop-newest", "produced": 6400, "accepted": 3200,
+        "shed": 3200, "identity": True, "shed_fraction": 0.5,
+        "qos_at_risk": True, "risk_reason": "overload",
+        "replay_crc": "0badf00d",
+    }
+    overload.update(overload_overrides)
+    return {"bench": "rt", "fast_mode": False,
+            "configs": [rt_config(1), rt_config(4)], "overload": overload}
+
+
 class PerfGateTest(unittest.TestCase):
     def setUp(self):
         self._tmp = tempfile.TemporaryDirectory()
@@ -390,6 +413,98 @@ class PerfGateTest(unittest.TestCase):
             self.skipTest("no committed fleet baseline")
         proc = self.run_check_fleet(committed, committed)
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def run_check_rt(self, path):
+        return subprocess.run(
+            [sys.executable, PERF_GATE, "--check-rt", path],
+            capture_output=True, text=True)
+
+    def test_check_rt_valid_report_passes(self):
+        path = self.path_for("rt.json", rt_doc())
+        proc = self.run_check_rt(path)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("schema valid", proc.stdout)
+
+    def test_check_rt_empty_configs_is_rejected(self):
+        doc = rt_doc()
+        doc["configs"] = []
+        path = self.path_for("rt.json", doc)
+        proc = self.run_check_rt(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("configs", proc.stderr)
+
+    def test_check_rt_counter_identity_is_enforced(self):
+        doc = rt_doc()
+        doc["configs"][0]["accepted"] += 1
+        path = self.path_for("rt.json", doc)
+        proc = self.run_check_rt(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("accepted", proc.stderr)
+        self.assertIn("shards=1", proc.stderr)
+
+    def test_check_rt_nonpositive_rate_is_rejected(self):
+        doc = rt_doc()
+        doc["configs"][1]["sustained_hb_per_sec"] = 0.0
+        path = self.path_for("rt.json", doc)
+        proc = self.run_check_rt(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("sustained_hb_per_sec", proc.stderr)
+
+    def test_check_rt_negative_p99_is_rejected(self):
+        doc = rt_doc()
+        doc["configs"][0]["p99_ingest_latency_us"] = -1.0
+        path = self.path_for("rt.json", doc)
+        proc = self.run_check_rt(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("p99_ingest_latency_us", proc.stderr)
+
+    def test_check_rt_overload_must_shed(self):
+        doc = rt_doc()
+        doc["overload"]["shed"] = 0
+        doc["overload"]["accepted"] = doc["overload"]["produced"]
+        doc["overload"]["shed_fraction"] = 1e-9
+        path = self.path_for("rt.json", doc)
+        proc = self.run_check_rt(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("shed nothing", proc.stderr)
+
+    def test_check_rt_shed_fraction_must_match_counters(self):
+        doc = rt_doc()
+        doc["overload"]["shed_fraction"] = 0.9
+        path = self.path_for("rt.json", doc)
+        proc = self.run_check_rt(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("inconsistent", proc.stderr)
+
+    def test_check_rt_overload_must_latch_risk(self):
+        doc = rt_doc()
+        doc["overload"]["qos_at_risk"] = False
+        path = self.path_for("rt.json", doc)
+        proc = self.run_check_rt(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("qos_at_risk", proc.stderr)
+        doc = rt_doc()
+        doc["overload"]["risk_reason"] = "none"
+        path = self.path_for("rt2.json", doc)
+        proc = self.run_check_rt(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("risk_reason", proc.stderr)
+
+    def test_check_rt_bad_crc_is_rejected(self):
+        doc = rt_doc()
+        doc["overload"]["replay_crc"] = "DEADBEEF"  # upper case
+        path = self.path_for("rt.json", doc)
+        proc = self.run_check_rt(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("replay_crc", proc.stderr)
+
+    def test_check_rt_duplicate_shard_count_is_rejected(self):
+        doc = rt_doc()
+        doc["configs"].append(dict(doc["configs"][0]))
+        path = self.path_for("rt.json", doc)
+        proc = self.run_check_rt(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("duplicates", proc.stderr)
 
     def test_committed_baseline_still_parses(self):
         # The real committed baseline must stay loadable by the validator.
